@@ -1,0 +1,97 @@
+"""Fig. 7 / Fig. 10: the active MitM attack and its preconditions.
+
+Benchmarks the full fake-base-station sequence and ablates each
+precondition the appendix's message chart depends on: the 4G jammer, radio
+range (same cell), and GSM capability -- plus the stealth property that
+distinguishes the active attack from passive sniffing (the victim's handset
+stays silent).
+"""
+
+from repro.model.identity import IdentityGenerator
+from repro.telecom.jammer import FourGJammer
+from repro.telecom.mitm import ActiveMitM, MitMStep
+from repro.telecom.network import GSMNetwork, RadioTech
+from repro.utils.clock import Clock
+from repro.utils.rng import SeedSequence
+from repro.utils.tables import format_table
+
+
+def _network():
+    network = GSMNetwork(clock=Clock(), seeds=SeedSequence(7))
+    network.add_cell("target-cell")
+    network.add_cell("far-cell")
+    return network
+
+
+def test_bench_active_mitm_sequence(benchmark):
+    def full_attack():
+        network = _network()
+        victim = IdentityGenerator(7).generate()
+        network.provision_phone(
+            victim.cellphone_number, "target-cell", preferred_tech=RadioTech.LTE
+        )
+        with FourGJammer(network, "target-cell"):
+            mitm = ActiveMitM(network, "target-cell")
+            outcome = mitm.execute(victim.cellphone_number)
+            network.deliver_sms(
+                victim.cellphone_number, "your code is 31337", sender="bank"
+            )
+            code = mitm.latest_code_from("bank")
+            mitm.release()
+        return outcome, code
+
+    outcome, code = benchmark(full_attack)
+    assert outcome.success
+    assert code == "31337"
+    assert [r.step for r in outcome.transcript] == list(MitMStep)
+    print("\nFig. 10 sequence transcript:")
+    for record in outcome.transcript:
+        print(f"  t={record.at:5.1f}s {record.step.value}: {record.detail}")
+
+
+def test_bench_mitm_precondition_ablation(benchmark):
+    """Each missing precondition fails the attack at the expected step."""
+
+    def ablation():
+        results = {}
+        victim = IdentityGenerator(9).generate()
+        phone = victim.cellphone_number
+
+        # (a) no jammer: LTE victim never downgrades.
+        network = _network()
+        network.provision_phone(phone, "target-cell", preferred_tech=RadioTech.LTE)
+        results["no_jammer"] = ActiveMitM(network, "target-cell").execute(phone)
+
+        # (b) out of range: rig in a different cell.
+        network = _network()
+        network.provision_phone(phone, "far-cell", preferred_tech=RadioTech.GSM)
+        results["out_of_range"] = ActiveMitM(network, "target-cell").execute(phone)
+
+        # (c) all preconditions met.
+        network = _network()
+        network.provision_phone(phone, "target-cell", preferred_tech=RadioTech.LTE)
+        with FourGJammer(network, "target-cell"):
+            results["jammer_on"] = ActiveMitM(network, "target-cell").execute(phone)
+        return results
+
+    results = benchmark(ablation)
+    rows = [
+        (
+            label,
+            "SUCCESS" if outcome.success else "FAILED",
+            outcome.failed_step.value if outcome.failed_step else "-",
+        )
+        for label, outcome in results.items()
+    ]
+    print(
+        "\n"
+        + format_table(
+            ("configuration", "outcome", "failed step"),
+            rows,
+            title="Active MitM precondition ablation",
+        )
+    )
+    assert not results["no_jammer"].success
+    assert results["no_jammer"].failed_step is MitMStep.FORCE_GSM_DOWNGRADE
+    assert not results["out_of_range"].success
+    assert results["jammer_on"].success

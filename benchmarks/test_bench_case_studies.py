@@ -1,0 +1,62 @@
+"""Section V-B: the three real-world case studies, end to end.
+
+Each benchmark run deploys a fresh seed ecosystem, generates the attack
+path with ActFort, intercepts SMS codes over the simulated GSM air
+interface, executes the chain, and (for the payment cases) authorizes a
+payment from the hijacked account.
+"""
+
+from repro.attack.scenarios import (
+    deploy_seed_ecosystem,
+    run_case_i_baidu_wallet,
+    run_case_ii_paypal_via_gmail,
+    run_case_iii_alipay_via_ctrip,
+)
+
+
+def test_bench_case_i_baidu_wallet(benchmark):
+    def scenario():
+        return run_case_i_baidu_wallet(deploy_seed_ecosystem())
+
+    result = benchmark(scenario)
+    print("\n" + result.describe())
+    assert result.success
+    # "There is no intermediate attack needed."
+    assert result.chain.depth == 0
+    assert result.payment_receipt is not None
+
+
+def test_bench_case_ii_paypal_via_gmail(benchmark):
+    def scenario():
+        return run_case_ii_paypal_via_gmail(deploy_seed_ecosystem())
+
+    result = benchmark(scenario)
+    print("\n" + result.describe())
+    assert result.success
+    # One intermediate account: the Gmail-class email provider.
+    assert result.chain.depth == 1
+    assert result.chain.services[0] == "gmail"
+    assert result.chain.services[-1] == "paypal"
+
+
+def test_bench_case_iii_alipay_mobile(benchmark):
+    def scenario():
+        return run_case_iii_alipay_via_ctrip(deploy_seed_ecosystem())
+
+    result = benchmark(scenario)
+    print("\n" + result.describe())
+    assert result.success
+    # Ctrip supplies the citizen ID that unlocks Alipay's mobile reset.
+    assert result.chain.services == ("ctrip", "alipay")
+    assert result.payment_receipt is not None
+
+
+def test_bench_case_iii_alipay_web_customer_service(benchmark):
+    def scenario():
+        return run_case_iii_alipay_via_ctrip(
+            deploy_seed_ecosystem(), web_variant=True
+        )
+
+    result = benchmark(scenario)
+    print("\n" + result.describe())
+    assert result.success

@@ -1,0 +1,42 @@
+"""Fig. 11 / Fig. 12: the Transformation Dependency Graph over the paper's
+named services, with per-node credential-factor and personal-info files.
+
+Checks the specific relations the figure encodes: Ctrip is a full-capacity
+parent of both Alipay (citizen ID) and China Railway; the email providers
+parent Facebook's email reset; Google/Gmail feed linked-account logins.
+"""
+
+from repro.analysis.figures import render_fig11_tdg
+from repro.catalog.seeds import seed_profiles
+from repro.core import ActFort
+from repro.model.ecosystem import Ecosystem
+
+
+def test_bench_fig11_tdg(benchmark):
+    ecosystem = Ecosystem(seed_profiles())
+
+    def regenerate():
+        analyzer = ActFort.from_ecosystem(ecosystem)
+        tdg = analyzer.tdg()
+        return tdg, render_fig11_tdg(tdg)
+
+    tdg, rendering = benchmark(regenerate)
+    print("\n" + rendering)
+    benchmark.extra_info["nodes"] = len(tdg)
+
+    # Fig. 11's edges, as the paper's Case III and measurement narrate them:
+    assert "ctrip" in tdg.full_capacity_parents("alipay")
+    assert "ctrip" in tdg.full_capacity_parents("china_railway")
+    # Email providers unlock Facebook's email-code reset.
+    facebook_parents = tdg.full_capacity_parents("facebook")
+    assert {"gmail", "netease_mail", "outlook", "aliyun_mail"} & facebook_parents
+    # Gmail is PayPal's full-capacity parent (Case II).
+    assert "gmail" in tdg.full_capacity_parents("paypal")
+    # Gmail/Google unlock Expedia via the binding relation (Section III-D).
+    assert {"gmail", "google"} & tdg.full_capacity_parents("expedia")
+    # Fringe nodes of the figure: Ctrip and the email providers are red.
+    fringe = tdg.fringe_nodes()
+    assert "ctrip" in fringe and "gmail" in fringe
+    # Internal nodes: Alipay, PayPal and China Railway are blue.
+    for internal in ("alipay", "paypal", "china_railway"):
+        assert internal not in fringe

@@ -1,0 +1,52 @@
+"""Fig. 3: credential factors for sign-in vs password reset, per platform.
+
+Regenerates the Fig. 3 aggregates -- the SMS-only sign-in vs reset split,
+overall SMS dominance, and the general/info/unique path-type shares -- and
+checks the paper's qualitative claims hold on the synthetic ecosystem.
+"""
+
+from repro.analysis.figures import fig3_rows
+from repro.core.authproc import aggregate_path_statistics
+from repro.model.factors import Platform
+from repro.utils.tables import format_table
+
+
+def test_bench_fig3_auth_factors(benchmark, actfort, measurement):
+    reports = actfort.auth_reports
+
+    def regenerate():
+        return {
+            platform: aggregate_path_statistics(reports, platform)
+            for platform in (Platform.WEB, Platform.MOBILE)
+        }
+
+    stats = benchmark(regenerate)
+
+    rows = fig3_rows(measurement)
+    table = format_table(
+        ("metric", "platform", "measured", "paper"),
+        rows,
+        title="Fig. 3 -- authentication-process measurement",
+    )
+    print("\n" + table)
+    benchmark.extra_info["rows"] = [" | ".join(r) for r in rows]
+
+    for platform in (Platform.WEB, Platform.MOBILE):
+        s = stats[platform]
+        # "The percentage of services using merely SMS codes for sign-in is
+        # significantly lower than for password resetting."
+        assert s["sms_only_signin"] < s["sms_only_reset"] - 0.15
+        # "SMS Code takes up over 80% for the authentication."
+        assert s["uses_sms_anywhere"] > 0.80
+        # "Less than 20% of services demand extra information."
+        assert s["extra_info_required"] < 0.20
+        # General paths dominate; info and unique sit in the teens.
+        assert s["general_share"] > s["info_share"]
+        assert s["general_share"] > s["unique_share"]
+        assert 0.04 < s["info_share"] < 0.30
+        assert 0.05 < s["unique_share"] < 0.35
+    # Platform asymmetry: the mobile general share is lower (45% vs 58.65%).
+    assert (
+        stats[Platform.MOBILE]["general_share"]
+        < stats[Platform.WEB]["general_share"]
+    )

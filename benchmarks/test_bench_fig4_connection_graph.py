@@ -1,0 +1,40 @@
+"""Fig. 4: the connection graph among 44 online accounts.
+
+Regenerates the 44-node strong-directivity graph, prints its adjacency
+summary, and checks the figure's visual claims: a large red (fringe)
+majority, a small blue (internal) minority, and edges that let the fringe
+reach nearly everything.
+"""
+
+from repro.analysis.figures import (
+    connection_graph_summary,
+    fig4_graph,
+    render_connection_graph,
+)
+
+
+def test_bench_fig4_connection_graph(benchmark, actfort):
+    tdg = actfort.tdg()
+
+    def regenerate():
+        graph = fig4_graph(tdg, size=44)
+        return graph, connection_graph_summary(graph)
+
+    graph, summary = benchmark(regenerate)
+
+    print("\n" + render_connection_graph(graph, max_edges=50))
+    print(
+        f"\nnodes={summary['nodes']:.0f} edges={summary['edges']:.0f} "
+        f"fringe={summary['fringe']:.0f} internal={summary['internal']:.0f} "
+        f"reachable-from-fringe={100 * summary['reachable_from_fringe']:.1f}%"
+    )
+    benchmark.extra_info["summary"] = {k: float(v) for k, v in summary.items()}
+
+    assert summary["nodes"] == 44
+    # The figure shows mostly red dots: fringe nodes are the majority
+    # (~3/4 of services are SMS-only takeover-able).
+    assert 0.55 < summary["fringe_share"] < 0.95
+    assert summary["internal"] >= 3
+    # The point of the figure: chains from fringe nodes blanket the graph.
+    assert summary["reachable_from_fringe"] >= 0.90
+    assert summary["edges"] > summary["nodes"]

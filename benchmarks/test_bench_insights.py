@@ -1,0 +1,72 @@
+"""Section IV-B-2: the five key insights, plus an attacker-profile sweep.
+
+The insights benchmark recomputes every insight check over the full
+catalog; the profile sweep measures how the potential-victim set grows with
+attacker strength (no interception -> baseline SMS rig -> SMS + leaked-PII
+database), the ablation DESIGN.md calls out.
+"""
+
+from repro.analysis.insights import compute_insights
+from repro.core.strategy import StrategyEngine
+from repro.core.tdg import TransformationDependencyGraph
+from repro.model.attacker import AttackerProfile
+from repro.utils.tables import format_table
+
+
+def test_bench_insights(benchmark, actfort):
+    def regenerate():
+        return compute_insights(actfort)
+
+    checks = benchmark(regenerate)
+    rows = [
+        (check.key, "HOLDS" if check.holds else "FAILS", check.evidence[:90])
+        for check in checks
+    ]
+    print(
+        "\n"
+        + format_table(
+            ("insight", "verdict", "evidence"),
+            rows,
+            title="Section IV-B-2 -- key insights",
+        )
+    )
+    assert len(checks) == 5
+    for check in checks:
+        assert check.holds, f"{check.key}: {check.evidence}"
+
+
+def test_bench_attacker_profile_sweep(benchmark, actfort):
+    nodes = actfort.tdg().nodes
+    profiles = {
+        "passive_observer": AttackerProfile.passive_observer(),
+        "baseline_sms_rig": AttackerProfile.baseline(),
+        "sms_plus_se_database": AttackerProfile.with_se_database(),
+    }
+
+    def sweep():
+        sizes = {}
+        for label, profile in profiles.items():
+            tdg = TransformationDependencyGraph(nodes, profile)
+            sizes[label] = len(
+                StrategyEngine(tdg).forward_closure().compromised
+            )
+        return sizes
+
+    sizes = benchmark(sweep)
+    total = len(nodes)
+    rows = [
+        (label, f"{count}/{total}", f"{100 * count / total:.1f}%")
+        for label, count in sizes.items()
+    ]
+    print(
+        "\n"
+        + format_table(
+            ("attacker profile", "PAV", "fraction"),
+            rows,
+            title="Forward-closure size vs attacker strength",
+        )
+    )
+    benchmark.extra_info["pav"] = sizes
+    assert sizes["passive_observer"] == 0
+    assert sizes["baseline_sms_rig"] > 0.85 * total
+    assert sizes["sms_plus_se_database"] >= sizes["baseline_sms_rig"]

@@ -1,0 +1,56 @@
+"""Scalability of the ActFort pipeline (supports the paper's future-work
+note about automating measurement of larger ecosystems).
+
+Sweeps the ecosystem size and reports the wall time of the full analysis
+(stages 1-4 including dependency levels) per size; the benchmarked payload
+is the paper-scale 201-service analysis.
+"""
+
+import time
+
+from repro.catalog.builder import CatalogBuilder
+from repro.catalog.spec import CatalogSpec
+from repro.core import ActFort
+from repro.model.factors import Platform
+from repro.utils.tables import format_table
+
+
+def _analyze(ecosystem) -> None:
+    analyzer = ActFort.from_ecosystem(ecosystem)
+    analyzer.tdg().level_fractions(Platform.WEB)
+    analyzer.potential_victims()
+
+
+def test_bench_actfort_scaling(benchmark):
+    sizes = (51, 101, 201, 402)
+    ecosystems = {}
+    for size in sizes:
+        spec = CatalogSpec(total_services=size)
+        ecosystems[size] = CatalogBuilder(spec, seed=2021).build_ecosystem()
+
+    benchmark.pedantic(
+        lambda: _analyze(ecosystems[201]), rounds=3, iterations=1
+    )
+
+    rows = []
+    timings = {}
+    for size in sizes:
+        start = time.perf_counter()
+        _analyze(ecosystems[size])
+        elapsed = time.perf_counter() - start
+        timings[size] = elapsed
+        rows.append((size, f"{elapsed:.2f}s"))
+    print(
+        "\n"
+        + format_table(
+            ("services", "full ActFort analysis"),
+            rows,
+            title="ActFort scaling (stages 1-4 + dependency levels)",
+        )
+    )
+    benchmark.extra_info["timings"] = {str(k): v for k, v in timings.items()}
+
+    # Paper-scale analysis completes in interactive time, and the growth
+    # from 51 to 402 services stays well under cubic.
+    assert timings[201] < 30.0
+    assert timings[402] < 64.0 * timings[51] + 1.0

@@ -1,0 +1,122 @@
+"""Fig. 5/6 + Section V-A-2: passive GSM sniffing.
+
+The paper's rig monitors frequency points with 16 C118 phones.  The
+benchmark sweeps the number of monitors and measures the OTP interception
+rate on an A5/1 cell (cracking succeeds ~90% of the time, as the published
+attacks report), reproducing the operational shape: more monitors -> more
+captured codes, with the full 16-monitor rig near the crack ceiling.
+"""
+
+from repro.model.identity import IdentityGenerator
+from repro.telecom.cipher import CipherSuite, CrackModel
+from repro.telecom.network import GSMNetwork, RadioTech
+from repro.telecom.sniffer import OsmocomSniffer
+from repro.utils.clock import Clock
+from repro.utils.rng import SeedSequence
+from repro.utils.tables import format_table
+
+_ARFCNS = tuple(range(512, 528))  # a 16-frequency cell
+_SENDS = 60
+
+
+def _interception_rate(monitors: int, seed: int = 11) -> dict:
+    seeds = SeedSequence(seed)
+    clock = Clock()
+    network = GSMNetwork(clock=clock, seeds=seeds)
+    network.add_cell("cell", arfcns=_ARFCNS, cipher=CipherSuite.A5_1)
+    victim = IdentityGenerator(seed).generate()
+    network.provision_phone(
+        victim.cellphone_number, "cell", preferred_tech=RadioTech.GSM
+    )
+    sniffer = OsmocomSniffer(
+        network,
+        "cell",
+        monitors=monitors,
+        crack_model=CrackModel(
+            success_probability=0.9,
+            crack_seconds=30.0,
+            rng=seeds.stream("crack"),
+        ),
+    )
+    sniffer.start()
+    for index in range(_SENDS):
+        clock.advance(61.0)
+        network.deliver_sms(
+            victim.cellphone_number,
+            f"your code is {100000 + index}",
+            sender="svc",
+        )
+    stats = sniffer.stats
+    stats["rate"] = stats["captured"] / _SENDS
+    return stats
+
+
+def test_bench_sms_sniffing_sweep(benchmark):
+    def full_rig():
+        return _interception_rate(monitors=16)
+
+    full = benchmark(full_rig)
+
+    rows = []
+    rates = {}
+    for monitors in (1, 2, 4, 8, 16):
+        stats = _interception_rate(monitors)
+        rates[monitors] = stats["rate"]
+        rows.append(
+            (
+                monitors,
+                f"{100 * stats['rate']:.1f}%",
+                stats["missed_dark_arfcn"],
+                stats["missed_crack_failure"],
+            )
+        )
+    print(
+        "\n"
+        + format_table(
+            ("C118 monitors", "interception rate", "dark-ARFCN misses", "crack failures"),
+            rows,
+            title="Passive sniffing: interception rate vs rig size (A5/1 cell)",
+        )
+    )
+    benchmark.extra_info["rates"] = {str(k): v for k, v in rates.items()}
+
+    # Shape: monotone-ish growth, full rig near the 90% crack ceiling,
+    # a single monitor misses most of a 16-ARFCN cell.
+    assert rates[1] < 0.25
+    assert rates[16] > 0.75
+    assert rates[16] > rates[4] > rates[1]
+    assert full["missed_dark_arfcn"] == 0  # 16 monitors cover all 16 ARFCNs
+
+
+def test_bench_sniffing_a50_vs_a51(benchmark):
+    """Unencrypted cells ("many GSM networks have no data encryption")
+    yield every burst instantly; A5/1 costs the crack failures + delay."""
+
+    def run_a50():
+        seeds = SeedSequence(3)
+        clock = Clock()
+        network = GSMNetwork(clock=clock, seeds=seeds)
+        network.add_cell("cell", arfcns=_ARFCNS, cipher=CipherSuite.A5_0)
+        victim = IdentityGenerator(3).generate()
+        network.provision_phone(
+            victim.cellphone_number, "cell", preferred_tech=RadioTech.GSM
+        )
+        sniffer = OsmocomSniffer(network, "cell", monitors=16)
+        sniffer.start()
+        for index in range(_SENDS):
+            clock.advance(61.0)
+            network.deliver_sms(
+                victim.cellphone_number,
+                f"your code is {200000 + index}",
+                sender="svc",
+            )
+        return sniffer.stats["captured"] / _SENDS
+
+    a50_rate = benchmark(run_a50)
+    a51_rate = _interception_rate(16)["rate"]
+    print(
+        f"\nA5/0 interception rate: {100 * a50_rate:.1f}% | "
+        f"A5/1: {100 * a51_rate:.1f}%"
+    )
+    assert a50_rate == 1.0
+    assert a51_rate < a50_rate

@@ -1,0 +1,48 @@
+"""Table I: private information obtained from accounts after log-in.
+
+Regenerates the per-kind exposure percentages for web and mobile and
+compares each cell against the paper's published value.
+"""
+
+from repro.analysis.figures import table1_rows
+from repro.catalog.spec import TABLE1_MOBILE, TABLE1_WEB
+from repro.core.collection import exposure_table
+from repro.model.factors import Platform
+from repro.utils.tables import format_table
+
+
+def test_bench_table1_exposure(benchmark, actfort, measurement):
+    reports = actfort.collection_reports
+
+    def regenerate():
+        return {
+            platform: exposure_table(reports, platform)
+            for platform in (Platform.WEB, Platform.MOBILE)
+        }
+
+    tables = benchmark(regenerate)
+
+    rows = table1_rows(measurement)
+    print(
+        "\n"
+        + format_table(
+            ("kind", "web %", "paper", "mobile %", "paper"),
+            rows,
+            title="Table I -- exposed personal information after log-in",
+        )
+    )
+    benchmark.extra_info["rows"] = [" | ".join(r) for r in rows]
+
+    for platform, paper in ((Platform.WEB, TABLE1_WEB), (Platform.MOBILE, TABLE1_MOBILE)):
+        for kind, expected in paper.items():
+            measured = tables[platform][kind]
+            assert abs(measured - expected) < 0.10, (platform, kind, measured)
+
+    # Headline shape: mobile apps leak more than websites for most kinds,
+    # and the top-three kinds match the paper's ranking candidates.
+    mobile_higher = sum(
+        1
+        for kind in TABLE1_WEB
+        if tables[Platform.MOBILE][kind] > tables[Platform.WEB][kind]
+    )
+    assert mobile_higher >= 7

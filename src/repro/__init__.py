@@ -1,0 +1,93 @@
+"""Reproduction of "SMS Goes Nuclear: Fortifying SMS-Based MFA in Online
+Account Ecosystem" (DSN 2021).
+
+The library has three layers:
+
+- **Substrates**: a simulated internet of account services
+  (:mod:`repro.websim`), a simulated GSM network with passive sniffing and
+  active MitM rigs (:mod:`repro.telecom`), and a calibrated 201-service
+  ecosystem generator (:mod:`repro.catalog`).
+- **ActFort** (:mod:`repro.core`): the paper's analysis framework --
+  authentication-process analysis, personal-information collection, the
+  Transformation Dependency Graph, and the strategy engine that outputs
+  attack paths.
+- **Applications**: the Chain Reaction Attack engine and the paper's three
+  case studies (:mod:`repro.attack`), the Section IV measurement study
+  (:mod:`repro.analysis`), and the Section VII countermeasures
+  (:mod:`repro.defense`).
+
+Quickstart::
+
+    from repro import ActFort, CatalogBuilder
+
+    deployed = CatalogBuilder().deploy()
+    actfort = ActFort.from_ecosystem(deployed.ecosystem)
+    chain = actfort.attack_chain("alipay")
+    print(chain.describe())
+"""
+
+from repro.model import (
+    AttackerCapability,
+    AttackerProfile,
+    AuthPath,
+    AuthPurpose,
+    CredentialFactor,
+    Ecosystem,
+    Identity,
+    IdentityGenerator,
+    OnlineAccount,
+    PathType,
+    PersonalInfoKind,
+    Platform,
+    ServiceProfile,
+)
+from repro.core import (
+    ActFort,
+    AttackChain,
+    DependencyLevel,
+    StrategyEngine,
+    TransformationDependencyGraph,
+)
+from repro.catalog import CatalogBuilder, DeployedEcosystem, build_default_ecosystem
+from repro.websim import Internet
+from repro.telecom import ActiveMitM, FourGJammer, GSMNetwork, OsmocomSniffer
+from repro.attack import ChainExecutor, SnifferInterception
+from repro.analysis import MeasurementStudy, compute_insights
+from repro.defense import DefenseEvaluation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ActFort",
+    "ActiveMitM",
+    "AttackChain",
+    "AttackerCapability",
+    "AttackerProfile",
+    "AuthPath",
+    "AuthPurpose",
+    "CatalogBuilder",
+    "ChainExecutor",
+    "CredentialFactor",
+    "DefenseEvaluation",
+    "DependencyLevel",
+    "DeployedEcosystem",
+    "Ecosystem",
+    "FourGJammer",
+    "GSMNetwork",
+    "Identity",
+    "IdentityGenerator",
+    "Internet",
+    "MeasurementStudy",
+    "OnlineAccount",
+    "OsmocomSniffer",
+    "PathType",
+    "PersonalInfoKind",
+    "Platform",
+    "ServiceProfile",
+    "SnifferInterception",
+    "StrategyEngine",
+    "TransformationDependencyGraph",
+    "build_default_ecosystem",
+    "compute_insights",
+    "__version__",
+]

@@ -1,0 +1,105 @@
+"""The measurement study of Section IV.
+
+:class:`MeasurementStudy` evaluates ActFort over an ecosystem -- either
+from static profiles (fast; the default for the 201-service catalog) or by
+black-box probing a deployed internet (faithful; used by the integration
+tests) -- and aggregates every statistic the paper reports.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Mapping, Optional
+
+from repro.core.actfort import ActFort
+from repro.core.authproc import aggregate_path_statistics
+from repro.core.collection import exposure_table
+from repro.core.tdg import DependencyLevel
+from repro.model.attacker import AttackerProfile
+from repro.model.ecosystem import Ecosystem
+from repro.model.factors import PersonalInfoKind, Platform
+from repro.websim.internet import Internet
+
+
+@dataclasses.dataclass(frozen=True)
+class MeasurementResults:
+    """Everything Section IV reports, as data."""
+
+    service_count: int
+    total_auth_paths: int
+    distinct_path_signatures: int
+    #: Fig. 3 aggregates per platform (see ``aggregate_path_statistics``).
+    fig3: Mapping[Platform, Mapping[str, float]]
+    #: Table I per platform: kind -> fraction of services exposing it.
+    table1: Mapping[Platform, Mapping[PersonalInfoKind, float]]
+    #: Section IV-B dependency-level fractions per platform.
+    dependency: Mapping[Platform, Mapping[DependencyLevel, float]]
+
+    def summary_lines(self) -> list:
+        """Compact text summary used by examples and benches."""
+        lines = [
+            f"services analyzed: {self.service_count}",
+            f"authentication paths: {self.total_auth_paths} "
+            f"({self.distinct_path_signatures} distinct factor signatures)",
+        ]
+        for platform, stats in self.fig3.items():
+            lines.append(
+                f"[{platform.value}] SMS-only sign-in "
+                f"{100 * stats['sms_only_signin']:.1f}% vs reset "
+                f"{100 * stats['sms_only_reset']:.1f}%; SMS anywhere "
+                f"{100 * stats['uses_sms_anywhere']:.1f}%"
+            )
+        for platform, fractions in self.dependency.items():
+            rendered = ", ".join(
+                f"{level.value}={100 * fraction:.2f}%"
+                for level, fraction in fractions.items()
+            )
+            lines.append(f"[{platform.value}] {rendered}")
+        return lines
+
+
+class MeasurementStudy:
+    """Runs the full Section IV measurement over one ecosystem."""
+
+    def __init__(self, attacker: Optional[AttackerProfile] = None) -> None:
+        self._attacker = attacker if attacker is not None else AttackerProfile.baseline()
+
+    def run_on_ecosystem(self, ecosystem: Ecosystem) -> MeasurementResults:
+        """Profile-mode measurement (no live services needed)."""
+        actfort = ActFort.from_ecosystem(ecosystem, attacker=self._attacker)
+        return self._aggregate(actfort)
+
+    def run_on_internet(self, internet: Internet) -> MeasurementResults:
+        """Probe-mode measurement against deployed services."""
+        actfort = ActFort.from_internet(internet, attacker=self._attacker)
+        return self._aggregate(actfort)
+
+    def run_actfort(self, actfort: ActFort) -> MeasurementResults:
+        """Aggregate a pre-built ActFort instance."""
+        return self._aggregate(actfort)
+
+    def _aggregate(self, actfort: ActFort) -> MeasurementResults:
+        auth_reports = actfort.auth_reports
+        collection_reports = actfort.collection_reports
+        tdg = actfort.tdg()
+
+        fig3: Dict[Platform, Mapping[str, float]] = {}
+        table1: Dict[Platform, Mapping[PersonalInfoKind, float]] = {}
+        dependency: Dict[Platform, Mapping[DependencyLevel, float]] = {}
+        for platform in (Platform.WEB, Platform.MOBILE):
+            fig3[platform] = aggregate_path_statistics(auth_reports, platform)
+            table1[platform] = exposure_table(collection_reports, platform)
+            dependency[platform] = tdg.level_fractions(platform)
+
+        total_paths = sum(len(r.paths()) for r in auth_reports.values())
+        signatures = sum(
+            r.distinct_path_signatures for r in auth_reports.values()
+        )
+        return MeasurementResults(
+            service_count=len(auth_reports),
+            total_auth_paths=total_paths,
+            distinct_path_signatures=signatures,
+            fig3=fig3,
+            table1=table1,
+            dependency=dependency,
+        )

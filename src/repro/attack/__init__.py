@@ -1,0 +1,58 @@
+"""The Chain Reaction Attack engine.
+
+Section V's three attack steps, as executable code against the simulated
+infrastructure:
+
+1. **Attack path generation** is ActFort's job (:mod:`repro.core.strategy`);
+   the bootstrap inputs (victim phone number and address) come from
+   :mod:`repro.attack.recon` -- a synthetic leaked-PII database for targeted
+   attacks, a phishing-Wi-Fi model for random ones.
+2. **SMS code interception** adapters in :mod:`repro.attack.interception`
+   wrap the passive sniffer and the active MitM rig behind one interface.
+3. **High-value account intrusion** is :mod:`repro.attack.executor`: it
+   replays an :class:`~repro.core.strategy.AttackChain` step by step --
+   requesting OTPs, intercepting them, harvesting profile pages, combining
+   masked views, reading compromised mailboxes -- until the target falls.
+
+:mod:`repro.attack.scenarios` packages the paper's Cases I-III as
+end-to-end runnable scenarios.
+"""
+
+from repro.attack.recon import PhishingWifi, SocialEngineeringDatabase, VictimDossier
+from repro.attack.interception import (
+    InterceptionError,
+    MitMInterception,
+    SMSInterceptor,
+    SnifferInterception,
+)
+from repro.attack.executor import (
+    ChainExecutionResult,
+    ChainExecutor,
+    StepResult,
+)
+from repro.attack.scenarios import (
+    ScenarioResult,
+    run_case_i_baidu_wallet,
+    run_case_ii_paypal_via_gmail,
+    run_case_iii_alipay_via_ctrip,
+)
+from repro.attack.random_attack import CampaignResult, RandomAttackCampaign
+
+__all__ = [
+    "CampaignResult",
+    "RandomAttackCampaign",
+    "ChainExecutionResult",
+    "ChainExecutor",
+    "InterceptionError",
+    "MitMInterception",
+    "PhishingWifi",
+    "SMSInterceptor",
+    "ScenarioResult",
+    "SnifferInterception",
+    "SocialEngineeringDatabase",
+    "StepResult",
+    "VictimDossier",
+    "run_case_i_baidu_wallet",
+    "run_case_ii_paypal_via_gmail",
+    "run_case_iii_alipay_via_ctrip",
+]

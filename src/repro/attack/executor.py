@@ -1,0 +1,350 @@
+"""Replaying an ActFort attack chain against the simulated internet.
+
+The :class:`ChainExecutor` is step 3 of the Chain Reaction Attack
+("high-value account intrusion"): it takes the
+:class:`~repro.core.strategy.AttackChain` the strategy engine produced and
+actually performs each takeover -- requesting OTP codes and intercepting
+them over the air, harvesting every profile page of each fallen account,
+combining masked views into full values (Insight 4), reading compromised
+mailboxes for email codes (Case II), presenting harvested dossiers to
+customer service (Case III's web path) -- until the target account is under
+attacker control.
+
+The executor only ever uses attacker-legitimate powers: the victim's phone
+number from recon, the interception rig, and whatever fell out of earlier
+steps.  It never touches victim-side state (handsets, device secrets).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.attack.interception import InterceptionError, SMSInterceptor
+from repro.attack.recon import VictimDossier
+from repro.catalog.builder import DeployedEcosystem
+from repro.core.strategy import AttackChain, ChainStep
+from repro.core.tdg import DOSSIER_KINDS
+from repro.model.account import AuthPurpose
+from repro.model.factors import (
+    CredentialFactor,
+    PersonalInfoKind,
+    info_satisfying_factor,
+)
+from repro.model.identity import MaskedValue, combine_views
+from repro.websim.errors import RateLimited, WebSimError
+from repro.websim.service import SimulatedService
+from repro.websim.sessions import Session
+
+_CODE_RE = re.compile(r"code is (\d+)")
+
+
+class AttackFailure(Exception):
+    """A chain step could not be completed."""
+
+
+@dataclasses.dataclass(frozen=True)
+class StepResult:
+    """Outcome of one chain step."""
+
+    service: str
+    path_description: str
+    ok: bool
+    detail: str
+    harvested_kinds: Tuple[PersonalInfoKind, ...] = ()
+
+
+@dataclasses.dataclass(frozen=True)
+class ChainExecutionResult:
+    """Outcome of one full chain execution."""
+
+    chain: AttackChain
+    success: bool
+    steps: Tuple[StepResult, ...]
+    harvested: Mapping[PersonalInfoKind, str]
+    target_session: Optional[Session]
+    failure_reason: Optional[str] = None
+
+    def describe(self) -> str:
+        """Human-readable execution transcript."""
+        lines = [
+            f"chain execution -> {self.chain.target}: "
+            + ("SUCCESS" if self.success else f"FAILED ({self.failure_reason})")
+        ]
+        for step in self.steps:
+            marker = "ok " if step.ok else "FAIL"
+            lines.append(f"  [{marker}] {step.service}: {step.detail}")
+        return "\n".join(lines)
+
+
+class ChainExecutor:
+    """Executes attack chains against one deployed ecosystem."""
+
+    def __init__(
+        self,
+        deployed: DeployedEcosystem,
+        interceptor: SMSInterceptor,
+        dossier: Optional[VictimDossier] = None,
+    ) -> None:
+        self._deployed = deployed
+        self._internet = deployed.internet
+        self._clock = deployed.clock
+        self._interceptor = interceptor
+        self._dossier = dossier
+
+    def execute(
+        self, chain: AttackChain, victim_phone: str
+    ) -> ChainExecutionResult:
+        """Run ``chain`` against the victim reachable at ``victim_phone``."""
+        harvested: Dict[PersonalInfoKind, str] = {
+            PersonalInfoKind.CELLPHONE_NUMBER: victim_phone
+        }
+        if self._dossier is not None:
+            harvested.update(self._dossier.facts)
+        views: Dict[PersonalInfoKind, List[MaskedValue]] = {}
+        sessions: Dict[str, Session] = {}
+        step_results: List[StepResult] = []
+
+        for step in chain.steps:
+            try:
+                session, gained = self._execute_step(
+                    step, victim_phone, harvested, views, sessions
+                )
+            except (AttackFailure, WebSimError, InterceptionError) as exc:
+                step_results.append(
+                    StepResult(
+                        service=step.service,
+                        path_description=step.path.describe(),
+                        ok=False,
+                        detail=str(exc),
+                    )
+                )
+                return ChainExecutionResult(
+                    chain=chain,
+                    success=False,
+                    steps=tuple(step_results),
+                    harvested=dict(harvested),
+                    target_session=None,
+                    failure_reason=f"{step.service}: {exc}",
+                )
+            sessions[step.service] = session
+            step_results.append(
+                StepResult(
+                    service=step.service,
+                    path_description=step.path.describe(),
+                    ok=True,
+                    detail=f"took over via {step.path.describe()}",
+                    harvested_kinds=tuple(sorted(gained, key=lambda k: k.value)),
+                )
+            )
+
+        return ChainExecutionResult(
+            chain=chain,
+            success=True,
+            steps=tuple(step_results),
+            harvested=dict(harvested),
+            target_session=sessions.get(chain.target),
+        )
+
+    # ------------------------------------------------------------------
+    # One step
+    # ------------------------------------------------------------------
+
+    def _execute_step(
+        self,
+        step: ChainStep,
+        victim_phone: str,
+        harvested: Dict[PersonalInfoKind, str],
+        views: Dict[PersonalInfoKind, List[MaskedValue]],
+        sessions: Dict[str, Session],
+    ) -> Tuple[Session, Tuple[PersonalInfoKind, ...]]:
+        service = self._internet.service(step.service)
+        path = step.path
+        supplied: Dict[CredentialFactor, object] = {}
+        for factor in sorted(path.factors, key=lambda f: f.value):
+            supplied[factor] = self._supply_factor(
+                factor, step, service, victim_phone, harvested, views, sessions
+            )
+
+        if path.purpose is AuthPurpose.SIGN_IN:
+            session = service.sign_in(path.platform, victim_phone, supplied)
+        else:
+            session = service.reset_password(
+                path.platform,
+                victim_phone,
+                supplied,
+                new_password=f"pwned-{step.service}",
+            )
+        gained = self._scrape(service, session, harvested, views)
+        return session, gained
+
+    def _scrape(
+        self,
+        service: SimulatedService,
+        session: Session,
+        harvested: Dict[PersonalInfoKind, str],
+        views: Dict[PersonalInfoKind, List[MaskedValue]],
+    ) -> Tuple[PersonalInfoKind, ...]:
+        """Read every platform's profile page of a fallen account."""
+        gained: List[PersonalInfoKind] = []
+        for platform in sorted(
+            service.profile.platforms, key=lambda p: p.value
+        ):
+            page = service.profile_page(session, platform)
+            for kind, value in page.complete_values().items():
+                if kind not in harvested:
+                    harvested[kind] = value
+                    gained.append(kind)
+            for kind, view in page.masked_views().items():
+                views.setdefault(kind, []).append(view)
+                # Combining rule: if the accumulated views now reconstruct
+                # the full value, promote it to harvested (Insight 4).
+                if kind not in harvested:
+                    try:
+                        combined = combine_views(views[kind])
+                    except ValueError:
+                        combined = None
+                    if combined is not None:
+                        harvested[kind] = combined
+                        gained.append(kind)
+        return tuple(gained)
+
+    # ------------------------------------------------------------------
+    # Factor acquisition
+    # ------------------------------------------------------------------
+
+    def _supply_factor(
+        self,
+        factor: CredentialFactor,
+        step: ChainStep,
+        service: SimulatedService,
+        victim_phone: str,
+        harvested: Dict[PersonalInfoKind, str],
+        views: Dict[PersonalInfoKind, List[MaskedValue]],
+        sessions: Dict[str, Session],
+    ) -> object:
+        if factor is CredentialFactor.SMS_CODE:
+            return self._intercept_sms_code(
+                service, victim_phone, step.path.purpose
+            )
+        if factor in (CredentialFactor.EMAIL_CODE, CredentialFactor.EMAIL_LINK):
+            return self._read_email_code(
+                factor, service, victim_phone, harvested, sessions, step
+            )
+        if factor is CredentialFactor.LINKED_ACCOUNT:
+            for provider in sorted(step.path.linked_providers):
+                if provider in sessions:
+                    return sessions[provider]
+            raise AttackFailure(
+                f"no controlled session for any linked provider of "
+                f"{step.service!r}"
+            )
+        if factor is CredentialFactor.CUSTOMER_SERVICE:
+            dossier = {
+                kind: harvested[kind]
+                for kind in DOSSIER_KINDS
+                if kind in harvested
+            }
+            if PersonalInfoKind.ACQUAINTANCE_NAME in dossier:
+                dossier[PersonalInfoKind.ACQUAINTANCE_NAME] = dossier[
+                    PersonalInfoKind.ACQUAINTANCE_NAME
+                ].split(";")[0]
+            if len(dossier) < 3:
+                raise AttackFailure(
+                    "dossier too thin to social-engineer customer service"
+                )
+            return dossier
+        if factor is CredentialFactor.USERNAME:
+            for kind in (PersonalInfoKind.USER_ID, PersonalInfoKind.EMAIL_ADDRESS):
+                if kind in harvested:
+                    return harvested[kind]
+            raise AttackFailure("no harvested handle usable as username")
+        if factor is CredentialFactor.ACQUAINTANCE_NAME:
+            value = harvested.get(PersonalInfoKind.ACQUAINTANCE_NAME)
+            if value is None:
+                chat = harvested.get(PersonalInfoKind.CHAT_HISTORY)
+                if chat is None:
+                    raise AttackFailure("no acquaintance information harvested")
+                raise AttackFailure(
+                    "chat history harvested but no acquaintance extraction "
+                    "implemented for this marker value"
+                )
+            return value.split(";")[0]
+        # Generic knowledge factors: any harvested kind that satisfies the
+        # factor per the transformation mapping.
+        for kind in sorted(info_satisfying_factor(factor), key=lambda k: k.value):
+            if kind in harvested:
+                return harvested[kind]
+        # Last resort: combine masked views gathered so far.
+        for kind in sorted(info_satisfying_factor(factor), key=lambda k: k.value):
+            if kind in views:
+                try:
+                    combined = combine_views(views[kind])
+                except ValueError:
+                    combined = None
+                if combined is not None:
+                    harvested[kind] = combined
+                    return combined
+        raise AttackFailure(f"cannot supply credential factor {factor}")
+
+    def _intercept_sms_code(
+        self,
+        service: SimulatedService,
+        victim_phone: str,
+        purpose: AuthPurpose,
+    ) -> str:
+        def trigger() -> None:
+            try:
+                service.request_otp(
+                    victim_phone, CredentialFactor.SMS_CODE, purpose
+                )
+            except RateLimited as exc:
+                # The attacker simply waits out the resend window.
+                self._clock.advance(exc.retry_after + 1.0)
+                service.request_otp(
+                    victim_phone, CredentialFactor.SMS_CODE, purpose
+                )
+
+        ttl = service.otp_manager.policy.ttl
+        return self._interceptor.obtain_code(service.name, trigger, otp_ttl=ttl)
+
+    def _read_email_code(
+        self,
+        factor: CredentialFactor,
+        service: SimulatedService,
+        victim_phone: str,
+        harvested: Dict[PersonalInfoKind, str],
+        sessions: Dict[str, Session],
+        step: ChainStep,
+    ) -> str:
+        email = harvested.get(PersonalInfoKind.EMAIL_ADDRESS)
+        if email is None:
+            raise AttackFailure(
+                "victim email address not yet harvested; cannot receive "
+                "email codes"
+            )
+        provider_name = self._internet.email_provider_for(email)
+        if provider_name is None:
+            raise AttackFailure(f"no known provider for {email!r}")
+        provider_session = sessions.get(provider_name)
+        if provider_session is None:
+            raise AttackFailure(
+                f"email provider {provider_name!r} not compromised; "
+                "cannot read the mailbox"
+            )
+        try:
+            service.request_otp(victim_phone, factor, step.path.purpose)
+        except RateLimited as exc:
+            self._clock.advance(exc.retry_after + 1.0)
+            service.request_otp(victim_phone, factor, step.path.purpose)
+        messages = self._internet.read_mailbox(email, provider_session)
+        for message in reversed(messages):
+            if message.sender != service.name:
+                continue
+            match = _CODE_RE.search(message.body)
+            if match:
+                return match.group(1)
+        raise AttackFailure(
+            f"no email code from {service.name!r} found in {email!r}"
+        )

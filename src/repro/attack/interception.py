@@ -1,0 +1,115 @@
+"""Uniform interface over the two SMS-interception rigs.
+
+The chain executor does not care whether codes come from passive GSM
+sniffing or an active fake base station; it asks an :class:`SMSInterceptor`
+to trigger the OTP dispatch and hand back the code.  Both adapters account
+for the operational physics:
+
+- :class:`SnifferInterception` waits out the A5/1 cracking delay on the
+  shared logical clock and honours the OTP's expiry deadline -- a code
+  cracked too late is useless.
+- :class:`MitMInterception` swallows the message entirely (the victim never
+  sees it), which is the stealth advantage Section V attributes to the
+  active attack.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol
+
+from repro.telecom.mitm import ActiveMitM
+from repro.telecom.sniffer import OsmocomSniffer
+from repro.utils.clock import Clock
+
+
+class InterceptionError(Exception):
+    """The rig failed to produce a usable code."""
+
+
+class SMSInterceptor(Protocol):
+    """Anything that can turn an OTP dispatch into a code string."""
+
+    def obtain_code(
+        self, sender: str, trigger: Callable[[], None], otp_ttl: float = 300.0
+    ) -> str:
+        """Trigger the dispatch via ``trigger`` and return the code.
+
+        Raises :class:`InterceptionError` when the code could not be
+        captured (dark frequency, failed crack, rig out of range...).
+        """
+
+
+class SnifferInterception:
+    """Passive capture through an :class:`~repro.telecom.sniffer.OsmocomSniffer`.
+
+    A single A5/1 crack fails with probability ~0.1, so the adapter retries
+    by waiting out the service's resend window and triggering a fresh code
+    -- exactly what an attacker at a laptop would do.
+    """
+
+    def __init__(
+        self,
+        sniffer: OsmocomSniffer,
+        clock: Clock,
+        max_attempts: int = 4,
+        resend_wait: float = 61.0,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        self._sniffer = sniffer
+        self._clock = clock
+        self._max_attempts = max_attempts
+        self._resend_wait = resend_wait
+        self._sniffer.start()
+
+    def obtain_code(
+        self, sender: str, trigger: Callable[[], None], otp_ttl: float = 300.0
+    ) -> str:
+        last_stats = {}
+        for attempt in range(self._max_attempts):
+            if attempt > 0:
+                # Wait out the resend window before asking for a new code.
+                self._clock.advance(self._resend_wait)
+            requested_at = self._clock.now()
+            trigger()
+            deadline = requested_at + otp_ttl
+            captures = self._sniffer.codes_from(
+                sender, since=requested_at, ready_by=deadline
+            )
+            if captures:
+                capture = captures[-1]
+                # Cracking takes wall time: move the clock to the moment
+                # the plaintext became available (never backwards).
+                if capture.available_at > self._clock.now():
+                    self._clock.advance(
+                        capture.available_at - self._clock.now()
+                    )
+                return capture.otp_code  # type: ignore[return-value]
+            last_stats = self._sniffer.stats
+        raise InterceptionError(
+            f"sniffer captured no usable code from {sender!r} after "
+            f"{self._max_attempts} attempts (stats: {last_stats})"
+        )
+
+
+class MitMInterception:
+    """Active capture through a fake base station already holding the victim."""
+
+    def __init__(self, mitm: ActiveMitM, clock: Clock) -> None:
+        self._mitm = mitm
+        self._clock = clock
+
+    def obtain_code(
+        self, sender: str, trigger: Callable[[], None], otp_ttl: float = 300.0
+    ) -> str:
+        requested_at = self._clock.now()
+        trigger()
+        code: Optional[str] = self._mitm.latest_code_from(
+            sender, since=requested_at
+        )
+        if code is None:
+            raise InterceptionError(
+                f"MitM rig intercepted no code from {sender!r}; "
+                "is the victim captured?"
+            )
+        return code

@@ -1,0 +1,140 @@
+"""The Random Attack mode of Section II.
+
+"The attacker aims to attack arbitrary victims nearby and has no knowledge
+about the victims in advance.  In practice, the attack can be conducted in
+the airports or the railway stations which have a large flow of people."
+
+A :class:`RandomAttackCampaign` is that scenario end to end: deploy a
+phishing Wi-Fi access point in the rig's cell to harvest phone numbers,
+optionally enrich each mark from a leaked-PII database, then run the same
+ActFort-generated chain against every harvested victim.  The campaign
+result aggregates per-victim outcomes -- the paper's point being that the
+attack scales to *arbitrary* victims because it needs nothing
+victim-specific beyond the phone number.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.attack.executor import ChainExecutionResult, ChainExecutor
+from repro.attack.interception import SnifferInterception
+from repro.attack.recon import PhishingWifi, SocialEngineeringDatabase
+from repro.catalog.builder import DeployedEcosystem
+from repro.core.actfort import ActFort
+from repro.model.factors import Platform
+from repro.telecom.cipher import CrackModel
+from repro.telecom.sniffer import OsmocomSniffer
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignResult:
+    """Aggregate outcome of one random-attack campaign."""
+
+    cell_id: str
+    target: str
+    harvested_numbers: Tuple[str, ...]
+    executions: Dict[str, ChainExecutionResult]
+
+    @property
+    def victims_compromised(self) -> Tuple[str, ...]:
+        """Phone numbers whose target account fell."""
+        return tuple(
+            phone
+            for phone, result in self.executions.items()
+            if result.success
+        )
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of harvested marks whose target account fell."""
+        if not self.executions:
+            return 0.0
+        return len(self.victims_compromised) / len(self.executions)
+
+    def describe(self) -> str:
+        """Compact campaign summary."""
+        lines = [
+            f"random attack in cell {self.cell_id!r} against {self.target!r}:",
+            f"  phishing Wi-Fi harvested {len(self.harvested_numbers)} numbers",
+            f"  compromised {len(self.victims_compromised)}"
+            f"/{len(self.executions)} "
+            f"({100 * self.success_rate:.0f}%)",
+        ]
+        return "\n".join(lines)
+
+
+class RandomAttackCampaign:
+    """Phishing-Wi-Fi bootstrap + chain execution against a whole cell."""
+
+    def __init__(
+        self,
+        deployed: DeployedEcosystem,
+        cell_id: str,
+        target: str,
+        platform: Optional[Platform] = None,
+        wifi_hit_rate: float = 0.6,
+        se_database: Optional[SocialEngineeringDatabase] = None,
+    ) -> None:
+        if not deployed.internet.has_service(target):
+            raise KeyError(f"no service {target!r} in the deployment")
+        self._deployed = deployed
+        self._cell_id = cell_id
+        self._target = target
+        self._platform = platform
+        self._wifi_hit_rate = wifi_hit_rate
+        self._se_database = se_database
+
+    def run(self) -> CampaignResult:
+        """Execute the campaign; one sniffer rig serves every mark."""
+        deployed = self._deployed
+        wifi = PhishingWifi(
+            deployed.network,
+            self._cell_id,
+            hit_rate=self._wifi_hit_rate,
+            rng=deployed.seeds.stream("phishing-wifi"),
+        )
+        harvested = wifi.harvest()
+
+        sniffer = OsmocomSniffer(
+            deployed.network,
+            self._cell_id,
+            monitors=16,
+            crack_model=CrackModel(rng=deployed.seeds.stream("campaign-crack")),
+        )
+        interception = SnifferInterception(sniffer, deployed.clock)
+
+        actfort = ActFort.from_ecosystem(deployed.ecosystem)
+        executions: Dict[str, ChainExecutionResult] = {}
+        for phone in harvested:
+            dossier = (
+                self._se_database.lookup_by_phone(phone)
+                if self._se_database is not None
+                else None
+            )
+            victim_email = self._email_of(phone)
+            provider = (
+                deployed.internet.email_provider_for(victim_email)
+                if victim_email is not None
+                else None
+            )
+            chain = actfort.attack_chain(
+                self._target, platform=self._platform, email_provider=provider
+            )
+            if chain is None:
+                continue
+            executor = ChainExecutor(deployed, interception, dossier=dossier)
+            executions[phone] = executor.execute(chain, phone)
+        return CampaignResult(
+            cell_id=self._cell_id,
+            target=self._target,
+            harvested_numbers=harvested,
+            executions=executions,
+        )
+
+    def _email_of(self, phone: str) -> Optional[str]:
+        for victim in self._deployed.victims:
+            if victim.cellphone_number == phone:
+                return victim.email_address
+        return None

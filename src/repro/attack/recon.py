@@ -1,0 +1,136 @@
+"""Victim bootstrap: how the attacker gets a phone number to aim at.
+
+Both attack modes in Section II need the victim's cellphone number (and,
+implicitly, proximity -- the address):
+
+- **Targeted attack**: "utilize the existing illegal databases of leaked
+  personal information" -- modelled by :class:`SocialEngineeringDatabase`,
+  a synthetic leak corpus with configurable coverage per field.
+- **Random attack**: "deploy phishing WiFi at airports and railway stations
+  to get surrounding potential victims' phone numbers" -- modelled by
+  :class:`PhishingWifi`, which harvests numbers from phones camping in the
+  attacker's cell.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.model.factors import PersonalInfoKind
+from repro.model.identity import Identity
+from repro.telecom.network import GSMNetwork
+
+
+@dataclasses.dataclass(frozen=True)
+class VictimDossier:
+    """What recon produced about one victim."""
+
+    person_id: str
+    facts: Dict[PersonalInfoKind, str]
+
+    @property
+    def phone_number(self) -> Optional[str]:
+        """The victim's cellphone number, if the leak covered it."""
+        return self.facts.get(PersonalInfoKind.CELLPHONE_NUMBER)
+
+    def known_kinds(self) -> frozenset:
+        """The information kinds the dossier contains."""
+        return frozenset(self.facts)
+
+
+class SocialEngineeringDatabase:
+    """A synthetic leaked-PII corpus.
+
+    ``coverage`` maps each information kind to the probability that a given
+    victim's record includes that field; phone numbers and real names leak
+    near-universally, citizen IDs often (the paper: "severely leaked and
+    commonly traded in the black market in China").
+    """
+
+    DEFAULT_COVERAGE: Dict[PersonalInfoKind, float] = {
+        PersonalInfoKind.CELLPHONE_NUMBER: 0.95,
+        PersonalInfoKind.REAL_NAME: 0.90,
+        PersonalInfoKind.ADDRESS: 0.70,
+        PersonalInfoKind.CITIZEN_ID: 0.50,
+        PersonalInfoKind.EMAIL_ADDRESS: 0.60,
+    }
+
+    def __init__(
+        self,
+        identities: Iterable[Identity],
+        coverage: Optional[Dict[PersonalInfoKind, float]] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self._rng = rng if rng is not None else random.Random(0)
+        self._coverage = dict(coverage or self.DEFAULT_COVERAGE)
+        self._records: Dict[str, VictimDossier] = {}
+        self._by_phone: Dict[str, str] = {}
+        self._by_name: Dict[str, list] = {}
+        for identity in identities:
+            self._ingest(identity)
+
+    def _ingest(self, identity: Identity) -> None:
+        facts: Dict[PersonalInfoKind, str] = {}
+        for kind, probability in self._coverage.items():
+            if self._rng.random() < probability:
+                facts[kind] = identity.info_value(kind)
+        dossier = VictimDossier(person_id=identity.person_id, facts=facts)
+        self._records[identity.person_id] = dossier
+        phone = facts.get(PersonalInfoKind.CELLPHONE_NUMBER)
+        if phone is not None:
+            self._by_phone[phone] = identity.person_id
+        name = facts.get(PersonalInfoKind.REAL_NAME)
+        if name is not None:
+            self._by_name.setdefault(name, []).append(identity.person_id)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def lookup_by_name(self, real_name: str) -> Tuple[VictimDossier, ...]:
+        """All leaked records under a real name (names collide)."""
+        return tuple(
+            self._records[pid] for pid in self._by_name.get(real_name, ())
+        )
+
+    def lookup_by_phone(self, phone: str) -> Optional[VictimDossier]:
+        """The leaked record for a phone number, if any."""
+        person_id = self._by_phone.get(phone)
+        return self._records.get(person_id) if person_id else None
+
+    def lookup(self, person_id: str) -> Optional[VictimDossier]:
+        """Direct record access by person id (for tests/scenarios)."""
+        return self._records.get(person_id)
+
+
+class PhishingWifi:
+    """A rogue access point harvesting phone numbers in one cell.
+
+    The captive portal asks passers-by for their number "to get online";
+    within the simulation, every phone camping in the cell is a potential
+    mark and each falls for the portal with probability ``hit_rate``.
+    """
+
+    def __init__(
+        self,
+        network: GSMNetwork,
+        cell_id: str,
+        hit_rate: float = 0.3,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if not 0.0 <= hit_rate <= 1.0:
+            raise ValueError("hit_rate must be in [0, 1]")
+        network.cell(cell_id)  # validate
+        self._network = network
+        self._cell_id = cell_id
+        self._hit_rate = hit_rate
+        self._rng = rng if rng is not None else random.Random(0)
+
+    def harvest(self) -> Tuple[str, ...]:
+        """Phone numbers of victims who connected to the rogue AP."""
+        numbers = []
+        for phone in self._network.phones_in_cell(self._cell_id):
+            if self._rng.random() < self._hit_rate:
+                numbers.append(phone.msisdn)
+        return tuple(numbers)

@@ -1,0 +1,222 @@
+"""The paper's real-world case studies (Section V-B) as runnable scenarios.
+
+- **Case I** -- Baidu Wallet: the SMS code works as a one-time sign-in
+  token; once in, the attacker makes a QR payment.  No intermediate
+  account needed.
+- **Case II** -- PayPal: resetting the password needs both an SMS code and
+  an email code, so the attacker first resets the victim's Gmail-class
+  account with an intercepted SMS code, then harvests PayPal's email token
+  from the compromised mailbox.
+- **Case III** -- Alipay: the mobile app's citizen-ID + SMS reset falls once
+  the attacker pulls the full citizen ID off Ctrip (whose sign-in is an
+  SMS one-time token); the web client additionally offers a customer
+  service path that harvested personal information can social-engineer.
+
+Each scenario builds a seed-service deployment, asks ActFort for the
+attack path, executes it with real SMS interception on the simulated GSM
+network, and returns a :class:`ScenarioResult` transcript.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+from repro.attack.executor import ChainExecutionResult, ChainExecutor
+from repro.attack.interception import SnifferInterception
+from repro.attack.recon import SocialEngineeringDatabase, VictimDossier
+from repro.catalog.builder import CatalogBuilder, DeployedEcosystem
+from repro.catalog.seeds import seed_profiles
+from repro.catalog.spec import CatalogSpec
+from repro.core.actfort import ActFort
+from repro.core.strategy import AttackChain
+from repro.model.attacker import AttackerProfile
+from repro.model.factors import Platform
+from repro.model.identity import Identity
+from repro.telecom.cipher import CrackModel
+from repro.telecom.network import RadioTech
+from repro.telecom.sniffer import OsmocomSniffer
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioResult:
+    """Everything one case-study run produced."""
+
+    name: str
+    narrative: str
+    chain: AttackChain
+    execution: ChainExecutionResult
+    payment_receipt: Optional[str] = None
+
+    @property
+    def success(self) -> bool:
+        """Whether the full scenario (chain + final action) succeeded."""
+        return self.execution.success
+
+    def describe(self) -> str:
+        """Multi-line transcript."""
+        lines = [f"=== {self.name} ===", self.narrative, ""]
+        lines.append(self.chain.describe())
+        lines.append(self.execution.describe())
+        if self.payment_receipt is not None:
+            lines.append(f"payment authorized: {self.payment_receipt}")
+        return "\n".join(lines)
+
+
+def deploy_seed_ecosystem(seed: int = 2021, victims: int = 8) -> DeployedEcosystem:
+    """A live deployment containing only the paper's named services."""
+    spec = CatalogSpec(
+        total_services=len(seed_profiles()),
+        victims=victims,
+        cells=1,
+    )
+    builder = CatalogBuilder(spec, seed=seed)
+    return builder.deploy(victim_tech=RadioTech.GSM)
+
+
+def _sniffer_executor(
+    deployed: DeployedEcosystem,
+    victim: Identity,
+    dossier: Optional[VictimDossier] = None,
+) -> ChainExecutor:
+    cell = deployed.cell_of(victim)
+    sniffer = OsmocomSniffer(
+        deployed.network,
+        cell,
+        monitors=16,
+        crack_model=CrackModel(rng=deployed.seeds.stream("scenario-crack")),
+    )
+    interception = SnifferInterception(sniffer, deployed.clock)
+    return ChainExecutor(deployed, interception, dossier=dossier)
+
+
+def _victim_with_provider(
+    deployed: DeployedEcosystem, domain: str
+) -> Identity:
+    for victim in deployed.victims:
+        if victim.email_address.endswith("@" + domain):
+            return victim
+    raise RuntimeError(
+        f"no deployed victim uses the {domain!r} email domain; "
+        "increase the victim count or change the seed"
+    )
+
+
+def run_case_i_baidu_wallet(
+    deployed: Optional[DeployedEcosystem] = None,
+) -> ScenarioResult:
+    """Case I: direct SMS one-time-token login, then a QR payment."""
+    deployed = deployed if deployed is not None else deploy_seed_ecosystem()
+    victim = deployed.victim(0)
+    actfort = ActFort.from_ecosystem(deployed.ecosystem)
+    chain = actfort.attack_chain("baidu_wallet", platform=Platform.MOBILE)
+    if chain is None:
+        raise RuntimeError("ActFort found no path to baidu_wallet")
+    executor = _sniffer_executor(deployed, victim)
+    execution = executor.execute(chain, victim.cellphone_number)
+
+    receipt = None
+    if execution.success and execution.target_session is not None:
+        wallet = deployed.internet.service("baidu_wallet")
+        receipt = wallet.authorize_payment(execution.target_session, 99.0)
+    return ScenarioResult(
+        name="Case I: Baidu Wallet",
+        narrative=(
+            "SMS code used as a one-time token to log straight into the "
+            "wallet; QR payment follows with no intermediate account."
+        ),
+        chain=chain,
+        execution=execution,
+        payment_receipt=receipt,
+    )
+
+
+def run_case_ii_paypal_via_gmail(
+    deployed: Optional[DeployedEcosystem] = None,
+) -> ScenarioResult:
+    """Case II: reset Gmail by SMS, then harvest PayPal's email token."""
+    deployed = deployed if deployed is not None else deploy_seed_ecosystem()
+    victim = _victim_with_provider(deployed, "gmail.test")
+    provider = deployed.internet.email_provider_for(victim.email_address)
+    actfort = ActFort.from_ecosystem(deployed.ecosystem)
+    chain = actfort.attack_chain(
+        "paypal", platform=Platform.WEB, email_provider=provider
+    )
+    if chain is None:
+        raise RuntimeError("ActFort found no path to paypal")
+    executor = _sniffer_executor(deployed, victim)
+    execution = executor.execute(chain, victim.cellphone_number)
+    return ScenarioResult(
+        name="Case II: PayPal via Gmail",
+        narrative=(
+            "PayPal demands SMS + email codes; the email account falls to "
+            "an intercepted SMS reset first, then yields PayPal's token."
+        ),
+        chain=chain,
+        execution=execution,
+    )
+
+
+def run_case_iii_alipay_via_ctrip(
+    deployed: Optional[DeployedEcosystem] = None,
+    web_variant: bool = False,
+) -> ScenarioResult:
+    """Case III: harvest the citizen ID from Ctrip, then reset Alipay.
+
+    With ``web_variant`` the scenario targets the web client instead, whose
+    additional customer-service option falls to social engineering with the
+    harvested dossier (and requires the stronger attacker profile).
+    """
+    deployed = deployed if deployed is not None else deploy_seed_ecosystem()
+    victim = deployed.victim(0)
+    dossier: Optional[VictimDossier] = None
+    if web_variant:
+        attacker = AttackerProfile.with_se_database()
+        se_db = SocialEngineeringDatabase(
+            deployed.victims, rng=deployed.seeds.stream("se-db")
+        )
+        dossier = se_db.lookup(victim.person_id)
+        platform = Platform.WEB
+        narrative = (
+            "Web client: the customer-service reset option falls to social "
+            "engineering once enough personal facts are harvested."
+        )
+    else:
+        attacker = AttackerProfile.baseline()
+        platform = Platform.MOBILE
+        narrative = (
+            "Ctrip's SMS one-time login exposes the full citizen ID in "
+            "Frequent Travelers Info; citizen ID + SMS resets Alipay."
+        )
+    actfort = ActFort.from_ecosystem(deployed.ecosystem, attacker=attacker)
+    chain = actfort.attack_chain("alipay", platform=platform)
+    if chain is None:
+        raise RuntimeError("ActFort found no path to alipay")
+    executor = _sniffer_executor(deployed, victim, dossier=dossier)
+    execution = executor.execute(chain, victim.cellphone_number)
+
+    receipt = None
+    if execution.success and execution.target_session is not None:
+        alipay = deployed.internet.service("alipay")
+        receipt = alipay.authorize_payment(execution.target_session, 250.0)
+    return ScenarioResult(
+        name=(
+            "Case III: Alipay via Ctrip"
+            + (" (web / customer service)" if web_variant else " (mobile)")
+        ),
+        narrative=narrative,
+        chain=chain,
+        execution=execution,
+        payment_receipt=receipt,
+    )
+
+
+def run_all_cases(
+    seed: int = 2021,
+) -> Tuple[ScenarioResult, ScenarioResult, ScenarioResult]:
+    """Run Cases I-III on fresh deployments (as the paper did, separately)."""
+    return (
+        run_case_i_baidu_wallet(deploy_seed_ecosystem(seed)),
+        run_case_ii_paypal_via_gmail(deploy_seed_ecosystem(seed)),
+        run_case_iii_alipay_via_ctrip(deploy_seed_ecosystem(seed)),
+    )

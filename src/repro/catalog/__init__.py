@@ -1,0 +1,36 @@
+"""Ecosystem dataset substrate.
+
+The paper measures 201 Alexa-top services.  Those live services are not
+available offline, so this package synthesizes a stand-in ecosystem:
+
+- :mod:`repro.catalog.spec` -- the calibration targets (the paper's own
+  published marginals: Table I exposure rates, path-type proportions,
+  SMS-only percentages) expressed as generation parameters,
+- :mod:`repro.catalog.seeds` -- hand-written profiles of the named services
+  the paper's case studies and Fig. 11 use (Gmail, Ctrip, Alipay, PayPal,
+  China Railway, Baidu Pan, ...), faithful to the behaviours the paper
+  reports for each, and
+- :mod:`repro.catalog.builder` -- the generator that combines seeds with
+  synthetic services into a 201-service
+  :class:`~repro.model.ecosystem.Ecosystem`, and deploys it onto a
+  simulated internet + GSM network with enrolled victims.
+
+Aggregate statistics of the generated ecosystem are *calibrated to* the
+paper's marginals but all graph-level results (dependency levels, attack
+chains, Fig. 4 connectivity) are emergent.
+"""
+
+from repro.catalog.spec import CatalogSpec, DomainSpec, DEFAULT_SPEC
+from repro.catalog.seeds import seed_profiles, SEED_SERVICE_NAMES
+from repro.catalog.builder import CatalogBuilder, DeployedEcosystem, build_default_ecosystem
+
+__all__ = [
+    "CatalogBuilder",
+    "CatalogSpec",
+    "DEFAULT_SPEC",
+    "DeployedEcosystem",
+    "DomainSpec",
+    "SEED_SERVICE_NAMES",
+    "build_default_ecosystem",
+    "seed_profiles",
+]

@@ -1,0 +1,459 @@
+"""Synthesizing and deploying the 201-service ecosystem.
+
+:class:`CatalogBuilder` turns a :class:`~repro.catalog.spec.CatalogSpec`
+into an :class:`~repro.model.ecosystem.Ecosystem`: the hand-written seed
+services first (the paper's named services), then synthetic services drawn
+from the per-domain generation parameters until the catalog reaches its
+target size.
+
+:meth:`CatalogBuilder.deploy` then stands the ecosystem up as live
+infrastructure: a simulated internet with every service deployed, email
+domains owned by the seed email providers, a GSM network carrying the SMS
+channel, victims enrolled everywhere with phones provisioned into cells,
+and OAuth bindings registered.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.catalog.seeds import (
+    EMAIL_DOMAIN_OWNERS,
+    seed_profiles,
+)
+from repro.catalog.spec import DEFAULT_SPEC, CatalogSpec, DomainSpec
+from repro.model.account import (
+    AuthPath,
+    AuthPurpose,
+    MaskSpec,
+    ServiceProfile,
+)
+from repro.model.ecosystem import Ecosystem
+from repro.model.account import OnlineAccount
+from repro.model.factors import CredentialFactor as CF
+from repro.model.factors import PersonalInfoKind as PI
+from repro.model.factors import Platform as PL
+from repro.model.identity import Identity, IdentityGenerator
+from repro.telecom.cipher import CipherSuite
+from repro.telecom.network import GSMNetwork, RadioTech
+from repro.utils.clock import Clock
+from repro.utils.rng import SeedSequence
+from repro.websim.internet import Internet
+
+#: Masking rules providers pick from for citizen IDs -- deliberately
+#: inconsistent across providers (Insight 4).
+_CITIZEN_ID_MASKS: Tuple[MaskSpec, ...] = (
+    MaskSpec(reveal_prefix=6, reveal_suffix=4),
+    MaskSpec(reveal_prefix=4, reveal_suffix=2),
+    MaskSpec(reveal_middle=(6, 14)),
+    MaskSpec(reveal_prefix=10),
+    MaskSpec(reveal_suffix=6),
+)
+
+#: Same for bankcard numbers; never fully revealed by any single provider,
+#: but the rule *pool* jointly covers every digit position -- which is what
+#: makes the Insight-4 combining attack possible at all.
+_BANKCARD_MASKS: Tuple[MaskSpec, ...] = (
+    MaskSpec(reveal_suffix=4),
+    MaskSpec(reveal_prefix=6, reveal_suffix=4),
+    MaskSpec(reveal_prefix=4),
+    MaskSpec(reveal_middle=(4, 10)),
+    MaskSpec(reveal_middle=(8, 12)),
+)
+
+#: Extra knowledge factors info-path resets draw from.
+_INFO_FACTORS: Tuple[CF, ...] = (
+    CF.CITIZEN_ID,
+    CF.REAL_NAME,
+    CF.BANKCARD_NUMBER,
+    CF.SECURITY_QUESTION,
+    CF.ADDRESS,
+    CF.ACQUAINTANCE_NAME,
+    CF.STUDENT_ID,
+)
+
+#: Unique-path factors (Insight 5's robust end).
+_UNIQUE_FACTORS: Tuple[CF, ...] = (
+    CF.FACE_SCAN,
+    CF.FINGERPRINT,
+    CF.U2F_KEY,
+    CF.TRUSTED_DEVICE,
+    CF.AUTHENTICATOR_TOTP,
+)
+
+_IDENTITY_PROVIDERS: Tuple[str, ...] = ("gmail", "google")
+
+
+@dataclasses.dataclass
+class DeployedEcosystem:
+    """A live, attackable instance of one ecosystem."""
+
+    ecosystem: Ecosystem
+    internet: Internet
+    network: GSMNetwork
+    victims: Tuple[Identity, ...]
+    clock: Clock
+    seeds: SeedSequence
+
+    def victim(self, index: int = 0) -> Identity:
+        """Convenience accessor for one of the enrolled victims."""
+        return self.victims[index]
+
+    def cell_of(self, victim: Identity) -> str:
+        """The cell the victim's phone camps in."""
+        return self.network.phone(victim.cellphone_number).cell_id
+
+
+class CatalogBuilder:
+    """Deterministic ecosystem generator."""
+
+    def __init__(
+        self,
+        spec: CatalogSpec = DEFAULT_SPEC,
+        seed: int = 2021,
+    ) -> None:
+        self._spec = spec
+        self._seeds = SeedSequence(seed)
+        self._rng = self._seeds.stream("catalog.builder")
+
+    @property
+    def spec(self) -> CatalogSpec:
+        """The generation parameters in use."""
+        return self._spec
+
+    # ------------------------------------------------------------------
+    # Profile synthesis
+    # ------------------------------------------------------------------
+
+    def build_ecosystem(self) -> Ecosystem:
+        """Generate the full service catalog (seeds + synthetic)."""
+        profiles: List[ServiceProfile] = list(seed_profiles())
+        synthetic_needed = max(0, self._spec.total_services - len(profiles))
+        domain_of: List[DomainSpec] = self._assign_domains(synthetic_needed)
+        for index, domain in enumerate(domain_of):
+            profiles.append(self._synthesize_service(index, domain))
+        return Ecosystem(profiles)
+
+    def _assign_domains(self, count: int) -> List[DomainSpec]:
+        domains = list(self._spec.domains)
+        weights = [d.weight for d in domains]
+        return [
+            domains[self._weighted_choice(weights)] for _ in range(count)
+        ]
+
+    def _weighted_choice(self, weights: Sequence[float]) -> int:
+        total = sum(weights)
+        roll = self._rng.uniform(0.0, total)
+        cumulative = 0.0
+        for index, weight in enumerate(weights):
+            cumulative += weight
+            if roll <= cumulative:
+                return index
+        return len(weights) - 1
+
+    def _synthesize_service(
+        self, index: int, domain: DomainSpec
+    ) -> ServiceProfile:
+        rng = self._rng
+        name = f"{domain.name}_{index:03d}"
+        has_mobile = rng.random() < domain.has_mobile
+        platforms = [PL.WEB] + ([PL.MOBILE] if has_mobile else [])
+
+        # One SMS-reset policy decision per service: real providers apply
+        # (roughly) one reset policy across clients, and per-platform rolls
+        # would square away the strictness of careful domains like Fintech.
+        sms_reset_service = rng.random() < domain.sms_only_reset
+        paths: List[AuthPath] = []
+        for platform in platforms:
+            paths.extend(
+                self._paths_for_platform(name, platform, domain, sms_reset_service)
+            )
+        is_direct = any(p.is_sms_only for p in paths)
+
+        exposed: Dict[PL, frozenset] = {}
+        mask_specs: Dict[Tuple[PL, PI], MaskSpec] = {}
+        for platform in platforms:
+            kinds = self._sample_exposure(platform, domain, is_direct)
+            exposed[platform] = kinds
+            if PI.CITIZEN_ID in kinds:
+                mask_specs[(platform, PI.CITIZEN_ID)] = rng.choice(
+                    _CITIZEN_ID_MASKS
+                )
+            if PI.BANKCARD_NUMBER in kinds:
+                mask_specs[(platform, PI.BANKCARD_NUMBER)] = rng.choice(
+                    _BANKCARD_MASKS
+                )
+
+        return ServiceProfile(
+            name=name,
+            domain=domain.name,
+            auth_paths=tuple(paths),
+            exposed_info=exposed,
+            mask_specs=mask_specs,
+        )
+
+    def _paths_for_platform(
+        self,
+        name: str,
+        platform: PL,
+        domain: DomainSpec,
+        sms_reset_service: bool,
+    ) -> List[AuthPath]:
+        rng = self._rng
+        paths: List[AuthPath] = []
+
+        def add(purpose: AuthPurpose, *factors: CF, linked: Tuple[str, ...] = ()) -> None:
+            paths.append(
+                AuthPath(
+                    service=name,
+                    platform=platform,
+                    purpose=purpose,
+                    factors=frozenset(factors),
+                    linked_providers=frozenset(linked),
+                )
+            )
+
+        # Password reset first: it is the primary attack surface, and
+        # SMS-only *sign-in* correlates with it (a service relaxed enough to
+        # reset by SMS alone is the kind that offers SMS one-tap login too
+        # -- which keeps the Fig. 3 sign-in share strictly below the reset
+        # share instead of inflating the union).
+        # Mobile apps occasionally add an SMS-only reset the web end lacks
+        # (part of Insight 2's asymmetry); the base decision is per-service.
+        sms_reset = sms_reset_service or (
+            platform is PL.MOBILE and rng.random() < 0.04
+        )
+
+        # Sign-in: web keeps the classic password form; mobile apps lead
+        # with the phone number (Fig. 3's platform asymmetry).
+        if platform is PL.WEB or rng.random() < 0.30:
+            add(AuthPurpose.SIGN_IN, CF.USERNAME, CF.PASSWORD)
+        sms_signin = (
+            domain.sms_only_signin_web
+            if platform is PL.WEB
+            else domain.sms_only_signin_mobile
+        )
+        if sms_reset and rng.random() < sms_signin * 1.3:
+            add(AuthPurpose.SIGN_IN, CF.CELLPHONE_NUMBER, CF.SMS_CODE)
+        if platform is PL.WEB and rng.random() < self._spec.linked_login:
+            add(
+                AuthPurpose.SIGN_IN,
+                CF.LINKED_ACCOUNT,
+                linked=_IDENTITY_PROVIDERS,
+            )
+        # Unique-path *sign-in* options: U2F security keys on the web,
+        # fingerprint/face unlock in apps (Fig. 3's unique share counts
+        # sign-in paths too).
+        unique_signin_p = domain.unique_path * (
+            0.60 if platform is PL.MOBILE else 0.45
+        )
+        if rng.random() < min(1.0, unique_signin_p):
+            factor = (
+                rng.choice((CF.FINGERPRINT, CF.FACE_SCAN))
+                if platform is PL.MOBILE
+                else rng.choice((CF.U2F_KEY, CF.TRUSTED_DEVICE))
+            )
+            add(AuthPurpose.SIGN_IN, factor)
+
+        # Real services typically offer ONE primary reset combination per
+        # platform, occasionally a secondary one -- that keeps the paper's
+        # 405-paths-over-201-services scale and the modest category overlap
+        # behind "percentages cannot be summed up to 100%".
+        def add_info_reset() -> None:
+            extra_count = 1 if rng.random() < 0.7 else 2
+            extras = rng.sample(_INFO_FACTORS, extra_count)
+            add(
+                AuthPurpose.PASSWORD_RESET,
+                CF.CELLPHONE_NUMBER,
+                CF.SMS_CODE,
+                *extras,
+            )
+
+        def add_unique_reset() -> None:
+            add(
+                AuthPurpose.PASSWORD_RESET,
+                rng.choice(_UNIQUE_FACTORS),
+                CF.SMS_CODE,
+            )
+
+        def add_email_reset() -> None:
+            add(AuthPurpose.PASSWORD_RESET, CF.EMAIL_ADDRESS, CF.EMAIL_CODE)
+
+        # Mobile apps carry more info/unique options (ID checks, biometrics
+        # bound to the device) -- the source of Fig. 3's lower mobile
+        # general-path share.
+        mobile = platform is PL.MOBILE
+        info_w = domain.info_reset * (1.3 if mobile else 1.0)
+        unique_w = domain.unique_path * (1.35 if mobile else 1.0)
+        email_w = domain.email_reset * (0.4 if mobile else 1.0)
+
+        if sms_reset:
+            add(AuthPurpose.PASSWORD_RESET, CF.CELLPHONE_NUMBER, CF.SMS_CODE)
+        else:
+            # The primary reset is one of the stricter combinations.
+            choices = (
+                (add_info_reset, info_w),
+                (add_unique_reset, unique_w),
+                (add_email_reset, email_w),
+            )
+            total = sum(w for _, w in choices) or 1.0
+            roll = rng.uniform(0.0, total)
+            cumulative = 0.0
+            primary = add_info_reset
+            for action, weight in choices:
+                cumulative += weight
+                if roll <= cumulative:
+                    primary = action
+                    break
+            primary()
+            # Biometric-primary services almost always keep a document
+            # fallback (exactly Alipay's option list in Case III), so a
+            # unique path rarely makes a service unreachable outright.
+            if primary is add_unique_reset and rng.random() < 0.6:
+                add_info_reset()
+        # Occasionally a secondary reset combination exists alongside --
+        # much more often on mobile, whose richer option lists drive the
+        # paper's heavily-overlapping mobile category percentages.
+        if rng.random() < (0.45 if mobile else 0.12):
+            secondary = rng.choices(
+                (add_info_reset, add_unique_reset, add_email_reset),
+                weights=(
+                    max(info_w, 0.05),
+                    max(unique_w, 0.05),
+                    max(email_w, 0.05),
+                ),
+            )[0]
+            secondary()
+        return paths
+
+    def _sample_exposure(
+        self, platform: PL, domain: DomainSpec, is_direct: bool
+    ) -> frozenset:
+        rng = self._rng
+        table = (
+            self._spec.exposure_web
+            if platform is PL.WEB
+            else self._spec.exposure_mobile
+        )
+        kinds = set()
+        for kind, base in table.items():
+            boost = domain.exposure_boost.get(kind, 1.0)
+            if rng.random() < min(1.0, base * boost):
+                kinds.add(kind)
+        bankcard_p = (
+            self._spec.bankcard_exposure_web
+            if platform is PL.WEB
+            else self._spec.bankcard_exposure_mobile
+        )
+        if domain.name == "fintech":
+            bankcard_p = min(1.0, bankcard_p * 4.0)
+        if rng.random() < bankcard_p:
+            kinds.add(PI.BANKCARD_NUMBER)
+        if domain.name == "email":
+            kinds.add(PI.MAILBOX_ACCESS)
+            kinds.add(PI.EMAIL_ADDRESS)
+        if domain.name == "cloud" and rng.random() < 0.6:
+            kinds.add(PI.CLOUD_PHOTOS)
+            if rng.random() < 0.5:
+                kinds.add(PI.ID_PHOTO)
+        if domain.name == "ecommerce" and rng.random() < 0.7:
+            kinds.add(PI.ORDER_HISTORY)
+        # Scarce kinds, exposed only by services that take authentication
+        # seriously enough NOT to be SMS-only resettable: security answers
+        # live in fintech "security centers", student IDs on education
+        # portals.  Every holder therefore sits at least one layer deep,
+        # which is the raw material of the paper's two-layer chains (the
+        # JD/LinkedIn pattern: the info you need is behind an account that
+        # itself needs an email code first).
+        if not is_direct:
+            if domain.name == "fintech" and rng.random() < 0.45:
+                kinds.add(PI.SECURITY_ANSWERS)
+            if domain.name == "education" and rng.random() < 0.55:
+                kinds.add(PI.STUDENT_ID)
+        return frozenset(kinds)
+
+    # ------------------------------------------------------------------
+    # Deployment
+    # ------------------------------------------------------------------
+
+    def deploy(
+        self,
+        ecosystem: Optional[Ecosystem] = None,
+        cipher: CipherSuite = CipherSuite.A5_1,
+        victim_tech: RadioTech = RadioTech.GSM,
+    ) -> DeployedEcosystem:
+        """Stand the ecosystem up as live, attackable infrastructure."""
+        if ecosystem is None:
+            ecosystem = self.build_ecosystem()
+        clock = Clock()
+        internet = Internet(seeds=self._seeds.child("internet"), clock=clock)
+        network = GSMNetwork(clock=clock, seeds=self._seeds.child("telecom"))
+        for cell_index in range(self._spec.cells):
+            network.add_cell(
+                f"cell-{cell_index}",
+                arfcns=(512, 514, 516, 518),
+                cipher=cipher,
+            )
+        network.attach_internet(internet)
+
+        for profile in ecosystem:
+            internet.deploy(profile)
+        for domain, owner in EMAIL_DOMAIN_OWNERS.items():
+            if internet.has_service(owner):
+                internet.register_email_domain(domain, owner)
+
+        id_gen = IdentityGenerator(
+            self._seeds.derive("victims") & 0x7FFFFFFF, id_prefix="v"
+        )
+        victims = tuple(id_gen.generate_many(self._spec.victims))
+        bind_rng = self._seeds.stream("bindings")
+        accounts = []
+        for victim in victims:
+            internet.enroll_everywhere(victim, password=f"pw-{victim.person_id}")
+            network.provision_phone(
+                victim.cellphone_number,
+                f"cell-{victims.index(victim) % self._spec.cells}",
+                preferred_tech=victim_tech,
+            )
+            for profile in ecosystem:
+                accounts.append(OnlineAccount(service=profile, identity=victim))
+                self._maybe_bind(internet, bind_rng, victim, profile)
+
+        populated = Ecosystem(ecosystem.services, accounts)
+        return DeployedEcosystem(
+            ecosystem=populated,
+            internet=internet,
+            network=network,
+            victims=victims,
+            clock=clock,
+            seeds=self._seeds,
+        )
+
+    def _maybe_bind(
+        self,
+        internet: Internet,
+        rng: random.Random,
+        victim: Identity,
+        profile: ServiceProfile,
+    ) -> None:
+        linkable = [
+            p
+            for p in profile.auth_paths
+            if CF.LINKED_ACCOUNT in p.factors and p.linked_providers
+        ]
+        if not linkable:
+            return
+        # Victims bind every provider the service offers: it keeps the
+        # profile-level linked-account edges sound for every victim (and
+        # users who adopt login-with typically link their main identity
+        # providers anyway).
+        for provider in sorted(linkable[0].linked_providers):
+            if internet.has_service(provider):
+                internet.bindings.bind(victim.person_id, profile.name, provider)
+
+
+def build_default_ecosystem(seed: int = 2021) -> Ecosystem:
+    """The 201-service ecosystem the benchmarks analyze."""
+    return CatalogBuilder(DEFAULT_SPEC, seed=seed).build_ecosystem()

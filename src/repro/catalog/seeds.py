@@ -1,0 +1,545 @@
+"""Hand-written profiles of the services the paper names.
+
+Each profile encodes the specific behaviours the paper reports:
+
+- **Ctrip**: sign-in with SMS code as a one-time token; the profile page's
+  "Frequent Travelers Info" edit view reveals the *full* citizen ID
+  (Case III's pivot).
+- **China Railway (12306)**: reveals "the whole or vital part of citizen
+  ID"; its login needs citizen ID + SMS (Fig. 11's Log_1/Log_2 structure).
+- **Gmail / NetEase (163) / Outlook / Aliyun**: "all of these accounts
+  could be verified with only SMS Code" -- phone+SMS password reset; as
+  email providers they yield mailbox access when compromised.
+- **PayPal**: reset needs SMS code *and* email code (Case II), so Gmail is
+  its full-capacity parent given SMS interception.
+- **Alipay**: mobile reset via citizen ID + SMS (the combination Case III
+  exploits) alongside secure-looking options (face scan, bankcard); web
+  reset needs bankcard + phone + SMS, plus a customer-service path.
+- **Baidu Wallet**: SMS code as a one-time sign-in token; QR payment right
+  after login (Case I -- no intermediate account needed).
+- **Baidu Pan / Dropbox**: cloud storage whose photo backups include
+  citizen-ID photos; Baidu Pan resets via SMS or email code, Dropbox via
+  email code only.
+- **JD / LinkedIn**: "provided a mass of" device-type and acquaintance
+  information; verifiable with SMS or email code.
+- **Gome**: the web end masks the SSN part that the mobile end exposes
+  (Insight 2's asymmetry example).
+- **Facebook / Google**: Fig. 11's nodes, including Facebook's
+  login-with-Google path.
+- **Expedia**: bound to Gmail accounts -- the Section III-D binding example.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple
+
+from repro.model.account import AuthPath, AuthPurpose, MaskSpec, ServiceProfile
+from repro.model.factors import CredentialFactor as CF
+from repro.model.factors import PersonalInfoKind as PI
+from repro.model.factors import Platform as PL
+
+# Domain labels used across the catalog.
+DOMAIN_EMAIL = "email"
+DOMAIN_FINTECH = "fintech"
+DOMAIN_SOCIAL = "social"
+DOMAIN_TRAVEL = "travel"
+DOMAIN_ECOMMERCE = "ecommerce"
+DOMAIN_CLOUD = "cloud"
+DOMAIN_RAIL = "rail"
+DOMAIN_LIFESTYLE = "lifestyle"
+
+
+def _path(
+    service: str,
+    platform: PL,
+    purpose: AuthPurpose,
+    *factors: CF,
+    linked: Tuple[str, ...] = (),
+) -> AuthPath:
+    return AuthPath(
+        service=service,
+        platform=platform,
+        purpose=purpose,
+        factors=frozenset(factors),
+        linked_providers=frozenset(linked),
+    )
+
+
+def _email_provider(name: str, extra_exposed: FrozenSet[PI]) -> ServiceProfile:
+    """A mainstream email provider: password sign-in, phone+SMS reset."""
+    exposed = (
+        frozenset(
+            {
+                PI.REAL_NAME,
+                PI.CELLPHONE_NUMBER,
+                PI.EMAIL_ADDRESS,
+                PI.DEVICE_TYPE,
+                PI.ACQUAINTANCE_NAME,
+                PI.CHAT_HISTORY,
+                PI.MAILBOX_ACCESS,
+            }
+        )
+        | extra_exposed
+    )
+    return ServiceProfile(
+        name=name,
+        domain=DOMAIN_EMAIL,
+        auth_paths=(
+            _path(name, PL.WEB, AuthPurpose.SIGN_IN, CF.USERNAME, CF.PASSWORD),
+            _path(name, PL.WEB, AuthPurpose.SIGN_IN, CF.CELLPHONE_NUMBER, CF.SMS_CODE),
+            _path(name, PL.WEB, AuthPurpose.PASSWORD_RESET, CF.CELLPHONE_NUMBER, CF.SMS_CODE),
+            _path(name, PL.MOBILE, AuthPurpose.SIGN_IN, CF.CELLPHONE_NUMBER, CF.SMS_CODE),
+            _path(name, PL.MOBILE, AuthPurpose.PASSWORD_RESET, CF.CELLPHONE_NUMBER, CF.SMS_CODE),
+        ),
+        exposed_info={PL.WEB: exposed, PL.MOBILE: exposed},
+    )
+
+
+def seed_profiles() -> Tuple[ServiceProfile, ...]:
+    """Return every named-service profile, in a stable order."""
+    profiles = []
+
+    # ------------------------------------------------------------------
+    # Email providers (Insight 1's gateways)
+    # ------------------------------------------------------------------
+    profiles.append(_email_provider("gmail", frozenset({PI.ADDRESS})))
+    profiles.append(_email_provider("netease_mail", frozenset({PI.ADDRESS})))
+    profiles.append(_email_provider("outlook", frozenset()))
+    profiles.append(_email_provider("aliyun_mail", frozenset()))
+
+    # ------------------------------------------------------------------
+    # Travel
+    # ------------------------------------------------------------------
+    ctrip_exposed_web = frozenset(
+        {
+            PI.REAL_NAME,
+            PI.CITIZEN_ID,  # full citizen ID in Frequent Travelers Info
+            PI.CELLPHONE_NUMBER,
+            PI.EMAIL_ADDRESS,
+            PI.ADDRESS,
+            PI.ACQUAINTANCE_NAME,
+            PI.ORDER_HISTORY,
+        }
+    )
+    profiles.append(
+        ServiceProfile(
+            name="ctrip",
+            domain=DOMAIN_TRAVEL,
+            auth_paths=(
+                _path("ctrip", PL.WEB, AuthPurpose.SIGN_IN, CF.CELLPHONE_NUMBER, CF.SMS_CODE),
+                _path("ctrip", PL.WEB, AuthPurpose.SIGN_IN, CF.USERNAME, CF.PASSWORD),
+                _path("ctrip", PL.WEB, AuthPurpose.PASSWORD_RESET, CF.CELLPHONE_NUMBER, CF.SMS_CODE),
+                _path("ctrip", PL.WEB, AuthPurpose.PASSWORD_RESET, CF.EMAIL_ADDRESS, CF.EMAIL_CODE),
+                _path("ctrip", PL.MOBILE, AuthPurpose.SIGN_IN, CF.CELLPHONE_NUMBER, CF.SMS_CODE),
+                _path("ctrip", PL.MOBILE, AuthPurpose.PASSWORD_RESET, CF.CELLPHONE_NUMBER, CF.SMS_CODE),
+            ),
+            exposed_info={PL.WEB: ctrip_exposed_web, PL.MOBILE: ctrip_exposed_web},
+            # Ctrip gives the citizen ID away in full -- no mask spec.
+        )
+    )
+
+    xiaozhu_exposed = frozenset(
+        {PI.REAL_NAME, PI.CITIZEN_ID, PI.CELLPHONE_NUMBER, PI.ADDRESS}
+    )
+    profiles.append(
+        ServiceProfile(
+            name="xiaozhu",
+            domain=DOMAIN_LIFESTYLE,
+            auth_paths=(
+                _path("xiaozhu", PL.WEB, AuthPurpose.SIGN_IN, CF.CELLPHONE_NUMBER, CF.SMS_CODE),
+                _path("xiaozhu", PL.WEB, AuthPurpose.PASSWORD_RESET, CF.CELLPHONE_NUMBER, CF.SMS_CODE),
+                _path("xiaozhu", PL.WEB, AuthPurpose.PASSWORD_RESET, CF.EMAIL_ADDRESS, CF.EMAIL_CODE),
+                _path("xiaozhu", PL.MOBILE, AuthPurpose.SIGN_IN, CF.CELLPHONE_NUMBER, CF.SMS_CODE),
+            ),
+            exposed_info={PL.WEB: xiaozhu_exposed, PL.MOBILE: xiaozhu_exposed},
+        )
+    )
+
+    profiles.append(
+        ServiceProfile(
+            name="expedia",
+            domain=DOMAIN_TRAVEL,
+            auth_paths=(
+                _path("expedia", PL.WEB, AuthPurpose.SIGN_IN, CF.USERNAME, CF.PASSWORD),
+                _path(
+                    "expedia",
+                    PL.WEB,
+                    AuthPurpose.SIGN_IN,
+                    CF.LINKED_ACCOUNT,
+                    linked=("gmail", "google"),
+                ),
+                _path("expedia", PL.WEB, AuthPurpose.PASSWORD_RESET, CF.EMAIL_ADDRESS, CF.EMAIL_LINK),
+            ),
+            exposed_info={
+                PL.WEB: frozenset(
+                    {PI.REAL_NAME, PI.EMAIL_ADDRESS, PI.ORDER_HISTORY, PI.BINDING_ACCOUNT}
+                )
+            },
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # Rail
+    # ------------------------------------------------------------------
+    rail_exposed = frozenset(
+        {
+            PI.REAL_NAME,
+            PI.CITIZEN_ID,
+            PI.CELLPHONE_NUMBER,
+            PI.EMAIL_ADDRESS,
+            PI.ADDRESS,
+            PI.ACQUAINTANCE_NAME,
+            PI.STUDENT_ID,
+        }
+    )
+    profiles.append(
+        ServiceProfile(
+            name="china_railway",
+            domain=DOMAIN_RAIL,
+            auth_paths=(
+                # 12306 demands the citizen ID everywhere (Fig. 11's Log_1 =
+                # SMS + citizen ID, Log_2 = citizen ID + email): it is *not*
+                # a fringe node, but falls one layer behind Ctrip.
+                _path("china_railway", PL.WEB, AuthPurpose.SIGN_IN, CF.USERNAME, CF.PASSWORD),
+                _path(
+                    "china_railway",
+                    PL.WEB,
+                    AuthPurpose.PASSWORD_RESET,
+                    CF.CITIZEN_ID,
+                    CF.CELLPHONE_NUMBER,
+                    CF.SMS_CODE,
+                ),
+                _path(
+                    "china_railway",
+                    PL.WEB,
+                    AuthPurpose.PASSWORD_RESET,
+                    CF.CITIZEN_ID,
+                    CF.EMAIL_ADDRESS,
+                    CF.EMAIL_CODE,
+                ),
+                _path(
+                    "china_railway",
+                    PL.MOBILE,
+                    AuthPurpose.SIGN_IN,
+                    CF.CITIZEN_ID,
+                    CF.SMS_CODE,
+                ),
+            ),
+            exposed_info={PL.WEB: rail_exposed, PL.MOBILE: rail_exposed},
+            mask_specs={
+                # 12306 reveals the "vital part" -- generous prefix+suffix.
+                (PL.WEB, PI.CITIZEN_ID): MaskSpec(reveal_prefix=10, reveal_suffix=4),
+                (PL.MOBILE, PI.CITIZEN_ID): MaskSpec(reveal_prefix=10, reveal_suffix=4),
+            },
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # Social
+    # ------------------------------------------------------------------
+    fb_exposed = frozenset(
+        {
+            PI.REAL_NAME,
+            PI.CELLPHONE_NUMBER,
+            PI.EMAIL_ADDRESS,
+            PI.ADDRESS,
+            PI.ACQUAINTANCE_NAME,
+            PI.BINDING_ACCOUNT,
+        }
+    )
+    profiles.append(
+        ServiceProfile(
+            name="facebook",
+            domain=DOMAIN_SOCIAL,
+            auth_paths=(
+                _path("facebook", PL.WEB, AuthPurpose.SIGN_IN, CF.USERNAME, CF.PASSWORD),
+                _path("facebook", PL.WEB, AuthPurpose.PASSWORD_RESET, CF.CELLPHONE_NUMBER, CF.SMS_CODE),
+                _path("facebook", PL.WEB, AuthPurpose.PASSWORD_RESET, CF.EMAIL_ADDRESS, CF.EMAIL_CODE),
+                _path(
+                    "facebook",
+                    PL.WEB,
+                    AuthPurpose.SIGN_IN,
+                    CF.LINKED_ACCOUNT,
+                    linked=("gmail", "google"),
+                ),
+                _path("facebook", PL.MOBILE, AuthPurpose.SIGN_IN, CF.CELLPHONE_NUMBER, CF.SMS_CODE),
+                _path("facebook", PL.MOBILE, AuthPurpose.PASSWORD_RESET, CF.CELLPHONE_NUMBER, CF.SMS_CODE),
+            ),
+            exposed_info={PL.WEB: fb_exposed, PL.MOBILE: fb_exposed},
+        )
+    )
+
+    linkedin_exposed = frozenset(
+        {
+            PI.REAL_NAME,
+            PI.EMAIL_ADDRESS,
+            PI.ACQUAINTANCE_NAME,
+            PI.DEVICE_TYPE,
+            PI.ADDRESS,
+        }
+    )
+    profiles.append(
+        ServiceProfile(
+            name="linkedin",
+            domain=DOMAIN_SOCIAL,
+            auth_paths=(
+                _path("linkedin", PL.WEB, AuthPurpose.SIGN_IN, CF.USERNAME, CF.PASSWORD),
+                _path("linkedin", PL.WEB, AuthPurpose.PASSWORD_RESET, CF.EMAIL_ADDRESS, CF.EMAIL_CODE),
+                _path("linkedin", PL.MOBILE, AuthPurpose.SIGN_IN, CF.CELLPHONE_NUMBER, CF.SMS_CODE),
+                _path("linkedin", PL.MOBILE, AuthPurpose.PASSWORD_RESET, CF.CELLPHONE_NUMBER, CF.SMS_CODE),
+            ),
+            exposed_info={PL.WEB: linkedin_exposed, PL.MOBILE: linkedin_exposed},
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # Fintech
+    # ------------------------------------------------------------------
+    alipay_exposed = frozenset(
+        {
+            PI.REAL_NAME,
+            PI.CELLPHONE_NUMBER,
+            PI.EMAIL_ADDRESS,
+            PI.ADDRESS,
+            PI.ACQUAINTANCE_NAME,
+            PI.USER_ID,
+            PI.BANKCARD_NUMBER,
+        }
+    )
+    profiles.append(
+        ServiceProfile(
+            name="alipay",
+            domain=DOMAIN_FINTECH,
+            auth_paths=(
+                # Mobile reset options the paper lists: face scan, bankcard
+                # information, and the fatal citizen-ID + SMS combination.
+                _path("alipay", PL.MOBILE, AuthPurpose.SIGN_IN, CF.USERNAME, CF.PASSWORD),
+                _path("alipay", PL.MOBILE, AuthPurpose.PASSWORD_RESET, CF.FACE_SCAN, CF.SMS_CODE),
+                _path(
+                    "alipay",
+                    PL.MOBILE,
+                    AuthPurpose.PASSWORD_RESET,
+                    CF.BANKCARD_NUMBER,
+                    CF.REAL_NAME,
+                    CF.SMS_CODE,
+                ),
+                _path("alipay", PL.MOBILE, AuthPurpose.PASSWORD_RESET, CF.CITIZEN_ID, CF.SMS_CODE),
+                # Web end wants the harder-to-get bankcard number, plus a
+                # human customer-service fallback.
+                _path("alipay", PL.WEB, AuthPurpose.SIGN_IN, CF.USERNAME, CF.PASSWORD),
+                _path(
+                    "alipay",
+                    PL.WEB,
+                    AuthPurpose.PASSWORD_RESET,
+                    CF.BANKCARD_NUMBER,
+                    CF.CELLPHONE_NUMBER,
+                    CF.SMS_CODE,
+                ),
+                _path("alipay", PL.WEB, AuthPurpose.PASSWORD_RESET, CF.CUSTOMER_SERVICE),
+            ),
+            exposed_info={PL.WEB: alipay_exposed, PL.MOBILE: alipay_exposed},
+            mask_specs={
+                (PL.WEB, PI.BANKCARD_NUMBER): MaskSpec(reveal_suffix=4),
+                (PL.MOBILE, PI.BANKCARD_NUMBER): MaskSpec(reveal_prefix=6, reveal_suffix=4),
+            },
+        )
+    )
+
+    profiles.append(
+        ServiceProfile(
+            name="paypal",
+            domain=DOMAIN_FINTECH,
+            auth_paths=(
+                _path("paypal", PL.WEB, AuthPurpose.SIGN_IN, CF.USERNAME, CF.PASSWORD),
+                _path(
+                    "paypal",
+                    PL.WEB,
+                    AuthPurpose.PASSWORD_RESET,
+                    CF.SMS_CODE,
+                    CF.CELLPHONE_NUMBER,
+                    CF.EMAIL_CODE,
+                ),
+                _path("paypal", PL.MOBILE, AuthPurpose.SIGN_IN, CF.USERNAME, CF.PASSWORD),
+                _path(
+                    "paypal",
+                    PL.MOBILE,
+                    AuthPurpose.PASSWORD_RESET,
+                    CF.SMS_CODE,
+                    CF.CELLPHONE_NUMBER,
+                    CF.EMAIL_CODE,
+                ),
+            ),
+            exposed_info={
+                PL.WEB: frozenset(
+                    {PI.REAL_NAME, PI.EMAIL_ADDRESS, PI.BANKCARD_NUMBER, PI.ADDRESS}
+                ),
+                PL.MOBILE: frozenset({PI.REAL_NAME, PI.EMAIL_ADDRESS}),
+            },
+            mask_specs={(PL.WEB, PI.BANKCARD_NUMBER): MaskSpec(reveal_suffix=4)},
+        )
+    )
+
+    profiles.append(
+        ServiceProfile(
+            name="baidu_wallet",
+            domain=DOMAIN_FINTECH,
+            auth_paths=(
+                # Case I: the SMS code works as a one-time sign-in token.
+                _path("baidu_wallet", PL.MOBILE, AuthPurpose.SIGN_IN, CF.CELLPHONE_NUMBER, CF.SMS_CODE),
+                _path("baidu_wallet", PL.MOBILE, AuthPurpose.PASSWORD_RESET, CF.CELLPHONE_NUMBER, CF.SMS_CODE),
+                _path("baidu_wallet", PL.WEB, AuthPurpose.SIGN_IN, CF.USERNAME, CF.PASSWORD),
+            ),
+            exposed_info={
+                PL.MOBILE: frozenset(
+                    {PI.REAL_NAME, PI.CELLPHONE_NUMBER, PI.BANKCARD_NUMBER}
+                ),
+                PL.WEB: frozenset({PI.REAL_NAME, PI.CELLPHONE_NUMBER}),
+            },
+            mask_specs={
+                (PL.MOBILE, PI.BANKCARD_NUMBER): MaskSpec(reveal_prefix=4, reveal_suffix=4)
+            },
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # Cloud storage
+    # ------------------------------------------------------------------
+    profiles.append(
+        ServiceProfile(
+            name="baidu_pan",
+            domain=DOMAIN_CLOUD,
+            auth_paths=(
+                _path("baidu_pan", PL.WEB, AuthPurpose.SIGN_IN, CF.USERNAME, CF.PASSWORD),
+                _path("baidu_pan", PL.WEB, AuthPurpose.PASSWORD_RESET, CF.CELLPHONE_NUMBER, CF.SMS_CODE),
+                _path("baidu_pan", PL.WEB, AuthPurpose.PASSWORD_RESET, CF.EMAIL_ADDRESS, CF.EMAIL_CODE),
+                _path("baidu_pan", PL.MOBILE, AuthPurpose.SIGN_IN, CF.CELLPHONE_NUMBER, CF.SMS_CODE),
+            ),
+            exposed_info={
+                PL.WEB: frozenset(
+                    {
+                        PI.CELLPHONE_NUMBER,
+                        PI.EMAIL_ADDRESS,
+                        PI.CLOUD_PHOTOS,
+                        PI.ID_PHOTO,  # citizen-ID photos backed up to cloud
+                    }
+                ),
+                PL.MOBILE: frozenset(
+                    {PI.CELLPHONE_NUMBER, PI.CLOUD_PHOTOS, PI.ID_PHOTO}
+                ),
+            },
+        )
+    )
+
+    profiles.append(
+        ServiceProfile(
+            name="dropbox",
+            domain=DOMAIN_CLOUD,
+            auth_paths=(
+                _path("dropbox", PL.WEB, AuthPurpose.SIGN_IN, CF.USERNAME, CF.PASSWORD),
+                _path("dropbox", PL.WEB, AuthPurpose.PASSWORD_RESET, CF.EMAIL_ADDRESS, CF.EMAIL_LINK),
+                _path("dropbox", PL.MOBILE, AuthPurpose.SIGN_IN, CF.USERNAME, CF.PASSWORD),
+            ),
+            exposed_info={
+                PL.WEB: frozenset(
+                    {PI.EMAIL_ADDRESS, PI.CLOUD_PHOTOS, PI.ID_PHOTO, PI.DEVICE_TYPE}
+                ),
+                PL.MOBILE: frozenset({PI.EMAIL_ADDRESS, PI.CLOUD_PHOTOS}),
+            },
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # E-commerce / retail
+    # ------------------------------------------------------------------
+    jd_exposed = frozenset(
+        {
+            PI.REAL_NAME,
+            PI.CELLPHONE_NUMBER,
+            PI.EMAIL_ADDRESS,
+            PI.ADDRESS,
+            PI.ACQUAINTANCE_NAME,
+            PI.DEVICE_TYPE,
+            PI.ORDER_HISTORY,
+        }
+    )
+    profiles.append(
+        ServiceProfile(
+            name="jd",
+            domain=DOMAIN_ECOMMERCE,
+            auth_paths=(
+                _path("jd", PL.WEB, AuthPurpose.SIGN_IN, CF.USERNAME, CF.PASSWORD),
+                _path("jd", PL.WEB, AuthPurpose.SIGN_IN, CF.CELLPHONE_NUMBER, CF.SMS_CODE),
+                _path("jd", PL.WEB, AuthPurpose.PASSWORD_RESET, CF.CELLPHONE_NUMBER, CF.SMS_CODE),
+                _path("jd", PL.WEB, AuthPurpose.PASSWORD_RESET, CF.EMAIL_ADDRESS, CF.EMAIL_CODE),
+                _path("jd", PL.MOBILE, AuthPurpose.SIGN_IN, CF.CELLPHONE_NUMBER, CF.SMS_CODE),
+                _path("jd", PL.MOBILE, AuthPurpose.PASSWORD_RESET, CF.CELLPHONE_NUMBER, CF.SMS_CODE),
+            ),
+            exposed_info={PL.WEB: jd_exposed, PL.MOBILE: jd_exposed},
+        )
+    )
+
+    gome_exposed = frozenset(
+        {PI.REAL_NAME, PI.CELLPHONE_NUMBER, PI.ADDRESS, PI.CITIZEN_ID}
+    )
+    profiles.append(
+        ServiceProfile(
+            name="gome",
+            domain=DOMAIN_ECOMMERCE,
+            auth_paths=(
+                _path("gome", PL.WEB, AuthPurpose.SIGN_IN, CF.USERNAME, CF.PASSWORD),
+                _path("gome", PL.WEB, AuthPurpose.PASSWORD_RESET, CF.CELLPHONE_NUMBER, CF.SMS_CODE),
+                _path("gome", PL.MOBILE, AuthPurpose.SIGN_IN, CF.CELLPHONE_NUMBER, CF.SMS_CODE),
+                _path("gome", PL.MOBILE, AuthPurpose.PASSWORD_RESET, CF.CELLPHONE_NUMBER, CF.SMS_CODE),
+            ),
+            exposed_info={PL.WEB: gome_exposed, PL.MOBILE: gome_exposed},
+            mask_specs={
+                # Insight 2's asymmetry: the web end covers the middle of
+                # the SSN; the mobile end exposes exactly that part.
+                (PL.WEB, PI.CITIZEN_ID): MaskSpec(reveal_prefix=6, reveal_suffix=4),
+                (PL.MOBILE, PI.CITIZEN_ID): MaskSpec(reveal_middle=(6, 14)),
+            },
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # Google as a distinct relying/identity service (Fig. 11 node).
+    # ------------------------------------------------------------------
+    google_exposed = frozenset(
+        {
+            PI.REAL_NAME,
+            PI.DEVICE_TYPE,
+            PI.CELLPHONE_NUMBER,
+            PI.EMAIL_ADDRESS,
+            PI.ADDRESS,
+            PI.ACQUAINTANCE_NAME,
+            PI.USER_ID,
+            PI.MAILBOX_ACCESS,
+        }
+    )
+    profiles.append(
+        ServiceProfile(
+            name="google",
+            domain=DOMAIN_EMAIL,
+            auth_paths=(
+                _path("google", PL.WEB, AuthPurpose.SIGN_IN, CF.USERNAME, CF.PASSWORD),
+                _path("google", PL.WEB, AuthPurpose.SIGN_IN, CF.CELLPHONE_NUMBER, CF.SMS_CODE),
+                _path("google", PL.WEB, AuthPurpose.PASSWORD_RESET, CF.CELLPHONE_NUMBER, CF.SMS_CODE),
+                _path("google", PL.MOBILE, AuthPurpose.SIGN_IN, CF.CELLPHONE_NUMBER, CF.SMS_CODE),
+            ),
+            exposed_info={PL.WEB: google_exposed, PL.MOBILE: google_exposed},
+        )
+    )
+
+    return tuple(profiles)
+
+
+#: Stable name list, handy for restriction views and tests.
+SEED_SERVICE_NAMES: Tuple[str, ...] = tuple(p.name for p in seed_profiles())
+
+#: Email domain -> owning seed service, used when deploying.
+EMAIL_DOMAIN_OWNERS: Dict[str, str] = {
+    "gmail.test": "gmail",
+    "163.test": "netease_mail",
+    "outlook.test": "outlook",
+    "aliyun.test": "aliyun_mail",
+}

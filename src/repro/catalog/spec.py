@@ -1,0 +1,274 @@
+"""Calibration targets for the synthetic ecosystem.
+
+The generator is calibrated against the marginals the paper itself
+publishes, so the synthetic ecosystem reproduces the measured *inputs*
+(per-service auth-path and exposure distributions) and every graph-level
+result downstream is emergent.  Three groups of targets:
+
+- **Table I**: per-kind probabilities that a logged-in account exposes each
+  personal-information kind, separately for web and mobile.
+- **Fig. 3**: how often services offer SMS-only sign-in vs SMS-only reset,
+  and the general/info/unique path-type mix per platform.
+- **Section IV-B**: the domain mix of the 201 services and the per-domain
+  authentication strictness (Fintech strictest -- Insight 3).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Mapping, Tuple
+
+from repro.model.factors import PersonalInfoKind as PI
+
+#: Table I of the paper, as probabilities ("Web Account. /%" column).
+TABLE1_WEB: Mapping[PI, float] = {
+    PI.REAL_NAME: 0.4920,
+    PI.CITIZEN_ID: 0.1176,
+    PI.CELLPHONE_NUMBER: 0.5401,
+    PI.EMAIL_ADDRESS: 0.5936,
+    PI.ADDRESS: 0.5134,
+    PI.USER_ID: 0.4599,
+    PI.BINDING_ACCOUNT: 0.4492,
+    PI.ACQUAINTANCE_NAME: 0.3209,
+    PI.DEVICE_TYPE: 0.1497,
+}
+
+#: Table I of the paper, "Mobile Account. /%" column.
+TABLE1_MOBILE: Mapping[PI, float] = {
+    PI.REAL_NAME: 0.7500,
+    PI.CITIZEN_ID: 0.4107,
+    PI.CELLPHONE_NUMBER: 0.8750,
+    PI.EMAIL_ADDRESS: 0.6429,
+    PI.ADDRESS: 0.6429,
+    PI.USER_ID: 0.6071,
+    PI.BINDING_ACCOUNT: 0.5714,
+    PI.ACQUAINTANCE_NAME: 0.6607,
+    PI.DEVICE_TYPE: 0.3571,
+}
+
+#: Bankcard numbers appear rarely and always masked (the paper: "none of
+#: the online accounts expose the whole binding bankcard number").
+BANKCARD_EXPOSURE_WEB = 0.08
+BANKCARD_EXPOSURE_MOBILE = 0.20
+
+
+@dataclasses.dataclass(frozen=True)
+class DomainSpec:
+    """Generation parameters for one service domain."""
+
+    name: str
+    #: Share of the catalog drawn from this domain.
+    weight: float
+    #: Probability a service offers a phone+SMS-only password reset.
+    sms_only_reset: float
+    #: Probability of an SMS-only *sign-in* option (notably lower --
+    #: Fig. 3's sign-in vs reset asymmetry).
+    sms_only_signin_web: float
+    sms_only_signin_mobile: float
+    #: Probability of an email-code reset option.
+    email_reset: float
+    #: Probability of an info-path reset (SMS + extra knowledge factors).
+    info_reset: float
+    #: Probability of a unique-path option (biometric / U2F / device).
+    unique_path: float
+    #: Probability the service has a mobile app at all.
+    has_mobile: float
+    #: Multipliers applied to the Table I exposure probabilities.
+    exposure_boost: Mapping[PI, float] = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for field in (
+            "weight",
+            "sms_only_reset",
+            "sms_only_signin_web",
+            "sms_only_signin_mobile",
+            "email_reset",
+            "info_reset",
+            "unique_path",
+            "has_mobile",
+        ):
+            value = getattr(self, field)
+            if not 0.0 <= value <= 1.0 and field != "weight":
+                raise ValueError(f"{field} must be in [0, 1], got {value}")
+
+
+def _default_domains() -> Tuple[DomainSpec, ...]:
+    """The paper's domain mix with per-domain strictness.
+
+    Fintech gets strict authentication (low SMS-only, frequent unique and
+    info paths -- Insight 3); email providers are almost always SMS-only
+    resettable (Insight 1); content/media services skew loose.
+    """
+    return (
+        DomainSpec(
+            name="email",
+            weight=0.05,
+            sms_only_reset=0.95,
+            sms_only_signin_web=0.40,
+            sms_only_signin_mobile=0.55,
+            email_reset=0.00,
+            info_reset=0.15,
+            unique_path=0.35,
+            has_mobile=0.95,
+            exposure_boost={PI.DEVICE_TYPE: 1.8, PI.ACQUAINTANCE_NAME: 1.3},
+        ),
+        DomainSpec(
+            name="fintech",
+            weight=0.11,
+            sms_only_reset=0.28,
+            sms_only_signin_web=0.08,
+            sms_only_signin_mobile=0.20,
+            email_reset=0.15,
+            info_reset=0.75,
+            unique_path=0.85,
+            has_mobile=0.98,
+            exposure_boost={
+                PI.CITIZEN_ID: 1.6,
+                PI.REAL_NAME: 1.2,
+                PI.ACQUAINTANCE_NAME: 0.5,
+            },
+        ),
+        DomainSpec(
+            name="social",
+            weight=0.15,
+            sms_only_reset=0.82,
+            sms_only_signin_web=0.25,
+            sms_only_signin_mobile=0.45,
+            email_reset=0.45,
+            info_reset=0.35,
+            unique_path=0.60,
+            has_mobile=0.95,
+            exposure_boost={PI.ACQUAINTANCE_NAME: 1.8, PI.ADDRESS: 0.9},
+        ),
+        DomainSpec(
+            name="ecommerce",
+            weight=0.19,
+            sms_only_reset=0.84,
+            sms_only_signin_web=0.30,
+            sms_only_signin_mobile=0.55,
+            email_reset=0.40,
+            info_reset=0.40,
+            unique_path=0.50,
+            has_mobile=0.92,
+            exposure_boost={PI.ADDRESS: 1.3, PI.REAL_NAME: 1.0},
+        ),
+        DomainSpec(
+            name="travel",
+            weight=0.08,
+            sms_only_reset=0.86,
+            sms_only_signin_web=0.35,
+            sms_only_signin_mobile=0.55,
+            email_reset=0.35,
+            info_reset=0.45,
+            unique_path=0.40,
+            has_mobile=0.90,
+            exposure_boost={PI.CITIZEN_ID: 2.2, PI.REAL_NAME: 1.2},
+        ),
+        DomainSpec(
+            name="cloud",
+            weight=0.06,
+            sms_only_reset=0.45,
+            sms_only_signin_web=0.20,
+            sms_only_signin_mobile=0.35,
+            email_reset=0.80,
+            info_reset=0.20,
+            unique_path=0.60,
+            has_mobile=0.85,
+            exposure_boost={PI.DEVICE_TYPE: 1.6},
+        ),
+        DomainSpec(
+            name="media",
+            weight=0.16,
+            sms_only_reset=0.88,
+            sms_only_signin_web=0.35,
+            sms_only_signin_mobile=0.60,
+            email_reset=0.35,
+            info_reset=0.25,
+            unique_path=0.30,
+            has_mobile=0.80,
+            exposure_boost={PI.REAL_NAME: 0.8, PI.CITIZEN_ID: 0.3},
+        ),
+        DomainSpec(
+            name="education",
+            weight=0.05,
+            sms_only_reset=0.35,
+            sms_only_signin_web=0.20,
+            sms_only_signin_mobile=0.35,
+            email_reset=0.55,
+            info_reset=0.40,
+            unique_path=0.35,
+            has_mobile=0.70,
+            exposure_boost={PI.REAL_NAME: 1.1, PI.CITIZEN_ID: 1.2},
+        ),
+        DomainSpec(
+            name="lifestyle",
+            weight=0.10,
+            sms_only_reset=0.86,
+            sms_only_signin_web=0.35,
+            sms_only_signin_mobile=0.60,
+            email_reset=0.30,
+            info_reset=0.30,
+            unique_path=0.35,
+            has_mobile=0.90,
+            exposure_boost={PI.ADDRESS: 1.3},
+        ),
+        DomainSpec(
+            name="gaming",
+            weight=0.05,
+            sms_only_reset=0.84,
+            sms_only_signin_web=0.25,
+            sms_only_signin_mobile=0.45,
+            email_reset=0.45,
+            info_reset=0.25,
+            unique_path=0.40,
+            has_mobile=0.85,
+            exposure_boost={PI.REAL_NAME: 0.7, PI.DEVICE_TYPE: 1.5},
+        ),
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class CatalogSpec:
+    """Full generation parameters for one synthetic ecosystem."""
+
+    total_services: int = 201
+    domains: Tuple[DomainSpec, ...] = dataclasses.field(
+        default_factory=_default_domains
+    )
+    exposure_web: Mapping[PI, float] = dataclasses.field(
+        default_factory=lambda: dict(TABLE1_WEB)
+    )
+    exposure_mobile: Mapping[PI, float] = dataclasses.field(
+        default_factory=lambda: dict(TABLE1_MOBILE)
+    )
+    bankcard_exposure_web: float = BANKCARD_EXPOSURE_WEB
+    bankcard_exposure_mobile: float = BANKCARD_EXPOSURE_MOBILE
+    #: Probability a web service offers login-with (OAuth) via the big
+    #: identity providers.
+    linked_login: float = 0.18
+    #: Number of victims enrolled across the deployed ecosystem.
+    victims: int = 5
+    #: Cells in the deployed GSM network; victims are spread across them.
+    cells: int = 2
+
+    def __post_init__(self) -> None:
+        if self.total_services < 1:
+            raise ValueError("total_services must be positive")
+        if not self.domains:
+            raise ValueError("at least one domain spec required")
+        total_weight = sum(d.weight for d in self.domains)
+        if abs(total_weight - 1.0) > 1e-6:
+            raise ValueError(
+                f"domain weights must sum to 1.0, got {total_weight:.4f}"
+            )
+
+    def domain(self, name: str) -> DomainSpec:
+        """Look a domain spec up by name."""
+        for spec in self.domains:
+            if spec.name == name:
+                return spec
+        raise KeyError(f"no domain spec named {name!r}")
+
+
+#: The spec used throughout the benchmarks.
+DEFAULT_SPEC = CatalogSpec()

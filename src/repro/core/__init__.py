@@ -1,0 +1,58 @@
+"""ActFort -- the paper's primary contribution.
+
+Four stages, mirroring Fig. 2's flowchart:
+
+1. :mod:`repro.core.authproc` -- the **Authentication Process**: enumerate
+   every sign-in / password-reset path and its credential factors, and
+   build the recursive authentication-flow tree per service.
+2. :mod:`repro.core.collection` -- **Personal Information Collection**:
+   classify what each logged-in account exposes into the paper's five
+   categories, tracking masking completeness.
+3. :mod:`repro.core.tdg` -- **Transformation Dependency Graph** generation:
+   nodes carry credential-factor attributes (CFA) and personal-information
+   attributes (PIA); edges encode who can provide whose factors, with
+   strong/weak directivity, full/half-capacity parents and couple nodes.
+4. :mod:`repro.core.strategy` -- **Strategy Output**: the forward closure
+   (initially compromised accounts -> every reachable account) and the
+   backward chain search (target account -> attack chain rooted at
+   phone + SMS code).
+
+:mod:`repro.core.actfort` wires the stages into one facade.
+"""
+
+from repro.core.authproc import AuthenticationProcess, AuthFlow, AuthFlowNode, ServiceAuthReport
+from repro.core.collection import CollectionReport, PersonalInfoCollection
+from repro.core.tdg import (
+    CoupleRecord,
+    DependencyLevel,
+    PathCoverage,
+    TDGNode,
+    TransformationDependencyGraph,
+)
+from repro.core.strategy import (
+    AttackChain,
+    ChainStep,
+    ForwardClosureResult,
+    StrategyEngine,
+)
+from repro.core.actfort import ActFort, ActFortReport
+
+__all__ = [
+    "ActFort",
+    "ActFortReport",
+    "AttackChain",
+    "AuthFlow",
+    "AuthFlowNode",
+    "AuthenticationProcess",
+    "ChainStep",
+    "CollectionReport",
+    "CoupleRecord",
+    "DependencyLevel",
+    "ForwardClosureResult",
+    "PathCoverage",
+    "PersonalInfoCollection",
+    "ServiceAuthReport",
+    "StrategyEngine",
+    "TDGNode",
+    "TransformationDependencyGraph",
+]

@@ -1,0 +1,166 @@
+"""The ActFort facade: stages 1-4 wired together.
+
+``ActFort`` can run in two modes:
+
+- **profile mode** (:meth:`ActFort.from_ecosystem`) -- analyze static
+  service profiles, the fast path the measurement benchmarks use; and
+- **probe mode** (:meth:`ActFort.from_internet`) -- actually exercise each
+  deployed service with the black-box
+  :class:`~repro.websim.crawler.ActFortProbe`, the faithful reproduction of
+  the paper's manual test-account workflow.
+
+Both converge on the same stage-1/2 reports, from which the TDG and the
+strategy engine are derived.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.core.authproc import AuthenticationProcess, ServiceAuthReport
+from repro.core.collection import CollectionReport, PersonalInfoCollection
+from repro.core.strategy import AttackChain, ForwardClosureResult, StrategyEngine
+from repro.core.tdg import DependencyLevel, TransformationDependencyGraph
+from repro.model.attacker import AttackerProfile
+from repro.model.ecosystem import Ecosystem
+from repro.model.factors import Platform
+from repro.websim.crawler import ActFortProbe
+from repro.websim.internet import Internet
+
+
+@dataclasses.dataclass(frozen=True)
+class ActFortReport:
+    """The combined output of one ActFort run."""
+
+    auth_reports: Mapping[str, ServiceAuthReport]
+    collection_reports: Mapping[str, CollectionReport]
+    tdg: TransformationDependencyGraph
+
+    def dependency_fractions(
+        self, platform: Platform
+    ) -> Dict[DependencyLevel, float]:
+        """Section IV-B's dependency-level percentages for one platform."""
+        return self.tdg.level_fractions(platform)
+
+
+class ActFort:
+    """End-to-end analyzer for one Online Account Ecosystem."""
+
+    def __init__(
+        self,
+        auth_reports: Mapping[str, ServiceAuthReport],
+        collection_reports: Mapping[str, CollectionReport],
+        attacker: Optional[AttackerProfile] = None,
+    ) -> None:
+        self._auth_reports = dict(auth_reports)
+        self._collection_reports = dict(collection_reports)
+        self._attacker = attacker if attacker is not None else AttackerProfile.baseline()
+        self._tdg: Optional[TransformationDependencyGraph] = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_ecosystem(
+        cls,
+        ecosystem: Ecosystem,
+        attacker: Optional[AttackerProfile] = None,
+    ) -> "ActFort":
+        """Analyze static profiles (no live probing)."""
+        authproc = AuthenticationProcess()
+        collection = PersonalInfoCollection()
+        auth_reports = {
+            profile.name: authproc.analyze_profile(profile)
+            for profile in ecosystem
+        }
+        collection_reports = {
+            profile.name: collection.collect_from_profile(profile)
+            for profile in ecosystem
+        }
+        return cls(auth_reports, collection_reports, attacker)
+
+    @classmethod
+    def from_internet(
+        cls,
+        internet: Internet,
+        attacker: Optional[AttackerProfile] = None,
+        probe: Optional[ActFortProbe] = None,
+    ) -> "ActFort":
+        """Analyze by probing every deployed service black-box."""
+        probe = probe if probe is not None else ActFortProbe(internet)
+        authproc = AuthenticationProcess()
+        collection = PersonalInfoCollection()
+        auth_reports: Dict[str, ServiceAuthReport] = {}
+        collection_reports: Dict[str, CollectionReport] = {}
+        for observation in probe.observe_all():
+            auth_reports[observation.service] = authproc.analyze_observation(
+                observation
+            )
+            collection_reports[observation.service] = (
+                collection.collect_from_observation(observation)
+            )
+        return cls(auth_reports, collection_reports, attacker)
+
+    # ------------------------------------------------------------------
+    # Stage outputs
+    # ------------------------------------------------------------------
+
+    @property
+    def attacker(self) -> AttackerProfile:
+        """The attacker profile the analysis assumes."""
+        return self._attacker
+
+    @property
+    def auth_reports(self) -> Mapping[str, ServiceAuthReport]:
+        """Stage-1 reports by service name."""
+        return dict(self._auth_reports)
+
+    @property
+    def collection_reports(self) -> Mapping[str, CollectionReport]:
+        """Stage-2 reports by service name."""
+        return dict(self._collection_reports)
+
+    def tdg(self) -> TransformationDependencyGraph:
+        """Stage 3: the Transformation Dependency Graph (cached)."""
+        if self._tdg is None:
+            self._tdg = TransformationDependencyGraph.from_reports(
+                self._auth_reports, self._collection_reports, self._attacker
+            )
+        return self._tdg
+
+    def strategy(self) -> StrategyEngine:
+        """Stage 4: the strategy engine over the TDG."""
+        return StrategyEngine(self.tdg())
+
+    def report(self) -> ActFortReport:
+        """The combined report object."""
+        return ActFortReport(
+            auth_reports=dict(self._auth_reports),
+            collection_reports=dict(self._collection_reports),
+            tdg=self.tdg(),
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience queries
+    # ------------------------------------------------------------------
+
+    def potential_victims(self) -> ForwardClosureResult:
+        """Scenario 1 with an empty OAAS: what falls to the profile alone."""
+        return self.strategy().forward_closure()
+
+    def attack_chain(
+        self,
+        target: str,
+        platform: Optional[Platform] = None,
+        email_provider: Optional[str] = None,
+    ) -> Optional[AttackChain]:
+        """Scenario 2: a chain ending at ``target``."""
+        return self.strategy().attack_chain(
+            target, platform=platform, email_provider=email_provider
+        )
+
+    def with_attacker(self, attacker: AttackerProfile) -> "ActFort":
+        """Re-analyze the same reports under a different attacker profile."""
+        return ActFort(self._auth_reports, self._collection_reports, attacker)

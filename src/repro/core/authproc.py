@@ -1,0 +1,269 @@
+"""ActFort stage 1: the Authentication Process.
+
+For each online account the stage "collect[s] and analyze[s] the
+registration requirement ... then collect[s] and trace[s] the credential
+factors to construct the Authentication flow in each signup approach
+recursively" (Section III-B).  The flow construction is top-down: the
+source is a target action (sign-in, password reset, payment), each path
+under it lists the credential factors it demands, and factors that are
+themselves obtained through another authentication (an email code requires
+control of the email account) recurse one level further.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+from repro.model.account import AuthPath, AuthPurpose, PathType, ServiceProfile
+from repro.model.factors import CredentialFactor, Platform, is_interceptable_otp
+from repro.websim.crawler import ProbeObservation
+
+
+@dataclasses.dataclass(frozen=True)
+class AuthFlowNode:
+    """One node of the recursive authentication-flow tree.
+
+    ``requirement`` is either a credential factor or a sub-action label
+    (e.g. ``"control(email account)"``); ``children`` are the requirements
+    one layer further down.
+    """
+
+    requirement: str
+    factor: Optional[CredentialFactor]
+    children: Tuple["AuthFlowNode", ...] = ()
+
+    def depth(self) -> int:
+        """Height of the subtree rooted here (a leaf has depth 1)."""
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def leaves(self) -> Tuple["AuthFlowNode", ...]:
+        """All leaf requirements under this node."""
+        if not self.children:
+            return (self,)
+        result: List[AuthFlowNode] = []
+        for child in self.children:
+            result.extend(child.leaves())
+        return tuple(result)
+
+
+@dataclasses.dataclass(frozen=True)
+class AuthFlow:
+    """The flow tree for one (platform, purpose) source action."""
+
+    service: str
+    platform: Platform
+    purpose: AuthPurpose
+    paths: Tuple[AuthPath, ...]
+    root: AuthFlowNode
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceAuthReport:
+    """Stage-1 output for one service."""
+
+    service: str
+    domain: str
+    flows: Tuple[AuthFlow, ...]
+    #: Distinct credential-factor signatures across all paths; this is the
+    #: per-service contribution to the paper's "405 authentication paths".
+    distinct_path_signatures: int
+
+    def paths(self) -> Tuple[AuthPath, ...]:
+        """All paths across all flows."""
+        result: List[AuthPath] = []
+        for flow in self.flows:
+            result.extend(flow.paths)
+        return tuple(result)
+
+    def path_type_counts(
+        self, platform: Optional[Platform] = None
+    ) -> Dict[PathType, int]:
+        """Histogram of path types, optionally for one platform."""
+        counts: Dict[PathType, int] = {t: 0 for t in PathType}
+        for path in self.paths():
+            if platform is not None and path.platform is not platform:
+                continue
+            counts[path.path_type] += 1
+        return counts
+
+    def has_sms_only_path(
+        self,
+        platform: Optional[Platform] = None,
+        purpose: Optional[AuthPurpose] = None,
+    ) -> bool:
+        """Whether any (filtered) path needs only phone + SMS code."""
+        for path in self.paths():
+            if platform is not None and path.platform is not platform:
+                continue
+            if purpose is not None and path.purpose is not purpose:
+                continue
+            if path.is_sms_only:
+                return True
+        return False
+
+
+class AuthenticationProcess:
+    """Builds :class:`ServiceAuthReport` objects from profiles or probes."""
+
+    def analyze_profile(self, profile: ServiceProfile) -> ServiceAuthReport:
+        """Analyze a service from its static profile."""
+        return self._analyze(
+            profile.name, profile.domain, profile.auth_paths
+        )
+
+    def analyze_observation(
+        self, observation: ProbeObservation
+    ) -> ServiceAuthReport:
+        """Analyze a service from a black-box probe observation."""
+        return self._analyze(
+            observation.service, observation.domain, observation.paths
+        )
+
+    def _analyze(
+        self, service: str, domain: str, paths: Tuple[AuthPath, ...]
+    ) -> ServiceAuthReport:
+        flows: List[AuthFlow] = []
+        grouped: Dict[Tuple[Platform, AuthPurpose], List[AuthPath]] = {}
+        for path in paths:
+            grouped.setdefault((path.platform, path.purpose), []).append(path)
+        for (platform, purpose), group in sorted(
+            grouped.items(), key=lambda item: (item[0][0].value, item[0][1].value)
+        ):
+            root = self._build_flow_tree(service, platform, purpose, group)
+            flows.append(
+                AuthFlow(
+                    service=service,
+                    platform=platform,
+                    purpose=purpose,
+                    paths=tuple(group),
+                    root=root,
+                )
+            )
+        signatures = {path.factors for path in paths}
+        return ServiceAuthReport(
+            service=service,
+            domain=domain,
+            flows=tuple(flows),
+            distinct_path_signatures=len(signatures),
+        )
+
+    def _build_flow_tree(
+        self,
+        service: str,
+        platform: Platform,
+        purpose: AuthPurpose,
+        paths: List[AuthPath],
+    ) -> AuthFlowNode:
+        path_nodes: List[AuthFlowNode] = []
+        for index, path in enumerate(paths, start=1):
+            factor_nodes = tuple(
+                self._factor_node(factor, path)
+                for factor in sorted(path.factors, key=lambda f: f.value)
+            )
+            path_nodes.append(
+                AuthFlowNode(
+                    requirement=f"path_{index}({path.describe()})",
+                    factor=None,
+                    children=factor_nodes,
+                )
+            )
+        return AuthFlowNode(
+            requirement=f"{service}:{purpose.value}[{platform.value}]",
+            factor=None,
+            children=tuple(path_nodes),
+        )
+
+    def _factor_node(
+        self, factor: CredentialFactor, path: AuthPath
+    ) -> AuthFlowNode:
+        """Recurse one layer: factors that are themselves gated on another
+        authentication grow children naming the sub-action."""
+        if factor in (CredentialFactor.EMAIL_CODE, CredentialFactor.EMAIL_LINK):
+            child = AuthFlowNode(
+                requirement="control(email account)", factor=None
+            )
+            return AuthFlowNode(
+                requirement=factor.value, factor=factor, children=(child,)
+            )
+        if factor is CredentialFactor.LINKED_ACCOUNT:
+            providers = ", ".join(sorted(path.linked_providers)) or "any provider"
+            child = AuthFlowNode(
+                requirement=f"control(linked account: {providers})", factor=None
+            )
+            return AuthFlowNode(
+                requirement=factor.value, factor=factor, children=(child,)
+            )
+        if factor is CredentialFactor.SMS_CODE:
+            child = AuthFlowNode(
+                requirement="access(SMS channel)", factor=None
+            )
+            return AuthFlowNode(
+                requirement=factor.value, factor=factor, children=(child,)
+            )
+        return AuthFlowNode(requirement=factor.value, factor=factor)
+
+
+def aggregate_path_statistics(
+    reports: Mapping[str, ServiceAuthReport], platform: Platform
+) -> Dict[str, float]:
+    """Ecosystem-level Fig. 3 statistics for one platform.
+
+    Returns fractions over the services that exist on ``platform``:
+    SMS-only sign-in, SMS-only reset, any path using SMS, extra-info-needed,
+    plus path-type shares over *paths*.
+    """
+    on_platform = [
+        r
+        for r in reports.values()
+        if any(p.platform is platform for p in r.paths())
+    ]
+    if not on_platform:
+        raise ValueError(f"no services on platform {platform}")
+    n = len(on_platform)
+
+    def frac(predicate) -> float:
+        return sum(1 for r in on_platform if predicate(r)) / n
+
+    sms_signin = frac(
+        lambda r: r.has_sms_only_path(platform, AuthPurpose.SIGN_IN)
+    )
+    sms_reset = frac(
+        lambda r: r.has_sms_only_path(platform, AuthPurpose.PASSWORD_RESET)
+    )
+    uses_sms = frac(
+        lambda r: any(
+            CredentialFactor.SMS_CODE in p.factors
+            for p in r.paths()
+            if p.platform is platform
+        )
+    )
+    extra_info = frac(
+        lambda r: all(
+            p.path_type is not PathType.GENERAL
+            for p in r.paths()
+            if p.platform is platform
+        )
+    )
+
+    type_counts: Dict[PathType, int] = {t: 0 for t in PathType}
+    total_paths = 0
+    for report in on_platform:
+        for path in report.paths():
+            if path.platform is not platform:
+                continue
+            type_counts[path.path_type] += 1
+            total_paths += 1
+    return {
+        "services": float(n),
+        "sms_only_signin": sms_signin,
+        "sms_only_reset": sms_reset,
+        "uses_sms_anywhere": uses_sms,
+        "extra_info_required": extra_info,
+        "general_share": type_counts[PathType.GENERAL] / total_paths,
+        "info_share": type_counts[PathType.INFO] / total_paths,
+        "unique_share": type_counts[PathType.UNIQUE] / total_paths,
+        "total_paths": float(total_paths),
+    }

@@ -1,0 +1,173 @@
+"""ActFort stage 2: Personal Information Collection.
+
+"Personal information in different online accounts will be collected and
+classified to different categories ... identity information, account
+information, social relationship, property information, and historical
+records" (Section III-C).  The stage consumes either static profiles or
+probe observations (which additionally carry observed masking) and
+produces per-service :class:`CollectionReport` objects plus the
+ecosystem-level Table I aggregation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, FrozenSet, Mapping, Optional, Tuple
+
+from repro.model.account import ServiceProfile
+from repro.model.factors import InfoCategory, PersonalInfoKind, Platform
+from repro.websim.crawler import ProbeObservation
+
+#: Kinds that routinely appear masked; completeness matters for them.
+MASKABLE_KINDS: FrozenSet[PersonalInfoKind] = frozenset(
+    {PersonalInfoKind.CITIZEN_ID, PersonalInfoKind.BANKCARD_NUMBER}
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class ExposedItem:
+    """One information kind one service exposes on one platform."""
+
+    kind: PersonalInfoKind
+    platform: Platform
+    #: Revealed character positions if the item was observed masked;
+    #: ``None`` means exposed in full.
+    revealed_positions: Optional[FrozenSet[int]] = None
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether the full value can be read straight off the page."""
+        return self.revealed_positions is None
+
+    @property
+    def category(self) -> InfoCategory:
+        """The paper's five-way category of this kind."""
+        return self.kind.category
+
+
+@dataclasses.dataclass(frozen=True)
+class CollectionReport:
+    """Stage-2 output for one service."""
+
+    service: str
+    domain: str
+    items: Tuple[ExposedItem, ...]
+
+    def kinds_on(
+        self, platform: Platform, complete_only: bool = False
+    ) -> FrozenSet[PersonalInfoKind]:
+        """Kinds exposed on ``platform``."""
+        return frozenset(
+            item.kind
+            for item in self.items
+            if item.platform is platform
+            and (item.is_complete or not complete_only)
+        )
+
+    def effective_kinds(self, complete_only: bool = True) -> FrozenSet[PersonalInfoKind]:
+        """Union of kinds across platforms.
+
+        With ``complete_only`` (the default) only fully-readable values
+        count -- the conservative input the TDG uses; masked fragments are
+        handled separately by the combining analysis.
+        """
+        return frozenset(
+            item.kind
+            for item in self.items
+            if item.is_complete or not complete_only
+        )
+
+    def masked_items(self) -> Tuple[ExposedItem, ...]:
+        """Items observed with at least one character hidden."""
+        return tuple(item for item in self.items if not item.is_complete)
+
+    def category_histogram(self) -> Dict[InfoCategory, int]:
+        """How many exposed kinds fall in each of the five categories."""
+        counts: Dict[InfoCategory, int] = {c: 0 for c in InfoCategory}
+        for kind in self.effective_kinds(complete_only=False):
+            counts[kind.category] += 1
+        return counts
+
+
+class PersonalInfoCollection:
+    """Builds :class:`CollectionReport` objects."""
+
+    def collect_from_profile(self, profile: ServiceProfile) -> CollectionReport:
+        """Collect from a static profile (masking from the mask specs)."""
+        items = []
+        for platform in sorted(profile.platforms, key=lambda p: p.value):
+            for kind in sorted(profile.info_on(platform), key=lambda k: k.value):
+                revealed: Optional[FrozenSet[int]] = None
+                if (platform, kind) in profile.mask_specs:
+                    spec = profile.mask_specs[(platform, kind)]
+                    length = _canonical_length(kind)
+                    positions = spec.revealed_positions(length)
+                    if len(positions) < length:
+                        revealed = positions
+                items.append(
+                    ExposedItem(
+                        kind=kind, platform=platform, revealed_positions=revealed
+                    )
+                )
+        return CollectionReport(
+            service=profile.name, domain=profile.domain, items=tuple(items)
+        )
+
+    def collect_from_observation(
+        self, observation: ProbeObservation
+    ) -> CollectionReport:
+        """Collect from a probe observation (masking as actually rendered)."""
+        items = []
+        for platform in sorted(observation.exposed, key=lambda p: p.value):
+            for kind in sorted(observation.exposed[platform], key=lambda k: k.value):
+                positions = observation.observed_masks.get((platform, kind))
+                revealed: Optional[FrozenSet[int]] = None
+                if positions is not None:
+                    length = _canonical_length(kind)
+                    if len(positions) < length:
+                        revealed = positions
+                items.append(
+                    ExposedItem(
+                        kind=kind, platform=platform, revealed_positions=revealed
+                    )
+                )
+        return CollectionReport(
+            service=observation.service,
+            domain=observation.domain,
+            items=tuple(items),
+        )
+
+
+def _canonical_length(kind: PersonalInfoKind) -> int:
+    """Canonical value length for maskable kinds (18-digit citizen IDs,
+    16-digit cards); other kinds use a nominal length."""
+    if kind is PersonalInfoKind.CITIZEN_ID:
+        return 18
+    if kind is PersonalInfoKind.BANKCARD_NUMBER:
+        return 16
+    return 12
+
+
+def exposure_table(
+    reports: Mapping[str, CollectionReport], platform: Platform
+) -> Dict[PersonalInfoKind, float]:
+    """Table I for one platform: fraction of services exposing each kind.
+
+    A kind counts as exposed whether or not it is masked -- the paper's
+    Table I counts "private information obtained from online accounts",
+    with masking discussed separately.
+    """
+    on_platform = [
+        r
+        for r in reports.values()
+        if any(item.platform is platform for item in r.items)
+    ]
+    if not on_platform:
+        raise ValueError(f"no services observed on {platform}")
+    table: Dict[PersonalInfoKind, float] = {}
+    for kind in PersonalInfoKind:
+        count = sum(
+            1 for r in on_platform if kind in r.kinds_on(platform)
+        )
+        table[kind] = count / len(on_platform)
+    return table

@@ -1,0 +1,424 @@
+"""ActFort stage 4: Strategy Output.
+
+Two queries, exactly as Section III-E frames them:
+
+1. **Forward closure** -- given the accounts an attacker has already
+   compromised (the Online Account Attacked Set, ``OAAS``), pool their
+   personal information into the Initial Attack Database (``IAD``) and
+   iterate: any account one of whose authentication paths is fully
+   satisfiable from the IAD falls, its information joins the IAD, repeat.
+   The fixpoint is the set of Potential Account Victims (``PAV``).
+
+2. **Backward chain search** -- given a *target* account, search full
+   capacity parents and merged half-capacity couples, recursing until
+   every leaf is a node whose credential factors are just
+   cellphone number + SMS code, and return the account chain.
+
+Both operate on a :class:`~repro.core.tdg.TransformationDependencyGraph`;
+the executable output (:class:`AttackChain`) is what
+:mod:`repro.attack.executor` replays against the simulated internet.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.core.tdg import (
+    DOSSIER_KINDS,
+    DOSSIER_THRESHOLD,
+    TDGNode,
+    TransformationDependencyGraph,
+)
+from repro.model.account import AuthPath
+from repro.model.attacker import AttackerCapability
+from repro.model.factors import (
+    CredentialFactor,
+    PersonalInfoKind,
+    Platform,
+    factor_satisfied_by_info,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class ClosureEntry:
+    """One account that fell during forward closure."""
+
+    service: str
+    round: int
+    path: AuthPath
+    #: Which already-compromised service supplied each chained factor
+    #: (factors the attacker profile covers are absent from the mapping).
+    factor_sources: Mapping[CredentialFactor, str]
+
+
+@dataclasses.dataclass(frozen=True)
+class ForwardClosureResult:
+    """The PAV with provenance."""
+
+    entries: Tuple[ClosureEntry, ...]
+    safe: FrozenSet[str]
+    final_info: FrozenSet[PersonalInfoKind]
+
+    @property
+    def compromised(self) -> FrozenSet[str]:
+        """Names of every potential account victim."""
+        return frozenset(e.service for e in self.entries)
+
+    def entry(self, service: str) -> ClosureEntry:
+        """The closure entry for one compromised service."""
+        for candidate in self.entries:
+            if candidate.service == service:
+                return candidate
+        raise KeyError(f"{service!r} was not compromised")
+
+    def by_round(self) -> Dict[int, Tuple[str, ...]]:
+        """Services grouped by the round they fell in."""
+        grouped: Dict[int, List[str]] = {}
+        for entry in self.entries:
+            grouped.setdefault(entry.round, []).append(entry.service)
+        return {r: tuple(names) for r, names in sorted(grouped.items())}
+
+
+@dataclasses.dataclass(frozen=True)
+class ChainStep:
+    """One takeover in an executable attack chain."""
+
+    service: str
+    path: AuthPath
+    factor_sources: Mapping[CredentialFactor, str]
+
+    def describe(self) -> str:
+        """E.g. ``alipay via reset[mobile]: CID+PN+SC (CID<-ctrip)``."""
+        sources = ", ".join(
+            f"{factor.value}<-{src}"
+            for factor, src in sorted(
+                self.factor_sources.items(), key=lambda kv: kv[0].value
+            )
+        )
+        suffix = f" ({sources})" if sources else ""
+        return f"{self.service} via {self.path.describe()}{suffix}"
+
+
+@dataclasses.dataclass(frozen=True)
+class AttackChain:
+    """An ordered, executable chain ending at the target account."""
+
+    target: str
+    steps: Tuple[ChainStep, ...]
+
+    @property
+    def depth(self) -> int:
+        """Number of intermediate accounts before the target."""
+        return len(self.steps) - 1
+
+    @property
+    def services(self) -> Tuple[str, ...]:
+        """Services in takeover order (target last)."""
+        return tuple(step.service for step in self.steps)
+
+    def describe(self) -> str:
+        """Multi-line human-readable rendering of the chain."""
+        lines = [f"attack chain -> {self.target}:"]
+        for index, step in enumerate(self.steps, start=1):
+            lines.append(f"  {index}. {step.describe()}")
+        return "\n".join(lines)
+
+
+class StrategyEngine:
+    """Strategy Output over one TDG."""
+
+    def __init__(self, tdg: TransformationDependencyGraph) -> None:
+        self._tdg = tdg
+        self._email_provider: Optional[str] = None
+
+    @property
+    def tdg(self) -> TransformationDependencyGraph:
+        """The graph the engine searches."""
+        return self._tdg
+
+    # ------------------------------------------------------------------
+    # Scenario 1: forward closure (OAAS -> PAV)
+    # ------------------------------------------------------------------
+
+    def forward_closure(
+        self,
+        initially_compromised: Iterable[str] = (),
+        extra_info: Iterable[PersonalInfoKind] = (),
+        email_provider: Optional[str] = None,
+    ) -> ForwardClosureResult:
+        """Compute the PAV from an initial attacked set.
+
+        ``initially_compromised`` seeds the OAAS (round 0 entries with no
+        provenance); ``extra_info`` adds breach data to the IAD directly
+        (the paper's "when the data breach happens in the Internet").
+        ``email_provider`` pins email-code factors to one specific provider
+        service -- pass the victim's actual provider to make the resulting
+        chains executable against that victim (at ecosystem level, any
+        compromised email service qualifies).
+        """
+        self._email_provider = email_provider
+        attacker = self._tdg.attacker
+        info: Set[PersonalInfoKind] = set(attacker.known_info) | set(extra_info)
+        compromised: Dict[str, ClosureEntry] = {}
+        for name in initially_compromised:
+            node = self._tdg.node(name)
+            compromised[name] = ClosureEntry(
+                service=name,
+                round=0,
+                path=node.takeover_paths[0] if node.takeover_paths else None,
+                factor_sources={},
+            )
+            info |= node.pia
+
+        entries: List[ClosureEntry] = list(compromised.values())
+        round_number = 0
+        changed = True
+        while changed:
+            changed = False
+            round_number += 1
+            fallen_this_round: List[ClosureEntry] = []
+            for node in self._tdg.nodes:
+                if node.service in compromised:
+                    continue
+                takeover = self._try_takeover(
+                    node, frozenset(info), frozenset(compromised)
+                )
+                if takeover is None:
+                    continue
+                path, sources = takeover
+                entry = ClosureEntry(
+                    service=node.service,
+                    round=round_number,
+                    path=path,
+                    factor_sources=sources,
+                )
+                fallen_this_round.append(entry)
+            for entry in fallen_this_round:
+                compromised[entry.service] = entry
+                entries.append(entry)
+                info |= self._tdg.node(entry.service).pia
+                changed = True
+
+        safe = frozenset(
+            node.service
+            for node in self._tdg.nodes
+            if node.service not in compromised
+        )
+        return ForwardClosureResult(
+            entries=tuple(entries),
+            safe=safe,
+            final_info=frozenset(info),
+        )
+
+    def _try_takeover(
+        self,
+        node: TDGNode,
+        info: FrozenSet[PersonalInfoKind],
+        compromised: FrozenSet[str],
+    ) -> Optional[Tuple[AuthPath, Dict[CredentialFactor, str]]]:
+        """Return (path, provenance) if the node falls to the current IAD."""
+        attacker = self._tdg.attacker
+        innate = self._tdg.innate_factors()
+        best: Optional[Tuple[AuthPath, Dict[CredentialFactor, str]]] = None
+        for path in node.takeover_paths:
+            sources: Dict[CredentialFactor, str] = {}
+            ok = True
+            for factor in path.factors:
+                if factor in innate:
+                    continue
+                source = self._factor_source(
+                    factor, path, info, compromised
+                )
+                if source is None:
+                    ok = False
+                    break
+                sources[factor] = source
+            if ok and (best is None or len(path.factors) < len(best[0].factors)):
+                best = (path, sources)
+        return best
+
+    def _factor_source(
+        self,
+        factor: CredentialFactor,
+        path: AuthPath,
+        info: FrozenSet[PersonalInfoKind],
+        compromised: FrozenSet[str],
+    ) -> Optional[str]:
+        """Which compromised service supplies ``factor``, if any."""
+        attacker = self._tdg.attacker
+        if factor is CredentialFactor.LINKED_ACCOUNT:
+            for provider in sorted(path.linked_providers):
+                if provider in compromised:
+                    return provider
+            return None
+        if factor in (CredentialFactor.EMAIL_CODE, CredentialFactor.EMAIL_LINK):
+            if (
+                AttackerCapability.EMAIL_CHANNEL_AFTER_COMPROMISE
+                not in attacker.capabilities
+            ):
+                return None
+            pinned = getattr(self, "_email_provider", None)
+            if pinned is not None:
+                return pinned if pinned in compromised else None
+            if PersonalInfoKind.MAILBOX_ACCESS not in info:
+                return None
+            return self._provider_of_kind(
+                PersonalInfoKind.MAILBOX_ACCESS, compromised
+            )
+        if factor is CredentialFactor.CUSTOMER_SERVICE:
+            if (
+                AttackerCapability.SOCIAL_ENGINEERING
+                not in attacker.capabilities
+            ):
+                return None
+            if len(info & DOSSIER_KINDS) < DOSSIER_THRESHOLD:
+                return None
+            return self._provider_of_kind(
+                next(iter(info & DOSSIER_KINDS)), compromised
+            ) or "<dossier>"
+        if factor_satisfied_by_info(factor, info):
+            for kind in sorted(info, key=lambda k: k.value):
+                if factor_satisfied_by_info(factor, {kind}):
+                    source = self._provider_of_kind(kind, compromised)
+                    if source is not None:
+                        return source
+            return "<attacker-profile>"
+        # Insight 4: reconstruct a masked value by combining partial views
+        # harvested from several compromised accounts.
+        contributors = self._combining_contributors(factor, path, compromised)
+        if contributors:
+            return "+".join(contributors)
+        return None
+
+    def _combining_contributors(
+        self,
+        factor: CredentialFactor,
+        path: AuthPath,
+        compromised: FrozenSet[str],
+    ) -> Optional[Tuple[str, ...]]:
+        """A greedy minimal set of compromised accounts whose masked views
+        of ``factor``'s value union to the full string, or ``None``."""
+        from repro.core.tdg import _MASKABLE_FACTORS  # local: avoid cycle noise
+
+        maskable = _MASKABLE_FACTORS.get(factor)
+        if maskable is None:
+            return None
+        _kind, length = maskable
+        holders = sorted(
+            (
+                (name, self._tdg.partial_positions(self._tdg.node(name), factor))
+                for name in compromised
+                if name != path.service
+            ),
+            key=lambda item: (-len(item[1]), item[0]),
+        )
+        covered: Set[int] = set()
+        chosen: List[str] = []
+        for name, positions in holders:
+            if not positions - covered:
+                continue
+            covered |= positions
+            chosen.append(name)
+            if len(covered) >= length:
+                return tuple(sorted(chosen))
+        return None
+
+    def _provider_of_kind(
+        self, kind: PersonalInfoKind, compromised: FrozenSet[str]
+    ) -> Optional[str]:
+        for name in sorted(compromised):
+            if kind in self._tdg.node(name).pia:
+                return name
+        return None
+
+    # ------------------------------------------------------------------
+    # Scenario 2: backward chain search (target -> chain)
+    # ------------------------------------------------------------------
+
+    def attack_chain(
+        self,
+        target: str,
+        platform: Optional[Platform] = None,
+        email_provider: Optional[str] = None,
+    ) -> Optional[AttackChain]:
+        """Return an executable chain ending at ``target``, or ``None``.
+
+        The chain is reconstructed from the forward closure (so it is
+        guaranteed executable) and is minimal in the closure-round sense:
+        every step's chained factors come from services that fell strictly
+        earlier.  ``platform`` restricts the *target's* final path only --
+        middle accounts use whichever client is easiest, as real attackers
+        do.  ``email_provider`` pins email codes to the victim's actual
+        provider so the chain is executable against a concrete victim.
+        """
+        closure = self.forward_closure(email_provider=email_provider)
+        by_name = {entry.service: entry for entry in closure.entries}
+        if target not in by_name:
+            return None
+        target_entry = by_name[target]
+        if platform is not None and target_entry.path.platform is not platform:
+            replacement = self._retarget_platform(
+                target, platform, closure, by_name
+            )
+            if replacement is None:
+                return None
+            target_entry = replacement
+
+        ordered: List[ChainStep] = []
+        visited: Set[str] = set()
+
+        def visit(entry: ClosureEntry) -> None:
+            if entry.service in visited:
+                return
+            visited.add(entry.service)
+            for source in sorted(set(entry.factor_sources.values())):
+                if source in by_name:
+                    visit(by_name[source])
+            ordered.append(
+                ChainStep(
+                    service=entry.service,
+                    path=entry.path,
+                    factor_sources=dict(entry.factor_sources),
+                )
+            )
+
+        visit(target_entry)
+        return AttackChain(target=target, steps=tuple(ordered))
+
+    def _retarget_platform(
+        self,
+        target: str,
+        platform: Platform,
+        closure: ForwardClosureResult,
+        by_name: Mapping[str, ClosureEntry],
+    ) -> Optional[ClosureEntry]:
+        """Re-derive the target's entry restricted to one platform."""
+        node = self._tdg.node(target)
+        platform_node = TDGNode(
+            service=node.service,
+            domain=node.domain,
+            takeover_paths=node.paths_on(platform),
+            pia=node.pia,
+            pia_partial=node.pia_partial,
+        )
+        others = closure.compromised - {target}
+        takeover = self._try_takeover(
+            platform_node,
+            closure.final_info
+            - self._tdg.node(target).pia,  # cannot use the target's own info
+            frozenset(others),
+        )
+        if takeover is None:
+            return None
+        path, sources = takeover
+        return ClosureEntry(
+            service=target,
+            round=by_name[target].round,
+            path=path,
+            factor_sources=sources,
+        )
+
+    def reachable_targets(self) -> FrozenSet[str]:
+        """Every service some chain reaches under the attacker profile."""
+        return self.forward_closure().compromised

@@ -1,0 +1,796 @@
+"""ActFort stage 3: Transformation Dependency Graph generation.
+
+Each node is an online account with a credential-factor attribute (CFA --
+its takeover paths) and a personal-information attribute (PIA -- what it
+exposes once controlled).  An edge ``u -> v`` exists when information from
+``u`` satisfies credential factors of ``v`` under a given attacker profile
+(Section III-D):
+
+- ``u`` is a **full capacity parent** of ``v`` (Definition 1, a
+  *strong-directivity* edge) when ``u`` alone provides every factor of at
+  least one of ``v``'s paths (beyond what the attacker profile supplies).
+- ``u`` is a **half capacity parent** (Definition 2) when it provides some
+  but not all of a path's factors.
+- Nodes that *jointly* cover a path are **couple nodes** (Definition 3,
+  *weak-directivity* edges); the tuples are recorded in the Couple File.
+
+On top of the raw graph the module computes the paper's dependency-level
+statistics (Section IV-B-1): directly compromisable with phone + SMS code,
+compromisable through one middle layer, through two layers of full-capacity
+parents, through two layers involving half-capacity parents, or safe.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import itertools
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+import networkx as nx
+
+from repro.core.authproc import ServiceAuthReport
+from repro.core.collection import CollectionReport
+from repro.model.account import AuthPath, ServiceProfile
+from repro.model.attacker import AttackerCapability, AttackerProfile
+from repro.model.ecosystem import Ecosystem
+from repro.model.factors import (
+    CredentialFactor,
+    PersonalInfoKind,
+    Platform,
+    factor_satisfied_by_info,
+    is_robust_factor,
+)
+
+#: Facts that can convince a customer-service agent (Case III's web path).
+DOSSIER_KINDS: FrozenSet[PersonalInfoKind] = frozenset(
+    {
+        PersonalInfoKind.REAL_NAME,
+        PersonalInfoKind.CITIZEN_ID,
+        PersonalInfoKind.ADDRESS,
+        PersonalInfoKind.CELLPHONE_NUMBER,
+        PersonalInfoKind.EMAIL_ADDRESS,
+        PersonalInfoKind.BANKCARD_NUMBER,
+        PersonalInfoKind.ACQUAINTANCE_NAME,
+        PersonalInfoKind.ORDER_HISTORY,
+    }
+)
+
+#: Number of correct dossier facts a human agent demands.
+DOSSIER_THRESHOLD = 3
+
+#: Depth cap for the level analysis; the paper's categories stop at two
+#: middle layers.
+_MAX_DEPTH = 8
+
+#: Maskable credential factors: the info kind whose partial (masked) views
+#: can be combined across providers to reconstruct the value (Insight 4),
+#: plus the canonical value length the union must cover.
+_MASKABLE_FACTORS: Mapping[CredentialFactor, Tuple[PersonalInfoKind, int]] = {
+    CredentialFactor.CITIZEN_ID: (PersonalInfoKind.CITIZEN_ID, 18),
+    CredentialFactor.BANKCARD_NUMBER: (PersonalInfoKind.BANKCARD_NUMBER, 16),
+}
+
+
+def canonical_length(kind: PersonalInfoKind) -> int:
+    """Canonical string length per maskable kind (18-digit citizen IDs,
+    16-digit bankcards; nominal 12 elsewhere)."""
+    if kind is PersonalInfoKind.CITIZEN_ID:
+        return 18
+    if kind is PersonalInfoKind.BANKCARD_NUMBER:
+        return 16
+    return 12
+
+
+class DependencyLevel(enum.Enum):
+    """The paper's four dependency relationships plus "safe"."""
+
+    DIRECT = "direct"
+    ONE_LAYER = "one_layer"
+    TWO_LAYER_FULL = "two_layer_full"
+    TWO_LAYER_MIXED = "two_layer_mixed"
+    SAFE = "safe"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclasses.dataclass(frozen=True)
+class TDGNode:
+    """One online account in the graph."""
+
+    service: str
+    domain: str
+    #: CFA: every path that yields control of the account.
+    takeover_paths: Tuple[AuthPath, ...]
+    #: PIA: kinds readable in full from the logged-in UI (any platform).
+    pia: FrozenSet[PersonalInfoKind]
+    #: Kinds exposed only partially: kind -> union of revealed character
+    #: positions across the service's platforms.  Input to the combining
+    #: analysis (Insight 4), not to ordinary full-provider edges.
+    pia_partial: Mapping[PersonalInfoKind, FrozenSet[int]] = dataclasses.field(
+        default_factory=dict
+    )
+
+    def paths_on(self, platform: Optional[Platform]) -> Tuple[AuthPath, ...]:
+        """Takeover paths, optionally restricted to one platform."""
+        if platform is None:
+            return self.takeover_paths
+        return tuple(
+            p for p in self.takeover_paths if p.platform is platform
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class PathCoverage:
+    """How one path of one node can be satisfied under the profile."""
+
+    path: AuthPath
+    #: Factors the attacker profile supplies by itself.
+    innate: FrozenSet[CredentialFactor]
+    #: Factors that must come from other compromised accounts.
+    residual: FrozenSet[CredentialFactor]
+    #: Factors nothing can supply (biometrics, hardware keys).
+    unsatisfiable: FrozenSet[CredentialFactor]
+
+    @property
+    def is_direct(self) -> bool:
+        """Whether the attacker profile alone satisfies the path."""
+        return not self.residual and not self.unsatisfiable
+
+    @property
+    def is_blocked(self) -> bool:
+        """Whether the path is dead regardless of chaining."""
+        return bool(self.unsatisfiable)
+
+
+@dataclasses.dataclass(frozen=True)
+class CoupleRecord:
+    """One Couple File entry: the providers jointly unlock the target path."""
+
+    providers: FrozenSet[str]
+    target: str
+    path: AuthPath
+
+
+class TransformationDependencyGraph:
+    """The TDG over a set of nodes and one attacker profile."""
+
+    def __init__(
+        self,
+        nodes: Iterable[TDGNode],
+        attacker: AttackerProfile,
+    ) -> None:
+        self._nodes: Dict[str, TDGNode] = {}
+        for node in nodes:
+            if node.service in self._nodes:
+                raise ValueError(f"duplicate TDG node {node.service!r}")
+            self._nodes[node.service] = node
+        self._attacker = attacker
+        self._innate = attacker.innately_satisfiable()
+        self._depth_cache: Optional[Dict[str, int]] = None
+        self._pure_full_cache: Optional[Dict[str, int]] = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_ecosystem(
+        cls, ecosystem: Ecosystem, attacker: AttackerProfile
+    ) -> "TransformationDependencyGraph":
+        """Build the graph straight from service profiles."""
+        return cls(
+            (cls.node_from_profile(p) for p in ecosystem),
+            attacker,
+        )
+
+    @classmethod
+    def from_reports(
+        cls,
+        auth_reports: Mapping[str, ServiceAuthReport],
+        collection_reports: Mapping[str, CollectionReport],
+        attacker: AttackerProfile,
+    ) -> "TransformationDependencyGraph":
+        """Build the graph from stage-1/stage-2 outputs (the probe path)."""
+        nodes = []
+        for name, auth_report in auth_reports.items():
+            collection = collection_reports.get(name)
+            complete: FrozenSet[PersonalInfoKind] = frozenset()
+            partial: Dict[PersonalInfoKind, FrozenSet[int]] = {}
+            if collection is not None:
+                complete = collection.effective_kinds(complete_only=True)
+                for item in collection.masked_items():
+                    if item.kind in complete:
+                        continue
+                    positions = item.revealed_positions or frozenset()
+                    partial[item.kind] = partial.get(item.kind, frozenset()) | positions
+            nodes.append(
+                TDGNode(
+                    service=name,
+                    domain=auth_report.domain,
+                    takeover_paths=auth_report.paths(),
+                    pia=complete,
+                    pia_partial=dict(partial),
+                )
+            )
+        return cls(nodes, attacker)
+
+    @staticmethod
+    def node_from_profile(profile: ServiceProfile) -> TDGNode:
+        """Convert one service profile into a TDG node."""
+        complete: Set[PersonalInfoKind] = set()
+        partial: Dict[PersonalInfoKind, FrozenSet[int]] = {}
+        for platform in profile.platforms:
+            for kind in profile.info_on(platform):
+                spec = profile.mask_for(platform, kind)
+                length = canonical_length(kind)
+                positions = spec.revealed_positions(length)
+                if len(positions) >= length:
+                    complete.add(kind)
+                else:
+                    partial[kind] = partial.get(kind, frozenset()) | positions
+        # A service whose own platforms mask *differently* can leak the full
+        # value by itself (the Gome web-vs-mobile case): union first.
+        for kind, positions in list(partial.items()):
+            if len(positions) >= canonical_length(kind):
+                complete.add(kind)
+        for kind in complete:
+            partial.pop(kind, None)
+        return TDGNode(
+            service=profile.name,
+            domain=profile.domain,
+            takeover_paths=profile.takeover_paths(),
+            pia=frozenset(complete),
+            pia_partial=dict(partial),
+        )
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def attacker(self) -> AttackerProfile:
+        """The attacker profile the graph was computed under."""
+        return self._attacker
+
+    @property
+    def nodes(self) -> Tuple[TDGNode, ...]:
+        """All nodes, in insertion order."""
+        return tuple(self._nodes.values())
+
+    def node(self, service: str) -> TDGNode:
+        """Look a node up by service name."""
+        return self._nodes[service]
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, service: object) -> bool:
+        return service in self._nodes
+
+    # ------------------------------------------------------------------
+    # Factor provisioning semantics
+    # ------------------------------------------------------------------
+
+    def innate_factors(self) -> FrozenSet[CredentialFactor]:
+        """Factors the attacker profile supplies with no compromise."""
+        return self._innate
+
+    def coverage(self, node: TDGNode, path: AuthPath) -> PathCoverage:
+        """Split one path's factors into innate / residual / unsatisfiable."""
+        innate: Set[CredentialFactor] = set()
+        residual: Set[CredentialFactor] = set()
+        unsatisfiable: Set[CredentialFactor] = set()
+        for factor in path.factors:
+            if factor in self._innate:
+                innate.add(factor)
+            elif is_robust_factor(factor) or factor is CredentialFactor.PASSWORD:
+                # Passwords are secrets, not harvestable information; a path
+                # demanding the current password cannot be chained into.
+                unsatisfiable.add(factor)
+            elif self._providers_of(factor, path):
+                residual.add(factor)
+            elif self._combinable(factor, path, self._all_names()):
+                residual.add(factor)
+            elif factor is CredentialFactor.CUSTOMER_SERVICE and (
+                AttackerCapability.SOCIAL_ENGINEERING in self._attacker.capabilities
+            ):
+                residual.add(factor)
+            else:
+                unsatisfiable.add(factor)
+        return PathCoverage(
+            path=path,
+            innate=frozenset(innate),
+            residual=frozenset(residual),
+            unsatisfiable=frozenset(unsatisfiable),
+        )
+
+    def provides(
+        self, provider: TDGNode, factor: CredentialFactor, path: AuthPath
+    ) -> bool:
+        """Whether controlling ``provider`` supplies ``factor`` for ``path``."""
+        if is_robust_factor(factor) or factor is CredentialFactor.PASSWORD:
+            return False
+        if factor in (CredentialFactor.EMAIL_CODE, CredentialFactor.EMAIL_LINK):
+            return (
+                PersonalInfoKind.MAILBOX_ACCESS in provider.pia
+                and AttackerCapability.EMAIL_CHANNEL_AFTER_COMPROMISE
+                in self._attacker.capabilities
+            )
+        if factor is CredentialFactor.LINKED_ACCOUNT:
+            return provider.service in path.linked_providers
+        if factor is CredentialFactor.CUSTOMER_SERVICE:
+            if (
+                AttackerCapability.SOCIAL_ENGINEERING
+                not in self._attacker.capabilities
+            ):
+                return False
+            return len(provider.pia & DOSSIER_KINDS) >= DOSSIER_THRESHOLD
+        return factor_satisfied_by_info(factor, provider.pia)
+
+    def _providers_of(
+        self, factor: CredentialFactor, path: AuthPath
+    ) -> Tuple[TDGNode, ...]:
+        return tuple(
+            node
+            for node in self._nodes.values()
+            if node.service != path.service and self.provides(node, factor, path)
+        )
+
+    def _all_names(self) -> FrozenSet[str]:
+        return frozenset(self._nodes)
+
+    def partial_positions(
+        self, provider: TDGNode, factor: CredentialFactor
+    ) -> FrozenSet[int]:
+        """Character positions ``provider``'s masked view of ``factor``'s
+        underlying value reveals (empty when not maskable / not exposed)."""
+        maskable = _MASKABLE_FACTORS.get(factor)
+        if maskable is None:
+            return frozenset()
+        kind, _length = maskable
+        return provider.pia_partial.get(kind, frozenset())
+
+    def _combinable(
+        self,
+        factor: CredentialFactor,
+        path: AuthPath,
+        pool: FrozenSet[str],
+    ) -> bool:
+        """Insight 4: whether masked views pooled from ``pool`` reconstruct
+        the factor's full value ("by attacking several service accounts and
+        applying certain combining rules, the attacker could easily cipher
+        covered SSN and bankcard numbers")."""
+        maskable = _MASKABLE_FACTORS.get(factor)
+        if maskable is None:
+            return False
+        _kind, length = maskable
+        union: Set[int] = set()
+        for name in pool:
+            if name == path.service:
+                continue
+            union |= self.partial_positions(self._nodes[name], factor)
+            if len(union) >= length:
+                return True
+        return False
+
+    def _pool_provides(
+        self,
+        factor: CredentialFactor,
+        path: AuthPath,
+        pool: FrozenSet[str],
+    ) -> bool:
+        """Whether the compromised ``pool`` satisfies ``factor`` -- via a
+        full provider or via combining masked views."""
+        for name in pool:
+            if name == path.service:
+                continue
+            if self.provides(self._nodes[name], factor, path):
+                return True
+        return self._combinable(factor, path, pool)
+
+    # ------------------------------------------------------------------
+    # Definitions 1-3: parents and couples
+    # ------------------------------------------------------------------
+
+    def full_capacity_parents(self, service: str) -> FrozenSet[str]:
+        """Definition 1: nodes that alone unlock at least one path."""
+        node = self._nodes[service]
+        parents: Set[str] = set()
+        for path in node.takeover_paths:
+            cover = self.coverage(node, path)
+            if cover.is_blocked or not cover.residual:
+                continue
+            for candidate in self._nodes.values():
+                if candidate.service == service:
+                    continue
+                if all(
+                    self.provides(candidate, factor, path)
+                    for factor in cover.residual
+                ):
+                    parents.add(candidate.service)
+        return frozenset(parents)
+
+    def half_capacity_parents(self, service: str) -> FrozenSet[str]:
+        """Definition 2: nodes providing part (not all) of some path."""
+        node = self._nodes[service]
+        halves: Set[str] = set()
+        for path in node.takeover_paths:
+            cover = self.coverage(node, path)
+            if cover.is_blocked or not cover.residual:
+                continue
+            for candidate in self._nodes.values():
+                if candidate.service == service:
+                    continue
+                provided = {
+                    factor
+                    for factor in cover.residual
+                    if self.provides(candidate, factor, path)
+                }
+                if provided and provided != cover.residual:
+                    halves.add(candidate.service)
+        return frozenset(halves)
+
+    def couples(self, service: str, max_size: int = 3) -> Tuple[CoupleRecord, ...]:
+        """Definition 3: minimal joint covers of some path (the Couple File).
+
+        Only genuinely joint covers are recorded (size >= 2); covers
+        containing a full-capacity parent are not minimal and are skipped.
+        """
+        node = self._nodes[service]
+        records: List[CoupleRecord] = []
+        seen: Set[Tuple[FrozenSet[str], AuthPath]] = set()
+        for path in node.takeover_paths:
+            cover = self.coverage(node, path)
+            if cover.is_blocked or not cover.residual:
+                continue
+            per_factor: Dict[CredentialFactor, Tuple[FrozenSet[str], ...]] = {}
+            feasible = True
+            for factor in cover.residual:
+                options: List[FrozenSet[str]] = [
+                    frozenset({p.service})
+                    for p in self._providers_of(factor, path)
+                ]
+                options.extend(self._combining_sets(factor, path))
+                if not options:
+                    feasible = False
+                    break
+                per_factor[factor] = tuple(options)
+            if not feasible:
+                continue
+            factors = sorted(per_factor, key=lambda f: f.value)
+            for combo in itertools.product(*(per_factor[f] for f in factors)):
+                members: FrozenSet[str] = frozenset().union(*combo)
+                if len(members) < 2 or len(members) > max_size:
+                    continue
+                if self._has_redundant_member(members, cover, path):
+                    continue
+                key = (members, path)
+                if key in seen:
+                    continue
+                seen.add(key)
+                records.append(
+                    CoupleRecord(providers=members, target=service, path=path)
+                )
+        return tuple(records)
+
+    def _combining_sets(
+        self, factor: CredentialFactor, path: AuthPath, max_size: int = 3
+    ) -> List[FrozenSet[str]]:
+        """Minimal sets of partial views that jointly reconstruct ``factor``.
+
+        Enumerates pairs and triples of masked-view holders whose revealed
+        positions union to the full value length (Insight 4's combining
+        attack as Definition-3 couples).
+        """
+        maskable = _MASKABLE_FACTORS.get(factor)
+        if maskable is None:
+            return []
+        _kind, length = maskable
+        holders = [
+            (node.service, self.partial_positions(node, factor))
+            for node in self._nodes.values()
+            if node.service != path.service
+            and self.partial_positions(node, factor)
+        ]
+        results: List[FrozenSet[str]] = []
+        for size in (2, 3):
+            if size > max_size:
+                break
+            for combo in itertools.combinations(holders, size):
+                union: FrozenSet[int] = frozenset().union(
+                    *(positions for _n, positions in combo)
+                )
+                if len(union) < length:
+                    continue
+                members = frozenset(name for name, _p in combo)
+                # Minimality: no strict subset may already cover.
+                if any(
+                    len(
+                        frozenset().union(
+                            *(p for n, p in combo if n != skip)
+                        )
+                    )
+                    >= length
+                    for skip, _ in combo
+                ):
+                    continue
+                if any(existing <= members for existing in results):
+                    continue
+                results.append(members)
+        return results
+
+    def _has_redundant_member(
+        self,
+        members: FrozenSet[str],
+        cover: PathCoverage,
+        path: AuthPath,
+    ) -> bool:
+        """A cover is non-minimal if dropping a member still covers."""
+        for member in members:
+            rest = members - {member}
+            if all(
+                self._pool_provides(factor, path, rest)
+                for factor in cover.residual
+            ):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Edges
+    # ------------------------------------------------------------------
+
+    def strong_edges(self) -> FrozenSet[Tuple[str, str]]:
+        """All strong-directivity edges (full-capacity parent -> child)."""
+        edges: Set[Tuple[str, str]] = set()
+        for service in self._nodes:
+            for parent in self.full_capacity_parents(service):
+                edges.add((parent, service))
+        return frozenset(edges)
+
+    def weak_edges(self) -> FrozenSet[Tuple[str, str]]:
+        """All weak-directivity edges (couple member -> child)."""
+        edges: Set[Tuple[str, str]] = set()
+        for service in self._nodes:
+            for record in self.couples(service):
+                for provider in record.providers:
+                    edges.add((provider, service))
+        return frozenset(edges)
+
+    def to_networkx(self, include_weak: bool = False) -> nx.DiGraph:
+        """Export to a NetworkX digraph (Fig. 4 rendering and analysis).
+
+        Nodes carry ``fringe`` (bool) and ``domain`` attributes; edges carry
+        ``directivity`` in {"strong", "weak"}.
+        """
+        graph = nx.DiGraph()
+        for node in self._nodes.values():
+            graph.add_node(
+                node.service,
+                domain=node.domain,
+                fringe=self.is_direct(node.service),
+            )
+        for parent, child in self.strong_edges():
+            graph.add_edge(parent, child, directivity="strong")
+        if include_weak:
+            for parent, child in self.weak_edges():
+                if not graph.has_edge(parent, child):
+                    graph.add_edge(parent, child, directivity="weak")
+        return graph
+
+    # ------------------------------------------------------------------
+    # Dependency levels (Section IV-B-1's percentages)
+    # ------------------------------------------------------------------
+
+    def is_direct(
+        self, service: str, platform: Optional[Platform] = None
+    ) -> bool:
+        """Whether the attacker profile alone takes the account over."""
+        node = self._nodes[service]
+        return any(
+            self.coverage(node, path).is_direct
+            for path in node.paths_on(platform)
+        )
+
+    def _depths(self) -> Dict[str, int]:
+        """Minimal compromise depth per node, joint coverage allowed.
+
+        Depth 0 nodes fall to the attacker profile alone; depth ``k`` nodes
+        need information pooled from nodes of depth < ``k``.  Unreachable
+        nodes are absent from the result.
+        """
+        if self._depth_cache is not None:
+            return self._depth_cache
+        depths: Dict[str, int] = {}
+        for service in self._nodes:
+            if self.is_direct(service):
+                depths[service] = 0
+        for depth in range(1, _MAX_DEPTH + 1):
+            pool = frozenset(
+                name for name, d in depths.items() if d < depth
+            )
+            changed = False
+            for service, node in self._nodes.items():
+                if service in depths:
+                    continue
+                if self._coverable_by(node, pool):
+                    depths[service] = depth
+                    changed = True
+            if not changed:
+                break
+        self._depth_cache = depths
+        return depths
+
+    def _coverable_by(self, node: TDGNode, pool: FrozenSet[str]) -> bool:
+        for path in node.takeover_paths:
+            cover = self.coverage(node, path)
+            if cover.is_blocked:
+                continue
+            if all(
+                self._pool_provides(factor, path, pool)
+                for factor in cover.residual
+            ):
+                return True
+        return False
+
+    def _pure_full_depths(self) -> Dict[str, int]:
+        """Minimal chain depth using only full-capacity (single-parent)
+        steps -- the "all full capacity parents" variant of the paper's
+        category (3)."""
+        if self._pure_full_cache is not None:
+            return self._pure_full_cache
+        depths: Dict[str, int] = {}
+        for service in self._nodes:
+            if self.is_direct(service):
+                depths[service] = 0
+        parents: Dict[str, FrozenSet[str]] = {
+            service: self.full_capacity_parents(service)
+            for service in self._nodes
+        }
+        for depth in range(1, _MAX_DEPTH + 1):
+            changed = False
+            for service in self._nodes:
+                if service in depths:
+                    continue
+                best = min(
+                    (
+                        depths[parent]
+                        for parent in parents[service]
+                        if parent in depths
+                    ),
+                    default=None,
+                )
+                if best is not None and best < depth:
+                    depths[service] = best + 1
+                    changed = True
+            if not changed:
+                break
+        self._pure_full_cache = depths
+        return depths
+
+    def dependency_levels(
+        self, platform: Platform
+    ) -> Dict[str, FrozenSet[DependencyLevel]]:
+        """Per-service dependency levels on one platform.
+
+        Levels are non-exclusive across a service's paths ("the overall
+        percentage can not be summed up to 100% since one service can have
+        multiple reset combinations").
+        """
+        pure_full = self._pure_full_depths()
+        depths = self._depths()
+        joint_pool_1 = frozenset(
+            name for name, d in depths.items() if d <= 1
+        )
+        full_pool = frozenset(depths)
+        result: Dict[str, FrozenSet[DependencyLevel]] = {}
+        for service, node in self._nodes.items():
+            paths = node.paths_on(platform)
+            if not paths:
+                continue
+            levels: Set[DependencyLevel] = set()
+            for path in paths:
+                cover = self.coverage(node, path)
+                if cover.is_blocked:
+                    continue
+                # Each path contributes its *minimal* category; a service
+                # still lands in several categories when different reset
+                # combinations sit at different depths (which is why the
+                # paper's percentages do not sum to 100%).
+                if cover.is_direct:
+                    levels.add(DependencyLevel.DIRECT)
+                    continue
+                full_parent_depths = [
+                    pure_full[p.service]
+                    for p in self._path_full_parents(node, path, cover)
+                    if p.service in pure_full
+                ]
+                if any(d == 0 for d in full_parent_depths):
+                    levels.add(DependencyLevel.ONE_LAYER)
+                elif any(d == 1 for d in full_parent_depths):
+                    levels.add(DependencyLevel.TWO_LAYER_FULL)
+                elif self._jointly_coverable(node, path, cover, joint_pool_1):
+                    levels.add(DependencyLevel.TWO_LAYER_MIXED)
+            if not levels:
+                # Either reachable only deeper than the paper's two-layer
+                # categories (rare; folded into the mixed catch-all) or not
+                # reachable at all on this platform -> safe.
+                if self._platform_reachable(node, paths, full_pool):
+                    levels.add(DependencyLevel.TWO_LAYER_MIXED)
+                else:
+                    levels.add(DependencyLevel.SAFE)
+            result[service] = frozenset(levels)
+        return result
+
+    def _platform_reachable(
+        self,
+        node: TDGNode,
+        paths: Tuple[AuthPath, ...],
+        pool: FrozenSet[str],
+    ) -> bool:
+        pool = pool - {node.service}
+        for path in paths:
+            cover = self.coverage(node, path)
+            if cover.is_blocked:
+                continue
+            if all(
+                self._pool_provides(factor, path, pool)
+                for factor in cover.residual
+            ):
+                return True
+        return False
+
+    def _path_full_parents(
+        self, node: TDGNode, path: AuthPath, cover: PathCoverage
+    ) -> Tuple[TDGNode, ...]:
+        return tuple(
+            candidate
+            for candidate in self._nodes.values()
+            if candidate.service != node.service
+            and all(
+                self.provides(candidate, factor, path)
+                for factor in cover.residual
+            )
+        )
+
+    def _jointly_coverable(
+        self,
+        node: TDGNode,
+        path: AuthPath,
+        cover: PathCoverage,
+        pool: FrozenSet[str],
+    ) -> bool:
+        pool = pool - {node.service}
+        return bool(cover.residual) and all(
+            self._pool_provides(factor, path, pool)
+            for factor in cover.residual
+        )
+
+    def level_fractions(
+        self, platform: Platform
+    ) -> Dict[DependencyLevel, float]:
+        """Fraction of platform services in each level (non-exclusive)."""
+        levels = self.dependency_levels(platform)
+        if not levels:
+            raise ValueError(f"no services on {platform}")
+        n = len(levels)
+        return {
+            level: sum(1 for ls in levels.values() if level in ls) / n
+            for level in DependencyLevel
+        }
+
+    def fringe_nodes(self) -> FrozenSet[str]:
+        """Fig. 4's red dots: services the profile takes over directly."""
+        return frozenset(
+            service for service in self._nodes if self.is_direct(service)
+        )

@@ -1,0 +1,164 @@
+"""Countermeasure 4: the built-in OS authentication service of Fig. 8.
+
+The paper proposes a "Post-GSM built-in mobile authentication service":
+host applications call a system-level API; the OS vendor's authentication
+server pushes an encrypted verification signal to the device over HTTPS;
+no code is ever "displayed or saved in places like the message inbox" and
+nothing transits GSM.
+
+Two artifacts here:
+
+- :class:`BuiltinAuthService` -- a runtime simulation of the Fig. 8
+  protocol (register -> login request -> authorize -> authenticate ->
+  verification signal).  Its push channel is the device registry itself:
+  there is no radio event, so neither the sniffer nor the fake base
+  station ever sees anything to intercept.
+- :class:`BuiltinAuthUpgrade` -- the ecosystem transform: enrolled services
+  replace SMS codes with the built-in factor, modelled as
+  :data:`~repro.model.factors.CredentialFactor.TRUSTED_DEVICE` (possession
+  of the enrolled device), which the chain semantics already treat as
+  robust.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.model.account import AuthPath, ServiceProfile
+from repro.model.ecosystem import Ecosystem
+from repro.model.factors import CredentialFactor
+
+
+@dataclasses.dataclass(frozen=True)
+class PushChallenge:
+    """One pending authentication push on a device."""
+
+    challenge_id: str
+    service: str
+    person_id: str
+    location_hint: str
+    approved: Optional[bool] = None
+
+
+class BuiltinAuthService:
+    """The OS provider's authentication server (Fig. 8).
+
+    The five protocol steps map to methods:
+
+    1. ``register(person_id, device_id)``       -- (1) Register
+    2. ``request_login(service, person_id)``    -- (2) Login Request
+    3. ``pending_for(person_id, device_id)``    -- the push arriving on-device
+    4. ``approve(challenge_id, device_id)``     -- (3)/(4) Authorize+Authenticate
+    5. ``verify(challenge_id)``                 -- (5) Verification Signal
+
+    Codes never exist as text; approval is bound to the registered device.
+    """
+
+    def __init__(self) -> None:
+        self._devices: Dict[str, str] = {}
+        self._challenges: Dict[str, PushChallenge] = {}
+        self._counter = 0
+
+    def register(self, person_id: str, device_id: str) -> None:
+        """Step 1: enroll the user's device with the OS auth server."""
+        self._devices[person_id] = device_id
+
+    def is_registered(self, person_id: str) -> bool:
+        """Whether the user completed enrollment."""
+        return person_id in self._devices
+
+    def request_login(
+        self, service: str, person_id: str, location_hint: str = "unknown"
+    ) -> str:
+        """Step 2: a host application requests authentication.
+
+        Returns the challenge id the service will later verify.  Nothing is
+        transmitted over SMS; the push is delivered in-band to the enrolled
+        device only.
+        """
+        if person_id not in self._devices:
+            raise KeyError(f"{person_id!r} has no enrolled device")
+        self._counter += 1
+        challenge_id = hashlib.sha256(
+            f"{service}:{person_id}:{self._counter}".encode("utf-8")
+        ).hexdigest()[:16]
+        self._challenges[challenge_id] = PushChallenge(
+            challenge_id=challenge_id,
+            service=service,
+            person_id=person_id,
+            location_hint=location_hint,
+        )
+        return challenge_id
+
+    def pending_for(
+        self, person_id: str, device_id: str
+    ) -> Tuple[PushChallenge, ...]:
+        """The pushes visible on one device -- and only the enrolled one."""
+        if self._devices.get(person_id) != device_id:
+            return ()
+        return tuple(
+            c
+            for c in self._challenges.values()
+            if c.person_id == person_id and c.approved is None
+        )
+
+    def approve(self, challenge_id: str, device_id: str, approve: bool = True) -> None:
+        """Steps 3-4: the user authorizes (or rejects) on their device.
+
+        Approval from any device other than the enrolled one is rejected --
+        that is the entire security argument of the design.
+        """
+        challenge = self._challenges.get(challenge_id)
+        if challenge is None:
+            raise KeyError(f"unknown challenge {challenge_id!r}")
+        if self._devices.get(challenge.person_id) != device_id:
+            raise PermissionError("approval must come from the enrolled device")
+        self._challenges[challenge_id] = dataclasses.replace(
+            challenge, approved=approve
+        )
+
+    def verify(self, challenge_id: str) -> bool:
+        """Step 5: the host application checks the verification signal."""
+        challenge = self._challenges.get(challenge_id)
+        return challenge is not None and challenge.approved is True
+
+
+@dataclasses.dataclass(frozen=True)
+class BuiltinAuthUpgrade:
+    """Ecosystem transform: replace SMS codes with the built-in factor.
+
+    ``adoption`` controls the fraction of services (in name order, which is
+    deterministic) that migrate; the paper frames this as an industry
+    standard, so the default is full adoption.
+    """
+
+    adoption: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.adoption <= 1.0:
+            raise ValueError("adoption must be in [0, 1]")
+
+    def apply_to_profile(self, profile: ServiceProfile) -> ServiceProfile:
+        """Swap SMS codes for device-bound push auth on every path."""
+        upgraded: List[AuthPath] = []
+        for path in profile.auth_paths:
+            if CredentialFactor.SMS_CODE in path.factors:
+                factors = (path.factors - {CredentialFactor.SMS_CODE}) | {
+                    CredentialFactor.TRUSTED_DEVICE
+                }
+                upgraded.append(dataclasses.replace(path, factors=factors))
+            else:
+                upgraded.append(path)
+        return dataclasses.replace(profile, auth_paths=tuple(upgraded))
+
+    def apply(self, ecosystem: Ecosystem) -> Ecosystem:
+        """Migrate the adopting fraction of services."""
+        names = sorted(ecosystem.service_names)
+        adopters: Set[str] = set(names[: int(round(self.adoption * len(names)))])
+        replacements = {
+            name: self.apply_to_profile(ecosystem.service(name))
+            for name in adopters
+        }
+        return ecosystem.with_services_replaced(replacements)

@@ -1,0 +1,63 @@
+"""Domain model substrate for the Online Account Ecosystem.
+
+This package defines the vocabulary the rest of the library speaks:
+
+- :mod:`repro.model.factors` -- the credential-factor and personal-information
+  taxonomies, plus the *reciprocal transformation* mapping between them that
+  the paper identifies as the root cause of Chain Reaction Attacks.
+- :mod:`repro.model.identity` -- a victim's real-world identity (name, citizen
+  ID, phone number, bank cards, ...), the ground truth that services expose
+  fragments of.
+- :mod:`repro.model.account` -- service profiles, authentication paths and
+  per-person online accounts.
+- :mod:`repro.model.attacker` -- the attacker profile (``AP`` in the paper):
+  capabilities such as SMS-code interception and access to a social
+  engineering database.
+- :mod:`repro.model.ecosystem` -- the container tying services, accounts and
+  identities into one analyzable Online Account Ecosystem.
+"""
+
+from repro.model.factors import (
+    CredentialFactor,
+    FactorClass,
+    InfoCategory,
+    PersonalInfoKind,
+    factor_satisfied_by_info,
+    info_satisfying_factor,
+    is_interceptable_otp,
+    is_robust_factor,
+)
+from repro.model.identity import Identity, IdentityGenerator, MaskedValue
+from repro.model.account import (
+    AuthPath,
+    AuthPurpose,
+    OnlineAccount,
+    PathType,
+    Platform,
+    ServiceProfile,
+)
+from repro.model.attacker import AttackerCapability, AttackerProfile
+from repro.model.ecosystem import Ecosystem
+
+__all__ = [
+    "AttackerCapability",
+    "AttackerProfile",
+    "AuthPath",
+    "AuthPurpose",
+    "CredentialFactor",
+    "Ecosystem",
+    "FactorClass",
+    "Identity",
+    "IdentityGenerator",
+    "InfoCategory",
+    "MaskedValue",
+    "OnlineAccount",
+    "PathType",
+    "PersonalInfoKind",
+    "Platform",
+    "ServiceProfile",
+    "factor_satisfied_by_info",
+    "info_satisfying_factor",
+    "is_interceptable_otp",
+    "is_robust_factor",
+]

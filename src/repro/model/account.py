@@ -1,0 +1,360 @@
+"""Service profiles, authentication paths and per-victim online accounts.
+
+A :class:`ServiceProfile` is the static description of one Internet service:
+which platforms it runs on, which authentication paths each platform offers
+for sign-in and password reset, what personal information its logged-in user
+interface exposes (per platform -- the paper's Insight 2 asymmetry), and how
+it masks sensitive values.
+
+An :class:`AuthPath` is the paper's ``vp_ik``: one way to authenticate,
+defined by the set of credential factors ``cp_ik`` it demands.  Paths are
+classified into the paper's three types (general / info / unique,
+Section IV-B-1).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+from repro.model.factors import (
+    CredentialFactor,
+    FactorClass,
+    PersonalInfoKind,
+    Platform,
+)
+from repro.model.identity import Identity
+
+
+class AuthPurpose(enum.Enum):
+    """What an authentication path is for.
+
+    The paper measures sign-in and password-reset separately and finds that
+    "the percentage of services using merely SMS codes for sign-in is
+    significantly lower than for password resetting, which implies that
+    attacking accounts using password resetting is easier."
+    """
+
+    SIGN_IN = "sign_in"
+    PASSWORD_RESET = "password_reset"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class PathType(enum.Enum):
+    """The paper's three-way classification of authentication paths.
+
+    - ``GENERAL``: "uses basic authentication factors" -- passwords,
+      usernames, phone/email handles and OTP codes.
+    - ``INFO``: "requires factors like real names and phone numbers" --
+      i.e. knowledge factors recoverable from exposed personal information.
+    - ``UNIQUE``: "uses factors like biometrics" -- biometric, hardware and
+      human-process factors an attacker cannot harvest.
+    """
+
+    GENERAL = "general"
+    INFO = "info"
+    UNIQUE = "unique"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+# Basic factors whose presence does not lift a path out of GENERAL.
+_BASIC_FACTORS: FrozenSet[CredentialFactor] = frozenset(
+    {
+        CredentialFactor.PASSWORD,
+        CredentialFactor.USERNAME,
+        CredentialFactor.CELLPHONE_NUMBER,
+        CredentialFactor.EMAIL_ADDRESS,
+        CredentialFactor.SMS_CODE,
+        CredentialFactor.EMAIL_CODE,
+        CredentialFactor.EMAIL_LINK,
+        CredentialFactor.LINKED_ACCOUNT,
+    }
+)
+
+_UNIQUE_FACTORS: FrozenSet[CredentialFactor] = frozenset(
+    {
+        CredentialFactor.FACE_SCAN,
+        CredentialFactor.FINGERPRINT,
+        CredentialFactor.U2F_KEY,
+        CredentialFactor.TRUSTED_DEVICE,
+        CredentialFactor.AUTHENTICATOR_TOTP,
+        CredentialFactor.CUSTOMER_SERVICE,
+    }
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class AuthPath:
+    """One authentication path of one service on one platform.
+
+    ``factors`` is the credential-factor set ``cp_ik`` the path demands; all
+    factors must be supplied together for the path to succeed.  When the path
+    includes :data:`CredentialFactor.LINKED_ACCOUNT`, ``linked_providers``
+    names the identity providers whose accounts are accepted.
+    """
+
+    service: str
+    platform: Platform
+    purpose: AuthPurpose
+    factors: FrozenSet[CredentialFactor]
+    linked_providers: FrozenSet[str] = frozenset()
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.factors:
+            raise ValueError("an authentication path must demand at least one factor")
+        if self.linked_providers and (
+            CredentialFactor.LINKED_ACCOUNT not in self.factors
+        ):
+            raise ValueError(
+                "linked_providers given but LINKED_ACCOUNT is not a factor"
+            )
+
+    @property
+    def path_type(self) -> PathType:
+        """Classify the path per the paper's general/info/unique taxonomy.
+
+        ``UNIQUE`` dominates: a path demanding a fingerprint is unique even
+        if it also wants a real name.  A path is ``INFO`` when it demands any
+        non-basic knowledge factor.  Everything else is ``GENERAL``.
+        """
+        if self.factors & _UNIQUE_FACTORS:
+            return PathType.UNIQUE
+        if any(
+            f.factor_class is FactorClass.KNOWLEDGE and f not in _BASIC_FACTORS
+            for f in self.factors
+        ):
+            return PathType.INFO
+        return PathType.GENERAL
+
+    @property
+    def is_sms_only(self) -> bool:
+        """Whether the path needs nothing beyond a phone number and SMS code.
+
+        These are the paper's *fringe* paths: the ones a Chain Reaction
+        Attack can satisfy with interception alone, no prior compromise.
+        """
+        return self.factors <= frozenset(
+            {CredentialFactor.CELLPHONE_NUMBER, CredentialFactor.SMS_CODE}
+        )
+
+    def describe(self) -> str:
+        """Short human-readable rendering, e.g. ``reset[web]: PN+SC``."""
+        shorthand = {
+            CredentialFactor.SMS_CODE: "SC",
+            CredentialFactor.EMAIL_CODE: "EMC",
+            CredentialFactor.EMAIL_LINK: "EML",
+            CredentialFactor.CELLPHONE_NUMBER: "PN",
+            CredentialFactor.EMAIL_ADDRESS: "EM",
+            CredentialFactor.CITIZEN_ID: "CID",
+            CredentialFactor.REAL_NAME: "Name",
+            CredentialFactor.BANKCARD_NUMBER: "BN",
+            CredentialFactor.PASSWORD: "PW",
+            CredentialFactor.CUSTOMER_SERVICE: "AS",
+            CredentialFactor.USER_ID: "UID",
+        }
+        parts = sorted(shorthand.get(f, f.value) for f in self.factors)
+        purpose = "login" if self.purpose is AuthPurpose.SIGN_IN else "reset"
+        return f"{purpose}[{self.platform.value}]: " + "+".join(parts)
+
+
+@dataclasses.dataclass(frozen=True)
+class MaskSpec:
+    """How a provider masks one sensitive value on its profile pages.
+
+    ``reveal_prefix`` / ``reveal_suffix`` count characters left visible at
+    each end; ``reveal_middle`` optionally names an explicit (start, stop)
+    slice left visible in the middle (some providers mask the *ends* of the
+    citizen ID instead of the middle, which is exactly the inconsistency
+    Insight 4 exploits).
+    """
+
+    reveal_prefix: int = 0
+    reveal_suffix: int = 0
+    reveal_middle: Optional[Tuple[int, int]] = None
+
+    def __post_init__(self) -> None:
+        if self.reveal_prefix < 0 or self.reveal_suffix < 0:
+            raise ValueError("reveal counts must be non-negative")
+        if self.reveal_middle is not None:
+            start, stop = self.reveal_middle
+            if start < 0 or stop < start:
+                raise ValueError("reveal_middle must be a valid (start, stop) slice")
+
+    def revealed_positions(self, length: int) -> FrozenSet[int]:
+        """Return the set of positions revealed for a value of ``length``."""
+        positions = set(range(min(self.reveal_prefix, length)))
+        positions.update(range(max(0, length - self.reveal_suffix), length))
+        if self.reveal_middle is not None:
+            start, stop = self.reveal_middle
+            positions.update(range(min(start, length), min(stop, length)))
+        return frozenset(positions)
+
+    @classmethod
+    def full(cls) -> "MaskSpec":
+        """A spec that reveals the entire value (no masking at all)."""
+        return cls(reveal_prefix=10_000)
+
+    @classmethod
+    def hidden(cls) -> "MaskSpec":
+        """A spec that reveals nothing."""
+        return cls()
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceProfile:
+    """Static description of one Internet service across its platforms.
+
+    ``exposed_info`` maps each platform to the information kinds visible on
+    the logged-in user interface; ``mask_specs`` maps ``(platform, kind)`` to
+    the provider's masking rule for maskable kinds (citizen ID, bankcard
+    number).  Kinds absent from ``mask_specs`` are exposed in full.
+    """
+
+    name: str
+    domain: str
+    auth_paths: Tuple[AuthPath, ...]
+    exposed_info: Mapping[Platform, FrozenSet[PersonalInfoKind]]
+    mask_specs: Mapping[Tuple[Platform, PersonalInfoKind], MaskSpec] = (
+        dataclasses.field(default_factory=dict)
+    )
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("service name must be non-empty")
+        for path in self.auth_paths:
+            if path.service != self.name:
+                raise ValueError(
+                    f"auth path belongs to {path.service!r}, not {self.name!r}"
+                )
+
+    @property
+    def platforms(self) -> FrozenSet[Platform]:
+        """Platforms on which this service has at least one auth path."""
+        return frozenset(p.platform for p in self.auth_paths)
+
+    def paths(
+        self,
+        platform: Optional[Platform] = None,
+        purpose: Optional[AuthPurpose] = None,
+    ) -> Tuple[AuthPath, ...]:
+        """Return auth paths, optionally filtered by platform and purpose."""
+        result = self.auth_paths
+        if platform is not None:
+            result = tuple(p for p in result if p.platform is platform)
+        if purpose is not None:
+            result = tuple(p for p in result if p.purpose is purpose)
+        return result
+
+    def reset_paths(self, platform: Optional[Platform] = None) -> Tuple[AuthPath, ...]:
+        """Return the password-reset paths (the attack-relevant ones)."""
+        return self.paths(platform=platform, purpose=AuthPurpose.PASSWORD_RESET)
+
+    def signin_paths(self, platform: Optional[Platform] = None) -> Tuple[AuthPath, ...]:
+        """Return the sign-in paths."""
+        return self.paths(platform=platform, purpose=AuthPurpose.SIGN_IN)
+
+    def takeover_paths(
+        self, platform: Optional[Platform] = None
+    ) -> Tuple[AuthPath, ...]:
+        """Return every path that yields account control.
+
+        Both a successful sign-in and a successful password reset hand the
+        attacker the account, so the TDG considers the union.
+        """
+        return self.paths(platform=platform)
+
+    def info_on(self, platform: Platform) -> FrozenSet[PersonalInfoKind]:
+        """Information kinds exposed on ``platform`` after login."""
+        return self.exposed_info.get(platform, frozenset())
+
+    def all_exposed_info(self) -> FrozenSet[PersonalInfoKind]:
+        """Union of exposed information across all platforms.
+
+        An attacker who controls the account can inspect every client, so
+        the TDG uses the union (the paper's Gome example: the mobile end
+        exposes the SSN part the web end covers).
+        """
+        union: FrozenSet[PersonalInfoKind] = frozenset()
+        for kinds in self.exposed_info.values():
+            union |= kinds
+        return union
+
+    def mask_for(self, platform: Platform, kind: PersonalInfoKind) -> MaskSpec:
+        """Return the masking rule for ``kind`` on ``platform``.
+
+        Kinds without an explicit rule are exposed in full, mirroring the
+        measurement's finding that most services show phone numbers, emails
+        and names unmasked.
+        """
+        return self.mask_specs.get((platform, kind), MaskSpec.full())
+
+    @property
+    def is_fringe(self) -> bool:
+        """Whether the service is a *fringe node* (Fig. 4's red dots).
+
+        Fringe services "only need cellphone plus SMS Code for
+        authentication" on at least one takeover path.
+        """
+        return any(p.is_sms_only for p in self.auth_paths)
+
+    def strongest_path_type(self) -> PathType:
+        """Return the most demanding path type the service offers anywhere."""
+        order = {PathType.GENERAL: 0, PathType.INFO: 1, PathType.UNIQUE: 2}
+        best = PathType.GENERAL
+        for path in self.auth_paths:
+            if order[path.path_type] > order[best]:
+                best = path.path_type
+        return best
+
+
+@dataclasses.dataclass(frozen=True)
+class OnlineAccount:
+    """One victim's concrete account on one service.
+
+    The analytical machinery (TDG, strategy engine) works at the
+    :class:`ServiceProfile` level; :class:`OnlineAccount` is the runtime
+    object the simulated internet and the attack executor manipulate.
+    """
+
+    service: ServiceProfile
+    identity: Identity
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        """Stable (service name, person id) identifier."""
+        return (self.service.name, self.identity.person_id)
+
+    def exposed_values(
+        self, platform: Platform
+    ) -> Dict[PersonalInfoKind, str]:
+        """Ground-truth values for every kind exposed on ``platform``.
+
+        Masking is *not* applied here; that is the responsibility of the
+        simulated profile page (:mod:`repro.websim.profile_page`), which is
+        what the attacker actually reads.
+        """
+        values: Dict[PersonalInfoKind, str] = {}
+        for kind in self.service.info_on(platform):
+            try:
+                values[kind] = self.identity.info_value(kind)
+            except KeyError:
+                # Kinds with no canonical identity value (order history,
+                # chat history, cloud photos) render as opaque markers.
+                values[kind] = f"<{kind.value}:{self.identity.person_id}>"
+        return values
+
+
+def count_paths(profiles: Iterable[ServiceProfile]) -> int:
+    """Total number of authentication paths across ``profiles``.
+
+    The paper reports "405 authentication paths in total" across its 201
+    services; the catalog builder calibrates against this via the same
+    counting rule.
+    """
+    return sum(len(p.auth_paths) for p in profiles)

@@ -1,0 +1,152 @@
+"""Attacker profiles -- the paper's ``AP``.
+
+The Transformation Dependency Graph carries "an attacker profile (AP) which
+contains information about an assumed attacker's capabilities, such as SMS
+Code interception, social engineering database, and etc." (Section III-D).
+The profile determines which credential factors the attacker can satisfy
+*without* compromising any account first, which in turn decides which nodes
+are fringe nodes and where chains can start.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import FrozenSet, Iterable
+
+from repro.model.factors import CredentialFactor, PersonalInfoKind
+
+
+class AttackerCapability(enum.Enum):
+    """One capability an attacker profile may include."""
+
+    #: Can intercept SMS codes over the air (GSM sniffing or active MitM).
+    SMS_INTERCEPTION = "sms_interception"
+    #: Knows the victim's cellphone number (recon prerequisite of both the
+    #: random and the targeted attack in Section II).
+    KNOWS_PHONE_NUMBER = "knows_phone_number"
+    #: Knows the victim's home address (needed to get within radio range).
+    KNOWS_ADDRESS = "knows_address"
+    #: Has a leaked-PII / social-engineering database to draw identity
+    #: details from (Section V-A-1's "existing illegal databases").
+    SE_DATABASE = "se_database"
+    #: Willing to run human social-engineering against customer service
+    #: (the Alipay web-client reset option in Case III).
+    SOCIAL_ENGINEERING = "social_engineering"
+    #: Can read codes/links delivered to an email account *it has already
+    #: compromised*.  This is implicit in the paper's chains; modelling it
+    #: as a capability lets ablations turn it off.
+    EMAIL_CHANNEL_AFTER_COMPROMISE = "email_channel_after_compromise"
+
+
+#: Capabilities of the paper's baseline attacker: within radio range of the
+#: victim, phone number in hand, SMS interception rig running.
+BASELINE_CAPABILITIES: FrozenSet[AttackerCapability] = frozenset(
+    {
+        AttackerCapability.SMS_INTERCEPTION,
+        AttackerCapability.KNOWS_PHONE_NUMBER,
+        AttackerCapability.KNOWS_ADDRESS,
+        AttackerCapability.EMAIL_CHANNEL_AFTER_COMPROMISE,
+    }
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class AttackerProfile:
+    """The attacker's standing capabilities plus any pre-known information.
+
+    ``known_info`` holds information kinds the attacker starts with
+    independent of any account compromise (e.g. the phone number from
+    phishing Wi-Fi, or name/citizen-ID from an SE database).
+    """
+
+    capabilities: FrozenSet[AttackerCapability] = BASELINE_CAPABILITIES
+    known_info: FrozenSet[PersonalInfoKind] = frozenset()
+
+    @classmethod
+    def baseline(cls) -> "AttackerProfile":
+        """The paper's default attacker: phone number + SMS interception."""
+        return cls(
+            capabilities=BASELINE_CAPABILITIES,
+            known_info=frozenset({PersonalInfoKind.CELLPHONE_NUMBER}),
+        )
+
+    @classmethod
+    def with_se_database(cls) -> "AttackerProfile":
+        """Baseline attacker plus a leaked-PII database.
+
+        The SE database supplies the targeted-attack extras the paper
+        mentions: the victim's name, address and (in the Chinese ecosystem,
+        per Case III) frequently also the citizen ID.
+        """
+        return cls(
+            capabilities=BASELINE_CAPABILITIES
+            | frozenset(
+                {
+                    AttackerCapability.SE_DATABASE,
+                    AttackerCapability.SOCIAL_ENGINEERING,
+                }
+            ),
+            known_info=frozenset(
+                {
+                    PersonalInfoKind.CELLPHONE_NUMBER,
+                    PersonalInfoKind.REAL_NAME,
+                    PersonalInfoKind.ADDRESS,
+                }
+            ),
+        )
+
+    @classmethod
+    def passive_observer(cls) -> "AttackerProfile":
+        """An attacker with no interception ability at all (control case)."""
+        return cls(capabilities=frozenset(), known_info=frozenset())
+
+    def can_intercept_sms(self) -> bool:
+        """Whether the profile includes over-the-air SMS interception."""
+        return AttackerCapability.SMS_INTERCEPTION in self.capabilities
+
+    def innately_satisfiable(self) -> FrozenSet[CredentialFactor]:
+        """Credential factors satisfiable with zero compromised accounts.
+
+        This is the seed set for forward closure: typically
+        ``{CELLPHONE_NUMBER, SMS_CODE}`` for the baseline profile.  Email
+        codes are *not* innate -- they require the email account first.
+        """
+        factors = set()
+        if AttackerCapability.KNOWS_PHONE_NUMBER in self.capabilities or (
+            PersonalInfoKind.CELLPHONE_NUMBER in self.known_info
+        ):
+            factors.add(CredentialFactor.CELLPHONE_NUMBER)
+        if self.can_intercept_sms() and (
+            CredentialFactor.CELLPHONE_NUMBER in factors
+        ):
+            # Interception requires knowing which number to watch for.
+            factors.add(CredentialFactor.SMS_CODE)
+        if PersonalInfoKind.REAL_NAME in self.known_info:
+            factors.add(CredentialFactor.REAL_NAME)
+        if PersonalInfoKind.ADDRESS in self.known_info:
+            factors.add(CredentialFactor.ADDRESS)
+        if PersonalInfoKind.CITIZEN_ID in self.known_info:
+            factors.add(CredentialFactor.CITIZEN_ID)
+        if PersonalInfoKind.BANKCARD_NUMBER in self.known_info:
+            factors.add(CredentialFactor.BANKCARD_NUMBER)
+        # CUSTOMER_SERVICE is deliberately absent: social-engineering a
+        # human agent additionally needs a dossier of personal facts, which
+        # the TDG and strategy engine check against accumulated information.
+        return frozenset(factors)
+
+    def with_known_info(
+        self, extra: Iterable[PersonalInfoKind]
+    ) -> "AttackerProfile":
+        """Return a copy whose ``known_info`` additionally contains ``extra``."""
+        return dataclasses.replace(
+            self, known_info=self.known_info | frozenset(extra)
+        )
+
+    def without_capability(
+        self, capability: AttackerCapability
+    ) -> "AttackerProfile":
+        """Return a copy lacking ``capability`` (for defense ablations)."""
+        return dataclasses.replace(
+            self, capabilities=self.capabilities - {capability}
+        )

@@ -1,0 +1,191 @@
+"""The Online Account Ecosystem container.
+
+An :class:`Ecosystem` holds the service profiles under analysis plus,
+optionally, the victims who hold accounts on them.  It is the unit every
+higher layer consumes: ActFort analyzes an ecosystem, the catalog builder
+produces one, the simulated internet instantiates one, and the defenses
+transform one into a hardened copy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from repro.model.account import OnlineAccount, ServiceProfile, count_paths
+from repro.model.factors import Platform
+from repro.model.identity import Identity
+
+
+class Ecosystem:
+    """A set of services and the accounts victims hold on them.
+
+    Services are keyed by name and names must be unique.  The account list
+    is optional: pure measurement (Figs. 3-4, Table I) only needs profiles,
+    while attack execution needs concrete accounts.
+    """
+
+    def __init__(
+        self,
+        services: Iterable[ServiceProfile],
+        accounts: Iterable[OnlineAccount] = (),
+    ) -> None:
+        self._services: Dict[str, ServiceProfile] = {}
+        for service in services:
+            if service.name in self._services:
+                raise ValueError(f"duplicate service name: {service.name!r}")
+            self._services[service.name] = service
+        self._accounts: List[OnlineAccount] = []
+        for account in accounts:
+            self.add_account(account)
+
+    # ------------------------------------------------------------------
+    # Services
+    # ------------------------------------------------------------------
+
+    @property
+    def services(self) -> Tuple[ServiceProfile, ...]:
+        """All service profiles, in insertion order."""
+        return tuple(self._services.values())
+
+    @property
+    def service_names(self) -> Tuple[str, ...]:
+        """All service names, in insertion order."""
+        return tuple(self._services.keys())
+
+    def service(self, name: str) -> ServiceProfile:
+        """Look a service up by name; raises :class:`KeyError` if absent."""
+        return self._services[name]
+
+    def has_service(self, name: str) -> bool:
+        """Whether a service of that name is in the ecosystem."""
+        return name in self._services
+
+    def __len__(self) -> int:
+        return len(self._services)
+
+    def __iter__(self) -> Iterator[ServiceProfile]:
+        return iter(self._services.values())
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._services
+
+    # ------------------------------------------------------------------
+    # Accounts
+    # ------------------------------------------------------------------
+
+    @property
+    def accounts(self) -> Tuple[OnlineAccount, ...]:
+        """All registered accounts."""
+        return tuple(self._accounts)
+
+    def add_account(self, account: OnlineAccount) -> None:
+        """Register a victim account; its service must be in the ecosystem."""
+        if account.service.name not in self._services:
+            raise ValueError(
+                f"account references unknown service {account.service.name!r}"
+            )
+        self._accounts.append(account)
+
+    def accounts_of(self, identity: Identity) -> Tuple[OnlineAccount, ...]:
+        """All accounts held by ``identity``."""
+        return tuple(
+            a for a in self._accounts if a.identity.person_id == identity.person_id
+        )
+
+    def account_on(
+        self, service_name: str, identity: Identity
+    ) -> Optional[OnlineAccount]:
+        """The account ``identity`` holds on ``service_name``, if any."""
+        for account in self._accounts:
+            if (
+                account.service.name == service_name
+                and account.identity.person_id == identity.person_id
+            ):
+                return account
+        return None
+
+    def identities(self) -> Tuple[Identity, ...]:
+        """Distinct identities holding at least one account."""
+        seen: Dict[str, Identity] = {}
+        for account in self._accounts:
+            seen.setdefault(account.identity.person_id, account.identity)
+        return tuple(seen.values())
+
+    # ------------------------------------------------------------------
+    # Views and statistics
+    # ------------------------------------------------------------------
+
+    def domains(self) -> FrozenSet[str]:
+        """Distinct service domains present in the ecosystem."""
+        return frozenset(s.domain for s in self._services.values())
+
+    def in_domain(self, domain: str) -> Tuple[ServiceProfile, ...]:
+        """Services belonging to ``domain``."""
+        return tuple(s for s in self._services.values() if s.domain == domain)
+
+    def on_platform(self, platform: Platform) -> Tuple[ServiceProfile, ...]:
+        """Services with at least one auth path on ``platform``."""
+        return tuple(
+            s for s in self._services.values() if platform in s.platforms
+        )
+
+    def fringe_services(self) -> Tuple[ServiceProfile, ...]:
+        """Services takeover-able with phone + SMS code alone (fringe nodes)."""
+        return tuple(s for s in self._services.values() if s.is_fringe)
+
+    def total_auth_paths(self) -> int:
+        """Total auth paths across all services (paper: 405 over 201)."""
+        return count_paths(self._services.values())
+
+    def restricted_to(self, names: Iterable[str]) -> "Ecosystem":
+        """Return a sub-ecosystem containing only the named services.
+
+        Accounts whose service falls outside the restriction are dropped.
+        Used for the 44-account connection graph (Fig. 4) and the seed-only
+        TDG (Fig. 11).
+        """
+        keep = set(names)
+        missing = keep - set(self._services)
+        if missing:
+            raise KeyError(f"unknown services: {sorted(missing)}")
+        services = [s for s in self._services.values() if s.name in keep]
+        accounts = [a for a in self._accounts if a.service.name in keep]
+        return Ecosystem(services, accounts)
+
+    def with_services_replaced(
+        self, replacements: Mapping[str, ServiceProfile]
+    ) -> "Ecosystem":
+        """Return a copy with some services swapped for hardened variants.
+
+        Accounts are re-pointed at the replacement profiles.  This is how
+        the defense layer applies countermeasures without mutating the
+        baseline ecosystem.
+        """
+        for name, profile in replacements.items():
+            if name not in self._services:
+                raise KeyError(f"unknown service: {name!r}")
+            if profile.name != name:
+                raise ValueError(
+                    f"replacement for {name!r} is named {profile.name!r}"
+                )
+        services = [
+            replacements.get(s.name, s) for s in self._services.values()
+        ]
+        accounts = [
+            dataclasses.replace(
+                a, service=replacements.get(a.service.name, a.service)
+            )
+            for a in self._accounts
+        ]
+        return Ecosystem(services, accounts)
+
+    def summary(self) -> Dict[str, object]:
+        """A small statistics dict used by reports and examples."""
+        return {
+            "services": len(self._services),
+            "accounts": len(self._accounts),
+            "domains": sorted(self.domains()),
+            "auth_paths": self.total_auth_paths(),
+            "fringe_services": len(self.fringe_services()),
+        }

@@ -1,0 +1,322 @@
+"""Credential-factor and personal-information taxonomies.
+
+The paper's central observation (Section II) is the *reciprocal
+transformation* between two families of values:
+
+- **Credential factors** (``CF`` in the paper's notation): what a service
+  demands before it lets you sign in or reset a password -- an SMS code, an
+  email code, a citizen ID, a bankcard number, a face scan, ...
+- **Personal information** (``PI``): what a service *exposes* on its
+  logged-in user-interface pages -- the real name, the phone number, masked
+  digits of a bankcard, acquaintance names, ...
+
+Personal information harvested from a compromised account becomes a
+credential factor for the next account in the chain.  This module encodes
+both taxonomies and the transformation mapping between them, which the
+Transformation Dependency Graph (:mod:`repro.core.tdg`) is built on.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import FrozenSet, Iterable, Mapping
+
+
+class Platform(enum.Enum):
+    """A service's client platform.
+
+    The paper measures websites and mobile applications separately and finds
+    a systematic asymmetry between them (Insight 2), so the platform is part
+    of almost every observable in this library.
+    """
+
+    WEB = "web"
+    MOBILE = "mobile"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class FactorClass(enum.Enum):
+    """Coarse classification of credential factors.
+
+    ``KNOWLEDGE`` factors are recoverable from leaked or exposed personal
+    information.  ``OTP`` factors are one-time codes delivered over some
+    channel and are only as strong as the channel.  ``POSSESSION`` and
+    ``BIOMETRIC`` factors require physical access to a device or the victim's
+    body and form the robust end of the spectrum (Insight 5).  ``PROCESS``
+    factors are human-in-the-loop flows such as customer service.
+    """
+
+    KNOWLEDGE = "knowledge"
+    OTP = "otp"
+    POSSESSION = "possession"
+    BIOMETRIC = "biometric"
+    PROCESS = "process"
+
+
+class CredentialFactor(enum.Enum):
+    """A single credential factor a service may demand on an auth path.
+
+    The set follows Table II of the paper (``SC``, ``PN``, ``EM``, ``EMC``,
+    ``CID``, ``BN``, ``AS``...), widened with the factors the measurement
+    section mentions (biometrics, U2F keys, device checks, security
+    questions).
+    """
+
+    # Knowledge factors -- recoverable from exposed personal information.
+    PASSWORD = "password"
+    USERNAME = "username"
+    CELLPHONE_NUMBER = "cellphone_number"
+    EMAIL_ADDRESS = "email_address"
+    REAL_NAME = "real_name"
+    CITIZEN_ID = "citizen_id"
+    BANKCARD_NUMBER = "bankcard_number"
+    ADDRESS = "address"
+    USER_ID = "user_id"
+    STUDENT_ID = "student_id"
+    ACQUAINTANCE_NAME = "acquaintance_name"
+    SECURITY_QUESTION = "security_question"
+
+    # OTP factors -- one-time codes over a delivery channel.
+    SMS_CODE = "sms_code"
+    EMAIL_CODE = "email_code"
+    EMAIL_LINK = "email_link"
+    AUTHENTICATOR_TOTP = "authenticator_totp"
+
+    # Possession factors.
+    U2F_KEY = "u2f_key"
+    TRUSTED_DEVICE = "trusted_device"
+    LINKED_ACCOUNT = "linked_account"
+
+    # Biometric factors.
+    FACE_SCAN = "face_scan"
+    FINGERPRINT = "fingerprint"
+
+    # Process factors.
+    CUSTOMER_SERVICE = "customer_service"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    @property
+    def factor_class(self) -> FactorClass:
+        """Return the coarse :class:`FactorClass` of this factor."""
+        return _FACTOR_CLASS[self]
+
+
+_FACTOR_CLASS: Mapping[CredentialFactor, FactorClass] = {
+    CredentialFactor.PASSWORD: FactorClass.KNOWLEDGE,
+    CredentialFactor.USERNAME: FactorClass.KNOWLEDGE,
+    CredentialFactor.CELLPHONE_NUMBER: FactorClass.KNOWLEDGE,
+    CredentialFactor.EMAIL_ADDRESS: FactorClass.KNOWLEDGE,
+    CredentialFactor.REAL_NAME: FactorClass.KNOWLEDGE,
+    CredentialFactor.CITIZEN_ID: FactorClass.KNOWLEDGE,
+    CredentialFactor.BANKCARD_NUMBER: FactorClass.KNOWLEDGE,
+    CredentialFactor.ADDRESS: FactorClass.KNOWLEDGE,
+    CredentialFactor.USER_ID: FactorClass.KNOWLEDGE,
+    CredentialFactor.STUDENT_ID: FactorClass.KNOWLEDGE,
+    CredentialFactor.ACQUAINTANCE_NAME: FactorClass.KNOWLEDGE,
+    CredentialFactor.SECURITY_QUESTION: FactorClass.KNOWLEDGE,
+    CredentialFactor.SMS_CODE: FactorClass.OTP,
+    CredentialFactor.EMAIL_CODE: FactorClass.OTP,
+    CredentialFactor.EMAIL_LINK: FactorClass.OTP,
+    CredentialFactor.AUTHENTICATOR_TOTP: FactorClass.OTP,
+    CredentialFactor.U2F_KEY: FactorClass.POSSESSION,
+    CredentialFactor.TRUSTED_DEVICE: FactorClass.POSSESSION,
+    CredentialFactor.LINKED_ACCOUNT: FactorClass.POSSESSION,
+    CredentialFactor.FACE_SCAN: FactorClass.BIOMETRIC,
+    CredentialFactor.FINGERPRINT: FactorClass.BIOMETRIC,
+    CredentialFactor.CUSTOMER_SERVICE: FactorClass.PROCESS,
+}
+
+
+class InfoCategory(enum.Enum):
+    """The paper's five categories of personal information (Section III-C)."""
+
+    IDENTITY = "identity"
+    ACCOUNT = "account"
+    RELATIONSHIP = "relationship"
+    PROPERTY = "property"
+    HISTORY = "history"
+
+
+class PersonalInfoKind(enum.Enum):
+    """A kind of personal information an account may expose after login.
+
+    The list follows the paper's PIA attribute list (Section III-D): "real
+    name, citizen ID, cellphone number, e-mail address, bankcard number,
+    address, user ID, binding account, acquaintance name, device type, and
+    other potential authentication required information", plus the history
+    records the collection module classifies (shopping lists, chat history,
+    cloud photos -- Section III-C and the cloud-storage discussion in
+    Section IV-B).
+    """
+
+    REAL_NAME = "real_name"
+    CITIZEN_ID = "citizen_id"
+    CELLPHONE_NUMBER = "cellphone_number"
+    EMAIL_ADDRESS = "email_address"
+    ADDRESS = "address"
+    USER_ID = "user_id"
+    BINDING_ACCOUNT = "binding_account"
+    ACQUAINTANCE_NAME = "acquaintance_name"
+    DEVICE_TYPE = "device_type"
+    BANKCARD_NUMBER = "bankcard_number"
+    STUDENT_ID = "student_id"
+    SECURITY_ANSWERS = "security_answers"
+    ID_PHOTO = "id_photo"
+    ORDER_HISTORY = "order_history"
+    CHAT_HISTORY = "chat_history"
+    CLOUD_PHOTOS = "cloud_photos"
+    #: Not a profile-page field: controlling the account *is* the asset.
+    #: Email services yield their mailbox to whoever controls them, which is
+    #: what converts a compromised email account into EMAIL_CODE/EMAIL_LINK
+    #: factors everywhere else (Insight 1, Case II).
+    MAILBOX_ACCESS = "mailbox_access"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    @property
+    def category(self) -> InfoCategory:
+        """Return the paper's five-way category for this kind."""
+        return _INFO_CATEGORY[self]
+
+
+_INFO_CATEGORY: Mapping[PersonalInfoKind, InfoCategory] = {
+    PersonalInfoKind.REAL_NAME: InfoCategory.IDENTITY,
+    PersonalInfoKind.CITIZEN_ID: InfoCategory.IDENTITY,
+    PersonalInfoKind.ID_PHOTO: InfoCategory.IDENTITY,
+    PersonalInfoKind.ADDRESS: InfoCategory.IDENTITY,
+    PersonalInfoKind.STUDENT_ID: InfoCategory.IDENTITY,
+    PersonalInfoKind.CELLPHONE_NUMBER: InfoCategory.ACCOUNT,
+    PersonalInfoKind.EMAIL_ADDRESS: InfoCategory.ACCOUNT,
+    PersonalInfoKind.USER_ID: InfoCategory.ACCOUNT,
+    PersonalInfoKind.BINDING_ACCOUNT: InfoCategory.ACCOUNT,
+    PersonalInfoKind.DEVICE_TYPE: InfoCategory.ACCOUNT,
+    PersonalInfoKind.SECURITY_ANSWERS: InfoCategory.ACCOUNT,
+    PersonalInfoKind.ACQUAINTANCE_NAME: InfoCategory.RELATIONSHIP,
+    PersonalInfoKind.BANKCARD_NUMBER: InfoCategory.PROPERTY,
+    PersonalInfoKind.ORDER_HISTORY: InfoCategory.HISTORY,
+    PersonalInfoKind.CHAT_HISTORY: InfoCategory.HISTORY,
+    PersonalInfoKind.CLOUD_PHOTOS: InfoCategory.HISTORY,
+    PersonalInfoKind.MAILBOX_ACCESS: InfoCategory.ACCOUNT,
+}
+
+
+# The reciprocal transformation: which exposed personal-information kinds
+# satisfy which credential factors.  An edge PI -> CF in the Transformation
+# Dependency Graph exists exactly when the PI kind appears in this mapping
+# for the CF (Section III-D: "Add e(v_im, v_jm) in G if PI_jn = CF_im").
+_TRANSFORMATION: Mapping[CredentialFactor, FrozenSet[PersonalInfoKind]] = {
+    CredentialFactor.CELLPHONE_NUMBER: frozenset({PersonalInfoKind.CELLPHONE_NUMBER}),
+    CredentialFactor.EMAIL_ADDRESS: frozenset({PersonalInfoKind.EMAIL_ADDRESS}),
+    CredentialFactor.REAL_NAME: frozenset({PersonalInfoKind.REAL_NAME}),
+    # A citizen ID can be read directly off a profile page that exposes it,
+    # or off an ID-card photo backed up to cloud storage (Section IV-B's
+    # Baidu Pan / Dropbox discussion).
+    CredentialFactor.CITIZEN_ID: frozenset(
+        {PersonalInfoKind.CITIZEN_ID, PersonalInfoKind.ID_PHOTO}
+    ),
+    CredentialFactor.BANKCARD_NUMBER: frozenset({PersonalInfoKind.BANKCARD_NUMBER}),
+    CredentialFactor.ADDRESS: frozenset({PersonalInfoKind.ADDRESS}),
+    CredentialFactor.USER_ID: frozenset({PersonalInfoKind.USER_ID}),
+    CredentialFactor.STUDENT_ID: frozenset({PersonalInfoKind.STUDENT_ID}),
+    CredentialFactor.ACQUAINTANCE_NAME: frozenset(
+        {PersonalInfoKind.ACQUAINTANCE_NAME, PersonalInfoKind.CHAT_HISTORY}
+    ),
+    CredentialFactor.SECURITY_QUESTION: frozenset(
+        {PersonalInfoKind.SECURITY_ANSWERS}
+    ),
+    CredentialFactor.USERNAME: frozenset(
+        {PersonalInfoKind.USER_ID, PersonalInfoKind.EMAIL_ADDRESS}
+    ),
+    # Controlling a bound account satisfies a login-with / linked-account
+    # factor (the Gmail -> Expedia example in Section III-D).
+    CredentialFactor.LINKED_ACCOUNT: frozenset({PersonalInfoKind.BINDING_ACCOUNT}),
+    # Controlling the victim's email account yields every email-delivered
+    # OTP (Case II: Gmail hands over PayPal's token).
+    CredentialFactor.EMAIL_CODE: frozenset({PersonalInfoKind.MAILBOX_ACCESS}),
+    CredentialFactor.EMAIL_LINK: frozenset({PersonalInfoKind.MAILBOX_ACCESS}),
+}
+
+# Factors that can never be satisfied by harvested information alone.
+_ROBUST: FrozenSet[CredentialFactor] = frozenset(
+    {
+        CredentialFactor.U2F_KEY,
+        CredentialFactor.FACE_SCAN,
+        CredentialFactor.FINGERPRINT,
+        CredentialFactor.TRUSTED_DEVICE,
+        CredentialFactor.AUTHENTICATOR_TOTP,
+    }
+)
+
+# OTP factors whose delivery channel the paper's attacker can tap.  SMS codes
+# fall to GSM sniffing / active MitM; email codes and links fall once the
+# email account itself is compromised (which is why email is "the gateway").
+_CHANNEL_OTPS: FrozenSet[CredentialFactor] = frozenset(
+    {
+        CredentialFactor.SMS_CODE,
+        CredentialFactor.EMAIL_CODE,
+        CredentialFactor.EMAIL_LINK,
+    }
+)
+
+
+def info_satisfying_factor(factor: CredentialFactor) -> FrozenSet[PersonalInfoKind]:
+    """Return the personal-information kinds that satisfy ``factor``.
+
+    Returns the empty set for factors that cannot be recovered from exposed
+    information (biometrics, hardware keys, OTP codes -- those have their own
+    acquisition channels).
+    """
+    return _TRANSFORMATION.get(factor, frozenset())
+
+
+def factor_satisfied_by_info(
+    factor: CredentialFactor, available: Iterable[PersonalInfoKind]
+) -> bool:
+    """Return whether any information kind in ``available`` satisfies ``factor``."""
+    kinds = _TRANSFORMATION.get(factor)
+    if not kinds:
+        return False
+    return any(kind in kinds for kind in available)
+
+
+def is_robust_factor(factor: CredentialFactor) -> bool:
+    """Return whether ``factor`` resists information-driven attacks entirely.
+
+    These are the paper's Insight 5 factors: biometrics and U2F keys (plus
+    trusted devices and authenticator apps), which "are hard for attackers to
+    mimic" and terminate Chain Reaction Attack paths.
+    """
+    return factor in _ROBUST
+
+
+def is_interceptable_otp(factor: CredentialFactor) -> bool:
+    """Return whether ``factor`` is an OTP with an attackable delivery channel.
+
+    SMS codes are interceptable over the air; email codes and links become
+    available once the email account is compromised.  Authenticator TOTP is
+    *not* included: it never transits an attackable channel.
+    """
+    return factor in _CHANNEL_OTPS
+
+
+def knowledge_factors() -> FrozenSet[CredentialFactor]:
+    """Return all knowledge-class factors (recoverable from exposed info)."""
+    return frozenset(f for f in CredentialFactor if f.factor_class is FactorClass.KNOWLEDGE)
+
+
+def all_transformation_pairs() -> FrozenSet[tuple]:
+    """Return every (info kind, factor) pair in the transformation mapping.
+
+    Exposed primarily for property-based tests that check the TDG generator
+    creates exactly the edges this mapping licenses.
+    """
+    pairs = set()
+    for factor, kinds in _TRANSFORMATION.items():
+        for kind in kinds:
+            pairs.add((kind, factor))
+    return frozenset(pairs)

@@ -1,0 +1,289 @@
+"""Victim identities and partially-masked values.
+
+An :class:`Identity` is the ground truth a victim carries through the
+ecosystem: their legal name, citizen ID, cellphone number, bank cards and so
+on.  Simulated services expose *fragments* of this ground truth on their
+logged-in profile pages -- often masked, and (critically, Insight 4 of the
+paper) masked *inconsistently across providers*, which lets an attacker
+reconstruct a full value by combining several masked views.
+
+:class:`MaskedValue` models one masked view: the underlying string plus the
+set of character positions the provider reveals.  Combining views is set
+union over revealed positions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.model.factors import PersonalInfoKind
+
+_GIVEN_NAMES: Sequence[str] = (
+    "Wei", "Li", "Fang", "Min", "Jing", "Yan", "Lei", "Tao", "Hui", "Jun",
+    "Alice", "Bob", "Carol", "David", "Erin", "Frank", "Grace", "Heidi",
+    "Ivan", "Judy", "Mallory", "Niaj", "Olivia", "Peggy", "Rupert", "Sybil",
+)
+
+_FAMILY_NAMES: Sequence[str] = (
+    "Wang", "Li", "Zhang", "Liu", "Chen", "Yang", "Huang", "Zhao", "Wu",
+    "Zhou", "Smith", "Johnson", "Brown", "Garcia", "Miller", "Davis",
+    "Martinez", "Lopez", "Wilson", "Anderson",
+)
+
+_STREETS: Sequence[str] = (
+    "Zheda Rd", "Wensan Rd", "Moganshan Rd", "Nanshan Ave", "Main St",
+    "Oak Ave", "2nd St", "Harbor Blvd", "Lakeview Dr", "Hilltop Ln",
+)
+
+_CITIES: Sequence[str] = (
+    "Hangzhou", "Shanghai", "Beijing", "Shenzhen", "Chengdu",
+    "Springfield", "Riverton", "Lakewood", "Fairview", "Georgetown",
+)
+
+_DEVICES: Sequence[str] = (
+    "iPhone 12", "iPhone SE", "Pixel 4", "Huawei P40", "Xiaomi Mi 10",
+    "Galaxy S21", "OnePlus 8T", "iPad Air", "Redmi Note 9",
+)
+
+
+class MaskedValue:
+    """A string value of which only some character positions are revealed.
+
+    Providers mask sensitive strings such as citizen IDs and bankcard numbers
+    by replacing most characters with ``*``.  The paper's Insight 4 observes
+    that "masked digits ... are inconsistent in different online accounts",
+    so an attacker holding several differently-masked views of the same value
+    can union the revealed positions and recover the full string.
+    """
+
+    __slots__ = ("_value", "_revealed")
+
+    def __init__(self, value: str, revealed: Iterable[int]) -> None:
+        self._value = value
+        revealed_set = frozenset(revealed)
+        for index in revealed_set:
+            if not 0 <= index < len(value):
+                raise ValueError(
+                    f"revealed position {index} outside value of length {len(value)}"
+                )
+        self._revealed = revealed_set
+
+    @classmethod
+    def fully_revealed(cls, value: str) -> "MaskedValue":
+        """Return a view revealing every character of ``value``."""
+        return cls(value, range(len(value)))
+
+    @classmethod
+    def fully_masked(cls, value: str) -> "MaskedValue":
+        """Return a view revealing no characters of ``value``."""
+        return cls(value, ())
+
+    @property
+    def length(self) -> int:
+        """Length of the underlying value."""
+        return len(self._value)
+
+    @property
+    def revealed_positions(self) -> FrozenSet[int]:
+        """The set of character positions this view reveals."""
+        return self._revealed
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether every position is revealed."""
+        return len(self._revealed) == len(self._value)
+
+    def rendered(self, mask_char: str = "*") -> str:
+        """Return the string as a user would see it on a profile page."""
+        return "".join(
+            ch if i in self._revealed else mask_char
+            for i, ch in enumerate(self._value)
+        )
+
+    def reveal(self) -> str:
+        """Return the full underlying value.
+
+        Only valid when the view is complete; partial views raise
+        :class:`ValueError` because the attacker genuinely does not know the
+        hidden characters.
+        """
+        if not self.is_complete:
+            raise ValueError("cannot reveal an incomplete masked value")
+        return self._value
+
+    def combine(self, other: "MaskedValue") -> "MaskedValue":
+        """Union this view with another view *of the same underlying value*.
+
+        This is the combining attack of Insight 4.  Combining views of
+        different values raises :class:`ValueError` -- an attacker can detect
+        the mismatch because overlapping revealed positions would disagree.
+        """
+        if other._value != self._value:
+            raise ValueError("masked views are not of the same underlying value")
+        return MaskedValue(self._value, self._revealed | other._revealed)
+
+    def matches(self, candidate: str) -> bool:
+        """Whether ``candidate`` is consistent with the revealed positions."""
+        if len(candidate) != len(self._value):
+            return False
+        return all(candidate[i] == self._value[i] for i in self._revealed)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MaskedValue):
+            return NotImplemented
+        return self._value == other._value and self._revealed == other._revealed
+
+    def __hash__(self) -> int:
+        return hash((self._value, self._revealed))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MaskedValue({self.rendered()!r})"
+
+
+def combine_views(views: Sequence[MaskedValue]) -> Optional[str]:
+    """Combine several masked views; return the full value if recoverable.
+
+    Returns ``None`` when the union of revealed positions still has gaps or
+    when ``views`` is empty.  Raises :class:`ValueError` if the views are not
+    of the same underlying value (length or character conflicts).
+    """
+    if not views:
+        return None
+    merged = views[0]
+    for view in views[1:]:
+        merged = merged.combine(view)
+    if merged.is_complete:
+        return merged.reveal()
+    return None
+
+
+@dataclasses.dataclass(frozen=True)
+class Identity:
+    """The ground-truth identity of one victim.
+
+    Field names deliberately parallel :class:`~repro.model.factors.PersonalInfoKind`
+    so that :meth:`info_value` can map an info kind to its concrete value.
+    """
+
+    person_id: str
+    real_name: str
+    citizen_id: str
+    cellphone_number: str
+    email_address: str
+    address: str
+    bankcard_number: str
+    student_id: str
+    acquaintances: Tuple[str, ...]
+    device_type: str
+    security_answer: str
+
+    def info_value(self, kind: PersonalInfoKind) -> str:
+        """Return the concrete string value for an information kind.
+
+        Compound kinds (acquaintances, histories) are rendered as a single
+        canonical string; the attack engine only needs equality semantics.
+        """
+        mapping: Dict[PersonalInfoKind, str] = {
+            PersonalInfoKind.REAL_NAME: self.real_name,
+            PersonalInfoKind.CITIZEN_ID: self.citizen_id,
+            PersonalInfoKind.CELLPHONE_NUMBER: self.cellphone_number,
+            PersonalInfoKind.EMAIL_ADDRESS: self.email_address,
+            PersonalInfoKind.ADDRESS: self.address,
+            PersonalInfoKind.BANKCARD_NUMBER: self.bankcard_number,
+            PersonalInfoKind.STUDENT_ID: self.student_id,
+            PersonalInfoKind.DEVICE_TYPE: self.device_type,
+            PersonalInfoKind.SECURITY_ANSWERS: self.security_answer,
+            PersonalInfoKind.ACQUAINTANCE_NAME: ";".join(self.acquaintances),
+            PersonalInfoKind.ID_PHOTO: self.citizen_id,
+            PersonalInfoKind.USER_ID: self.person_id,
+        }
+        try:
+            return mapping[kind]
+        except KeyError:
+            raise KeyError(f"identity has no canonical value for {kind}") from None
+
+
+class IdentityGenerator:
+    """Deterministic synthetic-identity factory.
+
+    All randomness flows from the seed passed at construction, so a catalog
+    built twice from the same seed contains byte-identical identities -- a
+    property the measurement benchmarks rely on.
+    """
+
+    def __init__(self, seed: int = 0, id_prefix: str = "u") -> None:
+        self._rng = random.Random(seed)
+        self._counter = 0
+        self._used_phones: set = set()
+        self._used_emails: set = set()
+        # Scope person ids by seed so identities from two differently-seeded
+        # generators never collide on one service (e.g. a measurement canary
+        # vs. a victim population).
+        self._id_scope = f"{id_prefix}{seed & 0xFFFF:04x}"
+
+    def generate(self) -> Identity:
+        """Generate one fresh identity with globally-unique phone and email."""
+        rng = self._rng
+        self._counter += 1
+        given = rng.choice(_GIVEN_NAMES)
+        family = rng.choice(_FAMILY_NAMES)
+        name = f"{given} {family}"
+        person_id = f"{self._id_scope}-{self._counter:05d}"
+
+        phone = self._unique_phone()
+        email = self._unique_email(given, family)
+
+        citizen_id = "".join(str(rng.randrange(10)) for _ in range(18))
+        bankcard = "62" + "".join(str(rng.randrange(10)) for _ in range(14))
+        street_no = rng.randrange(1, 999)
+        address = f"{street_no} {rng.choice(_STREETS)}, {rng.choice(_CITIES)}"
+        student_id = f"3{rng.randrange(10**8, 10**9 - 1)}"
+        acquaintances = tuple(
+            f"{rng.choice(_GIVEN_NAMES)} {rng.choice(_FAMILY_NAMES)}"
+            for _ in range(rng.randrange(2, 6))
+        )
+        device = rng.choice(_DEVICES)
+        answer = f"{rng.choice(_CITIES)}-{rng.randrange(1950, 2005)}"
+
+        return Identity(
+            person_id=person_id,
+            real_name=name,
+            citizen_id=citizen_id,
+            cellphone_number=phone,
+            email_address=email,
+            address=address,
+            bankcard_number=bankcard,
+            student_id=student_id,
+            acquaintances=acquaintances,
+            device_type=device,
+            security_answer=answer,
+        )
+
+    def generate_many(self, count: int) -> List[Identity]:
+        """Generate ``count`` fresh identities."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return [self.generate() for _ in range(count)]
+
+    def _unique_phone(self) -> str:
+        while True:
+            phone = "1" + str(self._rng.choice([3, 5, 7, 8])) + "".join(
+                str(self._rng.randrange(10)) for _ in range(9)
+            )
+            if phone not in self._used_phones:
+                self._used_phones.add(phone)
+                return phone
+
+    def _unique_email(self, given: str, family: str) -> str:
+        base = f"{given}.{family}".lower().replace(" ", "")
+        while True:
+            suffix = self._rng.randrange(10000)
+            domain = self._rng.choice(
+                ("gmail.test", "163.test", "outlook.test", "aliyun.test")
+            )
+            email = f"{base}{suffix}@{domain}"
+            if email not in self._used_emails:
+                self._used_emails.add(email)
+                return email

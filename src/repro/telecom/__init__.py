@@ -1,0 +1,49 @@
+"""Simulated GSM/SMS substrate.
+
+The paper intercepts SMS one-time codes two ways: passively, with
+OsmocomBB-flashed Motorola C118 phones sniffing nearby GSM traffic
+(Fig. 6), and actively, with a fake base station that captures the victim
+after a 4G jammer downgrades them to GSM (Fig. 7 / Fig. 10).  Neither rig
+is available offline, so this package simulates the parts of GSM those
+attacks depend on:
+
+- :mod:`repro.telecom.numbers` -- MSISDN/IMSI/TMSI allocation,
+- :mod:`repro.telecom.cipher` -- an A5/1-structured stream cipher plus a
+  known-plaintext cracking model calibrated to the published attacks,
+- :mod:`repro.telecom.events` -- the over-the-air event bus sniffers tap,
+- :mod:`repro.telecom.network` -- cells, base stations, mobile attachment
+  and SMS delivery (pluggable as the simulated internet's SMS gateway),
+- :mod:`repro.telecom.sniffer` -- the passive multi-monitor sniffer,
+- :mod:`repro.telecom.jammer` -- the 4G jammer forcing LTE -> GSM fallback,
+- :mod:`repro.telecom.mitm` -- the Fig. 10 active MitM state machine.
+"""
+
+from repro.telecom.numbers import SubscriberDirectory, SubscriberRecord
+from repro.telecom.cipher import A51Cipher, CipherSuite, CrackModel
+from repro.telecom.events import EventBus, PagingEvent, RadioEvent, SMSBurstEvent
+from repro.telecom.network import BaseStation, GSMNetwork, MobileStation, RadioTech
+from repro.telecom.sniffer import CapturedSMS, OsmocomSniffer
+from repro.telecom.jammer import FourGJammer
+from repro.telecom.mitm import ActiveMitM, MitMOutcome, MitMStep
+
+__all__ = [
+    "A51Cipher",
+    "ActiveMitM",
+    "BaseStation",
+    "CapturedSMS",
+    "CipherSuite",
+    "CrackModel",
+    "EventBus",
+    "FourGJammer",
+    "GSMNetwork",
+    "MitMOutcome",
+    "MitMStep",
+    "MobileStation",
+    "OsmocomSniffer",
+    "PagingEvent",
+    "RadioEvent",
+    "RadioTech",
+    "SMSBurstEvent",
+    "SubscriberDirectory",
+    "SubscriberRecord",
+]

@@ -1,0 +1,107 @@
+"""Over-the-air radio events and the bus sniffers tap.
+
+Everything a base station transmits is an event on the cell's
+:class:`EventBus`: paging requests (addressed by TMSI) and SMS bursts
+(encrypted under the cell's cipher suite).  Passive attackers subscribe to
+the bus; they see every event in their cell but only *capture* bursts on
+frequencies they have a monitor tuned to -- that is the 16-C118 constraint
+of the paper's rig.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List
+
+from repro.telecom.cipher import CipherSuite
+
+
+@dataclasses.dataclass(frozen=True)
+class RadioEvent:
+    """Base class for everything transmitted over the air in one cell."""
+
+    cell_id: str
+    arfcn: int
+    at: float
+
+
+@dataclasses.dataclass(frozen=True)
+class PagingEvent(RadioEvent):
+    """A paging request announcing downlink traffic for a TMSI."""
+
+    tmsi: str
+
+
+@dataclasses.dataclass(frozen=True)
+class SMSBurstEvent(RadioEvent):
+    """One SMS transmitted on a traffic channel.
+
+    ``ciphertext`` is the over-the-air payload; under ``A5/0`` it equals the
+    plaintext PDU.  ``frame_number`` and ``session_key_id`` identify the
+    keystream; the true session key itself never rides on the event -- the
+    sniffer must crack it via :class:`repro.telecom.cipher.CrackModel`.
+    """
+
+    tmsi: str
+    cipher: CipherSuite
+    frame_number: int
+    ciphertext: bytes
+    #: Simulation ground truth for the burst's session key.  ONLY
+    #: :class:`repro.telecom.cipher.CrackModel` may consume this -- it stands
+    #: in for the physics that make known-plaintext key recovery possible.
+    #: Attack code reading it directly would be cheating the simulation.
+    session_key_escrow: int = 0
+
+
+#: PDU framing prepended to every SMS payload before encryption.  Its
+#: predictability is what gives the known-plaintext attack its foothold.
+PDU_HEADER = b"\x00\x91SMSC"
+
+
+def encode_pdu(sender: str, text: str) -> bytes:
+    """Encode an SMS into the (simplified) over-the-air PDU."""
+    return PDU_HEADER + f"|{sender}|{text}".encode("utf-8")
+
+
+def decode_pdu(pdu: bytes) -> tuple:
+    """Decode a PDU back into ``(sender, text)``.
+
+    Raises :class:`ValueError` when the framing is absent -- which is how a
+    sniffer discovers that its key guess (or an unencrypted read of an
+    encrypted burst) is garbage.
+    """
+    if not pdu.startswith(PDU_HEADER):
+        raise ValueError("not a valid SMS PDU")
+    body = pdu[len(PDU_HEADER):].decode("utf-8", errors="strict")
+    _, sender, text = body.split("|", 2)
+    return sender, text
+
+
+class EventBus:
+    """Per-network pub/sub channel for radio events."""
+
+    def __init__(self) -> None:
+        self._subscribers: List[Callable[[RadioEvent], None]] = []
+        self._published = 0
+
+    def subscribe(self, callback: Callable[[RadioEvent], None]) -> None:
+        """Register a listener for every subsequent event."""
+        self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[RadioEvent], None]) -> None:
+        """Remove a listener; unknown listeners are ignored."""
+        try:
+            self._subscribers.remove(callback)
+        except ValueError:
+            pass
+
+    def publish(self, event: RadioEvent) -> None:
+        """Deliver ``event`` to all current subscribers."""
+        self._published += 1
+        for callback in list(self._subscribers):
+            callback(event)
+
+    @property
+    def published_count(self) -> int:
+        """Total events published."""
+        return self._published

@@ -1,0 +1,49 @@
+"""The 4G jammer used to force LTE phones down to GSM.
+
+The active MitM attack "can be realized using fake base stations powered by
+USRP after the LTE network is downgraded to GSM forced by a 4G jammer"
+(Section V-A-2).  The jammer here is cell-scoped: while active, every
+GSM-capable LTE phone in the cell falls back to GSM, where the fake base
+station (and the passive sniffer) can reach it.
+"""
+
+from __future__ import annotations
+
+from repro.telecom.network import GSMNetwork
+
+
+class FourGJammer:
+    """A portable 4G jammer deployed in one cell."""
+
+    def __init__(self, network: GSMNetwork, cell_id: str) -> None:
+        network.cell(cell_id)  # validate the cell exists
+        self._network = network
+        self._cell_id = cell_id
+        self._active = False
+
+    @property
+    def cell_id(self) -> str:
+        """The cell the jammer is deployed in."""
+        return self._cell_id
+
+    @property
+    def active(self) -> bool:
+        """Whether the jammer is currently transmitting."""
+        return self._active
+
+    def activate(self) -> None:
+        """Start jamming 4G in the cell."""
+        self._network.set_cell_jammed(self._cell_id, True)
+        self._active = True
+
+    def deactivate(self) -> None:
+        """Stop jamming; LTE phones re-attach to 4G."""
+        self._network.set_cell_jammed(self._cell_id, False)
+        self._active = False
+
+    def __enter__(self) -> "FourGJammer":
+        self.activate()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.deactivate()

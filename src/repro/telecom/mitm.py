@@ -1,0 +1,230 @@
+"""The active MitM attack of Fig. 7 / Fig. 10.
+
+The appendix's message sequence chart (Fig. 10) runs:
+
+1. the 4G jammer forces the victim terminal (VT) down to GSM,
+2. the VT attaches to the fake base station (FBS -- PC + USRP B100 running
+   OsmoNITB) because it is the strongest GSM signal, revealing its IMSI,
+3. the fake victim terminal (FVT -- PC + C118 running OsmocomBB) opens a
+   socket to the FBS and performs a Location Area Update toward the real
+   network *as the victim*, relaying the network's authentication challenge
+   to the real SIM through the FBS,
+4. the legitimate network accepts the location update -- the victim's
+   downlink now terminates at the FVT,
+5. a call from the FVT reveals the victim's MSISDN (confirming the catch),
+6. every subsequent SMS -- including OTP codes -- arrives at the attacker
+   and *never reaches the victim* ("Attacker Gets Full Control From Here").
+
+:class:`ActiveMitM` executes this sequence step by step against the
+simulated network, recording a transcript and failing at exactly the step
+whose precondition is missing (no jammer, victim out of cell, GSM-incapable
+victim, ...).  The benchmark ablates those preconditions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import List, Optional, Tuple
+
+from repro.telecom.network import GSMNetwork, RadioTech
+
+
+class MitMStep(enum.Enum):
+    """One protocol step of the Fig. 10 sequence."""
+
+    FORCE_GSM_DOWNGRADE = "force_gsm_downgrade"
+    FBS_ATTACH_AND_IMSI_CATCH = "fbs_attach_and_imsi_catch"
+    FVT_SOCKET = "fvt_socket"
+    LAU_REQUEST = "lau_request"
+    AUTH_RELAY = "auth_relay"
+    LOCATION_UPDATE_ACCEPT = "location_update_accept"
+    MSISDN_REVEAL = "msisdn_reveal"
+    SMS_INTERCEPT_ARMED = "sms_intercept_armed"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclasses.dataclass(frozen=True)
+class StepRecord:
+    """Transcript entry for one executed (or failed) step."""
+
+    step: MitMStep
+    at: float
+    ok: bool
+    detail: str
+
+
+@dataclasses.dataclass(frozen=True)
+class MitMOutcome:
+    """Result of one attack run."""
+
+    success: bool
+    transcript: Tuple[StepRecord, ...]
+    imsi: Optional[str]
+    msisdn: Optional[str]
+
+    @property
+    def failed_step(self) -> Optional[MitMStep]:
+        """The first step that failed, if the run failed."""
+        for record in self.transcript:
+            if not record.ok:
+                return record.step
+        return None
+
+
+#: Seconds each protocol step takes on the simulated clock, so captures
+#: carry realistic timing relative to OTP expiry.
+_STEP_DURATION = 2.0
+
+
+class ActiveMitM:
+    """Fake base station + fake victim terminal, deployed in one cell."""
+
+    def __init__(self, network: GSMNetwork, cell_id: str) -> None:
+        network.cell(cell_id)  # validate
+        self._network = network
+        self._cell_id = cell_id
+        self._captured_msisdn: Optional[str] = None
+        self._intercepted: List[Tuple[float, str, str]] = []
+
+    @property
+    def cell_id(self) -> str:
+        """The cell the rig is deployed in."""
+        return self._cell_id
+
+    # ------------------------------------------------------------------
+    # Attack execution
+    # ------------------------------------------------------------------
+
+    def execute(self, target_msisdn: str) -> MitMOutcome:
+        """Run the full Fig. 10 sequence against ``target_msisdn``."""
+        transcript: List[StepRecord] = []
+        clock = self._network.clock
+
+        def record(step: MitMStep, ok: bool, detail: str) -> bool:
+            transcript.append(
+                StepRecord(step=step, at=clock.now(), ok=ok, detail=detail)
+            )
+            clock.advance(_STEP_DURATION)
+            return ok
+
+        # Step 1: the victim must be on GSM -- either natively or because a
+        # jammer in this cell forced the downgrade.
+        if not self._network.has_phone(target_msisdn):
+            record(
+                MitMStep.FORCE_GSM_DOWNGRADE,
+                False,
+                "target phone not present in the network",
+            )
+            return self._outcome(False, transcript, None, None)
+        phone = self._network.phone(target_msisdn)
+        if phone.cell_id != self._cell_id:
+            record(
+                MitMStep.FORCE_GSM_DOWNGRADE,
+                False,
+                f"target camps in cell {phone.cell_id!r}, rig is in "
+                f"{self._cell_id!r} (out of radio range)",
+            )
+            return self._outcome(False, transcript, None, None)
+        if self._network.effective_tech(target_msisdn) is not RadioTech.GSM:
+            record(
+                MitMStep.FORCE_GSM_DOWNGRADE,
+                False,
+                "target still on LTE (no jammer active in the cell)",
+            )
+            return self._outcome(False, transcript, None, None)
+        record(MitMStep.FORCE_GSM_DOWNGRADE, True, "target is on GSM")
+
+        # Step 2: strongest-signal attach to the FBS reveals the IMSI.
+        subscriber = self._network.directory.by_msisdn(target_msisdn)
+        record(
+            MitMStep.FBS_ATTACH_AND_IMSI_CATCH,
+            True,
+            f"VT attached to FBS; IMSI {subscriber.imsi} caught",
+        )
+
+        # Steps 3-5: the FVT impersonates the victim toward the legitimate
+        # network, relaying the authentication challenge to the real SIM.
+        record(MitMStep.FVT_SOCKET, True, "FVT socket to FBS established")
+        record(
+            MitMStep.LAU_REQUEST,
+            True,
+            "FVT sent Location Area Update request as victim",
+        )
+        record(
+            MitMStep.AUTH_RELAY,
+            True,
+            "auth challenge relayed FVT<->FBS<->VT; response returned",
+        )
+        self._network.set_interceptor(target_msisdn, self._on_intercepted_sms)
+        record(
+            MitMStep.LOCATION_UPDATE_ACCEPT,
+            True,
+            "legitimate network accepted the location update",
+        )
+
+        # Step 6: a call from the FVT reveals / confirms the MSISDN.
+        self._captured_msisdn = target_msisdn
+        record(
+            MitMStep.MSISDN_REVEAL,
+            True,
+            f"call placed; MSISDN {target_msisdn} confirmed",
+        )
+        record(
+            MitMStep.SMS_INTERCEPT_ARMED,
+            True,
+            "downlink SMS now terminates at the attacker",
+        )
+        return self._outcome(True, transcript, subscriber.imsi, target_msisdn)
+
+    def _outcome(
+        self,
+        success: bool,
+        transcript: List[StepRecord],
+        imsi: Optional[str],
+        msisdn: Optional[str],
+    ) -> MitMOutcome:
+        return MitMOutcome(
+            success=success,
+            transcript=tuple(transcript),
+            imsi=imsi,
+            msisdn=msisdn,
+        )
+
+    def release(self) -> None:
+        """Tear the interception down (the victim re-attaches)."""
+        if self._captured_msisdn is not None:
+            self._network.clear_interceptor(self._captured_msisdn)
+            self._captured_msisdn = None
+
+    def __enter__(self) -> "ActiveMitM":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    # ------------------------------------------------------------------
+    # Attacker-facing capture queries
+    # ------------------------------------------------------------------
+
+    def _on_intercepted_sms(self, sender: str, text: str) -> None:
+        self._intercepted.append((self._network.clock.now(), sender, text))
+
+    @property
+    def intercepted(self) -> Tuple[Tuple[float, str, str], ...]:
+        """(time, sender, text) triples the rig swallowed."""
+        return tuple(self._intercepted)
+
+    def latest_code_from(self, sender: str, since: float = 0.0) -> Optional[str]:
+        """The most recent OTP code intercepted from ``sender``."""
+        import re
+
+        for at, msg_sender, text in reversed(self._intercepted):
+            if msg_sender != sender or at < since:
+                continue
+            match = re.search(r"code is (\d+)", text)
+            if match:
+                return match.group(1)
+        return None

@@ -1,0 +1,296 @@
+"""Cells, base stations, mobile attachment and SMS delivery.
+
+:class:`GSMNetwork` is the carrier: it provisions SIMs, tracks which cell
+each phone camps in and on which radio technology, and delivers SMS.  A
+delivery to a phone camping on GSM radiates paging + SMS-burst events on
+the cell's :class:`~repro.telecom.events.EventBus` (where the passive
+sniffer lives); a phone on LTE receives over a channel the paper's rig
+cannot tap -- until a jammer downgrades it.
+
+The network plugs into the simulated internet as its SMS gateway
+(:meth:`GSMNetwork.as_sms_gateway`), closing the loop: a service requests an
+OTP, the code rides the simulated air interface, and the attacker's rig
+either catches it or does not.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import typing
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.telecom.cipher import A51Cipher, CipherSuite
+from repro.telecom.events import (
+    EventBus,
+    PagingEvent,
+    SMSBurstEvent,
+    encode_pdu,
+)
+from repro.telecom.numbers import SubscriberDirectory
+from repro.utils.clock import Clock
+from repro.utils.rng import SeedSequence
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.websim.internet import Internet
+
+
+class RadioTech(enum.Enum):
+    """Radio access technology a phone is currently using."""
+
+    LTE = "lte"
+    GSM = "gsm"
+
+
+@dataclasses.dataclass(frozen=True)
+class BaseStation:
+    """One legitimate cell."""
+
+    cell_id: str
+    arfcns: Tuple[int, ...]
+    cipher: CipherSuite
+
+    def __post_init__(self) -> None:
+        if not self.arfcns:
+            raise ValueError("a base station needs at least one ARFCN")
+        if len(set(self.arfcns)) != len(self.arfcns):
+            raise ValueError("duplicate ARFCNs in one cell")
+
+
+@dataclasses.dataclass
+class MobileStation:
+    """One victim handset as the carrier sees it."""
+
+    msisdn: str
+    cell_id: str
+    preferred_tech: RadioTech = RadioTech.LTE
+    gsm_capable: bool = True
+
+
+#: Handler for intercepted deliveries: (sender, text) -> None.
+InterceptHandler = Callable[[str, str], None]
+
+
+class GSMNetwork:
+    """The simulated carrier network."""
+
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        seeds: Optional[SeedSequence] = None,
+    ) -> None:
+        self.clock = clock if clock is not None else Clock()
+        seeds = seeds if seeds is not None else SeedSequence(0)
+        self._rng = seeds.stream("telecom.network")
+        self.directory = SubscriberDirectory(seeds.stream("telecom.directory"))
+        self.bus = EventBus()
+        self._cells: Dict[str, BaseStation] = {}
+        self._phones: Dict[str, MobileStation] = {}
+        self._jammed_cells: set = set()
+        self._interceptors: Dict[str, InterceptHandler] = {}
+        self._internet: Optional["Internet"] = None
+        self._frame_number = 0
+        self._deliveries = 0
+        self._undeliverable: List[Tuple[str, str]] = []
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+
+    def add_cell(
+        self,
+        cell_id: str,
+        arfcns: Tuple[int, ...] = (512, 514, 516, 518),
+        cipher: CipherSuite = CipherSuite.A5_1,
+    ) -> BaseStation:
+        """Stand up a cell; cell ids must be unique."""
+        if cell_id in self._cells:
+            raise ValueError(f"cell {cell_id!r} already exists")
+        station = BaseStation(cell_id=cell_id, arfcns=tuple(arfcns), cipher=cipher)
+        self._cells[cell_id] = station
+        return station
+
+    def cell(self, cell_id: str) -> BaseStation:
+        """Look a cell up by id."""
+        return self._cells[cell_id]
+
+    @property
+    def cell_ids(self) -> Tuple[str, ...]:
+        """All cell ids."""
+        return tuple(self._cells)
+
+    def provision_phone(
+        self,
+        msisdn: str,
+        cell_id: str,
+        preferred_tech: RadioTech = RadioTech.LTE,
+        gsm_capable: bool = True,
+    ) -> MobileStation:
+        """Provision a SIM and camp the phone in ``cell_id``."""
+        if cell_id not in self._cells:
+            raise KeyError(f"no cell {cell_id!r}")
+        if msisdn in self._phones:
+            raise ValueError(f"{msisdn!r} already provisioned")
+        self.directory.provision(msisdn)
+        phone = MobileStation(
+            msisdn=msisdn,
+            cell_id=cell_id,
+            preferred_tech=preferred_tech,
+            gsm_capable=gsm_capable,
+        )
+        self._phones[msisdn] = phone
+        return phone
+
+    def phone(self, msisdn: str) -> MobileStation:
+        """Look a phone up by number."""
+        return self._phones[msisdn]
+
+    def has_phone(self, msisdn: str) -> bool:
+        """Whether a phone with this number is provisioned."""
+        return msisdn in self._phones
+
+    def move_phone(self, msisdn: str, cell_id: str) -> None:
+        """Move a phone to another cell (the victim walks away)."""
+        if cell_id not in self._cells:
+            raise KeyError(f"no cell {cell_id!r}")
+        self._phones[msisdn].cell_id = cell_id
+
+    def phones_in_cell(self, cell_id: str) -> Tuple[MobileStation, ...]:
+        """All phones currently camping in ``cell_id``."""
+        return tuple(p for p in self._phones.values() if p.cell_id == cell_id)
+
+    # ------------------------------------------------------------------
+    # Jamming
+    # ------------------------------------------------------------------
+
+    def set_cell_jammed(self, cell_id: str, jammed: bool) -> None:
+        """Mark 4G as jammed (or restored) in ``cell_id``."""
+        if cell_id not in self._cells:
+            raise KeyError(f"no cell {cell_id!r}")
+        if jammed:
+            self._jammed_cells.add(cell_id)
+        else:
+            self._jammed_cells.discard(cell_id)
+
+    def is_cell_jammed(self, cell_id: str) -> bool:
+        """Whether 4G is currently jammed in ``cell_id``."""
+        return cell_id in self._jammed_cells
+
+    def effective_tech(self, msisdn: str) -> RadioTech:
+        """The technology a phone is actually using right now.
+
+        LTE phones fall back to GSM when their cell's 4G is jammed (the
+        LTE-redirection downgrade the paper cites); GSM-preferring phones
+        are on GSM regardless.
+        """
+        phone = self._phones[msisdn]
+        if phone.preferred_tech is RadioTech.GSM:
+            return RadioTech.GSM
+        if phone.cell_id in self._jammed_cells and phone.gsm_capable:
+            return RadioTech.GSM
+        return RadioTech.LTE
+
+    # ------------------------------------------------------------------
+    # Interception hooks (active MitM)
+    # ------------------------------------------------------------------
+
+    def set_interceptor(self, msisdn: str, handler: InterceptHandler) -> None:
+        """Route ``msisdn``'s downlink SMS to ``handler``.
+
+        Installed by a successful fake-base-station location update: the
+        carrier now believes the victim is reachable at the attacker's fake
+        terminal, so SMS goes there and the real victim sees nothing.
+        """
+        self._interceptors[msisdn] = handler
+
+    def clear_interceptor(self, msisdn: str) -> None:
+        """Remove an interception route (victim re-attaches legitimately)."""
+        self._interceptors.pop(msisdn, None)
+
+    def is_intercepted(self, msisdn: str) -> bool:
+        """Whether an interception route is active for ``msisdn``."""
+        return msisdn in self._interceptors
+
+    # ------------------------------------------------------------------
+    # SMS delivery
+    # ------------------------------------------------------------------
+
+    def attach_internet(self, internet: "Internet") -> None:
+        """Wire this network in as ``internet``'s SMS gateway."""
+        self._internet = internet
+        internet.set_sms_gateway(self.as_sms_gateway())
+
+    def as_sms_gateway(self) -> Callable[[str, str, str], None]:
+        """Adapter matching the internet's gateway signature."""
+
+        def gateway(phone: str, text: str, sender: str) -> None:
+            self.deliver_sms(phone, text, sender)
+
+        return gateway
+
+    def deliver_sms(self, msisdn: str, text: str, sender: str) -> None:
+        """Deliver one SMS to ``msisdn``.
+
+        Unprovisioned numbers are recorded as undeliverable.  Intercepted
+        numbers hand the message to the interceptor *instead of* the victim.
+        GSM deliveries radiate events on the bus; LTE deliveries do not.
+        """
+        self._deliveries += 1
+        interceptor = self._interceptors.get(msisdn)
+        if interceptor is not None:
+            interceptor(sender, text)
+            return
+        phone = self._phones.get(msisdn)
+        if phone is None:
+            self._undeliverable.append((msisdn, text))
+            return
+        if self.effective_tech(msisdn) is RadioTech.GSM:
+            self._radiate(phone, sender, text)
+        self._deliver_to_handset(msisdn, sender, text)
+
+    def _radiate(self, phone: MobileStation, sender: str, text: str) -> None:
+        station = self._cells[phone.cell_id]
+        record = self.directory.by_msisdn(phone.msisdn)
+        now = self.clock.now()
+        self._frame_number += 1
+        arfcn = self._rng.choice(station.arfcns)
+        self.bus.publish(
+            PagingEvent(
+                cell_id=station.cell_id,
+                arfcn=station.arfcns[0],
+                at=now,
+                tmsi=record.tmsi,
+            )
+        )
+        pdu = encode_pdu(sender, text)
+        session_key = self._rng.getrandbits(64)
+        if station.cipher is CipherSuite.A5_1:
+            ciphertext = A51Cipher.encrypt(session_key, self._frame_number, pdu)
+        else:
+            ciphertext = pdu
+        self.bus.publish(
+            SMSBurstEvent(
+                cell_id=station.cell_id,
+                arfcn=arfcn,
+                at=now,
+                tmsi=record.tmsi,
+                cipher=station.cipher,
+                frame_number=self._frame_number,
+                ciphertext=ciphertext,
+                session_key_escrow=session_key,
+            )
+        )
+
+    def _deliver_to_handset(self, msisdn: str, sender: str, text: str) -> None:
+        if self._internet is not None:
+            self._internet.deliver_to_handset(msisdn, sender, text)
+
+    @property
+    def deliveries(self) -> int:
+        """Total SMS deliveries attempted."""
+        return self._deliveries
+
+    @property
+    def undeliverable(self) -> Tuple[Tuple[str, str], ...]:
+        """(msisdn, text) pairs that had no provisioned phone."""
+        return tuple(self._undeliverable)

@@ -1,0 +1,83 @@
+"""Subscriber numbering: MSISDN, IMSI and TMSI management.
+
+The active MitM attack (Fig. 10) pivots on the relationships between three
+identifiers: the MSISDN (the public phone number the attacker starts with),
+the IMSI (the SIM identity a fake base station catches), and the TMSI (the
+temporary identity paging uses, which keeps passive sniffing from trivially
+matching bursts to numbers).  The :class:`SubscriberDirectory` is the
+carrier's mapping between them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, Optional
+
+
+@dataclasses.dataclass
+class SubscriberRecord:
+    """One SIM known to the carrier."""
+
+    msisdn: str
+    imsi: str
+    tmsi: str
+
+    def reassign_tmsi(self, rng: random.Random) -> None:
+        """Issue a fresh TMSI (carriers rotate them periodically)."""
+        self.tmsi = _random_tmsi(rng)
+
+
+def _random_tmsi(rng: random.Random) -> str:
+    return f"T{rng.randrange(16**8):08x}"
+
+
+class SubscriberDirectory:
+    """Allocates and resolves subscriber identifiers."""
+
+    def __init__(self, rng: Optional[random.Random] = None) -> None:
+        self._rng = rng if rng is not None else random.Random(0)
+        self._by_msisdn: Dict[str, SubscriberRecord] = {}
+        self._by_imsi: Dict[str, SubscriberRecord] = {}
+        self._imsi_counter = 0
+
+    def provision(self, msisdn: str) -> SubscriberRecord:
+        """Provision a SIM for ``msisdn``; idempotent per number."""
+        existing = self._by_msisdn.get(msisdn)
+        if existing is not None:
+            return existing
+        self._imsi_counter += 1
+        record = SubscriberRecord(
+            msisdn=msisdn,
+            imsi=f"46000{self._imsi_counter:010d}",
+            tmsi=_random_tmsi(self._rng),
+        )
+        self._by_msisdn[msisdn] = record
+        self._by_imsi[record.imsi] = record
+        return record
+
+    def by_msisdn(self, msisdn: str) -> SubscriberRecord:
+        """Resolve a phone number; raises :class:`KeyError` if unknown."""
+        return self._by_msisdn[msisdn]
+
+    def by_imsi(self, imsi: str) -> SubscriberRecord:
+        """Resolve an IMSI; raises :class:`KeyError` if unknown."""
+        return self._by_imsi[imsi]
+
+    def is_provisioned(self, msisdn: str) -> bool:
+        """Whether a SIM exists for ``msisdn``."""
+        return msisdn in self._by_msisdn
+
+    def rotate_tmsi(self, msisdn: str) -> str:
+        """Rotate and return the TMSI for ``msisdn``."""
+        record = self.by_msisdn(msisdn)
+        old = record.tmsi
+        del old  # explicit: the old TMSI is simply forgotten
+        record.reassign_tmsi(self._rng)
+        self._by_imsi[record.imsi] = record
+        return record.tmsi
+
+    @property
+    def subscriber_count(self) -> int:
+        """Number of provisioned SIMs."""
+        return len(self._by_msisdn)

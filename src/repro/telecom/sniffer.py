@@ -1,0 +1,219 @@
+"""Passive OsmocomBB-style SMS sniffing.
+
+The paper's rig: "one Thinkpad T440p ... 16 customized C118 cellphones
+connected over USB; each C118 could monitor one frequency point in the GSM
+network" running OsmocomBB to decode and Wireshark to filter.  The
+:class:`OsmocomSniffer` reproduces the operational constraints that matter:
+
+- it captures only in the cell it is physically in (the paper's
+  hundreds-of-meters range limit),
+- it captures only on ARFCNs it has a monitor tuned to (at most one per
+  C118), so an under-provisioned rig misses bursts,
+- unencrypted (A5/0) bursts decode immediately; A5/1 bursts go through the
+  known-plaintext cracking model, which takes time and can fail, and
+- matching captures to a victim uses content rules (sender name / code
+  pattern), exactly like the paper's Wireshark filters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import List, Optional, Tuple
+
+from repro.telecom.cipher import A51Cipher, CipherSuite, CrackModel
+from repro.telecom.events import (
+    PDU_HEADER,
+    RadioEvent,
+    SMSBurstEvent,
+    decode_pdu,
+)
+from repro.telecom.network import GSMNetwork
+
+_CODE_RE = re.compile(r"code is (\d+)")
+
+
+@dataclasses.dataclass(frozen=True)
+class CapturedSMS:
+    """One SMS the sniffer managed to read."""
+
+    captured_at: float
+    #: When the plaintext became available to the attacker (capture time
+    #: plus any cracking delay).
+    available_at: float
+    cell_id: str
+    arfcn: int
+    tmsi: str
+    sender: str
+    text: str
+    was_encrypted: bool
+
+    @property
+    def otp_code(self) -> Optional[str]:
+        """The verification code in the message body, if any."""
+        match = _CODE_RE.search(self.text)
+        return match.group(1) if match else None
+
+
+class OsmocomSniffer:
+    """A multi-monitor passive sniffer parked in one cell."""
+
+    def __init__(
+        self,
+        network: GSMNetwork,
+        cell_id: str,
+        monitors: int = 16,
+        crack_model: Optional[CrackModel] = None,
+    ) -> None:
+        if monitors < 1:
+            raise ValueError("need at least one monitor phone")
+        self._network = network
+        self._cell_id = cell_id
+        station = network.cell(cell_id)
+        # Tune one C118 per ARFCN, beacon first, until we run out of
+        # monitors.  A rig with fewer monitors than the cell has ARFCNs
+        # leaves frequencies dark -- measured by the sniffing benchmark.
+        self._monitored = frozenset(station.arfcns[:monitors])
+        self._crack = crack_model if crack_model is not None else CrackModel()
+        self._captures: List[CapturedSMS] = []
+        self._missed_dark_arfcn = 0
+        self._missed_crack_failure = 0
+        self._attached = False
+        self._listener = self._on_event
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Power the rig up (subscribe to the air interface)."""
+        if not self._attached:
+            self._network.bus.subscribe(self._listener)
+            self._attached = True
+
+    def stop(self) -> None:
+        """Power the rig down."""
+        if self._attached:
+            self._network.bus.unsubscribe(self._listener)
+            self._attached = False
+
+    @property
+    def monitored_arfcns(self) -> frozenset:
+        """Frequencies the rig has a monitor tuned to."""
+        return self._monitored
+
+    @property
+    def cell_id(self) -> str:
+        """The cell the rig is parked in."""
+        return self._cell_id
+
+    # ------------------------------------------------------------------
+    # Capture path
+    # ------------------------------------------------------------------
+
+    def _on_event(self, event: RadioEvent) -> None:
+        if not isinstance(event, SMSBurstEvent):
+            return
+        if event.cell_id != self._cell_id:
+            return  # out of radio range
+        if event.arfcn not in self._monitored:
+            self._missed_dark_arfcn += 1
+            return
+        if event.cipher is CipherSuite.A5_0:
+            self._record(event, event.ciphertext, available_at=event.at, encrypted=False)
+            return
+        result = self._crack.attempt(
+            true_key=event.session_key_escrow,
+            frame_number=event.frame_number,
+            ciphertext=event.ciphertext,
+            known_plaintext_prefix=PDU_HEADER,
+        )
+        if not result.success or result.session_key is None:
+            self._missed_crack_failure += 1
+            return
+        plaintext = A51Cipher.decrypt(
+            result.session_key, event.frame_number, event.ciphertext
+        )
+        self._record(
+            event,
+            plaintext,
+            available_at=event.at + result.elapsed,
+            encrypted=True,
+        )
+
+    def _record(
+        self,
+        event: SMSBurstEvent,
+        plaintext: bytes,
+        available_at: float,
+        encrypted: bool,
+    ) -> None:
+        try:
+            sender, text = decode_pdu(plaintext)
+        except (ValueError, UnicodeDecodeError):
+            self._missed_crack_failure += 1
+            return
+        self._captures.append(
+            CapturedSMS(
+                captured_at=event.at,
+                available_at=available_at,
+                cell_id=event.cell_id,
+                arfcn=event.arfcn,
+                tmsi=event.tmsi,
+                sender=sender,
+                text=text,
+                was_encrypted=encrypted,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Attacker-facing queries (the "Wireshark filter rules")
+    # ------------------------------------------------------------------
+
+    @property
+    def captures(self) -> Tuple[CapturedSMS, ...]:
+        """Everything captured so far, in capture order."""
+        return tuple(self._captures)
+
+    def codes_from(
+        self,
+        sender: str,
+        since: float = 0.0,
+        ready_by: Optional[float] = None,
+    ) -> Tuple[CapturedSMS, ...]:
+        """Captured OTP-bearing messages from ``sender``.
+
+        ``since`` filters by capture time (the attacker knows roughly when
+        they triggered the reset); ``ready_by`` drops captures whose
+        cracking had not finished by that deadline (the OTP's expiry).
+        """
+        result = []
+        for cap in self._captures:
+            if cap.sender != sender or cap.captured_at < since:
+                continue
+            if cap.otp_code is None:
+                continue
+            if ready_by is not None and cap.available_at > ready_by:
+                continue
+            result.append(cap)
+        return tuple(result)
+
+    def latest_code_from(
+        self,
+        sender: str,
+        since: float = 0.0,
+        ready_by: Optional[float] = None,
+    ) -> Optional[str]:
+        """The most recent usable code from ``sender``, if any."""
+        matches = self.codes_from(sender, since=since, ready_by=ready_by)
+        return matches[-1].otp_code if matches else None
+
+    @property
+    def stats(self) -> dict:
+        """Capture/miss counters for the benchmark harness."""
+        return {
+            "captured": len(self._captures),
+            "missed_dark_arfcn": self._missed_dark_arfcn,
+            "missed_crack_failure": self._missed_crack_failure,
+            "monitors": len(self._monitored),
+        }

@@ -1,0 +1,7 @@
+"""Small shared utilities: logical clock, seeded RNG streams, text tables."""
+
+from repro.utils.clock import Clock
+from repro.utils.rng import SeedSequence
+from repro.utils.tables import format_table
+
+__all__ = ["Clock", "SeedSequence", "format_table"]

@@ -1,0 +1,67 @@
+"""A shared logical clock.
+
+Both the simulated internet (OTP expiry, session lifetimes, rate-limit
+windows) and the simulated telecom network (radio events, crack times) need
+a notion of time.  Wall-clock time would make tests flaky and benchmarks
+non-reproducible, so everything runs on one logical clock measured in
+seconds that only moves when something advances it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+
+class Clock:
+    """Monotonic logical clock with schedulable callbacks.
+
+    Callbacks registered via :meth:`call_at` fire (in time order, ties in
+    registration order) whenever :meth:`advance` moves the clock past their
+    deadline.  This is the minimal discrete-event core the telecom simulator
+    builds on.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._pending: List[Tuple[float, int, Callable[[], None]]] = []
+        self._sequence = 0
+
+    def now(self) -> float:
+        """Current logical time in seconds."""
+        return self._now
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run when the clock reaches ``when``.
+
+        Deadlines in the past fire on the next :meth:`advance` (or
+        :meth:`tick`) call, not immediately.
+        """
+        self._sequence += 1
+        self._pending.append((float(when), self._sequence, callback))
+        self._pending.sort(key=lambda item: (item[0], item[1]))
+
+    def call_after(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self.call_at(self._now + delay, callback)
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward, firing due callbacks in order."""
+        if seconds < 0:
+            raise ValueError("cannot move the clock backwards")
+        deadline = self._now + seconds
+        while self._pending and self._pending[0][0] <= deadline:
+            when, _seq, callback = self._pending.pop(0)
+            self._now = max(self._now, when)
+            callback()
+        self._now = deadline
+
+    def tick(self) -> None:
+        """Advance by one second (convenience for step-by-step tests)."""
+        self.advance(1.0)
+
+    @property
+    def pending_events(self) -> int:
+        """Number of callbacks not yet fired."""
+        return len(self._pending)

@@ -1,0 +1,47 @@
+"""Plain-text table rendering shared by benchmarks, reports and examples.
+
+The benchmark harness prints the same rows the paper's tables report; this
+module is the single place that turns row data into aligned monospace text.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospace table.
+
+    Cells are stringified with ``str``; floats should be pre-formatted by
+    the caller so precision stays under the caller's control.
+    """
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_percent(value: float, digits: int = 2) -> str:
+    """Format a fraction in [0, 1] as a percentage string like ``74.13%``."""
+    return f"{100.0 * value:.{digits}f}%"

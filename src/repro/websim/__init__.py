@@ -1,0 +1,68 @@
+"""Simulated online-service substrate ("the internet").
+
+The paper's measurement and case studies run against 201 live services; this
+package is the offline substitute.  It provides stateful simulated services
+with the observable behaviours the attack and analysis layers need:
+
+- registration / sign-in / password-reset state machines driven by the
+  service's :class:`~repro.model.account.AuthPath` policy
+  (:mod:`repro.websim.service`),
+- OTP issuance over SMS and email channels with expiry, rate limits and
+  attempt budgets (:mod:`repro.websim.otp`),
+- logged-in profile pages exposing (masked) personal information
+  (:mod:`repro.websim.profile_page`, :mod:`repro.websim.masking`),
+- OAuth-style account binding (login-with) (:mod:`repro.websim.linker`),
+- a registry tying the services, mailboxes and the SMS gateway together
+  (:mod:`repro.websim.internet`), and
+- a black-box probe that rediscovers each service's auth paths and
+  information exposure the way ActFort's front-end does
+  (:mod:`repro.websim.crawler`).
+"""
+
+from repro.websim.errors import (
+    AccountLocked,
+    AuthenticationError,
+    FactorMismatch,
+    InvalidSession,
+    MissingFactor,
+    OTPError,
+    RateLimited,
+    UnknownHandle,
+    UnknownPath,
+    WebSimError,
+)
+from repro.websim.otp import OTPManager, OTPPolicy
+from repro.websim.masking import apply_mask, render_profile_value
+from repro.websim.sessions import Session, SessionStore
+from repro.websim.service import SimulatedService, UserRecord
+from repro.websim.profile_page import ProfilePage
+from repro.websim.internet import EmailMessage, Internet
+from repro.websim.linker import BindingRegistry
+from repro.websim.crawler import ActFortProbe, ProbeObservation
+
+__all__ = [
+    "AccountLocked",
+    "ActFortProbe",
+    "AuthenticationError",
+    "BindingRegistry",
+    "EmailMessage",
+    "FactorMismatch",
+    "Internet",
+    "InvalidSession",
+    "MissingFactor",
+    "OTPError",
+    "OTPManager",
+    "OTPPolicy",
+    "ProbeObservation",
+    "ProfilePage",
+    "RateLimited",
+    "Session",
+    "SessionStore",
+    "SimulatedService",
+    "UnknownHandle",
+    "UnknownPath",
+    "UserRecord",
+    "WebSimError",
+    "apply_mask",
+    "render_profile_value",
+]

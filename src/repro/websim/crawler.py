@@ -1,0 +1,240 @@
+"""The ActFort measurement probe.
+
+The paper's authors "manually set up test accounts and collected all
+possible Authentication Process methods and types of personal information
+leaked for all the services" (Section IV-A).  :class:`ActFortProbe` is that
+workflow, automated against the simulated internet:
+
+1. enroll a canary identity on the service,
+2. read the sign-in / reset wizards to enumerate the advertised
+   authentication paths per platform,
+3. actually *exercise* one takeover path per platform as the legitimate
+   owner (reading OTPs off the canary's own handset/mailbox) to obtain a
+   session, and
+4. scrape the logged-in profile page, recording which information kinds
+   appear and which character positions the provider's masking reveals.
+
+The probe only uses owner-side powers (its own handset, its own mailbox,
+its own device secrets) -- it never intercepts anything, so it measures the
+service, not the attack.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+from repro.model.account import AuthPath, AuthPurpose, ServiceProfile
+from repro.model.factors import CredentialFactor, PersonalInfoKind, Platform
+from repro.model.identity import Identity, IdentityGenerator
+from repro.websim.errors import WebSimError
+from repro.websim.internet import Internet
+from repro.websim.service import SimulatedService, device_secret
+from repro.websim.sessions import Session
+
+_CODE_RE = re.compile(r"code is (\d+)")
+
+
+@dataclasses.dataclass(frozen=True)
+class ProbeObservation:
+    """Everything the probe learned about one service."""
+
+    service: str
+    domain: str
+    paths: Tuple[AuthPath, ...]
+    exposed: Mapping[Platform, FrozenSet[PersonalInfoKind]]
+    #: Observed masking: (platform, kind) -> revealed character positions.
+    observed_masks: Mapping[Tuple[Platform, PersonalInfoKind], FrozenSet[int]]
+    #: Platforms on which the probe obtained a logged-in session.
+    verified_platforms: FrozenSet[Platform]
+
+    def paths_on(
+        self, platform: Platform, purpose: Optional[AuthPurpose] = None
+    ) -> Tuple[AuthPath, ...]:
+        """Observed paths filtered by platform (and optionally purpose)."""
+        result = tuple(p for p in self.paths if p.platform is platform)
+        if purpose is not None:
+            result = tuple(p for p in result if p.purpose is purpose)
+        return result
+
+
+class ActFortProbe:
+    """Black-box prober for one simulated internet."""
+
+    def __init__(self, internet: Internet, canary_seed: int = 0xC0FFEE) -> None:
+        self._internet = internet
+        self._identities = IdentityGenerator(canary_seed)
+        self._password = "probe-Secret-1"
+
+    def observe(self, service: SimulatedService) -> ProbeObservation:
+        """Probe one service end to end; returns the observation."""
+        canary = self._identities.generate()
+        if not service.is_enrolled(canary.person_id):
+            service.enroll(canary, self._password)
+
+        profile = service.profile
+        paths: List[AuthPath] = []
+        exposed: Dict[Platform, FrozenSet[PersonalInfoKind]] = {}
+        masks: Dict[Tuple[Platform, PersonalInfoKind], FrozenSet[int]] = {}
+        verified: set = set()
+
+        for platform in sorted(profile.platforms, key=lambda p: p.value):
+            for purpose in (AuthPurpose.SIGN_IN, AuthPurpose.PASSWORD_RESET):
+                paths.extend(service.advertised_paths(platform, purpose))
+            session = self._obtain_session(service, canary, platform)
+            if session is None:
+                continue
+            verified.add(platform)
+            page = service.profile_page(session, platform)
+            exposed[platform] = page.visible_kinds()
+            for kind, view in page.entries.items():
+                masks[(platform, kind)] = view.revealed_positions
+
+        return ProbeObservation(
+            service=profile.name,
+            domain=profile.domain,
+            paths=tuple(paths),
+            exposed=exposed,
+            observed_masks=masks,
+            verified_platforms=frozenset(verified),
+        )
+
+    def observe_all(
+        self, services: Optional[Tuple[SimulatedService, ...]] = None
+    ) -> Tuple[ProbeObservation, ...]:
+        """Probe every deployed service (or the given subset)."""
+        if services is None:
+            services = tuple(
+                self._internet.service(name)
+                for name in self._internet.service_names
+            )
+        return tuple(self.observe(s) for s in services)
+
+    # ------------------------------------------------------------------
+    # Owner-side authentication
+    # ------------------------------------------------------------------
+
+    def _obtain_session(
+        self, service: SimulatedService, canary: Identity, platform: Platform
+    ) -> Optional[Session]:
+        """Authenticate as the canary via the cheapest workable path."""
+        candidates = sorted(
+            service.advertised_paths(platform, AuthPurpose.SIGN_IN)
+            + service.advertised_paths(platform, AuthPurpose.PASSWORD_RESET),
+            key=lambda p: len(p.factors),
+        )
+        for path in candidates:
+            if CredentialFactor.LINKED_ACCOUNT in path.factors:
+                continue  # canary bound no providers
+            if CredentialFactor.CUSTOMER_SERVICE in path.factors:
+                continue  # the probe does not social-engineer humans
+            try:
+                supplied = self._supply_factors(service, canary, path)
+            except WebSimError:
+                continue
+            try:
+                if path.purpose is AuthPurpose.SIGN_IN:
+                    return service.sign_in(platform, canary.person_id, supplied)
+                return service.reset_password(
+                    platform, canary.person_id, supplied, self._password
+                )
+            except WebSimError:
+                continue
+        return None
+
+    def _supply_factors(
+        self, service: SimulatedService, canary: Identity, path: AuthPath
+    ) -> Dict[CredentialFactor, object]:
+        supplied: Dict[CredentialFactor, object] = {}
+        for factor in path.factors:
+            supplied[factor] = self._supply_one(service, canary, path, factor)
+        return supplied
+
+    def _supply_one(
+        self,
+        service: SimulatedService,
+        canary: Identity,
+        path: AuthPath,
+        factor: CredentialFactor,
+    ) -> object:
+        if factor is CredentialFactor.PASSWORD:
+            return self._password
+        if factor is CredentialFactor.USERNAME:
+            return canary.person_id
+        if factor is CredentialFactor.SMS_CODE:
+            self._request_otp_patiently(service, canary, factor, path)
+            return self._read_own_sms_code(canary, service.name)
+        if factor in (CredentialFactor.EMAIL_CODE, CredentialFactor.EMAIL_LINK):
+            self._request_otp_patiently(service, canary, factor, path)
+            return self._read_own_email_code(canary, service.name)
+        if factor in (
+            CredentialFactor.FACE_SCAN,
+            CredentialFactor.FINGERPRINT,
+            CredentialFactor.U2F_KEY,
+            CredentialFactor.TRUSTED_DEVICE,
+            CredentialFactor.AUTHENTICATOR_TOTP,
+        ):
+            return device_secret(canary.person_id, factor)
+        if factor is CredentialFactor.ACQUAINTANCE_NAME:
+            return canary.acquaintances[0]
+        if factor is CredentialFactor.SECURITY_QUESTION:
+            return canary.security_answer
+        # Knowledge factors straight from the canary's own identity.
+        kind = _FACTOR_KIND.get(factor)
+        if kind is None:
+            raise WebSimError(f"probe cannot supply factor {factor}")
+        return canary.info_value(kind)
+
+    def _request_otp_patiently(
+        self,
+        service: SimulatedService,
+        canary: Identity,
+        factor: CredentialFactor,
+        path: AuthPath,
+    ) -> None:
+        """Request an OTP, waiting out the resend window once if throttled.
+
+        The probe is a patient legitimate user: when the service throttles
+        repeated code requests, it simply waits (advances the shared logical
+        clock) and retries once.
+        """
+        from repro.websim.errors import RateLimited
+
+        try:
+            service.request_otp(canary.person_id, factor, path.purpose)
+        except RateLimited as exc:
+            self._internet.clock.advance(exc.retry_after + 1.0)
+            service.request_otp(canary.person_id, factor, path.purpose)
+
+    def _read_own_sms_code(self, canary: Identity, sender: str) -> str:
+        messages = self._internet.handset_messages(canary.cellphone_number)
+        for _at, msg_sender, text in reversed(messages):
+            if msg_sender != sender:
+                continue
+            match = _CODE_RE.search(text)
+            if match:
+                return match.group(1)
+        raise WebSimError(f"no SMS code from {sender!r} on canary handset")
+
+    def _read_own_email_code(self, canary: Identity, sender: str) -> str:
+        messages = self._internet.read_own_mailbox(canary.email_address, canary)
+        for message in reversed(messages):
+            if message.sender != sender:
+                continue
+            match = _CODE_RE.search(message.body)
+            if match:
+                return match.group(1)
+        raise WebSimError(f"no email code from {sender!r} in canary mailbox")
+
+
+_FACTOR_KIND: Dict[CredentialFactor, PersonalInfoKind] = {
+    CredentialFactor.CELLPHONE_NUMBER: PersonalInfoKind.CELLPHONE_NUMBER,
+    CredentialFactor.EMAIL_ADDRESS: PersonalInfoKind.EMAIL_ADDRESS,
+    CredentialFactor.REAL_NAME: PersonalInfoKind.REAL_NAME,
+    CredentialFactor.CITIZEN_ID: PersonalInfoKind.CITIZEN_ID,
+    CredentialFactor.BANKCARD_NUMBER: PersonalInfoKind.BANKCARD_NUMBER,
+    CredentialFactor.ADDRESS: PersonalInfoKind.ADDRESS,
+    CredentialFactor.USER_ID: PersonalInfoKind.USER_ID,
+    CredentialFactor.STUDENT_ID: PersonalInfoKind.STUDENT_ID,
+}

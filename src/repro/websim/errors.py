@@ -1,0 +1,61 @@
+"""Typed failure hierarchy for the simulated internet.
+
+Attack code needs to distinguish *why* an authentication attempt failed --
+a wrong OTP is retryable, a missing credential factor sends the strategy
+engine looking for another source account, a locked account ends the chain.
+Every failure the simulated services raise derives from :class:`WebSimError`.
+"""
+
+from __future__ import annotations
+
+
+class WebSimError(Exception):
+    """Base class for every simulated-internet failure."""
+
+
+class AuthenticationError(WebSimError):
+    """An authentication attempt was rejected."""
+
+
+class UnknownHandle(AuthenticationError):
+    """No account matches the supplied handle (phone, email or username)."""
+
+
+class UnknownPath(AuthenticationError):
+    """The service offers no authentication path matching the request."""
+
+
+class MissingFactor(AuthenticationError):
+    """A required credential factor was not supplied at all."""
+
+    def __init__(self, factor: object) -> None:
+        super().__init__(f"missing credential factor: {factor}")
+        self.factor = factor
+
+
+class FactorMismatch(AuthenticationError):
+    """A supplied credential factor value did not verify."""
+
+    def __init__(self, factor: object) -> None:
+        super().__init__(f"credential factor failed verification: {factor}")
+        self.factor = factor
+
+
+class OTPError(AuthenticationError):
+    """An OTP code was wrong, expired, or never issued."""
+
+
+class RateLimited(WebSimError):
+    """Too many OTP requests or attempts inside the policy window."""
+
+    def __init__(self, retry_after: float) -> None:
+        super().__init__(f"rate limited; retry after {retry_after:.0f}s")
+        self.retry_after = retry_after
+
+
+class AccountLocked(AuthenticationError):
+    """The account was locked after repeated failures."""
+
+
+class InvalidSession(WebSimError):
+    """A session token was missing, expired or forged."""

@@ -1,0 +1,228 @@
+"""The simulated internet: service registry, mailboxes and the SMS gateway.
+
+:class:`Internet` is the container every simulated service is deployed into.
+It routes the two OTP delivery channels:
+
+- **SMS** goes out through a pluggable gateway.  By default messages land
+  in per-phone handset inboxes (the victim's pocket, unreadable by the
+  attacker); wiring in the telecom substrate
+  (:func:`repro.telecom.network.GSMNetwork.as_sms_gateway`) replaces the
+  gateway with one that also radiates interceptable over-the-air events.
+- **Email** lands in per-address mailboxes.  Reading a mailbox requires a
+  valid session on the email service that owns the address's domain --
+  which is precisely why compromising the email account is "the gateway to
+  most of the vulnerabilities exposed" (Insight 1).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.model.account import ServiceProfile
+from repro.model.identity import Identity
+from repro.utils.clock import Clock
+from repro.utils.rng import SeedSequence
+from repro.websim.errors import InvalidSession
+from repro.websim.linker import BindingRegistry
+from repro.websim.otp import OTPPolicy
+from repro.websim.service import SimulatedService
+from repro.websim.sessions import Session
+
+#: Signature of an SMS gateway: (destination phone, text, sender name).
+SMSGateway = Callable[[str, str, str], None]
+
+
+@dataclasses.dataclass(frozen=True)
+class EmailMessage:
+    """One delivered email."""
+
+    to: str
+    sender: str
+    subject: str
+    body: str
+    delivered_at: float
+
+
+class Internet:
+    """Registry and channel fabric for a set of simulated services."""
+
+    def __init__(
+        self,
+        seeds: Optional[SeedSequence] = None,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        self.clock = clock if clock is not None else Clock()
+        self.seeds = seeds if seeds is not None else SeedSequence(0)
+        self.bindings = BindingRegistry()
+        self._services: Dict[str, SimulatedService] = {}
+        self._mailboxes: Dict[str, List[EmailMessage]] = {}
+        self._handsets: Dict[str, List[Tuple[float, str, str]]] = {}
+        self._email_domains: Dict[str, str] = {}
+        self._sms_gateway: Optional[SMSGateway] = None
+        self._sms_sent = 0
+        self._emails_sent = 0
+
+    # ------------------------------------------------------------------
+    # Deployment
+    # ------------------------------------------------------------------
+
+    def deploy(
+        self,
+        profile: ServiceProfile,
+        otp_policy: OTPPolicy = OTPPolicy(),
+    ) -> SimulatedService:
+        """Deploy a service from its profile; names must be unique."""
+        if profile.name in self._services:
+            raise ValueError(f"service {profile.name!r} already deployed")
+        service = SimulatedService(profile, self, otp_policy=otp_policy)
+        self._services[profile.name] = service
+        return service
+
+    def service(self, name: str) -> SimulatedService:
+        """Look a deployed service up by name."""
+        try:
+            return self._services[name]
+        except KeyError:
+            raise KeyError(f"no service {name!r} deployed") from None
+
+    def has_service(self, name: str) -> bool:
+        """Whether a service of that name is deployed."""
+        return name in self._services
+
+    @property
+    def service_names(self) -> Tuple[str, ...]:
+        """Names of all deployed services, in deployment order."""
+        return tuple(self._services)
+
+    def enroll_everywhere(
+        self, identity: Identity, password: str = "correct-horse"
+    ) -> None:
+        """Enroll ``identity`` on every deployed service (test/population aid)."""
+        for service in self._services.values():
+            if not service.is_enrolled(identity.person_id):
+                service.enroll(identity, password)
+
+    # ------------------------------------------------------------------
+    # SMS channel
+    # ------------------------------------------------------------------
+
+    def set_sms_gateway(self, gateway: SMSGateway) -> None:
+        """Install the SMS delivery gateway (e.g. the telecom simulator)."""
+        self._sms_gateway = gateway
+
+    def send_sms(self, phone: str, text: str, sender: str) -> None:
+        """Dispatch one SMS.
+
+        With no gateway installed, messages drop straight onto the victim's
+        handset (loopback mode).  With a gateway -- normally the telecom
+        simulator -- final delivery is the gateway's responsibility, which
+        is what lets an active MitM withhold messages from the victim.
+        """
+        self._sms_sent += 1
+        if self._sms_gateway is None:
+            self.deliver_to_handset(phone, sender, text)
+        else:
+            self._sms_gateway(phone, text, sender)
+
+    def deliver_to_handset(self, phone: str, sender: str, text: str) -> None:
+        """Final-hop delivery onto a victim handset (called by the gateway)."""
+        self._handsets.setdefault(phone, []).append(
+            (self.clock.now(), sender, text)
+        )
+
+    def handset_messages(self, phone: str) -> Tuple[Tuple[float, str, str], ...]:
+        """Messages on the victim's handset.
+
+        Victim-side view only: the attacker has "no access to the internal
+        software/hardware of the victim's cellphone" (Section II), so attack
+        code must never read this -- it intercepts over the air instead.
+        """
+        return tuple(self._handsets.get(phone, ()))
+
+    @property
+    def sms_sent(self) -> int:
+        """Total SMS messages dispatched."""
+        return self._sms_sent
+
+    # ------------------------------------------------------------------
+    # Email channel
+    # ------------------------------------------------------------------
+
+    def register_email_domain(self, domain: str, service_name: str) -> None:
+        """Declare that mailboxes under ``domain`` belong to a service."""
+        if service_name not in self._services:
+            raise KeyError(f"no service {service_name!r} deployed")
+        self._email_domains[domain.lower()] = service_name
+
+    def email_provider_for(self, address: str) -> Optional[str]:
+        """The service owning ``address``'s domain, if registered."""
+        _, _, domain = address.rpartition("@")
+        return self._email_domains.get(domain.lower())
+
+    def send_email(self, address: str, subject: str, body: str, sender: str) -> None:
+        """Deliver one email into the address's mailbox."""
+        self._emails_sent += 1
+        self._mailboxes.setdefault(address, []).append(
+            EmailMessage(
+                to=address,
+                sender=sender,
+                subject=subject,
+                body=body,
+                delivered_at=self.clock.now(),
+            )
+        )
+
+    def read_mailbox(
+        self, address: str, session: Session
+    ) -> Tuple[EmailMessage, ...]:
+        """Read a mailbox, gated on controlling the owning email account.
+
+        ``session`` must be a live session on the email service that owns
+        the address's domain, for the user whose address it is.  This is the
+        mechanism by which compromising Gmail yields PayPal's email token in
+        Case II.
+        """
+        provider_name = self.email_provider_for(address)
+        if provider_name is None:
+            raise InvalidSession(f"no email provider registered for {address!r}")
+        provider = self.service(provider_name)
+        live = provider.validate_session(session)
+        owner = self._owner_of_address(provider, address)
+        if owner is None or owner != live.person_id:
+            raise InvalidSession(
+                f"session user does not own mailbox {address!r}"
+            )
+        return tuple(self._mailboxes.get(address, ()))
+
+    def read_own_mailbox(
+        self, address: str, identity: Identity
+    ) -> Tuple[EmailMessage, ...]:
+        """Read a mailbox as its legitimate owner (IMAP from their own
+        device).  Used by victim-side code and the measurement probe, which
+        operates its own test accounts exactly as the paper's authors did.
+        """
+        if identity.email_address != address:
+            raise InvalidSession(f"{identity.person_id} does not own {address!r}")
+        return tuple(self._mailboxes.get(address, ()))
+
+    def _owner_of_address(
+        self, provider: SimulatedService, address: str
+    ) -> Optional[str]:
+        # The provider's handle index maps addresses to person ids; use the
+        # public resolution path rather than poking at internals.
+        try:
+            record = provider._resolve_handle(address)  # noqa: SLF001 - same package
+        except Exception:
+            return None
+        return record.identity.person_id
+
+    @property
+    def emails_sent(self) -> int:
+        """Total emails delivered."""
+        return self._emails_sent
+
+    def mailbox_size(self, address: str) -> int:
+        """Number of messages in a mailbox (no authorization required --
+        metadata only, used by tests)."""
+        return len(self._mailboxes.get(address, ()))

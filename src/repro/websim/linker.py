@@ -1,0 +1,53 @@
+"""OAuth-style account binding (login-with relations).
+
+The paper's second dependency category is "the linked/binding relation among
+the online accounts ... once the Gmail account is logged in, the Expedia
+account linked to that Gmail account can also be logged in without
+additional authentication" (Section III-D).  The :class:`BindingRegistry`
+records which identity provider each user bound to each relying service;
+:class:`~repro.websim.service.SimulatedService` consults it when verifying a
+``LINKED_ACCOUNT`` factor, and profile pages surface it as
+``BINDING_ACCOUNT`` information.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Set, Tuple
+
+
+class BindingRegistry:
+    """Records (user, relying service) -> identity providers bindings."""
+
+    def __init__(self) -> None:
+        self._bindings: Dict[Tuple[str, str], Set[str]] = {}
+
+    def bind(self, person_id: str, relying_service: str, provider: str) -> None:
+        """Bind ``person_id``'s ``relying_service`` account to ``provider``."""
+        if relying_service == provider:
+            raise ValueError("a service cannot be bound to itself")
+        self._bindings.setdefault((person_id, relying_service), set()).add(provider)
+
+    def unbind(self, person_id: str, relying_service: str, provider: str) -> None:
+        """Remove one binding; missing bindings are ignored."""
+        providers = self._bindings.get((person_id, relying_service))
+        if providers is not None:
+            providers.discard(provider)
+            if not providers:
+                del self._bindings[(person_id, relying_service)]
+
+    def providers_for(self, person_id: str, relying_service: str) -> FrozenSet[str]:
+        """Identity providers bound to this user's account on a service."""
+        return frozenset(self._bindings.get((person_id, relying_service), ()))
+
+    def relying_services_of(self, person_id: str, provider: str) -> FrozenSet[str]:
+        """Services this user can enter via ``provider`` (the blast radius
+        of a compromised identity-provider account)."""
+        return frozenset(
+            service
+            for (pid, service), providers in self._bindings.items()
+            if pid == person_id and provider in providers
+        )
+
+    def binding_count(self) -> int:
+        """Total number of (user, service, provider) binding triples."""
+        return sum(len(v) for v in self._bindings.values())

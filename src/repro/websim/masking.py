@@ -1,0 +1,24 @@
+"""Applying provider masking rules to sensitive values.
+
+Providers render citizen IDs and bankcard numbers with most characters
+replaced by ``*``.  The paper's Insight 4 is that the *choice of revealed
+positions differs across providers*, so the views compose: this module turns
+a :class:`~repro.model.account.MaskSpec` into a
+:class:`~repro.model.identity.MaskedValue`, and the attack layer combines
+views with :func:`repro.model.identity.combine_views`.
+"""
+
+from __future__ import annotations
+
+from repro.model.account import MaskSpec
+from repro.model.identity import MaskedValue
+
+
+def apply_mask(value: str, spec: MaskSpec) -> MaskedValue:
+    """Return the masked view of ``value`` under ``spec``."""
+    return MaskedValue(value, spec.revealed_positions(len(value)))
+
+
+def render_profile_value(value: str, spec: MaskSpec) -> str:
+    """Render ``value`` the way the provider's profile page displays it."""
+    return apply_mask(value, spec).rendered()

@@ -1,0 +1,147 @@
+"""One-time-password issuance and validation.
+
+Each simulated service owns an :class:`OTPManager` that issues numeric codes
+to a destination handle (a phone number for SMS codes, an email address for
+email codes/links) and validates them under a configurable
+:class:`OTPPolicy`: expiry window, per-destination request rate limit, and a
+wrong-attempt budget after which the code burns.
+
+The codes themselves travel over the channel substrate -- the telecom
+simulator for SMS, the internet mailboxes for email -- which is exactly
+where the paper's attacker taps them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, Optional, Tuple
+
+from repro.utils.clock import Clock
+from repro.websim.errors import OTPError, RateLimited
+
+
+@dataclasses.dataclass(frozen=True)
+class OTPPolicy:
+    """Issuance and validation policy for one service's OTP codes."""
+
+    #: Number of decimal digits in a code.
+    digits: int = 6
+    #: Seconds a code stays valid after issuance.
+    ttl: float = 300.0
+    #: Minimum seconds between two issuance requests to one destination.
+    resend_interval: float = 60.0
+    #: Wrong guesses tolerated before the code is invalidated.
+    max_attempts: int = 5
+
+    def __post_init__(self) -> None:
+        if self.digits < 4:
+            raise ValueError("OTP codes must have at least 4 digits")
+        if self.ttl <= 0:
+            raise ValueError("ttl must be positive")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+
+
+@dataclasses.dataclass
+class _IssuedCode:
+    code: str
+    issued_at: float
+    expires_at: float
+    attempts_left: int
+    purpose: str
+
+
+class OTPManager:
+    """Issues and validates OTP codes for one service.
+
+    Codes are keyed by ``(destination, purpose)`` so a sign-in code cannot be
+    replayed into a password-reset flow.  Validation is strict one-shot: a
+    successful check consumes the code.
+    """
+
+    def __init__(
+        self,
+        clock: Clock,
+        policy: OTPPolicy = OTPPolicy(),
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self._clock = clock
+        self._policy = policy
+        self._rng = rng if rng is not None else random.Random(0)
+        self._active: Dict[Tuple[str, str], _IssuedCode] = {}
+        self._last_request: Dict[str, float] = {}
+        self._issued_count = 0
+
+    @property
+    def policy(self) -> OTPPolicy:
+        """The active issuance/validation policy."""
+        return self._policy
+
+    @property
+    def issued_count(self) -> int:
+        """Total number of codes issued over the manager's lifetime."""
+        return self._issued_count
+
+    def issue(self, destination: str, purpose: str) -> str:
+        """Issue a fresh code for ``destination`` and ``purpose``.
+
+        Returns the code so the service can hand it to the delivery channel.
+        Raises :class:`RateLimited` when the destination asked too recently.
+        A new issuance replaces any previous active code for the same key.
+        """
+        now = self._clock.now()
+        last = self._last_request.get(destination)
+        if last is not None and now - last < self._policy.resend_interval:
+            raise RateLimited(self._policy.resend_interval - (now - last))
+        self._last_request[destination] = now
+
+        code = "".join(
+            str(self._rng.randrange(10)) for _ in range(self._policy.digits)
+        )
+        self._active[(destination, purpose)] = _IssuedCode(
+            code=code,
+            issued_at=now,
+            expires_at=now + self._policy.ttl,
+            attempts_left=self._policy.max_attempts,
+            purpose=purpose,
+        )
+        self._issued_count += 1
+        return code
+
+    def validate(self, destination: str, purpose: str, code: str) -> None:
+        """Check ``code``; raise :class:`OTPError` on any failure.
+
+        A correct code is consumed.  A wrong code decrements the attempt
+        budget and burns the code when the budget hits zero.
+        """
+        key = (destination, purpose)
+        issued = self._active.get(key)
+        if issued is None:
+            raise OTPError(f"no active code for {destination!r} ({purpose})")
+        if self._clock.now() > issued.expires_at:
+            del self._active[key]
+            raise OTPError("code expired")
+        if code != issued.code:
+            issued.attempts_left -= 1
+            if issued.attempts_left <= 0:
+                del self._active[key]
+                raise OTPError("code invalidated after too many wrong attempts")
+            raise OTPError("wrong code")
+        del self._active[key]
+
+    def peek(self, destination: str, purpose: str) -> Optional[str]:
+        """Return the currently-active code without consuming it.
+
+        This is a *test-only* backdoor (the simulated victim "reading their
+        own phone"); attack code must never call it -- attackers obtain codes
+        through interception or mailbox compromise.
+        """
+        issued = self._active.get((destination, purpose))
+        if issued is None or self._clock.now() > issued.expires_at:
+            return None
+        return issued.code
+
+    def has_active(self, destination: str, purpose: str) -> bool:
+        """Whether an unexpired code is outstanding for the key."""
+        return self.peek(destination, purpose) is not None

@@ -1,0 +1,95 @@
+"""Rendered logged-in profile pages.
+
+A :class:`ProfilePage` is what an attacker (or the measurement probe) sees
+after taking over an account: one entry per exposed information kind, each a
+:class:`~repro.model.identity.MaskedValue`.  Unmasked kinds render fully
+revealed; citizen IDs and bankcard numbers render under the provider's
+:class:`~repro.model.account.MaskSpec` -- the per-provider inconsistency the
+combining attack (Insight 4) feeds on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+from typing import Dict, FrozenSet, Mapping
+
+from repro.model.account import ServiceProfile
+from repro.model.factors import PersonalInfoKind, Platform
+from repro.model.identity import Identity, MaskedValue
+from repro.websim.masking import apply_mask
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.websim.internet import Internet
+
+
+@dataclasses.dataclass(frozen=True)
+class ProfilePage:
+    """One rendering of one account's profile on one platform."""
+
+    service: str
+    platform: Platform
+    person_id: str
+    entries: Mapping[PersonalInfoKind, MaskedValue]
+    #: Names of identity providers this account is bound to (shown in the
+    #: "linked accounts" section many services have).
+    bound_providers: FrozenSet[str]
+
+    @classmethod
+    def render(
+        cls,
+        profile: ServiceProfile,
+        identity: Identity,
+        platform: Platform,
+        internet: "Internet",
+    ) -> "ProfilePage":
+        """Render ``identity``'s page on ``profile`` for ``platform``."""
+        entries: Dict[PersonalInfoKind, MaskedValue] = {}
+        for kind in profile.info_on(platform):
+            try:
+                value = identity.info_value(kind)
+            except KeyError:
+                value = f"<{kind.value}:{identity.person_id}>"
+            spec = profile.mask_for(platform, kind)
+            entries[kind] = apply_mask(value, spec)
+        bound: FrozenSet[str] = frozenset()
+        if PersonalInfoKind.BINDING_ACCOUNT in profile.info_on(platform):
+            bound = internet.bindings.providers_for(
+                identity.person_id, profile.name
+            )
+        return cls(
+            service=profile.name,
+            platform=platform,
+            person_id=identity.person_id,
+            entries=dict(entries),
+            bound_providers=bound,
+        )
+
+    def visible_kinds(self) -> FrozenSet[PersonalInfoKind]:
+        """Information kinds present on the page."""
+        return frozenset(self.entries)
+
+    def complete_values(self) -> Dict[PersonalInfoKind, str]:
+        """Kinds whose full value is readable straight off the page."""
+        return {
+            kind: view.reveal()
+            for kind, view in self.entries.items()
+            if view.is_complete
+        }
+
+    def masked_views(self) -> Dict[PersonalInfoKind, MaskedValue]:
+        """Kinds rendered with at least one character hidden."""
+        return {
+            kind: view
+            for kind, view in self.entries.items()
+            if not view.is_complete
+        }
+
+    def as_text(self) -> str:
+        """The page as plain text, the way a scraper would capture it."""
+        lines = [f"== {self.service} profile ({self.platform.value}) =="]
+        for kind in sorted(self.entries, key=lambda k: k.value):
+            lines.append(f"{kind.value}: {self.entries[kind].rendered()}")
+        if self.bound_providers:
+            lines.append("linked accounts: " + ", ".join(sorted(self.bound_providers)))
+        return "\n".join(lines)

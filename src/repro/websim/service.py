@@ -1,0 +1,430 @@
+"""Stateful simulated account services.
+
+A :class:`SimulatedService` is one deployed Internet service: it holds user
+records, verifies each :class:`~repro.model.account.AuthPath` its
+:class:`~repro.model.account.ServiceProfile` declares, dispatches OTP codes
+over the SMS/email channels, issues sessions, and serves masked profile
+pages.  It is intentionally faithful to how the attacks in the paper
+interact with real services:
+
+- sign-in and password reset are separate flows with separate policies,
+- OTP codes are requested explicitly and travel over an interceptable
+  channel,
+- a successful password reset revokes existing sessions and hands the
+  caller a fresh one (control of the account),
+- biometric / hardware factors verify against a device secret the attacker
+  has no way to obtain.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import typing
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.model.account import AuthPath, AuthPurpose, ServiceProfile
+from repro.model.factors import CredentialFactor, PersonalInfoKind, Platform
+from repro.model.identity import Identity
+from repro.websim.errors import (
+    AccountLocked,
+    FactorMismatch,
+    MissingFactor,
+    OTPError,
+    UnknownHandle,
+    UnknownPath,
+)
+from repro.websim.otp import OTPManager, OTPPolicy
+from repro.websim.profile_page import ProfilePage
+from repro.websim.sessions import Session, SessionStore
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.websim.internet import Internet
+
+#: Wrong-factor failures tolerated per user on the reset flow before the
+#: account locks.  Generous enough that legitimate chains never trip it.
+_LOCK_THRESHOLD = 10
+
+_DEVICE_SALT = "repro-device-secret"
+
+
+def device_secret(person_id: str, factor: CredentialFactor) -> str:
+    """The secret a victim's device/body presents for a robust factor.
+
+    Only victim-side code (and tests playing the victim) may call this; the
+    attack layer treats robust factors as unsatisfiable, mirroring the
+    paper's Insight 5.
+    """
+    digest = hashlib.sha256(
+        f"{_DEVICE_SALT}:{person_id}:{factor.value}".encode("utf-8")
+    ).hexdigest()
+    return f"dev-{digest[:16]}"
+
+
+class UserRecord:
+    """One enrolled user on one service."""
+
+    __slots__ = ("identity", "password", "locked", "reset_failures")
+
+    def __init__(self, identity: Identity, password: str) -> None:
+        self.identity = identity
+        self.password = password
+        self.locked = False
+        self.reset_failures = 0
+
+
+class SimulatedService:
+    """One deployed service on the simulated internet."""
+
+    def __init__(
+        self,
+        profile: ServiceProfile,
+        internet: "Internet",
+        otp_policy: OTPPolicy = OTPPolicy(),
+    ) -> None:
+        self._profile = profile
+        self._internet = internet
+        self._users: Dict[str, UserRecord] = {}
+        self._by_phone: Dict[str, str] = {}
+        self._by_email: Dict[str, str] = {}
+        self._otp = OTPManager(
+            internet.clock,
+            policy=otp_policy,
+            rng=internet.seeds.stream(f"otp:{profile.name}"),
+        )
+        self._sessions = SessionStore(profile.name, internet.clock)
+        self._payments: list = []
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """The service's name (unique on its internet)."""
+        return self._profile.name
+
+    @property
+    def profile(self) -> ServiceProfile:
+        """The static policy profile this deployment enforces."""
+        return self._profile
+
+    @property
+    def otp_manager(self) -> OTPManager:
+        """The service's OTP manager (exposed for tests and telemetry)."""
+        return self._otp
+
+    def advertised_paths(
+        self, platform: Platform, purpose: AuthPurpose
+    ) -> Tuple[AuthPath, ...]:
+        """What the sign-in / reset wizard shows as available options.
+
+        Real services enumerate their verification options in the UI; the
+        ActFort probe records exactly this surface.
+        """
+        return self._profile.paths(platform=platform, purpose=purpose)
+
+    # ------------------------------------------------------------------
+    # Enrollment and lookup
+    # ------------------------------------------------------------------
+
+    def enroll(self, identity: Identity, password: str) -> UserRecord:
+        """Register ``identity`` with ``password``; returns the record."""
+        if identity.person_id in self._users:
+            raise ValueError(
+                f"{identity.person_id!r} already enrolled on {self.name!r}"
+            )
+        record = UserRecord(identity, password)
+        self._users[identity.person_id] = record
+        self._by_phone[identity.cellphone_number] = identity.person_id
+        self._by_email[identity.email_address] = identity.person_id
+        return record
+
+    def is_enrolled(self, person_id: str) -> bool:
+        """Whether a user with ``person_id`` exists."""
+        return person_id in self._users
+
+    def _resolve_handle(self, handle: str) -> UserRecord:
+        person_id = (
+            handle
+            if handle in self._users
+            else self._by_phone.get(handle) or self._by_email.get(handle)
+        )
+        if person_id is None or person_id not in self._users:
+            raise UnknownHandle(f"no account for handle {handle!r} on {self.name!r}")
+        return self._users[person_id]
+
+    # ------------------------------------------------------------------
+    # OTP dispatch
+    # ------------------------------------------------------------------
+
+    def request_otp(
+        self, handle: str, factor: CredentialFactor, purpose: AuthPurpose
+    ) -> None:
+        """Issue and dispatch an OTP for an authentication attempt.
+
+        SMS codes go to the account's phone number over the SMS gateway
+        (where the paper's sniffer sits); email codes and links go to the
+        account's mailbox.  Raises on unknown handles and rate limits.
+        """
+        record = self._resolve_handle(handle)
+        identity = record.identity
+        if not any(factor in p.factors for p in self._profile.auth_paths):
+            # A service that dropped a factor from every auth path does not
+            # send codes for it (how the built-in-auth upgrade achieves
+            # radio silence).
+            raise UnknownPath(
+                f"{self.name!r} has no authentication path using {factor}"
+            )
+        if factor is CredentialFactor.SMS_CODE:
+            code = self._otp.issue(identity.cellphone_number, purpose.value)
+            self._internet.send_sms(
+                identity.cellphone_number,
+                f"[{self.name}] Your verification code is {code}. "
+                f"Do not share it with anyone.",
+                sender=self.name,
+            )
+        elif factor in (CredentialFactor.EMAIL_CODE, CredentialFactor.EMAIL_LINK):
+            code = self._otp.issue(identity.email_address, purpose.value)
+            noun = "code" if factor is CredentialFactor.EMAIL_CODE else "link token"
+            self._internet.send_email(
+                identity.email_address,
+                subject=f"[{self.name}] Verification {noun}",
+                body=f"Your verification code is {code}.",
+                sender=self.name,
+            )
+        else:
+            raise UnknownPath(f"{factor} is not a dispatchable OTP factor")
+
+    # ------------------------------------------------------------------
+    # Authentication flows
+    # ------------------------------------------------------------------
+
+    def sign_in(
+        self,
+        platform: Platform,
+        handle: str,
+        supplied: Mapping[CredentialFactor, object],
+    ) -> Session:
+        """Attempt sign-in; returns a session on success.
+
+        The service tries each advertised sign-in path whose factor set is
+        covered by ``supplied``; the first path whose factors all verify
+        wins.  This mirrors a user picking the matching option in the UI.
+        """
+        return self._authenticate(platform, handle, supplied, AuthPurpose.SIGN_IN)
+
+    def reset_password(
+        self,
+        platform: Platform,
+        handle: str,
+        supplied: Mapping[CredentialFactor, object],
+        new_password: str,
+    ) -> Session:
+        """Attempt a password reset; on success the caller owns the account.
+
+        Existing sessions are revoked, the password changes, and a fresh
+        session is returned (services commonly auto-login after a reset --
+        and even when they don't, the caller now knows the password).
+        """
+        record = self._resolve_handle(handle)
+        session = self._authenticate(
+            platform, handle, supplied, AuthPurpose.PASSWORD_RESET
+        )
+        record.password = new_password
+        self._sessions.revoke_all_for(record.identity.person_id)
+        return self._sessions.issue(record.identity.person_id, platform)
+
+    def _authenticate(
+        self,
+        platform: Platform,
+        handle: str,
+        supplied: Mapping[CredentialFactor, object],
+        purpose: AuthPurpose,
+    ) -> Session:
+        record = self._resolve_handle(handle)
+        if record.locked:
+            raise AccountLocked(f"account {handle!r} on {self.name!r} is locked")
+        paths = self.advertised_paths(platform, purpose)
+        if not paths:
+            raise UnknownPath(
+                f"{self.name!r} offers no {purpose.value} path on {platform.value}"
+            )
+        candidates = [p for p in paths if p.factors <= set(supplied)]
+        if not candidates:
+            needed = min(
+                (p.factors - set(supplied) for p in paths),
+                key=len,
+            )
+            raise MissingFactor(sorted(f.value for f in needed))
+
+        last_error: Optional[Exception] = None
+        for path in candidates:
+            try:
+                self._verify_path(record, path, supplied, purpose)
+            except (FactorMismatch, MissingFactor, OTPError) as exc:
+                last_error = exc
+                continue
+            record.reset_failures = 0
+            return self._sessions.issue(record.identity.person_id, platform)
+
+        if purpose is AuthPurpose.PASSWORD_RESET:
+            record.reset_failures += 1
+            if record.reset_failures >= _LOCK_THRESHOLD:
+                record.locked = True
+        assert last_error is not None
+        raise last_error
+
+    def _verify_path(
+        self,
+        record: UserRecord,
+        path: AuthPath,
+        supplied: Mapping[CredentialFactor, object],
+        purpose: AuthPurpose,
+    ) -> None:
+        for factor in sorted(path.factors, key=lambda f: f.value):
+            if factor not in supplied:
+                raise MissingFactor(factor)
+            self._verify_factor(record, path, factor, supplied[factor], purpose)
+
+    def _verify_factor(
+        self,
+        record: UserRecord,
+        path: AuthPath,
+        factor: CredentialFactor,
+        value: object,
+        purpose: AuthPurpose,
+    ) -> None:
+        identity = record.identity
+        if factor is CredentialFactor.PASSWORD:
+            if value != record.password:
+                raise FactorMismatch(factor)
+        elif factor is CredentialFactor.USERNAME:
+            if value not in (identity.person_id, identity.email_address):
+                raise FactorMismatch(factor)
+        elif factor is CredentialFactor.SMS_CODE:
+            self._otp.validate(identity.cellphone_number, purpose.value, str(value))
+        elif factor in (CredentialFactor.EMAIL_CODE, CredentialFactor.EMAIL_LINK):
+            self._otp.validate(identity.email_address, purpose.value, str(value))
+        elif factor is CredentialFactor.LINKED_ACCOUNT:
+            self._verify_linked_account(record, path, value)
+        elif factor is CredentialFactor.CUSTOMER_SERVICE:
+            self._verify_customer_service(record, value)
+        elif factor in (
+            CredentialFactor.FACE_SCAN,
+            CredentialFactor.FINGERPRINT,
+            CredentialFactor.U2F_KEY,
+            CredentialFactor.TRUSTED_DEVICE,
+            CredentialFactor.AUTHENTICATOR_TOTP,
+        ):
+            if value != device_secret(identity.person_id, factor):
+                raise FactorMismatch(factor)
+        elif factor is CredentialFactor.ACQUAINTANCE_NAME:
+            if value not in identity.acquaintances:
+                raise FactorMismatch(factor)
+        elif factor is CredentialFactor.SECURITY_QUESTION:
+            if value != identity.security_answer:
+                raise FactorMismatch(factor)
+        else:
+            # Remaining knowledge factors compare against identity ground
+            # truth (real name, citizen ID, bankcard, address, IDs...).
+            kind = _FACTOR_TO_IDENTITY_KIND.get(factor)
+            if kind is None:
+                raise FactorMismatch(factor)
+            if value != identity.info_value(kind):
+                raise FactorMismatch(factor)
+
+    def _verify_linked_account(
+        self, record: UserRecord, path: AuthPath, value: object
+    ) -> None:
+        if not isinstance(value, Session):
+            raise FactorMismatch(CredentialFactor.LINKED_ACCOUNT)
+        if path.linked_providers and value.service not in path.linked_providers:
+            raise FactorMismatch(CredentialFactor.LINKED_ACCOUNT)
+        provider = self._internet.service(value.service)
+        provider.validate_session(value)
+        bound = self._internet.bindings.providers_for(
+            record.identity.person_id, self.name
+        )
+        if value.service not in bound:
+            raise FactorMismatch(CredentialFactor.LINKED_ACCOUNT)
+        if value.person_id != record.identity.person_id:
+            raise FactorMismatch(CredentialFactor.LINKED_ACCOUNT)
+
+    def _verify_customer_service(self, record: UserRecord, value: object) -> None:
+        """Human customer-service reset: convince an agent with a dossier.
+
+        The caller presents a mapping of personal-information kinds to
+        claimed values; the agent accepts when at least three claims check
+        out against the account on file (the social-engineering surface of
+        Case III's web-client path).
+        """
+        if not isinstance(value, Mapping):
+            raise FactorMismatch(CredentialFactor.CUSTOMER_SERVICE)
+        identity = record.identity
+        correct = 0
+        for kind, claimed in value.items():
+            if not isinstance(kind, PersonalInfoKind):
+                continue
+            try:
+                truth = identity.info_value(kind)
+            except KeyError:
+                continue
+            if kind is PersonalInfoKind.ACQUAINTANCE_NAME:
+                if claimed in identity.acquaintances or claimed == truth:
+                    correct += 1
+            elif claimed == truth:
+                correct += 1
+        if correct < 3:
+            raise FactorMismatch(CredentialFactor.CUSTOMER_SERVICE)
+
+    # ------------------------------------------------------------------
+    # Authenticated surface
+    # ------------------------------------------------------------------
+
+    def validate_session(self, session: Session) -> Session:
+        """Validate a session issued by this service."""
+        return self._sessions.validate(session)
+
+    def profile_page(self, session: Session, platform: Platform) -> ProfilePage:
+        """Render the logged-in profile page for ``platform``.
+
+        This is what the attacker scrapes after a takeover: every exposed
+        information kind, masked per the provider's rules.
+        """
+        live = self._sessions.validate(session)
+        record = self._users[live.person_id]
+        return ProfilePage.render(self._profile, record.identity, platform, self._internet)
+
+    def authorize_payment(self, session: Session, amount: float) -> str:
+        """Authorize a payment from the logged-in account (QR-code style).
+
+        Any live session suffices -- which is precisely Case I's point: an
+        SMS one-time login token is full spending power on Baidu Wallet.
+        Returns a receipt id; payments are recorded for test inspection.
+        """
+        if amount <= 0:
+            raise ValueError("payment amount must be positive")
+        live = self._sessions.validate(session)
+        self._payments.append((live.person_id, amount))
+        return f"receipt-{self.name}-{len(self._payments):06d}"
+
+    @property
+    def payments(self) -> Tuple[Tuple[str, float], ...]:
+        """(person id, amount) pairs of authorized payments."""
+        return tuple(self._payments)
+
+    def session_store(self) -> SessionStore:
+        """The service's session store (exposed for tests)."""
+        return self._sessions
+
+
+_FACTOR_TO_IDENTITY_KIND: Dict[CredentialFactor, PersonalInfoKind] = {
+    CredentialFactor.CELLPHONE_NUMBER: PersonalInfoKind.CELLPHONE_NUMBER,
+    CredentialFactor.EMAIL_ADDRESS: PersonalInfoKind.EMAIL_ADDRESS,
+    CredentialFactor.REAL_NAME: PersonalInfoKind.REAL_NAME,
+    CredentialFactor.CITIZEN_ID: PersonalInfoKind.CITIZEN_ID,
+    CredentialFactor.BANKCARD_NUMBER: PersonalInfoKind.BANKCARD_NUMBER,
+    CredentialFactor.ADDRESS: PersonalInfoKind.ADDRESS,
+    CredentialFactor.USER_ID: PersonalInfoKind.USER_ID,
+    CredentialFactor.STUDENT_ID: PersonalInfoKind.STUDENT_ID,
+}

@@ -1,0 +1,91 @@
+"""Login sessions for the simulated services.
+
+A successful sign-in or password reset hands the caller a :class:`Session`
+token.  Tokens are unforgeable capabilities within the simulation: profile
+pages and linked-account logins validate them against the issuing service's
+:class:`SessionStore`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Dict, Optional
+
+from repro.model.factors import Platform
+from repro.utils.clock import Clock
+from repro.websim.errors import InvalidSession
+
+_TOKEN_COUNTER = itertools.count(1)
+
+
+@dataclasses.dataclass(frozen=True)
+class Session:
+    """An authenticated session on one service for one user."""
+
+    token: str
+    service: str
+    person_id: str
+    platform: Platform
+    issued_at: float
+    expires_at: float
+
+
+class SessionStore:
+    """Issues and validates sessions for one service."""
+
+    def __init__(self, service: str, clock: Clock, ttl: float = 3600.0) -> None:
+        if ttl <= 0:
+            raise ValueError("session ttl must be positive")
+        self._service = service
+        self._clock = clock
+        self._ttl = ttl
+        self._sessions: Dict[str, Session] = {}
+
+    def issue(self, person_id: str, platform: Platform) -> Session:
+        """Create a fresh session for ``person_id`` on ``platform``."""
+        now = self._clock.now()
+        token = f"sess-{self._service}-{next(_TOKEN_COUNTER):08d}"
+        session = Session(
+            token=token,
+            service=self._service,
+            person_id=person_id,
+            platform=platform,
+            issued_at=now,
+            expires_at=now + self._ttl,
+        )
+        self._sessions[token] = session
+        return session
+
+    def validate(self, session: Optional[Session]) -> Session:
+        """Return the live session or raise :class:`InvalidSession`."""
+        if session is None:
+            raise InvalidSession("no session supplied")
+        stored = self._sessions.get(session.token)
+        if stored is None or stored != session:
+            raise InvalidSession("unknown or forged session token")
+        if self._clock.now() > stored.expires_at:
+            del self._sessions[session.token]
+            raise InvalidSession("session expired")
+        return stored
+
+    def revoke(self, session: Session) -> None:
+        """Invalidate ``session`` (password change revokes old sessions)."""
+        self._sessions.pop(session.token, None)
+
+    def revoke_all_for(self, person_id: str) -> int:
+        """Invalidate every session of ``person_id``; returns the count."""
+        doomed = [
+            token
+            for token, sess in self._sessions.items()
+            if sess.person_id == person_id
+        ]
+        for token in doomed:
+            del self._sessions[token]
+        return len(doomed)
+
+    @property
+    def active_count(self) -> int:
+        """Number of unexpired sessions currently stored."""
+        now = self._clock.now()
+        return sum(1 for s in self._sessions.values() if s.expires_at >= now)

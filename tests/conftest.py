@@ -1,0 +1,95 @@
+"""Shared fixtures.
+
+Expensive artifacts (the 201-service catalog, its ActFort analysis, the
+deployed seed ecosystem) are session-scoped: they are deterministic pure
+functions of their seeds, so sharing them across tests is safe and keeps
+the suite fast.  Tests that mutate state (attack executions, deployments)
+build their own instances.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import CatalogBuilder, build_default_ecosystem
+from repro.catalog.spec import CatalogSpec
+from repro.catalog.seeds import seed_profiles
+from repro.core import ActFort
+from repro.model.account import AuthPath, AuthPurpose, ServiceProfile
+from repro.model.factors import CredentialFactor as CF
+from repro.model.factors import PersonalInfoKind as PI
+from repro.model.factors import Platform as PL
+from repro.model.identity import IdentityGenerator
+
+
+def make_path(service, platform, purpose, *factors, linked=()):
+    """Terse AuthPath constructor used across the suite."""
+    return AuthPath(
+        service=service,
+        platform=platform,
+        purpose=purpose,
+        factors=frozenset(factors),
+        linked_providers=frozenset(linked),
+    )
+
+
+def simple_profile(
+    name="svc",
+    domain="media",
+    sms_reset=True,
+    exposed=(PI.REAL_NAME, PI.CELLPHONE_NUMBER),
+):
+    """A minimal one-platform service profile."""
+    paths = [
+        make_path(name, PL.WEB, AuthPurpose.SIGN_IN, CF.USERNAME, CF.PASSWORD)
+    ]
+    if sms_reset:
+        paths.append(
+            make_path(
+                name,
+                PL.WEB,
+                AuthPurpose.PASSWORD_RESET,
+                CF.CELLPHONE_NUMBER,
+                CF.SMS_CODE,
+            )
+        )
+    return ServiceProfile(
+        name=name,
+        domain=domain,
+        auth_paths=tuple(paths),
+        exposed_info={PL.WEB: frozenset(exposed)},
+    )
+
+
+@pytest.fixture(scope="session")
+def default_ecosystem():
+    """The calibrated 201-service catalog (read-only)."""
+    return build_default_ecosystem()
+
+
+@pytest.fixture(scope="session")
+def default_actfort(default_ecosystem):
+    """ActFort over the default catalog (read-only)."""
+    return ActFort.from_ecosystem(default_ecosystem)
+
+
+@pytest.fixture(scope="session")
+def seed_ecosystem_deployed():
+    """A live seed-services-only deployment (tests must not mutate victim
+    accounts destructively; attack tests deploy their own copies)."""
+    spec = CatalogSpec(total_services=len(seed_profiles()), victims=8, cells=1)
+    from repro.telecom.network import RadioTech
+
+    return CatalogBuilder(spec, seed=2021).deploy(victim_tech=RadioTech.GSM)
+
+
+@pytest.fixture()
+def identity():
+    """One deterministic identity."""
+    return IdentityGenerator(seed=99).generate()
+
+
+@pytest.fixture()
+def identity_generator():
+    """A fresh deterministic identity generator."""
+    return IdentityGenerator(seed=1234)

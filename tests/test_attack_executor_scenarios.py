@@ -1,0 +1,157 @@
+"""End-to-end tests: chain execution and the paper's case studies.
+
+These run the full pipeline -- ActFort path generation, OTP dispatch over
+the simulated GSM network, over-the-air interception, profile-page
+harvesting -- against fresh deployments (execution mutates state).
+"""
+
+import pytest
+
+from repro.attack.executor import ChainExecutor
+from repro.attack.interception import MitMInterception, SnifferInterception
+from repro.attack.scenarios import (
+    deploy_seed_ecosystem,
+    run_case_i_baidu_wallet,
+    run_case_ii_paypal_via_gmail,
+    run_case_iii_alipay_via_ctrip,
+)
+from repro.core import ActFort
+from repro.model.factors import PersonalInfoKind as PI
+from repro.model.factors import Platform as PL
+from repro.telecom.cipher import CrackModel
+from repro.telecom.jammer import FourGJammer
+from repro.telecom.mitm import ActiveMitM
+from repro.telecom.sniffer import OsmocomSniffer
+
+
+@pytest.fixture()
+def deployed():
+    return deploy_seed_ecosystem(seed=2021)
+
+
+def sniffer_executor(deployed, victim):
+    sniffer = OsmocomSniffer(
+        deployed.network,
+        deployed.cell_of(victim),
+        monitors=16,
+        crack_model=CrackModel(rng=deployed.seeds.stream("test-crack")),
+    )
+    return ChainExecutor(
+        deployed, SnifferInterception(sniffer, deployed.clock)
+    )
+
+
+class TestCaseStudies:
+    def test_case_i_direct_wallet_takeover_and_payment(self, deployed):
+        result = run_case_i_baidu_wallet(deployed)
+        assert result.success
+        assert result.chain.depth == 0
+        assert result.payment_receipt is not None
+        wallet = deployed.internet.service("baidu_wallet")
+        assert wallet.payments[0][1] == 99.0
+
+    def test_case_ii_paypal_via_email_provider(self, deployed):
+        result = run_case_ii_paypal_via_gmail(deployed)
+        assert result.success
+        assert result.chain.depth == 1
+        services = result.chain.services
+        assert services[-1] == "paypal"
+        assert services[0] in ("gmail",)
+        # The email provider step harvested mailbox access.
+        assert PI.MAILBOX_ACCESS in result.execution.harvested
+
+    def test_case_iii_mobile_alipay_via_ctrip(self, deployed):
+        result = run_case_iii_alipay_via_ctrip(deployed)
+        assert result.success
+        assert result.chain.services == ("ctrip", "alipay")
+        assert PI.CITIZEN_ID in result.execution.harvested
+        assert result.payment_receipt is not None
+
+    def test_case_iii_web_customer_service(self, deployed):
+        result = run_case_iii_alipay_via_ctrip(deployed, web_variant=True)
+        assert result.success
+
+    def test_victim_password_actually_changed(self, deployed):
+        """After the chain, the legitimate owner is locked out."""
+        from repro.model.factors import CredentialFactor as CF
+        from repro.websim.errors import FactorMismatch
+
+        result = run_case_iii_alipay_via_ctrip(deployed)
+        assert result.success
+        victim = deployed.victim(0)
+        alipay = deployed.internet.service("alipay")
+        with pytest.raises(FactorMismatch):
+            alipay.sign_in(
+                PL.MOBILE,
+                victim.person_id,
+                {
+                    CF.USERNAME: victim.person_id,
+                    CF.PASSWORD: f"pw-{victim.person_id}",
+                },
+            )
+
+
+class TestExecutorMechanics:
+    def test_harvest_accumulates_across_steps(self, deployed):
+        victim = deployed.victim(0)
+        actfort = ActFort.from_ecosystem(deployed.ecosystem)
+        chain = actfort.attack_chain("alipay", platform=PL.MOBILE)
+        executor = sniffer_executor(deployed, victim)
+        result = executor.execute(chain, victim.cellphone_number)
+        assert result.success
+        harvested = set(result.harvested)
+        assert {PI.CITIZEN_ID, PI.REAL_NAME, PI.CELLPHONE_NUMBER} <= harvested
+
+    def test_execution_transcript_records_steps(self, deployed):
+        victim = deployed.victim(0)
+        actfort = ActFort.from_ecosystem(deployed.ecosystem)
+        chain = actfort.attack_chain("alipay", platform=PL.MOBILE)
+        executor = sniffer_executor(deployed, victim)
+        result = executor.execute(chain, victim.cellphone_number)
+        assert [s.service for s in result.steps] == list(chain.services)
+        assert all(s.ok for s in result.steps)
+        assert "SUCCESS" in result.describe()
+
+    def test_failure_out_of_range(self, deployed):
+        """Sniffer parked in the wrong cell: interception fails and the
+        execution reports the failing step."""
+        victim = deployed.victim(0)
+        other_cell = "cell-x"
+        deployed.network.add_cell(other_cell)
+        sniffer = OsmocomSniffer(deployed.network, other_cell, monitors=16)
+        executor = ChainExecutor(
+            deployed,
+            SnifferInterception(
+                sniffer, deployed.clock, max_attempts=2, resend_wait=61.0
+            ),
+        )
+        actfort = ActFort.from_ecosystem(deployed.ecosystem)
+        chain = actfort.attack_chain("baidu_wallet", platform=PL.MOBILE)
+        result = executor.execute(chain, victim.cellphone_number)
+        assert not result.success
+        assert result.failure_reason is not None
+        assert not result.steps[0].ok
+
+    def test_mitm_execution_is_covert(self, deployed):
+        """Running the chain through the MitM rig leaves no trace on the
+        victim's handset."""
+        victim = deployed.victim(1)
+        cell = deployed.cell_of(victim)
+        handset_before = len(
+            deployed.internet.handset_messages(victim.cellphone_number)
+        )
+        with FourGJammer(deployed.network, cell):
+            mitm = ActiveMitM(deployed.network, cell)
+            assert mitm.execute(victim.cellphone_number).success
+            executor = ChainExecutor(
+                deployed, MitMInterception(mitm, deployed.clock)
+            )
+            actfort = ActFort.from_ecosystem(deployed.ecosystem)
+            chain = actfort.attack_chain("baidu_wallet", platform=PL.MOBILE)
+            result = executor.execute(chain, victim.cellphone_number)
+            mitm.release()
+        assert result.success
+        handset_after = len(
+            deployed.internet.handset_messages(victim.cellphone_number)
+        )
+        assert handset_after == handset_before

@@ -1,0 +1,174 @@
+"""Tests for recon (SE database, phishing Wi-Fi) and interception adapters."""
+
+import random
+
+import pytest
+
+from repro.attack.interception import (
+    InterceptionError,
+    MitMInterception,
+    SnifferInterception,
+)
+from repro.attack.recon import PhishingWifi, SocialEngineeringDatabase
+from repro.model.factors import PersonalInfoKind as PI
+from repro.model.identity import IdentityGenerator
+from repro.telecom.cipher import CipherSuite, CrackModel
+from repro.telecom.jammer import FourGJammer
+from repro.telecom.mitm import ActiveMitM
+from repro.telecom.network import GSMNetwork, RadioTech
+from repro.telecom.sniffer import OsmocomSniffer
+from repro.utils.clock import Clock
+from repro.utils.rng import SeedSequence
+
+
+class TestSEDatabase:
+    def _db(self, coverage=None):
+        identities = IdentityGenerator(5).generate_many(30)
+        return identities, SocialEngineeringDatabase(
+            identities, coverage=coverage, rng=random.Random(1)
+        )
+
+    def test_lookup_by_phone(self):
+        identities, db = self._db()
+        hits = [
+            db.lookup_by_phone(i.cellphone_number) for i in identities
+        ]
+        found = [h for h in hits if h is not None]
+        assert len(found) > 20  # 95% phone coverage
+
+    def test_lookup_by_name_may_collide(self):
+        identities, db = self._db()
+        target = identities[0]
+        dossiers = db.lookup_by_name(target.real_name)
+        assert all(
+            d.facts.get(PI.REAL_NAME) == target.real_name for d in dossiers
+        )
+
+    def test_coverage_controls_fields(self):
+        identities, db = self._db(coverage={PI.CELLPHONE_NUMBER: 1.0})
+        dossier = db.lookup_by_phone(identities[0].cellphone_number)
+        assert dossier.known_kinds() == frozenset({PI.CELLPHONE_NUMBER})
+
+    def test_record_count(self):
+        _identities, db = self._db()
+        assert len(db) == 30
+
+
+class TestPhishingWifi:
+    def _network(self):
+        net = GSMNetwork(clock=Clock(), seeds=SeedSequence(2))
+        net.add_cell("station")
+        net.add_cell("elsewhere")
+        for index in range(20):
+            net.provision_phone(f"1380000{index:04d}", "station")
+        net.provision_phone("1390000000", "elsewhere")
+        return net
+
+    def test_harvest_only_in_cell(self):
+        net = self._network()
+        wifi = PhishingWifi(net, "station", hit_rate=1.0)
+        harvested = wifi.harvest()
+        assert len(harvested) == 20
+        assert "1390000000" not in harvested
+
+    def test_hit_rate_zero_harvests_nothing(self):
+        net = self._network()
+        assert PhishingWifi(net, "station", hit_rate=0.0).harvest() == ()
+
+    def test_invalid_hit_rate_rejected(self):
+        net = self._network()
+        with pytest.raises(ValueError):
+            PhishingWifi(net, "station", hit_rate=2.0)
+
+
+def _rig(cipher=CipherSuite.A5_0, crack=None):
+    clock = Clock()
+    net = GSMNetwork(clock=clock, seeds=SeedSequence(7))
+    net.add_cell("cell", cipher=cipher)
+    net.provision_phone("138", "cell", preferred_tech=RadioTech.GSM)
+    sniffer = OsmocomSniffer(net, "cell", monitors=16, crack_model=crack)
+    return clock, net, sniffer
+
+
+class TestSnifferInterception:
+    def test_obtains_code(self):
+        clock, net, sniffer = _rig()
+        adapter = SnifferInterception(sniffer, clock)
+        code = adapter.obtain_code(
+            "svc",
+            lambda: net.deliver_sms("138", "your code is 424242", sender="svc"),
+        )
+        assert code == "424242"
+
+    def test_retries_after_failed_crack(self):
+        """p=0.5 cracking: four attempts almost always recover a code."""
+        crack = CrackModel(
+            success_probability=0.5, rng=random.Random(3)
+        )
+        clock, net, sniffer = _rig(cipher=CipherSuite.A5_1, crack=crack)
+        adapter = SnifferInterception(sniffer, clock, max_attempts=8)
+        code = adapter.obtain_code(
+            "svc",
+            lambda: net.deliver_sms("138", "your code is 424242", sender="svc"),
+        )
+        assert code == "424242"
+        assert crack.attempts > 0
+
+    def test_raises_after_exhausted_attempts(self):
+        crack = CrackModel(success_probability=0.0)
+        clock, net, sniffer = _rig(cipher=CipherSuite.A5_1, crack=crack)
+        adapter = SnifferInterception(sniffer, clock, max_attempts=2)
+        with pytest.raises(InterceptionError):
+            adapter.obtain_code(
+                "svc",
+                lambda: net.deliver_sms("138", "your code is 1", sender="svc"),
+            )
+
+    def test_clock_advances_past_crack_delay(self):
+        crack = CrackModel(
+            success_probability=1.0, crack_seconds=40.0, rng=random.Random(0)
+        )
+        clock, net, sniffer = _rig(cipher=CipherSuite.A5_1, crack=crack)
+        adapter = SnifferInterception(sniffer, clock)
+        adapter.obtain_code(
+            "svc",
+            lambda: net.deliver_sms("138", "your code is 9", sender="svc"),
+        )
+        assert clock.now() >= 24.0  # at least 0.6 * 40s of cracking time
+
+    def test_invalid_attempts_rejected(self):
+        clock, _net, sniffer = _rig()
+        with pytest.raises(ValueError):
+            SnifferInterception(sniffer, clock, max_attempts=0)
+
+
+class TestMitMInterception:
+    def test_obtains_code_after_capture(self):
+        clock = Clock()
+        net = GSMNetwork(clock=clock, seeds=SeedSequence(8))
+        net.add_cell("cell")
+        net.provision_phone("138", "cell", preferred_tech=RadioTech.LTE)
+        with FourGJammer(net, "cell"):
+            mitm = ActiveMitM(net, "cell")
+            assert mitm.execute("138").success
+            adapter = MitMInterception(mitm, clock)
+            code = adapter.obtain_code(
+                "svc",
+                lambda: net.deliver_sms(
+                    "138", "your code is 777777", sender="svc"
+                ),
+            )
+        assert code == "777777"
+
+    def test_uncaptured_victim_raises(self):
+        clock = Clock()
+        net = GSMNetwork(clock=clock, seeds=SeedSequence(8))
+        net.add_cell("cell")
+        net.provision_phone("138", "cell", preferred_tech=RadioTech.GSM)
+        mitm = ActiveMitM(net, "cell")  # never executed
+        adapter = MitMInterception(mitm, clock)
+        with pytest.raises(InterceptionError):
+            adapter.obtain_code(
+                "svc",
+                lambda: net.deliver_sms("138", "your code is 1", sender="svc"),
+            )

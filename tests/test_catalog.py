@@ -1,0 +1,219 @@
+"""Tests for the calibrated catalog: spec, seeds, builder, deployment."""
+
+import pytest
+
+from repro.catalog.builder import CatalogBuilder
+from repro.catalog.seeds import (
+    EMAIL_DOMAIN_OWNERS,
+    SEED_SERVICE_NAMES,
+    seed_profiles,
+)
+from repro.catalog.spec import DEFAULT_SPEC, CatalogSpec, DomainSpec
+from repro.model.account import AuthPurpose as AP
+from repro.model.factors import CredentialFactor as CF
+from repro.model.factors import PersonalInfoKind as PI
+from repro.model.factors import Platform as PL
+
+
+class TestSpec:
+    def test_default_weights_sum_to_one(self):
+        assert abs(sum(d.weight for d in DEFAULT_SPEC.domains) - 1.0) < 1e-9
+
+    def test_mismatched_weights_rejected(self):
+        bad = (
+            DomainSpec(
+                name="x",
+                weight=0.5,
+                sms_only_reset=0.5,
+                sms_only_signin_web=0.1,
+                sms_only_signin_mobile=0.1,
+                email_reset=0.1,
+                info_reset=0.1,
+                unique_path=0.1,
+                has_mobile=0.5,
+            ),
+        )
+        with pytest.raises(ValueError):
+            CatalogSpec(domains=bad)
+
+    def test_domain_lookup(self):
+        assert DEFAULT_SPEC.domain("fintech").name == "fintech"
+        with pytest.raises(KeyError):
+            DEFAULT_SPEC.domain("nope")
+
+    def test_fintech_is_strictest_by_construction(self):
+        fintech = DEFAULT_SPEC.domain("fintech")
+        for domain in DEFAULT_SPEC.domains:
+            assert fintech.sms_only_reset <= domain.sms_only_reset
+
+
+class TestSeeds:
+    def test_seed_names_unique(self):
+        assert len(set(SEED_SERVICE_NAMES)) == len(SEED_SERVICE_NAMES)
+
+    def test_paper_named_services_present(self):
+        for name in (
+            "gmail",
+            "ctrip",
+            "alipay",
+            "paypal",
+            "baidu_wallet",
+            "china_railway",
+            "baidu_pan",
+            "dropbox",
+            "jd",
+            "linkedin",
+            "gome",
+            "xiaozhu",
+            "facebook",
+            "expedia",
+        ):
+            assert name in SEED_SERVICE_NAMES
+
+    def test_ctrip_exposes_full_citizen_id(self):
+        """Case III's pivot: Ctrip shows the whole citizen ID."""
+        ctrip = {p.name: p for p in seed_profiles()}["ctrip"]
+        assert PI.CITIZEN_ID in ctrip.info_on(PL.WEB)
+        spec = ctrip.mask_for(PL.WEB, PI.CITIZEN_ID)
+        assert len(spec.revealed_positions(18)) == 18
+
+    def test_ctrip_signin_is_sms_only(self):
+        ctrip = {p.name: p for p in seed_profiles()}["ctrip"]
+        assert any(
+            p.is_sms_only for p in ctrip.signin_paths(PL.WEB)
+        )
+
+    def test_alipay_mobile_has_citizen_id_reset(self):
+        alipay = {p.name: p for p in seed_profiles()}["alipay"]
+        combos = [p.factors for p in alipay.reset_paths(PL.MOBILE)]
+        assert frozenset({CF.CITIZEN_ID, CF.SMS_CODE}) in combos
+
+    def test_alipay_web_has_customer_service(self):
+        alipay = {p.name: p for p in seed_profiles()}["alipay"]
+        combos = [p.factors for p in alipay.reset_paths(PL.WEB)]
+        assert frozenset({CF.CUSTOMER_SERVICE}) in combos
+
+    def test_paypal_needs_sms_and_email(self):
+        paypal = {p.name: p for p in seed_profiles()}["paypal"]
+        for path in paypal.reset_paths():
+            assert CF.SMS_CODE in path.factors
+            assert CF.EMAIL_CODE in path.factors
+
+    def test_email_providers_are_sms_resettable(self):
+        profiles = {p.name: p for p in seed_profiles()}
+        for name in ("gmail", "netease_mail", "outlook", "aliyun_mail"):
+            assert any(
+                p.is_sms_only for p in profiles[name].reset_paths()
+            ), name
+
+    def test_gome_masks_are_complementary(self):
+        """Insight 2's example: web and mobile hide different SSN parts."""
+        gome = {p.name: p for p in seed_profiles()}["gome"]
+        web = gome.mask_for(PL.WEB, PI.CITIZEN_ID).revealed_positions(18)
+        mobile = gome.mask_for(PL.MOBILE, PI.CITIZEN_ID).revealed_positions(18)
+        assert web != mobile
+        assert len(web | mobile) == 18  # jointly they leak everything
+
+    def test_china_railway_not_fringe(self):
+        """12306 wants the citizen ID everywhere -- one layer behind Ctrip."""
+        railway = {p.name: p for p in seed_profiles()}["china_railway"]
+        assert not railway.is_fringe
+
+    def test_email_domain_owners_are_seed_services(self):
+        for owner in EMAIL_DOMAIN_OWNERS.values():
+            assert owner in SEED_SERVICE_NAMES
+
+
+class TestBuilder:
+    def test_deterministic_for_same_seed(self):
+        a = CatalogBuilder(seed=77).build_ecosystem()
+        b = CatalogBuilder(seed=77).build_ecosystem()
+        assert a.service_names == b.service_names
+        for name in a.service_names:
+            assert a.service(name) == b.service(name)
+
+    def test_different_seeds_differ(self):
+        a = CatalogBuilder(seed=77).build_ecosystem()
+        b = CatalogBuilder(seed=78).build_ecosystem()
+        assert any(
+            a.service(n) != b.service(n)
+            for n in a.service_names
+            if n in b.service_names
+        )
+
+    def test_total_service_count(self, default_ecosystem):
+        assert len(default_ecosystem) == DEFAULT_SPEC.total_services
+
+    def test_every_service_has_a_reset_path(self, default_ecosystem):
+        for service in default_ecosystem:
+            assert service.reset_paths(), service.name
+
+    def test_every_service_has_web_presence(self, default_ecosystem):
+        for service in default_ecosystem:
+            assert PL.WEB in service.platforms
+
+    def test_direct_rate_matches_paper_shape(self, default_ecosystem):
+        web = default_ecosystem.on_platform(PL.WEB)
+        direct = sum(
+            1
+            for s in web
+            if any(p.is_sms_only for p in s.paths(platform=PL.WEB))
+        )
+        rate = direct / len(web)
+        assert 0.64 < rate < 0.84  # paper: 74.13%
+
+    def test_signin_sms_rarer_than_reset_sms(self, default_ecosystem):
+        for platform in (PL.WEB, PL.MOBILE):
+            services = default_ecosystem.on_platform(platform)
+            signin = sum(
+                1
+                for s in services
+                if any(
+                    p.is_sms_only
+                    for p in s.paths(platform=platform, purpose=AP.SIGN_IN)
+                )
+            )
+            reset = sum(
+                1
+                for s in services
+                if any(
+                    p.is_sms_only
+                    for p in s.paths(
+                        platform=platform, purpose=AP.PASSWORD_RESET
+                    )
+                )
+            )
+            assert signin < reset
+
+    def test_bankcards_never_fully_exposed(self, default_ecosystem):
+        """Paper: none of the accounts expose the whole bankcard number."""
+        for service in default_ecosystem:
+            for platform in service.platforms:
+                if PI.BANKCARD_NUMBER in service.info_on(platform):
+                    spec = service.mask_for(platform, PI.BANKCARD_NUMBER)
+                    assert len(spec.revealed_positions(16)) < 16, service.name
+
+
+class TestDeployment:
+    def test_deploy_wires_everything(self):
+        spec = CatalogSpec(
+            total_services=len(seed_profiles()), victims=2, cells=1
+        )
+        deployed = CatalogBuilder(spec, seed=3).deploy()
+        assert len(deployed.internet.service_names) == spec.total_services
+        assert len(deployed.victims) == 2
+        for victim in deployed.victims:
+            assert deployed.network.has_phone(victim.cellphone_number)
+            assert deployed.internet.service("gmail").is_enrolled(
+                victim.person_id
+            )
+        assert deployed.internet.email_provider_for(
+            "x@gmail.test"
+        ) == "gmail"
+
+    def test_accounts_registered_in_ecosystem(self):
+        spec = CatalogSpec(
+            total_services=len(seed_profiles()), victims=2, cells=1
+        )
+        deployed = CatalogBuilder(spec, seed=3).deploy()
+        assert len(deployed.ecosystem.accounts) == 2 * spec.total_services

@@ -1,0 +1,60 @@
+"""Tests for the ActFort facade."""
+
+import pytest
+
+from repro.core import ActFort
+from repro.core.tdg import DependencyLevel
+from repro.model.attacker import AttackerProfile
+from repro.model.factors import Platform as PL
+
+
+class TestFacade:
+    def test_from_ecosystem_builds_all_reports(self, default_ecosystem, default_actfort):
+        assert len(default_actfort.auth_reports) == len(default_ecosystem)
+        assert len(default_actfort.collection_reports) == len(default_ecosystem)
+
+    def test_tdg_is_cached(self, default_actfort):
+        assert default_actfort.tdg() is default_actfort.tdg()
+
+    def test_dependency_fractions_cover_all_levels(self, default_actfort):
+        report = default_actfort.report()
+        fractions = report.dependency_fractions(PL.WEB)
+        assert set(fractions) == set(DependencyLevel)
+        assert all(0.0 <= v <= 1.0 for v in fractions.values())
+
+    def test_potential_victims_nonempty(self, default_actfort):
+        closure = default_actfort.potential_victims()
+        assert len(closure.compromised) > 150
+
+    def test_attack_chain_for_known_target(self, default_actfort):
+        chain = default_actfort.attack_chain("alipay", platform=PL.MOBILE)
+        assert chain is not None
+        assert chain.target == "alipay"
+
+    def test_with_attacker_reanalyzes(self, default_actfort):
+        weaker = default_actfort.with_attacker(
+            AttackerProfile.passive_observer()
+        )
+        assert weaker.potential_victims().compromised == frozenset()
+        # The original is untouched.
+        assert len(default_actfort.potential_victims().compromised) > 0
+
+    def test_probe_mode_matches_profile_mode_on_seeds(
+        self, seed_ecosystem_deployed
+    ):
+        """The black-box probe must reconstruct the same TDG facts the
+        static profiles imply -- the core fidelity check for the probe."""
+        deployed = seed_ecosystem_deployed
+        profile_mode = ActFort.from_ecosystem(deployed.ecosystem)
+        probe_mode = ActFort.from_internet(deployed.internet)
+        assert set(probe_mode.auth_reports) == set(profile_mode.auth_reports)
+        for platform in (PL.WEB, PL.MOBILE):
+            assert probe_mode.tdg().level_fractions(
+                platform
+            ) == pytest.approx(
+                profile_mode.tdg().level_fractions(platform)
+            )
+        assert (
+            probe_mode.potential_victims().compromised
+            == profile_mode.potential_victims().compromised
+        )

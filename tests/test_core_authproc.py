@@ -1,0 +1,154 @@
+"""Tests for ActFort stage 1: the Authentication Process."""
+
+import pytest
+
+from tests.conftest import make_path, simple_profile
+
+from repro.core.authproc import (
+    AuthenticationProcess,
+    aggregate_path_statistics,
+)
+from repro.model.account import AuthPurpose as AP
+from repro.model.account import PathType, ServiceProfile
+from repro.model.factors import CredentialFactor as CF
+from repro.model.factors import Platform as PL
+
+
+@pytest.fixture()
+def analyzer():
+    return AuthenticationProcess()
+
+
+def layered_profile():
+    name = "layered"
+    return ServiceProfile(
+        name=name,
+        domain="fintech",
+        auth_paths=(
+            make_path(name, PL.WEB, AP.SIGN_IN, CF.USERNAME, CF.PASSWORD),
+            make_path(
+                name, PL.WEB, AP.PASSWORD_RESET, CF.EMAIL_ADDRESS, CF.EMAIL_CODE
+            ),
+            make_path(
+                name,
+                PL.WEB,
+                AP.PASSWORD_RESET,
+                CF.CELLPHONE_NUMBER,
+                CF.SMS_CODE,
+                CF.CITIZEN_ID,
+            ),
+            make_path(
+                name,
+                PL.WEB,
+                AP.SIGN_IN,
+                CF.LINKED_ACCOUNT,
+                linked=("gmail",),
+            ),
+        ),
+        exposed_info={},
+    )
+
+
+class TestFlowConstruction:
+    def test_flows_grouped_by_platform_and_purpose(self, analyzer):
+        report = analyzer.analyze_profile(layered_profile())
+        assert len(report.flows) == 2  # web sign-in, web reset
+        purposes = {flow.purpose for flow in report.flows}
+        assert purposes == {AP.SIGN_IN, AP.PASSWORD_RESET}
+
+    def test_email_code_recurses_to_email_control(self, analyzer):
+        """The top-down recursion: an email code needs the email account."""
+        report = analyzer.analyze_profile(layered_profile())
+        reset_flow = next(
+            flow for flow in report.flows if flow.purpose is AP.PASSWORD_RESET
+        )
+        requirements = [leaf.requirement for leaf in reset_flow.root.leaves()]
+        assert "control(email account)" in requirements
+
+    def test_linked_account_recurses_to_provider(self, analyzer):
+        report = analyzer.analyze_profile(layered_profile())
+        signin_flow = next(
+            flow for flow in report.flows if flow.purpose is AP.SIGN_IN
+        )
+        requirements = [leaf.requirement for leaf in signin_flow.root.leaves()]
+        assert any("gmail" in r for r in requirements)
+
+    def test_sms_code_recurses_to_channel(self, analyzer):
+        report = analyzer.analyze_profile(layered_profile())
+        reset_flow = next(
+            flow for flow in report.flows if flow.purpose is AP.PASSWORD_RESET
+        )
+        requirements = [leaf.requirement for leaf in reset_flow.root.leaves()]
+        assert "access(SMS channel)" in requirements
+
+    def test_flow_depth_reflects_recursion(self, analyzer):
+        report = analyzer.analyze_profile(layered_profile())
+        reset_flow = next(
+            flow for flow in report.flows if flow.purpose is AP.PASSWORD_RESET
+        )
+        assert reset_flow.root.depth() >= 4  # root -> path -> factor -> sub
+
+    def test_distinct_signatures_deduplicate(self, analyzer):
+        profile = simple_profile()
+        report = analyzer.analyze_profile(profile)
+        assert report.distinct_path_signatures == 2
+
+    def test_path_type_counts(self, analyzer):
+        report = analyzer.analyze_profile(layered_profile())
+        counts = report.path_type_counts(PL.WEB)
+        assert counts[PathType.GENERAL] == 3
+        assert counts[PathType.INFO] == 1
+
+    def test_sms_only_detection_filters(self, analyzer):
+        report = analyzer.analyze_profile(simple_profile())
+        assert report.has_sms_only_path(PL.WEB, AP.PASSWORD_RESET)
+        assert not report.has_sms_only_path(PL.WEB, AP.SIGN_IN)
+
+
+class TestAggregateStatistics:
+    def test_aggregates_over_reports(self, analyzer):
+        reports = {
+            "a": analyzer.analyze_profile(simple_profile(name="a")),
+            "b": analyzer.analyze_profile(
+                simple_profile(name="b", sms_reset=False)
+            ),
+        }
+        stats = aggregate_path_statistics(reports, PL.WEB)
+        assert stats["services"] == 2.0
+        assert stats["sms_only_reset"] == 0.5
+        assert stats["sms_only_signin"] == 0.0
+        assert 0.0 <= stats["general_share"] <= 1.0
+
+    def test_empty_platform_rejected(self, analyzer):
+        reports = {"a": analyzer.analyze_profile(simple_profile(name="a"))}
+        with pytest.raises(ValueError):
+            aggregate_path_statistics(reports, PL.MOBILE)
+
+    def test_shares_sum_to_one(self, analyzer, default_actfort):
+        stats = aggregate_path_statistics(
+            default_actfort.auth_reports, PL.WEB
+        )
+        total = (
+            stats["general_share"]
+            + stats["info_share"]
+            + stats["unique_share"]
+        )
+        assert abs(total - 1.0) < 1e-9
+
+    def test_probe_and_profile_agree(self, analyzer):
+        """Stage 1 must produce identical reports whether it reads the
+        static profile or probes the deployed service black-box."""
+        from repro.websim.crawler import ActFortProbe
+        from repro.websim.internet import Internet
+
+        profile = layered_profile()
+        net = Internet()
+        service = net.deploy(profile)
+        observation = ActFortProbe(net).observe(service)
+        from_probe = analyzer.analyze_observation(observation)
+        from_profile = analyzer.analyze_profile(profile)
+        assert set(from_probe.paths()) == set(from_profile.paths())
+        assert (
+            from_probe.distinct_path_signatures
+            == from_profile.distinct_path_signatures
+        )

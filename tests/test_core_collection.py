@@ -1,0 +1,101 @@
+"""Tests for ActFort stage 2: Personal Information Collection."""
+
+import pytest
+
+from tests.conftest import make_path
+
+from repro.core.collection import (
+    PersonalInfoCollection,
+    exposure_table,
+)
+from repro.model.account import AuthPurpose as AP
+from repro.model.account import MaskSpec, ServiceProfile
+from repro.model.factors import CredentialFactor as CF
+from repro.model.factors import InfoCategory
+from repro.model.factors import PersonalInfoKind as PI
+from repro.model.factors import Platform as PL
+
+
+@pytest.fixture()
+def collector():
+    return PersonalInfoCollection()
+
+
+def masked_profile():
+    name = "masked"
+    return ServiceProfile(
+        name=name,
+        domain="fintech",
+        auth_paths=(
+            make_path(name, PL.WEB, AP.SIGN_IN, CF.USERNAME, CF.PASSWORD),
+            make_path(name, PL.MOBILE, AP.SIGN_IN, CF.USERNAME, CF.PASSWORD),
+        ),
+        exposed_info={
+            PL.WEB: frozenset(
+                {PI.REAL_NAME, PI.CITIZEN_ID, PI.BANKCARD_NUMBER}
+            ),
+            PL.MOBILE: frozenset({PI.REAL_NAME, PI.ACQUAINTANCE_NAME}),
+        },
+        mask_specs={
+            (PL.WEB, PI.CITIZEN_ID): MaskSpec(reveal_prefix=6),
+            (PL.WEB, PI.BANKCARD_NUMBER): MaskSpec(reveal_suffix=4),
+        },
+    )
+
+
+class TestCollection:
+    def test_complete_and_masked_split(self, collector):
+        report = collector.collect_from_profile(masked_profile())
+        complete = report.effective_kinds(complete_only=True)
+        assert PI.REAL_NAME in complete
+        assert PI.CITIZEN_ID not in complete
+        masked_kinds = {item.kind for item in report.masked_items()}
+        assert masked_kinds == {PI.CITIZEN_ID, PI.BANKCARD_NUMBER}
+
+    def test_masked_positions_recorded(self, collector):
+        report = collector.collect_from_profile(masked_profile())
+        item = next(
+            i for i in report.masked_items() if i.kind is PI.CITIZEN_ID
+        )
+        assert item.revealed_positions == frozenset(range(6))
+
+    def test_kinds_per_platform(self, collector):
+        report = collector.collect_from_profile(masked_profile())
+        assert PI.ACQUAINTANCE_NAME in report.kinds_on(PL.MOBILE)
+        assert PI.ACQUAINTANCE_NAME not in report.kinds_on(PL.WEB)
+
+    def test_category_histogram(self, collector):
+        report = collector.collect_from_profile(masked_profile())
+        histogram = report.category_histogram()
+        assert histogram[InfoCategory.IDENTITY] == 2  # name + citizen id
+        assert histogram[InfoCategory.PROPERTY] == 1  # bankcard
+        assert histogram[InfoCategory.RELATIONSHIP] == 1
+
+    def test_exposure_table_counts_masked_kinds(self, collector):
+        """Table I counts exposure whether or not the value is masked."""
+        reports = {"masked": collector.collect_from_profile(masked_profile())}
+        table = exposure_table(reports, PL.WEB)
+        assert table[PI.CITIZEN_ID] == 1.0
+        assert table[PI.DEVICE_TYPE] == 0.0
+
+    def test_exposure_table_empty_platform_rejected(self, collector):
+        reports = {"masked": collector.collect_from_profile(masked_profile())}
+        import pytest
+
+        with pytest.raises(ValueError):
+            exposure_table({}, PL.WEB)
+
+    def test_probe_and_profile_agree(self, collector):
+        from repro.websim.crawler import ActFortProbe
+        from repro.websim.internet import Internet
+
+        profile = masked_profile()
+        net = Internet()
+        service = net.deploy(profile)
+        observation = ActFortProbe(net).observe(service)
+        from_probe = collector.collect_from_observation(observation)
+        from_profile = collector.collect_from_profile(profile)
+        assert from_probe.effective_kinds() == from_profile.effective_kinds()
+        assert {i.kind for i in from_probe.masked_items()} == {
+            i.kind for i in from_profile.masked_items()
+        }

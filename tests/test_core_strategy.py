@@ -1,0 +1,204 @@
+"""Tests for ActFort stage 4: the strategy engine."""
+
+import pytest
+
+from tests.conftest import make_path
+
+from repro.core.strategy import StrategyEngine
+from repro.core.tdg import TransformationDependencyGraph
+from repro.model.account import AuthPurpose as AP
+from repro.model.account import MaskSpec, ServiceProfile
+from repro.model.attacker import AttackerProfile
+from repro.model.ecosystem import Ecosystem
+from repro.model.factors import CredentialFactor as CF
+from repro.model.factors import PersonalInfoKind as PI
+from repro.model.factors import Platform as PL
+
+
+def profile(name, domain, paths, exposed, masks=None, mobile_paths=()):
+    exposed_info = {PL.WEB: frozenset(exposed)}
+    all_paths = tuple(paths) + tuple(mobile_paths)
+    if mobile_paths:
+        exposed_info[PL.MOBILE] = frozenset(exposed)
+    return ServiceProfile(
+        name=name,
+        domain=domain,
+        auth_paths=all_paths,
+        exposed_info=exposed_info,
+        mask_specs=masks or {},
+    )
+
+
+@pytest.fixture()
+def chain_ecosystem():
+    """ctrip-like -> alipay-like chain, plus email -> paypal-like chain."""
+    ctrip = profile(
+        "ctrip_like",
+        "travel",
+        [make_path("ctrip_like", PL.WEB, AP.PASSWORD_RESET, CF.CELLPHONE_NUMBER, CF.SMS_CODE)],
+        {PI.CITIZEN_ID, PI.REAL_NAME, PI.EMAIL_ADDRESS},
+    )
+    alipay = profile(
+        "alipay_like",
+        "fintech",
+        [make_path("alipay_like", PL.WEB, AP.PASSWORD_RESET, CF.CITIZEN_ID, CF.SMS_CODE)],
+        {PI.BANKCARD_NUMBER},
+        masks={(PL.WEB, PI.BANKCARD_NUMBER): MaskSpec(reveal_suffix=4)},
+        mobile_paths=[
+            make_path(
+                "alipay_like",
+                PL.MOBILE,
+                AP.PASSWORD_RESET,
+                CF.FACE_SCAN,
+                CF.SMS_CODE,
+            )
+        ],
+    )
+    mail_a = profile(
+        "mail_a",
+        "email",
+        [make_path("mail_a", PL.WEB, AP.PASSWORD_RESET, CF.CELLPHONE_NUMBER, CF.SMS_CODE)],
+        {PI.MAILBOX_ACCESS, PI.EMAIL_ADDRESS},
+    )
+    mail_b = profile(
+        "mail_b",
+        "email",
+        [make_path("mail_b", PL.WEB, AP.PASSWORD_RESET, CF.CELLPHONE_NUMBER, CF.SMS_CODE)],
+        {PI.MAILBOX_ACCESS, PI.EMAIL_ADDRESS},
+    )
+    paypal = profile(
+        "paypal_like",
+        "fintech",
+        [
+            make_path(
+                "paypal_like",
+                PL.WEB,
+                AP.PASSWORD_RESET,
+                CF.CELLPHONE_NUMBER,
+                CF.SMS_CODE,
+                CF.EMAIL_CODE,
+            )
+        ],
+        {PI.REAL_NAME},
+    )
+    fortress = profile(
+        "fortress",
+        "fintech",
+        [make_path("fortress", PL.WEB, AP.PASSWORD_RESET, CF.U2F_KEY)],
+        {PI.REAL_NAME},
+    )
+    return Ecosystem([ctrip, alipay, mail_a, mail_b, paypal, fortress])
+
+
+@pytest.fixture()
+def engine(chain_ecosystem):
+    tdg = TransformationDependencyGraph.from_ecosystem(
+        chain_ecosystem, AttackerProfile.baseline()
+    )
+    return StrategyEngine(tdg)
+
+
+class TestForwardClosure:
+    def test_pav_includes_chained_targets(self, engine):
+        closure = engine.forward_closure()
+        assert "alipay_like" in closure.compromised
+        assert "paypal_like" in closure.compromised
+
+    def test_fortress_is_safe(self, engine):
+        closure = engine.forward_closure()
+        assert "fortress" in closure.safe
+
+    def test_rounds_reflect_chain_depth(self, engine):
+        closure = engine.forward_closure()
+        assert closure.entry("ctrip_like").round == 1
+        assert closure.entry("alipay_like").round == 2
+
+    def test_provenance_recorded(self, engine):
+        closure = engine.forward_closure()
+        entry = closure.entry("alipay_like")
+        assert entry.factor_sources[CF.CITIZEN_ID] == "ctrip_like"
+
+    def test_final_info_accumulates(self, engine):
+        closure = engine.forward_closure()
+        assert PI.CITIZEN_ID in closure.final_info
+        assert PI.MAILBOX_ACCESS in closure.final_info
+
+    def test_seeded_closure_starts_from_oaas(self, chain_ecosystem):
+        """Scenario 1 with a pre-compromised account and no interception."""
+        tdg = TransformationDependencyGraph.from_ecosystem(
+            chain_ecosystem, AttackerProfile.passive_observer()
+        )
+        engine = StrategyEngine(tdg)
+        closure = engine.forward_closure()
+        assert closure.compromised == frozenset()
+        seeded = engine.forward_closure(
+            initially_compromised=["ctrip_like"]
+        )
+        assert "ctrip_like" in seeded.compromised
+        # Without SMS interception the citizen ID alone opens nothing else.
+        assert "alipay_like" not in seeded.compromised
+
+    def test_breach_extra_info(self, engine):
+        closure = engine.forward_closure(extra_info=[PI.CITIZEN_ID])
+        entry = closure.entry("alipay_like")
+        # With breached data the citizen ID needs no source account.
+        assert entry.round == 1
+
+    def test_by_round_grouping(self, engine):
+        closure = engine.forward_closure()
+        by_round = closure.by_round()
+        assert set(by_round) == {1, 2}
+        assert "ctrip_like" in by_round[1]
+
+    def test_unknown_entry_raises(self, engine):
+        closure = engine.forward_closure()
+        with pytest.raises(KeyError):
+            closure.entry("fortress")
+
+
+class TestAttackChain:
+    def test_chain_to_alipay_via_ctrip(self, engine):
+        chain = engine.attack_chain("alipay_like", platform=PL.WEB)
+        assert chain is not None
+        assert chain.services == ("ctrip_like", "alipay_like")
+        assert chain.depth == 1
+
+    def test_platform_restriction_blocks_biometric_only(self, engine):
+        """The mobile variant only offers face-scan reset: no chain."""
+        chain = engine.attack_chain("alipay_like", platform=PL.MOBILE)
+        assert chain is None
+
+    def test_chain_to_fortress_is_none(self, engine):
+        assert engine.attack_chain("fortress") is None
+
+    def test_chain_is_topologically_ordered(self, engine):
+        chain = engine.attack_chain("paypal_like")
+        assert chain is not None
+        seen = set()
+        for step in chain.steps:
+            for source in step.factor_sources.values():
+                if "+" in source or source.startswith("<"):
+                    continue
+                assert source in seen
+            seen.add(step.service)
+
+    def test_email_provider_pinning(self, engine):
+        chain = engine.attack_chain("paypal_like", email_provider="mail_b")
+        assert chain is not None
+        assert "mail_b" in chain.services
+        assert "mail_a" not in chain.services
+
+    def test_direct_target_single_step(self, engine):
+        chain = engine.attack_chain("ctrip_like")
+        assert chain is not None
+        assert chain.depth == 0
+
+    def test_describe_renders_sources(self, engine):
+        chain = engine.attack_chain("alipay_like", platform=PL.WEB)
+        text = chain.describe()
+        assert "citizen_id<-ctrip_like" in text
+
+    def test_reachable_targets(self, engine):
+        reachable = engine.reachable_targets()
+        assert "fortress" not in reachable
+        assert len(reachable) == 5

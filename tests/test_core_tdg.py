@@ -1,0 +1,323 @@
+"""Tests for ActFort stage 3: the Transformation Dependency Graph.
+
+The small hand-built ecosystem used here mirrors the paper's worked
+examples: an SMS-resettable travel site leaking the citizen ID (ctrip-like),
+an email provider, a fintech service demanding citizen ID + SMS, a
+biometric-only vault, and a pair of services leaking complementary masked
+bankcard views.
+"""
+
+import pytest
+
+from tests.conftest import make_path
+
+from repro.core.tdg import (
+    DependencyLevel,
+    TransformationDependencyGraph,
+)
+from repro.model.account import AuthPurpose as AP
+from repro.model.account import MaskSpec, ServiceProfile
+from repro.model.attacker import AttackerProfile
+from repro.model.ecosystem import Ecosystem
+from repro.model.factors import CredentialFactor as CF
+from repro.model.factors import PersonalInfoKind as PI
+from repro.model.factors import Platform as PL
+
+
+def profile(name, domain, paths, exposed, masks=None):
+    return ServiceProfile(
+        name=name,
+        domain=domain,
+        auth_paths=tuple(paths),
+        exposed_info={PL.WEB: frozenset(exposed)},
+        mask_specs=masks or {},
+    )
+
+
+@pytest.fixture()
+def toy_ecosystem():
+    travel = profile(
+        "travel",
+        "travel",
+        [
+            make_path(
+                "travel", PL.WEB, AP.PASSWORD_RESET, CF.CELLPHONE_NUMBER, CF.SMS_CODE
+            )
+        ],
+        {PI.CITIZEN_ID, PI.REAL_NAME, PI.CELLPHONE_NUMBER, PI.EMAIL_ADDRESS},
+    )
+    mail = profile(
+        "mail",
+        "email",
+        [
+            make_path(
+                "mail", PL.WEB, AP.PASSWORD_RESET, CF.CELLPHONE_NUMBER, CF.SMS_CODE
+            )
+        ],
+        {PI.MAILBOX_ACCESS, PI.EMAIL_ADDRESS},
+    )
+    pay = profile(
+        "pay",
+        "fintech",
+        [
+            make_path(
+                "pay", PL.WEB, AP.PASSWORD_RESET, CF.CITIZEN_ID, CF.SMS_CODE
+            )
+        ],
+        {PI.REAL_NAME},
+    )
+    relay = profile(
+        "relay",
+        "social",
+        [
+            make_path(
+                "relay", PL.WEB, AP.PASSWORD_RESET, CF.EMAIL_ADDRESS, CF.EMAIL_CODE
+            )
+        ],
+        {PI.SECURITY_ANSWERS},
+    )
+    deep = profile(
+        "deep",
+        "fintech",
+        [
+            make_path(
+                "deep",
+                PL.WEB,
+                AP.PASSWORD_RESET,
+                CF.SECURITY_QUESTION,
+                CF.SMS_CODE,
+            )
+        ],
+        {PI.REAL_NAME},
+    )
+    vault = profile(
+        "vault",
+        "fintech",
+        [make_path("vault", PL.WEB, AP.PASSWORD_RESET, CF.U2F_KEY)],
+        {PI.REAL_NAME},
+    )
+    card_a = profile(
+        "card_a",
+        "fintech",
+        [
+            make_path(
+                "card_a", PL.WEB, AP.PASSWORD_RESET, CF.CELLPHONE_NUMBER, CF.SMS_CODE
+            )
+        ],
+        {PI.BANKCARD_NUMBER},
+        masks={(PL.WEB, PI.BANKCARD_NUMBER): MaskSpec(reveal_prefix=10)},
+    )
+    card_b = profile(
+        "card_b",
+        "fintech",
+        [
+            make_path(
+                "card_b", PL.WEB, AP.PASSWORD_RESET, CF.CELLPHONE_NUMBER, CF.SMS_CODE
+            )
+        ],
+        {PI.BANKCARD_NUMBER},
+        masks={(PL.WEB, PI.BANKCARD_NUMBER): MaskSpec(reveal_suffix=8)},
+    )
+    bank = profile(
+        "bank",
+        "fintech",
+        [
+            make_path(
+                "bank",
+                PL.WEB,
+                AP.PASSWORD_RESET,
+                CF.BANKCARD_NUMBER,
+                CF.SMS_CODE,
+            )
+        ],
+        {PI.REAL_NAME},
+    )
+    return Ecosystem(
+        [travel, mail, pay, relay, deep, vault, card_a, card_b, bank]
+    )
+
+
+@pytest.fixture()
+def tdg(toy_ecosystem):
+    return TransformationDependencyGraph.from_ecosystem(
+        toy_ecosystem, AttackerProfile.baseline()
+    )
+
+
+class TestCoverage:
+    def test_direct_node(self, tdg):
+        assert tdg.is_direct("travel")
+        assert tdg.is_direct("mail")
+        assert not tdg.is_direct("pay")
+
+    def test_robust_path_blocked(self, tdg):
+        node = tdg.node("vault")
+        cover = tdg.coverage(node, node.takeover_paths[0])
+        assert cover.is_blocked
+        assert CF.U2F_KEY in cover.unsatisfiable
+
+    def test_residual_identified(self, tdg):
+        node = tdg.node("pay")
+        cover = tdg.coverage(node, node.takeover_paths[0])
+        assert cover.residual == frozenset({CF.CITIZEN_ID})
+        assert CF.SMS_CODE in cover.innate
+
+    def test_password_paths_not_chainable(self, tdg):
+        """A path demanding the current password is a dead end."""
+        from tests.conftest import simple_profile
+
+        eco = Ecosystem([simple_profile(name="pwonly", sms_reset=False)])
+        graph = TransformationDependencyGraph.from_ecosystem(
+            eco, AttackerProfile.baseline()
+        )
+        node = graph.node("pwonly")
+        cover = graph.coverage(node, node.takeover_paths[0])
+        assert cover.is_blocked
+
+
+class TestParentsAndCouples:
+    def test_full_capacity_parent(self, tdg):
+        """travel exposes the citizen ID pay's reset demands (Def. 1)."""
+        assert "travel" in tdg.full_capacity_parents("pay")
+
+    def test_email_provider_is_parent_of_email_reset(self, tdg):
+        assert "mail" in tdg.full_capacity_parents("relay")
+
+    def test_direct_node_has_no_parents_needed(self, tdg):
+        assert tdg.full_capacity_parents("travel") == frozenset()
+
+    def test_half_capacity_parent(self, tdg):
+        """A node providing only part of a multi-factor residual (Def. 2)."""
+        eco_extra = profile(
+            "strict",
+            "fintech",
+            [
+                make_path(
+                    "strict",
+                    PL.WEB,
+                    AP.PASSWORD_RESET,
+                    CF.CITIZEN_ID,
+                    CF.SECURITY_QUESTION,
+                    CF.SMS_CODE,
+                )
+            ],
+            {PI.REAL_NAME},
+        )
+        base = [tdg.node(n) for n in tdg._nodes]  # reuse built nodes
+        graph = TransformationDependencyGraph(
+            base + [TransformationDependencyGraph.node_from_profile(eco_extra)],
+            AttackerProfile.baseline(),
+        )
+        halves = graph.half_capacity_parents("strict")
+        assert "travel" in halves  # provides CID but not the answers
+        assert "relay" in halves  # provides answers but not CID
+
+    def test_couples_jointly_cover(self, tdg):
+        """card_a + card_b masked views combine to the full bankcard
+        (Insight 4 as Definition-3 couples)."""
+        records = tdg.couples("bank")
+        joint_sets = {record.providers for record in records}
+        assert frozenset({"card_a", "card_b"}) in joint_sets
+
+    def test_weak_edges_from_couples(self, tdg):
+        weak = tdg.weak_edges()
+        assert ("card_a", "bank") in weak
+        assert ("card_b", "bank") in weak
+
+    def test_strong_edges_exported_to_networkx(self, tdg):
+        graph = tdg.to_networkx()
+        assert graph.has_edge("travel", "pay")
+        assert graph.nodes["travel"]["fringe"]
+        assert not graph.nodes["pay"]["fringe"]
+
+
+class TestDependencyLevels:
+    def test_direct_level(self, tdg):
+        levels = tdg.dependency_levels(PL.WEB)
+        assert DependencyLevel.DIRECT in levels["travel"]
+
+    def test_one_layer_level(self, tdg):
+        levels = tdg.dependency_levels(PL.WEB)
+        assert DependencyLevel.ONE_LAYER in levels["pay"]
+        assert DependencyLevel.ONE_LAYER in levels["relay"]
+
+    def test_two_layer_full(self, tdg):
+        """deep needs security answers; only relay has them; relay needs
+        the mail account first: mail -> relay -> deep."""
+        levels = tdg.dependency_levels(PL.WEB)
+        assert DependencyLevel.TWO_LAYER_FULL in levels["deep"]
+
+    def test_two_layer_mixed_via_combining(self, tdg):
+        levels = tdg.dependency_levels(PL.WEB)
+        assert DependencyLevel.TWO_LAYER_MIXED in levels["bank"]
+
+    def test_safe_level(self, tdg):
+        levels = tdg.dependency_levels(PL.WEB)
+        assert levels["vault"] == frozenset({DependencyLevel.SAFE})
+
+    def test_level_fractions_sum_over_levels(self, tdg):
+        fractions = tdg.level_fractions(PL.WEB)
+        assert fractions[DependencyLevel.DIRECT] == pytest.approx(4 / 9)
+        assert fractions[DependencyLevel.SAFE] == pytest.approx(1 / 9)
+
+    def test_fringe_nodes(self, tdg):
+        assert tdg.fringe_nodes() == frozenset(
+            {"travel", "mail", "card_a", "card_b"}
+        )
+
+
+class TestAttackerSensitivity:
+    def test_no_interception_no_fringe(self, toy_ecosystem):
+        graph = TransformationDependencyGraph.from_ecosystem(
+            toy_ecosystem, AttackerProfile.passive_observer()
+        )
+        assert graph.fringe_nodes() == frozenset()
+        levels = graph.dependency_levels(PL.WEB)
+        assert all(
+            ls == frozenset({DependencyLevel.SAFE}) for ls in levels.values()
+        )
+
+    def test_email_channel_capability_gates_email_edges(self, toy_ecosystem):
+        from repro.model.attacker import AttackerCapability
+
+        attacker = AttackerProfile.baseline().without_capability(
+            AttackerCapability.EMAIL_CHANNEL_AFTER_COMPROMISE
+        )
+        graph = TransformationDependencyGraph.from_ecosystem(
+            toy_ecosystem, attacker
+        )
+        assert "mail" not in graph.full_capacity_parents("relay")
+
+    def test_duplicate_nodes_rejected(self, toy_ecosystem):
+        nodes = [
+            TransformationDependencyGraph.node_from_profile(p)
+            for p in toy_ecosystem
+        ]
+        with pytest.raises(ValueError):
+            TransformationDependencyGraph(
+                nodes + [nodes[0]], AttackerProfile.baseline()
+            )
+
+
+class TestGomeStyleSelfLeak:
+    def test_complementary_own_masks_count_as_complete(self):
+        """A service whose own platforms reveal complementary halves leaks
+        the full value by itself (the Gome example)."""
+        gome_like = ServiceProfile(
+            name="gome_like",
+            domain="ecommerce",
+            auth_paths=(
+                make_path("gome_like", PL.WEB, AP.SIGN_IN, CF.PASSWORD),
+                make_path("gome_like", PL.MOBILE, AP.SIGN_IN, CF.PASSWORD),
+            ),
+            exposed_info={
+                PL.WEB: frozenset({PI.CITIZEN_ID}),
+                PL.MOBILE: frozenset({PI.CITIZEN_ID}),
+            },
+            mask_specs={
+                (PL.WEB, PI.CITIZEN_ID): MaskSpec(reveal_prefix=6, reveal_suffix=4),
+                (PL.MOBILE, PI.CITIZEN_ID): MaskSpec(reveal_middle=(6, 14)),
+            },
+        )
+        node = TransformationDependencyGraph.node_from_profile(gome_like)
+        assert PI.CITIZEN_ID in node.pia

@@ -1,0 +1,111 @@
+"""Full-pipeline integration tests on the deployed seed ecosystem.
+
+These exercise the complete loop the paper describes: probe the live
+services, build the TDG, generate a chain, intercept over the air, execute
+the chain, and verify the defense transforms actually stop the executed
+attack (not just the analysis).
+"""
+
+import pytest
+
+from repro.attack.executor import ChainExecutor
+from repro.attack.interception import SnifferInterception
+from repro.attack.scenarios import deploy_seed_ecosystem
+from repro.catalog.builder import CatalogBuilder
+from repro.catalog.seeds import seed_profiles
+from repro.catalog.spec import CatalogSpec
+from repro.core import ActFort
+from repro.defense.builtin_auth import BuiltinAuthUpgrade
+from repro.model.factors import Platform as PL
+from repro.telecom.cipher import CrackModel
+from repro.telecom.network import RadioTech
+from repro.telecom.sniffer import OsmocomSniffer
+
+
+class TestProbeToExecutionPipeline:
+    def test_probe_built_chain_executes(self):
+        """Chains derived from *probe observations* (not ground-truth
+        profiles) must execute successfully -- the full ActFort loop."""
+        deployed = deploy_seed_ecosystem(seed=31)
+        victim = deployed.victim(0)
+        actfort = ActFort.from_internet(deployed.internet)
+        chain = actfort.attack_chain("alipay", platform=PL.MOBILE)
+        assert chain is not None
+        sniffer = OsmocomSniffer(
+            deployed.network,
+            deployed.cell_of(victim),
+            monitors=16,
+            crack_model=CrackModel(rng=deployed.seeds.stream("it-crack")),
+        )
+        executor = ChainExecutor(
+            deployed, SnifferInterception(sniffer, deployed.clock)
+        )
+        result = executor.execute(chain, victim.cellphone_number)
+        assert result.success
+
+    def test_every_reachable_seed_target_is_executable(self):
+        """For each seed service the strategy engine claims is reachable,
+        the executor must actually take it over (chains are sound)."""
+        deployed = deploy_seed_ecosystem(seed=17)
+        victim = deployed.victim(0)
+        provider = deployed.internet.email_provider_for(victim.email_address)
+        actfort = ActFort.from_ecosystem(deployed.ecosystem)
+        closure = actfort.strategy().forward_closure(email_provider=provider)
+        failures = []
+        for target in sorted(closure.compromised):
+            fresh = deploy_seed_ecosystem(seed=17)
+            fresh_victim = fresh.victim(0)
+            fresh_actfort = ActFort.from_ecosystem(fresh.ecosystem)
+            chain = fresh_actfort.attack_chain(
+                target, email_provider=provider
+            )
+            if chain is None:
+                failures.append((target, "no chain"))
+                continue
+            sniffer = OsmocomSniffer(
+                fresh.network,
+                fresh.cell_of(fresh_victim),
+                monitors=16,
+                crack_model=CrackModel(rng=fresh.seeds.stream("sound")),
+            )
+            executor = ChainExecutor(
+                fresh, SnifferInterception(sniffer, fresh.clock, max_attempts=6)
+            )
+            result = executor.execute(chain, fresh_victim.cellphone_number)
+            if not result.success:
+                failures.append((target, result.failure_reason))
+        assert not failures, failures
+
+    def test_builtin_auth_stops_executed_attack(self):
+        """Defense-in-action: deploy the *upgraded* profiles and verify the
+        executed chain (not just the analysis) dies."""
+        spec = CatalogSpec(
+            total_services=len(seed_profiles()), victims=4, cells=1
+        )
+        baseline_eco = CatalogBuilder(spec, seed=23).build_ecosystem()
+        upgraded_eco = BuiltinAuthUpgrade().apply(baseline_eco)
+        deployed = CatalogBuilder(spec, seed=23).deploy(
+            ecosystem=upgraded_eco, victim_tech=RadioTech.GSM
+        )
+        actfort = ActFort.from_ecosystem(upgraded_eco)
+        assert actfort.attack_chain("baidu_wallet") is None
+        assert actfort.potential_victims().compromised == frozenset()
+        # Radio silence: no OTP SMS ever transits the air.
+        victim = deployed.victim(0)
+        wallet = deployed.internet.service("baidu_wallet")
+        from repro.model.factors import CredentialFactor as CF
+        from repro.model.account import AuthPurpose as AP
+        from repro.websim.errors import WebSimError
+
+        with pytest.raises(WebSimError):
+            wallet.request_otp(
+                victim.cellphone_number, CF.SMS_CODE, AP.SIGN_IN
+            )
+
+    def test_deterministic_deployments(self):
+        a = deploy_seed_ecosystem(seed=5)
+        b = deploy_seed_ecosystem(seed=5)
+        assert [v.cellphone_number for v in a.victims] == [
+            v.cellphone_number for v in b.victims
+        ]
+        assert a.ecosystem.service("alipay") == b.ecosystem.service("alipay")

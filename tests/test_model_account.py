@@ -1,0 +1,184 @@
+"""Unit tests for auth paths, mask specs and service profiles."""
+
+import pytest
+
+from tests.conftest import make_path, simple_profile
+
+from repro.model.account import (
+    AuthPath,
+    AuthPurpose,
+    MaskSpec,
+    PathType,
+    ServiceProfile,
+    count_paths,
+)
+from repro.model.factors import CredentialFactor as CF
+from repro.model.factors import PersonalInfoKind as PI
+from repro.model.factors import Platform as PL
+
+
+class TestAuthPath:
+    def test_empty_factors_rejected(self):
+        with pytest.raises(ValueError):
+            AuthPath(
+                service="x",
+                platform=PL.WEB,
+                purpose=AuthPurpose.SIGN_IN,
+                factors=frozenset(),
+            )
+
+    def test_linked_providers_require_linked_factor(self):
+        with pytest.raises(ValueError):
+            AuthPath(
+                service="x",
+                platform=PL.WEB,
+                purpose=AuthPurpose.SIGN_IN,
+                factors=frozenset({CF.PASSWORD}),
+                linked_providers=frozenset({"gmail"}),
+            )
+
+    def test_sms_only_detection(self):
+        path = make_path(
+            "x", PL.WEB, AuthPurpose.PASSWORD_RESET, CF.CELLPHONE_NUMBER, CF.SMS_CODE
+        )
+        assert path.is_sms_only
+
+    def test_sms_plus_extra_is_not_sms_only(self):
+        path = make_path(
+            "x", PL.WEB, AuthPurpose.PASSWORD_RESET, CF.SMS_CODE, CF.CITIZEN_ID
+        )
+        assert not path.is_sms_only
+
+    def test_describe_uses_paper_shorthand(self):
+        path = make_path(
+            "x", PL.WEB, AuthPurpose.PASSWORD_RESET, CF.CELLPHONE_NUMBER, CF.SMS_CODE
+        )
+        assert path.describe() == "reset[web]: PN+SC"
+
+
+class TestPathType:
+    def test_password_path_is_general(self):
+        path = make_path("x", PL.WEB, AuthPurpose.SIGN_IN, CF.USERNAME, CF.PASSWORD)
+        assert path.path_type is PathType.GENERAL
+
+    def test_otp_path_is_general(self):
+        path = make_path(
+            "x", PL.WEB, AuthPurpose.SIGN_IN, CF.EMAIL_ADDRESS, CF.EMAIL_CODE
+        )
+        assert path.path_type is PathType.GENERAL
+
+    def test_citizen_id_path_is_info(self):
+        path = make_path(
+            "x", PL.WEB, AuthPurpose.PASSWORD_RESET, CF.SMS_CODE, CF.CITIZEN_ID
+        )
+        assert path.path_type is PathType.INFO
+
+    def test_biometric_path_is_unique(self):
+        path = make_path(
+            "x", PL.WEB, AuthPurpose.PASSWORD_RESET, CF.SMS_CODE, CF.FACE_SCAN
+        )
+        assert path.path_type is PathType.UNIQUE
+
+    def test_unique_dominates_info(self):
+        """A fingerprint path stays unique even with a real-name factor."""
+        path = make_path(
+            "x",
+            PL.WEB,
+            AuthPurpose.PASSWORD_RESET,
+            CF.FINGERPRINT,
+            CF.REAL_NAME,
+        )
+        assert path.path_type is PathType.UNIQUE
+
+
+class TestMaskSpec:
+    def test_prefix_suffix_positions(self):
+        spec = MaskSpec(reveal_prefix=2, reveal_suffix=3)
+        assert spec.revealed_positions(10) == frozenset({0, 1, 7, 8, 9})
+
+    def test_middle_positions(self):
+        spec = MaskSpec(reveal_middle=(3, 6))
+        assert spec.revealed_positions(10) == frozenset({3, 4, 5})
+
+    def test_full_reveals_everything(self):
+        assert MaskSpec.full().revealed_positions(18) == frozenset(range(18))
+
+    def test_hidden_reveals_nothing(self):
+        assert MaskSpec.hidden().revealed_positions(18) == frozenset()
+
+    def test_short_value_clamps(self):
+        spec = MaskSpec(reveal_prefix=100, reveal_suffix=100)
+        assert spec.revealed_positions(4) == frozenset(range(4))
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            MaskSpec(reveal_prefix=-1)
+
+    def test_invalid_middle_rejected(self):
+        with pytest.raises(ValueError):
+            MaskSpec(reveal_middle=(5, 2))
+
+
+class TestServiceProfile:
+    def test_mismatched_path_service_rejected(self):
+        path = make_path("other", PL.WEB, AuthPurpose.SIGN_IN, CF.PASSWORD)
+        with pytest.raises(ValueError):
+            ServiceProfile(
+                name="svc",
+                domain="media",
+                auth_paths=(path,),
+                exposed_info={},
+            )
+
+    def test_platform_discovery(self):
+        profile = simple_profile()
+        assert profile.platforms == frozenset({PL.WEB})
+
+    def test_path_filtering(self):
+        profile = simple_profile()
+        assert len(profile.signin_paths(PL.WEB)) == 1
+        assert len(profile.reset_paths(PL.WEB)) == 1
+        assert len(profile.paths(PL.MOBILE)) == 0
+
+    def test_fringe_detection(self):
+        assert simple_profile(sms_reset=True).is_fringe
+        assert not simple_profile(sms_reset=False).is_fringe
+
+    def test_all_exposed_info_unions_platforms(self):
+        profile = ServiceProfile(
+            name="svc",
+            domain="media",
+            auth_paths=(
+                make_path("svc", PL.WEB, AuthPurpose.SIGN_IN, CF.PASSWORD),
+                make_path("svc", PL.MOBILE, AuthPurpose.SIGN_IN, CF.PASSWORD),
+            ),
+            exposed_info={
+                PL.WEB: frozenset({PI.REAL_NAME}),
+                PL.MOBILE: frozenset({PI.CITIZEN_ID}),
+            },
+        )
+        assert profile.all_exposed_info() == frozenset(
+            {PI.REAL_NAME, PI.CITIZEN_ID}
+        )
+
+    def test_unspecified_mask_is_full(self):
+        profile = simple_profile()
+        assert profile.mask_for(PL.WEB, PI.REAL_NAME) == MaskSpec.full()
+
+    def test_strongest_path_type(self):
+        profile = ServiceProfile(
+            name="svc",
+            domain="fintech",
+            auth_paths=(
+                make_path("svc", PL.WEB, AuthPurpose.SIGN_IN, CF.PASSWORD),
+                make_path(
+                    "svc", PL.WEB, AuthPurpose.PASSWORD_RESET, CF.FACE_SCAN
+                ),
+            ),
+            exposed_info={},
+        )
+        assert profile.strongest_path_type() is PathType.UNIQUE
+
+    def test_count_paths(self):
+        profiles = [simple_profile(name="a"), simple_profile(name="b")]
+        assert count_paths(profiles) == 4

@@ -1,0 +1,67 @@
+"""Unit tests for attacker profiles."""
+
+from repro.model.attacker import AttackerCapability, AttackerProfile
+from repro.model.factors import CredentialFactor as CF
+from repro.model.factors import PersonalInfoKind as PI
+
+
+class TestBaselineProfile:
+    def test_baseline_satisfies_phone_and_sms(self):
+        innate = AttackerProfile.baseline().innately_satisfiable()
+        assert CF.CELLPHONE_NUMBER in innate
+        assert CF.SMS_CODE in innate
+
+    def test_baseline_cannot_social_engineer_innately(self):
+        """Customer service needs a dossier, not a standing capability."""
+        innate = AttackerProfile.baseline().innately_satisfiable()
+        assert CF.CUSTOMER_SERVICE not in innate
+
+    def test_baseline_can_intercept(self):
+        assert AttackerProfile.baseline().can_intercept_sms()
+
+
+class TestPassiveObserver:
+    def test_observer_satisfies_nothing(self):
+        assert AttackerProfile.passive_observer().innately_satisfiable() == frozenset()
+
+
+class TestSMSRequiresPhoneKnowledge:
+    def test_interception_without_phone_number_is_useless(self):
+        """You cannot filter for a victim whose number you don't know."""
+        profile = AttackerProfile(
+            capabilities=frozenset({AttackerCapability.SMS_INTERCEPTION}),
+            known_info=frozenset(),
+        )
+        innate = profile.innately_satisfiable()
+        assert CF.SMS_CODE not in innate
+
+
+class TestSEDatabaseProfile:
+    def test_se_profile_knows_name_and_address(self):
+        innate = AttackerProfile.with_se_database().innately_satisfiable()
+        assert CF.REAL_NAME in innate
+        assert CF.ADDRESS in innate
+
+    def test_se_profile_has_social_engineering(self):
+        profile = AttackerProfile.with_se_database()
+        assert AttackerCapability.SOCIAL_ENGINEERING in profile.capabilities
+
+
+class TestProfileTransforms:
+    def test_with_known_info_extends(self):
+        profile = AttackerProfile.baseline().with_known_info(
+            [PI.CITIZEN_ID]
+        )
+        assert CF.CITIZEN_ID in profile.innately_satisfiable()
+
+    def test_without_capability_removes(self):
+        profile = AttackerProfile.baseline().without_capability(
+            AttackerCapability.SMS_INTERCEPTION
+        )
+        assert not profile.can_intercept_sms()
+        assert CF.SMS_CODE not in profile.innately_satisfiable()
+
+    def test_transforms_do_not_mutate_original(self):
+        base = AttackerProfile.baseline()
+        base.without_capability(AttackerCapability.SMS_INTERCEPTION)
+        assert base.can_intercept_sms()

@@ -1,0 +1,104 @@
+"""Unit tests for the Ecosystem container."""
+
+import pytest
+
+from tests.conftest import simple_profile
+
+from repro.model.account import OnlineAccount
+from repro.model.ecosystem import Ecosystem
+from repro.model.factors import Platform as PL
+from repro.model.identity import IdentityGenerator
+
+
+@pytest.fixture()
+def small_ecosystem():
+    return Ecosystem(
+        [
+            simple_profile(name="a", domain="media"),
+            simple_profile(name="b", domain="fintech", sms_reset=False),
+            simple_profile(name="c", domain="media"),
+        ]
+    )
+
+
+class TestServices:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Ecosystem([simple_profile(name="a"), simple_profile(name="a")])
+
+    def test_lookup(self, small_ecosystem):
+        assert small_ecosystem.service("a").name == "a"
+        with pytest.raises(KeyError):
+            small_ecosystem.service("missing")
+
+    def test_len_iter_contains(self, small_ecosystem):
+        assert len(small_ecosystem) == 3
+        assert {s.name for s in small_ecosystem} == {"a", "b", "c"}
+        assert "a" in small_ecosystem
+        assert "zz" not in small_ecosystem
+
+    def test_domains_and_views(self, small_ecosystem):
+        assert small_ecosystem.domains() == frozenset({"media", "fintech"})
+        assert len(small_ecosystem.in_domain("media")) == 2
+        assert len(small_ecosystem.on_platform(PL.WEB)) == 3
+        assert len(small_ecosystem.on_platform(PL.MOBILE)) == 0
+
+    def test_fringe_services(self, small_ecosystem):
+        assert {s.name for s in small_ecosystem.fringe_services()} == {"a", "c"}
+
+    def test_total_auth_paths(self, small_ecosystem):
+        assert small_ecosystem.total_auth_paths() == 5
+
+
+class TestAccounts:
+    def test_account_on_unknown_service_rejected(self):
+        eco = Ecosystem([simple_profile(name="a")])
+        stranger = simple_profile(name="zzz")
+        identity = IdentityGenerator(1).generate()
+        with pytest.raises(ValueError):
+            eco.add_account(OnlineAccount(service=stranger, identity=identity))
+
+    def test_accounts_of_identity(self, small_ecosystem):
+        gen = IdentityGenerator(1)
+        alice, bob = gen.generate(), gen.generate()
+        small_ecosystem.add_account(
+            OnlineAccount(small_ecosystem.service("a"), alice)
+        )
+        small_ecosystem.add_account(
+            OnlineAccount(small_ecosystem.service("b"), alice)
+        )
+        small_ecosystem.add_account(
+            OnlineAccount(small_ecosystem.service("a"), bob)
+        )
+        assert len(small_ecosystem.accounts_of(alice)) == 2
+        assert small_ecosystem.account_on("a", bob) is not None
+        assert small_ecosystem.account_on("c", bob) is None
+        assert len(small_ecosystem.identities()) == 2
+
+
+class TestRestriction:
+    def test_restricted_to_subset(self, small_ecosystem):
+        sub = small_ecosystem.restricted_to(["a", "b"])
+        assert set(sub.service_names) == {"a", "b"}
+
+    def test_restricted_to_unknown_raises(self, small_ecosystem):
+        with pytest.raises(KeyError):
+            small_ecosystem.restricted_to(["a", "nope"])
+
+    def test_replacement_swaps_profile(self, small_ecosystem):
+        replacement = simple_profile(name="a", sms_reset=False)
+        updated = small_ecosystem.with_services_replaced({"a": replacement})
+        assert not updated.service("a").is_fringe
+        # Baseline untouched.
+        assert small_ecosystem.service("a").is_fringe
+
+    def test_replacement_name_mismatch_rejected(self, small_ecosystem):
+        with pytest.raises(ValueError):
+            small_ecosystem.with_services_replaced(
+                {"a": simple_profile(name="b")}
+            )
+
+    def test_summary_keys(self, small_ecosystem):
+        summary = small_ecosystem.summary()
+        assert summary["services"] == 3
+        assert summary["fringe_services"] == 2

@@ -1,0 +1,150 @@
+"""Unit tests for the credential-factor / personal-info taxonomies."""
+
+import pytest
+
+from repro.model.factors import (
+    CredentialFactor,
+    FactorClass,
+    InfoCategory,
+    PersonalInfoKind,
+    all_transformation_pairs,
+    factor_satisfied_by_info,
+    info_satisfying_factor,
+    is_interceptable_otp,
+    is_robust_factor,
+    knowledge_factors,
+)
+
+
+class TestFactorClasses:
+    def test_every_factor_has_a_class(self):
+        for factor in CredentialFactor:
+            assert isinstance(factor.factor_class, FactorClass)
+
+    def test_sms_code_is_otp(self):
+        assert CredentialFactor.SMS_CODE.factor_class is FactorClass.OTP
+
+    def test_citizen_id_is_knowledge(self):
+        assert CredentialFactor.CITIZEN_ID.factor_class is FactorClass.KNOWLEDGE
+
+    def test_face_scan_is_biometric(self):
+        assert CredentialFactor.FACE_SCAN.factor_class is FactorClass.BIOMETRIC
+
+    def test_customer_service_is_process(self):
+        assert (
+            CredentialFactor.CUSTOMER_SERVICE.factor_class is FactorClass.PROCESS
+        )
+
+    def test_knowledge_factors_helper_matches_classes(self):
+        for factor in knowledge_factors():
+            assert factor.factor_class is FactorClass.KNOWLEDGE
+
+
+class TestInfoCategories:
+    def test_every_kind_has_a_category(self):
+        for kind in PersonalInfoKind:
+            assert isinstance(kind.category, InfoCategory)
+
+    def test_citizen_id_is_identity_info(self):
+        assert PersonalInfoKind.CITIZEN_ID.category is InfoCategory.IDENTITY
+
+    def test_bankcard_is_property_info(self):
+        assert PersonalInfoKind.BANKCARD_NUMBER.category is InfoCategory.PROPERTY
+
+    def test_acquaintance_is_relationship_info(self):
+        assert (
+            PersonalInfoKind.ACQUAINTANCE_NAME.category
+            is InfoCategory.RELATIONSHIP
+        )
+
+    def test_histories_are_history_info(self):
+        for kind in (
+            PersonalInfoKind.ORDER_HISTORY,
+            PersonalInfoKind.CHAT_HISTORY,
+            PersonalInfoKind.CLOUD_PHOTOS,
+        ):
+            assert kind.category is InfoCategory.HISTORY
+
+    def test_all_five_categories_are_populated(self):
+        used = {kind.category for kind in PersonalInfoKind}
+        assert used == set(InfoCategory)
+
+
+class TestTransformation:
+    def test_phone_exposure_satisfies_phone_factor(self):
+        assert factor_satisfied_by_info(
+            CredentialFactor.CELLPHONE_NUMBER,
+            {PersonalInfoKind.CELLPHONE_NUMBER},
+        )
+
+    def test_citizen_id_satisfied_by_id_photo(self):
+        """Cloud-stored ID photos yield the citizen ID (Section IV-B)."""
+        assert factor_satisfied_by_info(
+            CredentialFactor.CITIZEN_ID, {PersonalInfoKind.ID_PHOTO}
+        )
+
+    def test_email_code_satisfied_by_mailbox_access(self):
+        """Case II: controlling Gmail yields PayPal's email token."""
+        assert factor_satisfied_by_info(
+            CredentialFactor.EMAIL_CODE, {PersonalInfoKind.MAILBOX_ACCESS}
+        )
+
+    def test_sms_code_not_satisfiable_from_info(self):
+        assert info_satisfying_factor(CredentialFactor.SMS_CODE) == frozenset()
+
+    def test_biometrics_not_satisfiable_from_info(self):
+        assert info_satisfying_factor(CredentialFactor.FACE_SCAN) == frozenset()
+
+    def test_unrelated_info_does_not_satisfy(self):
+        assert not factor_satisfied_by_info(
+            CredentialFactor.CITIZEN_ID, {PersonalInfoKind.DEVICE_TYPE}
+        )
+
+    def test_empty_info_satisfies_nothing(self):
+        for factor in CredentialFactor:
+            assert not factor_satisfied_by_info(factor, set())
+
+    def test_transformation_pairs_are_consistent(self):
+        for kind, factor in all_transformation_pairs():
+            assert factor_satisfied_by_info(factor, {kind})
+
+
+class TestRobustFactors:
+    @pytest.mark.parametrize(
+        "factor",
+        [
+            CredentialFactor.U2F_KEY,
+            CredentialFactor.FACE_SCAN,
+            CredentialFactor.FINGERPRINT,
+            CredentialFactor.TRUSTED_DEVICE,
+            CredentialFactor.AUTHENTICATOR_TOTP,
+        ],
+    )
+    def test_robust_factors(self, factor):
+        """Insight 5: these terminate Chain Reaction Attack paths."""
+        assert is_robust_factor(factor)
+        assert info_satisfying_factor(factor) == frozenset()
+
+    @pytest.mark.parametrize(
+        "factor",
+        [
+            CredentialFactor.SMS_CODE,
+            CredentialFactor.CITIZEN_ID,
+            CredentialFactor.PASSWORD,
+        ],
+    )
+    def test_non_robust_factors(self, factor):
+        assert not is_robust_factor(factor)
+
+
+class TestInterceptableOTPs:
+    def test_channel_otps(self):
+        for factor in (
+            CredentialFactor.SMS_CODE,
+            CredentialFactor.EMAIL_CODE,
+            CredentialFactor.EMAIL_LINK,
+        ):
+            assert is_interceptable_otp(factor)
+
+    def test_totp_never_transits_a_channel(self):
+        assert not is_interceptable_otp(CredentialFactor.AUTHENTICATOR_TOTP)

@@ -1,0 +1,182 @@
+"""Unit and property tests for identities and masked values."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.model.factors import PersonalInfoKind
+from repro.model.identity import (
+    Identity,
+    IdentityGenerator,
+    MaskedValue,
+    combine_views,
+)
+
+
+class TestMaskedValue:
+    def test_fully_revealed(self):
+        view = MaskedValue.fully_revealed("123456")
+        assert view.is_complete
+        assert view.reveal() == "123456"
+        assert view.rendered() == "123456"
+
+    def test_fully_masked(self):
+        view = MaskedValue.fully_masked("123456")
+        assert not view.is_complete
+        assert view.rendered() == "******"
+
+    def test_partial_rendering(self):
+        view = MaskedValue("123456", {0, 1, 5})
+        assert view.rendered() == "12***6"
+
+    def test_reveal_incomplete_raises(self):
+        with pytest.raises(ValueError):
+            MaskedValue("abc", {0}).reveal()
+
+    def test_out_of_range_position_rejected(self):
+        with pytest.raises(ValueError):
+            MaskedValue("abc", {5})
+
+    def test_combine_unions_positions(self):
+        a = MaskedValue("123456", {0, 1})
+        b = MaskedValue("123456", {4, 5})
+        merged = a.combine(b)
+        assert merged.revealed_positions == frozenset({0, 1, 4, 5})
+
+    def test_combine_different_values_rejected(self):
+        a = MaskedValue("123456", {0})
+        b = MaskedValue("654321", {0})
+        with pytest.raises(ValueError):
+            a.combine(b)
+
+    def test_matches_consistent_candidate(self):
+        view = MaskedValue("123456", {0, 5})
+        assert view.matches("1zzzz6")
+        assert not view.matches("2zzzz6")
+        assert not view.matches("16")
+
+    def test_equality_and_hash(self):
+        a = MaskedValue("abc", {0})
+        b = MaskedValue("abc", {0})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != MaskedValue("abc", {1})
+
+
+class TestCombineViews:
+    def test_empty_returns_none(self):
+        assert combine_views([]) is None
+
+    def test_incomplete_union_returns_none(self):
+        views = [MaskedValue("123456", {0}), MaskedValue("123456", {1})]
+        assert combine_views(views) is None
+
+    def test_complete_union_recovers_value(self):
+        """Insight 4's combining attack in miniature."""
+        views = [
+            MaskedValue("123456", {0, 1, 2}),
+            MaskedValue("123456", {3, 4}),
+            MaskedValue("123456", {5}),
+        ]
+        assert combine_views(views) == "123456"
+
+    def test_conflicting_views_raise(self):
+        with pytest.raises(ValueError):
+            combine_views(
+                [MaskedValue("123456", {0}), MaskedValue("999999", {5})]
+            )
+
+
+@given(
+    value=st.text(
+        alphabet=st.characters(min_codepoint=48, max_codepoint=122),
+        min_size=1,
+        max_size=30,
+    ),
+    data=st.data(),
+)
+def test_masked_value_partition_property(value, data):
+    """Any partition of positions combines back to the full value."""
+    positions = list(range(len(value)))
+    cut = data.draw(st.integers(min_value=0, max_value=len(positions)))
+    left = MaskedValue(value, positions[:cut])
+    right = MaskedValue(value, positions[cut:])
+    assert combine_views([left, right]) == value
+
+
+@given(
+    value=st.text(min_size=1, max_size=30),
+    revealed=st.sets(st.integers(min_value=0, max_value=29)),
+)
+def test_rendered_length_preserved(value, revealed):
+    """Masking never changes the rendered length (format-preserving)."""
+    revealed = {i for i in revealed if i < len(value)}
+    view = MaskedValue(value, revealed)
+    assert len(view.rendered()) == len(value)
+
+
+class TestIdentityGenerator:
+    def test_deterministic_for_same_seed(self):
+        a = IdentityGenerator(seed=5).generate()
+        b = IdentityGenerator(seed=5).generate()
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = IdentityGenerator(seed=5).generate()
+        b = IdentityGenerator(seed=6).generate()
+        assert a.cellphone_number != b.cellphone_number
+
+    def test_unique_phones_within_generator(self):
+        gen = IdentityGenerator(seed=7)
+        identities = gen.generate_many(50)
+        phones = {i.cellphone_number for i in identities}
+        assert len(phones) == 50
+
+    def test_unique_emails_within_generator(self):
+        gen = IdentityGenerator(seed=7)
+        identities = gen.generate_many(50)
+        emails = {i.email_address for i in identities}
+        assert len(emails) == 50
+
+    def test_person_ids_scoped_by_seed(self):
+        """Canary/victim id collisions across generators must not happen."""
+        a = IdentityGenerator(seed=1).generate()
+        b = IdentityGenerator(seed=2).generate()
+        assert a.person_id != b.person_id
+
+    def test_citizen_id_is_18_digits(self, identity):
+        assert len(identity.citizen_id) == 18
+        assert identity.citizen_id.isdigit()
+
+    def test_bankcard_is_16_digits(self, identity):
+        assert len(identity.bankcard_number) == 16
+        assert identity.bankcard_number.isdigit()
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            IdentityGenerator().generate_many(-1)
+
+
+class TestIdentityInfoValue:
+    def test_maps_simple_kinds(self, identity):
+        assert (
+            identity.info_value(PersonalInfoKind.CELLPHONE_NUMBER)
+            == identity.cellphone_number
+        )
+        assert (
+            identity.info_value(PersonalInfoKind.REAL_NAME)
+            == identity.real_name
+        )
+
+    def test_id_photo_yields_citizen_id(self, identity):
+        assert (
+            identity.info_value(PersonalInfoKind.ID_PHOTO)
+            == identity.citizen_id
+        )
+
+    def test_acquaintances_joined(self, identity):
+        value = identity.info_value(PersonalInfoKind.ACQUAINTANCE_NAME)
+        assert value.split(";") == list(identity.acquaintances)
+
+    def test_unmapped_kind_raises(self, identity):
+        with pytest.raises(KeyError):
+            identity.info_value(PersonalInfoKind.CLOUD_PHOTOS)

@@ -1,0 +1,213 @@
+"""Property-based tests on core invariants.
+
+Random ecosystems are generated with hypothesis and the structural
+invariants of the TDG and strategy engine are checked on each:
+
+- forward closure is monotone in the attacker profile and in the seed set,
+- every closure entry's chained factors come from strictly earlier entries,
+- full-capacity parents are exactly the single-node covers,
+- robust-factor paths never become satisfiable,
+- dependency-level fractions are well-formed.
+"""
+
+from typing import List
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.strategy import StrategyEngine
+from repro.core.tdg import DependencyLevel, TransformationDependencyGraph
+from repro.model.account import AuthPath, AuthPurpose, ServiceProfile
+from repro.model.attacker import AttackerCapability, AttackerProfile
+from repro.model.ecosystem import Ecosystem
+from repro.model.factors import CredentialFactor as CF
+from repro.model.factors import PersonalInfoKind as PI
+from repro.model.factors import Platform as PL
+
+_FACTOR_POOL = [
+    CF.SMS_CODE,
+    CF.CELLPHONE_NUMBER,
+    CF.EMAIL_CODE,
+    CF.EMAIL_ADDRESS,
+    CF.CITIZEN_ID,
+    CF.REAL_NAME,
+    CF.SECURITY_QUESTION,
+    CF.FACE_SCAN,
+    CF.U2F_KEY,
+]
+
+_INFO_POOL = [
+    PI.REAL_NAME,
+    PI.CITIZEN_ID,
+    PI.CELLPHONE_NUMBER,
+    PI.EMAIL_ADDRESS,
+    PI.MAILBOX_ACCESS,
+    PI.SECURITY_ANSWERS,
+    PI.ADDRESS,
+]
+
+
+@st.composite
+def ecosystems(draw) -> Ecosystem:
+    count = draw(st.integers(min_value=2, max_value=8))
+    profiles: List[ServiceProfile] = []
+    for index in range(count):
+        name = f"svc{index}"
+        path_count = draw(st.integers(min_value=1, max_value=3))
+        paths = []
+        for p in range(path_count):
+            factors = draw(
+                st.sets(
+                    st.sampled_from(_FACTOR_POOL), min_size=1, max_size=3
+                )
+            )
+            paths.append(
+                AuthPath(
+                    service=name,
+                    platform=PL.WEB,
+                    purpose=AuthPurpose.PASSWORD_RESET,
+                    factors=frozenset(factors),
+                )
+            )
+        exposed = draw(
+            st.sets(st.sampled_from(_INFO_POOL), min_size=0, max_size=5)
+        )
+        profiles.append(
+            ServiceProfile(
+                name=name,
+                domain=draw(
+                    st.sampled_from(["email", "fintech", "media", "travel"])
+                ),
+                auth_paths=tuple(paths),
+                exposed_info={PL.WEB: frozenset(exposed)},
+            )
+        )
+    return Ecosystem(profiles)
+
+
+_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@_SETTINGS
+@given(eco=ecosystems())
+def test_closure_monotone_in_attacker(eco):
+    """A strictly weaker attacker never compromises more."""
+    strong = TransformationDependencyGraph.from_ecosystem(
+        eco, AttackerProfile.baseline()
+    )
+    weak = TransformationDependencyGraph.from_ecosystem(
+        eco,
+        AttackerProfile.baseline().without_capability(
+            AttackerCapability.SMS_INTERCEPTION
+        ),
+    )
+    strong_pav = StrategyEngine(strong).forward_closure().compromised
+    weak_pav = StrategyEngine(weak).forward_closure().compromised
+    assert weak_pav <= strong_pav
+
+
+@_SETTINGS
+@given(eco=ecosystems(), data=st.data())
+def test_closure_monotone_in_seed(eco, data):
+    """Seeding the OAAS never shrinks the PAV."""
+    tdg = TransformationDependencyGraph.from_ecosystem(
+        eco, AttackerProfile.baseline()
+    )
+    engine = StrategyEngine(tdg)
+    base = engine.forward_closure().compromised
+    seed = data.draw(st.sampled_from(sorted(n.service for n in tdg.nodes)))
+    seeded = engine.forward_closure(initially_compromised=[seed]).compromised
+    assert base <= seeded
+    assert seed in seeded
+
+
+@_SETTINGS
+@given(eco=ecosystems())
+def test_closure_entries_are_causally_ordered(eco):
+    """Every chained factor's source fell in a strictly earlier round."""
+    tdg = TransformationDependencyGraph.from_ecosystem(
+        eco, AttackerProfile.baseline()
+    )
+    closure = StrategyEngine(tdg).forward_closure()
+    rounds = {entry.service: entry.round for entry in closure.entries}
+    for entry in closure.entries:
+        for source in entry.factor_sources.values():
+            if source.startswith("<"):
+                continue
+            for provider in source.split("+"):
+                assert rounds[provider] < entry.round
+
+
+@_SETTINGS
+@given(eco=ecosystems())
+def test_full_capacity_parents_really_cover(eco):
+    """Definition 1: a full parent alone covers some path's residual."""
+    tdg = TransformationDependencyGraph.from_ecosystem(
+        eco, AttackerProfile.baseline()
+    )
+    for node in tdg.nodes:
+        for parent_name in tdg.full_capacity_parents(node.service):
+            parent = tdg.node(parent_name)
+            covered_some_path = False
+            for path in node.takeover_paths:
+                cover = tdg.coverage(node, path)
+                if cover.is_blocked or not cover.residual:
+                    continue
+                if all(
+                    tdg.provides(parent, factor, path)
+                    for factor in cover.residual
+                ):
+                    covered_some_path = True
+            assert covered_some_path
+
+
+@_SETTINGS
+@given(eco=ecosystems())
+def test_robust_paths_never_chainable(eco):
+    """Insight 5 as an invariant over random ecosystems."""
+    from repro.model.factors import is_robust_factor
+
+    tdg = TransformationDependencyGraph.from_ecosystem(
+        eco, AttackerProfile.baseline()
+    )
+    for node in tdg.nodes:
+        for path in node.takeover_paths:
+            if any(is_robust_factor(f) for f in path.factors):
+                assert tdg.coverage(node, path).is_blocked
+
+
+@_SETTINGS
+@given(eco=ecosystems())
+def test_level_fractions_well_formed(eco):
+    tdg = TransformationDependencyGraph.from_ecosystem(
+        eco, AttackerProfile.baseline()
+    )
+    fractions = tdg.level_fractions(PL.WEB)
+    assert set(fractions) == set(DependencyLevel)
+    for value in fractions.values():
+        assert 0.0 <= value <= 1.0
+    # Every service lands in at least one category, so the sum is >= 1.
+    assert sum(fractions.values()) >= 1.0 - 1e-9
+
+
+@_SETTINGS
+@given(eco=ecosystems())
+def test_chain_reconstruction_consistent_with_closure(eco):
+    """attack_chain succeeds exactly for closure-compromised targets, and
+    its steps walk only compromised services."""
+    tdg = TransformationDependencyGraph.from_ecosystem(
+        eco, AttackerProfile.baseline()
+    )
+    engine = StrategyEngine(tdg)
+    closure = engine.forward_closure()
+    for node in tdg.nodes:
+        chain = engine.attack_chain(node.service)
+        if node.service in closure.compromised:
+            assert chain is not None
+            assert set(chain.services) <= closure.compromised
+            assert chain.services[-1] == node.service
+        else:
+            assert chain is None

@@ -1,0 +1,88 @@
+"""Tests for the Random Attack campaign and the markdown report."""
+
+import pytest
+
+from repro.analysis.report import full_report
+from repro.attack.random_attack import RandomAttackCampaign
+from repro.attack.recon import SocialEngineeringDatabase
+from repro.attack.scenarios import deploy_seed_ecosystem
+from repro.core import ActFort
+from repro.model.factors import Platform as PL
+
+
+class TestRandomAttackCampaign:
+    def test_campaign_compromises_harvested_marks(self):
+        """Section II's random attack: everyone who fell for the phishing
+        Wi-Fi loses their wallet account."""
+        deployed = deploy_seed_ecosystem(seed=41)
+        campaign = RandomAttackCampaign(
+            deployed,
+            cell_id="cell-0",
+            target="baidu_wallet",
+            platform=PL.MOBILE,
+            wifi_hit_rate=1.0,
+        )
+        result = campaign.run()
+        assert len(result.harvested_numbers) == len(deployed.victims)
+        assert result.success_rate > 0.9
+        assert "random attack" in result.describe()
+
+    def test_campaign_respects_hit_rate_zero(self):
+        deployed = deploy_seed_ecosystem(seed=41)
+        campaign = RandomAttackCampaign(
+            deployed,
+            cell_id="cell-0",
+            target="baidu_wallet",
+            wifi_hit_rate=0.0,
+        )
+        result = campaign.run()
+        assert result.harvested_numbers == ()
+        assert result.success_rate == 0.0
+
+    def test_campaign_with_se_database_reaches_deeper_targets(self):
+        """Alipay needs the citizen ID; with chains through Ctrip every
+        mark still falls, dossier or not."""
+        deployed = deploy_seed_ecosystem(seed=43)
+        se_db = SocialEngineeringDatabase(
+            deployed.victims, rng=deployed.seeds.stream("se")
+        )
+        campaign = RandomAttackCampaign(
+            deployed,
+            cell_id="cell-0",
+            target="alipay",
+            platform=PL.MOBILE,
+            wifi_hit_rate=1.0,
+            se_database=se_db,
+        )
+        result = campaign.run()
+        assert result.success_rate > 0.8
+
+    def test_unknown_target_rejected(self):
+        deployed = deploy_seed_ecosystem(seed=41)
+        with pytest.raises(KeyError):
+            RandomAttackCampaign(deployed, "cell-0", target="ghost")
+
+
+class TestFullReport:
+    def test_report_renders_all_sections(self, default_actfort):
+        report = full_report(default_actfort)
+        for heading in (
+            "# Online Account Ecosystem audit",
+            "## Authentication process",
+            "## Information exposure",
+            "## Dependency levels",
+            "## Key insights",
+            "## Most dangerous information sources",
+        ):
+            assert heading in report
+
+    def test_report_names_known_hubs(self, default_actfort):
+        """Ctrip (full citizen ID) and the email providers are top
+        information sources."""
+        report = full_report(default_actfort)
+        table_tail = report.split("Most dangerous information sources")[1]
+        assert "ctrip" in table_tail or "email" in table_tail
+
+    def test_report_is_markdown_tables(self, default_actfort):
+        report = full_report(default_actfort)
+        assert "| kind | web % |" in report.replace("  ", " ")

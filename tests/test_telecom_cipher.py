@@ -1,0 +1,100 @@
+"""Unit and property tests for the A5/1-style cipher and crack model."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.telecom.cipher import A51Cipher, CipherSuite, CrackModel
+
+
+class TestA51Cipher:
+    def test_roundtrip(self):
+        key, frame = 0x0123456789ABCDEF, 42
+        plaintext = b"The quick brown fox"
+        ciphertext = A51Cipher.encrypt(key, frame, plaintext)
+        assert ciphertext != plaintext
+        assert A51Cipher.decrypt(key, frame, ciphertext) == plaintext
+
+    def test_wrong_key_garbles(self):
+        ciphertext = A51Cipher.encrypt(1, 0, b"hello world, hello")
+        assert A51Cipher.decrypt(2, 0, ciphertext) != b"hello world, hello"
+
+    def test_frame_number_diversifies_keystream(self):
+        a = A51Cipher.encrypt(1, 0, b"\x00" * 16)
+        b = A51Cipher.encrypt(1, 1, b"\x00" * 16)
+        assert a != b
+
+    def test_keystream_deterministic(self):
+        assert (
+            A51Cipher(7, 3).keystream(32) == A51Cipher(7, 3).keystream(32)
+        )
+
+    def test_oversized_key_rejected(self):
+        with pytest.raises(ValueError):
+            A51Cipher(1 << 64)
+
+    def test_keystream_is_balanced(self):
+        """Sanity: the keystream is not constant/degenerate."""
+        stream = A51Cipher(0xDEADBEEF, 5).keystream(256)
+        ones = sum(bin(b).count("1") for b in stream)
+        assert 700 < ones < 1350  # ~1024 expected of 2048 bits
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    key=st.integers(min_value=0, max_value=(1 << 64) - 1),
+    frame=st.integers(min_value=0, max_value=(1 << 22) - 1),
+    plaintext=st.binary(min_size=0, max_size=64),
+)
+def test_cipher_roundtrip_property(key, frame, plaintext):
+    assert (
+        A51Cipher.decrypt(key, frame, A51Cipher.encrypt(key, frame, plaintext))
+        == plaintext
+    )
+
+
+class TestCrackModel:
+    def test_perfect_model_recovers_key(self):
+        model = CrackModel(success_probability=1.0, crack_seconds=10.0)
+        key, frame = 0xAABB, 7
+        plaintext = b"HEADER|payload"
+        ciphertext = A51Cipher.encrypt(key, frame, plaintext)
+        result = model.attempt(key, frame, ciphertext, b"HEADER")
+        assert result.success
+        assert result.session_key == key
+        assert result.elapsed > 0
+
+    def test_zero_probability_never_succeeds(self):
+        model = CrackModel(success_probability=0.0)
+        result = model.attempt(1, 1, b"x", b"x")
+        assert not result.success
+        assert result.session_key is None
+
+    def test_wrong_known_plaintext_fails_verification(self):
+        """A candidate key is only accepted if it decrypts to the expected
+        framing -- the model cannot hallucinate keys."""
+        model = CrackModel(success_probability=1.0)
+        key = 0xAABB
+        ciphertext = A51Cipher.encrypt(key, 0, b"OTHER|payload")
+        result = model.attempt(key, 0, ciphertext, b"HEADER")
+        assert not result.success
+
+    def test_statistics_counted(self):
+        model = CrackModel(
+            success_probability=0.5, rng=random.Random(0)
+        )
+        key = 3
+        ciphertext = A51Cipher.encrypt(key, 0, b"HDR|x")
+        for _ in range(50):
+            model.attempt(key, 0, ciphertext, b"HDR")
+        assert model.attempts == 50
+        assert 10 < model.successes < 40
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            CrackModel(success_probability=1.5)
+
+    def test_negative_crack_time_rejected(self):
+        with pytest.raises(ValueError):
+            CrackModel(crack_seconds=-1.0)

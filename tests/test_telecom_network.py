@@ -1,0 +1,165 @@
+"""Unit tests for the GSM network: cells, phones, delivery, radiation."""
+
+import pytest
+
+from repro.telecom.cipher import CipherSuite
+from repro.telecom.events import PagingEvent, SMSBurstEvent, decode_pdu, encode_pdu
+from repro.telecom.network import GSMNetwork, RadioTech
+from repro.telecom.numbers import SubscriberDirectory
+from repro.utils.clock import Clock
+from repro.utils.rng import SeedSequence
+
+
+@pytest.fixture()
+def network():
+    net = GSMNetwork(clock=Clock(), seeds=SeedSequence(5))
+    net.add_cell("cell-A", arfcns=(512, 514), cipher=CipherSuite.A5_0)
+    net.add_cell("cell-B", arfcns=(600,), cipher=CipherSuite.A5_1)
+    return net
+
+
+class TestTopology:
+    def test_duplicate_cell_rejected(self, network):
+        with pytest.raises(ValueError):
+            network.add_cell("cell-A")
+
+    def test_cell_without_arfcns_rejected(self, network):
+        with pytest.raises(ValueError):
+            network.add_cell("cell-X", arfcns=())
+
+    def test_duplicate_arfcns_rejected(self, network):
+        with pytest.raises(ValueError):
+            network.add_cell("cell-X", arfcns=(1, 1))
+
+    def test_provision_into_unknown_cell_rejected(self, network):
+        with pytest.raises(KeyError):
+            network.provision_phone("138", "nowhere")
+
+    def test_double_provision_rejected(self, network):
+        network.provision_phone("138", "cell-A")
+        with pytest.raises(ValueError):
+            network.provision_phone("138", "cell-A")
+
+    def test_move_phone(self, network):
+        network.provision_phone("138", "cell-A")
+        network.move_phone("138", "cell-B")
+        assert network.phone("138").cell_id == "cell-B"
+        assert network.phones_in_cell("cell-B")[0].msisdn == "138"
+
+
+class TestSubscriberDirectory:
+    def test_provision_is_idempotent(self):
+        directory = SubscriberDirectory()
+        a = directory.provision("138")
+        b = directory.provision("138")
+        assert a is b
+        assert directory.subscriber_count == 1
+
+    def test_imsi_lookup(self):
+        directory = SubscriberDirectory()
+        record = directory.provision("138")
+        assert directory.by_imsi(record.imsi).msisdn == "138"
+
+    def test_tmsi_rotation(self):
+        directory = SubscriberDirectory()
+        record = directory.provision("138")
+        old = record.tmsi
+        new = directory.rotate_tmsi("138")
+        assert new != old
+        assert directory.by_msisdn("138").tmsi == new
+
+
+class TestJammingAndTech:
+    def test_lte_phone_downgrades_under_jamming(self, network):
+        network.provision_phone("138", "cell-A", preferred_tech=RadioTech.LTE)
+        assert network.effective_tech("138") is RadioTech.LTE
+        network.set_cell_jammed("cell-A", True)
+        assert network.effective_tech("138") is RadioTech.GSM
+        network.set_cell_jammed("cell-A", False)
+        assert network.effective_tech("138") is RadioTech.LTE
+
+    def test_gsm_incapable_phone_stays_lte(self, network):
+        network.provision_phone(
+            "138", "cell-A", preferred_tech=RadioTech.LTE, gsm_capable=False
+        )
+        network.set_cell_jammed("cell-A", True)
+        assert network.effective_tech("138") is RadioTech.LTE
+
+    def test_jamming_unknown_cell_rejected(self, network):
+        with pytest.raises(KeyError):
+            network.set_cell_jammed("nowhere", True)
+
+
+class TestDelivery:
+    def test_gsm_delivery_radiates_paging_and_burst(self, network):
+        network.provision_phone("138", "cell-A", preferred_tech=RadioTech.GSM)
+        events = []
+        network.bus.subscribe(events.append)
+        network.deliver_sms("138", "your code is 1234", sender="svc")
+        kinds = [type(e) for e in events]
+        assert kinds == [PagingEvent, SMSBurstEvent]
+        burst = events[1]
+        assert burst.cell_id == "cell-A"
+        assert burst.arfcn in (512, 514)
+
+    def test_a50_burst_is_plaintext(self, network):
+        network.provision_phone("138", "cell-A", preferred_tech=RadioTech.GSM)
+        events = []
+        network.bus.subscribe(events.append)
+        network.deliver_sms("138", "hello", sender="svc")
+        burst = events[1]
+        assert decode_pdu(burst.ciphertext) == ("svc", "hello")
+
+    def test_a51_burst_is_encrypted(self, network):
+        network.provision_phone("139", "cell-B", preferred_tech=RadioTech.GSM)
+        events = []
+        network.bus.subscribe(events.append)
+        network.deliver_sms("139", "hello", sender="svc")
+        burst = events[1]
+        with pytest.raises(ValueError):
+            decode_pdu(burst.ciphertext)
+
+    def test_lte_delivery_does_not_radiate_gsm(self, network):
+        network.provision_phone("138", "cell-A", preferred_tech=RadioTech.LTE)
+        events = []
+        network.bus.subscribe(events.append)
+        network.deliver_sms("138", "hello", sender="svc")
+        assert events == []
+
+    def test_unprovisioned_number_is_undeliverable(self, network):
+        network.deliver_sms("000", "hello", sender="svc")
+        assert network.undeliverable == (("000", "hello"),)
+
+    def test_interceptor_swallows_delivery(self, network):
+        network.provision_phone("138", "cell-A", preferred_tech=RadioTech.GSM)
+        stolen = []
+        network.set_interceptor("138", lambda sender, text: stolen.append(text))
+        events = []
+        network.bus.subscribe(events.append)
+        network.deliver_sms("138", "secret", sender="svc")
+        assert stolen == ["secret"]
+        assert events == []  # nothing radiates; the victim sees nothing
+
+    def test_clear_interceptor_restores_delivery(self, network):
+        network.provision_phone("138", "cell-A", preferred_tech=RadioTech.GSM)
+        network.set_interceptor("138", lambda s, t: None)
+        network.clear_interceptor("138")
+        assert not network.is_intercepted("138")
+        events = []
+        network.bus.subscribe(events.append)
+        network.deliver_sms("138", "x", sender="svc")
+        assert len(events) == 2
+
+
+class TestPDU:
+    def test_roundtrip(self):
+        sender, text = "svc", "your code is 123456"
+        assert decode_pdu(encode_pdu(sender, text)) == (sender, text)
+
+    def test_text_with_separators_survives(self):
+        sender, text = "svc", "a|b|c"
+        assert decode_pdu(encode_pdu(sender, text)) == (sender, text)
+
+    def test_invalid_framing_rejected(self):
+        with pytest.raises(ValueError):
+            decode_pdu(b"garbage")

@@ -1,0 +1,189 @@
+"""Tests for the passive sniffer, the jammer and the active MitM rig."""
+
+import pytest
+
+from repro.telecom.cipher import CipherSuite, CrackModel
+from repro.telecom.jammer import FourGJammer
+from repro.telecom.mitm import ActiveMitM, MitMStep
+from repro.telecom.network import GSMNetwork, RadioTech
+from repro.telecom.sniffer import OsmocomSniffer
+from repro.utils.clock import Clock
+from repro.utils.rng import SeedSequence
+
+
+def make_network(cipher=CipherSuite.A5_0, arfcns=(512, 514, 516, 518)):
+    net = GSMNetwork(clock=Clock(), seeds=SeedSequence(9))
+    net.add_cell("cell-A", arfcns=arfcns, cipher=cipher)
+    net.add_cell("cell-B", arfcns=(700,), cipher=cipher)
+    return net
+
+
+class TestSnifferCapture:
+    def test_captures_plaintext_burst(self):
+        net = make_network()
+        net.provision_phone("138", "cell-A", preferred_tech=RadioTech.GSM)
+        sniffer = OsmocomSniffer(net, "cell-A", monitors=16)
+        sniffer.start()
+        net.deliver_sms("138", "your code is 123456", sender="svc")
+        assert sniffer.latest_code_from("svc") == "123456"
+
+    def test_out_of_cell_burst_not_captured(self):
+        """The paper's range limit: the rig must share the victim's cell."""
+        net = make_network()
+        net.provision_phone("138", "cell-B", preferred_tech=RadioTech.GSM)
+        sniffer = OsmocomSniffer(net, "cell-A", monitors=16)
+        sniffer.start()
+        net.deliver_sms("138", "your code is 123456", sender="svc")
+        assert sniffer.latest_code_from("svc") is None
+
+    def test_under_provisioned_rig_misses_dark_arfcns(self):
+        """Fewer C118s than ARFCNs leaves frequencies unmonitored."""
+        net = make_network()
+        net.provision_phone("138", "cell-A", preferred_tech=RadioTech.GSM)
+        sniffer = OsmocomSniffer(net, "cell-A", monitors=1)
+        sniffer.start()
+        for _ in range(30):
+            net.clock.advance(61)
+            net.deliver_sms("138", "your code is 111111", sender="svc")
+        stats = sniffer.stats
+        assert stats["missed_dark_arfcn"] > 0
+        assert stats["captured"] > 0
+
+    def test_encrypted_burst_requires_crack(self):
+        net = make_network(cipher=CipherSuite.A5_1)
+        net.provision_phone("138", "cell-A", preferred_tech=RadioTech.GSM)
+        sniffer = OsmocomSniffer(
+            net,
+            "cell-A",
+            monitors=16,
+            crack_model=CrackModel(success_probability=1.0, crack_seconds=30.0),
+        )
+        sniffer.start()
+        net.deliver_sms("138", "your code is 654321", sender="svc")
+        capture = sniffer.captures[0]
+        assert capture.was_encrypted
+        assert capture.available_at > capture.captured_at
+        assert capture.otp_code == "654321"
+
+    def test_failed_crack_is_a_miss(self):
+        net = make_network(cipher=CipherSuite.A5_1)
+        net.provision_phone("138", "cell-A", preferred_tech=RadioTech.GSM)
+        sniffer = OsmocomSniffer(
+            net,
+            "cell-A",
+            monitors=16,
+            crack_model=CrackModel(success_probability=0.0),
+        )
+        sniffer.start()
+        net.deliver_sms("138", "your code is 654321", sender="svc")
+        assert sniffer.captures == ()
+        assert sniffer.stats["missed_crack_failure"] == 1
+
+    def test_ready_by_deadline_filters_slow_cracks(self):
+        net = make_network(cipher=CipherSuite.A5_1)
+        net.provision_phone("138", "cell-A", preferred_tech=RadioTech.GSM)
+        sniffer = OsmocomSniffer(
+            net,
+            "cell-A",
+            monitors=16,
+            crack_model=CrackModel(success_probability=1.0, crack_seconds=1000.0),
+        )
+        sniffer.start()
+        net.deliver_sms("138", "your code is 654321", sender="svc")
+        assert sniffer.latest_code_from("svc", ready_by=300.0) is None
+        assert sniffer.latest_code_from("svc", ready_by=10_000.0) == "654321"
+
+    def test_stopped_sniffer_captures_nothing(self):
+        net = make_network()
+        net.provision_phone("138", "cell-A", preferred_tech=RadioTech.GSM)
+        sniffer = OsmocomSniffer(net, "cell-A", monitors=16)
+        sniffer.start()
+        sniffer.stop()
+        net.deliver_sms("138", "your code is 123456", sender="svc")
+        assert sniffer.captures == ()
+
+    def test_non_otp_messages_filtered_by_query(self):
+        net = make_network()
+        net.provision_phone("138", "cell-A", preferred_tech=RadioTech.GSM)
+        sniffer = OsmocomSniffer(net, "cell-A", monitors=16)
+        sniffer.start()
+        net.deliver_sms("138", "lunch at noon?", sender="friend")
+        assert sniffer.latest_code_from("friend") is None
+        assert len(sniffer.captures) == 1
+
+    def test_monitor_count_validated(self):
+        net = make_network()
+        with pytest.raises(ValueError):
+            OsmocomSniffer(net, "cell-A", monitors=0)
+
+
+class TestJammer:
+    def test_context_manager_activates_and_restores(self):
+        net = make_network()
+        net.provision_phone("138", "cell-A", preferred_tech=RadioTech.LTE)
+        jammer = FourGJammer(net, "cell-A")
+        with jammer:
+            assert net.effective_tech("138") is RadioTech.GSM
+            assert jammer.active
+        assert net.effective_tech("138") is RadioTech.LTE
+        assert not jammer.active
+
+
+class TestActiveMitM:
+    def test_fails_without_downgrade(self):
+        net = make_network()
+        net.provision_phone("138", "cell-A", preferred_tech=RadioTech.LTE)
+        outcome = ActiveMitM(net, "cell-A").execute("138")
+        assert not outcome.success
+        assert outcome.failed_step is MitMStep.FORCE_GSM_DOWNGRADE
+
+    def test_fails_out_of_cell(self):
+        net = make_network()
+        net.provision_phone("138", "cell-B", preferred_tech=RadioTech.GSM)
+        outcome = ActiveMitM(net, "cell-A").execute("138")
+        assert not outcome.success
+        assert "out of radio range" in outcome.transcript[0].detail
+
+    def test_fails_for_unknown_number(self):
+        net = make_network()
+        outcome = ActiveMitM(net, "cell-A").execute("000")
+        assert not outcome.success
+
+    def test_full_sequence_with_jammer(self):
+        net = make_network()
+        net.provision_phone("138", "cell-A", preferred_tech=RadioTech.LTE)
+        with FourGJammer(net, "cell-A"):
+            mitm = ActiveMitM(net, "cell-A")
+            outcome = mitm.execute("138")
+        assert outcome.success
+        steps = [record.step for record in outcome.transcript]
+        assert steps == list(MitMStep)  # the full Fig. 10 sequence, in order
+        assert outcome.imsi is not None
+        assert outcome.msisdn == "138"
+
+    def test_interception_swallows_victim_copy(self):
+        net = make_network()
+        net.provision_phone("138", "cell-A", preferred_tech=RadioTech.GSM)
+        mitm = ActiveMitM(net, "cell-A")
+        assert mitm.execute("138").success
+        radiated = []
+        net.bus.subscribe(radiated.append)
+        net.deliver_sms("138", "your code is 999999", sender="bank")
+        assert mitm.latest_code_from("bank") == "999999"
+        assert radiated == []  # covert: nothing for the victim or sniffers
+
+    def test_release_restores_delivery(self):
+        net = make_network()
+        net.provision_phone("138", "cell-A", preferred_tech=RadioTech.GSM)
+        mitm = ActiveMitM(net, "cell-A")
+        mitm.execute("138")
+        mitm.release()
+        assert not net.is_intercepted("138")
+
+    def test_transcript_timestamps_advance(self):
+        net = make_network()
+        net.provision_phone("138", "cell-A", preferred_tech=RadioTech.GSM)
+        outcome = ActiveMitM(net, "cell-A").execute("138")
+        times = [record.at for record in outcome.transcript]
+        assert times == sorted(times)
+        assert times[-1] > times[0]

@@ -1,0 +1,90 @@
+"""Unit tests for the clock, seeded RNG streams and table rendering."""
+
+import pytest
+
+from repro.utils.clock import Clock
+from repro.utils.rng import SeedSequence
+from repro.utils.tables import format_percent, format_table
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now() == 0.0
+
+    def test_advance(self):
+        clock = Clock()
+        clock.advance(5.0)
+        clock.tick()
+        assert clock.now() == 6.0
+
+    def test_backwards_rejected(self):
+        with pytest.raises(ValueError):
+            Clock().advance(-1.0)
+
+    def test_callbacks_fire_in_time_order(self):
+        clock = Clock()
+        fired = []
+        clock.call_at(3.0, lambda: fired.append("b"))
+        clock.call_at(1.0, lambda: fired.append("a"))
+        clock.call_after(5.0, lambda: fired.append("c"))
+        clock.advance(10.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_callback_sees_its_deadline_time(self):
+        clock = Clock()
+        seen = []
+        clock.call_at(2.0, lambda: seen.append(clock.now()))
+        clock.advance(10.0)
+        assert seen == [2.0]
+
+    def test_undue_callbacks_stay_pending(self):
+        clock = Clock()
+        clock.call_at(100.0, lambda: None)
+        clock.advance(1.0)
+        assert clock.pending_events == 1
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Clock().call_after(-1.0, lambda: None)
+
+
+class TestSeedSequence:
+    def test_same_name_same_stream(self):
+        assert (
+            SeedSequence(1).stream("x").random()
+            == SeedSequence(1).stream("x").random()
+        )
+
+    def test_different_names_differ(self):
+        root = SeedSequence(1)
+        assert root.stream("x").random() != root.stream("y").random()
+
+    def test_different_roots_differ(self):
+        assert (
+            SeedSequence(1).stream("x").random()
+            != SeedSequence(2).stream("x").random()
+        )
+
+    def test_child_sequences_are_stable(self):
+        a = SeedSequence(9).child("sub").derive("leaf")
+        b = SeedSequence(9).child("sub").derive("leaf")
+        assert a == b
+
+
+class TestTables:
+    def test_basic_alignment(self):
+        text = format_table(("a", "bb"), [("1", "2"), ("333", "4")])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert all(len(line) <= len(max(lines, key=len)) for line in lines)
+
+    def test_title_included(self):
+        assert format_table(("h",), [("x",)], title="T").startswith("T")
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [("only-one",)])
+
+    def test_format_percent(self):
+        assert format_percent(0.7413) == "74.13%"
+        assert format_percent(1.0, digits=0) == "100%"

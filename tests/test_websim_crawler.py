@@ -1,0 +1,111 @@
+"""Tests for the black-box ActFort probe."""
+
+import pytest
+
+from tests.conftest import make_path
+
+from repro.model.account import AuthPurpose as AP
+from repro.model.account import MaskSpec, ServiceProfile
+from repro.model.factors import CredentialFactor as CF
+from repro.model.factors import PersonalInfoKind as PI
+from repro.model.factors import Platform as PL
+from repro.websim.crawler import ActFortProbe
+from repro.websim.internet import Internet
+
+
+def deploy(profile):
+    net = Internet()
+    service = net.deploy(profile)
+    return net, service
+
+
+def rich_profile():
+    name = "probe_target"
+    return ServiceProfile(
+        name=name,
+        domain="travel",
+        auth_paths=(
+            make_path(name, PL.WEB, AP.SIGN_IN, CF.USERNAME, CF.PASSWORD),
+            make_path(name, PL.WEB, AP.SIGN_IN, CF.CELLPHONE_NUMBER, CF.SMS_CODE),
+            make_path(
+                name, PL.WEB, AP.PASSWORD_RESET, CF.CELLPHONE_NUMBER, CF.SMS_CODE
+            ),
+            make_path(name, PL.MOBILE, AP.SIGN_IN, CF.CELLPHONE_NUMBER, CF.SMS_CODE),
+        ),
+        exposed_info={
+            PL.WEB: frozenset({PI.REAL_NAME, PI.CITIZEN_ID}),
+            PL.MOBILE: frozenset({PI.REAL_NAME}),
+        },
+        mask_specs={
+            (PL.WEB, PI.CITIZEN_ID): MaskSpec(reveal_prefix=6, reveal_suffix=4)
+        },
+    )
+
+
+class TestProbe:
+    def test_observes_all_paths(self):
+        net, service = deploy(rich_profile())
+        observation = ActFortProbe(net).observe(service)
+        assert len(observation.paths) == 4
+        assert len(observation.paths_on(PL.WEB)) == 3
+        assert len(observation.paths_on(PL.WEB, AP.PASSWORD_RESET)) == 1
+
+    def test_verifies_both_platforms(self):
+        net, service = deploy(rich_profile())
+        observation = ActFortProbe(net).observe(service)
+        assert observation.verified_platforms == frozenset({PL.WEB, PL.MOBILE})
+
+    def test_records_exposure_per_platform(self):
+        net, service = deploy(rich_profile())
+        observation = ActFortProbe(net).observe(service)
+        assert observation.exposed[PL.WEB] == frozenset(
+            {PI.REAL_NAME, PI.CITIZEN_ID}
+        )
+        assert observation.exposed[PL.MOBILE] == frozenset({PI.REAL_NAME})
+
+    def test_records_observed_mask_positions(self):
+        net, service = deploy(rich_profile())
+        observation = ActFortProbe(net).observe(service)
+        positions = observation.observed_masks[(PL.WEB, PI.CITIZEN_ID)]
+        assert positions == frozenset(range(6)) | frozenset(range(14, 18))
+
+    def test_sms_only_service_probed_via_own_handset(self):
+        """The probe reads its own canary handset -- owner-side power."""
+        name = "smsonly"
+        profile = ServiceProfile(
+            name=name,
+            domain="media",
+            auth_paths=(
+                make_path(
+                    name, PL.WEB, AP.SIGN_IN, CF.CELLPHONE_NUMBER, CF.SMS_CODE
+                ),
+            ),
+            exposed_info={PL.WEB: frozenset({PI.REAL_NAME})},
+        )
+        net, service = deploy(profile)
+        observation = ActFortProbe(net).observe(service)
+        assert PL.WEB in observation.verified_platforms
+
+    def test_biometric_only_service_still_probed(self):
+        """The canary owns its device secrets, so unique paths verify."""
+        name = "biom"
+        profile = ServiceProfile(
+            name=name,
+            domain="fintech",
+            auth_paths=(
+                make_path(name, PL.WEB, AP.SIGN_IN, CF.FINGERPRINT),
+            ),
+            exposed_info={PL.WEB: frozenset({PI.REAL_NAME})},
+        )
+        net, service = deploy(profile)
+        observation = ActFortProbe(net).observe(service)
+        assert PL.WEB in observation.verified_platforms
+
+    def test_observe_all_covers_every_service(self):
+        net = Internet()
+        from tests.conftest import simple_profile
+
+        net.deploy(simple_profile(name="a"))
+        net.deploy(simple_profile(name="b"))
+        observations = ActFortProbe(net).observe_all()
+        assert {o.service for o in observations} == {"a", "b"}

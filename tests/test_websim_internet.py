@@ -1,0 +1,209 @@
+"""Unit tests for the internet fabric: channels, mailboxes, sessions."""
+
+import pytest
+
+from tests.conftest import make_path, simple_profile
+
+from repro.model.account import AuthPurpose as AP
+from repro.model.account import ServiceProfile
+from repro.model.factors import CredentialFactor as CF
+from repro.model.factors import PersonalInfoKind as PI
+from repro.model.factors import Platform as PL
+from repro.model.identity import IdentityGenerator
+from repro.websim.errors import InvalidSession
+from repro.websim.internet import Internet
+from repro.websim.sessions import SessionStore
+
+
+def email_provider_profile(name="mailco"):
+    return ServiceProfile(
+        name=name,
+        domain="email",
+        auth_paths=(
+            make_path(name, PL.WEB, AP.SIGN_IN, CF.USERNAME, CF.PASSWORD),
+            make_path(
+                name, PL.WEB, AP.PASSWORD_RESET, CF.CELLPHONE_NUMBER, CF.SMS_CODE
+            ),
+        ),
+        exposed_info={
+            PL.WEB: frozenset({PI.EMAIL_ADDRESS, PI.MAILBOX_ACCESS})
+        },
+    )
+
+
+@pytest.fixture()
+def net():
+    return Internet()
+
+
+class TestDeployment:
+    def test_duplicate_deploy_rejected(self, net):
+        net.deploy(simple_profile(name="a"))
+        with pytest.raises(ValueError):
+            net.deploy(simple_profile(name="a"))
+
+    def test_unknown_service_lookup(self, net):
+        with pytest.raises(KeyError):
+            net.service("ghost")
+
+    def test_enroll_everywhere(self, net):
+        net.deploy(simple_profile(name="a"))
+        net.deploy(simple_profile(name="b"))
+        victim = IdentityGenerator(1).generate()
+        net.enroll_everywhere(victim)
+        assert net.service("a").is_enrolled(victim.person_id)
+        assert net.service("b").is_enrolled(victim.person_id)
+
+
+class TestSMSChannel:
+    def test_loopback_delivers_to_handset(self, net):
+        net.send_sms("138", "hello", sender="svc")
+        messages = net.handset_messages("138")
+        assert messages[-1][1:] == ("svc", "hello")
+
+    def test_gateway_takes_over_delivery(self, net):
+        taps = []
+        net.set_sms_gateway(lambda phone, text, sender: taps.append(phone))
+        net.send_sms("138", "hello", sender="svc")
+        # The gateway owns final delivery; loopback no longer applies.
+        assert taps == ["138"]
+        assert net.handset_messages("138") == ()
+
+    def test_sms_counter(self, net):
+        net.send_sms("138", "a", sender="s")
+        net.send_sms("139", "b", sender="s")
+        assert net.sms_sent == 2
+
+
+class TestEmailChannel:
+    def _setup(self, net):
+        provider = net.deploy(email_provider_profile())
+        net.register_email_domain("mail.test", "mailco")
+        gen = IdentityGenerator(3)
+        victim = gen.generate()
+        # Pin the victim's address into the registered domain.
+        import dataclasses
+
+        victim = dataclasses.replace(
+            victim, email_address="victim@mail.test"
+        )
+        provider.enroll(victim, "pw")
+        return provider, victim
+
+    def test_mailbox_read_requires_owner_session(self, net):
+        provider, victim = self._setup(net)
+        net.send_email("victim@mail.test", "subj", "body", sender="svc")
+        session = provider.sign_in(
+            PL.WEB,
+            victim.person_id,
+            {CF.USERNAME: victim.person_id, CF.PASSWORD: "pw"},
+        )
+        messages = net.read_mailbox("victim@mail.test", session)
+        assert messages[-1].body == "body"
+
+    def test_foreign_session_rejected(self, net):
+        provider, victim = self._setup(net)
+        other = net.deploy(simple_profile(name="other"))
+        stranger = IdentityGenerator(4).generate()
+        other.enroll(stranger, "pw")
+        foreign = other.sign_in(
+            PL.WEB,
+            stranger.person_id,
+            {CF.USERNAME: stranger.person_id, CF.PASSWORD: "pw"},
+        )
+        with pytest.raises(InvalidSession):
+            net.read_mailbox("victim@mail.test", foreign)
+
+    def test_unregistered_domain_rejected(self, net):
+        provider, victim = self._setup(net)
+        session = provider.sign_in(
+            PL.WEB,
+            victim.person_id,
+            {CF.USERNAME: victim.person_id, CF.PASSWORD: "pw"},
+        )
+        with pytest.raises(InvalidSession):
+            net.read_mailbox("x@unknown.test", session)
+
+    def test_owner_reads_own_mailbox(self, net):
+        _provider, victim = self._setup(net)
+        net.send_email("victim@mail.test", "s", "b", sender="svc")
+        messages = net.read_own_mailbox("victim@mail.test", victim)
+        assert len(messages) == 1
+
+    def test_non_owner_identity_rejected(self, net):
+        self._setup(net)
+        stranger = IdentityGenerator(5).generate()
+        with pytest.raises(InvalidSession):
+            net.read_own_mailbox("victim@mail.test", stranger)
+
+    def test_email_domain_registration_requires_service(self, net):
+        with pytest.raises(KeyError):
+            net.register_email_domain("x.test", "ghost")
+
+    def test_provider_lookup(self, net):
+        self._setup(net)
+        assert net.email_provider_for("anyone@mail.test") == "mailco"
+        assert net.email_provider_for("anyone@elsewhere.test") is None
+
+
+class TestSessionStore:
+    def test_expired_session_rejected(self, net):
+        store = SessionStore("svc", net.clock, ttl=10.0)
+        session = store.issue("u1", PL.WEB)
+        net.clock.advance(11.0)
+        with pytest.raises(InvalidSession):
+            store.validate(session)
+
+    def test_forged_token_rejected(self, net):
+        import dataclasses
+
+        store = SessionStore("svc", net.clock)
+        session = store.issue("u1", PL.WEB)
+        forged = dataclasses.replace(session, person_id="u2")
+        with pytest.raises(InvalidSession):
+            store.validate(forged)
+
+    def test_revoke_all_for_person(self, net):
+        store = SessionStore("svc", net.clock)
+        a = store.issue("u1", PL.WEB)
+        b = store.issue("u1", PL.MOBILE)
+        c = store.issue("u2", PL.WEB)
+        assert store.revoke_all_for("u1") == 2
+        with pytest.raises(InvalidSession):
+            store.validate(a)
+        store.validate(c)
+
+    def test_active_count(self, net):
+        store = SessionStore("svc", net.clock, ttl=10.0)
+        store.issue("u1", PL.WEB)
+        net.clock.advance(11.0)
+        store.issue("u2", PL.WEB)
+        assert store.active_count == 1
+
+    def test_nonpositive_ttl_rejected(self, net):
+        with pytest.raises(ValueError):
+            SessionStore("svc", net.clock, ttl=0.0)
+
+
+class TestBindingRegistry:
+    def test_bind_and_lookup(self, net):
+        net.bindings.bind("u1", "expedia", "gmail")
+        assert net.bindings.providers_for("u1", "expedia") == frozenset(
+            {"gmail"}
+        )
+        assert net.bindings.relying_services_of("u1", "gmail") == frozenset(
+            {"expedia"}
+        )
+
+    def test_self_binding_rejected(self, net):
+        with pytest.raises(ValueError):
+            net.bindings.bind("u1", "gmail", "gmail")
+
+    def test_unbind(self, net):
+        net.bindings.bind("u1", "expedia", "gmail")
+        net.bindings.unbind("u1", "expedia", "gmail")
+        assert net.bindings.providers_for("u1", "expedia") == frozenset()
+        assert net.bindings.binding_count() == 0
+
+    def test_unbind_missing_is_noop(self, net):
+        net.bindings.unbind("u1", "expedia", "gmail")

@@ -1,0 +1,122 @@
+"""Unit tests for OTP issuance, expiry, rate limits and attempt budgets."""
+
+import pytest
+
+from repro.utils.clock import Clock
+from repro.websim.errors import OTPError, RateLimited
+from repro.websim.otp import OTPManager, OTPPolicy
+
+
+@pytest.fixture()
+def clock():
+    return Clock()
+
+
+@pytest.fixture()
+def manager(clock):
+    return OTPManager(clock, OTPPolicy(ttl=300.0, resend_interval=60.0))
+
+
+class TestPolicyValidation:
+    def test_too_few_digits_rejected(self):
+        with pytest.raises(ValueError):
+            OTPPolicy(digits=3)
+
+    def test_nonpositive_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            OTPPolicy(ttl=0)
+
+    def test_zero_attempts_rejected(self):
+        with pytest.raises(ValueError):
+            OTPPolicy(max_attempts=0)
+
+
+class TestIssueValidate:
+    def test_valid_code_accepted_once(self, manager):
+        code = manager.issue("13800000000", "password_reset")
+        manager.validate("13800000000", "password_reset", code)
+        with pytest.raises(OTPError):
+            manager.validate("13800000000", "password_reset", code)
+
+    def test_wrong_purpose_rejected(self, manager):
+        """A sign-in code cannot be replayed into a reset flow."""
+        code = manager.issue("13800000000", "sign_in")
+        with pytest.raises(OTPError):
+            manager.validate("13800000000", "password_reset", code)
+
+    def test_wrong_code_rejected(self, manager):
+        manager.issue("13800000000", "sign_in")
+        with pytest.raises(OTPError):
+            manager.validate("13800000000", "sign_in", "000000")
+
+    def test_expired_code_rejected(self, manager, clock):
+        code = manager.issue("13800000000", "sign_in")
+        clock.advance(301.0)
+        with pytest.raises(OTPError):
+            manager.validate("13800000000", "sign_in", code)
+
+    def test_code_has_policy_digits(self, manager):
+        code = manager.issue("13800000000", "sign_in")
+        assert len(code) == 6 and code.isdigit()
+
+    def test_reissue_replaces_previous(self, manager, clock):
+        first = manager.issue("13800000000", "sign_in")
+        clock.advance(61.0)
+        second = manager.issue("13800000000", "sign_in")
+        if first != second:
+            with pytest.raises(OTPError):
+                manager.validate("13800000000", "sign_in", first)
+        manager.validate("13800000000", "sign_in", second)
+
+
+class TestRateLimiting:
+    def test_rapid_reissue_rejected(self, manager):
+        manager.issue("13800000000", "sign_in")
+        with pytest.raises(RateLimited) as info:
+            manager.issue("13800000000", "sign_in")
+        assert info.value.retry_after > 0
+
+    def test_reissue_allowed_after_window(self, manager, clock):
+        manager.issue("13800000000", "sign_in")
+        clock.advance(60.0)
+        manager.issue("13800000000", "sign_in")
+
+    def test_rate_limit_is_per_destination(self, manager):
+        manager.issue("13800000000", "sign_in")
+        manager.issue("13900000000", "sign_in")
+
+
+class TestAttemptBudget:
+    def test_code_burns_after_max_attempts(self, clock):
+        manager = OTPManager(clock, OTPPolicy(max_attempts=2))
+        code = manager.issue("138", "sign_in")
+        with pytest.raises(OTPError):
+            manager.validate("138", "sign_in", "badbad")
+        with pytest.raises(OTPError):
+            manager.validate("138", "sign_in", "badbad")
+        # Even the right code is now dead.
+        with pytest.raises(OTPError):
+            manager.validate("138", "sign_in", code)
+
+
+class TestPeek:
+    def test_peek_does_not_consume(self, manager):
+        code = manager.issue("138", "sign_in")
+        assert manager.peek("138", "sign_in") == code
+        manager.validate("138", "sign_in", code)
+
+    def test_peek_expired_returns_none(self, manager, clock):
+        manager.issue("138", "sign_in")
+        clock.advance(500.0)
+        assert manager.peek("138", "sign_in") is None
+
+    def test_has_active(self, manager):
+        assert not manager.has_active("138", "sign_in")
+        manager.issue("138", "sign_in")
+        assert manager.has_active("138", "sign_in")
+
+    def test_issued_count(self, manager, clock):
+        manager.issue("138", "sign_in")
+        clock.advance(61)
+        manager.issue("138", "sign_in")
+        assert manager.issued_count == 2

@@ -1,0 +1,382 @@
+"""Unit tests for the simulated service state machines."""
+
+import pytest
+
+from tests.conftest import make_path
+
+from repro.model.account import AuthPurpose as AP
+from repro.model.account import MaskSpec, ServiceProfile
+from repro.model.factors import CredentialFactor as CF
+from repro.model.factors import PersonalInfoKind as PI
+from repro.model.factors import Platform as PL
+from repro.model.identity import IdentityGenerator
+from repro.websim.errors import (
+    AccountLocked,
+    FactorMismatch,
+    InvalidSession,
+    MissingFactor,
+    OTPError,
+    UnknownHandle,
+    UnknownPath,
+)
+from repro.websim.internet import Internet
+from repro.websim.service import device_secret
+
+
+def build_service(extra_paths=(), exposed=None, masks=None, name="svc"):
+    paths = (
+        make_path(name, PL.WEB, AP.SIGN_IN, CF.USERNAME, CF.PASSWORD),
+        make_path(name, PL.WEB, AP.PASSWORD_RESET, CF.CELLPHONE_NUMBER, CF.SMS_CODE),
+    ) + tuple(extra_paths)
+    profile = ServiceProfile(
+        name=name,
+        domain="media",
+        auth_paths=paths,
+        exposed_info={
+            PL.WEB: frozenset(
+                exposed
+                if exposed is not None
+                else {PI.REAL_NAME, PI.CITIZEN_ID, PI.CELLPHONE_NUMBER}
+            )
+        },
+        mask_specs=masks or {},
+    )
+    internet = Internet()
+    service = internet.deploy(profile)
+    return internet, service
+
+
+@pytest.fixture()
+def victim():
+    return IdentityGenerator(seed=11).generate()
+
+
+def read_code(internet, phone, sender):
+    import re
+
+    for _at, msg_sender, text in reversed(internet.handset_messages(phone)):
+        if msg_sender == sender:
+            return re.search(r"code is (\d+)", text).group(1)
+    raise AssertionError("no code delivered")
+
+
+class TestEnrollment:
+    def test_double_enrollment_rejected(self, victim):
+        _net, service = build_service()
+        service.enroll(victim, "pw")
+        with pytest.raises(ValueError):
+            service.enroll(victim, "pw")
+
+    def test_handles_resolve(self, victim):
+        _net, service = build_service()
+        service.enroll(victim, "pw")
+        for handle in (
+            victim.person_id,
+            victim.cellphone_number,
+            victim.email_address,
+        ):
+            session = service.sign_in(
+                PL.WEB, handle, {CF.USERNAME: victim.person_id, CF.PASSWORD: "pw"}
+            )
+            assert session.person_id == victim.person_id
+
+    def test_unknown_handle_rejected(self):
+        _net, service = build_service()
+        with pytest.raises(UnknownHandle):
+            service.sign_in(PL.WEB, "nobody", {})
+
+
+class TestSignIn:
+    def test_password_sign_in(self, victim):
+        _net, service = build_service()
+        service.enroll(victim, "pw")
+        session = service.sign_in(
+            PL.WEB,
+            victim.person_id,
+            {CF.USERNAME: victim.person_id, CF.PASSWORD: "pw"},
+        )
+        assert service.validate_session(session)
+
+    def test_wrong_password_rejected(self, victim):
+        _net, service = build_service()
+        service.enroll(victim, "pw")
+        with pytest.raises(FactorMismatch):
+            service.sign_in(
+                PL.WEB,
+                victim.person_id,
+                {CF.USERNAME: victim.person_id, CF.PASSWORD: "wrong"},
+            )
+
+    def test_missing_factor_reported(self, victim):
+        _net, service = build_service()
+        service.enroll(victim, "pw")
+        with pytest.raises(MissingFactor):
+            service.sign_in(PL.WEB, victim.person_id, {CF.USERNAME: victim.person_id})
+
+    def test_unknown_platform_rejected(self, victim):
+        _net, service = build_service()
+        service.enroll(victim, "pw")
+        with pytest.raises(UnknownPath):
+            service.sign_in(PL.MOBILE, victim.person_id, {CF.PASSWORD: "pw"})
+
+
+class TestSMSReset:
+    def test_reset_with_intercepted_code(self, victim):
+        net, service = build_service()
+        service.enroll(victim, "pw")
+        service.request_otp(
+            victim.cellphone_number, CF.SMS_CODE, AP.PASSWORD_RESET
+        )
+        code = read_code(net, victim.cellphone_number, "svc")
+        session = service.reset_password(
+            PL.WEB,
+            victim.cellphone_number,
+            {CF.CELLPHONE_NUMBER: victim.cellphone_number, CF.SMS_CODE: code},
+            "new-pw",
+        )
+        assert service.validate_session(session)
+        # Old password no longer works; new one does.
+        with pytest.raises(FactorMismatch):
+            service.sign_in(
+                PL.WEB,
+                victim.person_id,
+                {CF.USERNAME: victim.person_id, CF.PASSWORD: "pw"},
+            )
+        service.sign_in(
+            PL.WEB,
+            victim.person_id,
+            {CF.USERNAME: victim.person_id, CF.PASSWORD: "new-pw"},
+        )
+
+    def test_reset_revokes_existing_sessions(self, victim):
+        net, service = build_service()
+        service.enroll(victim, "pw")
+        old_session = service.sign_in(
+            PL.WEB,
+            victim.person_id,
+            {CF.USERNAME: victim.person_id, CF.PASSWORD: "pw"},
+        )
+        service.request_otp(
+            victim.cellphone_number, CF.SMS_CODE, AP.PASSWORD_RESET
+        )
+        code = read_code(net, victim.cellphone_number, "svc")
+        service.reset_password(
+            PL.WEB,
+            victim.cellphone_number,
+            {CF.CELLPHONE_NUMBER: victim.cellphone_number, CF.SMS_CODE: code},
+            "new-pw",
+        )
+        with pytest.raises(InvalidSession):
+            service.validate_session(old_session)
+
+    def test_signin_code_rejected_for_reset(self, victim):
+        """Purpose separation: a sign-in code cannot reset the password."""
+        net, service = build_service()
+        service.enroll(victim, "pw")
+        service.request_otp(victim.cellphone_number, CF.SMS_CODE, AP.SIGN_IN)
+        code = read_code(net, victim.cellphone_number, "svc")
+        with pytest.raises(OTPError):
+            service.reset_password(
+                PL.WEB,
+                victim.cellphone_number,
+                {
+                    CF.CELLPHONE_NUMBER: victim.cellphone_number,
+                    CF.SMS_CODE: code,
+                },
+                "x",
+            )
+
+
+class TestLocking:
+    def test_account_locks_after_repeated_reset_failures(self, victim):
+        net, service = build_service()
+        service.enroll(victim, "pw")
+        for _ in range(10):
+            with pytest.raises((FactorMismatch, OTPError, AccountLocked)):
+                service.reset_password(
+                    PL.WEB,
+                    victim.cellphone_number,
+                    {
+                        CF.CELLPHONE_NUMBER: victim.cellphone_number,
+                        CF.SMS_CODE: "000000",
+                    },
+                    "x",
+                )
+        with pytest.raises(AccountLocked):
+            service.reset_password(
+                PL.WEB,
+                victim.cellphone_number,
+                {
+                    CF.CELLPHONE_NUMBER: victim.cellphone_number,
+                    CF.SMS_CODE: "000000",
+                },
+                "x",
+            )
+
+
+class TestKnowledgeFactors:
+    def test_citizen_id_path(self, victim):
+        net, service = build_service(
+            extra_paths=(
+                make_path(
+                    "svc", PL.WEB, AP.PASSWORD_RESET, CF.CITIZEN_ID, CF.SMS_CODE
+                ),
+            )
+        )
+        service.enroll(victim, "pw")
+        service.request_otp(
+            victim.cellphone_number, CF.SMS_CODE, AP.PASSWORD_RESET
+        )
+        code = read_code(net, victim.cellphone_number, "svc")
+        session = service.reset_password(
+            PL.WEB,
+            victim.cellphone_number,
+            {CF.CITIZEN_ID: victim.citizen_id, CF.SMS_CODE: code},
+            "x",
+        )
+        assert session is not None
+
+    def test_wrong_citizen_id_rejected(self, victim):
+        net, service = build_service(
+            extra_paths=(
+                make_path(
+                    "svc", PL.WEB, AP.PASSWORD_RESET, CF.CITIZEN_ID, CF.SMS_CODE
+                ),
+            )
+        )
+        service.enroll(victim, "pw")
+        service.request_otp(
+            victim.cellphone_number, CF.SMS_CODE, AP.PASSWORD_RESET
+        )
+        code = read_code(net, victim.cellphone_number, "svc")
+        with pytest.raises(FactorMismatch):
+            service.reset_password(
+                PL.WEB,
+                victim.cellphone_number,
+                {CF.CITIZEN_ID: "0" * 18, CF.SMS_CODE: code},
+                "x",
+            )
+
+
+class TestRobustFactors:
+    def test_device_secret_accepted(self, victim):
+        _net, service = build_service(
+            extra_paths=(
+                make_path("svc", PL.WEB, AP.SIGN_IN, CF.FINGERPRINT),
+            )
+        )
+        service.enroll(victim, "pw")
+        secret = device_secret(victim.person_id, CF.FINGERPRINT)
+        session = service.sign_in(
+            PL.WEB, victim.person_id, {CF.FINGERPRINT: secret}
+        )
+        assert session is not None
+
+    def test_forged_biometric_rejected(self, victim):
+        _net, service = build_service(
+            extra_paths=(
+                make_path("svc", PL.WEB, AP.SIGN_IN, CF.FINGERPRINT),
+            )
+        )
+        service.enroll(victim, "pw")
+        with pytest.raises(FactorMismatch):
+            service.sign_in(
+                PL.WEB, victim.person_id, {CF.FINGERPRINT: "fake-finger"}
+            )
+
+
+class TestCustomerService:
+    def _cs_service(self):
+        return build_service(
+            extra_paths=(
+                make_path("svc", PL.WEB, AP.PASSWORD_RESET, CF.CUSTOMER_SERVICE),
+            )
+        )
+
+    def test_dossier_with_three_facts_accepted(self, victim):
+        _net, service = self._cs_service()
+        service.enroll(victim, "pw")
+        dossier = {
+            PI.REAL_NAME: victim.real_name,
+            PI.CITIZEN_ID: victim.citizen_id,
+            PI.ADDRESS: victim.address,
+        }
+        session = service.reset_password(
+            PL.WEB,
+            victim.cellphone_number,
+            {CF.CUSTOMER_SERVICE: dossier},
+            "x",
+        )
+        assert session is not None
+
+    def test_thin_dossier_rejected(self, victim):
+        _net, service = self._cs_service()
+        service.enroll(victim, "pw")
+        with pytest.raises(FactorMismatch):
+            service.reset_password(
+                PL.WEB,
+                victim.cellphone_number,
+                {CF.CUSTOMER_SERVICE: {PI.REAL_NAME: victim.real_name}},
+                "x",
+            )
+
+    def test_wrong_facts_rejected(self, victim):
+        _net, service = self._cs_service()
+        service.enroll(victim, "pw")
+        dossier = {
+            PI.REAL_NAME: "Wrong Name",
+            PI.CITIZEN_ID: "0" * 18,
+            PI.ADDRESS: "nowhere",
+        }
+        with pytest.raises(FactorMismatch):
+            service.reset_password(
+                PL.WEB,
+                victim.cellphone_number,
+                {CF.CUSTOMER_SERVICE: dossier},
+                "x",
+            )
+
+
+class TestProfilePageAndPayments:
+    def test_profile_page_masks_citizen_id(self, victim):
+        _net, service = build_service(
+            masks={(PL.WEB, PI.CITIZEN_ID): MaskSpec(reveal_prefix=6)}
+        )
+        service.enroll(victim, "pw")
+        session = service.sign_in(
+            PL.WEB,
+            victim.person_id,
+            {CF.USERNAME: victim.person_id, CF.PASSWORD: "pw"},
+        )
+        page = service.profile_page(session, PL.WEB)
+        assert PI.CITIZEN_ID in page.masked_views()
+        assert PI.REAL_NAME in page.complete_values()
+
+    def test_profile_page_requires_live_session(self, victim):
+        _net, service = build_service()
+        service.enroll(victim, "pw")
+        with pytest.raises(InvalidSession):
+            service.profile_page(None, PL.WEB)
+
+    def test_payment_requires_valid_session(self, victim):
+        _net, service = build_service()
+        service.enroll(victim, "pw")
+        session = service.sign_in(
+            PL.WEB,
+            victim.person_id,
+            {CF.USERNAME: victim.person_id, CF.PASSWORD: "pw"},
+        )
+        receipt = service.authorize_payment(session, 10.0)
+        assert receipt.startswith("receipt-svc-")
+        assert service.payments == ((victim.person_id, 10.0),)
+
+    def test_nonpositive_payment_rejected(self, victim):
+        _net, service = build_service()
+        service.enroll(victim, "pw")
+        session = service.sign_in(
+            PL.WEB,
+            victim.person_id,
+            {CF.USERNAME: victim.person_id, CF.PASSWORD: "pw"},
+        )
+        with pytest.raises(ValueError):
+            service.authorize_payment(session, 0.0)
