@@ -1,56 +1,125 @@
 """Scalability of the ActFort pipeline (supports the paper's future-work
 note about automating measurement of larger ecosystems).
 
-Sweeps the ecosystem size and reports the wall time of the full analysis
-(stages 1-4 including dependency levels) per size; the benchmarked payload
-is the paper-scale 201-service analysis.
+Sweeps the ecosystem size and times the dependency-level analysis (the
+paper's Section IV-B payload) under **both** TDG engines:
+
+- *old*: :class:`repro.core.reference.ReferenceTDG`, the seed's brute-force
+  all-pairs scans, kept as the differential-testing oracle;
+- *new*: the indexed :class:`repro.core.tdg.TransformationDependencyGraph`.
+
+The old engine is swept up to the paper-doubling 402 tier; the indexed
+engine additionally runs a 1000-service tier the seed could not touch
+interactively.  Timings are printed as a table and written as
+machine-readable JSON to ``BENCH_scaling.json`` at the repo root for the
+``BENCH_*.json`` trajectory.
 """
 
+import json
+import pathlib
 import time
 
 from repro.catalog.builder import CatalogBuilder
 from repro.catalog.spec import CatalogSpec
-from repro.core import ActFort
+from repro.core.reference import ReferenceTDG
+from repro.core.tdg import TransformationDependencyGraph
+from repro.model.attacker import AttackerProfile
 from repro.model.factors import Platform
 from repro.utils.tables import format_table
 
+#: Sizes both engines run; the seed's quadratic-to-cubic scans stay
+#: tolerable up to the 402 doubling tier.
+COMPARED_SIZES = (51, 101, 201, 402)
 
-def _analyze(ecosystem) -> None:
-    analyzer = ActFort.from_ecosystem(ecosystem)
-    analyzer.tdg().level_fractions(Platform.WEB)
-    analyzer.potential_victims()
+#: Indexed-engine-only tier (the reference needs minutes there).
+NEW_ONLY_SIZES = (1000,)
+
+#: The 402-tier acceptance floor for the refactor.
+REQUIRED_SPEEDUP_402 = 3.0
+
+JSON_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_scaling.json"
+
+
+def _build_nodes(size):
+    spec = CatalogSpec(total_services=size)
+    ecosystem = CatalogBuilder(spec, seed=2021).build_ecosystem()
+    return tuple(
+        TransformationDependencyGraph.node_from_profile(p) for p in ecosystem
+    )
+
+
+def _payload(graph):
+    """The benchmarked analysis: Section IV-B dependency levels."""
+    graph.level_fractions(Platform.WEB)
+
+
+def _time_engine(engine_cls, nodes):
+    graph = engine_cls(nodes, AttackerProfile.baseline())
+    start = time.perf_counter()
+    _payload(graph)
+    return time.perf_counter() - start
 
 
 def test_bench_actfort_scaling(benchmark):
-    sizes = (51, 101, 201, 402)
-    ecosystems = {}
-    for size in sizes:
-        spec = CatalogSpec(total_services=size)
-        ecosystems[size] = CatalogBuilder(spec, seed=2021).build_ecosystem()
+    all_sizes = COMPARED_SIZES + NEW_ONLY_SIZES
+    nodes_by_size = {size: _build_nodes(size) for size in all_sizes}
 
     benchmark.pedantic(
-        lambda: _analyze(ecosystems[201]), rounds=3, iterations=1
+        lambda: _payload(
+            TransformationDependencyGraph(
+                nodes_by_size[201], AttackerProfile.baseline()
+            )
+        ),
+        rounds=3,
+        iterations=1,
     )
 
+    old_seconds = {}
+    new_seconds = {}
+    for size in COMPARED_SIZES:
+        old_seconds[size] = _time_engine(ReferenceTDG, nodes_by_size[size])
+    for size in all_sizes:
+        new_seconds[size] = _time_engine(
+            TransformationDependencyGraph, nodes_by_size[size]
+        )
+
     rows = []
-    timings = {}
-    for size in sizes:
-        start = time.perf_counter()
-        _analyze(ecosystems[size])
-        elapsed = time.perf_counter() - start
-        timings[size] = elapsed
-        rows.append((size, f"{elapsed:.2f}s"))
+    speedup = {}
+    for size in all_sizes:
+        old = old_seconds.get(size)
+        new = new_seconds[size]
+        if old is not None:
+            speedup[size] = old / new if new > 0 else float("inf")
+        rows.append(
+            (
+                size,
+                f"{old:.3f}s" if old is not None else "-",
+                f"{new:.3f}s",
+                f"{speedup[size]:.1f}x" if size in speedup else "-",
+            )
+        )
     print(
         "\n"
         + format_table(
-            ("services", "full ActFort analysis"),
+            ("services", "old (reference)", "new (indexed)", "speedup"),
             rows,
-            title="ActFort scaling (stages 1-4 + dependency levels)",
+            title="TDG dependency-level analysis, old vs new engine",
         )
     )
-    benchmark.extra_info["timings"] = {str(k): v for k, v in timings.items()}
 
-    # Paper-scale analysis completes in interactive time, and the growth
-    # from 51 to 402 services stays well under cubic.
-    assert timings[201] < 30.0
-    assert timings[402] < 64.0 * timings[51] + 1.0
+    payload = {
+        "payload": "dependency-level fractions (web), baseline attacker",
+        "sizes": list(all_sizes),
+        "old_seconds": {str(k): v for k, v in old_seconds.items()},
+        "new_seconds": {str(k): v for k, v in new_seconds.items()},
+        "speedup": {str(k): v for k, v in speedup.items()},
+    }
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    benchmark.extra_info["scaling"] = payload
+
+    # Acceptance: the indexed engine is >= 3x the seed at the 402 tier, the
+    # paper-scale analysis stays interactive, and the new 1000-service tier
+    # completes in interactive time at all.
+    assert speedup[402] >= REQUIRED_SPEEDUP_402, speedup
+    assert new_seconds[201] < 30.0
+    assert new_seconds[1000] < 30.0

@@ -24,6 +24,25 @@ Quickstart::
     actfort = ActFort.from_ecosystem(deployed.ecosystem)
     chain = actfort.attack_chain("alipay")
     print(chain.describe())
+
+The Transformation Dependency Graph runs on an inverted-index engine
+(:mod:`repro.core.index`): factor->provider and info-kind->holder indexes
+are precomputed per ecosystem, and parent/couple/dependency-level queries
+are memoized, so paper-scale (201-service) analysis completes in
+milliseconds and 1000-service ecosystems stay interactive.  To sweep
+several attacker profiles over one ecosystem, share the indexes with the
+batch API instead of rebuilding per profile::
+
+    from repro import ActFort, AttackerProfile, build_default_ecosystem
+
+    base = ActFort.from_ecosystem(build_default_ecosystem())
+    profiles = [AttackerProfile.baseline(), AttackerProfile.with_se_database()]
+    for analyzer in base.batch(profiles):
+        print(analyzer.attacker, len(analyzer.potential_victims().compromised))
+
+The seed's brute-force engine is preserved in :mod:`repro.core.reference`
+as the differential-testing oracle; ``tests/test_tdg_equivalence.py`` locks
+the indexed engine to it bit-for-bit.
 """
 
 from repro.model import (

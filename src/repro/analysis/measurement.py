@@ -9,7 +9,7 @@ tests) -- and aggregates every statistic the paper reports.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Mapping, Optional
+from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 from repro.core.actfort import ActFort
 from repro.core.authproc import aggregate_path_statistics
@@ -77,6 +77,23 @@ class MeasurementStudy:
     def run_actfort(self, actfort: ActFort) -> MeasurementResults:
         """Aggregate a pre-built ActFort instance."""
         return self._aggregate(actfort)
+
+    def run_batch(
+        self,
+        ecosystem: Ecosystem,
+        attackers: Iterable[AttackerProfile],
+    ) -> Tuple[MeasurementResults, ...]:
+        """Measure several attacker profiles over one ecosystem at once.
+
+        Stage-1/2 reports and the attacker-independent ecosystem index are
+        computed a single time and shared across the profiles via
+        :meth:`ActFort.batch`; only the per-profile graph views differ.
+        Results are returned in the order of ``attackers``.
+        """
+        base = ActFort.from_ecosystem(ecosystem, attacker=self._attacker)
+        return tuple(
+            self._aggregate(clone) for clone in base.batch(attackers)
+        )
 
     def _aggregate(self, actfort: ActFort) -> MeasurementResults:
         auth_reports = actfort.auth_reports

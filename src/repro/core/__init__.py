@@ -18,10 +18,23 @@ Four stages, mirroring Fig. 2's flowchart:
    phone + SMS code).
 
 :mod:`repro.core.actfort` wires the stages into one facade.
+
+Stage 3 runs on the inverted-index engine of :mod:`repro.core.index`:
+an attacker-independent :class:`~repro.core.index.EcosystemIndex`
+(info kind -> holders, masked-view holders per maskable factor) plus a
+per-profile :class:`~repro.core.index.AttackerIndex` (credential factor ->
+providers), with path coverages and dependency-level fixpoints memoized
+per graph.  ``TransformationDependencyGraph.analyze_many`` and
+``ActFort.batch`` share one ecosystem index across many attacker profiles
+for measurement sweeps and defense ablations.  The seed's brute-force
+scanning engine survives verbatim in :mod:`repro.core.reference` as the
+differential-testing oracle (``tests/test_tdg_equivalence.py``).
 """
 
 from repro.core.authproc import AuthenticationProcess, AuthFlow, AuthFlowNode, ServiceAuthReport
 from repro.core.collection import CollectionReport, PersonalInfoCollection
+from repro.core.index import AttackerIndex, EcosystemIndex
+from repro.core.reference import ReferenceTDG
 from repro.core.tdg import (
     CoupleRecord,
     DependencyLevel,
@@ -41,6 +54,7 @@ __all__ = [
     "ActFort",
     "ActFortReport",
     "AttackChain",
+    "AttackerIndex",
     "AuthFlow",
     "AuthFlowNode",
     "AuthenticationProcess",
@@ -48,9 +62,11 @@ __all__ = [
     "CollectionReport",
     "CoupleRecord",
     "DependencyLevel",
+    "EcosystemIndex",
     "ForwardClosureResult",
     "PathCoverage",
     "PersonalInfoCollection",
+    "ReferenceTDG",
     "ServiceAuthReport",
     "StrategyEngine",
     "TDGNode",

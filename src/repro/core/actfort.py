@@ -16,7 +16,7 @@ strategy engine are derived.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 from repro.core.authproc import AuthenticationProcess, ServiceAuthReport
 from repro.core.collection import CollectionReport, PersonalInfoCollection
@@ -164,3 +164,29 @@ class ActFort:
     def with_attacker(self, attacker: AttackerProfile) -> "ActFort":
         """Re-analyze the same reports under a different attacker profile."""
         return ActFort(self._auth_reports, self._collection_reports, attacker)
+
+    def batch(
+        self, attackers: Iterable[AttackerProfile]
+    ) -> Tuple["ActFort", ...]:
+        """One analyzer per attacker profile over shared indexes.
+
+        The stage-1/2 reports, the TDG node set and the attacker-independent
+        ecosystem index are computed once and shared; each returned analyzer
+        carries a pre-built graph that only adds its per-profile
+        factor->provider view.  This is the batch entry point the
+        measurement study and the defense evaluation use to sweep attacker
+        profiles without rebuilding the pipeline per profile.
+        """
+        profiles = tuple(attackers)
+        nodes = TransformationDependencyGraph.nodes_from_reports(
+            self._auth_reports, self._collection_reports
+        )
+        graphs = TransformationDependencyGraph.analyze_many(nodes, profiles)
+        clones = []
+        for attacker, graph in zip(profiles, graphs):
+            clone = ActFort(
+                self._auth_reports, self._collection_reports, attacker
+            )
+            clone._tdg = graph
+            clones.append(clone)
+        return tuple(clones)

@@ -1,0 +1,269 @@
+"""Inverted indexes over a TDG node set -- the indexed TDG engine.
+
+The seed implementation of :mod:`repro.core.tdg` answered every
+"who can provide factor F?" question by rescanning all nodes, which made
+Transformation Dependency Graph construction quadratic-to-cubic in
+ecosystem size.  This module precomputes the two inversions the graph
+queries over and over:
+
+- :class:`EcosystemIndex` -- **attacker-independent** structure: for each
+  personal-information kind, which services expose it in full
+  (``holders_of``); for each maskable credential factor, which services
+  hold a partial (masked) view and which character positions each view
+  reveals (Insight 4's combining inputs); which services can feed a
+  customer-service dossier; which services yield mailbox access.
+- :class:`AttackerIndex` -- one **per attacker profile**: for each
+  credential factor, the exact set (and insertion-ordered tuple) of
+  services that provide it under that profile's capabilities.  The
+  provider semantics are bit-for-bit those of
+  :meth:`~repro.core.tdg.TransformationDependencyGraph.provides`; the
+  differential suite in ``tests/test_tdg_equivalence.py`` locks the
+  equivalence against the brute-force reference.
+
+One :class:`EcosystemIndex` can back many :class:`AttackerIndex` views,
+which is what the batch APIs (``TransformationDependencyGraph.analyze_many``,
+``ActFort.batch``) exploit: the measurement study and the defense
+evaluation analyze several attacker profiles over shared indexes instead
+of rebuilding per profile.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Tuple,
+)
+
+from repro.model.attacker import AttackerCapability, AttackerProfile
+from repro.model.factors import (
+    CredentialFactor,
+    PersonalInfoKind,
+    info_satisfying_factor,
+    is_robust_factor,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.tdg import TDGNode
+
+#: Facts that can convince a customer-service agent (Case III's web path).
+DOSSIER_KINDS: FrozenSet[PersonalInfoKind] = frozenset(
+    {
+        PersonalInfoKind.REAL_NAME,
+        PersonalInfoKind.CITIZEN_ID,
+        PersonalInfoKind.ADDRESS,
+        PersonalInfoKind.CELLPHONE_NUMBER,
+        PersonalInfoKind.EMAIL_ADDRESS,
+        PersonalInfoKind.BANKCARD_NUMBER,
+        PersonalInfoKind.ACQUAINTANCE_NAME,
+        PersonalInfoKind.ORDER_HISTORY,
+    }
+)
+
+#: Number of correct dossier facts a human agent demands.
+DOSSIER_THRESHOLD = 3
+
+#: Maskable credential factors: the info kind whose partial (masked) views
+#: can be combined across providers to reconstruct the value (Insight 4),
+#: plus the canonical value length the union must cover.
+MASKABLE_FACTORS: Mapping[CredentialFactor, Tuple[PersonalInfoKind, int]] = {
+    CredentialFactor.CITIZEN_ID: (PersonalInfoKind.CITIZEN_ID, 18),
+    CredentialFactor.BANKCARD_NUMBER: (PersonalInfoKind.BANKCARD_NUMBER, 16),
+}
+
+
+class EcosystemIndex:
+    """Attacker-independent inverted indexes over one node set.
+
+    Node order is preserved everywhere (tuples follow the graph's insertion
+    order) so that indexed queries enumerate providers in exactly the order
+    the seed's linear scans did.
+    """
+
+    def __init__(self, nodes: Mapping[str, "TDGNode"]) -> None:
+        self.names: Tuple[str, ...] = tuple(nodes)
+        self.name_set: FrozenSet[str] = frozenset(nodes)
+
+        holders: Dict[PersonalInfoKind, List[str]] = {}
+        dossier: List[str] = []
+        for name, node in nodes.items():
+            for kind in node.pia:
+                holders.setdefault(kind, []).append(name)
+            if len(node.pia & DOSSIER_KINDS) >= DOSSIER_THRESHOLD:
+                dossier.append(name)
+        #: kind -> insertion-ordered holders exposing it in full.
+        self.holders_of: Dict[PersonalInfoKind, Tuple[str, ...]] = {
+            kind: tuple(names) for kind, names in holders.items()
+        }
+        self._holder_sets: Dict[PersonalInfoKind, FrozenSet[str]] = {
+            kind: frozenset(names) for kind, names in holders.items()
+        }
+        #: Services whose PIA clears the customer-service dossier bar.
+        self.dossier_holders: FrozenSet[str] = frozenset(dossier)
+        self._dossier_ordered: Tuple[str, ...] = tuple(dossier)
+
+        # Partial (masked) views per maskable factor, in insertion order.
+        partial: Dict[
+            CredentialFactor, List[Tuple[str, FrozenSet[int]]]
+        ] = {factor: [] for factor in MASKABLE_FACTORS}
+        for name, node in nodes.items():
+            for factor, (kind, _length) in MASKABLE_FACTORS.items():
+                positions = node.pia_partial.get(kind, frozenset())
+                if positions:
+                    partial[factor].append((name, positions))
+        #: factor -> ((service, revealed positions), ...) for every service
+        #: holding a non-empty masked view of the factor's value.
+        self.partial_holders: Dict[
+            CredentialFactor, Tuple[Tuple[str, FrozenSet[int]], ...]
+        ] = {factor: tuple(views) for factor, views in partial.items()}
+        self.partial_by_service: Dict[
+            CredentialFactor, Dict[str, FrozenSet[int]]
+        ] = {
+            factor: dict(views) for factor, views in partial.items()
+        }
+        # Combinability-excluding-one-service in O(1): a position is lost by
+        # excluding service ``s`` only if ``s`` is its sole holder.
+        self._partial_union: Dict[CredentialFactor, FrozenSet[int]] = {}
+        self._unique_coverage: Dict[CredentialFactor, Dict[str, int]] = {}
+        for factor, views in partial.items():
+            counts: Dict[int, int] = {}
+            for _name, positions in views:
+                for position in positions:
+                    counts[position] = counts.get(position, 0) + 1
+            self._partial_union[factor] = frozenset(counts)
+            unique: Dict[str, int] = {}
+            for name, positions in views:
+                only_here = sum(1 for p in positions if counts[p] == 1)
+                if only_here:
+                    unique[name] = only_here
+            self._unique_coverage[factor] = unique
+
+    def holder_set(self, kind: PersonalInfoKind) -> FrozenSet[str]:
+        """Services exposing ``kind`` in full."""
+        return self._holder_sets.get(kind, frozenset())
+
+    def combinable_excluding(
+        self, factor: CredentialFactor, excluded: str
+    ) -> bool:
+        """Whether masked views pooled from *every* node except ``excluded``
+        reconstruct ``factor``'s full value (Insight 4 over the whole graph)."""
+        maskable = MASKABLE_FACTORS.get(factor)
+        if maskable is None:
+            return False
+        _kind, length = maskable
+        union = self._partial_union[factor]
+        lost = self._unique_coverage[factor].get(excluded, 0)
+        return len(union) - lost >= length
+
+    def view(self, attacker: AttackerProfile) -> "AttackerIndex":
+        """Build the per-profile factor->provider index."""
+        return AttackerIndex(self, attacker)
+
+
+class AttackerIndex:
+    """factor -> providers, resolved under one attacker profile.
+
+    ``LINKED_ACCOUNT`` is the one path-dependent factor (the accepted
+    identity providers are a property of the path); it is resolved lazily in
+    :meth:`provider_names` / :meth:`providers_ordered`.
+    """
+
+    def __init__(
+        self, ecosystem: EcosystemIndex, attacker: AttackerProfile
+    ) -> None:
+        self.ecosystem = ecosystem
+        self.attacker = attacker
+        self.innate = attacker.innately_satisfiable()
+        self.can_social_engineer = (
+            AttackerCapability.SOCIAL_ENGINEERING in attacker.capabilities
+        )
+        email_channel = (
+            AttackerCapability.EMAIL_CHANNEL_AFTER_COMPROMISE
+            in attacker.capabilities
+        )
+        self._static: Dict[CredentialFactor, FrozenSet[str]] = {}
+        self._static_ordered: Dict[CredentialFactor, Tuple[str, ...]] = {}
+        for factor in CredentialFactor:
+            if factor is CredentialFactor.LINKED_ACCOUNT:
+                continue  # path-dependent; resolved per query
+            if is_robust_factor(factor) or factor is CredentialFactor.PASSWORD:
+                ordered: Tuple[str, ...] = ()
+            elif factor in (
+                CredentialFactor.EMAIL_CODE,
+                CredentialFactor.EMAIL_LINK,
+            ):
+                ordered = (
+                    ecosystem.holders_of.get(
+                        PersonalInfoKind.MAILBOX_ACCESS, ()
+                    )
+                    if email_channel
+                    else ()
+                )
+            elif factor is CredentialFactor.CUSTOMER_SERVICE:
+                ordered = (
+                    ecosystem._dossier_ordered
+                    if self.can_social_engineer
+                    else ()
+                )
+            else:
+                kinds = info_satisfying_factor(factor)
+                if len(kinds) <= 1:
+                    ordered = (
+                        ecosystem.holders_of.get(next(iter(kinds)), ())
+                        if kinds
+                        else ()
+                    )
+                else:
+                    merged = frozenset().union(
+                        *(ecosystem.holder_set(kind) for kind in kinds)
+                    )
+                    ordered = tuple(
+                        name for name in ecosystem.names if name in merged
+                    )
+            self._static_ordered[factor] = ordered
+            self._static[factor] = frozenset(ordered)
+
+    def static_provider_set(self, factor: CredentialFactor) -> FrozenSet[str]:
+        """Providers of a path-independent factor, with no exclusion.
+
+        Raises ``KeyError`` for ``LINKED_ACCOUNT`` (whose providers are a
+        property of the path); callers gate on that factor first.
+        """
+        return self._static[factor]
+
+    def static_providers_ordered(
+        self, factor: CredentialFactor
+    ) -> Tuple[str, ...]:
+        """Like :meth:`static_provider_set`, in graph insertion order."""
+        return self._static_ordered[factor]
+
+    def provider_names(self, factor: CredentialFactor, path) -> FrozenSet[str]:
+        """Services providing ``factor`` for ``path``, excluding the path's
+        own service (a node never parents itself)."""
+        if factor is CredentialFactor.LINKED_ACCOUNT:
+            base = path.linked_providers & self.ecosystem.name_set
+        else:
+            base = self._static[factor]
+        if path.service in base:
+            return base - {path.service}
+        return base
+
+    def providers_ordered(
+        self, factor: CredentialFactor, path
+    ) -> Tuple[str, ...]:
+        """Like :meth:`provider_names` but in graph insertion order, matching
+        the enumeration order of the seed's linear scans."""
+        if factor is CredentialFactor.LINKED_ACCOUNT:
+            accepted = path.linked_providers
+            return tuple(
+                name
+                for name in self.ecosystem.names
+                if name in accepted and name != path.service
+            )
+        ordered = self._static_ordered[factor]
+        if path.service in self._static[factor]:
+            return tuple(name for name in ordered if name != path.service)
+        return ordered

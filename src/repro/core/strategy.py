@@ -299,17 +299,20 @@ class StrategyEngine:
     ) -> Optional[Tuple[str, ...]]:
         """A greedy minimal set of compromised accounts whose masked views
         of ``factor``'s value union to the full string, or ``None``."""
-        from repro.core.tdg import _MASKABLE_FACTORS  # local: avoid cycle noise
+        from repro.core.index import MASKABLE_FACTORS
 
-        maskable = _MASKABLE_FACTORS.get(factor)
+        maskable = MASKABLE_FACTORS.get(factor)
         if maskable is None:
             return None
         _kind, length = maskable
+        # Only services actually holding a masked view can contribute; the
+        # ecosystem index narrows the candidate set before the greedy cover.
+        views = self._tdg.ecosystem_index().partial_by_service[factor]
         holders = sorted(
             (
-                (name, self._tdg.partial_positions(self._tdg.node(name), factor))
-                for name in compromised
-                if name != path.service
+                (name, positions)
+                for name, positions in views.items()
+                if name in compromised and name != path.service
             ),
             key=lambda item: (-len(item[1]), item[0]),
         )
@@ -327,10 +330,10 @@ class StrategyEngine:
     def _provider_of_kind(
         self, kind: PersonalInfoKind, compromised: FrozenSet[str]
     ) -> Optional[str]:
-        for name in sorted(compromised):
-            if kind in self._tdg.node(name).pia:
-                return name
-        return None
+        # Indexed: the alphabetically-first compromised holder, without
+        # scanning every compromised account's PIA.
+        holders = self._tdg.ecosystem_index().holder_set(kind) & compromised
+        return min(holders) if holders else None
 
     # ------------------------------------------------------------------
     # Scenario 2: backward chain search (target -> chain)

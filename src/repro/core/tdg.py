@@ -18,6 +18,15 @@ On top of the raw graph the module computes the paper's dependency-level
 statistics (Section IV-B-1): directly compromisable with phone + SMS code,
 compromisable through one middle layer, through two layers of full-capacity
 parents, through two layers involving half-capacity parents, or safe.
+
+The engine is **indexed**: instead of rescanning every node per query (the
+seed's quadratic-to-cubic behaviour), parent/couple/level queries run over
+the inverted indexes of :mod:`repro.core.index` (factor -> providers,
+info kind -> holders, masked-view holders per maskable factor) and memoize
+:class:`PathCoverage` and the dependency-level fixpoints.  The brute-force
+seed semantics are preserved verbatim in :mod:`repro.core.reference`, and
+``tests/test_tdg_equivalence.py`` differentially asserts the two engines
+produce identical edge sets, couple records and level fractions.
 """
 
 from __future__ import annotations
@@ -34,12 +43,20 @@ from typing import (
     Optional,
     Set,
     Tuple,
+    Union,
 )
 
 import networkx as nx
 
 from repro.core.authproc import ServiceAuthReport
 from repro.core.collection import CollectionReport
+from repro.core.index import (
+    DOSSIER_KINDS,
+    DOSSIER_THRESHOLD,
+    MASKABLE_FACTORS,
+    AttackerIndex,
+    EcosystemIndex,
+)
 from repro.model.account import AuthPath, ServiceProfile
 from repro.model.attacker import AttackerCapability, AttackerProfile
 from repro.model.ecosystem import Ecosystem
@@ -47,39 +64,19 @@ from repro.model.factors import (
     CredentialFactor,
     PersonalInfoKind,
     Platform,
-    factor_satisfied_by_info,
     is_robust_factor,
 )
 
-#: Facts that can convince a customer-service agent (Case III's web path).
-DOSSIER_KINDS: FrozenSet[PersonalInfoKind] = frozenset(
-    {
-        PersonalInfoKind.REAL_NAME,
-        PersonalInfoKind.CITIZEN_ID,
-        PersonalInfoKind.ADDRESS,
-        PersonalInfoKind.CELLPHONE_NUMBER,
-        PersonalInfoKind.EMAIL_ADDRESS,
-        PersonalInfoKind.BANKCARD_NUMBER,
-        PersonalInfoKind.ACQUAINTANCE_NAME,
-        PersonalInfoKind.ORDER_HISTORY,
-    }
-)
-
-#: Number of correct dossier facts a human agent demands.
-DOSSIER_THRESHOLD = 3
-
-#: Depth cap for the level analysis; the paper's categories stop at two
-#: middle layers.
-_MAX_DEPTH = 8
-
-#: Maskable credential factors: the info kind whose partial (masked) views
-#: can be combined across providers to reconstruct the value (Insight 4),
-#: plus the canonical value length the union must cover.
-_MASKABLE_FACTORS: Mapping[CredentialFactor, Tuple[PersonalInfoKind, int]] = {
-    CredentialFactor.CITIZEN_ID: (PersonalInfoKind.CITIZEN_ID, 18),
-    CredentialFactor.BANKCARD_NUMBER: (PersonalInfoKind.BANKCARD_NUMBER, 16),
-}
-
+__all__ = [
+    "DOSSIER_KINDS",
+    "DOSSIER_THRESHOLD",
+    "CoupleRecord",
+    "DependencyLevel",
+    "PathCoverage",
+    "TDGNode",
+    "TransformationDependencyGraph",
+    "canonical_length",
+]
 
 def canonical_length(kind: PersonalInfoKind) -> int:
     """Canonical string length per maskable kind (18-digit citizen IDs,
@@ -89,6 +86,11 @@ def canonical_length(kind: PersonalInfoKind) -> int:
     if kind is PersonalInfoKind.BANKCARD_NUMBER:
         return 16
     return 12
+
+
+#: Depth cap for the level analysis; the paper's categories stop at two
+#: middle layers.
+_MAX_DEPTH = 8
 
 
 class DependencyLevel(enum.Enum):
@@ -163,7 +165,15 @@ class CoupleRecord:
 
 
 class TransformationDependencyGraph:
-    """The TDG over a set of nodes and one attacker profile."""
+    """The TDG over a set of nodes and one attacker profile.
+
+    Queries are answered from precomputed inverted indexes
+    (:class:`~repro.core.index.EcosystemIndex` /
+    :class:`~repro.core.index.AttackerIndex`) and memoized: path coverages,
+    full/half parents, couple records and the dependency-level fixpoints are
+    each computed at most once per graph.  Use :meth:`analyze_many` to share
+    the attacker-independent index across several attacker profiles.
+    """
 
     def __init__(
         self,
@@ -177,6 +187,25 @@ class TransformationDependencyGraph:
             self._nodes[node.service] = node
         self._attacker = attacker
         self._innate = attacker.innately_satisfiable()
+        self._eco_index: Optional[EcosystemIndex] = None
+        self._attacker_index: Optional[AttackerIndex] = None
+        self._coverage_cache: Dict[AuthPath, PathCoverage] = {}
+        self._full_parents_cache: Dict[str, FrozenSet[str]] = {}
+        self._half_parents_cache: Dict[str, FrozenSet[str]] = {}
+        self._couples_cache: Dict[Tuple[str, int], Tuple[CoupleRecord, ...]] = {}
+        self._combining_global_cache: Dict[
+            Tuple[CredentialFactor, int], Tuple[FrozenSet[str], ...]
+        ] = {}
+        self._pool_cover_cache: Dict[Tuple[AuthPath, FrozenSet[str]], bool] = {}
+        self._signature_sets_cache: Dict[
+            Tuple[Tuple[CredentialFactor, ...], int], Tuple[FrozenSet[str], ...]
+        ] = {}
+        self._signature_cover_cache: Dict[
+            Tuple[Tuple[CredentialFactor, ...], FrozenSet[str]], bool
+        ] = {}
+        self._levels_cache: Dict[
+            Platform, Dict[str, FrozenSet[DependencyLevel]]
+        ] = {}
         self._depth_cache: Optional[Dict[str, int]] = None
         self._pure_full_cache: Optional[Dict[str, int]] = None
 
@@ -194,14 +223,16 @@ class TransformationDependencyGraph:
             attacker,
         )
 
-    @classmethod
-    def from_reports(
-        cls,
+    @staticmethod
+    def nodes_from_reports(
         auth_reports: Mapping[str, ServiceAuthReport],
         collection_reports: Mapping[str, CollectionReport],
-        attacker: AttackerProfile,
-    ) -> "TransformationDependencyGraph":
-        """Build the graph from stage-1/stage-2 outputs (the probe path)."""
+    ) -> Tuple[TDGNode, ...]:
+        """Derive the node set from stage-1/stage-2 outputs.
+
+        Split out of :meth:`from_reports` so the batch entry points can
+        build the nodes once and share them across attacker profiles.
+        """
         nodes = []
         for name, auth_report in auth_reports.items():
             collection = collection_reports.get(name)
@@ -223,7 +254,52 @@ class TransformationDependencyGraph:
                     pia_partial=dict(partial),
                 )
             )
-        return cls(nodes, attacker)
+        return tuple(nodes)
+
+    @classmethod
+    def from_reports(
+        cls,
+        auth_reports: Mapping[str, ServiceAuthReport],
+        collection_reports: Mapping[str, CollectionReport],
+        attacker: AttackerProfile,
+    ) -> "TransformationDependencyGraph":
+        """Build the graph from stage-1/stage-2 outputs (the probe path)."""
+        return cls(cls.nodes_from_reports(auth_reports, collection_reports), attacker)
+
+    @classmethod
+    def analyze_many(
+        cls,
+        source: Union[Ecosystem, Iterable[TDGNode]],
+        attackers: Iterable[AttackerProfile],
+    ) -> Tuple["TransformationDependencyGraph", ...]:
+        """Build one graph per attacker profile over a shared node set.
+
+        The node list is derived once and the attacker-independent
+        :class:`~repro.core.index.EcosystemIndex` is built once and shared;
+        each graph only adds its per-profile factor->provider view.  This is
+        the batch entry point the measurement study and defense evaluation
+        use to sweep attacker profiles without rebuilding from scratch.
+        """
+        if isinstance(source, Ecosystem):
+            nodes: Tuple[TDGNode, ...] = tuple(
+                cls.node_from_profile(p) for p in source
+            )
+        else:
+            items = tuple(source)
+            if items and not isinstance(items[0], TDGNode):
+                nodes = tuple(cls.node_from_profile(p) for p in items)
+            else:
+                nodes = items
+        shared: Optional[EcosystemIndex] = None
+        graphs: List[TransformationDependencyGraph] = []
+        for attacker in attackers:
+            graph = cls(nodes, attacker)
+            if shared is None:
+                shared = graph.ecosystem_index()
+            else:
+                graph._eco_index = shared
+            graphs.append(graph)
+        return tuple(graphs)
 
     @staticmethod
     def node_from_profile(profile: ServiceProfile) -> TDGNode:
@@ -279,6 +355,23 @@ class TransformationDependencyGraph:
         return service in self._nodes
 
     # ------------------------------------------------------------------
+    # Indexes
+    # ------------------------------------------------------------------
+
+    def ecosystem_index(self) -> EcosystemIndex:
+        """The attacker-independent inverted index (built lazily, shared by
+        :meth:`analyze_many` across profiles)."""
+        if self._eco_index is None:
+            self._eco_index = EcosystemIndex(self._nodes)
+        return self._eco_index
+
+    def attacker_index(self) -> AttackerIndex:
+        """The per-profile factor->provider index (built lazily)."""
+        if self._attacker_index is None:
+            self._attacker_index = self.ecosystem_index().view(self._attacker)
+        return self._attacker_index
+
+    # ------------------------------------------------------------------
     # Factor provisioning semantics
     # ------------------------------------------------------------------
 
@@ -287,7 +380,14 @@ class TransformationDependencyGraph:
         return self._innate
 
     def coverage(self, node: TDGNode, path: AuthPath) -> PathCoverage:
-        """Split one path's factors into innate / residual / unsatisfiable."""
+        """Split one path's factors into innate / residual / unsatisfiable.
+
+        Memoized per path (the split depends only on the path and the
+        attacker profile, not on the node carrying it)."""
+        cached = self._coverage_cache.get(path)
+        if cached is not None:
+            return cached
+        view = self.attacker_index()
         innate: Set[CredentialFactor] = set()
         residual: Set[CredentialFactor] = set()
         unsatisfiable: Set[CredentialFactor] = set()
@@ -298,9 +398,11 @@ class TransformationDependencyGraph:
                 # Passwords are secrets, not harvestable information; a path
                 # demanding the current password cannot be chained into.
                 unsatisfiable.add(factor)
-            elif self._providers_of(factor, path):
+            elif view.provider_names(factor, path):
                 residual.add(factor)
-            elif self._combinable(factor, path, self._all_names()):
+            elif self.ecosystem_index().combinable_excluding(
+                factor, path.service
+            ):
                 residual.add(factor)
             elif factor is CredentialFactor.CUSTOMER_SERVICE and (
                 AttackerCapability.SOCIAL_ENGINEERING in self._attacker.capabilities
@@ -308,54 +410,37 @@ class TransformationDependencyGraph:
                 residual.add(factor)
             else:
                 unsatisfiable.add(factor)
-        return PathCoverage(
+        result = PathCoverage(
             path=path,
             innate=frozenset(innate),
             residual=frozenset(residual),
             unsatisfiable=frozenset(unsatisfiable),
         )
+        self._coverage_cache[path] = result
+        return result
 
     def provides(
         self, provider: TDGNode, factor: CredentialFactor, path: AuthPath
     ) -> bool:
-        """Whether controlling ``provider`` supplies ``factor`` for ``path``."""
-        if is_robust_factor(factor) or factor is CredentialFactor.PASSWORD:
-            return False
-        if factor in (CredentialFactor.EMAIL_CODE, CredentialFactor.EMAIL_LINK):
-            return (
-                PersonalInfoKind.MAILBOX_ACCESS in provider.pia
-                and AttackerCapability.EMAIL_CHANNEL_AFTER_COMPROMISE
-                in self._attacker.capabilities
-            )
+        """Whether controlling ``provider`` supplies ``factor`` for ``path``.
+
+        Answered from the attacker index (the single source of the provider
+        semantics; :mod:`repro.core.reference` keeps the scan-based
+        restatement as the oracle), so ``provider`` must be a node of this
+        graph.
+        """
         if factor is CredentialFactor.LINKED_ACCOUNT:
             return provider.service in path.linked_providers
-        if factor is CredentialFactor.CUSTOMER_SERVICE:
-            if (
-                AttackerCapability.SOCIAL_ENGINEERING
-                not in self._attacker.capabilities
-            ):
-                return False
-            return len(provider.pia & DOSSIER_KINDS) >= DOSSIER_THRESHOLD
-        return factor_satisfied_by_info(factor, provider.pia)
-
-    def _providers_of(
-        self, factor: CredentialFactor, path: AuthPath
-    ) -> Tuple[TDGNode, ...]:
-        return tuple(
-            node
-            for node in self._nodes.values()
-            if node.service != path.service and self.provides(node, factor, path)
+        return provider.service in self.attacker_index().static_provider_set(
+            factor
         )
-
-    def _all_names(self) -> FrozenSet[str]:
-        return frozenset(self._nodes)
 
     def partial_positions(
         self, provider: TDGNode, factor: CredentialFactor
     ) -> FrozenSet[int]:
         """Character positions ``provider``'s masked view of ``factor``'s
         underlying value reveals (empty when not maskable / not exposed)."""
-        maskable = _MASKABLE_FACTORS.get(factor)
+        maskable = MASKABLE_FACTORS.get(factor)
         if maskable is None:
             return frozenset()
         kind, _length = maskable
@@ -371,15 +456,26 @@ class TransformationDependencyGraph:
         the factor's full value ("by attacking several service accounts and
         applying certain combining rules, the attacker could easily cipher
         covered SSN and bankcard numbers")."""
-        maskable = _MASKABLE_FACTORS.get(factor)
+        return self._combinable_pool(factor, pool, excluded=path.service)
+
+    def _combinable_pool(
+        self,
+        factor: CredentialFactor,
+        pool: FrozenSet[str],
+        excluded: Optional[str] = None,
+    ) -> bool:
+        """The combining check over ``pool``'s masked views, optionally
+        excluding one service (the shared core of the per-path and
+        signature-global modes)."""
+        maskable = MASKABLE_FACTORS.get(factor)
         if maskable is None:
             return False
         _kind, length = maskable
         union: Set[int] = set()
-        for name in pool:
-            if name == path.service:
+        for name, positions in self.ecosystem_index().partial_holders[factor]:
+            if name == excluded or name not in pool:
                 continue
-            union |= self.partial_positions(self._nodes[name], factor)
+            union |= positions
             if len(union) >= length:
                 return True
         return False
@@ -392,11 +488,9 @@ class TransformationDependencyGraph:
     ) -> bool:
         """Whether the compromised ``pool`` satisfies ``factor`` -- via a
         full provider or via combining masked views."""
-        for name in pool:
-            if name == path.service:
-                continue
-            if self.provides(self._nodes[name], factor, path):
-                return True
+        names = self.attacker_index().provider_names(factor, path)
+        if names & pool:
+            return True
         return self._combinable(factor, path, pool)
 
     # ------------------------------------------------------------------
@@ -404,49 +498,77 @@ class TransformationDependencyGraph:
     # ------------------------------------------------------------------
 
     def full_capacity_parents(self, service: str) -> FrozenSet[str]:
-        """Definition 1: nodes that alone unlock at least one path."""
+        """Definition 1: nodes that alone unlock at least one path.
+
+        Indexed: the parents of one path are the intersection of the
+        per-factor provider sets over the path's residual factors."""
+        cached = self._full_parents_cache.get(service)
+        if cached is not None:
+            return cached
         node = self._nodes[service]
+        view = self.attacker_index()
         parents: Set[str] = set()
         for path in node.takeover_paths:
             cover = self.coverage(node, path)
             if cover.is_blocked or not cover.residual:
                 continue
-            for candidate in self._nodes.values():
-                if candidate.service == service:
-                    continue
-                if all(
-                    self.provides(candidate, factor, path)
-                    for factor in cover.residual
-                ):
-                    parents.add(candidate.service)
-        return frozenset(parents)
+            parents |= frozenset.intersection(
+                *(view.provider_names(factor, path) for factor in cover.residual)
+            )
+        result = frozenset(parents - {service})
+        self._full_parents_cache[service] = result
+        return result
 
     def half_capacity_parents(self, service: str) -> FrozenSet[str]:
-        """Definition 2: nodes providing part (not all) of some path."""
+        """Definition 2: nodes providing part (not all) of some path.
+
+        Indexed: union minus intersection of the per-factor provider sets."""
+        cached = self._half_parents_cache.get(service)
+        if cached is not None:
+            return cached
         node = self._nodes[service]
+        view = self.attacker_index()
         halves: Set[str] = set()
         for path in node.takeover_paths:
             cover = self.coverage(node, path)
             if cover.is_blocked or not cover.residual:
                 continue
-            for candidate in self._nodes.values():
-                if candidate.service == service:
-                    continue
-                provided = {
-                    factor
-                    for factor in cover.residual
-                    if self.provides(candidate, factor, path)
-                }
-                if provided and provided != cover.residual:
-                    halves.add(candidate.service)
-        return frozenset(halves)
+            provider_sets = [
+                view.provider_names(factor, path) for factor in cover.residual
+            ]
+            halves |= frozenset.union(*provider_sets) - frozenset.intersection(
+                *provider_sets
+            )
+        result = frozenset(halves - {service})
+        self._half_parents_cache[service] = result
+        return result
 
     def couples(self, service: str, max_size: int = 3) -> Tuple[CoupleRecord, ...]:
         """Definition 3: minimal joint covers of some path (the Couple File).
 
         Only genuinely joint covers are recorded (size >= 2); covers
         containing a full-capacity parent are not minimal and are skipped.
+
+        Two layers of reuse make this tractable at ecosystem scale:
+
+        - Member-set lists are memoized per *residual-factor signature*
+          (``LINKED_ACCOUNT`` aside, provider options depend only on the
+          residual factors, not on the individual path); each path then
+          filters out sets containing its own service.  A member set
+          containing the excluded service can never prune, equal or cover
+          one that does not, so the filtered list is identical to a
+          per-path enumeration -- hundreds of paths collapse onto a handful
+          of signatures.
+        - Within one enumeration, options containing a *single-node full
+          cover* are pruned before the product (every multi-member combo
+          containing such a node fails minimality anyway), surviving
+          two-member combos are minimal by construction, and the
+          dropping-one-member check for triples is cached per pool.
         """
+        cache_key = (service, max_size)
+        cached = self._couples_cache.get(cache_key)
+        if cached is not None:
+            return cached
         node = self._nodes[service]
         records: List[CoupleRecord] = []
         seen: Set[Tuple[FrozenSet[str], AuthPath]] = set()
@@ -454,26 +576,13 @@ class TransformationDependencyGraph:
             cover = self.coverage(node, path)
             if cover.is_blocked or not cover.residual:
                 continue
-            per_factor: Dict[CredentialFactor, Tuple[FrozenSet[str], ...]] = {}
-            feasible = True
-            for factor in cover.residual:
-                options: List[FrozenSet[str]] = [
-                    frozenset({p.service})
-                    for p in self._providers_of(factor, path)
-                ]
-                options.extend(self._combining_sets(factor, path))
-                if not options:
-                    feasible = False
-                    break
-                per_factor[factor] = tuple(options)
-            if not feasible:
-                continue
-            factors = sorted(per_factor, key=lambda f: f.value)
-            for combo in itertools.product(*(per_factor[f] for f in factors)):
-                members: FrozenSet[str] = frozenset().union(*combo)
-                if len(members) < 2 or len(members) > max_size:
-                    continue
-                if self._has_redundant_member(members, cover, path):
+            factors = tuple(sorted(cover.residual, key=lambda f: f.value))
+            if CredentialFactor.LINKED_ACCOUNT in cover.residual:
+                member_sets = self._path_couple_sets(path, cover, max_size)
+            else:
+                member_sets = self._signature_couple_sets(factors, max_size)
+            for members in member_sets:
+                if service in members:
                     continue
                 key = (members, path)
                 if key in seen:
@@ -482,69 +591,247 @@ class TransformationDependencyGraph:
                 records.append(
                     CoupleRecord(providers=members, target=service, path=path)
                 )
-        return tuple(records)
+        result = tuple(records)
+        self._couples_cache[cache_key] = result
+        return result
+
+    def _signature_couple_sets(
+        self, factors: Tuple[CredentialFactor, ...], max_size: int
+    ) -> Tuple[FrozenSet[str], ...]:
+        """Minimal joint covers for one residual-factor signature, over the
+        whole graph with no service excluded (memoized).  Callers drop the
+        sets containing their own service."""
+        cache_key = (factors, max_size)
+        cached = self._signature_sets_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        view = self.attacker_index()
+        option_lists: List[Tuple[FrozenSet[str], ...]] = []
+        feasible = True
+        for factor in factors:
+            options: List[FrozenSet[str]] = [
+                frozenset({name})
+                for name in view.static_providers_ordered(factor)
+            ]
+            options.extend(self._combining_sets_global(factor, max_size))
+            if not options:
+                feasible = False
+                break
+            option_lists.append(tuple(options))
+        if not feasible:
+            self._signature_sets_cache[cache_key] = ()
+            return ()
+        result = self._enumerate_couple_sets(
+            factors,
+            option_lists,
+            max_size,
+            lambda pool: self._signature_covers(factors, pool),
+        )
+        self._signature_sets_cache[cache_key] = result
+        return result
+
+    def _path_couple_sets(
+        self, path: AuthPath, cover: PathCoverage, max_size: int
+    ) -> Tuple[FrozenSet[str], ...]:
+        """Per-path enumeration for signatures involving ``LINKED_ACCOUNT``
+        (whose provider options are a property of the path)."""
+        view = self.attacker_index()
+        factors = tuple(sorted(cover.residual, key=lambda f: f.value))
+        option_lists: List[Tuple[FrozenSet[str], ...]] = []
+        for factor in factors:
+            options: List[FrozenSet[str]] = [
+                frozenset({name})
+                for name in view.providers_ordered(factor, path)
+            ]
+            options.extend(self._combining_sets(factor, path, max_size))
+            if not options:
+                return ()
+            option_lists.append(tuple(options))
+        return self._enumerate_couple_sets(
+            factors,
+            option_lists,
+            max_size,
+            lambda pool: self._covers_residual(path, cover, pool),
+        )
+
+    @staticmethod
+    def _enumerate_couple_sets(
+        factors: Tuple[CredentialFactor, ...],
+        option_lists: List[Tuple[FrozenSet[str], ...]],
+        max_size: int,
+        covers,
+    ) -> Tuple[FrozenSet[str], ...]:
+        """Shared product enumeration with full-cover pruning and the
+        size-2 minimality shortcut; ``covers(pool)`` decides whether a pool
+        satisfies every signature factor."""
+        candidates: Set[str] = set()
+        for options in option_lists:
+            for members in options:
+                candidates |= members
+        full_covers = frozenset(
+            name for name in candidates if covers(frozenset({name}))
+        )
+        pruned: List[Tuple[FrozenSet[str], ...]] = []
+        for options in option_lists:
+            kept = tuple(
+                option for option in options if not (option & full_covers)
+            )
+            if not kept:
+                return ()
+            pruned.append(kept)
+        results: List[FrozenSet[str]] = []
+        seen: Set[FrozenSet[str]] = set()
+
+        def consider(members: FrozenSet[str]) -> None:
+            size = len(members)
+            if size < 2 or size > max_size:
+                return
+            if members in seen:
+                return
+            # Two-member sets are minimal by construction here: a redundant
+            # member would be a single-node full cover, and those options
+            # were pruned above.  Only larger sets need the drop-one check.
+            if size > 2 and any(
+                covers(members - {member}) for member in members
+            ):
+                return
+            seen.add(members)
+            results.append(members)
+
+        # Arity-specialized loops in itertools.product order; the generic
+        # varargs union dominates the runtime at ecosystem scale.
+        if len(pruned) == 1:
+            for option in pruned[0]:
+                consider(option)
+        elif len(pruned) == 2:
+            first, second = pruned
+            for one in first:
+                for two in second:
+                    consider(one | two)
+        else:
+            for combo in itertools.product(*pruned):
+                consider(frozenset().union(*combo))
+        return tuple(results)
+
+    def _signature_covers(
+        self, factors: Tuple[CredentialFactor, ...], pool: FrozenSet[str]
+    ) -> bool:
+        """Whether ``pool`` satisfies every factor of the signature, with no
+        excluded service (cached per signature)."""
+        key = (factors, pool)
+        cached = self._signature_cover_cache.get(key)
+        if cached is None:
+            cached = all(
+                self._static_pool_provides(factor, pool) for factor in factors
+            )
+            self._signature_cover_cache[key] = cached
+        return cached
+
+    def _static_pool_provides(
+        self, factor: CredentialFactor, pool: FrozenSet[str]
+    ) -> bool:
+        """Path-independent ``_pool_provides`` (no excluded service, no
+        ``LINKED_ACCOUNT``): a full provider in the pool, or combining."""
+        if self.attacker_index().static_provider_set(factor) & pool:
+            return True
+        return self._combinable_pool(factor, pool)
 
     def _combining_sets(
         self, factor: CredentialFactor, path: AuthPath, max_size: int = 3
     ) -> List[FrozenSet[str]]:
         """Minimal sets of partial views that jointly reconstruct ``factor``.
 
-        Enumerates pairs and triples of masked-view holders whose revealed
-        positions union to the full value length (Insight 4's combining
-        attack as Definition-3 couples).
+        The enumeration over pairs and triples of masked-view holders is
+        memoized once over *all* holders; per-path results are the memoized
+        sets minus any containing the path's own service (a set containing
+        the excluded service can never prune or equal one that does not, so
+        the filtered result is identical to a per-path enumeration).
         """
-        maskable = _MASKABLE_FACTORS.get(factor)
-        if maskable is None:
-            return []
-        _kind, length = maskable
-        holders = [
-            (node.service, self.partial_positions(node, factor))
-            for node in self._nodes.values()
-            if node.service != path.service
-            and self.partial_positions(node, factor)
+        return [
+            members
+            for members in self._combining_sets_global(factor, max_size)
+            if path.service not in members
         ]
-        results: List[FrozenSet[str]] = []
-        for size in (2, 3):
-            if size > max_size:
-                break
-            for combo in itertools.combinations(holders, size):
-                union: FrozenSet[int] = frozenset().union(
-                    *(positions for _n, positions in combo)
-                )
-                if len(union) < length:
-                    continue
-                members = frozenset(name for name, _p in combo)
-                # Minimality: no strict subset may already cover.
-                if any(
-                    len(
-                        frozenset().union(
-                            *(p for n, p in combo if n != skip)
-                        )
-                    )
-                    >= length
-                    for skip, _ in combo
-                ):
-                    continue
-                if any(existing <= members for existing in results):
-                    continue
-                results.append(members)
-        return results
 
-    def _has_redundant_member(
+    def _combining_sets_global(
+        self, factor: CredentialFactor, max_size: int
+    ) -> Tuple[FrozenSet[str], ...]:
+        """Insight 4's combining enumeration over every masked-view holder.
+
+        Enumeration order is the seed's (all pairs, then all triples, in
+        holder insertion order).  Two seed checks are restated in cheaper
+        but equivalent forms: the within-combo minimality check becomes a
+        precomputed covers-alone / pair-coverage lookup, and the
+        ``existing <= members`` subset prune is dropped entirely -- a size-2
+        result is a covering pair, so any triple containing one is already
+        rejected by the minimality check, and equal-size duplicates cannot
+        occur across distinct holder combinations.
+        """
+        cache_key = (factor, max_size)
+        cached = self._combining_global_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        maskable = MASKABLE_FACTORS.get(factor)
+        if maskable is None or max_size < 2:
+            self._combining_global_cache[cache_key] = ()
+            return ()
+        _kind, length = maskable
+        holders = self.ecosystem_index().partial_holders[factor]
+        count = len(holders)
+        covers_alone = [len(positions) >= length for _n, positions in holders]
+        pair_covers: Dict[Tuple[int, int], bool] = {}
+        results: List[FrozenSet[str]] = []
+        for i in range(count):
+            name_i, positions_i = holders[i]
+            for j in range(i + 1, count):
+                name_j, positions_j = holders[j]
+                covered = len(positions_i | positions_j) >= length
+                pair_covers[(i, j)] = covered
+                if covered and not (covers_alone[i] or covers_alone[j]):
+                    results.append(frozenset({name_i, name_j}))
+        if max_size >= 3:
+            for i in range(count):
+                name_i, positions_i = holders[i]
+                if covers_alone[i]:
+                    continue
+                for j in range(i + 1, count):
+                    if pair_covers[(i, j)] or covers_alone[j]:
+                        continue
+                    name_j, positions_j = holders[j]
+                    union_ij = positions_i | positions_j
+                    for k in range(j + 1, count):
+                        if (
+                            pair_covers[(i, k)]
+                            or pair_covers[(j, k)]
+                            or covers_alone[k]
+                        ):
+                            continue
+                        name_k, positions_k = holders[k]
+                        if len(union_ij | positions_k) >= length:
+                            results.append(
+                                frozenset({name_i, name_j, name_k})
+                            )
+        result = tuple(results)
+        self._combining_global_cache[cache_key] = result
+        return result
+
+    def _covers_residual(
         self,
-        members: FrozenSet[str],
-        cover: PathCoverage,
         path: AuthPath,
+        cover: PathCoverage,
+        pool: FrozenSet[str],
     ) -> bool:
-        """A cover is non-minimal if dropping a member still covers."""
-        for member in members:
-            rest = members - {member}
-            if all(
-                self._pool_provides(factor, path, rest)
+        """Whether ``pool`` satisfies every residual factor of ``path``
+        (cached; rest-pools repeat massively across the couple product)."""
+        key = (path, pool)
+        cached = self._pool_cover_cache.get(key)
+        if cached is None:
+            cached = all(
+                self._pool_provides(factor, path, pool)
                 for factor in cover.residual
-            ):
-                return True
-        return False
+            )
+            self._pool_cover_cache[key] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Edges
@@ -685,8 +972,12 @@ class TransformationDependencyGraph:
 
         Levels are non-exclusive across a service's paths ("the overall
         percentage can not be summed up to 100% since one service can have
-        multiple reset combinations").
+        multiple reset combinations").  Memoized per platform and reused by
+        :meth:`level_fractions` and every downstream consumer.
         """
+        cached = self._levels_cache.get(platform)
+        if cached is not None:
+            return dict(cached)
         pure_full = self._pure_full_depths()
         depths = self._depths()
         joint_pool_1 = frozenset(
@@ -711,9 +1002,9 @@ class TransformationDependencyGraph:
                     levels.add(DependencyLevel.DIRECT)
                     continue
                 full_parent_depths = [
-                    pure_full[p.service]
-                    for p in self._path_full_parents(node, path, cover)
-                    if p.service in pure_full
+                    pure_full[name]
+                    for name in self._path_full_parent_names(node, path, cover)
+                    if name in pure_full
                 ]
                 if any(d == 0 for d in full_parent_depths):
                     levels.add(DependencyLevel.ONE_LAYER)
@@ -730,7 +1021,8 @@ class TransformationDependencyGraph:
                 else:
                     levels.add(DependencyLevel.SAFE)
             result[service] = frozenset(levels)
-        return result
+        self._levels_cache[platform] = result
+        return dict(result)
 
     def _platform_reachable(
         self,
@@ -750,18 +1042,16 @@ class TransformationDependencyGraph:
                 return True
         return False
 
-    def _path_full_parents(
+    def _path_full_parent_names(
         self, node: TDGNode, path: AuthPath, cover: PathCoverage
-    ) -> Tuple[TDGNode, ...]:
-        return tuple(
-            candidate
-            for candidate in self._nodes.values()
-            if candidate.service != node.service
-            and all(
-                self.provides(candidate, factor, path)
-                for factor in cover.residual
-            )
-        )
+    ) -> FrozenSet[str]:
+        """Names of nodes that alone cover this one path's residual."""
+        if not cover.residual:
+            return self.ecosystem_index().name_set - {node.service}
+        view = self.attacker_index()
+        return frozenset.intersection(
+            *(view.provider_names(factor, path) for factor in cover.residual)
+        ) - {node.service}
 
     def _jointly_coverable(
         self,

@@ -83,8 +83,52 @@ class DefenseEvaluation:
             outcomes.append(self._measure("all_combined", combined))
         return tuple(outcomes)
 
+    def evaluate_attackers(
+        self,
+        attackers: Mapping[str, AttackerProfile],
+        defenses: Optional[Mapping[str, DefenseTransform]] = None,
+        include_combined: bool = True,
+    ) -> Dict[str, Tuple[DefenseOutcome, ...]]:
+        """The full attacker-grid ablation: every defense x every profile.
+
+        For each hardened ecosystem variant the stage-1/2 reports and the
+        attacker-independent index are built once and shared across all
+        attacker profiles (:meth:`ActFort.batch`), so sweeping profiles
+        costs one pipeline run per variant instead of one per cell.
+        Returns ``{attacker label: (baseline, defense..., combined)}`` rows
+        in the same order :meth:`evaluate` uses.
+        """
+        defenses = dict(
+            defenses if defenses is not None else self.standard_defenses()
+        )
+        variants: List[Tuple[str, Ecosystem]] = [("baseline", self._baseline)]
+        for label, transform in defenses.items():
+            variants.append((label, transform(self._baseline)))
+        if include_combined and defenses:
+            combined = self._baseline
+            for transform in defenses.values():
+                combined = transform(combined)
+            variants.append(("all_combined", combined))
+        profile_labels = list(attackers)
+        grid: Dict[str, List[DefenseOutcome]] = {
+            label: [] for label in profile_labels
+        }
+        for variant_label, ecosystem in variants:
+            base = ActFort.from_ecosystem(ecosystem, attacker=self._attacker)
+            clones = base.batch(attackers[label] for label in profile_labels)
+            for profile_label, clone in zip(profile_labels, clones):
+                grid[profile_label].append(
+                    self._measure_actfort(variant_label, clone, len(ecosystem))
+                )
+        return {label: tuple(row) for label, row in grid.items()}
+
     def _measure(self, label: str, ecosystem: Ecosystem) -> DefenseOutcome:
         actfort = ActFort.from_ecosystem(ecosystem, attacker=self._attacker)
+        return self._measure_actfort(label, actfort, len(ecosystem))
+
+    def _measure_actfort(
+        self, label: str, actfort: ActFort, service_count: int
+    ) -> DefenseOutcome:
         tdg = actfort.tdg()
         closure = actfort.potential_victims()
         dependency: Dict[Platform, Mapping[DependencyLevel, float]] = {}
@@ -98,7 +142,7 @@ class DefenseEvaluation:
         return DefenseOutcome(
             label=label,
             pav_size=len(closure.compromised),
-            service_count=len(ecosystem),
+            service_count=service_count,
             direct_fraction=direct,
             safe_fraction=safe,
             dependency=dependency,

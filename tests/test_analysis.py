@@ -127,6 +127,25 @@ class TestFigureGenerators:
         assert "Log_1" in text
 
 
+class TestRunBatch:
+    def test_run_batch_matches_solo_runs(self, default_ecosystem):
+        """Batched measurement over shared indexes must equal per-profile
+        runs, in the order the profiles were given."""
+        from repro.model.attacker import AttackerProfile
+
+        profiles = [
+            AttackerProfile.baseline(),
+            AttackerProfile.with_se_database(),
+        ]
+        batch = MeasurementStudy().run_batch(default_ecosystem, profiles)
+        assert len(batch) == len(profiles)
+        for profile, batched in zip(profiles, batch):
+            solo = MeasurementStudy(attacker=profile).run_on_ecosystem(
+                default_ecosystem
+            )
+            assert batched == solo
+
+
 class TestInsights:
     def test_all_insights_hold_on_default_catalog(self, default_actfort):
         checks = compute_insights(default_actfort)

@@ -194,3 +194,28 @@ class TestDefenseEvaluation:
         rows = outcome_rows(outcomes)
         assert len(rows) == len(outcomes)
         assert rows[0][0] == "baseline"
+
+    def test_evaluate_attackers_matches_per_attacker_evaluate(
+        self, default_ecosystem, outcomes
+    ):
+        """The shared-index attacker grid must equal per-attacker sweeps:
+        same variant labels in the same order, same measured outcomes."""
+        profiles = {
+            "baseline": AttackerProfile.baseline(),
+            "se_database": AttackerProfile.with_se_database(),
+        }
+        grid = DefenseEvaluation(default_ecosystem).evaluate_attackers(profiles)
+        assert set(grid) == set(profiles)
+        assert [o.label for o in grid["baseline"]] == [
+            o.label for o in outcomes
+        ]
+        for batched, solo in zip(grid["baseline"], outcomes):
+            assert batched.pav_size == solo.pav_size
+            assert batched.dependency == solo.dependency
+        se_solo = DefenseEvaluation(
+            default_ecosystem, attacker=profiles["se_database"]
+        ).evaluate()
+        for batched, solo in zip(grid["se_database"], se_solo):
+            assert batched.label == solo.label
+            assert batched.pav_size == solo.pav_size
+            assert batched.dependency == solo.dependency

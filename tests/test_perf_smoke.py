@@ -1,0 +1,38 @@
+"""Perf smoke gate: the paper-scale analysis must stay interactive.
+
+Not a benchmark -- a tier-1-safe tripwire.  The indexed engine finishes the
+full 201-service analysis (stages 1-4, dependency levels on both platforms,
+forward closure, both edge families) in well under a second on any
+hardware; the bound below is ~50x that, so it only fires on a gross
+complexity regression (e.g. losing the inverted indexes or the coverage
+memoization), not on a slow CI machine.  The real old-vs-new trajectory
+lives in ``benchmarks/test_bench_scaling.py``.
+"""
+
+import time
+
+from repro.core import ActFort
+from repro.model.factors import Platform
+
+#: Generous wall-clock ceiling for the full 201-service analysis.
+SMOKE_BUDGET_SECONDS = 15.0
+
+
+def test_201_service_full_analysis_stays_interactive(default_ecosystem):
+    start = time.perf_counter()
+    actfort = ActFort.from_ecosystem(default_ecosystem)
+    tdg = actfort.tdg()
+    for platform in (Platform.WEB, Platform.MOBILE):
+        tdg.level_fractions(platform)
+    actfort.potential_victims()
+    tdg.strong_edges()
+    # The full 201-service Couple File is output-bound (~200k records) and
+    # lives in the scaling benchmark; here a slice of services keeps the
+    # couple machinery on the smoke path without the combinatorial bill.
+    for node in tdg.nodes[:20]:
+        tdg.couples(node.service)
+    elapsed = time.perf_counter() - start
+    assert elapsed < SMOKE_BUDGET_SECONDS, (
+        f"201-service analysis took {elapsed:.2f}s; the indexed engine "
+        f"should finish in well under {SMOKE_BUDGET_SECONDS:.0f}s"
+    )

@@ -7,16 +7,22 @@ invariants of the TDG and strategy engine are checked on each:
 - every closure entry's chained factors come from strictly earlier entries,
 - full-capacity parents are exactly the single-node covers,
 - robust-factor paths never become satisfiable,
-- dependency-level fractions are well-formed.
+- dependency-level fractions are well-formed,
+- exposing more information never removes strong edges or shrinks the PAV,
+- hardening a path never lowers any service's dependency level,
+- couple records never contain a redundant member,
+- the indexed engine agrees with the brute-force reference.
 """
 
+import dataclasses
 from typing import List
 
 from hypothesis import HealthCheck, given, settings, strategies as st
 
+from repro.core.reference import ReferenceTDG
 from repro.core.strategy import StrategyEngine
 from repro.core.tdg import DependencyLevel, TransformationDependencyGraph
-from repro.model.account import AuthPath, AuthPurpose, ServiceProfile
+from repro.model.account import AuthPath, AuthPurpose, MaskSpec, ServiceProfile
 from repro.model.attacker import AttackerCapability, AttackerProfile
 from repro.model.ecosystem import Ecosystem
 from repro.model.factors import CredentialFactor as CF
@@ -71,6 +77,16 @@ def ecosystems(draw) -> Ecosystem:
         exposed = draw(
             st.sets(st.sampled_from(_INFO_POOL), min_size=0, max_size=5)
         )
+        # Occasionally expose a masked citizen ID or bankcard so couples
+        # arising from Insight 4's combining attack are also exercised.
+        masks = {}
+        for kind in (PI.CITIZEN_ID, PI.BANKCARD_NUMBER):
+            if draw(st.booleans()) and draw(st.booleans()):
+                exposed.add(kind)
+                masks[(PL.WEB, kind)] = MaskSpec(
+                    reveal_prefix=draw(st.integers(min_value=0, max_value=12)),
+                    reveal_suffix=draw(st.integers(min_value=0, max_value=9)),
+                )
         profiles.append(
             ServiceProfile(
                 name=name,
@@ -79,6 +95,7 @@ def ecosystems(draw) -> Ecosystem:
                 ),
                 auth_paths=tuple(paths),
                 exposed_info={PL.WEB: frozenset(exposed)},
+                mask_specs=masks,
             )
         )
     return Ecosystem(profiles)
@@ -211,3 +228,116 @@ def test_chain_reconstruction_consistent_with_closure(eco):
             assert chain.services[-1] == node.service
         else:
             assert chain is None
+
+
+# ----------------------------------------------------------------------
+# Monotonicity invariants of the indexed engine
+# ----------------------------------------------------------------------
+
+#: Less-safe categories first; SAFE is the maximum.
+_LEVEL_RANK = {
+    DependencyLevel.DIRECT: 0,
+    DependencyLevel.ONE_LAYER: 1,
+    DependencyLevel.TWO_LAYER_FULL: 2,
+    DependencyLevel.TWO_LAYER_MIXED: 3,
+    DependencyLevel.SAFE: 4,
+}
+
+
+def _min_rank(levels) -> int:
+    return min(_LEVEL_RANK[level] for level in levels)
+
+
+@_SETTINGS
+@given(eco=ecosystems(), data=st.data())
+def test_adding_info_kind_never_removes_edges(eco, data):
+    """Exposing one more info kind on one node is monotone: strong edges
+    and the PAV can only grow (unsatisfiable factors can become residual,
+    never the reverse)."""
+    attacker = AttackerProfile.baseline()
+    base = TransformationDependencyGraph.from_ecosystem(eco, attacker)
+    target = data.draw(st.sampled_from(sorted(n.service for n in base.nodes)))
+    kind = data.draw(st.sampled_from(_INFO_POOL))
+    augmented_nodes = [
+        dataclasses.replace(node, pia=node.pia | {kind})
+        if node.service == target
+        else node
+        for node in base.nodes
+    ]
+    augmented = TransformationDependencyGraph(augmented_nodes, attacker)
+    assert base.strong_edges() <= augmented.strong_edges()
+    base_pav = StrategyEngine(base).forward_closure().compromised
+    augmented_pav = StrategyEngine(augmented).forward_closure().compromised
+    assert base_pav <= augmented_pav
+
+
+@_SETTINGS
+@given(eco=ecosystems(), data=st.data())
+def test_hardening_a_path_never_lowers_a_dependency_level(eco, data):
+    """Adding a robust factor to one path moves every service's minimal
+    dependency category toward SAFE, never away from it."""
+    attacker = AttackerProfile.baseline()
+    base = TransformationDependencyGraph.from_ecosystem(eco, attacker)
+    target = data.draw(st.sampled_from(sorted(n.service for n in base.nodes)))
+    node = base.node(target)
+    path_index = data.draw(
+        st.integers(min_value=0, max_value=len(node.takeover_paths) - 1)
+    )
+    robust = data.draw(
+        st.sampled_from([CF.TRUSTED_DEVICE, CF.U2F_KEY, CF.AUTHENTICATOR_TOTP])
+    )
+    hardened_paths = tuple(
+        dataclasses.replace(path, factors=path.factors | {robust})
+        if index == path_index
+        else path
+        for index, path in enumerate(node.takeover_paths)
+    )
+    hardened_nodes = [
+        dataclasses.replace(n, takeover_paths=hardened_paths)
+        if n.service == target
+        else n
+        for n in base.nodes
+    ]
+    hardened = TransformationDependencyGraph(hardened_nodes, attacker)
+    base_levels = base.dependency_levels(PL.WEB)
+    hardened_levels = hardened.dependency_levels(PL.WEB)
+    assert set(base_levels) == set(hardened_levels)
+    for service, levels in base_levels.items():
+        assert _min_rank(hardened_levels[service]) >= _min_rank(levels), service
+
+
+@_SETTINGS
+@given(eco=ecosystems())
+def test_couples_never_contain_a_redundant_member(eco):
+    """Definition 3 minimality: dropping any couple member must break the
+    joint cover of the record's path."""
+    tdg = TransformationDependencyGraph.from_ecosystem(
+        eco, AttackerProfile.baseline()
+    )
+    for node in tdg.nodes:
+        for record in tdg.couples(node.service):
+            assert len(record.providers) >= 2
+            cover = tdg.coverage(node, record.path)
+            for member in record.providers:
+                rest = record.providers - {member}
+                assert not all(
+                    tdg._pool_provides(factor, record.path, rest)
+                    for factor in cover.residual
+                ), (node.service, record)
+
+
+@_SETTINGS
+@given(eco=ecosystems())
+def test_indexed_engine_matches_reference_on_random_ecosystems(eco):
+    """Hypothesis-driven differential check against the brute-force oracle
+    (the seeded-catalog version lives in test_tdg_equivalence.py)."""
+    attacker = AttackerProfile.baseline()
+    indexed = TransformationDependencyGraph.from_ecosystem(eco, attacker)
+    reference = ReferenceTDG.from_ecosystem(eco, attacker)
+    assert indexed.strong_edges() == reference.strong_edges()
+    assert indexed.weak_edges() == reference.weak_edges()
+    for node in reference.nodes:
+        assert indexed.couples(node.service) == reference.couples(node.service)
+    assert indexed.dependency_levels(PL.WEB) == reference.dependency_levels(
+        PL.WEB
+    )

@@ -1,0 +1,126 @@
+"""Differential tests: the indexed TDG engine vs the brute-force reference.
+
+:class:`repro.core.reference.ReferenceTDG` preserves the seed's all-pairs
+scanning semantics verbatim; :class:`repro.core.tdg.TransformationDependencyGraph`
+answers the same queries from inverted indexes with memoization.  These
+tests lock the two engines together bit-for-bit across seeded
+:class:`~repro.catalog.builder.CatalogBuilder` ecosystems and attacker
+profiles covering every :class:`~repro.model.attacker.AttackerCapability`:
+
+- identical :class:`PathCoverage` splits for every path,
+- identical full- and half-capacity parent sets per service,
+- identical couple records (same tuples, same order -- the Couple File),
+- identical strong/weak edge sets and fringe nodes,
+- identical dependency-level maps and exact level fractions per platform.
+"""
+
+import pytest
+
+from repro.catalog.builder import CatalogBuilder
+from repro.catalog.spec import CatalogSpec
+from repro.core.reference import ReferenceTDG
+from repro.core.tdg import TransformationDependencyGraph
+from repro.model.attacker import AttackerCapability, AttackerProfile
+from repro.model.factors import Platform
+
+#: Twenty seeded ecosystems of varying size (the ISSUE's floor).
+ECOSYSTEM_CASES = tuple((seed, 12 + 4 * (seed % 5)) for seed in range(20))
+
+#: The three named profiles of the paper's narrative.
+NAMED_PROFILES = {
+    "baseline": AttackerProfile.baseline(),
+    "se_database": AttackerProfile.with_se_database(),
+    "passive": AttackerProfile.passive_observer(),
+}
+
+#: One ablation per capability, so every AttackerCapability member gates at
+#: least one compared graph (the SE profile holds all six capabilities).
+ABLATED_PROFILES = {
+    capability.value: AttackerProfile.with_se_database().without_capability(
+        capability
+    )
+    for capability in AttackerCapability
+}
+
+
+def _build_ecosystem(seed: int, size: int):
+    return CatalogBuilder(
+        CatalogSpec(total_services=size), seed=seed
+    ).build_ecosystem()
+
+
+def _assert_engines_equivalent(ecosystem, attacker):
+    indexed = TransformationDependencyGraph.from_ecosystem(ecosystem, attacker)
+    reference = ReferenceTDG.from_ecosystem(ecosystem, attacker)
+
+    for node in reference.nodes:
+        service = node.service
+        for path in node.takeover_paths:
+            assert indexed.coverage(node, path) == reference.coverage(
+                node, path
+            ), (service, path)
+        assert indexed.full_capacity_parents(
+            service
+        ) == reference.full_capacity_parents(service), service
+        assert indexed.half_capacity_parents(
+            service
+        ) == reference.half_capacity_parents(service), service
+        # Couple records must match as ordered tuples: same providers, same
+        # target path, same enumeration order (the Couple File is an
+        # artifact, not just a set).
+        assert indexed.couples(service) == reference.couples(service), service
+        for platform in (None, Platform.WEB, Platform.MOBILE):
+            assert indexed.is_direct(service, platform) == reference.is_direct(
+                service, platform
+            ), (service, platform)
+
+    assert indexed.strong_edges() == reference.strong_edges()
+    assert indexed.weak_edges() == reference.weak_edges()
+    assert indexed.fringe_nodes() == reference.fringe_nodes()
+
+    for platform in (Platform.WEB, Platform.MOBILE):
+        new_levels = indexed.dependency_levels(platform)
+        old_levels = reference.dependency_levels(platform)
+        assert new_levels == old_levels, platform
+        if old_levels:
+            # Exact float equality: both engines must count identically.
+            assert indexed.level_fractions(platform) == reference.level_fractions(
+                platform
+            ), platform
+
+
+@pytest.mark.parametrize("seed,size", ECOSYSTEM_CASES)
+def test_indexed_engine_matches_reference(seed, size):
+    """Bit-for-bit equivalence on 20 seeded catalog ecosystems under the
+    three named attacker profiles."""
+    ecosystem = _build_ecosystem(seed, size)
+    for attacker in NAMED_PROFILES.values():
+        _assert_engines_equivalent(ecosystem, attacker)
+
+
+@pytest.mark.parametrize("capability", sorted(ABLATED_PROFILES))
+def test_capability_ablations_match_reference(capability):
+    """Removing any single capability changes both engines identically."""
+    attacker = ABLATED_PROFILES[capability]
+    for seed, size in ((3, 24), (11, 28)):
+        _assert_engines_equivalent(_build_ecosystem(seed, size), attacker)
+
+
+def test_shared_index_batch_matches_individual_graphs():
+    """analyze_many graphs (shared EcosystemIndex) equal per-profile builds."""
+    ecosystem = _build_ecosystem(5, 24)
+    profiles = tuple(NAMED_PROFILES.values())
+    batched = TransformationDependencyGraph.analyze_many(ecosystem, profiles)
+    assert len(batched) == len(profiles)
+    first_index = batched[0].ecosystem_index()
+    for graph, attacker in zip(batched, profiles):
+        assert graph.ecosystem_index() is first_index
+        solo = TransformationDependencyGraph.from_ecosystem(
+            ecosystem, attacker
+        )
+        assert graph.strong_edges() == solo.strong_edges()
+        assert graph.weak_edges() == solo.weak_edges()
+        for platform in (Platform.WEB, Platform.MOBILE):
+            assert graph.dependency_levels(platform) == solo.dependency_levels(
+                platform
+            )
