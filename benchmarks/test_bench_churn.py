@@ -1,0 +1,140 @@
+"""Churn tier: the incremental engine under a 500-mutation stream at the
+1000-service scale.
+
+The scaling benchmark measures one-shot analysis; this tier measures the
+*serving* workload the incremental engine exists for: a long stream of
+ecosystem mutations (services launching/retiring, auth paths and masking
+rules drifting, countermeasures landing per provider) interleaved with
+dependency-level queries.  Three costs are reported:
+
+- **incremental update** -- ``session.mutate()``: delta apply, stage-1/2
+  report refresh for touched services, postings splices, reachable-only
+  invalidation;
+- **full rebuild** (sampled) -- the ActFort pipeline rebuilt from scratch
+  over the current ecosystem to the same ready-to-serve state, which is
+  what every mutation would cost without the incremental engine;
+- **query-after-update vs query-after-rebuild** -- the Section IV-B
+  dependency-level payload served from partially-surviving memos vs cold.
+
+Timings are appended to ``BENCH_scaling.json`` under the ``"churn"`` key
+(read-modify-write; the scaling benchmark owns the other keys).
+"""
+
+import json
+import pathlib
+import statistics
+import time
+
+from repro.catalog.builder import CatalogBuilder
+from repro.catalog.spec import CatalogSpec
+from repro.core.actfort import ActFort
+from repro.dynamic import DynamicAnalysisSession, MutationStream
+from repro.model.factors import Platform
+from repro.utils.tables import format_table
+
+#: The indexed-engine-only scaling tier.
+CHURN_SIZE = 1000
+
+#: Length of the mutation stream.
+MUTATION_COUNT = 500
+
+#: Every k-th mutation is followed by a timed dependency-level query.
+QUERY_EVERY = 25
+
+#: Every k-th mutation, a from-scratch rebuild is sampled for comparison.
+REBUILD_EVERY = 100
+
+#: Acceptance floor: a mutation must beat a rebuild by this factor.
+REQUIRED_UPDATE_SPEEDUP = 10.0
+
+JSON_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_scaling.json"
+
+
+def test_bench_churn_stream(benchmark):
+    ecosystem = CatalogBuilder(
+        CatalogSpec(total_services=CHURN_SIZE), seed=2021
+    ).build_ecosystem()
+    session = DynamicAnalysisSession(ecosystem)
+    session.level_fractions(Platform.WEB)  # warm the maintained state
+    stream = MutationStream(seed=2021)
+
+    update_seconds = []
+    query_seconds = []
+    rebuild_seconds = []
+    cold_query_seconds = []
+    for index in range(MUTATION_COUNT):
+        mutation = stream.next_mutation(session.ecosystem)
+        start = time.perf_counter()
+        session.mutate(mutation)
+        update_seconds.append(time.perf_counter() - start)
+        if (index + 1) % QUERY_EVERY == 0:
+            start = time.perf_counter()
+            session.level_fractions(Platform.WEB)
+            query_seconds.append(time.perf_counter() - start)
+        if (index + 1) % REBUILD_EVERY == 0:
+            start = time.perf_counter()
+            rebuilt = ActFort.from_ecosystem(session.ecosystem).tdg()
+            rebuilt.attacker_index()
+            rebuild_seconds.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            rebuilt.level_fractions(Platform.WEB)
+            cold_query_seconds.append(time.perf_counter() - start)
+
+    # Give pytest-benchmark a representative single-step sample.
+    benchmark.pedantic(
+        lambda: session.mutate(stream.next_mutation(session.ecosystem)),
+        rounds=5,
+        iterations=1,
+    )
+
+    update_median = statistics.median(update_seconds)
+    rebuild_mean = statistics.fmean(rebuild_seconds)
+    query_median = statistics.median(query_seconds)
+    cold_query_mean = statistics.fmean(cold_query_seconds)
+    update_speedup = rebuild_mean / update_median
+    serve_speedup = (rebuild_mean + cold_query_mean) / (
+        update_median + query_median
+    )
+    rows = [
+        ("mutations applied", str(MUTATION_COUNT)),
+        ("final services", str(len(session))),
+        ("update median", f"{update_median * 1e3:.2f}ms"),
+        ("update total", f"{sum(update_seconds):.2f}s"),
+        ("rebuild mean (sampled)", f"{rebuild_mean * 1e3:.1f}ms"),
+        ("query after update (median)", f"{query_median * 1e3:.1f}ms"),
+        ("query after rebuild (mean)", f"{cold_query_mean * 1e3:.1f}ms"),
+        ("update vs rebuild", f"{update_speedup:.1f}x"),
+        ("mutate+query vs rebuild+query", f"{serve_speedup:.1f}x"),
+    ]
+    print(
+        "\n"
+        + format_table(
+            ("metric", "value"),
+            rows,
+            title=f"churn stream at the {CHURN_SIZE}-service tier",
+        )
+    )
+
+    payload = {
+        "size": CHURN_SIZE,
+        "mutations": MUTATION_COUNT,
+        "final_services": len(session),
+        "update_median_seconds": update_median,
+        "update_total_seconds": sum(update_seconds),
+        "rebuild_mean_seconds": rebuild_mean,
+        "query_after_update_median_seconds": query_median,
+        "query_after_rebuild_mean_seconds": cold_query_mean,
+        "update_speedup": update_speedup,
+        "serve_speedup": serve_speedup,
+    }
+    merged = {}
+    if JSON_PATH.exists():
+        try:
+            merged = json.loads(JSON_PATH.read_text())
+        except ValueError:
+            merged = {}
+    merged["churn"] = payload
+    JSON_PATH.write_text(json.dumps(merged, indent=2) + "\n")
+    benchmark.extra_info["churn"] = payload
+
+    assert update_speedup >= REQUIRED_UPDATE_SPEEDUP, payload

@@ -114,7 +114,16 @@ def test_bench_actfort_scaling(benchmark):
         "new_seconds": {str(k): v for k, v in new_seconds.items()},
         "speedup": {str(k): v for k, v in speedup.items()},
     }
-    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    # Read-modify-write: other benchmarks (the churn tier) contribute
+    # their own sections to the same trajectory file.
+    merged = {}
+    if JSON_PATH.exists():
+        try:
+            merged = json.loads(JSON_PATH.read_text())
+        except ValueError:
+            merged = {}
+    merged.update(payload)
+    JSON_PATH.write_text(json.dumps(merged, indent=2) + "\n")
     benchmark.extra_info["scaling"] = payload
 
     # Acceptance: the indexed engine is >= 3x the seed at the 402 tier, the

@@ -43,6 +43,22 @@ batch API instead of rebuilding per profile::
 The seed's brute-force engine is preserved in :mod:`repro.core.reference`
 as the differential-testing oracle; ``tests/test_tdg_equivalence.py`` locks
 the indexed engine to it bit-for-bit.
+
+Ecosystems also evolve *in place*: :mod:`repro.dynamic` keeps the indexed
+engine live under typed mutations (services launching/retiring, auth paths
+and masking rules changing, defenses rolling out provider by provider),
+updating the inverted indexes per delta instead of rebuilding::
+
+    from repro import DynamicAnalysisSession, Platform, build_default_ecosystem
+    from repro.dynamic import email_hardening_rollout, RolloutPlanner
+
+    session = DynamicAnalysisSession(build_default_ecosystem())
+    trajectory = RolloutPlanner(session.ecosystem).replay(
+        email_hardening_rollout(session.ecosystem)
+    )
+
+``tests/test_dynamic_equivalence.py`` locks every incremental state to a
+from-scratch rebuild, mirroring the indexed engine's discipline.
 """
 
 from repro.model import (
@@ -73,6 +89,7 @@ from repro.telecom import ActiveMitM, FourGJammer, GSMNetwork, OsmocomSniffer
 from repro.attack import ChainExecutor, SnifferInterception
 from repro.analysis import MeasurementStudy, compute_insights
 from repro.defense import DefenseEvaluation
+from repro.dynamic import DynamicAnalysisSession
 
 __version__ = "1.0.0"
 
@@ -90,6 +107,7 @@ __all__ = [
     "DefenseEvaluation",
     "DependencyLevel",
     "DeployedEcosystem",
+    "DynamicAnalysisSession",
     "Ecosystem",
     "FourGJammer",
     "GSMNetwork",

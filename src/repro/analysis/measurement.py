@@ -95,10 +95,35 @@ class MeasurementStudy:
             self._aggregate(clone) for clone in base.batch(attackers)
         )
 
+    def run_session(
+        self, session, attacker: Optional[str] = None
+    ) -> MeasurementResults:
+        """Incremental re-aggregation over a live dynamic session.
+
+        ``session`` is a
+        :class:`~repro.dynamic.session.DynamicAnalysisSession`: its
+        stage-1/2 reports and indexed graph are maintained per mutation
+        delta, so re-measuring after a mutation costs only this O(services)
+        aggregation plus whatever memoized graph state the delta actually
+        invalidated -- never a pipeline rebuild.  ``attacker`` selects one
+        of the session's attacker labels (default: the session's first);
+        the study's own attacker profile is not consulted, since the
+        session already fixed its profiles at construction.
+        """
+        return self._aggregate_reports(
+            session.auth_reports,
+            session.collection_reports,
+            session.graph(attacker),
+        )
+
     def _aggregate(self, actfort: ActFort) -> MeasurementResults:
-        auth_reports = actfort.auth_reports
-        collection_reports = actfort.collection_reports
-        tdg = actfort.tdg()
+        return self._aggregate_reports(
+            actfort.auth_reports, actfort.collection_reports, actfort.tdg()
+        )
+
+    def _aggregate_reports(
+        self, auth_reports, collection_reports, tdg
+    ) -> MeasurementResults:
 
         fig3: Dict[Platform, Mapping[str, float]] = {}
         table1: Dict[Platform, Mapping[PersonalInfoKind, float]] = {}

@@ -116,7 +116,6 @@ class CatalogBuilder:
     ) -> None:
         self._spec = spec
         self._seeds = SeedSequence(seed)
-        self._rng = self._seeds.stream("catalog.builder")
 
     @property
     def spec(self) -> CatalogSpec:
@@ -127,25 +126,41 @@ class CatalogBuilder:
     # Profile synthesis
     # ------------------------------------------------------------------
 
-    def build_ecosystem(self) -> Ecosystem:
-        """Generate the full service catalog (seeds + synthetic)."""
+    def build_ecosystem(
+        self, rng: Optional[random.Random] = None
+    ) -> Ecosystem:
+        """Generate the full service catalog (seeds + synthetic).
+
+        The synthetic-service stream is threaded through one explicit
+        :class:`random.Random` end-to-end (derived fresh from the root
+        seed on every call unless ``rng`` is given), so repeated builds
+        from the *same* builder are identical run-to-run -- the
+        reproducibility contract the churn benchmarks rely on.
+        """
+        rng = rng if rng is not None else self._seeds.stream("catalog.builder")
         profiles: List[ServiceProfile] = list(seed_profiles())
         synthetic_needed = max(0, self._spec.total_services - len(profiles))
-        domain_of: List[DomainSpec] = self._assign_domains(synthetic_needed)
+        domain_of: List[DomainSpec] = self._assign_domains(
+            synthetic_needed, rng
+        )
         for index, domain in enumerate(domain_of):
-            profiles.append(self._synthesize_service(index, domain))
+            profiles.append(self.synthesize_service(index, domain, rng))
         return Ecosystem(profiles)
 
-    def _assign_domains(self, count: int) -> List[DomainSpec]:
+    def _assign_domains(
+        self, count: int, rng: random.Random
+    ) -> List[DomainSpec]:
         domains = list(self._spec.domains)
         weights = [d.weight for d in domains]
         return [
-            domains[self._weighted_choice(weights)] for _ in range(count)
+            domains[self._weighted_choice(weights, rng)] for _ in range(count)
         ]
 
-    def _weighted_choice(self, weights: Sequence[float]) -> int:
+    def _weighted_choice(
+        self, weights: Sequence[float], rng: random.Random
+    ) -> int:
         total = sum(weights)
-        roll = self._rng.uniform(0.0, total)
+        roll = rng.uniform(0.0, total)
         cumulative = 0.0
         for index, weight in enumerate(weights):
             cumulative += weight
@@ -153,11 +168,22 @@ class CatalogBuilder:
                 return index
         return len(weights) - 1
 
-    def _synthesize_service(
-        self, index: int, domain: DomainSpec
+    def synthesize_service(
+        self,
+        index: int,
+        domain: DomainSpec,
+        rng: random.Random,
+        name: Optional[str] = None,
     ) -> ServiceProfile:
-        rng = self._rng
-        name = f"{domain.name}_{index:03d}"
+        """Synthesize one service from an explicit random stream.
+
+        Public so churn generators (:mod:`repro.dynamic.churn`) can mint
+        catalog-faithful services for ``AddService`` mutations; ``name``
+        overrides the default ``{domain}_{index:03d}`` naming when callers
+        must avoid colliding with the existing catalog.
+        """
+        if name is None:
+            name = f"{domain.name}_{index:03d}"
         has_mobile = rng.random() < domain.has_mobile
         platforms = [PL.WEB] + ([PL.MOBILE] if has_mobile else [])
 
@@ -168,14 +194,16 @@ class CatalogBuilder:
         paths: List[AuthPath] = []
         for platform in platforms:
             paths.extend(
-                self._paths_for_platform(name, platform, domain, sms_reset_service)
+                self._paths_for_platform(
+                    name, platform, domain, sms_reset_service, rng
+                )
             )
         is_direct = any(p.is_sms_only for p in paths)
 
         exposed: Dict[PL, frozenset] = {}
         mask_specs: Dict[Tuple[PL, PI], MaskSpec] = {}
         for platform in platforms:
-            kinds = self._sample_exposure(platform, domain, is_direct)
+            kinds = self._sample_exposure(platform, domain, is_direct, rng)
             exposed[platform] = kinds
             if PI.CITIZEN_ID in kinds:
                 mask_specs[(platform, PI.CITIZEN_ID)] = rng.choice(
@@ -200,8 +228,8 @@ class CatalogBuilder:
         platform: PL,
         domain: DomainSpec,
         sms_reset_service: bool,
+        rng: random.Random,
     ) -> List[AuthPath]:
-        rng = self._rng
         paths: List[AuthPath] = []
 
         def add(purpose: AuthPurpose, *factors: CF, linked: Tuple[str, ...] = ()) -> None:
@@ -329,9 +357,12 @@ class CatalogBuilder:
         return paths
 
     def _sample_exposure(
-        self, platform: PL, domain: DomainSpec, is_direct: bool
+        self,
+        platform: PL,
+        domain: DomainSpec,
+        is_direct: bool,
+        rng: random.Random,
     ) -> frozenset:
-        rng = self._rng
         table = (
             self._spec.exposure_web
             if platform is PL.WEB

@@ -86,6 +86,14 @@ class EcosystemIndex:
     def __init__(self, nodes: Mapping[str, "TDGNode"]) -> None:
         self.names: Tuple[str, ...] = tuple(nodes)
         self.name_set: FrozenSet[str] = frozenset(nodes)
+        # Monotone per-service ordinals back the in-place postings updates:
+        # additions append (fresh max ordinal), removals keep the survivors'
+        # relative order, so sorting by ordinal always reproduces the tuple
+        # order a from-scratch rebuild would derive from insertion order.
+        self._ordinal: Dict[str, int] = {
+            name: position for position, name in enumerate(self.names)
+        }
+        self._next_ordinal: int = len(self.names)
 
         holders: Dict[PersonalInfoKind, List[str]] = {}
         dossier: List[str] = []
@@ -128,18 +136,138 @@ class EcosystemIndex:
         # excluding service ``s`` only if ``s`` is its sole holder.
         self._partial_union: Dict[CredentialFactor, FrozenSet[int]] = {}
         self._unique_coverage: Dict[CredentialFactor, Dict[str, int]] = {}
-        for factor, views in partial.items():
-            counts: Dict[int, int] = {}
-            for _name, positions in views:
-                for position in positions:
-                    counts[position] = counts.get(position, 0) + 1
-            self._partial_union[factor] = frozenset(counts)
-            unique: Dict[str, int] = {}
-            for name, positions in views:
-                only_here = sum(1 for p in positions if counts[p] == 1)
-                if only_here:
-                    unique[name] = only_here
-            self._unique_coverage[factor] = unique
+        for factor in MASKABLE_FACTORS:
+            self._recount_partial(factor)
+
+    def _recount_partial(self, factor: CredentialFactor) -> None:
+        """Rebuild the combinability summaries for one maskable factor from
+        its current masked-view postings (cheap: views are few)."""
+        views = self.partial_holders[factor]
+        counts: Dict[int, int] = {}
+        for _name, positions in views:
+            for position in positions:
+                counts[position] = counts.get(position, 0) + 1
+        self._partial_union[factor] = frozenset(counts)
+        unique: Dict[str, int] = {}
+        for name, positions in views:
+            only_here = sum(1 for p in positions if counts[p] == 1)
+            if only_here:
+                unique[name] = only_here
+        self._unique_coverage[factor] = unique
+
+    # ------------------------------------------------------------------
+    # In-place maintenance (the incremental engine's hooks)
+    # ------------------------------------------------------------------
+
+    def _insert_position(self, existing_names, name: str) -> int:
+        """Where ``name`` lands among ordinal-sorted ``existing_names``."""
+        key = self._ordinal[name]
+        index = 0
+        for existing in existing_names:
+            if self._ordinal[existing] < key:
+                index += 1
+            else:
+                break
+        return index
+
+    def splice_name(
+        self, ordered: Tuple[str, ...], name: str
+    ) -> Tuple[str, ...]:
+        """Insert ``name`` into an ordinal-sorted name tuple at the position
+        a from-scratch rebuild would give it."""
+        index = self._insert_position(ordered, name)
+        return ordered[:index] + (name,) + ordered[index:]
+
+    def apply_node_change(
+        self,
+        name: str,
+        old: "TDGNode | None",
+        new: "TDGNode | None",
+    ) -> None:
+        """Update every posting list in place for one node change.
+
+        ``old is None`` means an addition (appended at the end of the graph
+        order), ``new is None`` a removal, both non-None a replacement in
+        place.  After the call the index is field-for-field identical to a
+        fresh :class:`EcosystemIndex` over the mutated node set: entries
+        stay sorted by service ordinal, holder keys exist only while they
+        have at least one holder, and the combinability summaries are
+        recounted for exactly the maskable factors whose views changed.
+        """
+        if old is None and new is None:
+            raise ValueError("node change must have at least one side")
+        if old is None:
+            if name in self._ordinal:
+                raise ValueError(f"duplicate node {name!r}")
+            self._ordinal[name] = self._next_ordinal
+            self._next_ordinal += 1
+            self.names = self.names + (name,)
+            self.name_set = self.name_set | {name}
+        elif new is None:
+            self.names = tuple(n for n in self.names if n != name)
+            self.name_set = self.name_set - {name}
+
+        old_pia = old.pia if old is not None else frozenset()
+        new_pia = new.pia if new is not None else frozenset()
+        for kind in old_pia - new_pia:
+            remaining = tuple(n for n in self.holders_of[kind] if n != name)
+            if remaining:
+                self.holders_of[kind] = remaining
+                self._holder_sets[kind] = frozenset(remaining)
+            else:
+                del self.holders_of[kind]
+                del self._holder_sets[kind]
+        for kind in new_pia - old_pia:
+            ordered = self.splice_name(self.holders_of.get(kind, ()), name)
+            self.holders_of[kind] = ordered
+            self._holder_sets[kind] = frozenset(ordered)
+
+        was_dossier = len(old_pia & DOSSIER_KINDS) >= DOSSIER_THRESHOLD and (
+            old is not None
+        )
+        is_dossier = len(new_pia & DOSSIER_KINDS) >= DOSSIER_THRESHOLD and (
+            new is not None
+        )
+        if was_dossier and not is_dossier:
+            self._dossier_ordered = tuple(
+                n for n in self._dossier_ordered if n != name
+            )
+            self.dossier_holders = frozenset(self._dossier_ordered)
+        elif is_dossier and not was_dossier:
+            self._dossier_ordered = self.splice_name(
+                self._dossier_ordered, name
+            )
+            self.dossier_holders = frozenset(self._dossier_ordered)
+
+        for factor, (kind, _length) in MASKABLE_FACTORS.items():
+            old_positions = (
+                old.pia_partial.get(kind, frozenset())
+                if old is not None
+                else frozenset()
+            )
+            new_positions = (
+                new.pia_partial.get(kind, frozenset())
+                if new is not None
+                else frozenset()
+            )
+            if old_positions == new_positions:
+                continue
+            views = [
+                view for view in self.partial_holders[factor] if view[0] != name
+            ]
+            if new_positions:
+                index = self._insert_position(
+                    (view_name for view_name, _positions in views), name
+                )
+                views.insert(index, (name, new_positions))
+                self.partial_by_service[factor][name] = new_positions
+            else:
+                self.partial_by_service[factor].pop(name, None)
+            self.partial_holders[factor] = tuple(views)
+            self._recount_partial(factor)
+
+        if new is None:
+            del self._ordinal[name]
 
     def holder_set(self, kind: PersonalInfoKind) -> FrozenSet[str]:
         """Services exposing ``kind`` in full."""
@@ -184,6 +312,7 @@ class AttackerIndex:
             AttackerCapability.EMAIL_CHANNEL_AFTER_COMPROMISE
             in attacker.capabilities
         )
+        self._email_channel = email_channel
         self._static: Dict[CredentialFactor, FrozenSet[str]] = {}
         self._static_ordered: Dict[CredentialFactor, Tuple[str, ...]] = {}
         for factor in CredentialFactor:
@@ -225,6 +354,72 @@ class AttackerIndex:
                     )
             self._static_ordered[factor] = ordered
             self._static[factor] = frozenset(ordered)
+
+    def provided_factors(self, node: "TDGNode") -> FrozenSet[CredentialFactor]:
+        """Path-independent factors ``node`` provides under this profile.
+
+        This is the membership rule behind the per-factor postings of
+        ``__init__`` restated per node, which is what lets the incremental
+        engine splice a single node's changes into the postings instead of
+        rebuilding them (``LINKED_ACCOUNT`` stays path-resolved and robust
+        factors and passwords are never provided, exactly as at build
+        time).
+        """
+        provided = set()
+        for factor in CredentialFactor:
+            if factor is CredentialFactor.LINKED_ACCOUNT:
+                continue
+            if is_robust_factor(factor) or factor is CredentialFactor.PASSWORD:
+                continue
+            if factor in (
+                CredentialFactor.EMAIL_CODE,
+                CredentialFactor.EMAIL_LINK,
+            ):
+                if self._email_channel and (
+                    PersonalInfoKind.MAILBOX_ACCESS in node.pia
+                ):
+                    provided.add(factor)
+            elif factor is CredentialFactor.CUSTOMER_SERVICE:
+                if self.can_social_engineer and (
+                    len(node.pia & DOSSIER_KINDS) >= DOSSIER_THRESHOLD
+                ):
+                    provided.add(factor)
+            elif node.pia & info_satisfying_factor(factor):
+                provided.add(factor)
+        return frozenset(provided)
+
+    def update_for_node(
+        self,
+        name: str,
+        old: "TDGNode | None",
+        new: "TDGNode | None",
+    ) -> FrozenSet[CredentialFactor]:
+        """Splice one node change into the per-factor provider postings.
+
+        Must run *after* the backing :class:`EcosystemIndex` has absorbed
+        the same change (additions need the new service's ordinal).
+        Returns the factors whose provider sets changed -- the seed of the
+        graph-cache invalidation.
+        """
+        old_factors = (
+            self.provided_factors(old) if old is not None else frozenset()
+        )
+        new_factors = (
+            self.provided_factors(new) if new is not None else frozenset()
+        )
+        for factor in old_factors - new_factors:
+            ordered = tuple(
+                n for n in self._static_ordered[factor] if n != name
+            )
+            self._static_ordered[factor] = ordered
+            self._static[factor] = frozenset(ordered)
+        for factor in new_factors - old_factors:
+            ordered = self.ecosystem.splice_name(
+                self._static_ordered[factor], name
+            )
+            self._static_ordered[factor] = ordered
+            self._static[factor] = frozenset(ordered)
+        return old_factors ^ new_factors
 
     def static_provider_set(self, factor: CredentialFactor) -> FrozenSet[str]:
         """Providers of a path-independent factor, with no exclusion.

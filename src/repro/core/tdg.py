@@ -38,6 +38,7 @@ from typing import (
     Dict,
     FrozenSet,
     Iterable,
+    Iterator,
     List,
     Mapping,
     Optional,
@@ -370,6 +371,90 @@ class TransformationDependencyGraph:
         if self._attacker_index is None:
             self._attacker_index = self.ecosystem_index().view(self._attacker)
         return self._attacker_index
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (used by repro.dynamic.incremental)
+    # ------------------------------------------------------------------
+
+    def invalidate_after_delta(
+        self,
+        touched_services: FrozenSet[str],
+        affected_factors: FrozenSet[CredentialFactor],
+        combining_factors: FrozenSet[CredentialFactor],
+        changed_names: FrozenSet[str],
+    ) -> None:
+        """Drop exactly the memoized entries a node delta can reach.
+
+        Called by the incremental maintainer *after* the node set and the
+        live indexes have absorbed a delta.  Arguments:
+
+        - ``touched_services``: services whose nodes were added, removed,
+          or replaced (their own paths' memoized state is stale).
+        - ``affected_factors``: factors whose provider postings or
+          combining state changed under this graph's profile -- any path
+          demanding one of them may now split or chain differently.
+        - ``combining_factors``: the subset whose masked-view postings
+          changed (the only entries the combining enumeration depends on).
+        - ``changed_names``: names added to or removed from the node set;
+          they shift ``LINKED_ACCOUNT`` provider sets for paths naming
+          them.
+
+        The dependency-level fixpoints are global (any reachability change
+        anywhere can ripple through the depth ordering), so they are always
+        dropped; they rebuild from the surviving coverage/parent memos.
+        """
+        self._levels_cache.clear()
+        self._depth_cache = None
+        self._pure_full_cache = None
+
+        def path_affected(path: AuthPath) -> bool:
+            return (
+                path.service in touched_services
+                or bool(path.factors & affected_factors)
+                or bool(path.linked_providers & changed_names)
+            )
+
+        for path in [p for p in self._coverage_cache if path_affected(p)]:
+            del self._coverage_cache[path]
+        for key in [
+            k for k in self._pool_cover_cache if path_affected(k[0])
+        ]:
+            del self._pool_cover_cache[key]
+
+        def service_affected(service: str) -> bool:
+            node = self._nodes.get(service)
+            if node is None or service in touched_services:
+                return True
+            return any(path_affected(p) for p in node.takeover_paths)
+
+        for service in [
+            s for s in self._full_parents_cache if service_affected(s)
+        ]:
+            del self._full_parents_cache[service]
+        for service in [
+            s for s in self._half_parents_cache if service_affected(s)
+        ]:
+            del self._half_parents_cache[service]
+        for key in [
+            k for k in self._couples_cache if service_affected(k[0])
+        ]:
+            del self._couples_cache[key]
+        for key in [
+            k
+            for k in self._signature_sets_cache
+            if frozenset(k[0]) & affected_factors
+        ]:
+            del self._signature_sets_cache[key]
+        for key in [
+            k
+            for k in self._signature_cover_cache
+            if frozenset(k[0]) & affected_factors
+        ]:
+            del self._signature_cover_cache[key]
+        for key in [
+            k for k in self._combining_global_cache if k[0] in combining_factors
+        ]:
+            del self._combining_global_cache[key]
 
     # ------------------------------------------------------------------
     # Factor provisioning semantics
@@ -845,14 +930,54 @@ class TransformationDependencyGraph:
                 edges.add((parent, service))
         return frozenset(edges)
 
+    def iter_weak_edges(
+        self, max_size: int = 3
+    ) -> Iterator[Tuple[str, str]]:
+        """Stream weak-directivity edges without materializing the Couple
+        File.
+
+        :meth:`couples` memoizes the full per-service record tuples --
+        ~200k records at 201 services, the ecosystem-scale output bound --
+        but the edge set only needs each (provider, child) pair once.  This
+        generator enumerates the memoized *per-signature* member sets (a
+        few hundred entries shared by every service on the signature) and
+        yields each distinct edge as it is discovered, child by child, so
+        no per-service record tuple is ever built or cached.  Services
+        whose Couple File is already memoized reuse it instead of
+        re-enumerating.
+        """
+        for service, node in self._nodes.items():
+            yielded: Set[str] = set()
+            cached = self._couples_cache.get((service, max_size))
+            if cached is not None:
+                for record in cached:
+                    for provider in record.providers:
+                        if provider not in yielded:
+                            yielded.add(provider)
+                            yield (provider, service)
+                continue
+            for path in node.takeover_paths:
+                cover = self.coverage(node, path)
+                if cover.is_blocked or not cover.residual:
+                    continue
+                if CredentialFactor.LINKED_ACCOUNT in cover.residual:
+                    member_sets = self._path_couple_sets(path, cover, max_size)
+                else:
+                    factors = tuple(
+                        sorted(cover.residual, key=lambda f: f.value)
+                    )
+                    member_sets = self._signature_couple_sets(factors, max_size)
+                for members in member_sets:
+                    if service in members:
+                        continue
+                    for provider in members:
+                        if provider not in yielded:
+                            yielded.add(provider)
+                            yield (provider, service)
+
     def weak_edges(self) -> FrozenSet[Tuple[str, str]]:
         """All weak-directivity edges (couple member -> child)."""
-        edges: Set[Tuple[str, str]] = set()
-        for service in self._nodes:
-            for record in self.couples(service):
-                for provider in record.providers:
-                    edges.add((provider, service))
-        return frozenset(edges)
+        return frozenset(self.iter_weak_edges())
 
     def to_networkx(self, include_weak: bool = False) -> nx.DiGraph:
         """Export to a NetworkX digraph (Fig. 4 rendering and analysis).

@@ -153,12 +153,27 @@ class BuiltinAuthUpgrade:
                 upgraded.append(path)
         return dataclasses.replace(profile, auth_paths=tuple(upgraded))
 
+    def _adopters(self, ecosystem: Ecosystem) -> Set[str]:
+        """The adopting fraction of services (in name order, deterministic)."""
+        names = sorted(ecosystem.service_names)
+        return set(names[: int(round(self.adoption * len(names)))])
+
+    def targets(self, ecosystem: Ecosystem) -> Tuple[str, ...]:
+        """Adopting services the upgrade would actually change, in catalog
+        order (respects the ``adoption`` fraction exactly like
+        :meth:`apply`)."""
+        adopters = self._adopters(ecosystem)
+        return tuple(
+            profile.name
+            for profile in ecosystem
+            if profile.name in adopters
+            and self.apply_to_profile(profile) != profile
+        )
+
     def apply(self, ecosystem: Ecosystem) -> Ecosystem:
         """Migrate the adopting fraction of services."""
-        names = sorted(ecosystem.service_names)
-        adopters: Set[str] = set(names[: int(round(self.adoption * len(names)))])
         replacements = {
             name: self.apply_to_profile(ecosystem.service(name))
-            for name in adopters
+            for name in self._adopters(ecosystem)
         }
         return ecosystem.with_services_replaced(replacements)

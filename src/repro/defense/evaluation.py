@@ -122,6 +122,47 @@ class DefenseEvaluation:
                 )
         return {label: tuple(row) for label, row in grid.items()}
 
+    def evaluate_rollout(
+        self,
+        steps=None,
+        platforms: Tuple[Platform, ...] = (Platform.WEB, Platform.MOBILE),
+        include_weak: bool = False,
+    ):
+        """What-if trajectory of a *staged* deployment (Section VII, but
+        gradual): replay ``steps`` over the baseline ecosystem through the
+        incremental engine and return the per-step
+        :class:`~repro.dynamic.rollout.RolloutTrajectory`.
+
+        The default plan is the paper's narrative order at deployment
+        granularity: email hardening one provider at a time, then symmetry
+        repair domain by domain.  Each step is absorbed as a delta by the
+        live indexes, so an N-step rollout costs N incremental updates --
+        not the N full re-measurements :meth:`evaluate` would pay.
+        """
+        from repro.dynamic.rollout import (
+            RolloutPlanner,
+            email_hardening_rollout,
+            symmetry_repair_rollout,
+        )
+
+        if steps is None:
+            # Symmetry targets are computed on the *email-hardened*
+            # ecosystem: hardening can itself introduce asymmetries (a
+            # strengthened web path can leave mobile strictly weaker), and
+            # those must be repaired by the later waves of the same plan.
+            steps = email_hardening_rollout(
+                self._baseline
+            ) + symmetry_repair_rollout(
+                EmailHardening().apply(self._baseline)
+            )
+        planner = RolloutPlanner(
+            self._baseline,
+            attacker=self._attacker,
+            platforms=platforms,
+            include_weak=include_weak,
+        )
+        return planner.replay(steps)
+
     def _measure(self, label: str, ecosystem: Ecosystem) -> DefenseOutcome:
         actfort = ActFort.from_ecosystem(ecosystem, attacker=self._attacker)
         return self._measure_actfort(label, actfort, len(ecosystem))

@@ -50,6 +50,19 @@ class EmailHardening:
                 hardened_paths.append(path)
         return dataclasses.replace(profile, auth_paths=tuple(hardened_paths))
 
+    def targets(self, ecosystem: Ecosystem) -> Tuple[str, ...]:
+        """Services this transform would actually change, in catalog order.
+
+        The unit of a staged deployment: the rollout planner
+        (:mod:`repro.dynamic.rollout`) ships one
+        :class:`~repro.dynamic.events.ApplyHardening` mutation per target.
+        """
+        return tuple(
+            profile.name
+            for profile in ecosystem
+            if self.apply_to_profile(profile) != profile
+        )
+
     def apply(self, ecosystem: Ecosystem) -> Ecosystem:
         """Harden every email provider in the ecosystem."""
         replacements = {
@@ -128,6 +141,15 @@ class SymmetryRepair:
                 if kind in profile.info_on(platform):
                     repaired[(platform, kind)] = strictest
         return repaired
+
+    def targets(self, ecosystem: Ecosystem) -> Tuple[str, ...]:
+        """Services whose platforms are actually asymmetric, in catalog
+        order (the rollout planner repairs them domain by domain)."""
+        return tuple(
+            profile.name
+            for profile in ecosystem
+            if self.apply_to_profile(profile) != profile
+        )
 
     def apply(self, ecosystem: Ecosystem) -> Ecosystem:
         """Repair every dual-platform service."""

@@ -61,6 +61,15 @@ class UnifiedMaskingPolicy:
                     ]
         return dataclasses.replace(profile, mask_specs=mask_specs)
 
+    def targets(self, ecosystem: Ecosystem) -> Tuple[str, ...]:
+        """Services whose masks deviate from the standard, in catalog order
+        (the staged-rollout unit for :mod:`repro.dynamic.rollout`)."""
+        return tuple(
+            profile.name
+            for profile in ecosystem
+            if self.apply_to_profile(profile) != profile
+        )
+
     def apply(self, ecosystem: Ecosystem) -> Ecosystem:
         """Return a hardened copy of the whole ecosystem."""
         replacements = {

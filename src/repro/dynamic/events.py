@@ -1,0 +1,271 @@
+"""The typed mutation model: what can change in a live ecosystem.
+
+Every mutation is a small frozen dataclass implementing
+:meth:`Mutation.apply_to`, which maps an :class:`~repro.model.ecosystem.Ecosystem`
+to ``(new_ecosystem, EcosystemDelta)``.  The ecosystem itself stays
+immutable -- ``apply_to`` builds a structurally-shared copy -- and the
+:class:`EcosystemDelta` records *exactly* which service profiles were
+added, removed, or replaced.  That record is the entire contract between
+the mutation layer and the incremental index maintainer
+(:mod:`repro.dynamic.incremental`): anything absent from the delta is
+guaranteed untouched, so indexes and memoized analysis reachable only
+from untouched services survive the mutation.
+
+The six mutation kinds cover the churn the paper's ecosystem actually
+exhibits: services launching and shutting down (:class:`AddService`,
+:class:`RemoveService`), providers adding or retiring reset combinations
+(:class:`AddAuthPath`, :class:`RemoveAuthPath`), masking-rule changes --
+the raw material of Insight 4's combining attack --
+(:class:`ChangeMasking`), and countermeasures deploying gradually across
+providers (:class:`ApplyHardening`, which wraps any defense transform's
+``apply_to_profile``).
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import FrozenSet, Optional, Tuple
+
+from repro.model.account import AuthPath, MaskSpec, ServiceProfile
+from repro.model.ecosystem import Ecosystem
+from repro.model.factors import PersonalInfoKind, Platform
+
+
+@dataclasses.dataclass(frozen=True)
+class EcosystemDelta:
+    """The exact service-level difference one mutation produced.
+
+    ``replaced`` pairs are ``(old_profile, new_profile)``; a profile whose
+    transform was a no-op never appears (``is_noop`` deltas leave every
+    index and cache untouched).
+    """
+
+    mutation: "Mutation"
+    added: Tuple[ServiceProfile, ...] = ()
+    removed: Tuple[ServiceProfile, ...] = ()
+    replaced: Tuple[Tuple[ServiceProfile, ServiceProfile], ...] = ()
+
+    @property
+    def is_noop(self) -> bool:
+        """Whether the mutation changed nothing."""
+        return not (self.added or self.removed or self.replaced)
+
+    @property
+    def added_names(self) -> FrozenSet[str]:
+        return frozenset(p.name for p in self.added)
+
+    @property
+    def removed_names(self) -> FrozenSet[str]:
+        return frozenset(p.name for p in self.removed)
+
+    @property
+    def replaced_names(self) -> FrozenSet[str]:
+        return frozenset(new.name for _old, new in self.replaced)
+
+    @property
+    def touched_services(self) -> Tuple[str, ...]:
+        """Every service name the delta mentions, adds first."""
+        return (
+            tuple(p.name for p in self.added)
+            + tuple(p.name for p in self.removed)
+            + tuple(new.name for _old, new in self.replaced)
+        )
+
+    def describe(self) -> str:
+        """Short human-readable rendering for logs and trajectories."""
+        parts = []
+        if self.added:
+            parts.append("+" + ",".join(sorted(self.added_names)))
+        if self.removed:
+            parts.append("-" + ",".join(sorted(self.removed_names)))
+        if self.replaced:
+            parts.append("~" + ",".join(sorted(self.replaced_names)))
+        return " ".join(parts) if parts else "(no-op)"
+
+
+class Mutation(abc.ABC):
+    """One typed change to a live ecosystem."""
+
+    @abc.abstractmethod
+    def apply_to(
+        self, ecosystem: Ecosystem
+    ) -> Tuple[Ecosystem, EcosystemDelta]:
+        """Return the mutated ecosystem copy plus the delta record."""
+
+    def describe(self) -> str:  # pragma: no cover - trivial default
+        return type(self).__name__
+
+
+@dataclasses.dataclass(frozen=True)
+class AddService(Mutation):
+    """A new service launches (appended at the end of the catalog order)."""
+
+    profile: ServiceProfile
+
+    def apply_to(
+        self, ecosystem: Ecosystem
+    ) -> Tuple[Ecosystem, EcosystemDelta]:
+        mutated = ecosystem.with_service_added(self.profile)
+        return mutated, EcosystemDelta(mutation=self, added=(self.profile,))
+
+    def describe(self) -> str:
+        return f"add_service({self.profile.name})"
+
+
+@dataclasses.dataclass(frozen=True)
+class RemoveService(Mutation):
+    """A service shuts down; its accounts disappear with it."""
+
+    service: str
+
+    def apply_to(
+        self, ecosystem: Ecosystem
+    ) -> Tuple[Ecosystem, EcosystemDelta]:
+        profile = ecosystem.service(self.service)
+        mutated = ecosystem.with_service_removed(self.service)
+        return mutated, EcosystemDelta(mutation=self, removed=(profile,))
+
+    def describe(self) -> str:
+        return f"remove_service({self.service})"
+
+
+@dataclasses.dataclass(frozen=True)
+class AddAuthPath(Mutation):
+    """A provider adds one authentication path (e.g. a new reset option)."""
+
+    service: str
+    path: AuthPath
+
+    def __post_init__(self) -> None:
+        if self.path.service != self.service:
+            raise ValueError(
+                f"path belongs to {self.path.service!r}, not {self.service!r}"
+            )
+
+    def apply_to(
+        self, ecosystem: Ecosystem
+    ) -> Tuple[Ecosystem, EcosystemDelta]:
+        old = ecosystem.service(self.service)
+        if self.path in old.auth_paths:
+            raise ValueError(
+                f"{self.service!r} already offers {self.path.describe()}"
+            )
+        new = dataclasses.replace(
+            old, auth_paths=old.auth_paths + (self.path,)
+        )
+        mutated = ecosystem.with_services_replaced({self.service: new})
+        return mutated, EcosystemDelta(mutation=self, replaced=((old, new),))
+
+    def describe(self) -> str:
+        return f"add_auth_path({self.service}, {self.path.describe()})"
+
+
+@dataclasses.dataclass(frozen=True)
+class RemoveAuthPath(Mutation):
+    """A provider retires one authentication path."""
+
+    service: str
+    path: AuthPath
+
+    def apply_to(
+        self, ecosystem: Ecosystem
+    ) -> Tuple[Ecosystem, EcosystemDelta]:
+        old = ecosystem.service(self.service)
+        if self.path not in old.auth_paths:
+            raise ValueError(
+                f"{self.service!r} does not offer {self.path.describe()}"
+            )
+        new = dataclasses.replace(
+            old,
+            auth_paths=tuple(p for p in old.auth_paths if p != self.path),
+        )
+        mutated = ecosystem.with_services_replaced({self.service: new})
+        return mutated, EcosystemDelta(mutation=self, replaced=((old, new),))
+
+    def describe(self) -> str:
+        return f"remove_auth_path({self.service}, {self.path.describe()})"
+
+
+@dataclasses.dataclass(frozen=True)
+class ChangeMasking(Mutation):
+    """A provider changes how it masks one sensitive kind on one platform.
+
+    ``spec=None`` removes the explicit rule, i.e. the kind reverts to being
+    shown in full (the measurement's default for unruled kinds).  A change
+    that leaves the profile identical yields a no-op delta.
+    """
+
+    service: str
+    platform: Platform
+    kind: PersonalInfoKind
+    spec: Optional[MaskSpec]
+
+    def apply_to(
+        self, ecosystem: Ecosystem
+    ) -> Tuple[Ecosystem, EcosystemDelta]:
+        old = ecosystem.service(self.service)
+        mask_specs = dict(old.mask_specs)
+        key = (self.platform, self.kind)
+        if self.spec is None:
+            mask_specs.pop(key, None)
+        else:
+            mask_specs[key] = self.spec
+        new = dataclasses.replace(old, mask_specs=mask_specs)
+        if new == old:
+            return ecosystem, EcosystemDelta(mutation=self)
+        mutated = ecosystem.with_services_replaced({self.service: new})
+        return mutated, EcosystemDelta(mutation=self, replaced=((old, new),))
+
+    def describe(self) -> str:
+        return (
+            f"change_masking({self.service}, {self.platform.value}, "
+            f"{self.kind.value})"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class ApplyHardening(Mutation):
+    """Deploy a defense transform to some (or all) services.
+
+    ``transform`` is any object exposing ``apply_to_profile`` -- every
+    Section VII countermeasure qualifies
+    (:class:`~repro.defense.hardening.EmailHardening`,
+    :class:`~repro.defense.hardening.SymmetryRepair`,
+    :class:`~repro.defense.masking_policy.UnifiedMaskingPolicy`,
+    :class:`~repro.defense.builtin_auth.BuiltinAuthUpgrade`).  Restricting
+    ``services`` is what turns an all-at-once countermeasure into a staged
+    rollout: one mutation per provider or per domain, each producing its
+    own delta for the incremental engine to absorb.
+    """
+
+    transform: object
+    services: Optional[Tuple[str, ...]] = None
+
+    def apply_to(
+        self, ecosystem: Ecosystem
+    ) -> Tuple[Ecosystem, EcosystemDelta]:
+        if self.services is None:
+            targets = ecosystem.service_names
+        else:
+            targets = self.services
+        replaced = []
+        replacements = {}
+        for name in targets:
+            old = ecosystem.service(name)
+            new = self.transform.apply_to_profile(old)
+            if new != old:
+                replaced.append((old, new))
+                replacements[name] = new
+        if not replacements:
+            return ecosystem, EcosystemDelta(mutation=self)
+        mutated = ecosystem.with_services_replaced(replacements)
+        return mutated, EcosystemDelta(
+            mutation=self, replaced=tuple(replaced)
+        )
+
+    def describe(self) -> str:
+        scope = (
+            ",".join(self.services) if self.services is not None else "all"
+        )
+        return f"apply_hardening({type(self.transform).__name__}, {scope})"

@@ -1,0 +1,160 @@
+"""Delta maintenance of the indexed TDG engine.
+
+:func:`apply_delta` absorbs one :class:`~repro.dynamic.events.EcosystemDelta`
+into a set of live :class:`~repro.core.tdg.TransformationDependencyGraph`
+instances (typically one per attacker profile, sharing an
+:class:`~repro.core.index.EcosystemIndex` via ``analyze_many``) without
+rebuilding anything:
+
+1. **Node derivation** -- new :class:`~repro.core.tdg.TDGNode` objects are
+   derived once per touched profile and shared by every graph.
+   Replacements whose derived node is unchanged (e.g. a masking tweak that
+   reveals the same positions) are dropped here, so a profile-level change
+   below node granularity costs nothing.
+2. **Postings maintenance** -- the shared ecosystem index absorbs each
+   node change exactly once (:meth:`EcosystemIndex.apply_node_change`
+   splices factor -> provider, info-kind -> holder, and masked-view
+   postings in service-ordinal order, bit-for-bit what a rebuild over the
+   mutated node set would produce), then each live attacker view splices
+   its per-factor provider postings
+   (:meth:`AttackerIndex.update_for_node`), reporting which factors'
+   provider sets actually moved.
+3. **Reachable invalidation** -- each graph drops only the memoized
+   coverage / parent / couple / combining entries reachable from the
+   touched services and moved factors
+   (:meth:`TransformationDependencyGraph.invalidate_after_delta`); the
+   global dependency-level fixpoints are dropped and rebuilt lazily from
+   the surviving memos.
+
+The differential suite (``tests/test_dynamic_equivalence.py``) locks every
+incrementally-maintained state against a from-scratch rebuild, including
+posting order and Couple File record order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.core.index import MASKABLE_FACTORS
+from repro.core.tdg import TDGNode, TransformationDependencyGraph
+from repro.dynamic.events import EcosystemDelta
+
+#: One node change: (service name, old node or None, new node or None).
+NodeChange = Tuple[str, Optional[TDGNode], Optional[TDGNode]]
+
+
+def apply_delta(
+    graphs: Iterable[TransformationDependencyGraph],
+    delta: EcosystemDelta,
+    node_overrides: Optional[Mapping[str, TDGNode]] = None,
+) -> None:
+    """Absorb ``delta`` into every graph in place.
+
+    Graphs built over the same node set through ``analyze_many`` share one
+    ecosystem index; it is updated exactly once regardless of how many
+    attacker views sit on top of it.  Graphs that never built their indexes
+    hold no memoized state (every memo is computed through the indexes), so
+    for them only the node set is updated and the lazy build stays correct.
+
+    ``node_overrides`` supplies pre-derived nodes for touched services;
+    the session layer uses it to derive nodes from its maintained
+    stage-1/2 reports (the ActFort derivation) rather than the default
+    :meth:`~repro.core.tdg.TransformationDependencyGraph.node_from_profile`
+    path -- whichever derivation built the graphs must also feed their
+    deltas.
+    """
+    graphs = tuple(graphs)
+    if not graphs or delta.is_noop:
+        return
+    overrides = node_overrides if node_overrides is not None else {}
+    new_nodes: Dict[str, TDGNode] = {}
+    for profile in delta.added:
+        new_nodes[profile.name] = overrides.get(
+            profile.name
+        ) or TransformationDependencyGraph.node_from_profile(profile)
+    for _old, new_profile in delta.replaced:
+        new_nodes[new_profile.name] = overrides.get(
+            new_profile.name
+        ) or TransformationDependencyGraph.node_from_profile(new_profile)
+    updated_indexes: Set[int] = set()
+    for graph in graphs:
+        _apply_to_graph(graph, delta, new_nodes, updated_indexes)
+
+
+def _node_changes(
+    graph: TransformationDependencyGraph,
+    delta: EcosystemDelta,
+    new_nodes: Dict[str, TDGNode],
+) -> List[NodeChange]:
+    """This graph's effective node changes (node-level no-ops dropped)."""
+    changes: List[NodeChange] = []
+    for profile in delta.added:
+        if profile.name in graph:
+            raise ValueError(
+                f"graph already has a node for {profile.name!r}"
+            )
+        changes.append((profile.name, None, new_nodes[profile.name]))
+    for profile in delta.removed:
+        changes.append((profile.name, graph.node(profile.name), None))
+    for _old_profile, new_profile in delta.replaced:
+        old_node = graph.node(new_profile.name)
+        new_node = new_nodes[new_profile.name]
+        if old_node != new_node:
+            changes.append((new_profile.name, old_node, new_node))
+    return changes
+
+
+def _apply_to_graph(
+    graph: TransformationDependencyGraph,
+    delta: EcosystemDelta,
+    new_nodes: Dict[str, TDGNode],
+    updated_indexes: Set[int],
+) -> None:
+    changes = _node_changes(graph, delta, new_nodes)
+    if not changes:
+        return
+
+    # Maskable factors whose masked-view postings moved (attacker
+    # independent; drives the combining-cache invalidation).
+    combining: Set = set()
+    for _name, old, new in changes:
+        for factor, (kind, _length) in MASKABLE_FACTORS.items():
+            old_positions = (
+                old.pia_partial.get(kind, frozenset())
+                if old is not None
+                else frozenset()
+            )
+            new_positions = (
+                new.pia_partial.get(kind, frozenset())
+                if new is not None
+                else frozenset()
+            )
+            if old_positions != new_positions:
+                combining.add(factor)
+
+    eco_index = graph._eco_index
+    if eco_index is not None and id(eco_index) not in updated_indexes:
+        updated_indexes.add(id(eco_index))
+        for name, old, new in changes:
+            eco_index.apply_node_change(name, old, new)
+
+    for name, _old, new in changes:
+        if new is None:
+            del graph._nodes[name]
+        else:
+            graph._nodes[name] = new
+
+    changed_factors: Set = set()
+    attacker_view = graph._attacker_index
+    if attacker_view is not None:
+        for name, old, new in changes:
+            changed_factors |= attacker_view.update_for_node(name, old, new)
+
+    touched = frozenset(name for name, _old, _new in changes)
+    changed_names = delta.added_names | delta.removed_names
+    graph.invalidate_after_delta(
+        touched_services=touched,
+        affected_factors=frozenset(changed_factors) | frozenset(combining),
+        combining_factors=frozenset(combining),
+        changed_names=changed_names,
+    )

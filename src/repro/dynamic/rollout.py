@@ -1,0 +1,216 @@
+"""The what-if defense-rollout planner.
+
+Section VII evaluates each countermeasure as an all-at-once switch.  Real
+deployments stage: email hardening lands one provider at a time, symmetry
+repair ships domain by domain.  The planner replays such a staged
+deployment as a mutation stream over a
+:class:`~repro.dynamic.session.DynamicAnalysisSession` and records the
+measurement payload after every step -- dependency-level fractions per
+platform, strong/weak edge counts, fringe size -- so the defense layer can
+read the *trajectory* of the attack surface, not just its endpoints (e.g.
+"after hardening which provider does the one-layer fraction actually
+drop?").  Each step is absorbed incrementally; a ten-step rollout costs
+ten deltas plus re-aggregation, not ten pipeline rebuilds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.core.tdg import DependencyLevel
+from repro.dynamic.events import ApplyHardening, Mutation
+from repro.dynamic.session import DynamicAnalysisSession
+from repro.model.attacker import AttackerProfile
+from repro.model.ecosystem import Ecosystem
+from repro.model.factors import Platform
+
+
+@dataclasses.dataclass(frozen=True)
+class RolloutStep:
+    """One deployment wave: a label plus the mutations shipped together."""
+
+    label: str
+    mutations: Tuple[Mutation, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class TrajectoryPoint:
+    """The measured attack surface after one rollout step."""
+
+    step: str
+    services: int
+    mutated_services: Tuple[str, ...]
+    level_fractions: Mapping[Platform, Mapping[DependencyLevel, float]]
+    strong_edges: int
+    fringe: int
+    #: ``None`` when the planner skipped the (output-bound) weak-edge count.
+    weak_edges: Optional[int] = None
+
+    def fraction(self, platform: Platform, level: DependencyLevel) -> float:
+        return self.level_fractions[platform][level]
+
+
+@dataclasses.dataclass(frozen=True)
+class RolloutTrajectory:
+    """The per-step trajectory of one replayed rollout plan."""
+
+    attacker: AttackerProfile
+    points: Tuple[TrajectoryPoint, ...]
+
+    @property
+    def baseline(self) -> TrajectoryPoint:
+        return self.points[0]
+
+    @property
+    def final(self) -> TrajectoryPoint:
+        return self.points[-1]
+
+    def series(
+        self, platform: Platform, level: DependencyLevel
+    ) -> Tuple[float, ...]:
+        """One level's fraction across the whole rollout."""
+        return tuple(p.fraction(platform, level) for p in self.points)
+
+    def rows(self) -> List[Tuple[str, ...]]:
+        """Bench/table-friendly rows (step, services touched, web direct /
+        safe, strong edges, weak edges)."""
+        rows: List[Tuple[str, ...]] = []
+        for point in self.points:
+            rows.append(
+                (
+                    point.step,
+                    str(len(point.mutated_services)),
+                    f"{100 * point.fraction(Platform.WEB, DependencyLevel.DIRECT):.1f}%",
+                    f"{100 * point.fraction(Platform.WEB, DependencyLevel.SAFE):.1f}%",
+                    str(point.strong_edges),
+                    "-" if point.weak_edges is None else str(point.weak_edges),
+                )
+            )
+        return rows
+
+
+class RolloutPlanner:
+    """Replays staged hardening plans and records their trajectories."""
+
+    def __init__(
+        self,
+        ecosystem: Ecosystem,
+        attacker: Optional[AttackerProfile] = None,
+        platforms: Tuple[Platform, ...] = (Platform.WEB, Platform.MOBILE),
+        include_weak: bool = False,
+    ) -> None:
+        self._ecosystem = ecosystem
+        self._attacker = (
+            attacker if attacker is not None else AttackerProfile.baseline()
+        )
+        self._platforms = platforms
+        # Weak edges are the output-bound frontier (~200k couple records at
+        # 201 services); counting them per step is opt-in.  The count
+        # itself streams through ``iter_weak_edges`` either way.
+        self._include_weak = include_weak
+
+    def replay(self, steps: Iterable[RolloutStep]) -> RolloutTrajectory:
+        """Replay ``steps`` over a fresh session; point 0 is the baseline."""
+        session = DynamicAnalysisSession(self._ecosystem, self._attacker)
+        points = [self._measure(session, "baseline", ())]
+        for step in steps:
+            touched: List[str] = []
+            for mutation in step.mutations:
+                delta = session.mutate(mutation)
+                touched.extend(delta.touched_services)
+            points.append(self._measure(session, step.label, tuple(touched)))
+        return RolloutTrajectory(
+            attacker=self._attacker, points=tuple(points)
+        )
+
+    def _measure(
+        self,
+        session: DynamicAnalysisSession,
+        label: str,
+        mutated: Tuple[str, ...],
+    ) -> TrajectoryPoint:
+        fractions = {
+            platform: session.level_fractions(platform)
+            for platform in self._platforms
+        }
+        graph = session.graph()
+        return TrajectoryPoint(
+            step=label,
+            services=len(session),
+            mutated_services=mutated,
+            level_fractions=fractions,
+            strong_edges=len(graph.strong_edges()),
+            fringe=len(graph.fringe_nodes()),
+            weak_edges=(
+                session.weak_edge_count() if self._include_weak else None
+            ),
+        )
+
+
+# ----------------------------------------------------------------------
+# Plan builders
+# ----------------------------------------------------------------------
+
+
+def per_service_rollout(
+    transform: object,
+    ecosystem: Ecosystem,
+    prefix: Optional[str] = None,
+) -> Tuple[RolloutStep, ...]:
+    """One step per service the transform actually modifies.
+
+    ``transform`` is any defense exposing ``targets(ecosystem)`` and
+    ``apply_to_profile`` (all four Section VII countermeasures do).
+    """
+    prefix = prefix if prefix is not None else type(transform).__name__
+    return tuple(
+        RolloutStep(
+            label=f"{prefix}:{name}",
+            mutations=(
+                ApplyHardening(transform=transform, services=(name,)),
+            ),
+        )
+        for name in transform.targets(ecosystem)
+    )
+
+
+def per_domain_rollout(
+    transform: object,
+    ecosystem: Ecosystem,
+    prefix: Optional[str] = None,
+) -> Tuple[RolloutStep, ...]:
+    """One step per service *domain*, shipping every target in the domain."""
+    prefix = prefix if prefix is not None else type(transform).__name__
+    by_domain: Dict[str, List[str]] = {}
+    for name in transform.targets(ecosystem):
+        by_domain.setdefault(ecosystem.service(name).domain, []).append(name)
+    return tuple(
+        RolloutStep(
+            label=f"{prefix}:{domain}",
+            mutations=(
+                ApplyHardening(transform=transform, services=tuple(names)),
+            ),
+        )
+        for domain, names in by_domain.items()
+    )
+
+
+def email_hardening_rollout(
+    ecosystem: Ecosystem, hardening: Optional[object] = None
+) -> Tuple[RolloutStep, ...]:
+    """The paper's email countermeasure, one provider at a time."""
+    from repro.defense.hardening import EmailHardening
+
+    transform = hardening if hardening is not None else EmailHardening()
+    return per_service_rollout(transform, ecosystem, prefix="email")
+
+
+def symmetry_repair_rollout(
+    ecosystem: Ecosystem, repair: Optional[object] = None
+) -> Tuple[RolloutStep, ...]:
+    """The paper's asymmetry countermeasure, repaired domain by domain."""
+    from repro.defense.hardening import SymmetryRepair
+
+    transform = repair if repair is not None else SymmetryRepair()
+    return per_domain_rollout(transform, ecosystem, prefix="symmetry")

@@ -1,0 +1,244 @@
+"""The mutate()/query() serving layer over a live ecosystem.
+
+:class:`DynamicAnalysisSession` is what a long mutation stream drives: it
+owns the current :class:`~repro.model.ecosystem.Ecosystem`, one indexed
+:class:`~repro.core.tdg.TransformationDependencyGraph` per attacker
+profile (sharing the attacker-independent index through ``analyze_many``),
+and the stage-1/2 reports the measurement study aggregates.  Every
+:meth:`mutate` produces an :class:`~repro.dynamic.events.EcosystemDelta`,
+feeds it to the incremental maintainer
+(:func:`repro.dynamic.incremental.apply_delta`), and re-derives the
+stage-1/2 reports for exactly the touched services -- so a mutation costs
+a handful of postings splices instead of an O(ecosystem) pipeline rebuild,
+and :meth:`query` serves from memoized state that survived the delta.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from repro.core.authproc import AuthenticationProcess, ServiceAuthReport
+from repro.core.collection import CollectionReport, PersonalInfoCollection
+from repro.core.tdg import (
+    DependencyLevel,
+    TransformationDependencyGraph,
+)
+from repro.dynamic.events import EcosystemDelta, Mutation
+from repro.dynamic.incremental import apply_delta
+from repro.model.attacker import AttackerProfile
+from repro.model.ecosystem import Ecosystem
+from repro.model.factors import Platform
+
+
+class DynamicAnalysisSession:
+    """A live, incrementally-maintained analysis over one ecosystem.
+
+    ``attackers`` maps labels to profiles; every labelled graph is kept
+    consistent under mutations (one shared ecosystem index, one attacker
+    view each).  The single-profile convenience form
+    ``DynamicAnalysisSession(ecosystem)`` analyzes the paper's baseline
+    attacker under the label ``"baseline"``.
+    """
+
+    def __init__(
+        self,
+        ecosystem: Ecosystem,
+        attacker: Optional[AttackerProfile] = None,
+        attackers: Optional[Mapping[str, AttackerProfile]] = None,
+    ) -> None:
+        if attacker is not None and attackers is not None:
+            raise ValueError("pass either attacker or attackers, not both")
+        if attackers is not None:
+            profiles = dict(attackers)
+            if not profiles:
+                raise ValueError("attackers mapping must be non-empty")
+        elif attacker is not None:
+            profiles = {"baseline": attacker}
+        else:
+            profiles = {"baseline": AttackerProfile.baseline()}
+        self._ecosystem = ecosystem
+        self._authproc = AuthenticationProcess()
+        self._collection = PersonalInfoCollection()
+        self._auth_reports: Dict[str, ServiceAuthReport] = {}
+        self._collection_reports: Dict[str, CollectionReport] = {}
+        for profile in ecosystem:
+            self._refresh_reports(profile)
+        # Nodes derive from the maintained stage-1/2 reports -- the exact
+        # ActFort derivation -- so the session agrees bit-for-bit with
+        # ``ActFort.from_ecosystem`` / ``MeasurementStudy`` at every state
+        # (the profile-direct ``from_ecosystem`` path differs in node
+        # detail, e.g. full-union partial promotion and path order).
+        nodes = TransformationDependencyGraph.nodes_from_reports(
+            self._auth_reports, self._collection_reports
+        )
+        graphs = TransformationDependencyGraph.analyze_many(
+            nodes, profiles.values()
+        )
+        self._graphs: Dict[str, TransformationDependencyGraph] = dict(
+            zip(profiles, graphs)
+        )
+        self._attackers = profiles
+        # Indexes must exist eagerly: mutate() maintains them in place, and
+        # a lazily-built index cannot be spliced before it exists.
+        for graph in graphs:
+            graph.attacker_index()
+        self._deltas: List[EcosystemDelta] = []
+
+    def _refresh_reports(self, profile) -> None:
+        self._auth_reports[profile.name] = self._authproc.analyze_profile(
+            profile
+        )
+        self._collection_reports[profile.name] = (
+            self._collection.collect_from_profile(profile)
+        )
+
+    def _node_from_reports(self, name: str):
+        """Derive one service's node from its maintained reports."""
+        (node,) = TransformationDependencyGraph.nodes_from_reports(
+            {name: self._auth_reports[name]},
+            {name: self._collection_reports[name]},
+        )
+        return node
+
+    # ------------------------------------------------------------------
+    # State accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def ecosystem(self) -> Ecosystem:
+        """The current (post-mutation) ecosystem."""
+        return self._ecosystem
+
+    @property
+    def attackers(self) -> Mapping[str, AttackerProfile]:
+        """Label -> profile for every live attacker view."""
+        return dict(self._attackers)
+
+    @property
+    def version(self) -> int:
+        """Number of mutations applied so far."""
+        return len(self._deltas)
+
+    @property
+    def history(self) -> Tuple[EcosystemDelta, ...]:
+        """Every delta applied, in order."""
+        return tuple(self._deltas)
+
+    @property
+    def auth_reports(self) -> Mapping[str, ServiceAuthReport]:
+        """Maintained stage-1 reports (re-derived only for touched services)."""
+        return dict(self._auth_reports)
+
+    @property
+    def collection_reports(self) -> Mapping[str, CollectionReport]:
+        """Maintained stage-2 reports (re-derived only for touched services)."""
+        return dict(self._collection_reports)
+
+    def graph(
+        self, attacker: Optional[str] = None
+    ) -> TransformationDependencyGraph:
+        """The maintained graph for one attacker label (default: first)."""
+        if attacker is None:
+            return next(iter(self._graphs.values()))
+        return self._graphs[attacker]
+
+    def __len__(self) -> int:
+        return len(self._ecosystem)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def mutate(self, mutation: Mutation) -> EcosystemDelta:
+        """Apply one mutation and absorb its delta into every live graph."""
+        mutated, delta = self._ecosystem.apply(mutation)
+        self._ecosystem = mutated
+        if not delta.is_noop:
+            node_overrides = {}
+            for profile in delta.added:
+                self._refresh_reports(profile)
+                node_overrides[profile.name] = self._node_from_reports(
+                    profile.name
+                )
+            for _old, new_profile in delta.replaced:
+                self._refresh_reports(new_profile)
+                node_overrides[new_profile.name] = self._node_from_reports(
+                    new_profile.name
+                )
+            apply_delta(
+                self._graphs.values(), delta, node_overrides=node_overrides
+            )
+            for profile in delta.removed:
+                self._auth_reports.pop(profile.name, None)
+                self._collection_reports.pop(profile.name, None)
+        self._deltas.append(delta)
+        return delta
+
+    def replay(
+        self, mutations: Iterable[Mutation]
+    ) -> Tuple[EcosystemDelta, ...]:
+        """Apply a mutation sequence; returns the deltas in order."""
+        return tuple(self.mutate(mutation) for mutation in mutations)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def query(
+        self,
+        what: Union[str, callable],
+        *args,
+        attacker: Optional[str] = None,
+        **kwargs,
+    ):
+        """Run a read-only query against a maintained graph.
+
+        ``what`` is either a
+        :class:`~repro.core.tdg.TransformationDependencyGraph` method name
+        (``session.query("level_fractions", Platform.WEB)``) or a callable
+        receiving the graph (``session.query(lambda g: len(g.nodes))``).
+        """
+        graph = self.graph(attacker)
+        if callable(what):
+            return what(graph)
+        return getattr(graph, what)(*args, **kwargs)
+
+    def level_fractions(
+        self, platform: Platform, attacker: Optional[str] = None
+    ) -> Dict[DependencyLevel, float]:
+        """Section IV-B's dependency-level fractions, served live."""
+        return self.graph(attacker).level_fractions(platform)
+
+    def dependency_levels(
+        self, platform: Platform, attacker: Optional[str] = None
+    ):
+        """Per-service dependency levels, served live."""
+        return self.graph(attacker).dependency_levels(platform)
+
+    def strong_edge_count(self, attacker: Optional[str] = None) -> int:
+        return len(self.graph(attacker).strong_edges())
+
+    def weak_edge_count(self, attacker: Optional[str] = None) -> int:
+        """Streamed count (never materializes the Couple File)."""
+        return sum(1 for _edge in self.graph(attacker).iter_weak_edges())
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+
+    def rebuild(
+        self, attacker: Optional[str] = None
+    ) -> TransformationDependencyGraph:
+        """A from-scratch graph over the current ecosystem.
+
+        Rebuilds the full ActFort pipeline (fresh stage-1/2 reports, fresh
+        indexes): this is the oracle the differential suite compares the
+        maintained graphs against, and the work :meth:`mutate` replaces at
+        serving time.
+        """
+        from repro.core.actfort import ActFort
+
+        label = attacker if attacker is not None else next(iter(self._graphs))
+        return ActFort.from_ecosystem(
+            self._ecosystem, attacker=self._attackers[label]
+        ).tdg()

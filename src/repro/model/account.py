@@ -115,6 +115,29 @@ class AuthPath:
                 "linked_providers given but LINKED_ACCOUNT is not a factor"
             )
 
+    def __hash__(self) -> int:
+        # Paths key every hot memo in the indexed TDG engine (coverage,
+        # pool covers), and the dataclass-generated hash re-hashes two
+        # frozensets per lookup; memoizing it keeps warm-cache level
+        # recomputation -- the incremental engine's steady state -- cheap.
+        # Equal paths hash equally: the hash is a pure function of the
+        # same fields the generated __eq__ compares.
+        try:
+            return self._cached_hash
+        except AttributeError:
+            value = hash(
+                (
+                    self.service,
+                    self.platform,
+                    self.purpose,
+                    self.factors,
+                    self.linked_providers,
+                    self.label,
+                )
+            )
+            object.__setattr__(self, "_cached_hash", value)
+            return value
+
     @property
     def path_type(self) -> PathType:
         """Classify the path per the paper's general/info/unique taxonomy.

@@ -153,6 +153,45 @@ class Ecosystem:
         accounts = [a for a in self._accounts if a.service.name in keep]
         return Ecosystem(services, accounts)
 
+    def with_service_added(self, profile: ServiceProfile) -> "Ecosystem":
+        """Return a copy with ``profile`` appended to the catalog.
+
+        The new service lands at the end of the insertion order, exactly
+        where a from-scratch construction over the extended service list
+        would put it -- the property the incremental index maintainer
+        (:mod:`repro.dynamic.incremental`) relies on.
+        """
+        if profile.name in self._services:
+            raise ValueError(f"duplicate service name: {profile.name!r}")
+        return Ecosystem(
+            list(self._services.values()) + [profile], self._accounts
+        )
+
+    def with_service_removed(self, name: str) -> "Ecosystem":
+        """Return a copy without the named service.
+
+        The relative insertion order of the remaining services is
+        preserved; accounts on the removed service are dropped.
+        """
+        if name not in self._services:
+            raise KeyError(f"unknown service: {name!r}")
+        services = [s for s in self._services.values() if s.name != name]
+        accounts = [a for a in self._accounts if a.service.name != name]
+        return Ecosystem(services, accounts)
+
+    def apply(self, mutation) -> Tuple["Ecosystem", object]:
+        """Apply one dynamic mutation; returns ``(new_ecosystem, delta)``.
+
+        ``mutation`` is any object implementing the
+        :class:`repro.dynamic.events.Mutation` protocol (an ``apply_to``
+        method returning the mutated copy plus an
+        :class:`~repro.dynamic.events.EcosystemDelta` record of exactly
+        which services were added, removed, or replaced).  The receiver is
+        never modified; deltas are what the incremental engine consumes to
+        update live indexes without a rebuild.
+        """
+        return mutation.apply_to(self)
+
     def with_services_replaced(
         self, replacements: Mapping[str, ServiceProfile]
     ) -> "Ecosystem":

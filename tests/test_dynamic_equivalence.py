@@ -1,0 +1,135 @@
+"""Differential tests: the incremental engine vs from-scratch rebuilds.
+
+PR 1 locked the indexed TDG engine to the brute-force seed oracle; this
+suite applies the same discipline to the incremental engine.  Twenty
+seeded mutation sequences (mixing service add/remove, auth-path add/
+remove, masking changes, and per-service hardening) are replayed through a
+:class:`~repro.dynamic.session.DynamicAnalysisSession`, and after **every**
+mutation the maintained graph is compared against a fresh
+:class:`~repro.core.tdg.TransformationDependencyGraph` built from the
+mutated ecosystem:
+
+- identical dependency-level maps and exact level fractions per platform,
+- identical strong- and weak-directivity edge sets,
+- identical couple records (same tuples, same enumeration order -- the
+  Couple File is an artifact, not just a set),
+- identical full-/half-capacity parents per service,
+- field-for-field identical :class:`~repro.core.index.EcosystemIndex` and
+  :class:`~repro.core.index.AttackerIndex` postings (order included), so
+  splice bugs cannot hide behind order-insensitive query comparisons.
+
+Queries run *before* each mutation too, so every memo family is warm when
+the delta's invalidation hits it.
+"""
+
+import pytest
+
+from repro.catalog.builder import CatalogBuilder
+from repro.catalog.spec import CatalogSpec
+from repro.dynamic import DynamicAnalysisSession, MutationStream
+from repro.model.attacker import AttackerProfile
+from repro.model.factors import Platform
+
+#: Twenty seeded mutation sequences (the acceptance floor).
+SEQUENCES = tuple(range(20))
+
+#: Mutations per sequence.
+STEPS = 12
+
+_PROFILES = {
+    "baseline": AttackerProfile.baseline(),
+    "se_database": AttackerProfile.with_se_database(),
+}
+
+
+def _assert_matches_rebuild(session, label, context):
+    maintained = session.graph(label)
+    fresh = session.rebuild(label)
+    assert frozenset(maintained._nodes) == frozenset(fresh._nodes), context
+    for platform in (Platform.WEB, Platform.MOBILE):
+        assert maintained.dependency_levels(
+            platform
+        ) == fresh.dependency_levels(platform), (context, platform)
+        levels = fresh.dependency_levels(platform)
+        if levels:
+            # Exact float equality: both engines must count identically.
+            assert maintained.level_fractions(
+                platform
+            ) == fresh.level_fractions(platform), (context, platform)
+    assert maintained.strong_edges() == fresh.strong_edges(), context
+    assert maintained.weak_edges() == fresh.weak_edges(), context
+    assert maintained.fringe_nodes() == fresh.fringe_nodes(), context
+    for service in fresh._nodes:
+        assert maintained.couples(service) == fresh.couples(service), (
+            context,
+            service,
+        )
+        assert maintained.full_capacity_parents(
+            service
+        ) == fresh.full_capacity_parents(service), (context, service)
+        assert maintained.half_capacity_parents(
+            service
+        ) == fresh.half_capacity_parents(service), (context, service)
+    # The maintained indexes must equal a fresh build field-for-field,
+    # including posting order (queries alone could mask order drift).
+    spliced_eco = maintained.ecosystem_index()
+    fresh_eco = fresh.ecosystem_index()
+    assert spliced_eco.names == fresh_eco.names, context
+    assert spliced_eco.name_set == fresh_eco.name_set, context
+    assert spliced_eco.holders_of == fresh_eco.holders_of, context
+    assert spliced_eco.partial_holders == fresh_eco.partial_holders, context
+    assert spliced_eco.partial_by_service == fresh_eco.partial_by_service
+    assert spliced_eco.dossier_holders == fresh_eco.dossier_holders, context
+    assert spliced_eco._dossier_ordered == fresh_eco._dossier_ordered
+    assert spliced_eco._partial_union == fresh_eco._partial_union
+    assert spliced_eco._unique_coverage == fresh_eco._unique_coverage
+    spliced_view = maintained.attacker_index()
+    fresh_view = fresh.attacker_index()
+    assert spliced_view._static_ordered == fresh_view._static_ordered, context
+    assert spliced_view._static == fresh_view._static, context
+
+
+@pytest.mark.parametrize("sequence", SEQUENCES)
+def test_incremental_state_equals_rebuild_after_every_mutation(sequence):
+    size = 12 + 4 * (sequence % 4)
+    ecosystem = CatalogBuilder(
+        CatalogSpec(total_services=size), seed=300 + sequence
+    ).build_ecosystem()
+    label = "baseline" if sequence % 2 == 0 else "se_database"
+    session = DynamicAnalysisSession(
+        ecosystem, attacker=_PROFILES[label]
+    )
+    stream = MutationStream(seed=sequence)
+    _assert_matches_rebuild(session, None, (sequence, "initial"))
+    for step in range(STEPS):
+        mutation = stream.next_mutation(session.ecosystem)
+        session.mutate(mutation)
+        _assert_matches_rebuild(
+            session, None, (sequence, step, mutation.describe())
+        )
+    assert session.version == STEPS
+
+
+def test_multi_attacker_session_maintains_every_live_view():
+    """One shared ecosystem index, several attacker views, all spliced."""
+    ecosystem = CatalogBuilder(
+        CatalogSpec(total_services=18), seed=99
+    ).build_ecosystem()
+    session = DynamicAnalysisSession(ecosystem, attackers=_PROFILES)
+    assert (
+        session.graph("baseline").ecosystem_index()
+        is session.graph("se_database").ecosystem_index()
+    )
+    stream = MutationStream(seed=41)
+    for step in range(STEPS):
+        mutation = stream.next_mutation(session.ecosystem)
+        session.mutate(mutation)
+        for label in _PROFILES:
+            _assert_matches_rebuild(
+                session, label, (step, label, mutation.describe())
+            )
+    # The shared-index invariant survives the whole stream.
+    assert (
+        session.graph("baseline").ecosystem_index()
+        is session.graph("se_database").ecosystem_index()
+    )

@@ -9,13 +9,20 @@ memoization), not on a slow CI machine.  The real old-vs-new trajectory
 lives in ``benchmarks/test_bench_scaling.py``.
 """
 
+import statistics
 import time
 
+from repro.catalog.builder import CatalogBuilder
+from repro.catalog.spec import CatalogSpec
 from repro.core import ActFort
+from repro.dynamic import DynamicAnalysisSession, MutationStream
 from repro.model.factors import Platform
 
 #: Generous wall-clock ceiling for the full 201-service analysis.
 SMOKE_BUDGET_SECONDS = 15.0
+
+#: The incremental engine's contract at the paper-doubling 402 tier.
+REQUIRED_UPDATE_SPEEDUP = 10.0
 
 
 def test_201_service_full_analysis_stays_interactive(default_ecosystem):
@@ -35,4 +42,50 @@ def test_201_service_full_analysis_stays_interactive(default_ecosystem):
     assert elapsed < SMOKE_BUDGET_SECONDS, (
         f"201-service analysis took {elapsed:.2f}s; the indexed engine "
         f"should finish in well under {SMOKE_BUDGET_SECONDS:.0f}s"
+    )
+
+
+def test_single_mutation_update_is_10x_faster_than_rebuild_at_402():
+    """The incremental engine's tripwire at the paper-doubling tier.
+
+    A single mutation absorbed by a live session (delta apply, stage-1/2
+    report refresh for the touched services, postings splices on the
+    shared ecosystem index and the attacker view, reachable-only cache
+    invalidation) must beat rebuilding the pipeline to the same
+    ready-to-serve state -- fresh reports, node set, and indexes over the
+    mutated ecosystem -- by >=10x.  Both sides end ready to answer the
+    same queries; the incremental side additionally keeps every memoized
+    result the delta could not reach, so the comparison under-counts its
+    real advantage on query-heavy streams (measured honestly in
+    ``benchmarks/test_bench_churn.py``).
+    """
+    ecosystem = CatalogBuilder(
+        CatalogSpec(total_services=402), seed=2021
+    ).build_ecosystem()
+    session = DynamicAnalysisSession(ecosystem)
+    session.level_fractions(Platform.WEB)  # warm the maintained state
+    stream = MutationStream(seed=2021)
+    update_times = []
+    for _ in range(7):
+        mutation = stream.next_mutation(session.ecosystem)
+        start = time.perf_counter()
+        session.mutate(mutation)
+        update_times.append(time.perf_counter() - start)
+        # Keep the memoized state warm between updates, as a serving loop
+        # would: every mutation's invalidation then does real work.
+        session.level_fractions(Platform.WEB)
+    update = statistics.median(update_times)
+
+    start = time.perf_counter()
+    rebuilt = ActFort.from_ecosystem(
+        session.ecosystem, attacker=session.attackers["baseline"]
+    ).tdg()
+    rebuilt.attacker_index()
+    rebuild = time.perf_counter() - start
+
+    assert rebuild >= REQUIRED_UPDATE_SPEEDUP * update, (
+        f"single-mutation update {update * 1e3:.2f}ms vs full rebuild "
+        f"{rebuild * 1e3:.2f}ms: speedup "
+        f"{rebuild / update if update else float('inf'):.1f}x < "
+        f"{REQUIRED_UPDATE_SPEEDUP:.0f}x"
     )

@@ -326,6 +326,59 @@ def test_couples_never_contain_a_redundant_member(eco):
                 ), (node.service, record)
 
 
+# ----------------------------------------------------------------------
+# Incremental engine: mutation/rebuild equivalence
+# ----------------------------------------------------------------------
+
+_MUTATION_SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@_MUTATION_SETTINGS
+@given(
+    stream_seed=st.integers(min_value=0, max_value=10**6),
+    catalog_seed=st.integers(min_value=0, max_value=10**4),
+    size=st.integers(min_value=10, max_value=16),
+)
+def test_incremental_session_equals_rebuild_under_mutation_streams(
+    stream_seed, catalog_seed, size
+):
+    """A random 20-step mutation sequence leaves the incremental session's
+    levels, parents, and edge sets equal to a fresh
+    TransformationDependencyGraph at every step."""
+    from repro.catalog.builder import CatalogBuilder
+    from repro.catalog.spec import CatalogSpec
+    from repro.dynamic import DynamicAnalysisSession, MutationStream
+
+    ecosystem = CatalogBuilder(
+        CatalogSpec(total_services=size), seed=catalog_seed
+    ).build_ecosystem()
+    session = DynamicAnalysisSession(ecosystem)
+    stream = MutationStream(seed=stream_seed)
+    for step in range(20):
+        mutation = stream.next_mutation(session.ecosystem)
+        session.mutate(mutation)
+        maintained = session.graph()
+        fresh = session.rebuild()
+        context = (step, mutation.describe())
+        for platform in (PL.WEB, PL.MOBILE):
+            assert maintained.dependency_levels(
+                platform
+            ) == fresh.dependency_levels(platform), context
+        for node in fresh.nodes:
+            assert maintained.full_capacity_parents(
+                node.service
+            ) == fresh.full_capacity_parents(node.service), context
+            assert maintained.half_capacity_parents(
+                node.service
+            ) == fresh.half_capacity_parents(node.service), context
+        assert maintained.strong_edges() == fresh.strong_edges(), context
+        assert maintained.weak_edges() == fresh.weak_edges(), context
+
+
 @_SETTINGS
 @given(eco=ecosystems())
 def test_indexed_engine_matches_reference_on_random_ecosystems(eco):
