@@ -127,11 +127,15 @@ class MeasurementStudy:
 
         fig3: Dict[Platform, Mapping[str, float]] = {}
         table1: Dict[Platform, Mapping[PersonalInfoKind, float]] = {}
-        dependency: Dict[Platform, Mapping[DependencyLevel, float]] = {}
         for platform in (Platform.WEB, Platform.MOBILE):
             fig3[platform] = aggregate_path_statistics(auth_reports, platform)
             table1[platform] = exposure_table(collection_reports, platform)
-            dependency[platform] = tdg.level_fractions(platform)
+        # One batch call through the level engine: both platforms share
+        # the same warm depth fixpoints (and, in session mode, whatever
+        # classification entries survived the last delta).
+        dependency: Mapping[Platform, Mapping[DependencyLevel, float]] = (
+            tdg.levels_report((Platform.WEB, Platform.MOBILE))
+        )
 
         total_paths = sum(len(r.paths()) for r in auth_reports.values())
         signatures = sum(

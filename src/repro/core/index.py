@@ -11,7 +11,12 @@ queries over and over:
   (``holders_of``); for each maskable credential factor, which services
   hold a partial (masked) view and which character positions each view
   reveals (Insight 4's combining inputs); which services can feed a
-  customer-service dossier; which services yield mailbox access.
+  customer-service dossier; which services yield mailbox access.  It also
+  carries the **reverse-dependency postings** the incremental level
+  engine's delta-BFS walks forward: for each credential factor, which
+  services *demand* it on some takeover path (``demanders``), and for
+  each identity provider, which services accept it on a
+  ``LINKED_ACCOUNT`` path (``linked_consumers_of``).
 - :class:`AttackerIndex` -- one **per attacker profile**: for each
   credential factor, the exact set (and insertion-ordered tuple) of
   services that provide it under that profile's capabilities.  The
@@ -35,6 +40,7 @@ from typing import (
     FrozenSet,
     List,
     Mapping,
+    Set,
     Tuple,
 )
 
@@ -138,6 +144,45 @@ class EcosystemIndex:
         self._unique_coverage: Dict[CredentialFactor, Dict[str, int]] = {}
         for factor in MASKABLE_FACTORS:
             self._recount_partial(factor)
+
+        # Reverse-dependency postings: who *consumes* a factor / provider.
+        demanders: Dict[CredentialFactor, Set[str]] = {}
+        linked: Dict[str, Set[str]] = {}
+        for name, node in nodes.items():
+            for factor in self._node_demands(node):
+                demanders.setdefault(factor, set()).add(name)
+            for provider in self._node_links(node):
+                linked.setdefault(provider, set()).add(name)
+        #: factor -> services with a takeover path demanding it.
+        self.demanders_by_factor: Dict[CredentialFactor, Set[str]] = demanders
+        #: identity provider -> services accepting it on a linked path.
+        self.linked_consumers: Dict[str, Set[str]] = linked
+
+    @staticmethod
+    def _node_demands(node: "TDGNode") -> FrozenSet[CredentialFactor]:
+        """Factors demanded by at least one of the node's takeover paths."""
+        return frozenset(
+            factor for path in node.takeover_paths for factor in path.factors
+        )
+
+    @staticmethod
+    def _node_links(node: "TDGNode") -> FrozenSet[str]:
+        """Identity providers accepted by the node's linked-account paths."""
+        return frozenset(
+            provider
+            for path in node.takeover_paths
+            for provider in path.linked_providers
+        )
+
+    def demanders(self, factor: CredentialFactor) -> FrozenSet[str]:
+        """Services with a takeover path demanding ``factor``."""
+        names = self.demanders_by_factor.get(factor)
+        return frozenset(names) if names else frozenset()
+
+    def linked_consumers_of(self, provider: str) -> FrozenSet[str]:
+        """Services accepting ``provider`` on a ``LINKED_ACCOUNT`` path."""
+        names = self.linked_consumers.get(provider)
+        return frozenset(names) if names else frozenset()
 
     def _recount_partial(self, factor: CredentialFactor) -> None:
         """Rebuild the combinability summaries for one maskable factor from
@@ -266,12 +311,49 @@ class EcosystemIndex:
             self.partial_holders[factor] = tuple(views)
             self._recount_partial(factor)
 
+        old_demands = (
+            self._node_demands(old) if old is not None else frozenset()
+        )
+        new_demands = (
+            self._node_demands(new) if new is not None else frozenset()
+        )
+        for factor in old_demands - new_demands:
+            names = self.demanders_by_factor[factor]
+            names.discard(name)
+            if not names:
+                del self.demanders_by_factor[factor]
+        for factor in new_demands - old_demands:
+            self.demanders_by_factor.setdefault(factor, set()).add(name)
+
+        old_links = self._node_links(old) if old is not None else frozenset()
+        new_links = self._node_links(new) if new is not None else frozenset()
+        for provider in old_links - new_links:
+            names = self.linked_consumers[provider]
+            names.discard(name)
+            if not names:
+                del self.linked_consumers[provider]
+        for provider in new_links - old_links:
+            self.linked_consumers.setdefault(provider, set()).add(name)
+
         if new is None:
             del self._ordinal[name]
 
     def holder_set(self, kind: PersonalInfoKind) -> FrozenSet[str]:
         """Services exposing ``kind`` in full."""
         return self._holder_sets.get(kind, frozenset())
+
+    def combinability_profile(
+        self, factor: CredentialFactor
+    ) -> Tuple[int, Dict[str, int]]:
+        """The pair :meth:`combinable_excluding` answers derive from: the
+        covered-position count over every masked view, and each holder's
+        uniquely-held position count.  Snapshotting and diffing this is
+        how the level engine decides whose coverage a masking change can
+        actually flip."""
+        return (
+            len(self._partial_union[factor]),
+            dict(self._unique_coverage[factor]),
+        )
 
     def combinable_excluding(
         self, factor: CredentialFactor, excluded: str

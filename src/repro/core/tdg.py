@@ -23,8 +23,14 @@ The engine is **indexed**: instead of rescanning every node per query (the
 seed's quadratic-to-cubic behaviour), parent/couple/level queries run over
 the inverted indexes of :mod:`repro.core.index` (factor -> providers,
 info kind -> holders, masked-view holders per maskable factor) and memoize
-:class:`PathCoverage` and the dependency-level fixpoints.  The brute-force
-seed semantics are preserved verbatim in :mod:`repro.core.reference`, and
+:class:`PathCoverage` per path.  The *global* dependency-level machinery
+-- the depth fixpoints behind Section IV-B-1's percentages and the
+per-service level classification -- lives in :mod:`repro.levels`; this
+module keeps the per-node analysis (coverage, parents, couples, edges)
+and delegates level questions to its lazily-built
+:class:`~repro.levels.DepthFixpointEngine`, which also maintains those
+fixpoints incrementally under mutation deltas.  The brute-force seed
+semantics are preserved verbatim in :mod:`repro.core.reference`, and
 ``tests/test_tdg_equivalence.py`` differentially asserts the two engines
 produce identical edge sets, couple records and level fractions.
 """
@@ -32,7 +38,6 @@ produce identical edge sets, couple records and level fractions.
 from __future__ import annotations
 
 import dataclasses
-import enum
 import itertools
 from typing import (
     Dict,
@@ -58,6 +63,10 @@ from repro.core.index import (
     AttackerIndex,
     EcosystemIndex,
 )
+from repro.levels.engine import (
+    MAX_DEPTH as _MAX_DEPTH,  # noqa: F401 - re-exported for reference.py
+)
+from repro.levels.engine import DependencyLevel, DepthFixpointEngine
 from repro.model.account import AuthPath, ServiceProfile
 from repro.model.attacker import AttackerCapability, AttackerProfile
 from repro.model.ecosystem import Ecosystem
@@ -87,24 +96,6 @@ def canonical_length(kind: PersonalInfoKind) -> int:
     if kind is PersonalInfoKind.BANKCARD_NUMBER:
         return 16
     return 12
-
-
-#: Depth cap for the level analysis; the paper's categories stop at two
-#: middle layers.
-_MAX_DEPTH = 8
-
-
-class DependencyLevel(enum.Enum):
-    """The paper's four dependency relationships plus "safe"."""
-
-    DIRECT = "direct"
-    ONE_LAYER = "one_layer"
-    TWO_LAYER_FULL = "two_layer_full"
-    TWO_LAYER_MIXED = "two_layer_mixed"
-    SAFE = "safe"
-
-    def __str__(self) -> str:  # pragma: no cover - trivial
-        return self.value
 
 
 @dataclasses.dataclass(frozen=True)
@@ -191,6 +182,9 @@ class TransformationDependencyGraph:
         self._eco_index: Optional[EcosystemIndex] = None
         self._attacker_index: Optional[AttackerIndex] = None
         self._coverage_cache: Dict[AuthPath, PathCoverage] = {}
+        #: Cached coverage keys grouped by owning service, so delta
+        #: invalidation pops per service instead of scanning every path.
+        self._coverage_by_service: Dict[str, List[AuthPath]] = {}
         self._full_parents_cache: Dict[str, FrozenSet[str]] = {}
         self._half_parents_cache: Dict[str, FrozenSet[str]] = {}
         self._couples_cache: Dict[Tuple[str, int], Tuple[CoupleRecord, ...]] = {}
@@ -204,11 +198,7 @@ class TransformationDependencyGraph:
         self._signature_cover_cache: Dict[
             Tuple[Tuple[CredentialFactor, ...], FrozenSet[str]], bool
         ] = {}
-        self._levels_cache: Dict[
-            Platform, Dict[str, FrozenSet[DependencyLevel]]
-        ] = {}
-        self._depth_cache: Optional[Dict[str, int]] = None
-        self._pure_full_cache: Optional[Dict[str, int]] = None
+        self._levels_engine: Optional[DepthFixpointEngine] = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -372,6 +362,18 @@ class TransformationDependencyGraph:
             self._attacker_index = self.ecosystem_index().view(self._attacker)
         return self._attacker_index
 
+    def levels_engine(self) -> DepthFixpointEngine:
+        """The dependency-level engine (built lazily, maintained under
+        deltas once built)."""
+        if self._levels_engine is None:
+            self._levels_engine = DepthFixpointEngine(self)
+        return self._levels_engine
+
+    def reset_levels_engine(self) -> None:
+        """Drop the level engine so the next level query recomputes every
+        fixpoint from scratch (benchmark / test comparator hook)."""
+        self._levels_engine = None
+
     # ------------------------------------------------------------------
     # Incremental maintenance (used by repro.dynamic.incremental)
     # ------------------------------------------------------------------
@@ -399,44 +401,48 @@ class TransformationDependencyGraph:
           they shift ``LINKED_ACCOUNT`` provider sets for paths naming
           them.
 
-        The dependency-level fixpoints are global (any reachability change
-        anywhere can ripple through the depth ordering), so they are always
-        dropped; they rebuild from the surviving coverage/parent memos.
+        The dependency-level fixpoints are *not* dropped: the same four
+        arguments are routed to the :meth:`levels_engine`, which
+        delta-BFSes the affected cone of both depth maps and keeps every
+        level-classification entry the delta cannot reach (lazily, on the
+        next level query).
+
+        The reachable-service set itself comes from the index's
+        reverse-dependency postings (factor -> demanders, provider ->
+        linking services) instead of predicate scans over every memoized
+        entry, so invalidation is O(affected), not O(cached x paths).
         """
-        self._levels_cache.clear()
-        self._depth_cache = None
-        self._pure_full_cache = None
-
-        def path_affected(path: AuthPath) -> bool:
-            return (
-                path.service in touched_services
-                or bool(path.factors & affected_factors)
-                or bool(path.linked_providers & changed_names)
+        if self._levels_engine is not None:
+            self._levels_engine.note_delta(
+                touched_services,
+                affected_factors,
+                combining_factors,
+                changed_names,
             )
+        if self._eco_index is None:
+            # No index -> no memo was ever computed; nothing to drop.
+            return
+        eco = self._eco_index
 
-        for path in [p for p in self._coverage_cache if path_affected(p)]:
-            del self._coverage_cache[path]
+        affected_services = set(touched_services)
+        for factor in affected_factors:
+            affected_services |= eco.demanders(factor)
+        for name in changed_names:
+            affected_services |= eco.linked_consumers_of(name)
+
+        for service in affected_services:
+            for path in self._coverage_by_service.pop(service, ()):
+                self._coverage_cache.pop(path, None)
+            self._full_parents_cache.pop(service, None)
+            self._half_parents_cache.pop(service, None)
         for key in [
-            k for k in self._pool_cover_cache if path_affected(k[0])
+            k
+            for k in self._pool_cover_cache
+            if k[0].service in affected_services
         ]:
             del self._pool_cover_cache[key]
-
-        def service_affected(service: str) -> bool:
-            node = self._nodes.get(service)
-            if node is None or service in touched_services:
-                return True
-            return any(path_affected(p) for p in node.takeover_paths)
-
-        for service in [
-            s for s in self._full_parents_cache if service_affected(s)
-        ]:
-            del self._full_parents_cache[service]
-        for service in [
-            s for s in self._half_parents_cache if service_affected(s)
-        ]:
-            del self._half_parents_cache[service]
         for key in [
-            k for k in self._couples_cache if service_affected(k[0])
+            k for k in self._couples_cache if k[0] in affected_services
         ]:
             del self._couples_cache[key]
         for key in [
@@ -502,6 +508,7 @@ class TransformationDependencyGraph:
             unsatisfiable=frozenset(unsatisfiable),
         )
         self._coverage_cache[path] = result
+        self._coverage_by_service.setdefault(path.service, []).append(path)
         return result
 
     def provides(
@@ -679,6 +686,55 @@ class TransformationDependencyGraph:
         result = tuple(records)
         self._couples_cache[cache_key] = result
         return result
+
+    def iter_couples(self, max_size: int = 3) -> Iterator[CoupleRecord]:
+        """Stream every Couple File record without materializing it.
+
+        :meth:`couples` memoizes one record tuple per service -- at
+        ecosystem scale the full Couple File is the output bound (~200k
+        records at 201 services), so workloads that only *scan* the
+        records should not buy every service's tuple a permanent cache
+        slot.  This generator drives the enumeration from the memoized
+        per-signature member-set postings (a few hundred entries shared by
+        every service on the same residual-factor signature) and yields
+        records child by child, in exactly the order concatenating
+        ``couples(service)`` over the node set would produce -- but with
+        O(signatures) auxiliary state instead of O(records).  Services
+        whose Couple File is already memoized are replayed from the cache
+        rather than re-enumerated.
+        """
+        for service, node in self._nodes.items():
+            cached = self._couples_cache.get((service, max_size))
+            if cached is not None:
+                yield from cached
+                continue
+            seen: Set[Tuple[FrozenSet[str], AuthPath]] = set()
+            for path in node.takeover_paths:
+                cover = self.coverage(node, path)
+                if cover.is_blocked or not cover.residual:
+                    continue
+                if CredentialFactor.LINKED_ACCOUNT in cover.residual:
+                    member_sets = self._path_couple_sets(path, cover, max_size)
+                else:
+                    factors = tuple(
+                        sorted(cover.residual, key=lambda f: f.value)
+                    )
+                    member_sets = self._signature_couple_sets(factors, max_size)
+                for members in member_sets:
+                    if service in members:
+                        continue
+                    key = (members, path)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    yield CoupleRecord(
+                        providers=members, target=service, path=path
+                    )
+
+    def couple_file(self, max_size: int = 3) -> Tuple[CoupleRecord, ...]:
+        """The full Couple File as one tuple (delegates to
+        :meth:`iter_couples`; prefer the iterator at ecosystem scale)."""
+        return tuple(self.iter_couples(max_size))
 
     def _signature_couple_sets(
         self, factors: Tuple[CredentialFactor, ...], max_size: int
@@ -1001,18 +1057,15 @@ class TransformationDependencyGraph:
         return graph
 
     # ------------------------------------------------------------------
-    # Dependency levels (Section IV-B-1's percentages)
+    # Dependency levels (Section IV-B-1's percentages; delegated to the
+    # repro.levels engine, which maintains them under mutation deltas)
     # ------------------------------------------------------------------
 
     def is_direct(
         self, service: str, platform: Optional[Platform] = None
     ) -> bool:
         """Whether the attacker profile alone takes the account over."""
-        node = self._nodes[service]
-        return any(
-            self.coverage(node, path).is_direct
-            for path in node.paths_on(platform)
-        )
+        return self.levels_engine().is_direct(service, platform)
 
     def _depths(self) -> Dict[str, int]:
         """Minimal compromise depth per node, joint coverage allowed.
@@ -1021,74 +1074,13 @@ class TransformationDependencyGraph:
         need information pooled from nodes of depth < ``k``.  Unreachable
         nodes are absent from the result.
         """
-        if self._depth_cache is not None:
-            return self._depth_cache
-        depths: Dict[str, int] = {}
-        for service in self._nodes:
-            if self.is_direct(service):
-                depths[service] = 0
-        for depth in range(1, _MAX_DEPTH + 1):
-            pool = frozenset(
-                name for name, d in depths.items() if d < depth
-            )
-            changed = False
-            for service, node in self._nodes.items():
-                if service in depths:
-                    continue
-                if self._coverable_by(node, pool):
-                    depths[service] = depth
-                    changed = True
-            if not changed:
-                break
-        self._depth_cache = depths
-        return depths
-
-    def _coverable_by(self, node: TDGNode, pool: FrozenSet[str]) -> bool:
-        for path in node.takeover_paths:
-            cover = self.coverage(node, path)
-            if cover.is_blocked:
-                continue
-            if all(
-                self._pool_provides(factor, path, pool)
-                for factor in cover.residual
-            ):
-                return True
-        return False
+        return self.levels_engine().joint_depths()
 
     def _pure_full_depths(self) -> Dict[str, int]:
         """Minimal chain depth using only full-capacity (single-parent)
         steps -- the "all full capacity parents" variant of the paper's
         category (3)."""
-        if self._pure_full_cache is not None:
-            return self._pure_full_cache
-        depths: Dict[str, int] = {}
-        for service in self._nodes:
-            if self.is_direct(service):
-                depths[service] = 0
-        parents: Dict[str, FrozenSet[str]] = {
-            service: self.full_capacity_parents(service)
-            for service in self._nodes
-        }
-        for depth in range(1, _MAX_DEPTH + 1):
-            changed = False
-            for service in self._nodes:
-                if service in depths:
-                    continue
-                best = min(
-                    (
-                        depths[parent]
-                        for parent in parents[service]
-                        if parent in depths
-                    ),
-                    default=None,
-                )
-                if best is not None and best < depth:
-                    depths[service] = best + 1
-                    changed = True
-            if not changed:
-                break
-        self._pure_full_cache = depths
-        return depths
+        return self.levels_engine().pure_full_depths()
 
     def dependency_levels(
         self, platform: Platform
@@ -1097,99 +1089,11 @@ class TransformationDependencyGraph:
 
         Levels are non-exclusive across a service's paths ("the overall
         percentage can not be summed up to 100% since one service can have
-        multiple reset combinations").  Memoized per platform and reused by
-        :meth:`level_fractions` and every downstream consumer.
+        multiple reset combinations").  Served from the level engine's
+        per-service cache; after a mutation only the entries the delta
+        could reach are reclassified.
         """
-        cached = self._levels_cache.get(platform)
-        if cached is not None:
-            return dict(cached)
-        pure_full = self._pure_full_depths()
-        depths = self._depths()
-        joint_pool_1 = frozenset(
-            name for name, d in depths.items() if d <= 1
-        )
-        full_pool = frozenset(depths)
-        result: Dict[str, FrozenSet[DependencyLevel]] = {}
-        for service, node in self._nodes.items():
-            paths = node.paths_on(platform)
-            if not paths:
-                continue
-            levels: Set[DependencyLevel] = set()
-            for path in paths:
-                cover = self.coverage(node, path)
-                if cover.is_blocked:
-                    continue
-                # Each path contributes its *minimal* category; a service
-                # still lands in several categories when different reset
-                # combinations sit at different depths (which is why the
-                # paper's percentages do not sum to 100%).
-                if cover.is_direct:
-                    levels.add(DependencyLevel.DIRECT)
-                    continue
-                full_parent_depths = [
-                    pure_full[name]
-                    for name in self._path_full_parent_names(node, path, cover)
-                    if name in pure_full
-                ]
-                if any(d == 0 for d in full_parent_depths):
-                    levels.add(DependencyLevel.ONE_LAYER)
-                elif any(d == 1 for d in full_parent_depths):
-                    levels.add(DependencyLevel.TWO_LAYER_FULL)
-                elif self._jointly_coverable(node, path, cover, joint_pool_1):
-                    levels.add(DependencyLevel.TWO_LAYER_MIXED)
-            if not levels:
-                # Either reachable only deeper than the paper's two-layer
-                # categories (rare; folded into the mixed catch-all) or not
-                # reachable at all on this platform -> safe.
-                if self._platform_reachable(node, paths, full_pool):
-                    levels.add(DependencyLevel.TWO_LAYER_MIXED)
-                else:
-                    levels.add(DependencyLevel.SAFE)
-            result[service] = frozenset(levels)
-        self._levels_cache[platform] = result
-        return dict(result)
-
-    def _platform_reachable(
-        self,
-        node: TDGNode,
-        paths: Tuple[AuthPath, ...],
-        pool: FrozenSet[str],
-    ) -> bool:
-        pool = pool - {node.service}
-        for path in paths:
-            cover = self.coverage(node, path)
-            if cover.is_blocked:
-                continue
-            if all(
-                self._pool_provides(factor, path, pool)
-                for factor in cover.residual
-            ):
-                return True
-        return False
-
-    def _path_full_parent_names(
-        self, node: TDGNode, path: AuthPath, cover: PathCoverage
-    ) -> FrozenSet[str]:
-        """Names of nodes that alone cover this one path's residual."""
-        if not cover.residual:
-            return self.ecosystem_index().name_set - {node.service}
-        view = self.attacker_index()
-        return frozenset.intersection(
-            *(view.provider_names(factor, path) for factor in cover.residual)
-        ) - {node.service}
-
-    def _jointly_coverable(
-        self,
-        node: TDGNode,
-        path: AuthPath,
-        cover: PathCoverage,
-        pool: FrozenSet[str],
-    ) -> bool:
-        pool = pool - {node.service}
-        return bool(cover.residual) and all(
-            self._pool_provides(factor, path, pool)
-            for factor in cover.residual
-        )
+        return self.levels_engine().dependency_levels(platform)
 
     def level_fractions(
         self, platform: Platform
@@ -1198,14 +1102,24 @@ class TransformationDependencyGraph:
         levels = self.dependency_levels(platform)
         if not levels:
             raise ValueError(f"no services on {platform}")
+        counts = {level: 0 for level in DependencyLevel}
+        for service_levels in levels.values():
+            for level in service_levels:
+                counts[level] += 1
         n = len(levels)
+        return {level: counts[level] / n for level in DependencyLevel}
+
+    def levels_report(
+        self, platforms: Iterable[Platform]
+    ) -> Dict[Platform, Dict[DependencyLevel, float]]:
+        """Level fractions for several platforms off one engine flush --
+        the batch entry point the measurement study and the defense
+        evaluation consume levels through, so their per-platform sweeps
+        share the engine's warm fixpoints."""
         return {
-            level: sum(1 for ls in levels.values() if level in ls) / n
-            for level in DependencyLevel
+            platform: self.level_fractions(platform) for platform in platforms
         }
 
     def fringe_nodes(self) -> FrozenSet[str]:
         """Fig. 4's red dots: services the profile takes over directly."""
-        return frozenset(
-            service for service in self._nodes if self.is_direct(service)
-        )
+        return self.levels_engine().direct_services()

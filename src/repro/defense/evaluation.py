@@ -172,12 +172,15 @@ class DefenseEvaluation:
     ) -> DefenseOutcome:
         tdg = actfort.tdg()
         closure = actfort.potential_victims()
-        dependency: Dict[Platform, Mapping[DependencyLevel, float]] = {}
+        # Both platforms consumed through the level engine in one batch,
+        # sharing its warm depth fixpoints across the ablation grid.
+        dependency: Mapping[Platform, Mapping[DependencyLevel, float]] = (
+            tdg.levels_report((Platform.WEB, Platform.MOBILE))
+        )
         direct: Dict[Platform, float] = {}
         safe: Dict[Platform, float] = {}
         for platform in (Platform.WEB, Platform.MOBILE):
-            fractions = tdg.level_fractions(platform)
-            dependency[platform] = fractions
+            fractions = dependency[platform]
             direct[platform] = fractions[DependencyLevel.DIRECT]
             safe[platform] = fractions[DependencyLevel.SAFE]
         return DefenseOutcome(

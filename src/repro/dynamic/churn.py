@@ -213,3 +213,47 @@ class MutationStream:
             self._counter, domain, self._rng, name=name
         )
         return AddService(profile=profile)
+
+
+def measure_serve_comparison(
+    ecosystem: Ecosystem,
+    samples: int,
+    stream_seed: int = 2021,
+    platform: Platform = Platform.WEB,
+) -> Tuple[List[float], List[float]]:
+    """Twin-session serve measurement shared by the perf-smoke gate and
+    the churn benchmark's serve tier.
+
+    Two :class:`~repro.dynamic.session.DynamicAnalysisSession` instances
+    are fed the same mutation stream.  After each mutation the *baseline*
+    session drops its level engine before the timed query -- exactly the
+    pre-engine serving cost (global depth fixpoints plus a full
+    reclassification over whatever per-node memos survived the delta) --
+    while the other serves through its delta-maintained engine.  Returns
+    ``(incremental_seconds, recompute_seconds)`` per sample; callers pick
+    their own aggregate and threshold.
+    """
+    import time
+
+    from repro.dynamic.session import DynamicAnalysisSession
+
+    session = DynamicAnalysisSession(ecosystem)
+    session.level_fractions(platform)
+    baseline = DynamicAnalysisSession(ecosystem)
+    baseline.level_fractions(platform)
+    stream = MutationStream(seed=stream_seed)
+    incremental_seconds: List[float] = []
+    recompute_seconds: List[float] = []
+    for _ in range(samples):
+        mutation = stream.next_mutation(session.ecosystem)
+        session.mutate(mutation)
+        baseline.mutate(mutation)
+        baseline_graph = baseline.graph()
+        baseline_graph.reset_levels_engine()
+        start = time.perf_counter()
+        baseline_graph.level_fractions(platform)
+        recompute_seconds.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        session.level_fractions(platform)
+        incremental_seconds.append(time.perf_counter() - start)
+    return incremental_seconds, recompute_seconds

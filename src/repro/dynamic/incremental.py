@@ -19,12 +19,17 @@ rebuilding anything:
    its per-factor provider postings
    (:meth:`AttackerIndex.update_for_node`), reporting which factors'
    provider sets actually moved.
-3. **Reachable invalidation** -- each graph drops only the memoized
-   coverage / parent / couple / combining entries reachable from the
-   touched services and moved factors
-   (:meth:`TransformationDependencyGraph.invalidate_after_delta`); the
-   global dependency-level fixpoints are dropped and rebuilt lazily from
-   the surviving memos.
+3. **Reachable invalidation + level-engine routing** -- each graph drops
+   only the memoized coverage / parent / couple / combining entries
+   reachable from the touched services and moved factors, with the
+   reachable set read off the index's reverse-dependency postings
+   (:meth:`TransformationDependencyGraph.invalidate_after_delta`).  The
+   dependency-level fixpoints are *not* dropped: the delta's scope is
+   routed into the graph's
+   :class:`~repro.levels.DepthFixpointEngine`, which maintains both depth
+   maps incrementally (delta-BFS from the touched cone, bounded
+   re-derivation for removals and depth increases) and reclassifies only
+   the level entries the delta can reach, lazily on the next query.
 
 The differential suite (``tests/test_dynamic_equivalence.py``) locks every
 incrementally-maintained state against a from-scratch rebuild, including

@@ -130,10 +130,7 @@ class RolloutPlanner:
         label: str,
         mutated: Tuple[str, ...],
     ) -> TrajectoryPoint:
-        fractions = {
-            platform: session.level_fractions(platform)
-            for platform in self._platforms
-        }
+        fractions = session.level_report(self._platforms)
         graph = session.graph()
         return TrajectoryPoint(
             step=label,

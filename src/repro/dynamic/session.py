@@ -11,6 +11,12 @@ feeds it to the incremental maintainer
 stage-1/2 reports for exactly the touched services -- so a mutation costs
 a handful of postings splices instead of an O(ecosystem) pipeline rebuild,
 and :meth:`query` serves from memoized state that survived the delta.
+
+The dependency-level payload is served by each graph's
+:class:`~repro.levels.DepthFixpointEngine`: deltas are routed into the
+engine (not answered by dropping the depth fixpoints), which delta-BFSes
+the affected cone on the next level query, so mutate+query stays
+sub-linear in ecosystem size.
 """
 
 from __future__ import annotations
@@ -208,6 +214,15 @@ class DynamicAnalysisSession:
     ) -> Dict[DependencyLevel, float]:
         """Section IV-B's dependency-level fractions, served live."""
         return self.graph(attacker).level_fractions(platform)
+
+    def level_report(
+        self,
+        platforms: Iterable[Platform] = (Platform.WEB, Platform.MOBILE),
+        attacker: Optional[str] = None,
+    ) -> Dict[Platform, Dict[DependencyLevel, float]]:
+        """Level fractions for several platforms off one engine flush
+        (the batch form the rollout planner and measurement study use)."""
+        return self.graph(attacker).levels_report(platforms)
 
     def dependency_levels(
         self, platform: Platform, attacker: Optional[str] = None

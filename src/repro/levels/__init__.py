@@ -1,0 +1,67 @@
+"""Dependency-level machinery: global depth fixpoints, served live.
+
+Carved out of the :mod:`repro.core.tdg` monolith: the graph keeps the
+per-node analysis (coverage splits, parents, couples), this package owns
+everything *global* about Section IV-B-1's dependency levels.
+
+Module map
+==========
+
+:mod:`repro.levels.engine`
+    :class:`DepthFixpointEngine` -- the joint-coverage and pure-full-chain
+    depth fixpoints, the per-service level classification, and the
+    incremental maintenance that keeps all three equal to a from-scratch
+    rebuild under :class:`~repro.dynamic.events.EcosystemDelta` streams.
+    Also home of :class:`DependencyLevel` and the :data:`MAX_DEPTH` cap
+    (re-exported by :mod:`repro.core.tdg` for compatibility).
+
+:mod:`repro.levels.aggregates`
+    :class:`FactorDepthBuckets` -- per-factor provider-depth buckets with
+    O(1) "minimal provider depth excluding one service" answers and the
+    summary comparison that gates delta propagation.
+
+Fixpoint invariants
+===================
+
+Both depth maps are least fixpoints of *superior* recurrences (every
+right-hand depth is strictly smaller than the left-hand value):
+
+- joint: ``depth(v) = 1 + min over non-blocked paths of max over residual
+  factors of the factor's minimal provider depth`` (providers meaning full
+  providers, combinable masked-view pools, or accepted linked accounts,
+  always excluding ``v`` itself), with ``depth = 0`` for directly
+  compromisable services and a cap of :data:`~repro.levels.engine.MAX_DEPTH`;
+- pure-full: ``depth(v) = 1 + min over full-capacity parents``.
+
+Superiority makes every fixpoint grounded in the depth-0 services and
+therefore *unique* -- which is why the engine's incremental answers can be
+(and, in ``tests/test_dynamic_equivalence.py``, are) compared bit-for-bit
+against the seed engine's round-based rebuild at every mutation step.
+
+Delta propagation
+=================
+
+A delta flows in as (touched services, affected factors, combining
+factors, changed names).  The engine seeds a dirty cone from the reverse-
+dependency postings of :class:`~repro.core.index.EcosystemIndex`
+(factor -> demanding services, provider -> linking services), then runs a
+two-phase worklist per map: phase A retracts entries whose derivation is
+no longer supported (depth increases and removals -- the survivors form a
+self-supported pre-fixpoint), phase B re-derives the retracted cone
+descending to the unique fixpoint (depth decreases and re-insertions).
+Pushes are gated by the factor depth summaries: a change that moves no
+summary stops propagating immediately.  Level-classification entries are
+dropped per service only when their inputs changed; everything else is
+served from cache.
+"""
+
+from repro.levels.aggregates import DepthSummary, FactorDepthBuckets
+from repro.levels.engine import MAX_DEPTH, DependencyLevel, DepthFixpointEngine
+
+__all__ = [
+    "MAX_DEPTH",
+    "DependencyLevel",
+    "DepthFixpointEngine",
+    "DepthSummary",
+    "FactorDepthBuckets",
+]

@@ -1,0 +1,142 @@
+"""Per-factor depth aggregates: the gating structure of the delta-BFS.
+
+The joint-coverage fixpoint asks, over and over, one question per residual
+factor of one path: *what is the minimal compromise depth among the
+factor's providers, excluding the path's own service?*  Answering it by
+scanning the factor's provider postings would make every re-derivation
+O(providers); answering it from an aggregate makes it O(1) and -- just as
+important -- makes **propagation gating** possible: a provider's depth
+change that does not move the aggregate's answer for any consumer cannot
+change any consumer's depth, so the delta-BFS stops there.
+
+:class:`FactorDepthBuckets` keeps, per credential factor, one set of
+provider names per depth value (depths are capped at
+:data:`~repro.core.tdg._MAX_DEPTH`, so the bucket list is tiny and every
+update is O(1)).  From the buckets it derives a :class:`DepthSummary`
+capturing *exactly* what the excluding-one-service minimum depends on:
+
+- ``min1`` -- the minimal provider depth;
+- whether two or more providers sit at ``min1`` (then the excluding
+  minimum is ``min1`` for every consumer);
+- otherwise ``sole`` -- the single provider at ``min1`` -- and ``min2``,
+  the minimal depth among the *other* providers (the answer when ``sole``
+  itself is the excluded service).
+
+Two summaries being equal therefore guarantees every consumer's
+excluding-minimum is unchanged, which is the soundness condition the
+engine's gated pushes rely on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Set
+
+from repro.model.factors import CredentialFactor
+
+#: Depth values run 0..8 (the level analysis' cap), so nine buckets.
+BUCKET_COUNT = 9
+
+
+@dataclasses.dataclass(frozen=True)
+class DepthSummary:
+    """Everything the excluding-one-service minimum depends on."""
+
+    #: Minimal provider depth.
+    min1: int
+    #: Whether at least two providers sit at ``min1``.
+    crowded: bool
+    #: The single provider at ``min1`` (``None`` when ``crowded``).
+    sole: Optional[str]
+    #: Minimal depth among providers other than ``sole`` (``None`` when
+    #: ``crowded`` or when ``sole`` is the only provider at any depth).
+    min2: Optional[int]
+
+    def min_excluding(self, service: str) -> Optional[int]:
+        """Minimal provider depth over providers other than ``service``."""
+        if self.crowded or self.sole != service:
+            return self.min1
+        return self.min2
+
+
+class FactorDepthBuckets:
+    """Depth buckets per factor over one evolving depth map."""
+
+    def __init__(self) -> None:
+        self._buckets: Dict[CredentialFactor, List[Set[str]]] = {}
+        self._summaries: Dict[CredentialFactor, Optional[DepthSummary]] = {}
+
+    def _factor_buckets(self, factor: CredentialFactor) -> List[Set[str]]:
+        buckets = self._buckets.get(factor)
+        if buckets is None:
+            buckets = [set() for _ in range(BUCKET_COUNT)]
+            self._buckets[factor] = buckets
+            self._summaries[factor] = None
+        return buckets
+
+    def summary(self, factor: CredentialFactor) -> Optional[DepthSummary]:
+        """Current summary for ``factor`` (``None`` when no provider has a
+        finite depth)."""
+        return self._summaries.get(factor)
+
+    def min_excluding(
+        self, factor: CredentialFactor, service: str
+    ) -> Optional[int]:
+        """O(1) minimal provider depth for ``factor``, excluding ``service``."""
+        summary = self._summaries.get(factor)
+        if summary is None:
+            return None
+        return summary.min_excluding(service)
+
+    def _recount(self, factor: CredentialFactor) -> None:
+        buckets = self._buckets[factor]
+        summary: Optional[DepthSummary] = None
+        for depth, bucket in enumerate(buckets):
+            if not bucket:
+                continue
+            if summary is None:
+                if len(bucket) >= 2:
+                    summary = DepthSummary(
+                        min1=depth, crowded=True, sole=None, min2=None
+                    )
+                    break
+                summary = DepthSummary(
+                    min1=depth,
+                    crowded=False,
+                    sole=next(iter(bucket)),
+                    min2=None,
+                )
+            else:
+                summary = dataclasses.replace(summary, min2=depth)
+                break
+        self._summaries[factor] = summary
+
+    def move(
+        self,
+        service: str,
+        factor: CredentialFactor,
+        old_depth: Optional[int],
+        new_depth: Optional[int],
+    ) -> bool:
+        """Move one provider between buckets; ``True`` iff the summary --
+        and hence possibly some consumer's answer -- changed."""
+        buckets = self._factor_buckets(factor)
+        if old_depth is not None:
+            buckets[old_depth].discard(service)
+        if new_depth is not None:
+            buckets[new_depth].add(service)
+        before = self._summaries.get(factor)
+        self._recount(factor)
+        return self._summaries.get(factor) != before
+
+    def place(
+        self, service: str, factor: CredentialFactor, depth: int
+    ) -> None:
+        """Batch-mode insert: bucket only, no summary recount.  Callers
+        must :meth:`refresh` every placed factor before querying."""
+        self._factor_buckets(factor)[depth].add(service)
+
+    def refresh(self, factor: CredentialFactor) -> None:
+        """Recount one factor's summary after a batch of :meth:`place`."""
+        if factor in self._buckets:
+            self._recount(factor)

@@ -1,0 +1,1076 @@
+"""The dependency-level engine: depth fixpoints maintained under deltas.
+
+The paper's Section IV-B-1 percentages rest on two global fixpoints over
+the Transformation Dependency Graph:
+
+- the **joint-coverage depth** of a service: the minimal number of
+  compromise waves before it falls, where each wave may pool information
+  (including Insight 4's combined masked views) from every service taken
+  in earlier waves;
+- the **pure full-chain depth**: the same minimum restricted to
+  single-parent (full-capacity) steps.
+
+Both are least fixpoints of a *superior* recurrence --
+
+``depth(v) = 1 + min over paths of max over residual factors of
+min over providers of depth(provider)``
+
+(and ``1 + min over full parents`` for the pure variant) -- where every
+right-hand value is strictly smaller than the left.  Two consequences
+carry the whole module:
+
+1. **Any fixpoint is grounded**: finite depths chain strictly downward to
+   depth-0 (directly compromisable) services, so the fixpoint is unique
+   and any algorithm that terminates on a fixpoint computes *the* answer
+   the from-scratch rounds of the seed engine computed.
+2. **Descending chaotic iteration from a pre-fixpoint converges to it**,
+   which is what makes incremental maintenance sound: after a delta, the
+   engine (phase A) retracts exactly the entries whose derivation is no
+   longer supported -- leaving a self-supported, hence pre-fixpoint,
+   partial map -- and (phase B) re-derives the retracted cone by worklist,
+   with every change pushed forward along the *reverse-dependency
+   postings* (factor -> demanding services, provider -> linking services)
+   that :class:`~repro.core.index.EcosystemIndex` maintains.
+
+Propagation is gated by :class:`~repro.levels.aggregates.FactorDepthBuckets`:
+a provider's depth change that leaves its factors' min-depth summaries
+unchanged cannot change any consumer, so the BFS stops immediately -- the
+common case for churn that touches services deep in (or absent from) the
+dependency ordering.
+
+The engine also owns the per-service level classification itself
+(:meth:`DepthFixpointEngine.dependency_levels`), caching one entry per
+service and invalidating, per delta, only the entries whose inputs --
+own coverage signature, provider postings, or the depth of a service they
+can draw factors from -- actually changed.  Platform path filtering is
+threaded through one memo shared by the classification and
+:meth:`is_direct`.  All invalidation is *lazy*: deltas accumulate via
+:meth:`note_delta` and are flushed on the next query, so a mutation burst
+costs one cone update, not one per mutation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from collections import deque
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.core.index import MASKABLE_FACTORS
+from repro.levels.aggregates import FactorDepthBuckets
+from repro.model.factors import CredentialFactor, Platform
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.index import EcosystemIndex
+    from repro.core.tdg import TDGNode, TransformationDependencyGraph
+    from repro.model.account import AuthPath
+
+__all__ = ["MAX_DEPTH", "DependencyLevel", "DepthFixpointEngine"]
+
+#: Depth cap for the level analysis; the paper's categories stop at two
+#: middle layers.
+MAX_DEPTH = 8
+
+
+class DependencyLevel(enum.Enum):
+    """The paper's four dependency relationships plus "safe"."""
+
+    DIRECT = "direct"
+    ONE_LAYER = "one_layer"
+    TWO_LAYER_FULL = "two_layer_full"
+    TWO_LAYER_MIXED = "two_layer_mixed"
+    SAFE = "safe"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclasses.dataclass(frozen=True)
+class NodeSignature:
+    """One service's local derivation inputs: per-path residual splits.
+
+    Signatures are value-compared across deltas; an unchanged signature
+    (same paths, same residual factors, same blocked flags, same direct
+    status) means the service's own contribution to every fixpoint and to
+    its level classification is unchanged.
+    """
+
+    direct: bool
+    #: ``(path, residual factors, blocked)`` per takeover path, in order.
+    entries: Tuple[
+        Tuple["AuthPath", FrozenSet[CredentialFactor], bool], ...
+    ]
+
+
+class DepthFixpointEngine:
+    """Owns the dependency-level fixpoints of one graph, incrementally.
+
+    Built lazily by
+    :meth:`~repro.core.tdg.TransformationDependencyGraph.levels_engine`;
+    graphs that never ask a level/depth question never pay for it.  State
+    lives in three tiers, each lazy:
+
+    - **signatures**: per-service coverage splits, the direct set, and the
+      platform-filtered path memo;
+    - **depths**: the joint and pure-full depth maps, the factor depth
+      buckets, and the memoized full-capacity parents with their reverse
+      (children) postings;
+    - **levels**: one classification entry per (platform, service).
+    """
+
+    def __init__(self, graph: "TransformationDependencyGraph") -> None:
+        self._graph = graph
+        self._innate = graph.innate_factors()
+        # Tier 1: signatures.
+        self._sig: Optional[Dict[str, NodeSignature]] = None
+        self._direct: Set[str] = set()
+        self._platform_paths: Dict[
+            Tuple[str, Optional[Platform]], Tuple["AuthPath", ...]
+        ] = {}
+        # Tier 2: depth fixpoints.
+        self._joint: Optional[Dict[str, int]] = None
+        self._pure: Optional[Dict[str, int]] = None
+        self._buckets: Optional[FactorDepthBuckets] = None
+        self._provided: Dict[str, FrozenSet[CredentialFactor]] = {}
+        self._partials: Dict[str, FrozenSet[CredentialFactor]] = {}
+        self._parents: Optional[Dict[str, FrozenSet[str]]] = None
+        self._children: Dict[str, Set[str]] = {}
+        #: Static provider-set sizes, to detect availability transitions
+        #: (a factor's provider pool crossing the 0/1 boundary is the only
+        #: postings change that can move a coverage split).
+        self._provider_counts: Dict[CredentialFactor, int] = {}
+        #: residual-factor signature -> services with a path demanding
+        #: exactly that signature; the subset tests against a touched
+        #: node's provided-factor delta find every parenthood flip.
+        self._residual_index: Dict[
+            FrozenSet[CredentialFactor], Set[str]
+        ] = {}
+        #: Pure-full depth buckets (depth -> services), so one derivation
+        #: is a handful of C-speed disjointness tests against the parents
+        #: set instead of a Python scan over it.
+        self._pure_buckets: Tuple[Set[str], ...] = tuple(
+            set() for _ in range(MAX_DEPTH + 1)
+        )
+        #: Per-factor combining memo: the depth-sorted reachable holder
+        #: views plus per-exclusion answers (``None`` key = any
+        #: non-holder).  Dropped when a holder's depth or view changes.
+        self._combine_cache: Dict[CredentialFactor, Tuple[list, dict]] = {}
+        #: Last-flushed combinability profiles (union size + per-holder
+        #: unique counts); diffed to find whose *coverage answer* a
+        #: masking change actually flips.
+        self._combine_profiles: Dict[
+            CredentialFactor, Tuple[int, Dict[str, int]]
+        ] = {}
+        # Tier 3: per-service level entries, one cache per platform.
+        self._levels: Dict[
+            Platform, Dict[str, FrozenSet[DependencyLevel]]
+        ] = {}
+        # Pending (unflushed) delta scope.
+        self._pending_touched: Set[str] = set()
+        self._pending_factors: Set[CredentialFactor] = set()
+        self._pending_names: Set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Delta intake (lazy: queries flush)
+    # ------------------------------------------------------------------
+
+    def note_delta(
+        self,
+        touched_services: FrozenSet[str],
+        affected_factors: FrozenSet[CredentialFactor],
+        combining_factors: FrozenSet[CredentialFactor],
+        changed_names: FrozenSet[str],
+    ) -> None:
+        """Record one delta's scope; the next query absorbs the union."""
+        self._pending_touched |= touched_services
+        self._pending_factors |= affected_factors | combining_factors
+        self._pending_names |= changed_names
+
+    def _flush(self) -> None:
+        if not (
+            self._pending_touched
+            or self._pending_factors
+            or self._pending_names
+        ):
+            return
+        touched = self._pending_touched
+        factors = self._pending_factors
+        names = self._pending_names
+        self._pending_touched = set()
+        self._pending_factors = set()
+        self._pending_names = set()
+        if self._sig is None:
+            return  # nothing built yet; the scratch build sees final state
+        graph = self._graph
+        nodes = graph._nodes
+        eco = graph.ecosystem_index()
+        removed = {s for s in touched if s not in nodes}
+
+        # Coverage-dirty cone: services whose residual splits can have
+        # moved.  A coverage split reads a provider set's *emptiness*
+        # (after self-exclusion), not its contents, so postings churn on a
+        # factor whose provider pool stays comfortably above one provider
+        # moves no split; only availability transitions, combinability
+        # changes, and linked-name membership do.
+        combining = {f for f in factors if f in MASKABLE_FACTORS}
+        for factor in combining:
+            self._combine_cache.pop(factor, None)
+        availability: Set[CredentialFactor] = set()
+        dirty: Set[str] = set(touched)
+        combining_demanders: Set[str] = set()
+        if self._joint is not None:
+            view = graph.attacker_index()
+            for factor in factors:
+                if (
+                    factor in self._innate
+                    or factor is CredentialFactor.LINKED_ACCOUNT
+                ):
+                    continue
+                old_count = self._provider_counts.get(factor, 0)
+                new_count = len(view.static_provider_set(factor))
+                self._provider_counts[factor] = new_count
+                if old_count <= 1 or new_count <= 1:
+                    availability.add(factor)
+            # A masking change re-splits a consumer's coverage only if its
+            # own combinable-excluding *answer* flipped; everyone else
+            # keeps their signature and only re-derives depths (the
+            # combining thresholds feed the joint recurrence directly).
+            for factor in combining:
+                demanders = eco.demanders(factor)
+                combining_demanders |= demanders
+                flips = self._combining_flips(factor, eco)
+                if flips is None:
+                    dirty |= demanders
+                else:
+                    dirty |= flips & demanders
+        else:
+            # Without the depth tier there is no baseline to diff; fall
+            # back to the conservative cone for the signature refresh.
+            availability = {f for f in factors if f not in self._innate}
+        for factor in availability:
+            dirty |= eco.demanders(factor)
+        for name in names:
+            dirty |= eco.linked_consumers_of(name)
+
+        # Tier 1 refresh: signatures, direct set, platform-path memos.
+        for key in [k for k in self._platform_paths if k[0] in touched]:
+            del self._platform_paths[key]
+        sig_changes: Dict[
+            str, Tuple[Optional[NodeSignature], Optional[NodeSignature]]
+        ] = {}
+        for service in dirty:
+            old_sig = self._sig.get(service)
+            if service in removed:
+                if old_sig is not None:
+                    del self._sig[service]
+                    sig_changes[service] = (old_sig, None)
+                self._direct.discard(service)
+                continue
+            new_sig = self._signature(service)
+            self._sig[service] = new_sig
+            if new_sig != old_sig:
+                sig_changes[service] = (old_sig, new_sig)
+            if new_sig.direct:
+                self._direct.add(service)
+            else:
+                self._direct.discard(service)
+
+        depth_changed: Set[str] = set()
+        pure_changed: Set[str] = set()
+        # Parenthood is content-sensitive but combining-insensitive, so
+        # its cone excludes the combining demanders: touched services,
+        # services whose residual split moved, availability/linked-name
+        # consumers, plus the subset-test candidates.
+        parents_dirty: Set[str] = set(touched) | set(sig_changes)
+        for factor in availability:
+            parents_dirty |= eco.demanders(factor)
+        for name in names:
+            parents_dirty |= eco.linked_consumers_of(name)
+        # First-touch snapshots: phase A retracts conservatively and
+        # phase B re-derives, so transient moves are common; only *net*
+        # summary/depth changes can move a classification answer.
+        initial_summaries: Dict[CredentialFactor, object] = {}
+        initial_joint: Dict[str, Optional[int]] = {}
+        initial_pure: Dict[str, Optional[int]] = {}
+        if self._joint is not None:
+            for service, (old_sig, new_sig) in sig_changes.items():
+                self._index_signature(service, old_sig, add=False)
+                self._index_signature(service, new_sig, add=True)
+            summary_moved, provided_changes = (
+                self._refresh_provider_memberships(
+                    touched, removed, nodes, initial_summaries
+                )
+            )
+            parents_dirty |= self._parenthood_candidates(
+                provided_changes, eco
+            )
+            joint_seeds = set(dirty) | combining_demanders
+            for factor in summary_moved:
+                joint_seeds |= eco.demanders(factor)
+            self._update_joint(
+                joint_seeds, nodes, eco, initial_summaries, initial_joint
+            )
+            self._refresh_parents(parents_dirty, removed)
+            self._update_pure(parents_dirty, nodes, initial_pure)
+
+        # A classification entry reads exactly: the service's own coverage
+        # signature, its paths' parenthood (pf0/pf1 intersections), and
+        # per-factor pool answers (depth summaries, combining thresholds,
+        # linked depths).  Invalidate along those channels from the *net*
+        # state changes -- a depth change that moved no summary, combining
+        # threshold, linked depth, or pf0/pf1 parenthood invalidates
+        # nobody beyond the dirty cone itself.
+        invalid: Set[str] = set(dirty) | parents_dirty | combining_demanders
+        buckets = self._buckets
+        for factor, before in initial_summaries.items():
+            if buckets.summary(factor) != before:
+                invalid |= eco.demanders(factor)
+        for service, before in initial_joint.items():
+            if self._joint.get(service) == before:
+                continue
+            for factor in self._partials.get(service, ()):
+                invalid |= eco.demanders(factor)
+            invalid |= eco.linked_consumers_of(service)
+        for service, before in initial_pure.items():
+            if self._pure.get(service) != before:
+                invalid |= self._children.get(service, set())
+        for cache in self._levels.values():
+            for service in invalid:
+                cache.pop(service, None)
+
+    def _index_signature(
+        self, service: str, sig: Optional[NodeSignature], add: bool
+    ) -> None:
+        """Add or remove one service's path signatures in the residual
+        index (blocked and residual-free paths never parent anything)."""
+        if sig is None:
+            return
+        for _path, residual, blocked in sig.entries:
+            if blocked or not residual:
+                continue
+            if add:
+                self._residual_index.setdefault(residual, set()).add(service)
+            else:
+                services = self._residual_index.get(residual)
+                if services is not None:
+                    services.discard(service)
+                    if not services:
+                        del self._residual_index[residual]
+
+    def _combining_flips(
+        self, factor: CredentialFactor, eco: "EcosystemIndex"
+    ) -> Optional[Set[str]]:
+        """Services whose ``combinable_excluding`` answer this masking
+        change flipped, by diffing the index's combinability profile
+        against the last flush's snapshot.  ``None`` means the
+        no-exclusion answer itself flipped (every demander is dirty)."""
+        _kind, length = MASKABLE_FACTORS[factor]
+        old_union, old_unique = self._combine_profiles.get(factor, (0, {}))
+        new_union, new_unique = eco.combinability_profile(factor)
+        self._combine_profiles[factor] = (new_union, new_unique)
+        if (old_union >= length) != (new_union >= length):
+            return None
+        flips: Set[str] = set()
+        for service in set(old_unique) | set(new_unique):
+            before = old_union - old_unique.get(service, 0) >= length
+            after = new_union - new_unique.get(service, 0) >= length
+            if before != after:
+                flips.add(service)
+        return flips
+
+    def _parenthood_candidates(
+        self,
+        provided_changes: Dict[
+            str, Tuple[FrozenSet[CredentialFactor], FrozenSet[CredentialFactor]]
+        ],
+        eco: "EcosystemIndex",
+    ) -> Set[str]:
+        """Services whose full-capacity parenthood a touched node's
+        provided-factor delta can flip: one subset test per distinct
+        residual signature (a node parents a path exactly when it provides
+        the path's whole residual, plus being named on linked paths)."""
+        candidates: Set[str] = set()
+        linked = CredentialFactor.LINKED_ACCOUNT
+        for name, (old_provided, new_provided) in provided_changes.items():
+            if old_provided == new_provided:
+                continue
+            for signature, services in self._residual_index.items():
+                base = (
+                    signature - {linked} if linked in signature else signature
+                )
+                if not base:
+                    continue
+                if (base <= old_provided) == (base <= new_provided):
+                    continue
+                if linked in signature:
+                    candidates |= services & eco.linked_consumers_of(name)
+                else:
+                    candidates |= services
+        return candidates
+
+    # ------------------------------------------------------------------
+    # Tier 1: signatures
+    # ------------------------------------------------------------------
+
+    def _signature(self, service: str) -> NodeSignature:
+        graph = self._graph
+        node = graph._nodes[service]
+        direct = False
+        entries = []
+        for path in node.takeover_paths:
+            cover = graph.coverage(node, path)
+            if cover.is_direct:
+                direct = True
+            entries.append((path, cover.residual, cover.is_blocked))
+        return NodeSignature(direct=direct, entries=tuple(entries))
+
+    def _ensure_signatures(self) -> None:
+        if self._sig is not None:
+            return
+        self._sig = {}
+        self._direct = set()
+        for service in self._graph._nodes:
+            sig = self._signature(service)
+            self._sig[service] = sig
+            if sig.direct:
+                self._direct.add(service)
+
+    def _paths_on(
+        self, service: str, platform: Optional[Platform]
+    ) -> Tuple["AuthPath", ...]:
+        """Platform-filtered takeover paths, memoized once per service --
+        the single filtering point :meth:`is_direct` and
+        :meth:`dependency_levels` share."""
+        key = (service, platform)
+        paths = self._platform_paths.get(key)
+        if paths is None:
+            paths = self._graph._nodes[service].paths_on(platform)
+            self._platform_paths[key] = paths
+        return paths
+
+    # ------------------------------------------------------------------
+    # Tier 2: the depth fixpoints
+    # ------------------------------------------------------------------
+
+    def _ensure_depths(self) -> None:
+        if self._joint is not None:
+            return
+        self._ensure_signatures()
+        graph = self._graph
+        nodes = graph._nodes
+        view = graph.attacker_index()
+        self._buckets = FactorDepthBuckets()
+        self._joint = {}
+        self._partials = {}
+        for service, node in nodes.items():
+            self._partials[service] = self._partial_factors(node)
+        eco = graph.ecosystem_index()
+        for factor in MASKABLE_FACTORS:
+            self._combine_profiles[factor] = eco.combinability_profile(factor)
+        # Provided sets come from inverting the attacker index's postings
+        # (one pass over the posting lists, not one membership-rule
+        # evaluation per node x factor; the rules are the same by
+        # construction, which the differential suite locks).
+        provided_sets: Dict[str, Set[CredentialFactor]] = {
+            service: set() for service in nodes
+        }
+        for factor in CredentialFactor:
+            if (
+                factor is CredentialFactor.LINKED_ACCOUNT
+                or factor in self._innate
+            ):
+                continue
+            providers = view.static_provider_set(factor)
+            self._provider_counts[factor] = len(providers)
+            for name in providers:
+                provided_sets[name].add(factor)
+        self._provided = {
+            service: frozenset(factors)
+            for service, factors in provided_sets.items()
+        }
+        self._residual_index = {}
+        for service in nodes:
+            self._index_signature(service, self._sig[service], add=True)
+        self._scratch_joint(nodes)
+        self._parents = {}
+        self._children = {}
+        for service in nodes:
+            parents = graph.full_capacity_parents(service)
+            self._parents[service] = parents
+            for parent in parents:
+                self._children.setdefault(parent, set()).add(service)
+        self._pure = {}
+        self._scratch_pure(nodes)
+
+    @staticmethod
+    def _partial_factors(node: "TDGNode") -> FrozenSet[CredentialFactor]:
+        return frozenset(
+            factor
+            for factor, (kind, _length) in MASKABLE_FACTORS.items()
+            if node.pia_partial.get(kind)
+        )
+
+    def _scratch_joint(self, nodes) -> None:
+        self._assign_scratch(
+            [
+                (service, 0)
+                for service in nodes
+                if self._sig[service].direct
+            ]
+        )
+        unassigned = [s for s in nodes if s not in self._joint]
+        for stage in range(1, MAX_DEPTH + 1):
+            assigned = []
+            for service in unassigned:
+                cand = self._derive_joint(service)
+                if cand is not None and cand <= stage:
+                    assigned.append((service, cand))
+            if not assigned:
+                break
+            self._assign_scratch(assigned)
+            unassigned = [s for s in unassigned if s not in self._joint]
+
+    def _assign_scratch(self, assignments) -> None:
+        """Stage-batched joint assignment: one summary recount per touched
+        factor instead of one per (service, factor) move."""
+        touched_factors: Set[CredentialFactor] = set()
+        for service, depth in assignments:
+            self._joint[service] = depth
+            for factor in self._provided.get(service, ()):
+                self._buckets.place(service, factor, depth)
+                touched_factors.add(factor)
+            for factor in self._partials.get(service, ()):
+                self._combine_cache.pop(factor, None)
+        for factor in touched_factors:
+            self._buckets.refresh(factor)
+
+    def _scratch_pure(self, nodes) -> None:
+        for service in nodes:
+            if self._sig[service].direct:
+                self._set_pure(service, 0)
+        unassigned = [s for s in nodes if s not in self._pure]
+        for stage in range(1, MAX_DEPTH + 1):
+            assigned = []
+            for service in unassigned:
+                cand = self._derive_pure(service)
+                if cand is not None and cand <= stage:
+                    assigned.append((service, cand))
+            if not assigned:
+                break
+            for service, cand in assigned:
+                self._set_pure(service, cand)
+            unassigned = [s for s in unassigned if s not in self._pure]
+
+    # -- derivation -----------------------------------------------------
+
+    def _derive_joint(self, service: str) -> Optional[int]:
+        """The joint recurrence: 1 + min over paths of max over residual
+        factors of the factor's minimal provider depth (``None`` when the
+        service is unreachable or beyond the depth cap)."""
+        sig = self._sig[service]
+        if sig.direct:
+            return 0
+        best: Optional[int] = None
+        for path, residual, blocked in sig.entries:
+            if blocked:
+                continue
+            cost = 0
+            for factor in residual:
+                fcost = self._factor_cost(factor, path, service)
+                if fcost is None:
+                    cost = None
+                    break
+                if fcost > cost:
+                    cost = fcost
+            if cost is None:
+                continue
+            if best is None or cost < best:
+                best = cost
+                if best == 0:
+                    break
+        if best is None or best + 1 > MAX_DEPTH:
+            return None
+        return best + 1
+
+    def _factor_cost(
+        self, factor: CredentialFactor, path: "AuthPath", service: str
+    ) -> Optional[int]:
+        """Minimal compromise depth at which ``factor`` becomes poolable
+        for ``path`` -- via a full provider (O(1) from the depth buckets)
+        or by combining masked views in depth order."""
+        if factor is CredentialFactor.LINKED_ACCOUNT:
+            best: Optional[int] = None
+            for name in path.linked_providers:
+                if name == service:
+                    continue
+                depth = self._joint.get(name)
+                if depth is not None and (best is None or depth < best):
+                    best = depth
+            return best
+        best = self._buckets.min_excluding(factor, service)
+        if factor in MASKABLE_FACTORS:
+            combine = self._combine_min(factor, service)
+            if combine is not None and (best is None or combine < best):
+                best = combine
+        return best
+
+    def _combine_min(
+        self, factor: CredentialFactor, excluded: str
+    ) -> Optional[int]:
+        """Minimal pool depth at which combined masked views (excluding
+        ``excluded``'s own) reconstruct the factor's full value.
+
+        Memoized per factor: the depth-sorted reachable views are computed
+        once, every non-holder shares one answer (the ``None`` key) and
+        holders get per-service entries; the whole factor entry is dropped
+        whenever a holder's depth or view set changes."""
+        eco = self._graph.ecosystem_index()
+        entry = self._combine_cache.get(factor)
+        if entry is None:
+            reachable = []
+            joint = self._joint
+            for name, positions in eco.partial_holders[factor]:
+                depth = joint.get(name)
+                if depth is not None:
+                    reachable.append((depth, name, positions))
+            reachable.sort(key=lambda item: item[0])
+            entry = (reachable, {})
+            self._combine_cache[factor] = entry
+        reachable, answers = entry
+        key: Optional[str] = (
+            excluded if excluded in eco.partial_by_service[factor] else None
+        )
+        if key in answers:
+            return answers[key]
+        _kind, length = MASKABLE_FACTORS[factor]
+        result: Optional[int] = None
+        union: Set[int] = set()
+        for depth, name, positions in reachable:
+            if name == excluded:
+                continue
+            union |= positions
+            if len(union) >= length:
+                result = depth
+                break
+        answers[key] = result
+        return result
+
+    def _derive_pure(self, service: str) -> Optional[int]:
+        """The pure-full recurrence: 1 + the minimal depth among the
+        service's memoized full-capacity parents (answered by depth-bucket
+        disjointness tests, not a scan over the parent set)."""
+        if self._sig[service].direct:
+            return 0
+        parents = self._parents.get(service)
+        if not parents:
+            return None
+        buckets = self._pure_buckets
+        for depth in range(MAX_DEPTH):
+            bucket = buckets[depth]
+            if bucket and not bucket.isdisjoint(parents):
+                return depth + 1
+        return None
+
+    def _set_pure(self, service: str, new_depth: Optional[int]) -> None:
+        old = self._pure.get(service)
+        if old == new_depth:
+            return
+        if old is not None:
+            self._pure_buckets[old].discard(service)
+        if new_depth is None:
+            self._pure.pop(service, None)
+        else:
+            self._pure[service] = new_depth
+            self._pure_buckets[new_depth].add(service)
+
+    # -- incremental maintenance ----------------------------------------
+
+    def _set_joint(
+        self, service: str, new_depth: Optional[int]
+    ) -> Set[CredentialFactor]:
+        """Move one service's joint depth; returns the provided factors
+        whose bucket summary -- hence possibly some consumer -- changed."""
+        old = self._joint.get(service)
+        if new_depth is None:
+            if old is None:
+                return set()
+            del self._joint[service]
+        else:
+            self._joint[service] = new_depth
+        changed: Set[CredentialFactor] = set()
+        for factor in self._provided.get(service, ()):
+            if self._buckets.move(service, factor, old, new_depth):
+                changed.add(factor)
+        for factor in self._partials.get(service, ()):
+            self._combine_cache.pop(factor, None)
+        return changed
+
+    def _refresh_provider_memberships(
+        self,
+        touched: Set[str],
+        removed: Set[str],
+        nodes,
+        initial_summaries: Dict[CredentialFactor, object],
+    ) -> Tuple[
+        Set[CredentialFactor],
+        Dict[
+            str,
+            Tuple[FrozenSet[CredentialFactor], FrozenSet[CredentialFactor]],
+        ],
+    ]:
+        """Re-seat touched services in the factor buckets and partial/
+        provided memos (their provider postings may have moved).  Returns
+        the factors whose depth summary moved -- the joint seeds beyond
+        the coverage cone -- and each service's (old, new) provided sets
+        for the parenthood subset tests."""
+        view = self._graph.attacker_index()
+        summary_moved: Set[CredentialFactor] = set()
+        provided_changes: Dict[
+            str,
+            Tuple[FrozenSet[CredentialFactor], FrozenSet[CredentialFactor]],
+        ] = {}
+        for service in touched:
+            old_provided = self._provided.get(service, frozenset())
+            old_partials = self._partials.get(service, frozenset())
+            if service in removed:
+                new_provided: FrozenSet[CredentialFactor] = frozenset()
+                new_partials: FrozenSet[CredentialFactor] = frozenset()
+            else:
+                node = nodes[service]
+                new_provided = view.provided_factors(node) - self._innate
+                new_partials = self._partial_factors(node)
+            provided_changes[service] = (old_provided, new_provided)
+            self._snap_summaries(
+                old_provided | new_provided, initial_summaries
+            )
+            depth = self._joint.get(service)
+            for factor in old_provided - new_provided:
+                if self._buckets.move(service, factor, depth, None):
+                    summary_moved.add(factor)
+            for factor in new_provided - old_provided:
+                if self._buckets.move(service, factor, None, depth):
+                    summary_moved.add(factor)
+            for factor in old_partials ^ new_partials:
+                self._combine_cache.pop(factor, None)
+            if service in removed:
+                self._provided.pop(service, None)
+                self._partials.pop(service, None)
+            else:
+                self._provided[service] = new_provided
+                self._partials[service] = new_partials
+        return summary_moved, provided_changes
+
+    def _snap_summaries(
+        self,
+        factors,
+        initial_summaries: Dict[CredentialFactor, object],
+    ) -> None:
+        """Record each factor's summary the first time a flush is about
+        to move it (the baseline for net-change detection)."""
+        buckets = self._buckets
+        for factor in factors:
+            if factor not in initial_summaries:
+                initial_summaries[factor] = buckets.summary(factor)
+
+    def _push_joint_consumers(
+        self,
+        service: str,
+        changed_factors: Set[CredentialFactor],
+        wl: deque,
+        inwl: Set[str],
+        nodes,
+        eco: "EcosystemIndex",
+    ) -> None:
+        """Forward-propagate one depth change along the reverse postings:
+        demanders of factors whose summary moved, services linking this
+        one, and demanders of maskable factors it holds views of."""
+        targets: Set[str] = set()
+        for factor in changed_factors:
+            targets |= eco.demanders(factor)
+        for factor in self._partials.get(service, ()):
+            targets |= eco.demanders(factor)
+        targets |= eco.linked_consumers_of(service)
+        for target in targets:
+            if target in nodes and target not in inwl:
+                inwl.add(target)
+                wl.append(target)
+
+    def _update_joint(
+        self,
+        dirty: Set[str],
+        nodes,
+        eco: "EcosystemIndex",
+        initial_summaries: Dict[CredentialFactor, object],
+        initial_joint: Dict[str, Optional[int]],
+    ) -> None:
+        """Two-phase delta-BFS on the joint map.  Every entry and factor
+        summary is snapshotted into the ``initial_*`` maps at first touch,
+        so the caller can compute net changes across both phases."""
+        todo: Set[str] = set()
+        wl = deque(dirty)
+        inwl = set(dirty)
+        # Phase A: retract entries whose derivation is no longer
+        # supported (the map only shrinks, so the survivors form a
+        # self-supported pre-fixpoint of the new system).
+        while wl:
+            service = wl.popleft()
+            inwl.discard(service)
+            old = self._joint.get(service)
+            if service not in nodes:
+                if old is not None:
+                    initial_joint.setdefault(service, old)
+                    self._snap_summaries(
+                        self._provided.get(service, ()), initial_summaries
+                    )
+                    changed = self._set_joint(service, None)
+                    self._push_joint_consumers(
+                        service, changed, wl, inwl, nodes, eco
+                    )
+                continue
+            if old is None:
+                todo.add(service)
+                continue
+            if self._derive_joint(service) == old:
+                continue
+            initial_joint.setdefault(service, old)
+            self._snap_summaries(
+                self._provided.get(service, ()), initial_summaries
+            )
+            changed = self._set_joint(service, None)
+            todo.add(service)
+            self._push_joint_consumers(service, changed, wl, inwl, nodes, eco)
+        # Phase B: descending chaotic re-derivation of the retracted cone;
+        # converges to the unique (grounded) fixpoint.
+        wl = deque(todo)
+        inwl = set(todo)
+        while wl:
+            service = wl.popleft()
+            inwl.discard(service)
+            if service not in nodes:
+                continue
+            cand = self._derive_joint(service)
+            old = self._joint.get(service)
+            if cand == old:
+                continue
+            initial_joint.setdefault(service, old)
+            self._snap_summaries(
+                self._provided.get(service, ()), initial_summaries
+            )
+            changed = self._set_joint(service, cand)
+            self._push_joint_consumers(service, changed, wl, inwl, nodes, eco)
+
+    def _refresh_parents(self, dirty: Set[str], removed: Set[str]) -> None:
+        graph = self._graph
+        for service in dirty:
+            old = self._parents.get(service, frozenset())
+            new = (
+                frozenset()
+                if service in removed
+                else graph.full_capacity_parents(service)
+            )
+            if new != old:
+                for parent in old - new:
+                    children = self._children.get(parent)
+                    if children is not None:
+                        children.discard(service)
+                        if not children:
+                            del self._children[parent]
+                for parent in new - old:
+                    self._children.setdefault(parent, set()).add(service)
+            if service in removed:
+                self._parents.pop(service, None)
+            else:
+                self._parents[service] = new
+        for service in removed:
+            self._children.pop(service, None)
+
+    def _push_children(
+        self, service: str, wl: deque, inwl: Set[str], nodes
+    ) -> None:
+        for child in self._children.get(service, ()):
+            if child in nodes and child not in inwl:
+                inwl.add(child)
+                wl.append(child)
+
+    def _update_pure(
+        self,
+        dirty: Set[str],
+        nodes,
+        initial_pure: Dict[str, Optional[int]],
+    ) -> None:
+        """The same two-phase scheme on the pure-full map, propagating
+        along the memoized parent -> children postings."""
+        todo: Set[str] = set()
+        pure = self._pure
+        wl = deque(dirty)
+        inwl = set(dirty)
+        while wl:
+            service = wl.popleft()
+            inwl.discard(service)
+            old = pure.get(service)
+            if service not in nodes:
+                if old is not None:
+                    initial_pure.setdefault(service, old)
+                    self._set_pure(service, None)
+                    self._push_children(service, wl, inwl, nodes)
+                continue
+            if old is None:
+                todo.add(service)
+                continue
+            if self._derive_pure(service) == old:
+                continue
+            initial_pure.setdefault(service, old)
+            self._set_pure(service, None)
+            todo.add(service)
+            self._push_children(service, wl, inwl, nodes)
+        wl = deque(todo)
+        inwl = set(todo)
+        while wl:
+            service = wl.popleft()
+            inwl.discard(service)
+            if service not in nodes:
+                continue
+            cand = self._derive_pure(service)
+            old = pure.get(service)
+            if cand == old:
+                continue
+            initial_pure.setdefault(service, old)
+            self._set_pure(service, cand)
+            self._push_children(service, wl, inwl, nodes)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def joint_depths(self) -> Dict[str, int]:
+        """Minimal compromise depth per service, joint coverage allowed
+        (unreachable services are absent)."""
+        self._flush()
+        self._ensure_depths()
+        return dict(self._joint)
+
+    def pure_full_depths(self) -> Dict[str, int]:
+        """Minimal chain depth using only full-capacity steps."""
+        self._flush()
+        self._ensure_depths()
+        return dict(self._pure)
+
+    def full_capacity_parents_map(self) -> Dict[str, FrozenSet[str]]:
+        """The memoized full-capacity parents of every service."""
+        self._flush()
+        self._ensure_depths()
+        return dict(self._parents)
+
+    def direct_services(self) -> FrozenSet[str]:
+        """Services the attacker profile takes over with no chaining."""
+        self._flush()
+        self._ensure_signatures()
+        return frozenset(self._direct)
+
+    def is_direct(
+        self, service: str, platform: Optional[Platform] = None
+    ) -> bool:
+        """Whether the profile alone takes the service over (optionally on
+        one platform, through the shared platform-path memo)."""
+        self._flush()
+        self._ensure_signatures()
+        if service not in self._graph._nodes:
+            raise KeyError(service)
+        if platform is None:
+            return service in self._direct
+        paths = set(self._paths_on(service, platform))
+        return any(
+            path in paths and not blocked and not residual
+            for path, residual, blocked in self._sig[service].entries
+        )
+
+    def dependency_levels(
+        self, platform: Platform
+    ) -> Dict[str, FrozenSet[DependencyLevel]]:
+        """Per-service dependency levels on one platform, from the cache;
+        only entries a delta invalidated are reclassified."""
+        self._flush()
+        self._ensure_depths()
+        cache = self._levels.setdefault(platform, {})
+        pf0: Optional[FrozenSet[str]] = None
+        pf1: Optional[FrozenSet[str]] = None
+        result: Dict[str, FrozenSet[DependencyLevel]] = {}
+        for service, node in self._graph._nodes.items():
+            paths = self._paths_on(service, platform)
+            if not paths:
+                continue
+            entry = cache.get(service)
+            if entry is None:
+                if pf0 is None:
+                    pf0 = frozenset(self._pure_buckets[0])
+                    pf1 = frozenset(self._pure_buckets[1])
+                entry = self._classify(service, paths, pf0, pf1)
+                cache[service] = entry
+            result[service] = entry
+        return result
+
+    def _classify(
+        self,
+        service: str,
+        paths: Tuple["AuthPath", ...],
+        pf0: FrozenSet[str],
+        pf1: FrozenSet[str],
+    ) -> FrozenSet[DependencyLevel]:
+        """One service's level set: each path contributes its minimal
+        category (a service lands in several categories when different
+        reset combinations sit at different depths, which is why the
+        paper's percentages do not sum to 100%)."""
+        view = self._graph.attacker_index()
+        by_path = {
+            path: (residual, blocked)
+            for path, residual, blocked in self._sig[service].entries
+        }
+        levels: Set[DependencyLevel] = set()
+        for path in paths:
+            residual, blocked = by_path[path]
+            if blocked:
+                continue
+            if not residual:
+                levels.add(DependencyLevel.DIRECT)
+                continue
+            provider_sets = [
+                view.provider_names(factor, path) for factor in residual
+            ]
+            if frozenset.intersection(pf0, *provider_sets):
+                levels.add(DependencyLevel.ONE_LAYER)
+            elif frozenset.intersection(pf1, *provider_sets):
+                levels.add(DependencyLevel.TWO_LAYER_FULL)
+            elif all(
+                (cost := self._factor_cost(factor, path, service)) is not None
+                and cost <= 1
+                for factor in residual
+            ):
+                levels.add(DependencyLevel.TWO_LAYER_MIXED)
+        if not levels:
+            # Either reachable only deeper than the paper's two-layer
+            # categories (rare; folded into the mixed catch-all) or not
+            # reachable at all on this platform -> safe.
+            if self._reachable_on(service, paths, by_path):
+                levels.add(DependencyLevel.TWO_LAYER_MIXED)
+            else:
+                levels.add(DependencyLevel.SAFE)
+        return frozenset(levels)
+
+    def _reachable_on(self, service: str, paths, by_path) -> bool:
+        for path in paths:
+            residual, blocked = by_path[path]
+            if blocked:
+                continue
+            if all(
+                self._factor_cost(factor, path, service) is not None
+                for factor in residual
+            ):
+                return True
+        return False

@@ -218,7 +218,9 @@ class TestSession:
         assert delta.is_noop
         assert session.version == 1
         assert graph._coverage_cache == coverage_entries
-        assert graph._levels_cache, "no-op must not drop the level memo"
+        engine = graph.levels_engine()
+        assert engine._levels[PL.WEB], "no-op must not drop the level memo"
+        assert not engine._pending_touched, "no-op must not reach the engine"
 
     def test_attacker_and_attackers_are_exclusive(self):
         with pytest.raises(ValueError):

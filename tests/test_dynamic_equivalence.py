@@ -14,9 +14,13 @@ mutated ecosystem:
 - identical couple records (same tuples, same enumeration order -- the
   Couple File is an artifact, not just a set),
 - identical full-/half-capacity parents per service,
+- identical **incrementally-maintained depth fixpoints** (both the
+  joint-coverage and the pure-full-chain map) against the fresh graph's
+  scratch build, plus the level engine's memoized parents map,
 - field-for-field identical :class:`~repro.core.index.EcosystemIndex` and
-  :class:`~repro.core.index.AttackerIndex` postings (order included), so
-  splice bugs cannot hide behind order-insensitive query comparisons.
+  :class:`~repro.core.index.AttackerIndex` postings (order included,
+  reverse-dependency postings included), so splice bugs cannot hide
+  behind order-insensitive query comparisons.
 
 Queries run *before* each mutation too, so every memo family is warm when
 the delta's invalidation hits it.
@@ -59,6 +63,24 @@ def _assert_matches_rebuild(session, label, context):
     assert maintained.strong_edges() == fresh.strong_edges(), context
     assert maintained.weak_edges() == fresh.weak_edges(), context
     assert maintained.fringe_nodes() == fresh.fringe_nodes(), context
+    # The incrementally-maintained depth fixpoints (both variants) must
+    # equal the fresh graph's from-scratch build, value for value.
+    maintained_engine = maintained.levels_engine()
+    fresh_engine = fresh.levels_engine()
+    assert maintained_engine.joint_depths() == fresh_engine.joint_depths(), (
+        context
+    )
+    assert (
+        maintained_engine.pure_full_depths()
+        == fresh_engine.pure_full_depths()
+    ), context
+    assert (
+        maintained_engine.full_capacity_parents_map()
+        == fresh_engine.full_capacity_parents_map()
+    ), context
+    assert (
+        maintained_engine.direct_services() == fresh_engine.direct_services()
+    ), context
     for service in fresh._nodes:
         assert maintained.couples(service) == fresh.couples(service), (
             context,
@@ -83,6 +105,9 @@ def _assert_matches_rebuild(session, label, context):
     assert spliced_eco._dossier_ordered == fresh_eco._dossier_ordered
     assert spliced_eco._partial_union == fresh_eco._partial_union
     assert spliced_eco._unique_coverage == fresh_eco._unique_coverage
+    # Reverse-dependency postings (the level engine's delta-BFS inputs).
+    assert spliced_eco.demanders_by_factor == fresh_eco.demanders_by_factor
+    assert spliced_eco.linked_consumers == fresh_eco.linked_consumers
     spliced_view = maintained.attacker_index()
     fresh_view = fresh.attacker_index()
     assert spliced_view._static_ordered == fresh_view._static_ordered, context

@@ -346,8 +346,9 @@ _MUTATION_SETTINGS = settings(
 def test_incremental_session_equals_rebuild_under_mutation_streams(
     stream_seed, catalog_seed, size
 ):
-    """A random 20-step mutation sequence leaves the incremental session's
-    levels, parents, and edge sets equal to a fresh
+    """A random 20-step mutation sequence (including service and
+    auth-path removals) leaves the incremental session's levels, depth
+    fixpoints, parents, and edge sets equal to a fresh
     TransformationDependencyGraph at every step."""
     from repro.catalog.builder import CatalogBuilder
     from repro.catalog.spec import CatalogSpec
@@ -368,6 +369,15 @@ def test_incremental_session_equals_rebuild_under_mutation_streams(
             assert maintained.dependency_levels(
                 platform
             ) == fresh.dependency_levels(platform), context
+        # Incremental depth maps (both variants) == scratch recomputation.
+        assert (
+            maintained.levels_engine().joint_depths()
+            == fresh.levels_engine().joint_depths()
+        ), context
+        assert (
+            maintained.levels_engine().pure_full_depths()
+            == fresh.levels_engine().pure_full_depths()
+        ), context
         for node in fresh.nodes:
             assert maintained.full_capacity_parents(
                 node.service
