@@ -17,12 +17,24 @@ machine-readable JSON to ``BENCH_scaling.json`` at the repo root for the
 
 import json
 import pathlib
+import statistics
 import time
 
+from repro.api import (
+    AnalysisService,
+    ClosureQuery,
+    CoupleFileQuery,
+    DependencyLevelsQuery,
+    EdgeSummaryQuery,
+    LevelReportQuery,
+    MeasurementQuery,
+    WeakEdgeQuery,
+)
 from repro.catalog.builder import CatalogBuilder
 from repro.catalog.spec import CatalogSpec
 from repro.core.reference import ReferenceTDG
 from repro.core.tdg import TransformationDependencyGraph
+from repro.dynamic import MutationStream
 from repro.model.attacker import AttackerProfile
 from repro.model.factors import Platform
 from repro.utils.tables import format_table
@@ -132,3 +144,127 @@ def test_bench_actfort_scaling(benchmark):
     assert speedup[402] >= REQUIRED_SPEEDUP_402, speedup
     assert new_seconds[201] < 30.0
     assert new_seconds[1000] < 30.0
+
+
+# ----------------------------------------------------------------------
+# api_serve tier: the AnalysisService facade as a serving layer
+# ----------------------------------------------------------------------
+
+#: The serving tier size (matches the churn/serve tiers).
+API_SERVE_SIZE = 1000
+
+#: Warm repetitions of the workload (the steady serving state).
+WARM_ROUNDS = 5
+
+#: Mutation/re-query cycles measured after the warm phase.
+MUTATION_CYCLES = 5
+
+#: Acceptance floor: a warm repeated batch must be served from the
+#: version-keyed result cache (the hard >=10x contract lives in
+#: ``tests/test_perf_smoke.py`` at the 402 tier).
+REQUIRED_WARM_SPEEDUP = 10.0
+
+
+def _api_workload():
+    """A mixed serving workload: levels (both shapes), full measurement,
+    forward closure, edge counts, and one page of each record stream.
+
+    Stream pages are modest: a weak-edge page needs *distinct* edges, and
+    every additional service it touches buys that service's residual-
+    signature enumeration -- the first page is the honest cold cost of
+    the couple machinery at this tier, not an output-bound full scan."""
+    return (
+        LevelReportQuery(),
+        DependencyLevelsQuery(platform=Platform.WEB),
+        MeasurementQuery(),
+        ClosureQuery(),
+        EdgeSummaryQuery(),
+        CoupleFileQuery(page_size=128),
+        WeakEdgeQuery(page_size=128),
+    )
+
+
+def test_bench_api_serve(benchmark):
+    ecosystem = CatalogBuilder(
+        CatalogSpec(total_services=API_SERVE_SIZE), seed=2021
+    ).build_ecosystem()
+    service = AnalysisService(ecosystem)
+    workload = _api_workload()
+
+    start = time.perf_counter()
+    cold_results = service.execute_batch(workload)
+    cold = time.perf_counter() - start
+
+    warm_seconds = []
+    for _ in range(WARM_ROUNDS):
+        start = time.perf_counter()
+        warm_results = service.execute_batch(workload)
+        warm_seconds.append(time.perf_counter() - start)
+    assert warm_results == cold_results
+    warm = statistics.median(warm_seconds)
+
+    # The post-mutation re-serve: every cycle routes one mutation through
+    # the incremental engines (new version -> cache keys miss) and re-runs
+    # the whole batch against warm engine state.
+    stream = MutationStream(seed=2021)
+    mutate_seconds = []
+    requery_seconds = []
+    for _ in range(MUTATION_CYCLES):
+        mutation = stream.next_mutation(service.ecosystem)
+        start = time.perf_counter()
+        service.apply(mutation)
+        mutate_seconds.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        service.execute_batch(workload)
+        requery_seconds.append(time.perf_counter() - start)
+
+    benchmark.pedantic(
+        lambda: service.execute_batch(workload), rounds=3, iterations=1
+    )
+
+    warm_speedup = cold / warm if warm else float("inf")
+    requery_median = statistics.median(requery_seconds)
+    stats = service.cache_stats()
+    rows = [
+        ("services", str(API_SERVE_SIZE)),
+        ("queries per batch", str(len(workload))),
+        ("cold batch", f"{cold * 1e3:.1f}ms"),
+        ("warm batch (median)", f"{warm * 1e6:.0f}us"),
+        ("cold vs warm", f"{warm_speedup:.0f}x"),
+        ("mutation absorb (median)",
+         f"{statistics.median(mutate_seconds) * 1e3:.2f}ms"),
+        ("re-serve after mutation (median)",
+         f"{requery_median * 1e3:.1f}ms"),
+        ("cache hit rate", f"{100 * stats.hit_rate:.0f}%"),
+    ]
+    print(
+        "\n"
+        + format_table(
+            ("metric", "value"),
+            rows,
+            title=f"api_serve tier at {API_SERVE_SIZE} services",
+        )
+    )
+
+    payload = {
+        "size": API_SERVE_SIZE,
+        "queries_per_batch": len(workload),
+        "cold_batch_seconds": cold,
+        "warm_batch_median_seconds": warm,
+        "warm_speedup": warm_speedup,
+        "mutation_median_seconds": statistics.median(mutate_seconds),
+        "requery_after_mutation_median_seconds": requery_median,
+        "cache_hits": stats.hits,
+        "cache_misses": stats.misses,
+    }
+    merged = {}
+    if JSON_PATH.exists():
+        try:
+            merged = json.loads(JSON_PATH.read_text())
+        except ValueError:
+            merged = {}
+    merged["api_serve"] = payload
+    JSON_PATH.write_text(json.dumps(merged, indent=2) + "\n")
+    benchmark.extra_info["api_serve"] = payload
+
+    assert warm_speedup >= REQUIRED_WARM_SPEEDUP, payload

@@ -59,6 +59,23 @@ updating the inverted indexes per delta instead of rebuilding::
 
 ``tests/test_dynamic_equivalence.py`` locks every incremental state to a
 from-scratch rebuild, mirroring the indexed engine's discipline.
+
+All of it serves through one surface: :mod:`repro.api`'s
+:class:`~repro.api.AnalysisService` facade takes typed queries
+(level reports, measurement, forward closure, defense ablations, staged
+rollouts, cursor-paged couple/weak-edge streams), caches results under a
+version key, and routes mutations through the incremental engines::
+
+    from repro import AnalysisService, build_default_ecosystem
+    from repro.api import LevelReportQuery, MeasurementQuery
+
+    service = AnalysisService(build_default_ecosystem())
+    report, measured = service.execute_batch(
+        [LevelReportQuery(), MeasurementQuery()]
+    )
+
+``tests/test_api_service.py`` locks every legacy entry point's routed
+results against direct engine use, mutations interleaved.
 """
 
 from repro.model import (
@@ -90,12 +107,14 @@ from repro.attack import ChainExecutor, SnifferInterception
 from repro.analysis import MeasurementStudy, compute_insights
 from repro.defense import DefenseEvaluation
 from repro.dynamic import DynamicAnalysisSession
+from repro.api import AnalysisService
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ActFort",
     "ActiveMitM",
+    "AnalysisService",
     "AttackChain",
     "AttackerCapability",
     "AttackerProfile",

@@ -4,12 +4,20 @@
 from static profiles (fast; the default for the 201-service catalog) or by
 black-box probing a deployed internet (faithful; used by the integration
 tests) -- and aggregates every statistic the paper reports.
+
+The study is a thin client of the :class:`~repro.api.AnalysisService`
+facade: every ``run_*`` entry point builds (or adopts) a service and
+issues a :class:`~repro.api.MeasurementQuery`, so measurement shares the
+facade's version-keyed result cache, warm level-engine fixpoints, and
+batch planning.  The entry points are kept as delegating shims for
+compatibility; new code should talk to the facade directly.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterable, Mapping, Optional, Tuple
+import warnings
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core.actfort import ActFort
 from repro.core.authproc import aggregate_path_statistics
@@ -18,6 +26,14 @@ from repro.core.tdg import DependencyLevel
 from repro.model.attacker import AttackerProfile
 from repro.model.ecosystem import Ecosystem
 from repro.model.factors import PersonalInfoKind, Platform
+from repro.utils.serialization import (
+    enum_keyed_dict,
+    enum_keyed_from_dict,
+    level_map_from_dict,
+    level_map_to_dict,
+    platform_map_from_dict,
+    platform_map_to_dict,
+)
 from repro.websim.internet import Internet
 
 
@@ -35,7 +51,7 @@ class MeasurementResults:
     #: Section IV-B dependency-level fractions per platform.
     dependency: Mapping[Platform, Mapping[DependencyLevel, float]]
 
-    def summary_lines(self) -> list:
+    def summary_lines(self) -> List[str]:
         """Compact text summary used by examples and benches."""
         lines = [
             f"services analyzed: {self.service_count}",
@@ -57,6 +73,82 @@ class MeasurementResults:
             lines.append(f"[{platform.value}] {rendered}")
         return lines
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Wire-ready document (enums as value strings)."""
+        return {
+            "service_count": self.service_count,
+            "total_auth_paths": self.total_auth_paths,
+            "distinct_path_signatures": self.distinct_path_signatures,
+            "fig3": platform_map_to_dict(self.fig3),
+            "table1": platform_map_to_dict(
+                self.table1, lambda by_kind: enum_keyed_dict(by_kind)
+            ),
+            "dependency": level_map_to_dict(self.dependency),
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "MeasurementResults":
+        """Inverse of :meth:`to_dict` (exact round-trip)."""
+        return cls(
+            service_count=document["service_count"],
+            total_auth_paths=document["total_auth_paths"],
+            distinct_path_signatures=document["distinct_path_signatures"],
+            fig3=platform_map_from_dict(document["fig3"], dict),
+            table1=platform_map_from_dict(
+                document["table1"],
+                lambda by_kind: enum_keyed_from_dict(
+                    by_kind, PersonalInfoKind, float
+                ),
+            ),
+            dependency=level_map_from_dict(document["dependency"]),
+        )
+
+
+def aggregate_reports(
+    auth_reports, collection_reports, tdg
+) -> MeasurementResults:
+    """Aggregate stage-1/2 reports plus one graph into Section IV's
+    statistics.
+
+    This is the measurement *engine* -- the one place the aggregation
+    happens.  The :class:`~repro.api.AnalysisService` facade calls it for
+    :class:`~repro.api.MeasurementQuery`; the :class:`MeasurementStudy`
+    shims reach it through the facade.
+    """
+    fig3: Dict[Platform, Mapping[str, float]] = {}
+    table1: Dict[Platform, Mapping[PersonalInfoKind, float]] = {}
+    for platform in (Platform.WEB, Platform.MOBILE):
+        fig3[platform] = aggregate_path_statistics(auth_reports, platform)
+        table1[platform] = exposure_table(collection_reports, platform)
+    # One batch call through the level engine: both platforms share
+    # the same warm depth fixpoints (and, in session mode, whatever
+    # classification entries survived the last delta).
+    dependency: Mapping[Platform, Mapping[DependencyLevel, float]] = (
+        tdg.levels_report((Platform.WEB, Platform.MOBILE))
+    )
+
+    total_paths = sum(len(r.paths()) for r in auth_reports.values())
+    signatures = sum(
+        r.distinct_path_signatures for r in auth_reports.values()
+    )
+    return MeasurementResults(
+        service_count=len(auth_reports),
+        total_auth_paths=total_paths,
+        distinct_path_signatures=signatures,
+        fig3=fig3,
+        table1=table1,
+        dependency=dependency,
+    )
+
+
+def _deprecated(entry_point: str) -> None:
+    warnings.warn(
+        f"MeasurementStudy.{entry_point} is a delegating shim; query the "
+        "repro.api.AnalysisService facade (MeasurementQuery) directly",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
 
 class MeasurementStudy:
     """Runs the full Section IV measurement over one ecosystem."""
@@ -65,18 +157,40 @@ class MeasurementStudy:
         self._attacker = attacker if attacker is not None else AttackerProfile.baseline()
 
     def run_on_ecosystem(self, ecosystem: Ecosystem) -> MeasurementResults:
-        """Profile-mode measurement (no live services needed)."""
-        actfort = ActFort.from_ecosystem(ecosystem, attacker=self._attacker)
-        return self._aggregate(actfort)
+        """Profile-mode measurement (no live services needed).
+
+        .. deprecated:: delegates to :class:`~repro.api.AnalysisService`.
+        """
+        from repro.api import AnalysisService, MeasurementQuery
+
+        _deprecated("run_on_ecosystem")
+        service = AnalysisService(ecosystem, attacker=self._attacker)
+        return service.execute(MeasurementQuery())
 
     def run_on_internet(self, internet: Internet) -> MeasurementResults:
-        """Probe-mode measurement against deployed services."""
-        actfort = ActFort.from_internet(internet, attacker=self._attacker)
-        return self._aggregate(actfort)
+        """Probe-mode measurement against deployed services.
+
+        .. deprecated:: delegates to :class:`~repro.api.AnalysisService`.
+        """
+        from repro.api import AnalysisService, MeasurementQuery
+
+        _deprecated("run_on_internet")
+        service = AnalysisService.from_internet(
+            internet, attacker=self._attacker
+        )
+        return service.execute(MeasurementQuery())
 
     def run_actfort(self, actfort: ActFort) -> MeasurementResults:
-        """Aggregate a pre-built ActFort instance."""
-        return self._aggregate(actfort)
+        """Aggregate a pre-built ActFort instance.
+
+        .. deprecated:: delegates to :class:`~repro.api.AnalysisService`.
+        """
+        from repro.api import AnalysisService, MeasurementQuery
+
+        _deprecated("run_actfort")
+        return AnalysisService.from_actfort(actfort).execute(
+            MeasurementQuery()
+        )
 
     def run_batch(
         self,
@@ -85,14 +199,25 @@ class MeasurementStudy:
     ) -> Tuple[MeasurementResults, ...]:
         """Measure several attacker profiles over one ecosystem at once.
 
-        Stage-1/2 reports and the attacker-independent ecosystem index are
-        computed a single time and shared across the profiles via
-        :meth:`ActFort.batch`; only the per-profile graph views differ.
-        Results are returned in the order of ``attackers``.
+        One facade is built for all profiles -- stage-1/2 reports and the
+        attacker-independent ecosystem index are shared across the labels
+        by the backing session -- and the per-profile measurements run as
+        one planned batch.  Results are returned in ``attackers`` order.
+
+        .. deprecated:: delegates to :class:`~repro.api.AnalysisService`.
         """
-        base = ActFort.from_ecosystem(ecosystem, attacker=self._attacker)
-        return tuple(
-            self._aggregate(clone) for clone in base.batch(attackers)
+        from repro.api import AnalysisService, MeasurementQuery
+
+        _deprecated("run_batch")
+        profiles = {
+            f"attacker_{index}": profile
+            for index, profile in enumerate(attackers)
+        }
+        if not profiles:
+            return ()
+        service = AnalysisService(ecosystem, attackers=profiles)
+        return service.execute_batch(
+            [MeasurementQuery(attacker=label) for label in profiles]
         )
 
     def run_session(
@@ -109,43 +234,11 @@ class MeasurementStudy:
         of the session's attacker labels (default: the session's first);
         the study's own attacker profile is not consulted, since the
         session already fixed its profiles at construction.
+
+        .. deprecated:: delegates to :class:`~repro.api.AnalysisService`.
         """
-        return self._aggregate_reports(
-            session.auth_reports,
-            session.collection_reports,
-            session.graph(attacker),
-        )
+        from repro.api import AnalysisService, MeasurementQuery
 
-    def _aggregate(self, actfort: ActFort) -> MeasurementResults:
-        return self._aggregate_reports(
-            actfort.auth_reports, actfort.collection_reports, actfort.tdg()
-        )
-
-    def _aggregate_reports(
-        self, auth_reports, collection_reports, tdg
-    ) -> MeasurementResults:
-
-        fig3: Dict[Platform, Mapping[str, float]] = {}
-        table1: Dict[Platform, Mapping[PersonalInfoKind, float]] = {}
-        for platform in (Platform.WEB, Platform.MOBILE):
-            fig3[platform] = aggregate_path_statistics(auth_reports, platform)
-            table1[platform] = exposure_table(collection_reports, platform)
-        # One batch call through the level engine: both platforms share
-        # the same warm depth fixpoints (and, in session mode, whatever
-        # classification entries survived the last delta).
-        dependency: Mapping[Platform, Mapping[DependencyLevel, float]] = (
-            tdg.levels_report((Platform.WEB, Platform.MOBILE))
-        )
-
-        total_paths = sum(len(r.paths()) for r in auth_reports.values())
-        signatures = sum(
-            r.distinct_path_signatures for r in auth_reports.values()
-        )
-        return MeasurementResults(
-            service_count=len(auth_reports),
-            total_auth_paths=total_paths,
-            distinct_path_signatures=signatures,
-            fig3=fig3,
-            table1=table1,
-            dependency=dependency,
-        )
+        _deprecated("run_session")
+        service = AnalysisService.from_session(session)
+        return service.execute(MeasurementQuery(attacker=attacker))

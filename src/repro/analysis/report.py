@@ -16,7 +16,7 @@ from repro.analysis.figures import (
     table1_rows,
 )
 from repro.analysis.insights import compute_insights
-from repro.analysis.measurement import MeasurementStudy
+from repro.analysis.measurement import aggregate_reports
 from repro.core.actfort import ActFort
 from repro.model.factors import Platform
 
@@ -31,8 +31,10 @@ def _md_table(headers: List[str], rows: List[tuple]) -> str:
 
 def full_report(actfort: ActFort, title: str = "Online Account Ecosystem audit") -> str:
     """Render the complete analysis as a markdown document."""
-    results = MeasurementStudy(actfort.attacker).run_actfort(actfort)
     tdg = actfort.tdg()
+    results = aggregate_reports(
+        actfort.auth_reports, actfort.collection_reports, tdg
+    )
     closure = actfort.potential_victims()
 
     sections: List[str] = [f"# {title}", ""]

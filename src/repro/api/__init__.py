@@ -1,0 +1,90 @@
+"""The unified analysis API: typed queries over a version-cached facade.
+
+The paper's pipeline (TDG construction -> level classification ->
+measurement -> defense evaluation) historically grew one entry-point
+style per layer.  This package is the single surface in front of all of
+them -- the seam a serving system caches, batches, versions, or shards
+behind:
+
+- :mod:`repro.api.queries` -- frozen dataclass queries
+  (:class:`LevelReportQuery`, :class:`ClosureQuery`,
+  :class:`MeasurementQuery`, :class:`DefenseEvalQuery`,
+  :class:`RolloutQuery`, cursor-paged :class:`CoupleFileQuery` /
+  :class:`WeakEdgeQuery`, ...), each with a canonical cache key and a
+  JSON-serializable result type;
+- :mod:`repro.api.cache` -- the version-keyed LRU
+  :class:`~repro.api.cache.ResultCache`;
+- :mod:`repro.api.service` -- :class:`AnalysisService`, which owns the
+  live :class:`~repro.dynamic.session.DynamicAnalysisSession`, routes
+  mutations through the incremental engines, and serves query batches
+  with plan/execute separation so shared engine work (index builds,
+  level-fixpoint flushes) happens once per batch.
+
+Quickstart::
+
+    from repro import AnalysisService, build_default_ecosystem
+    from repro.api import LevelReportQuery, MeasurementQuery
+
+    service = AnalysisService(build_default_ecosystem())
+    report, measurement = service.execute_batch(
+        [LevelReportQuery(), MeasurementQuery()]
+    )
+    service.apply(some_mutation)      # routes through the delta engines
+    report2 = service.execute(LevelReportQuery())   # recomputed once
+    report3 = service.execute(LevelReportQuery())   # O(1) cache hit
+"""
+
+from repro.api.cache import CacheStats, ResultCache
+from repro.api.queries import (
+    ClosureQuery,
+    ClosureSummary,
+    CoupleFileQuery,
+    CouplePage,
+    DefenseEvalQuery,
+    DefenseEvalResult,
+    DependencyLevelsQuery,
+    DependencyLevelsResult,
+    EdgePage,
+    EdgeSummary,
+    EdgeSummaryQuery,
+    LevelReportQuery,
+    LevelReportResult,
+    MeasurementQuery,
+    Query,
+    RolloutQuery,
+    WeakEdgeQuery,
+)
+from repro.api.service import (
+    AnalysisService,
+    ApplyMutation,
+    ExecutionPlan,
+    MutationReceipt,
+    PlannedQuery,
+)
+
+__all__ = [
+    "AnalysisService",
+    "ApplyMutation",
+    "CacheStats",
+    "ClosureQuery",
+    "ClosureSummary",
+    "CoupleFileQuery",
+    "CouplePage",
+    "DefenseEvalQuery",
+    "DefenseEvalResult",
+    "DependencyLevelsQuery",
+    "DependencyLevelsResult",
+    "EdgePage",
+    "EdgeSummary",
+    "EdgeSummaryQuery",
+    "ExecutionPlan",
+    "LevelReportQuery",
+    "LevelReportResult",
+    "MeasurementQuery",
+    "MutationReceipt",
+    "PlannedQuery",
+    "Query",
+    "ResultCache",
+    "RolloutQuery",
+    "WeakEdgeQuery",
+]

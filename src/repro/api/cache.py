@@ -1,0 +1,81 @@
+"""The version-keyed result cache behind :class:`~repro.api.service.AnalysisService`.
+
+Entries are keyed by ``(canonical query key, session version)``: a
+mutation bumps the version, so stale results are never *returned* -- they
+simply stop being addressable and age out of the LRU bound.  Repeated
+queries at an unchanged version are O(1) dictionary hits, which is the
+contract the ``api_serve`` benchmark tier and the perf-smoke gate
+measure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+from typing import Any, Hashable, Optional, Tuple
+
+__all__ = ["CacheStats", "ResultCache"]
+
+#: Sentinel distinguishing "miss" from a cached ``None``.
+_MISS = object()
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheStats:
+    """Counters for one cache instance."""
+
+    hits: int
+    misses: int
+    entries: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ResultCache:
+    """A bounded LRU of query results keyed by (key, version)."""
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self._max_entries = max_entries
+        self._entries: "OrderedDict[Tuple[Hashable, int], Any]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, key: Hashable, version: int) -> Any:
+        """The cached value, or the module-private miss sentinel."""
+        entry = self._entries.get((key, version), _MISS)
+        if entry is _MISS:
+            self._misses += 1
+        else:
+            self._hits += 1
+            self._entries.move_to_end((key, version))
+        return entry
+
+    def peek(self, key: Hashable, version: int) -> bool:
+        """Whether an entry exists, without touching stats or recency."""
+        return (key, version) in self._entries
+
+    def put(self, key: Hashable, version: int, value: Any) -> None:
+        """Store one result, evicting the least recently used beyond the
+        bound (old-version entries are the typical victims)."""
+        self._entries[(key, version)] = value
+        self._entries.move_to_end((key, version))
+        while len(self._entries) > self._max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    @property
+    def miss(self) -> object:
+        """The sentinel :meth:`get` returns on a miss."""
+        return _MISS
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self._hits, misses=self._misses, entries=len(self._entries)
+        )

@@ -1,0 +1,543 @@
+"""The typed request/response layer of the analysis API.
+
+Every query is a small frozen dataclass naming *what* to compute --
+never *how* -- with a :meth:`Query.canonical_key` that fully determines
+the answer at one session version.  The key is what the
+:class:`~repro.api.cache.ResultCache` stores under (paired with the
+version), what :meth:`~repro.api.service.AnalysisService.plan` dedupes
+on, and what makes two differently-spelled requests (``attacker=None``
+vs the explicit primary label, a list vs a tuple of platforms) share one
+cache entry.
+
+Results are wire-ready: plain frozen dataclasses whose ``to_dict``
+produces a JSON-serializable document (enums as value strings, sets as
+sorted lists) and whose ``from_dict`` round-trips it, so a serving layer
+can ship them without post-processing.  Streaming results (the Couple
+File, weak edges) come back as cursor pages
+(:class:`CouplePage` / :class:`EdgePage`): ``next_cursor`` is ``None``
+on the last page, otherwise it is the ``cursor`` of the next request.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, FrozenSet, Mapping, Optional, Tuple
+
+from repro.core.tdg import CoupleRecord, DependencyLevel
+from repro.dynamic.rollout import RolloutStep
+from repro.model.factors import PersonalInfoKind, Platform
+from repro.utils.serialization import (
+    auth_path_from_dict,
+    auth_path_to_dict,
+    info_kinds_from_list,
+    info_kinds_to_list,
+    level_map_from_dict,
+    level_map_to_dict,
+)
+
+__all__ = [
+    "ClosureQuery",
+    "ClosureSummary",
+    "CoupleFileQuery",
+    "CouplePage",
+    "DependencyLevelsQuery",
+    "DependencyLevelsResult",
+    "DefenseEvalQuery",
+    "DefenseEvalResult",
+    "EdgePage",
+    "EdgeSummary",
+    "EdgeSummaryQuery",
+    "LevelReportQuery",
+    "LevelReportResult",
+    "MeasurementQuery",
+    "Query",
+    "RolloutQuery",
+    "WeakEdgeQuery",
+]
+
+#: Default platform sweep (the paper measures web and mobile).
+BOTH_PLATFORMS: Tuple[Platform, ...] = (Platform.WEB, Platform.MOBILE)
+
+
+class Query:
+    """Base class for typed analysis queries.
+
+    Subclasses are frozen dataclasses; :meth:`canonical_key` must return
+    a hashable tuple that -- together with the session version -- fully
+    determines the result.  ``default_attacker`` resolves an omitted
+    attacker label so implicit and explicit spellings share cache slots.
+    """
+
+    #: Every query targets one attacker view (``None`` = primary label).
+    attacker: Optional[str] = None
+
+    def canonical_key(self, default_attacker: str) -> Tuple:
+        raise NotImplementedError
+
+    def resolved_attacker(self, default_attacker: str) -> str:
+        """The attacker label this query runs against."""
+        attacker = getattr(self, "attacker", None)
+        return attacker if attacker is not None else default_attacker
+
+
+# ----------------------------------------------------------------------
+# Dependency levels
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class LevelReportQuery(Query):
+    """Section IV-B level fractions for a sweep of platforms."""
+
+    platforms: Tuple[Platform, ...] = BOTH_PLATFORMS
+    attacker: Optional[str] = None
+
+    def canonical_key(self, default_attacker: str) -> Tuple:
+        return (
+            "level_report",
+            tuple(self.platforms),
+            self.resolved_attacker(default_attacker),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class LevelReportResult:
+    """Per-platform dependency-level fractions at one session version."""
+
+    attacker: str
+    version: int
+    fractions: Mapping[Platform, Mapping[DependencyLevel, float]]
+
+    def fraction(self, platform: Platform, level: DependencyLevel) -> float:
+        return self.fractions[platform][level]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "attacker": self.attacker,
+            "version": self.version,
+            "fractions": level_map_to_dict(self.fractions),
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "LevelReportResult":
+        return cls(
+            attacker=document["attacker"],
+            version=document["version"],
+            fractions=level_map_from_dict(document["fractions"]),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class DependencyLevelsQuery(Query):
+    """Per-service dependency levels on one platform."""
+
+    platform: Platform = Platform.WEB
+    attacker: Optional[str] = None
+
+    def canonical_key(self, default_attacker: str) -> Tuple:
+        return (
+            "dependency_levels",
+            self.platform,
+            self.resolved_attacker(default_attacker),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class DependencyLevelsResult:
+    """Service -> level set on one platform at one session version."""
+
+    attacker: str
+    version: int
+    platform: Platform
+    levels: Mapping[str, FrozenSet[DependencyLevel]]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "attacker": self.attacker,
+            "version": self.version,
+            "platform": self.platform.value,
+            "levels": {
+                service: sorted(level.value for level in levels)
+                for service, levels in self.levels.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "DependencyLevelsResult":
+        return cls(
+            attacker=document["attacker"],
+            version=document["version"],
+            platform=Platform(document["platform"]),
+            levels={
+                service: frozenset(
+                    DependencyLevel(value) for value in values
+                )
+                for service, values in document["levels"].items()
+            },
+        )
+
+
+# ----------------------------------------------------------------------
+# Forward closure
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class ClosureQuery(Query):
+    """Scenario 1: the PAV from an initial attacked set."""
+
+    initially_compromised: Tuple[str, ...] = ()
+    extra_info: Tuple[PersonalInfoKind, ...] = ()
+    email_provider: Optional[str] = None
+    attacker: Optional[str] = None
+
+    def canonical_key(self, default_attacker: str) -> Tuple:
+        return (
+            "closure",
+            tuple(self.initially_compromised),
+            frozenset(self.extra_info),
+            self.email_provider,
+            self.resolved_attacker(default_attacker),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class ClosureSummary:
+    """The PAV as wire data: who falls in which round, who survives."""
+
+    attacker: str
+    version: int
+    #: Services grouped by the closure round they fell in (0 = seeds).
+    rounds: Mapping[int, Tuple[str, ...]]
+    compromised: Tuple[str, ...]
+    safe: Tuple[str, ...]
+    final_info: FrozenSet[PersonalInfoKind]
+
+    @property
+    def pav_size(self) -> int:
+        return len(self.compromised)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "attacker": self.attacker,
+            "version": self.version,
+            "rounds": {
+                str(number): list(names)
+                for number, names in self.rounds.items()
+            },
+            "compromised": list(self.compromised),
+            "safe": list(self.safe),
+            "final_info": info_kinds_to_list(self.final_info),
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "ClosureSummary":
+        return cls(
+            attacker=document["attacker"],
+            version=document["version"],
+            rounds={
+                int(number): tuple(names)
+                for number, names in document["rounds"].items()
+            },
+            compromised=tuple(document["compromised"]),
+            safe=tuple(document["safe"]),
+            final_info=info_kinds_from_list(document["final_info"]),
+        )
+
+
+# ----------------------------------------------------------------------
+# Measurement (Section IV)
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class MeasurementQuery(Query):
+    """The full Section IV aggregation; returns
+    :class:`~repro.analysis.measurement.MeasurementResults`."""
+
+    attacker: Optional[str] = None
+
+    def canonical_key(self, default_attacker: str) -> Tuple:
+        return ("measurement", self.resolved_attacker(default_attacker))
+
+
+# ----------------------------------------------------------------------
+# Edges and streaming pages
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class EdgeSummaryQuery(Query):
+    """Edge-family counts (strong edges, fringe, optionally weak edges).
+
+    ``include_weak`` is opt-in because the weak-edge family is the
+    output-bound frontier; its count still *streams* through
+    ``iter_weak_edges`` rather than materializing the Couple File.
+    """
+
+    include_weak: bool = False
+    attacker: Optional[str] = None
+
+    def canonical_key(self, default_attacker: str) -> Tuple:
+        return (
+            "edge_summary",
+            self.include_weak,
+            self.resolved_attacker(default_attacker),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class EdgeSummary:
+    """Strong/weak edge and fringe counts at one session version."""
+
+    attacker: str
+    version: int
+    strong_edges: int
+    fringe: int
+    weak_edges: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "attacker": self.attacker,
+            "version": self.version,
+            "strong_edges": self.strong_edges,
+            "fringe": self.fringe,
+            "weak_edges": self.weak_edges,
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "EdgeSummary":
+        return cls(
+            attacker=document["attacker"],
+            version=document["version"],
+            strong_edges=document["strong_edges"],
+            fringe=document["fringe"],
+            weak_edges=document.get("weak_edges"),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class CoupleFileQuery(Query):
+    """One page of the Couple File (Definition 3's weak-directivity
+    records), in the engine's canonical enumeration order."""
+
+    cursor: int = 0
+    page_size: int = 256
+    max_size: int = 3
+    attacker: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.cursor < 0 or self.page_size <= 0:
+            raise ValueError("cursor must be >= 0 and page_size positive")
+
+    def canonical_key(self, default_attacker: str) -> Tuple:
+        return (
+            "couples",
+            self.cursor,
+            self.page_size,
+            self.max_size,
+            self.resolved_attacker(default_attacker),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class CouplePage:
+    """One page of Couple File records."""
+
+    attacker: str
+    version: int
+    cursor: int
+    records: Tuple[CoupleRecord, ...]
+    #: Cursor of the next page, or ``None`` when this page is the last.
+    next_cursor: Optional[int]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "attacker": self.attacker,
+            "version": self.version,
+            "cursor": self.cursor,
+            "next_cursor": self.next_cursor,
+            "records": [
+                {
+                    "providers": sorted(record.providers),
+                    "target": record.target,
+                    "path": auth_path_to_dict(record.path),
+                }
+                for record in self.records
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "CouplePage":
+        return cls(
+            attacker=document["attacker"],
+            version=document["version"],
+            cursor=document["cursor"],
+            next_cursor=document["next_cursor"],
+            records=tuple(
+                CoupleRecord(
+                    providers=frozenset(item["providers"]),
+                    target=item["target"],
+                    path=auth_path_from_dict(item["path"]),
+                )
+                for item in document["records"]
+            ),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class WeakEdgeQuery(Query):
+    """One page of distinct weak-directivity edges, streamed."""
+
+    cursor: int = 0
+    page_size: int = 1024
+    max_size: int = 3
+    attacker: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.cursor < 0 or self.page_size <= 0:
+            raise ValueError("cursor must be >= 0 and page_size positive")
+
+    def canonical_key(self, default_attacker: str) -> Tuple:
+        return (
+            "weak_edges",
+            self.cursor,
+            self.page_size,
+            self.max_size,
+            self.resolved_attacker(default_attacker),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class EdgePage:
+    """One page of (provider, child) weak-directivity edges."""
+
+    attacker: str
+    version: int
+    cursor: int
+    edges: Tuple[Tuple[str, str], ...]
+    next_cursor: Optional[int]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "attacker": self.attacker,
+            "version": self.version,
+            "cursor": self.cursor,
+            "next_cursor": self.next_cursor,
+            "edges": [list(edge) for edge in self.edges],
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "EdgePage":
+        return cls(
+            attacker=document["attacker"],
+            version=document["version"],
+            cursor=document["cursor"],
+            next_cursor=document["next_cursor"],
+            edges=tuple(
+                (parent, child) for parent, child in document["edges"]
+            ),
+        )
+
+
+# ----------------------------------------------------------------------
+# Defense evaluation and rollout what-ifs
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class DefenseEvalQuery(Query):
+    """Section VII's ablation over the *current* ecosystem state.
+
+    ``defenses`` names transforms registered with the service
+    (``None`` = its standard set, in registration order); ``attackers``
+    selects the attacker labels to sweep (``None`` = primary only).
+    """
+
+    defenses: Optional[Tuple[str, ...]] = None
+    include_combined: bool = True
+    attackers: Optional[Tuple[str, ...]] = None
+
+    def canonical_key(self, default_attacker: str) -> Tuple:
+        labels = (
+            self.attackers
+            if self.attackers is not None
+            else (default_attacker,)
+        )
+        return (
+            "defense_eval",
+            self.defenses,
+            self.include_combined,
+            tuple(labels),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class DefenseEvalResult:
+    """The ablation grid: attacker label -> (baseline, defenses..., combined)."""
+
+    version: int
+    #: Variant labels in evaluation order (baseline first).
+    variants: Tuple[str, ...]
+    rows: Mapping[str, Tuple]
+
+    def row(self, attacker: str) -> Tuple:
+        """One attacker's outcomes across the variants."""
+        return self.rows[attacker]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": self.version,
+            "variants": list(self.variants),
+            "rows": {
+                attacker: [outcome.to_dict() for outcome in outcomes]
+                for attacker, outcomes in self.rows.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "DefenseEvalResult":
+        from repro.defense.evaluation import DefenseOutcome
+
+        return cls(
+            version=document["version"],
+            variants=tuple(document["variants"]),
+            rows={
+                attacker: tuple(
+                    DefenseOutcome.from_dict(item) for item in outcomes
+                )
+                for attacker, outcomes in document["rows"].items()
+            },
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class RolloutQuery(Query):
+    """A staged-deployment what-if over the current ecosystem state.
+
+    ``steps=None`` replays the paper's narrative plan (email hardening
+    provider by provider, then symmetry repair domain by domain, with
+    symmetry targets computed on the email-hardened ecosystem).  Returns
+    a :class:`~repro.dynamic.rollout.RolloutTrajectory`.
+    """
+
+    steps: Optional[Tuple[RolloutStep, ...]] = None
+    platforms: Tuple[Platform, ...] = BOTH_PLATFORMS
+    include_weak: bool = False
+    attacker: Optional[str] = None
+
+    def canonical_key(self, default_attacker: str) -> Tuple:
+        if self.steps is None:
+            plan_key: Tuple = ("default",)
+        else:
+            # Mutations can hold unhashable payloads (service profiles
+            # carry mappings), so the key uses their deterministic reprs:
+            # equal reprs imply equal dataclass field values here.
+            plan_key = tuple(repr(step) for step in self.steps)
+        return (
+            "rollout",
+            plan_key,
+            tuple(self.platforms),
+            self.include_weak,
+            self.resolved_attacker(default_attacker),
+        )

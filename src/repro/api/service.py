@@ -1,0 +1,654 @@
+"""The :class:`AnalysisService` facade: one surface over the whole pipeline.
+
+Everything the paper's pipeline computes -- TDG construction, level
+classification, measurement, forward closure, defense evaluation,
+rollout what-ifs -- is served here through typed queries
+(:mod:`repro.api.queries`) against live
+:class:`~repro.dynamic.session.DynamicAnalysisSession` state:
+
+- **Mutations route through the incremental engines.**  :meth:`apply`
+  feeds each :class:`~repro.dynamic.events.Mutation` to the session,
+  which splices the shared indexes and delta-BFSes the level engine; the
+  service just bumps its version.
+- **Queries are version-cache-keyed.**  Every query has a canonical key;
+  results live in a :class:`~repro.api.cache.ResultCache` keyed by
+  (key, version), so a repeated query at an unchanged version is an O(1)
+  lookup and a mutation invalidates *by construction* (the version moved)
+  rather than by scanning.
+- **Plan/execute separation.**  :meth:`plan` resolves attacker labels,
+  dedupes canonical keys, and hoists the shared work of a batch -- one
+  level-engine flush covering the union of requested platforms per
+  attacker -- into a prefetch step; :meth:`run` then serves each query
+  from the warm engines (and :meth:`execute_batch` is the two composed).
+- **Streams paginate.**  Couple File and weak-edge queries return cursor
+  pages backed by one lazily-advanced generator per (kind, attacker,
+  version), so serving page *n+1* never re-enumerates pages ``0..n``.
+
+This facade is the serving seam: anything that wants to shard, batch,
+or distribute the analysis talks to these queries, not to the engines.
+:class:`~repro.analysis.measurement.MeasurementStudy`,
+:class:`~repro.defense.evaluation.DefenseEvaluation` and
+:class:`~repro.dynamic.rollout.RolloutPlanner` are thin clients.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.api.cache import CacheStats, ResultCache
+from repro.api.queries import (
+    BOTH_PLATFORMS,
+    ClosureQuery,
+    ClosureSummary,
+    CoupleFileQuery,
+    CouplePage,
+    DefenseEvalQuery,
+    DefenseEvalResult,
+    DependencyLevelsQuery,
+    DependencyLevelsResult,
+    EdgePage,
+    EdgeSummary,
+    EdgeSummaryQuery,
+    LevelReportQuery,
+    LevelReportResult,
+    MeasurementQuery,
+    Query,
+    RolloutQuery,
+    WeakEdgeQuery,
+)
+from repro.core.actfort import ActFort
+from repro.core.strategy import StrategyEngine
+from repro.dynamic.events import EcosystemDelta, Mutation
+from repro.dynamic.session import DynamicAnalysisSession
+from repro.model.attacker import AttackerProfile
+from repro.model.ecosystem import Ecosystem
+from repro.model.factors import Platform
+from repro.websim.internet import Internet
+
+__all__ = [
+    "AnalysisService",
+    "ApplyMutation",
+    "ExecutionPlan",
+    "MutationReceipt",
+    "PlannedQuery",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class ApplyMutation:
+    """The one command kind: apply a typed mutation to the live state."""
+
+    mutation: Mutation
+
+
+@dataclasses.dataclass(frozen=True)
+class MutationReceipt:
+    """What a command returns: the delta and the version it produced."""
+
+    delta: EcosystemDelta
+    version: int
+
+
+@dataclasses.dataclass(frozen=True)
+class PlannedQuery:
+    """One query of a plan, with its resolved cache key."""
+
+    query: Query
+    key: Tuple
+    #: Whether the planner saw a cache entry at plan time (advisory).
+    cached: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class ExecutionPlan:
+    """A batch of queries resolved against one session version."""
+
+    version: int
+    steps: Tuple[PlannedQuery, ...]
+    #: Attacker label -> platform sweep one engine flush should cover.
+    level_prefetch: Mapping[str, Tuple[Platform, ...]]
+
+
+class _Stream:
+    """One lazily-consumed record stream pinned to a session version."""
+
+    __slots__ = ("version", "iterator", "items", "exhausted")
+
+    def __init__(self, version: int, iterator: Iterator) -> None:
+        self.version = version
+        self.iterator = iterator
+        self.items: List[Any] = []
+        self.exhausted = False
+
+    def extend_to(self, count: int) -> None:
+        """Pull records until ``count`` are buffered or the stream ends."""
+        while not self.exhausted and len(self.items) < count:
+            try:
+                self.items.append(next(self.iterator))
+            except StopIteration:
+                self.exhausted = True
+
+
+class AnalysisService:
+    """Typed query/command facade over one evolving account ecosystem.
+
+    The service owns one multi-attacker
+    :class:`~repro.dynamic.session.DynamicAnalysisSession` (one shared
+    ecosystem index, one maintained graph per attacker label) plus the
+    version-keyed result cache and the stream cursors.  Construct it from
+    an ecosystem (profile mode), from stage-1/2 reports or a deployed
+    internet (probe mode, read-only), or adopt an existing session.
+    """
+
+    def __init__(
+        self,
+        ecosystem: Ecosystem,
+        attacker: Optional[AttackerProfile] = None,
+        attackers: Optional[Mapping[str, AttackerProfile]] = None,
+        cache_entries: int = 4096,
+    ) -> None:
+        self._adopt(
+            DynamicAnalysisSession(
+                ecosystem, attacker=attacker, attackers=attackers
+            ),
+            cache_entries,
+        )
+
+    # ------------------------------------------------------------------
+    # Alternate constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_session(
+        cls, session: DynamicAnalysisSession, cache_entries: int = 4096
+    ) -> "AnalysisService":
+        """Adopt a live session (shared, not copied: mutations through
+        either surface are visible to both)."""
+        service = cls.__new__(cls)
+        service._adopt(session, cache_entries)
+        return service
+
+    @classmethod
+    def from_reports(
+        cls,
+        auth_reports,
+        collection_reports,
+        attacker: Optional[AttackerProfile] = None,
+        attackers: Optional[Mapping[str, AttackerProfile]] = None,
+        cache_entries: int = 4096,
+    ) -> "AnalysisService":
+        """A read-only service over pre-built stage-1/2 reports."""
+        return cls.from_session(
+            DynamicAnalysisSession.from_reports(
+                auth_reports,
+                collection_reports,
+                attacker=attacker,
+                attackers=attackers,
+            ),
+            cache_entries,
+        )
+
+    @classmethod
+    def from_actfort(
+        cls, actfort: ActFort, cache_entries: int = 4096
+    ) -> "AnalysisService":
+        """A read-only service over one analyzed ActFort instance."""
+        return cls.from_reports(
+            actfort.auth_reports,
+            actfort.collection_reports,
+            attacker=actfort.attacker,
+            cache_entries=cache_entries,
+        )
+
+    @classmethod
+    def from_internet(
+        cls,
+        internet: Internet,
+        attacker: Optional[AttackerProfile] = None,
+        cache_entries: int = 4096,
+    ) -> "AnalysisService":
+        """Probe a deployed internet black-box, then serve its analysis."""
+        return cls.from_actfort(
+            ActFort.from_internet(internet, attacker=attacker),
+            cache_entries=cache_entries,
+        )
+
+    def _adopt(
+        self, session: DynamicAnalysisSession, cache_entries: int
+    ) -> None:
+        from repro.defense.evaluation import standard_defenses
+
+        self._session = session
+        self._cache = ResultCache(max_entries=cache_entries)
+        self._streams: Dict[Tuple, _Stream] = {}
+        self._defense_transforms: Dict[str, Callable[[Ecosystem], Ecosystem]] = (
+            dict(standard_defenses())
+        )
+        #: Bumped on re-registration so defense cache keys can never serve
+        #: a result computed under a different transform set.
+        self._defense_epoch = 0
+
+    # ------------------------------------------------------------------
+    # State accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def session(self) -> DynamicAnalysisSession:
+        """The backing live session."""
+        return self._session
+
+    @property
+    def ecosystem(self) -> Optional[Ecosystem]:
+        """Current ecosystem state (``None`` in probe mode)."""
+        return self._session.ecosystem
+
+    @property
+    def version(self) -> int:
+        """Number of mutations absorbed; part of every cache key."""
+        return self._session.version
+
+    @property
+    def attackers(self) -> Mapping[str, AttackerProfile]:
+        return self._session.attackers
+
+    @property
+    def primary_attacker(self) -> str:
+        """The label an omitted ``attacker=`` resolves to (first label)."""
+        return next(iter(self._session.attackers))
+
+    def __len__(self) -> int:
+        return len(self._session)
+
+    def cache_stats(self) -> CacheStats:
+        """Result-cache counters (hits / misses / live entries)."""
+        return self._cache.stats()
+
+    def register_defense(
+        self, name: str, transform: Callable[[Ecosystem], Ecosystem]
+    ) -> None:
+        """Register (or replace) a defense transform for
+        :class:`~repro.api.queries.DefenseEvalQuery` to name."""
+        self._defense_transforms[name] = transform
+        self._defense_epoch += 1
+
+    def defense_names(self) -> Tuple[str, ...]:
+        """Registered defense names, in registration order."""
+        return tuple(self._defense_transforms)
+
+    # ------------------------------------------------------------------
+    # Commands
+    # ------------------------------------------------------------------
+
+    def apply(self, mutation: Mutation) -> MutationReceipt:
+        """Apply one mutation through the incremental engines.
+
+        The session splices indexes and routes the delta into each level
+        engine; version-keyed cache entries for the old state simply stop
+        being addressable.
+        """
+        delta = self._session.mutate(mutation)
+        return MutationReceipt(delta=delta, version=self.version)
+
+    def replay(
+        self, mutations: Iterable[Mutation]
+    ) -> Tuple[MutationReceipt, ...]:
+        """Apply a mutation sequence; receipts come back in order."""
+        return tuple(self.apply(mutation) for mutation in mutations)
+
+    def execute_command(self, command: ApplyMutation) -> MutationReceipt:
+        """Typed-command form of :meth:`apply`."""
+        if not isinstance(command, ApplyMutation):
+            raise TypeError(f"unknown command {command!r}")
+        return self.apply(command.mutation)
+
+    # ------------------------------------------------------------------
+    # Plan / execute
+    # ------------------------------------------------------------------
+
+    def plan(self, queries: Iterable[Query]) -> ExecutionPlan:
+        """Resolve a query batch against the current version.
+
+        Planning dedupes canonical keys, marks which queries the cache
+        already holds, and computes the per-attacker platform union a
+        single level-engine flush should cover -- the shared work
+        :meth:`run` hoists ahead of the per-query dispatch.
+        """
+        primary = self.primary_attacker
+        steps: List[PlannedQuery] = []
+        prefetch: Dict[str, Set[Platform]] = {}
+        for query in queries:
+            key = self._cache_key(query, primary)
+            cached = self._cache.peek(key, self.version)
+            steps.append(PlannedQuery(query=query, key=key, cached=cached))
+            if cached:
+                continue
+            label = query.resolved_attacker(primary)
+            if isinstance(query, LevelReportQuery):
+                prefetch.setdefault(label, set()).update(query.platforms)
+            elif isinstance(query, DependencyLevelsQuery):
+                prefetch.setdefault(label, set()).add(query.platform)
+            elif isinstance(query, MeasurementQuery):
+                prefetch.setdefault(label, set()).update(BOTH_PLATFORMS)
+            elif isinstance(query, DefenseEvalQuery):
+                for row_label in query.attackers or (primary,):
+                    prefetch.setdefault(row_label, set()).update(
+                        BOTH_PLATFORMS
+                    )
+        ordered_prefetch = {
+            label: tuple(
+                sorted(platforms, key=lambda platform: platform.value)
+            )
+            for label, platforms in prefetch.items()
+        }
+        return ExecutionPlan(
+            version=self.version,
+            steps=tuple(steps),
+            level_prefetch=ordered_prefetch,
+        )
+
+    def run(self, plan: ExecutionPlan) -> Tuple[Any, ...]:
+        """Execute a plan, one result per planned query (in order)."""
+        if plan.version != self.version:
+            raise ValueError(
+                f"plan was made at version {plan.version} but the service "
+                f"is at {self.version}; re-plan after mutations"
+            )
+        for label, platforms in plan.level_prefetch.items():
+            # One engine flush per attacker covers every platform the
+            # batch needs; the per-query dispatches below then serve from
+            # the warm fixpoints and classification caches.
+            self._session.graph(label).levels_report(platforms)
+        results: List[Any] = []
+        for step in plan.steps:
+            hit = self._cache.get(step.key, self.version)
+            if hit is not self._cache.miss:
+                results.append(hit)
+                continue
+            value = self._dispatch(step.query)
+            self._cache.put(step.key, self.version, value)
+            results.append(value)
+        return tuple(results)
+
+    def execute(self, query: Query) -> Any:
+        """Plan and run one query."""
+        return self.run(self.plan((query,)))[0]
+
+    def execute_batch(self, queries: Iterable[Query]) -> Tuple[Any, ...]:
+        """Plan and run a batch (the shared-work path)."""
+        return self.run(self.plan(tuple(queries)))
+
+    def raw_query(
+        self, what, *args, attacker: Optional[str] = None, **kwargs
+    ):
+        """Escape hatch: run an arbitrary (uncached) graph query through
+        the session's generic ``query`` surface."""
+        return self._session.query(what, *args, attacker=attacker, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def _cache_key(self, query: Query, primary: str) -> Tuple:
+        key = query.canonical_key(primary)
+        if isinstance(query, DefenseEvalQuery):
+            key = key + (self._defense_epoch,)
+        return key
+
+    def _dispatch(self, query: Query) -> Any:
+        if isinstance(query, LevelReportQuery):
+            return self._execute_level_report(query)
+        if isinstance(query, DependencyLevelsQuery):
+            return self._execute_dependency_levels(query)
+        if isinstance(query, ClosureQuery):
+            return self._execute_closure(query)
+        if isinstance(query, MeasurementQuery):
+            return self._execute_measurement(query)
+        if isinstance(query, EdgeSummaryQuery):
+            return self._execute_edge_summary(query)
+        if isinstance(query, CoupleFileQuery):
+            return self._execute_couples(query)
+        if isinstance(query, WeakEdgeQuery):
+            return self._execute_weak_edges(query)
+        if isinstance(query, DefenseEvalQuery):
+            return self._execute_defense_eval(query)
+        if isinstance(query, RolloutQuery):
+            return self._execute_rollout(query)
+        raise TypeError(f"unknown query {query!r}")
+
+    def _label(self, query: Query) -> str:
+        label = query.resolved_attacker(self.primary_attacker)
+        if label not in self._session.attackers:
+            raise KeyError(f"unknown attacker label {label!r}")
+        return label
+
+    def _execute_level_report(
+        self, query: LevelReportQuery
+    ) -> LevelReportResult:
+        label = self._label(query)
+        fractions = self._session.graph(label).levels_report(query.platforms)
+        return LevelReportResult(
+            attacker=label, version=self.version, fractions=fractions
+        )
+
+    def _execute_dependency_levels(
+        self, query: DependencyLevelsQuery
+    ) -> DependencyLevelsResult:
+        label = self._label(query)
+        levels = self._session.graph(label).dependency_levels(query.platform)
+        return DependencyLevelsResult(
+            attacker=label,
+            version=self.version,
+            platform=query.platform,
+            levels=levels,
+        )
+
+    def _execute_closure(self, query: ClosureQuery) -> ClosureSummary:
+        label = self._label(query)
+        closure = StrategyEngine(self._session.graph(label)).forward_closure(
+            initially_compromised=query.initially_compromised,
+            extra_info=query.extra_info,
+            email_provider=query.email_provider,
+        )
+        return ClosureSummary(
+            attacker=label,
+            version=self.version,
+            rounds=closure.by_round(),
+            compromised=tuple(entry.service for entry in closure.entries),
+            safe=tuple(sorted(closure.safe)),
+            final_info=closure.final_info,
+        )
+
+    def _execute_measurement(self, query: MeasurementQuery):
+        from repro.analysis.measurement import aggregate_reports
+
+        label = self._label(query)
+        return aggregate_reports(
+            self._session.auth_reports,
+            self._session.collection_reports,
+            self._session.graph(label),
+        )
+
+    def _execute_edge_summary(self, query: EdgeSummaryQuery) -> EdgeSummary:
+        label = self._label(query)
+        graph = self._session.graph(label)
+        weak = (
+            sum(1 for _edge in graph.iter_weak_edges())
+            if query.include_weak
+            else None
+        )
+        return EdgeSummary(
+            attacker=label,
+            version=self.version,
+            strong_edges=len(graph.strong_edges()),
+            fringe=len(graph.fringe_nodes()),
+            weak_edges=weak,
+        )
+
+    # -- streaming pages ------------------------------------------------
+
+    def _stream(self, kind: str, label: str, max_size: int) -> _Stream:
+        key = (kind, label, max_size)
+        stream = self._streams.get(key)
+        if stream is None or stream.version != self.version:
+            graph = self._session.graph(label)
+            iterator = (
+                graph.iter_couples(max_size)
+                if kind == "couples"
+                else graph.iter_weak_edges(max_size)
+            )
+            stream = _Stream(version=self.version, iterator=iterator)
+            self._streams[key] = stream
+        return stream
+
+    def _page(
+        self, stream: _Stream, cursor: int, page_size: int
+    ) -> Tuple[Tuple[Any, ...], Optional[int]]:
+        # Buffer one record past the page so the last full page still
+        # reports next_cursor=None instead of one trailing empty page.
+        stream.extend_to(cursor + page_size + 1)
+        items = tuple(stream.items[cursor : cursor + page_size])
+        has_more = len(stream.items) > cursor + len(items)
+        next_cursor = cursor + len(items) if has_more else None
+        return items, next_cursor
+
+    def _execute_couples(self, query: CoupleFileQuery) -> CouplePage:
+        label = self._label(query)
+        stream = self._stream("couples", label, query.max_size)
+        records, next_cursor = self._page(
+            stream, query.cursor, query.page_size
+        )
+        return CouplePage(
+            attacker=label,
+            version=self.version,
+            cursor=query.cursor,
+            records=records,
+            next_cursor=next_cursor,
+        )
+
+    def _execute_weak_edges(self, query: WeakEdgeQuery) -> EdgePage:
+        label = self._label(query)
+        stream = self._stream("weak_edges", label, query.max_size)
+        edges, next_cursor = self._page(stream, query.cursor, query.page_size)
+        return EdgePage(
+            attacker=label,
+            version=self.version,
+            cursor=query.cursor,
+            edges=edges,
+            next_cursor=next_cursor,
+        )
+
+    # -- defense ablation and rollout what-ifs --------------------------
+
+    def _require_ecosystem(self) -> Ecosystem:
+        ecosystem = self._session.ecosystem
+        if ecosystem is None:
+            raise RuntimeError(
+                "this service fronts probe reports; defense and rollout "
+                "what-ifs need a profile-backed ecosystem"
+            )
+        return ecosystem
+
+    def _execute_defense_eval(
+        self, query: DefenseEvalQuery
+    ) -> DefenseEvalResult:
+        from repro.defense.evaluation import measure_outcome
+
+        ecosystem = self._require_ecosystem()
+        labels = (
+            tuple(query.attackers)
+            if query.attackers is not None
+            else (self.primary_attacker,)
+        )
+        for label in labels:
+            if label not in self._session.attackers:
+                raise KeyError(f"unknown attacker label {label!r}")
+        names = (
+            tuple(query.defenses)
+            if query.defenses is not None
+            else tuple(self._defense_transforms)
+        )
+        transforms = []
+        for name in names:
+            if name not in self._defense_transforms:
+                raise KeyError(f"unknown defense {name!r}")
+            transforms.append((name, self._defense_transforms[name]))
+
+        variants: List[Tuple[str, Optional[Ecosystem]]] = [("baseline", None)]
+        for name, transform in transforms:
+            variants.append((name, transform(ecosystem)))
+        if query.include_combined and transforms:
+            combined = ecosystem
+            for _name, transform in transforms:
+                combined = transform(combined)
+            variants.append(("all_combined", combined))
+
+        rows: Dict[str, List] = {label: [] for label in labels}
+        profiles = self._session.attackers
+        for variant_label, variant_ecosystem in variants:
+            if variant_ecosystem is None:
+                # The baseline row serves straight from the maintained
+                # session graphs (bit-identical to a rebuild, per the
+                # dynamic differential suite) -- warm fixpoints, cached
+                # closure.
+                for label in labels:
+                    rows[label].append(
+                        measure_outcome(
+                            variant_label,
+                            self._session.graph(label),
+                            len(self._session),
+                        )
+                    )
+                continue
+            base = ActFort.from_ecosystem(
+                variant_ecosystem, attacker=profiles[labels[0]]
+            )
+            clones = base.batch(profiles[label] for label in labels)
+            for label, clone in zip(labels, clones):
+                rows[label].append(
+                    measure_outcome(
+                        variant_label, clone.tdg(), len(variant_ecosystem)
+                    )
+                )
+        return DefenseEvalResult(
+            version=self.version,
+            variants=tuple(label for label, _eco in variants),
+            rows={label: tuple(row) for label, row in rows.items()},
+        )
+
+    def _execute_rollout(self, query: RolloutQuery):
+        from repro.defense.hardening import EmailHardening
+        from repro.dynamic.rollout import (
+            RolloutPlanner,
+            email_hardening_rollout,
+            symmetry_repair_rollout,
+        )
+
+        ecosystem = self._require_ecosystem()
+        label = self._label(query)
+        steps = query.steps
+        if steps is None:
+            # The paper's narrative order at deployment granularity;
+            # symmetry targets computed on the email-hardened ecosystem
+            # (hardening can itself introduce asymmetries).
+            steps = email_hardening_rollout(
+                ecosystem
+            ) + symmetry_repair_rollout(EmailHardening().apply(ecosystem))
+        planner = RolloutPlanner(
+            ecosystem,
+            attacker=self._session.attackers[label],
+            platforms=query.platforms,
+            include_weak=query.include_weak,
+        )
+        return planner.replay(steps)

@@ -161,6 +161,17 @@ class ActFort:
             target, platform=platform, email_provider=email_provider
         )
 
+    def as_service(self):
+        """This analysis behind the typed query facade.
+
+        Returns an :class:`~repro.api.AnalysisService` over these
+        stage-1/2 reports -- the serving-layer surface with the
+        version-keyed result cache and batch planning.
+        """
+        from repro.api import AnalysisService
+
+        return AnalysisService.from_actfort(self)
+
     def with_attacker(self, attacker: AttackerProfile) -> "ActFort":
         """Re-analyze the same reports under a different attacker profile."""
         return ActFort(self._auth_reports, self._collection_reports, attacker)

@@ -156,8 +156,22 @@ class StrategyEngine:
         service -- pass the victim's actual provider to make the resulting
         chains executable against that victim (at ecosystem level, any
         compromised email service qualifies).
+
+        Results are memoized on the graph keyed by the argument triple and
+        kept valid under mutation deltas by
+        :meth:`~repro.core.tdg.TransformationDependencyGraph.revalidate_closures`
+        (a delta that never reaches the closure's compromised support set
+        cannot change it), so repeated PAV queries -- ``ActFort.potential_victims``,
+        the insight checks, the defense ablation -- cost one fixpoint run
+        per graph state, not one per call.
         """
         self._email_provider = email_provider
+        initially_compromised = tuple(initially_compromised)
+        extra_info = frozenset(extra_info)
+        cache_key = (initially_compromised, extra_info, email_provider)
+        cached = self._tdg.closure_cache_get(cache_key)
+        if cached is not None:
+            return cached
         attacker = self._tdg.attacker
         info: Set[PersonalInfoKind] = set(attacker.known_info) | set(extra_info)
         compromised: Dict[str, ClosureEntry] = {}
@@ -205,11 +219,13 @@ class StrategyEngine:
             for node in self._tdg.nodes
             if node.service not in compromised
         )
-        return ForwardClosureResult(
+        result = ForwardClosureResult(
             entries=tuple(entries),
             safe=safe,
             final_info=frozenset(info),
         )
+        self._tdg.closure_cache_put(cache_key, result)
+        return result
 
     def _try_takeover(
         self,

@@ -199,6 +199,11 @@ class TransformationDependencyGraph:
             Tuple[Tuple[CredentialFactor, ...], FrozenSet[str]], bool
         ] = {}
         self._levels_engine: Optional[DepthFixpointEngine] = None
+        #: Forward-closure results keyed by (seeds, extra info, pinned email
+        #: provider); maintained under deltas by :meth:`revalidate_closures`.
+        self._closure_cache: Dict[Tuple, object] = {}
+        self._closure_hits = 0
+        self._closure_computes = 0
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -373,6 +378,105 @@ class TransformationDependencyGraph:
         """Drop the level engine so the next level query recomputes every
         fixpoint from scratch (benchmark / test comparator hook)."""
         self._levels_engine = None
+
+    # ------------------------------------------------------------------
+    # Forward-closure cache (consulted by repro.core.strategy)
+    # ------------------------------------------------------------------
+
+    #: Bound on distinct cached closure keys (seeds x breach info x pinned
+    #: provider combinations); oldest entries are evicted first.
+    _CLOSURE_CACHE_LIMIT = 64
+
+    def closure_cache_get(self, key: Tuple):
+        """The cached :class:`~repro.core.strategy.ForwardClosureResult`
+        for one argument key, or ``None``."""
+        result = self._closure_cache.get(key)
+        if result is not None:
+            self._closure_hits += 1
+        return result
+
+    def closure_cache_put(self, key: Tuple, result) -> None:
+        """Memoize one closure result (the strategy engine's store hook)."""
+        self._closure_computes += 1
+        if len(self._closure_cache) >= self._CLOSURE_CACHE_LIMIT:
+            self._closure_cache.pop(next(iter(self._closure_cache)))
+        self._closure_cache[key] = result
+
+    def closure_cache_stats(self) -> Dict[str, int]:
+        """Hit/compute/entry counters (observability and test hooks)."""
+        return {
+            "hits": self._closure_hits,
+            "computes": self._closure_computes,
+            "entries": len(self._closure_cache),
+        }
+
+    def revalidate_closures(self, changes) -> None:
+        """Keep every cached closure a node delta cannot reach.
+
+        ``changes`` is the incremental maintainer's node-change list
+        ``(service, old node or None, new node or None)``, applied *after*
+        the node set and indexes absorbed the delta.  A cached closure's
+        support set is its compromised services: non-compromised nodes
+        contribute nothing to anyone else's fall decision (provenance,
+        combining pools and info holders are all filtered to compromised
+        accounts), so a delta invalidates a closure only when it
+
+        - touches a compromised service (its PIA/paths fed the fixpoint), or
+        - adds/replaces a node that now falls to the closure's final IAD
+          (monotonicity: a node that cannot fall at the final information
+          set can never fall during the iteration).
+
+        Deltas that only add or remove *safe* services patch the result's
+        ``safe`` set in place; everything else survives verbatim -- which
+        is what lets long mutation streams keep serving PAV queries
+        without re-running the global fixpoint.
+        """
+        if not self._closure_cache:
+            return
+        import dataclasses as _dataclasses
+
+        from repro.core.strategy import StrategyEngine
+
+        engine = StrategyEngine(self)
+        stale: List[Tuple] = []
+        patched: Dict[Tuple, object] = {}
+        for key, result in self._closure_cache.items():
+            _seeds, _extra, email_provider = key
+            engine._email_provider = email_provider
+            # ``compromised`` is a derived property (one frozenset build
+            # per access); hoist it off the per-change loop.
+            compromised = result.compromised
+            membership_changed = False
+            invalid = False
+            for name, old, new in changes:
+                if name in compromised:
+                    invalid = True
+                    break
+                if new is None:
+                    # A safe service shut down: inert to the fixpoint, but
+                    # the safe set must drop it.
+                    membership_changed = True
+                    continue
+                if (
+                    engine._try_takeover(new, result.final_info, compromised)
+                    is not None
+                ):
+                    invalid = True
+                    break
+                if old is None:
+                    # A new service that stays safe: closure untouched,
+                    # safe set gains a member.
+                    membership_changed = True
+            if invalid:
+                stale.append(key)
+            elif membership_changed:
+                patched[key] = _dataclasses.replace(
+                    result,
+                    safe=frozenset(self._nodes) - compromised,
+                )
+        for key in stale:
+            del self._closure_cache[key]
+        self._closure_cache.update(patched)
 
     # ------------------------------------------------------------------
     # Incremental maintenance (used by repro.dynamic.incremental)

@@ -5,14 +5,21 @@ attack surface does each proposal actually remove?*  For the baseline,
 each single defense, and all defenses combined it reports the
 dependency-level fractions and the forward-closure (PAV) size under the
 same attacker profile.
+
+Like the measurement study, the evaluation is a thin client of the
+:class:`~repro.api.AnalysisService` facade: the entry points are
+delegating shims around :class:`~repro.api.DefenseEvalQuery` /
+:class:`~repro.api.RolloutQuery`, so the ablation grid shares the
+facade's version-keyed result cache and the per-graph closure cache.
+The measurement *engine* itself lives in :func:`measure_outcome`.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Mapping, Optional, Tuple
+import warnings
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
-from repro.core.actfort import ActFort
 from repro.core.tdg import DependencyLevel
 from repro.defense.builtin_auth import BuiltinAuthUpgrade
 from repro.defense.hardening import EmailHardening, SymmetryRepair
@@ -20,9 +27,26 @@ from repro.defense.masking_policy import UnifiedMaskingPolicy
 from repro.model.attacker import AttackerProfile
 from repro.model.ecosystem import Ecosystem
 from repro.model.factors import Platform
+from repro.utils.serialization import (
+    enum_keyed_dict,
+    enum_keyed_from_dict,
+    level_map_from_dict,
+    level_map_to_dict,
+)
 
 #: A defense is anything that maps an ecosystem to a hardened ecosystem.
 DefenseTransform = Callable[[Ecosystem], Ecosystem]
+
+
+def standard_defenses() -> Dict[str, DefenseTransform]:
+    """The paper's four proposals as named transforms (the registry the
+    :class:`~repro.api.AnalysisService` facade preloads)."""
+    return {
+        "unified_masking": UnifiedMaskingPolicy().apply,
+        "email_hardening": EmailHardening().apply,
+        "symmetry_repair": SymmetryRepair().apply,
+        "builtin_auth": BuiltinAuthUpgrade().apply,
+    }
 
 
 @dataclasses.dataclass(frozen=True)
@@ -41,6 +65,76 @@ class DefenseOutcome:
         """Fraction of services in the potential-victim set."""
         return self.pav_size / max(1, self.service_count)
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Wire-ready document (enums as value strings)."""
+        return {
+            "label": self.label,
+            "pav_size": self.pav_size,
+            "service_count": self.service_count,
+            "direct_fraction": enum_keyed_dict(self.direct_fraction),
+            "safe_fraction": enum_keyed_dict(self.safe_fraction),
+            "dependency": level_map_to_dict(self.dependency),
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "DefenseOutcome":
+        """Inverse of :meth:`to_dict` (exact round-trip)."""
+        return cls(
+            label=document["label"],
+            pav_size=document["pav_size"],
+            service_count=document["service_count"],
+            direct_fraction=enum_keyed_from_dict(
+                document["direct_fraction"], Platform, float
+            ),
+            safe_fraction=enum_keyed_from_dict(
+                document["safe_fraction"], Platform, float
+            ),
+            dependency=level_map_from_dict(document["dependency"]),
+        )
+
+
+def measure_outcome(
+    label: str, tdg, service_count: int
+) -> DefenseOutcome:
+    """Measure one configuration's attack surface from its graph.
+
+    The defense-evaluation *engine*: PAV from the (graph-cached) forward
+    closure, dependency fractions from one batch call through the level
+    engine so both platforms share warm fixpoints.  Used by the
+    :class:`~repro.api.AnalysisService` facade for every variant of a
+    :class:`~repro.api.DefenseEvalQuery`.
+    """
+    from repro.core.strategy import StrategyEngine
+
+    closure = StrategyEngine(tdg).forward_closure()
+    dependency: Mapping[Platform, Mapping[DependencyLevel, float]] = (
+        tdg.levels_report((Platform.WEB, Platform.MOBILE))
+    )
+    direct: Dict[Platform, float] = {}
+    safe: Dict[Platform, float] = {}
+    for platform in (Platform.WEB, Platform.MOBILE):
+        fractions = dependency[platform]
+        direct[platform] = fractions[DependencyLevel.DIRECT]
+        safe[platform] = fractions[DependencyLevel.SAFE]
+    return DefenseOutcome(
+        label=label,
+        pav_size=len(closure.compromised),
+        service_count=service_count,
+        direct_fraction=direct,
+        safe_fraction=safe,
+        dependency=dependency,
+    )
+
+
+def _deprecated(entry_point: str) -> None:
+    warnings.warn(
+        f"DefenseEvaluation.{entry_point} is a delegating shim; query the "
+        "repro.api.AnalysisService facade (DefenseEvalQuery / RolloutQuery) "
+        "directly",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
 
 class DefenseEvaluation:
     """Runs the countermeasure ablation over one baseline ecosystem."""
@@ -55,33 +149,44 @@ class DefenseEvaluation:
 
     def standard_defenses(self) -> Dict[str, DefenseTransform]:
         """The paper's four proposals as named transforms."""
-        return {
-            "unified_masking": UnifiedMaskingPolicy().apply,
-            "email_hardening": EmailHardening().apply,
-            "symmetry_repair": SymmetryRepair().apply,
-            "builtin_auth": BuiltinAuthUpgrade().apply,
-        }
+        return standard_defenses()
+
+    def _service(self, attackers=None):
+        from repro.api import AnalysisService
+
+        if attackers is not None:
+            return AnalysisService(self._baseline, attackers=dict(attackers))
+        return AnalysisService(self._baseline, attacker=self._attacker)
+
+    @staticmethod
+    def _register(service, defenses):
+        """Register custom transforms; returns the names to query."""
+        if defenses is None:
+            return None
+        for name, transform in defenses.items():
+            service.register_defense(name, transform)
+        return tuple(defenses)
 
     def evaluate(
         self,
         defenses: Optional[Mapping[str, DefenseTransform]] = None,
         include_combined: bool = True,
     ) -> Tuple[DefenseOutcome, ...]:
-        """Measure the baseline, each defense, and optionally all combined."""
-        defenses = dict(
-            defenses if defenses is not None else self.standard_defenses()
+        """Measure the baseline, each defense, and optionally all combined.
+
+        .. deprecated:: delegates to :class:`~repro.api.AnalysisService`.
+        """
+        from repro.api import DefenseEvalQuery
+
+        _deprecated("evaluate")
+        service = self._service()
+        names = self._register(service, defenses)
+        result = service.execute(
+            DefenseEvalQuery(
+                defenses=names, include_combined=include_combined
+            )
         )
-        outcomes: List[DefenseOutcome] = [
-            self._measure("baseline", self._baseline)
-        ]
-        for label, transform in defenses.items():
-            outcomes.append(self._measure(label, transform(self._baseline)))
-        if include_combined and defenses:
-            combined = self._baseline
-            for transform in defenses.values():
-                combined = transform(combined)
-            outcomes.append(self._measure("all_combined", combined))
-        return tuple(outcomes)
+        return result.row(service.primary_attacker)
 
     def evaluate_attackers(
         self,
@@ -93,34 +198,27 @@ class DefenseEvaluation:
 
         For each hardened ecosystem variant the stage-1/2 reports and the
         attacker-independent index are built once and shared across all
-        attacker profiles (:meth:`ActFort.batch`), so sweeping profiles
-        costs one pipeline run per variant instead of one per cell.
-        Returns ``{attacker label: (baseline, defense..., combined)}`` rows
-        in the same order :meth:`evaluate` uses.
+        attacker profiles, so sweeping profiles costs one pipeline run per
+        variant instead of one per cell.  Returns
+        ``{attacker label: (baseline, defense..., combined)}`` rows in the
+        same order :meth:`evaluate` uses.
+
+        .. deprecated:: delegates to :class:`~repro.api.AnalysisService`.
         """
-        defenses = dict(
-            defenses if defenses is not None else self.standard_defenses()
+        from repro.api import DefenseEvalQuery
+
+        _deprecated("evaluate_attackers")
+        labels = tuple(attackers)
+        service = self._service(attackers=attackers)
+        names = self._register(service, defenses)
+        result = service.execute(
+            DefenseEvalQuery(
+                defenses=names,
+                include_combined=include_combined,
+                attackers=labels,
+            )
         )
-        variants: List[Tuple[str, Ecosystem]] = [("baseline", self._baseline)]
-        for label, transform in defenses.items():
-            variants.append((label, transform(self._baseline)))
-        if include_combined and defenses:
-            combined = self._baseline
-            for transform in defenses.values():
-                combined = transform(combined)
-            variants.append(("all_combined", combined))
-        profile_labels = list(attackers)
-        grid: Dict[str, List[DefenseOutcome]] = {
-            label: [] for label in profile_labels
-        }
-        for variant_label, ecosystem in variants:
-            base = ActFort.from_ecosystem(ecosystem, attacker=self._attacker)
-            clones = base.batch(attackers[label] for label in profile_labels)
-            for profile_label, clone in zip(profile_labels, clones):
-                grid[profile_label].append(
-                    self._measure_actfort(variant_label, clone, len(ecosystem))
-                )
-        return {label: tuple(row) for label, row in grid.items()}
+        return {label: result.row(label) for label in labels}
 
     def evaluate_rollout(
         self,
@@ -138,58 +236,19 @@ class DefenseEvaluation:
         repair domain by domain.  Each step is absorbed as a delta by the
         live indexes, so an N-step rollout costs N incremental updates --
         not the N full re-measurements :meth:`evaluate` would pay.
+
+        .. deprecated:: delegates to :class:`~repro.api.AnalysisService`.
         """
-        from repro.dynamic.rollout import (
-            RolloutPlanner,
-            email_hardening_rollout,
-            symmetry_repair_rollout,
-        )
+        from repro.api import RolloutQuery
 
-        if steps is None:
-            # Symmetry targets are computed on the *email-hardened*
-            # ecosystem: hardening can itself introduce asymmetries (a
-            # strengthened web path can leave mobile strictly weaker), and
-            # those must be repaired by the later waves of the same plan.
-            steps = email_hardening_rollout(
-                self._baseline
-            ) + symmetry_repair_rollout(
-                EmailHardening().apply(self._baseline)
+        _deprecated("evaluate_rollout")
+        service = self._service()
+        return service.execute(
+            RolloutQuery(
+                steps=tuple(steps) if steps is not None else None,
+                platforms=tuple(platforms),
+                include_weak=include_weak,
             )
-        planner = RolloutPlanner(
-            self._baseline,
-            attacker=self._attacker,
-            platforms=platforms,
-            include_weak=include_weak,
-        )
-        return planner.replay(steps)
-
-    def _measure(self, label: str, ecosystem: Ecosystem) -> DefenseOutcome:
-        actfort = ActFort.from_ecosystem(ecosystem, attacker=self._attacker)
-        return self._measure_actfort(label, actfort, len(ecosystem))
-
-    def _measure_actfort(
-        self, label: str, actfort: ActFort, service_count: int
-    ) -> DefenseOutcome:
-        tdg = actfort.tdg()
-        closure = actfort.potential_victims()
-        # Both platforms consumed through the level engine in one batch,
-        # sharing its warm depth fixpoints across the ablation grid.
-        dependency: Mapping[Platform, Mapping[DependencyLevel, float]] = (
-            tdg.levels_report((Platform.WEB, Platform.MOBILE))
-        )
-        direct: Dict[Platform, float] = {}
-        safe: Dict[Platform, float] = {}
-        for platform in (Platform.WEB, Platform.MOBILE):
-            fractions = dependency[platform]
-            direct[platform] = fractions[DependencyLevel.DIRECT]
-            safe[platform] = fractions[DependencyLevel.SAFE]
-        return DefenseOutcome(
-            label=label,
-            pav_size=len(closure.compromised),
-            service_count=service_count,
-            direct_fraction=direct,
-            safe_fraction=safe,
-            dependency=dependency,
         )
 
 

@@ -163,3 +163,8 @@ def _apply_to_graph(
         combining_factors=frozenset(combining),
         changed_names=changed_names,
     )
+    # Cached forward closures are *revalidated*, not dropped: a delta that
+    # never reaches a closure's compromised support set leaves the PAV
+    # untouched (safe services are inert to the fixpoint), so the cache
+    # survives most churn and only genuinely-reaching deltas recompute.
+    graph.revalidate_closures(changes)

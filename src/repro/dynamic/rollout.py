@@ -3,8 +3,8 @@
 Section VII evaluates each countermeasure as an all-at-once switch.  Real
 deployments stage: email hardening lands one provider at a time, symmetry
 repair ships domain by domain.  The planner replays such a staged
-deployment as a mutation stream over a
-:class:`~repro.dynamic.session.DynamicAnalysisSession` and records the
+deployment as a mutation stream through an
+:class:`~repro.api.AnalysisService` facade and records the
 measurement payload after every step -- dependency-level fractions per
 platform, strong/weak edge counts, fringe size -- so the defense layer can
 read the *trajectory* of the attack surface, not just its endpoints (e.g.
@@ -20,7 +20,6 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core.tdg import DependencyLevel
 from repro.dynamic.events import ApplyHardening, Mutation
-from repro.dynamic.session import DynamicAnalysisSession
 from repro.model.attacker import AttackerProfile
 from repro.model.ecosystem import Ecosystem
 from repro.model.factors import Platform
@@ -32,6 +31,15 @@ class RolloutStep:
 
     label: str
     mutations: Tuple[Mutation, ...]
+
+    def to_dict(self) -> Dict[str, object]:
+        """Wire-ready plan record: the label plus each mutation's
+        canonical description (mutations themselves can carry full
+        service profiles, which describe -- not serialize -- on the wire)."""
+        return {
+            "label": self.label,
+            "mutations": [m.describe() for m in self.mutations],
+        }
 
 
 @dataclasses.dataclass(frozen=True)
@@ -49,6 +57,35 @@ class TrajectoryPoint:
 
     def fraction(self, platform: Platform, level: DependencyLevel) -> float:
         return self.level_fractions[platform][level]
+
+    def to_dict(self) -> Dict[str, object]:
+        """Wire-ready document (enums as value strings)."""
+        from repro.utils.serialization import level_map_to_dict
+
+        return {
+            "step": self.step,
+            "services": self.services,
+            "mutated_services": list(self.mutated_services),
+            "level_fractions": level_map_to_dict(self.level_fractions),
+            "strong_edges": self.strong_edges,
+            "fringe": self.fringe,
+            "weak_edges": self.weak_edges,
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, object]) -> "TrajectoryPoint":
+        """Inverse of :meth:`to_dict` (exact round-trip)."""
+        from repro.utils.serialization import level_map_from_dict
+
+        return cls(
+            step=document["step"],
+            services=document["services"],
+            mutated_services=tuple(document["mutated_services"]),
+            level_fractions=level_map_from_dict(document["level_fractions"]),
+            strong_edges=document["strong_edges"],
+            fringe=document["fringe"],
+            weak_edges=document.get("weak_edges"),
+        )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -71,6 +108,28 @@ class RolloutTrajectory:
     ) -> Tuple[float, ...]:
         """One level's fraction across the whole rollout."""
         return tuple(p.fraction(platform, level) for p in self.points)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Wire-ready document (attacker profile + per-step points)."""
+        from repro.utils.serialization import attacker_profile_to_dict
+
+        return {
+            "attacker": attacker_profile_to_dict(self.attacker),
+            "points": [point.to_dict() for point in self.points],
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, object]) -> "RolloutTrajectory":
+        """Inverse of :meth:`to_dict` (exact round-trip)."""
+        from repro.utils.serialization import attacker_profile_from_dict
+
+        return cls(
+            attacker=attacker_profile_from_dict(document["attacker"]),
+            points=tuple(
+                TrajectoryPoint.from_dict(point)
+                for point in document["points"]
+            ),
+        )
 
     def rows(self) -> List[Tuple[str, ...]]:
         """Bench/table-friendly rows (step, services touched, web direct /
@@ -111,37 +170,52 @@ class RolloutPlanner:
         self._include_weak = include_weak
 
     def replay(self, steps: Iterable[RolloutStep]) -> RolloutTrajectory:
-        """Replay ``steps`` over a fresh session; point 0 is the baseline."""
-        session = DynamicAnalysisSession(self._ecosystem, self._attacker)
-        points = [self._measure(session, "baseline", ())]
+        """Replay ``steps`` over a fresh facade; point 0 is the baseline.
+
+        The planner is a thin client of the
+        :class:`~repro.api.AnalysisService` facade: each wave's mutations
+        route through :meth:`~repro.api.AnalysisService.apply` (delta
+        splices on the live indexes), and each trajectory point is one
+        planned query batch -- the level report and the edge summary share
+        the engine flush, and every point lands in the facade's
+        version-keyed result cache under its own version.
+        """
+        from repro.api import AnalysisService
+
+        service = AnalysisService(self._ecosystem, attacker=self._attacker)
+        points = [self._measure(service, "baseline", ())]
         for step in steps:
             touched: List[str] = []
             for mutation in step.mutations:
-                delta = session.mutate(mutation)
-                touched.extend(delta.touched_services)
-            points.append(self._measure(session, step.label, tuple(touched)))
+                receipt = service.apply(mutation)
+                touched.extend(receipt.delta.touched_services)
+            points.append(self._measure(service, step.label, tuple(touched)))
         return RolloutTrajectory(
             attacker=self._attacker, points=tuple(points)
         )
 
     def _measure(
         self,
-        session: DynamicAnalysisSession,
+        service,
         label: str,
         mutated: Tuple[str, ...],
     ) -> TrajectoryPoint:
-        fractions = session.level_report(self._platforms)
-        graph = session.graph()
+        from repro.api import EdgeSummaryQuery, LevelReportQuery
+
+        report, edges = service.execute_batch(
+            [
+                LevelReportQuery(platforms=self._platforms),
+                EdgeSummaryQuery(include_weak=self._include_weak),
+            ]
+        )
         return TrajectoryPoint(
             step=label,
-            services=len(session),
+            services=len(service),
             mutated_services=mutated,
-            level_fractions=fractions,
-            strong_edges=len(graph.strong_edges()),
-            fringe=len(graph.fringe_nodes()),
-            weak_edges=(
-                session.weak_edge_count() if self._include_weak else None
-            ),
+            level_fractions=report.fractions,
+            strong_edges=edges.strong_edges,
+            fringe=edges.fringe,
+            weak_edges=edges.weak_edges,
         )
 
 

@@ -52,23 +52,58 @@ class DynamicAnalysisSession:
         attacker: Optional[AttackerProfile] = None,
         attackers: Optional[Mapping[str, AttackerProfile]] = None,
     ) -> None:
-        if attacker is not None and attackers is not None:
-            raise ValueError("pass either attacker or attackers, not both")
-        if attackers is not None:
-            profiles = dict(attackers)
-            if not profiles:
-                raise ValueError("attackers mapping must be non-empty")
-        elif attacker is not None:
-            profiles = {"baseline": attacker}
-        else:
-            profiles = {"baseline": AttackerProfile.baseline()}
-        self._ecosystem = ecosystem
+        profiles = self._resolve_attackers(attacker, attackers)
+        self._ecosystem: Optional[Ecosystem] = ecosystem
         self._authproc = AuthenticationProcess()
         self._collection = PersonalInfoCollection()
         self._auth_reports: Dict[str, ServiceAuthReport] = {}
         self._collection_reports: Dict[str, CollectionReport] = {}
         for profile in ecosystem:
             self._refresh_reports(profile)
+        self._finish_init(profiles)
+
+    @classmethod
+    def from_reports(
+        cls,
+        auth_reports: Mapping[str, ServiceAuthReport],
+        collection_reports: Mapping[str, CollectionReport],
+        attacker: Optional[AttackerProfile] = None,
+        attackers: Optional[Mapping[str, AttackerProfile]] = None,
+    ) -> "DynamicAnalysisSession":
+        """A session over pre-built stage-1/2 reports (the probe path).
+
+        This is how :class:`~repro.api.AnalysisService` fronts ActFort's
+        probe mode: the reports came from black-box observation, there is
+        no :class:`~repro.model.ecosystem.Ecosystem` behind them, so the
+        session is read-only -- every query works, :meth:`mutate` raises.
+        """
+        session = cls.__new__(cls)
+        profiles = cls._resolve_attackers(attacker, attackers)
+        session._ecosystem = None
+        session._authproc = AuthenticationProcess()
+        session._collection = PersonalInfoCollection()
+        session._auth_reports = dict(auth_reports)
+        session._collection_reports = dict(collection_reports)
+        session._finish_init(profiles)
+        return session
+
+    @staticmethod
+    def _resolve_attackers(
+        attacker: Optional[AttackerProfile],
+        attackers: Optional[Mapping[str, AttackerProfile]],
+    ) -> Dict[str, AttackerProfile]:
+        if attacker is not None and attackers is not None:
+            raise ValueError("pass either attacker or attackers, not both")
+        if attackers is not None:
+            profiles = dict(attackers)
+            if not profiles:
+                raise ValueError("attackers mapping must be non-empty")
+            return profiles
+        if attacker is not None:
+            return {"baseline": attacker}
+        return {"baseline": AttackerProfile.baseline()}
+
+    def _finish_init(self, profiles: Dict[str, AttackerProfile]) -> None:
         # Nodes derive from the maintained stage-1/2 reports -- the exact
         # ActFort derivation -- so the session agrees bit-for-bit with
         # ``ActFort.from_ecosystem`` / ``MeasurementStudy`` at every state
@@ -111,8 +146,9 @@ class DynamicAnalysisSession:
     # ------------------------------------------------------------------
 
     @property
-    def ecosystem(self) -> Ecosystem:
-        """The current (post-mutation) ecosystem."""
+    def ecosystem(self) -> Optional[Ecosystem]:
+        """The current (post-mutation) ecosystem (``None`` for sessions
+        built from probe reports, which have no profile backing)."""
         return self._ecosystem
 
     @property
@@ -149,7 +185,7 @@ class DynamicAnalysisSession:
         return self._graphs[attacker]
 
     def __len__(self) -> int:
-        return len(self._ecosystem)
+        return len(self._auth_reports)
 
     # ------------------------------------------------------------------
     # Mutation
@@ -157,6 +193,11 @@ class DynamicAnalysisSession:
 
     def mutate(self, mutation: Mutation) -> EcosystemDelta:
         """Apply one mutation and absorb its delta into every live graph."""
+        if self._ecosystem is None:
+            raise RuntimeError(
+                "this session was built from probe reports; there is no "
+                "ecosystem to mutate"
+            )
         mutated, delta = self._ecosystem.apply(mutation)
         self._ecosystem = mutated
         if not delta.is_noop:
@@ -230,6 +271,19 @@ class DynamicAnalysisSession:
         """Per-service dependency levels, served live."""
         return self.graph(attacker).dependency_levels(platform)
 
+    def forward_closure(self, attacker: Optional[str] = None, **kwargs):
+        """Scenario 1 (OAAS -> PAV) over a maintained graph.
+
+        Served from the graph-level closure cache
+        (:meth:`~repro.core.tdg.TransformationDependencyGraph.closure_cache_get`),
+        which mutation deltas revalidate instead of dropping: only a delta
+        reaching the closure's compromised support set re-runs the global
+        fixpoint.
+        """
+        from repro.core.strategy import StrategyEngine
+
+        return StrategyEngine(self.graph(attacker)).forward_closure(**kwargs)
+
     def strong_edge_count(self, attacker: Optional[str] = None) -> int:
         return len(self.graph(attacker).strong_edges())
 
@@ -253,6 +307,11 @@ class DynamicAnalysisSession:
         """
         from repro.core.actfort import ActFort
 
+        if self._ecosystem is None:
+            raise RuntimeError(
+                "this session was built from probe reports; there is no "
+                "ecosystem to rebuild from"
+            )
         label = attacker if attacker is not None else next(iter(self._graphs))
         return ActFort.from_ecosystem(
             self._ecosystem, attacker=self._attackers[label]

@@ -1,0 +1,148 @@
+"""Wire-format codecs for the analysis result types.
+
+The API layer (:mod:`repro.api`) promises JSON-serializable responses:
+every result type exposes ``to_dict``/``from_dict`` built on the helpers
+here.  The codecs live in :mod:`repro.utils` -- not next to the result
+dataclasses -- because serialization is needed across layers that must
+not import each other (``analysis``/``defense``/``dynamic`` results are
+serialized by the API facade, which itself imports all three).
+
+Conventions:
+
+- enums serialize as their ``value`` strings (``Platform.WEB`` ->
+  ``"web"``), and enum-keyed mappings become string-keyed dicts;
+- frozensets serialize as *sorted* lists, so equal values produce equal
+  documents (canonical wire form);
+- nested structures round-trip exactly: ``from_dict(to_dict(x)) == x``
+  for every supported type.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from repro.levels.engine import DependencyLevel
+from repro.model.account import AuthPath, AuthPurpose
+from repro.model.attacker import AttackerCapability, AttackerProfile
+from repro.model.factors import CredentialFactor, PersonalInfoKind, Platform
+
+__all__ = [
+    "attacker_profile_from_dict",
+    "attacker_profile_to_dict",
+    "auth_path_from_dict",
+    "auth_path_to_dict",
+    "enum_keyed_dict",
+    "enum_keyed_from_dict",
+    "info_kinds_from_list",
+    "info_kinds_to_list",
+    "level_map_from_dict",
+    "level_map_to_dict",
+    "platform_map_from_dict",
+    "platform_map_to_dict",
+]
+
+
+def enum_keyed_dict(mapping: Mapping, value=lambda v: v) -> Dict[str, Any]:
+    """``{Enum: v}`` -> ``{enum.value: value(v)}``, insertion order kept."""
+    return {key.value: value(item) for key, item in mapping.items()}
+
+
+def enum_keyed_from_dict(
+    document: Mapping[str, Any], enum_cls, value=lambda v: v
+) -> Dict[Any, Any]:
+    """Inverse of :func:`enum_keyed_dict` for one enum class."""
+    return {enum_cls(key): value(item) for key, item in document.items()}
+
+
+def platform_map_to_dict(
+    mapping: Mapping[Platform, Mapping], inner=lambda v: dict(v)
+) -> Dict[str, Any]:
+    """Per-platform nested mapping -> plain dict keyed by platform value."""
+    return enum_keyed_dict(mapping, inner)
+
+
+def platform_map_from_dict(
+    document: Mapping[str, Any], inner=lambda v: v
+) -> Dict[Platform, Any]:
+    """Inverse of :func:`platform_map_to_dict`."""
+    return enum_keyed_from_dict(document, Platform, inner)
+
+
+def level_map_to_dict(
+    dependency: Mapping[Platform, Mapping[DependencyLevel, float]],
+) -> Dict[str, Dict[str, float]]:
+    """The Section IV-B payload shape: platform -> level -> fraction."""
+    return platform_map_to_dict(dependency, lambda by_level: enum_keyed_dict(by_level))
+
+
+def level_map_from_dict(
+    document: Mapping[str, Mapping[str, float]],
+) -> Dict[Platform, Dict[DependencyLevel, float]]:
+    """Inverse of :func:`level_map_to_dict`."""
+    return platform_map_from_dict(
+        document,
+        lambda by_level: enum_keyed_from_dict(by_level, DependencyLevel, float),
+    )
+
+
+def info_kinds_to_list(kinds: Iterable[PersonalInfoKind]) -> List[str]:
+    """Canonical (sorted) wire form of an information-kind set."""
+    return sorted(kind.value for kind in kinds)
+
+
+def info_kinds_from_list(values: Iterable[str]) -> FrozenSet[PersonalInfoKind]:
+    """Inverse of :func:`info_kinds_to_list`."""
+    return frozenset(PersonalInfoKind(value) for value in values)
+
+
+def auth_path_to_dict(path: Optional[AuthPath]) -> Optional[Dict[str, Any]]:
+    """One authentication path as a plain document (``None`` passes through,
+    matching round-0 closure entries with no takeover path)."""
+    if path is None:
+        return None
+    return {
+        "service": path.service,
+        "platform": path.platform.value,
+        "purpose": path.purpose.value,
+        "factors": sorted(factor.value for factor in path.factors),
+        "linked_providers": sorted(path.linked_providers),
+        "label": path.label,
+    }
+
+
+def auth_path_from_dict(
+    document: Optional[Mapping[str, Any]],
+) -> Optional[AuthPath]:
+    """Inverse of :func:`auth_path_to_dict`."""
+    if document is None:
+        return None
+    return AuthPath(
+        service=document["service"],
+        platform=Platform(document["platform"]),
+        purpose=AuthPurpose(document["purpose"]),
+        factors=frozenset(
+            CredentialFactor(value) for value in document["factors"]
+        ),
+        linked_providers=frozenset(document.get("linked_providers", ())),
+        label=document.get("label", ""),
+    )
+
+
+def attacker_profile_to_dict(profile: AttackerProfile) -> Dict[str, Any]:
+    """Attacker profile as a plain document (capabilities + known info)."""
+    return {
+        "capabilities": sorted(c.value for c in profile.capabilities),
+        "known_info": info_kinds_to_list(profile.known_info),
+    }
+
+
+def attacker_profile_from_dict(
+    document: Mapping[str, Any],
+) -> AttackerProfile:
+    """Inverse of :func:`attacker_profile_to_dict`."""
+    return AttackerProfile(
+        capabilities=frozenset(
+            AttackerCapability(value) for value in document["capabilities"]
+        ),
+        known_info=info_kinds_from_list(document["known_info"]),
+    )

@@ -1,0 +1,362 @@
+"""Differential suite for the :class:`~repro.api.AnalysisService` facade.
+
+Every legacy entry point (``MeasurementStudy.run_*``,
+``DefenseEvaluation.evaluate*``, ``session.query``) now routes through
+the facade; this suite locks the routed results bit-for-bit against
+*direct engine use* -- fresh ActFort pipelines, hand-rolled session
+loops -- across seeded ecosystems with mutation sequences interleaved,
+so the facade's version-keyed cache, plan/execute batching, and stream
+pagination can never drift from the engines they front.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.analysis.measurement import MeasurementStudy, aggregate_reports
+from repro.api import (
+    AnalysisService,
+    ClosureQuery,
+    CoupleFileQuery,
+    DefenseEvalQuery,
+    DependencyLevelsQuery,
+    EdgeSummaryQuery,
+    LevelReportQuery,
+    MeasurementQuery,
+    WeakEdgeQuery,
+)
+from repro.catalog.builder import CatalogBuilder
+from repro.catalog.spec import CatalogSpec
+from repro.core.actfort import ActFort
+from repro.core.strategy import StrategyEngine
+from repro.defense.evaluation import (
+    DefenseEvaluation,
+    measure_outcome,
+    standard_defenses,
+)
+from repro.dynamic import DynamicAnalysisSession, MutationStream
+from repro.dynamic.rollout import (
+    RolloutTrajectory,
+    TrajectoryPoint,
+    email_hardening_rollout,
+)
+from repro.model.attacker import AttackerProfile
+from repro.model.factors import Platform
+
+#: Ten seeded ecosystems, as the acceptance criteria demand.
+SEEDS = tuple(range(3001, 3011))
+
+#: Small enough that per-checkpoint from-scratch oracles stay cheap.
+SIZE = 36
+
+#: Mutations applied between differential checkpoints.
+BURST = 3
+CHECKPOINTS = 3
+
+
+def build_ecosystem(seed, size=SIZE):
+    return CatalogBuilder(
+        CatalogSpec(total_services=size), seed=seed
+    ).build_ecosystem()
+
+
+def reference_measurement(ecosystem, profile):
+    """The pre-facade measurement path: fresh ActFort + direct aggregation."""
+    actfort = ActFort.from_ecosystem(ecosystem, attacker=profile)
+    return aggregate_reports(
+        actfort.auth_reports, actfort.collection_reports, actfort.tdg()
+    )
+
+
+def fresh_graph(ecosystem, profile):
+    return ActFort.from_ecosystem(ecosystem, attacker=profile).tdg()
+
+
+@pytest.fixture(autouse=True)
+def _allow_shims():
+    """The legacy entry points under test warn by design."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        yield
+
+
+# ----------------------------------------------------------------------
+# Facade vs direct engines, mutations interleaved
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_facade_queries_match_direct_engines_under_mutations(seed):
+    ecosystem = build_ecosystem(seed)
+    profiles = {
+        "baseline": AttackerProfile.baseline(),
+        "se": AttackerProfile.with_se_database(),
+    }
+    service = AnalysisService(ecosystem, attackers=profiles)
+    stream = MutationStream(seed=seed)
+    for checkpoint in range(CHECKPOINTS):
+        if checkpoint:
+            for _ in range(BURST):
+                service.apply(stream.next_mutation(service.ecosystem))
+        for label, profile in profiles.items():
+            oracle = fresh_graph(service.ecosystem, profile)
+
+            report = service.execute(LevelReportQuery(attacker=label))
+            assert report.fractions == oracle.levels_report(
+                (Platform.WEB, Platform.MOBILE)
+            )
+            assert report.version == service.version
+
+            levels = service.execute(
+                DependencyLevelsQuery(platform=Platform.WEB, attacker=label)
+            )
+            assert levels.levels == oracle.dependency_levels(Platform.WEB)
+
+            measured = service.execute(MeasurementQuery(attacker=label))
+            assert measured == reference_measurement(
+                service.ecosystem, profile
+            )
+
+            closure = StrategyEngine(oracle).forward_closure()
+            summary = service.execute(ClosureQuery(attacker=label))
+            assert summary.compromised == tuple(
+                entry.service for entry in closure.entries
+            )
+            assert summary.safe == tuple(sorted(closure.safe))
+            assert summary.final_info == closure.final_info
+            assert summary.rounds == closure.by_round()
+
+            edges = service.execute(EdgeSummaryQuery(attacker=label))
+            assert edges.strong_edges == len(oracle.strong_edges())
+            assert edges.fringe == len(oracle.fringe_nodes())
+
+            # The generic session.query surface agrees with the typed one.
+            assert (
+                service.raw_query(
+                    "level_fractions", Platform.WEB, attacker=label
+                )
+                == report.fractions[Platform.WEB]
+            )
+
+
+@pytest.mark.parametrize("seed", SEEDS[:3])
+def test_stream_pagination_reassembles_exact_record_sequences(seed):
+    ecosystem = build_ecosystem(seed)
+    service = AnalysisService(ecosystem)
+    stream = MutationStream(seed=seed + 17)
+    for _ in range(2):
+        service.apply(stream.next_mutation(service.ecosystem))
+    oracle = fresh_graph(service.ecosystem, AttackerProfile.baseline())
+
+    records = []
+    cursor = 0
+    while cursor is not None:
+        page = service.execute(CoupleFileQuery(cursor=cursor, page_size=97))
+        records.extend(page.records)
+        cursor = page.next_cursor
+    assert tuple(records) == oracle.couple_file()
+
+    edges = []
+    cursor = 0
+    while cursor is not None:
+        page = service.execute(WeakEdgeQuery(cursor=cursor, page_size=301))
+        edges.extend(page.edges)
+        cursor = page.next_cursor
+    assert tuple(edges) == tuple(oracle.iter_weak_edges())
+
+
+# ----------------------------------------------------------------------
+# Legacy entry points through the shims
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_run_on_ecosystem_and_run_batch_delegate_bit_identically(seed):
+    ecosystem = build_ecosystem(seed)
+    study = MeasurementStudy()
+    assert study.run_on_ecosystem(ecosystem) == reference_measurement(
+        ecosystem, AttackerProfile.baseline()
+    )
+
+    profiles = (
+        AttackerProfile.baseline(),
+        AttackerProfile.with_se_database(),
+        AttackerProfile.passive_observer(),
+    )
+    batch = study.run_batch(ecosystem, profiles)
+    assert batch == tuple(
+        reference_measurement(ecosystem, profile) for profile in profiles
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_run_session_matches_rebuild_after_mutations(seed):
+    ecosystem = build_ecosystem(seed)
+    session = DynamicAnalysisSession(ecosystem)
+    stream = MutationStream(seed=seed + 5)
+    for _ in range(4):
+        session.mutate(stream.next_mutation(session.ecosystem))
+    study = MeasurementStudy()
+    assert study.run_session(session) == reference_measurement(
+        session.ecosystem, session.attackers["baseline"]
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS[:3])
+def test_evaluate_attackers_matches_direct_grid(seed):
+    ecosystem = build_ecosystem(seed)
+    attackers = {
+        "baseline": AttackerProfile.baseline(),
+        "se": AttackerProfile.with_se_database(),
+    }
+    evaluation = DefenseEvaluation(ecosystem)
+    grid = evaluation.evaluate_attackers(attackers)
+
+    # The pre-facade algorithm, restated directly over the engines.
+    defenses = standard_defenses()
+    variants = [("baseline", ecosystem)]
+    for label, transform in defenses.items():
+        variants.append((label, transform(ecosystem)))
+    combined = ecosystem
+    for transform in defenses.values():
+        combined = transform(combined)
+    variants.append(("all_combined", combined))
+    expected = {label: [] for label in attackers}
+    for variant_label, variant_ecosystem in variants:
+        base = ActFort.from_ecosystem(variant_ecosystem)
+        clones = base.batch(attackers[label] for label in attackers)
+        for label, clone in zip(attackers, clones):
+            expected[label].append(
+                measure_outcome(
+                    variant_label, clone.tdg(), len(variant_ecosystem)
+                )
+            )
+    assert grid == {
+        label: tuple(outcomes) for label, outcomes in expected.items()
+    }
+
+    single = evaluation.evaluate()
+    assert single == grid["baseline"]
+
+
+@pytest.mark.parametrize("seed", SEEDS[:3])
+def test_evaluate_rollout_matches_direct_session_loop(seed):
+    ecosystem = build_ecosystem(seed, size=24)
+    steps = email_hardening_rollout(ecosystem)[:4]
+    evaluation = DefenseEvaluation(ecosystem)
+    trajectory = evaluation.evaluate_rollout(
+        steps=steps, include_weak=True
+    )
+
+    # The pre-facade planner loop, restated over a raw session.
+    attacker = AttackerProfile.baseline()
+    session = DynamicAnalysisSession(ecosystem, attacker)
+    platforms = (Platform.WEB, Platform.MOBILE)
+
+    def measure(label, mutated):
+        fractions = session.level_report(platforms)
+        graph = session.graph()
+        return TrajectoryPoint(
+            step=label,
+            services=len(session),
+            mutated_services=mutated,
+            level_fractions=fractions,
+            strong_edges=len(graph.strong_edges()),
+            fringe=len(graph.fringe_nodes()),
+            weak_edges=session.weak_edge_count(),
+        )
+
+    points = [measure("baseline", ())]
+    for step in steps:
+        touched = []
+        for mutation in step.mutations:
+            delta = session.mutate(mutation)
+            touched.extend(delta.touched_services)
+        points.append(measure(step.label, tuple(touched)))
+    expected = RolloutTrajectory(attacker=attacker, points=tuple(points))
+    assert trajectory == expected
+
+
+def test_probe_mode_service_matches_profile_mode_and_is_read_only():
+    ecosystem = build_ecosystem(SEEDS[0])
+    actfort = ActFort.from_ecosystem(ecosystem)
+    service = actfort.as_service()
+    assert service.ecosystem is None
+    assert service.execute(MeasurementQuery()) == reference_measurement(
+        ecosystem, AttackerProfile.baseline()
+    )
+    stream = MutationStream(seed=1)
+    with pytest.raises(RuntimeError):
+        service.apply(stream.next_mutation(ecosystem))
+    with pytest.raises(RuntimeError):
+        service.execute(DefenseEvalQuery())
+
+
+# ----------------------------------------------------------------------
+# Cache and plan semantics
+# ----------------------------------------------------------------------
+
+
+def test_repeated_queries_at_unchanged_version_hit_the_cache():
+    ecosystem = build_ecosystem(SEEDS[1])
+    service = AnalysisService(ecosystem)
+    first = service.execute(LevelReportQuery())
+    again = service.execute(LevelReportQuery())
+    assert again is first  # O(1) lookup returns the stored object
+    stats = service.cache_stats()
+    assert stats.hits == 1 and stats.misses == 1
+
+    # The implicit primary label and its explicit spelling share a slot.
+    explicit = service.execute(
+        LevelReportQuery(attacker=service.primary_attacker)
+    )
+    assert explicit is first
+
+
+def test_mutation_bumps_version_and_invalidates_by_construction():
+    ecosystem = build_ecosystem(SEEDS[2])
+    service = AnalysisService(ecosystem)
+    before = service.execute(MeasurementQuery())
+    stream = MutationStream(seed=9)
+    receipt = service.apply(stream.next_mutation(service.ecosystem))
+    assert receipt.version == service.version == 1
+    after = service.execute(MeasurementQuery())
+    assert after is not before
+    assert after == reference_measurement(
+        service.ecosystem, AttackerProfile.baseline()
+    )
+
+
+def test_plan_dedupes_identical_queries_and_rejects_stale_plans():
+    ecosystem = build_ecosystem(SEEDS[3])
+    service = AnalysisService(ecosystem)
+    plan = service.plan(
+        [LevelReportQuery(), LevelReportQuery(), MeasurementQuery()]
+    )
+    assert plan.steps[0].key == plan.steps[1].key
+    results = service.run(plan)
+    assert results[0] is results[1]
+    # Only two distinct computations happened.
+    assert service.cache_stats().misses == 2
+
+    stream = MutationStream(seed=11)
+    stale = service.plan([LevelReportQuery()])
+    service.apply(stream.next_mutation(service.ecosystem))
+    with pytest.raises(ValueError):
+        service.run(stale)
+
+
+def test_batch_planning_shares_one_level_flush_across_queries():
+    ecosystem = build_ecosystem(SEEDS[4])
+    service = AnalysisService(ecosystem)
+    plan = service.plan(
+        [
+            LevelReportQuery(platforms=(Platform.WEB,)),
+            LevelReportQuery(platforms=(Platform.MOBILE,)),
+            MeasurementQuery(),
+        ]
+    )
+    label = service.primary_attacker
+    assert plan.level_prefetch[label] == (Platform.MOBILE, Platform.WEB)

@@ -1,0 +1,167 @@
+"""The graph-level forward-closure cache and its delta revalidation.
+
+``StrategyEngine.forward_closure`` memoizes on the graph; under mutation
+deltas :meth:`~repro.core.tdg.TransformationDependencyGraph.revalidate_closures`
+keeps every entry the delta cannot reach (safe services are inert to the
+fixpoint) and drops the rest.  The differential here locks the cached
+answers against from-scratch rebuilds after *every* mutation of seeded
+streams -- including removals and additions, the patch path -- and the
+handcrafted cases pin the survive/invalidate split itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.builder import CatalogBuilder
+from repro.catalog.spec import CatalogSpec
+from repro.core.actfort import ActFort
+from repro.core.strategy import StrategyEngine
+from repro.dynamic import DynamicAnalysisSession, MutationStream
+from repro.dynamic.events import AddAuthPath, AddService, ChangeMasking
+from repro.model.account import (
+    AuthPath,
+    AuthPurpose,
+    MaskSpec,
+    ServiceProfile,
+)
+from repro.model.ecosystem import Ecosystem
+from repro.model.factors import CredentialFactor as CF
+from repro.model.factors import PersonalInfoKind as PI
+from repro.model.factors import Platform as PL
+
+
+def _path(service, purpose, *factors):
+    return AuthPath(
+        service=service,
+        platform=PL.WEB,
+        purpose=purpose,
+        factors=frozenset(factors),
+    )
+
+
+def _direct_service(name, exposed=(PI.REAL_NAME,)):
+    """Falls to the baseline attacker (SMS-only reset)."""
+    return ServiceProfile(
+        name=name,
+        domain="media",
+        auth_paths=(
+            _path(name, AuthPurpose.PASSWORD_RESET, CF.CELLPHONE_NUMBER, CF.SMS_CODE),
+        ),
+        exposed_info={PL.WEB: frozenset(exposed)},
+    )
+
+
+def _safe_service(name):
+    """Unchainable: its only path demands the current password."""
+    return ServiceProfile(
+        name=name,
+        domain="fintech",
+        auth_paths=(
+            _path(name, AuthPurpose.SIGN_IN, CF.USERNAME, CF.PASSWORD),
+        ),
+        exposed_info={PL.WEB: frozenset({PI.REAL_NAME})},
+    )
+
+
+@pytest.mark.parametrize("seed", (4001, 4002, 4003))
+def test_cached_closure_equals_rebuild_after_every_mutation(seed):
+    ecosystem = CatalogBuilder(
+        CatalogSpec(total_services=30), seed=seed
+    ).build_ecosystem()
+    session = DynamicAnalysisSession(ecosystem)
+    stream = MutationStream(seed=seed, min_services=10)
+    session.forward_closure()  # prime the cache
+    for _ in range(10):
+        session.mutate(stream.next_mutation(session.ecosystem))
+        served = session.forward_closure()
+        rebuilt = StrategyEngine(
+            ActFort.from_ecosystem(session.ecosystem).tdg()
+        ).forward_closure()
+        assert served.entries == rebuilt.entries
+        assert served.safe == rebuilt.safe
+        assert served.final_info == rebuilt.final_info
+
+
+def test_repeated_closure_calls_share_one_computation():
+    ecosystem = CatalogBuilder(
+        CatalogSpec(total_services=25), seed=5
+    ).build_ecosystem()
+    actfort = ActFort.from_ecosystem(ecosystem)
+    tdg = actfort.tdg()
+    first = actfort.potential_victims()
+    # A second engine over the same graph hits the graph-level cache --
+    # this is what stops insights.py/actfort.py re-running the fixpoint.
+    second = StrategyEngine(tdg).forward_closure()
+    assert second is first
+    stats = tdg.closure_cache_stats()
+    assert stats["computes"] == 1 and stats["hits"] == 1
+
+
+def test_delta_that_never_reaches_the_support_set_keeps_the_cache():
+    ecosystem = Ecosystem(
+        [
+            _direct_service("mail", exposed=(PI.REAL_NAME, PI.CITIZEN_ID)),
+            _direct_service("shop"),
+            _safe_service("bank"),
+        ]
+    )
+    session = DynamicAnalysisSession(ecosystem)
+    closure = session.forward_closure()
+    assert closure.compromised == frozenset({"mail", "shop"})
+    assert "bank" in closure.safe
+
+    # Masking churn on the safe, unchainable service: inert to the PAV.
+    session.mutate(
+        ChangeMasking(
+            service="bank",
+            platform=PL.WEB,
+            kind=PI.CITIZEN_ID,
+            spec=MaskSpec(reveal_prefix=4),
+        )
+    )
+    assert session.forward_closure() is closure
+    assert session.graph().closure_cache_stats()["computes"] == 1
+
+    # A new service that stays safe patches the safe set without a
+    # recompute; the compromised entries are served verbatim.
+    session.mutate(AddService(profile=_safe_service("vault")))
+    patched = session.forward_closure()
+    assert patched.entries == closure.entries
+    assert patched.safe == frozenset({"bank", "vault"})
+    assert session.graph().closure_cache_stats()["computes"] == 1
+
+
+def test_delta_reaching_the_support_set_recomputes():
+    ecosystem = Ecosystem(
+        [
+            _direct_service("mail", exposed=(PI.REAL_NAME, PI.CITIZEN_ID)),
+            _safe_service("bank"),
+        ]
+    )
+    session = DynamicAnalysisSession(ecosystem)
+    before = session.forward_closure()
+    assert before.compromised == frozenset({"mail"})
+
+    # The safe service grows an info-path reset that the harvested
+    # citizen ID satisfies: it must now fall, so the cache recomputes.
+    session.mutate(
+        AddAuthPath(
+            service="bank",
+            path=_path(
+                "bank",
+                AuthPurpose.PASSWORD_RESET,
+                CF.CELLPHONE_NUMBER,
+                CF.SMS_CODE,
+                CF.CITIZEN_ID,
+            ),
+        )
+    )
+    after = session.forward_closure()
+    assert after is not before
+    assert after.compromised == frozenset({"mail", "bank"})
+    rebuilt = StrategyEngine(
+        ActFort.from_ecosystem(session.ecosystem).tdg()
+    ).forward_closure()
+    assert after.entries == rebuilt.entries
+    assert after.safe == rebuilt.safe

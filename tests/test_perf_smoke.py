@@ -12,6 +12,13 @@ lives in ``benchmarks/test_bench_scaling.py``.
 import statistics
 import time
 
+from repro.api import (
+    AnalysisService,
+    ClosureQuery,
+    EdgeSummaryQuery,
+    LevelReportQuery,
+    MeasurementQuery,
+)
 from repro.catalog.builder import CatalogBuilder
 from repro.catalog.spec import CatalogSpec
 from repro.core import ActFort
@@ -29,6 +36,11 @@ REQUIRED_UPDATE_SPEEDUP = 10.0
 #: payload right after a mutation must beat recomputing the depth
 #: fixpoints from scratch by at least this factor.
 REQUIRED_SERVE_SPEEDUP = 5.0
+
+#: The AnalysisService contract at 402: repeating a query batch at an
+#: unchanged version must be served from the version-keyed result cache,
+#: not recomputed.
+REQUIRED_WARM_SPEEDUP = 10.0
 
 
 def test_201_service_full_analysis_stays_interactive(default_ecosystem):
@@ -94,6 +106,47 @@ def test_single_mutation_update_is_10x_faster_than_rebuild_at_402():
         f"{rebuild * 1e3:.2f}ms: speedup "
         f"{rebuild / update if update else float('inf'):.1f}x < "
         f"{REQUIRED_UPDATE_SPEEDUP:.0f}x"
+    )
+
+
+def test_warm_repeated_query_is_10x_faster_than_cold_at_402():
+    """The result cache's tripwire at the paper-doubling tier.
+
+    A mixed query batch is executed twice against one
+    :class:`~repro.api.AnalysisService` at the same version: the first
+    (cold) run computes through the engines, the second (warm) run must
+    be O(1) cache lookups.  The cold side is measured once -- it is the
+    honest first-serve cost -- and the warm side takes the best of a few
+    repeats so suite-wide load noise cannot fail the gate; the real
+    trajectory lives in ``benchmarks/test_bench_scaling.py``'s
+    ``api_serve`` tier.
+    """
+    ecosystem = CatalogBuilder(
+        CatalogSpec(total_services=402), seed=2021
+    ).build_ecosystem()
+    service = AnalysisService(ecosystem)
+    workload = [
+        LevelReportQuery(),
+        MeasurementQuery(),
+        ClosureQuery(),
+        EdgeSummaryQuery(),
+    ]
+
+    start = time.perf_counter()
+    cold_results = service.execute_batch(workload)
+    cold = time.perf_counter() - start
+
+    warm = float("inf")
+    for _ in range(5):
+        start = time.perf_counter()
+        warm_results = service.execute_batch(workload)
+        warm = min(warm, time.perf_counter() - start)
+    assert warm_results == cold_results
+
+    speedup = cold / warm if warm else float("inf")
+    assert speedup >= REQUIRED_WARM_SPEEDUP, (
+        f"cold batch {cold * 1e3:.2f}ms vs warm repeat {warm * 1e3:.3f}ms: "
+        f"speedup {speedup:.1f}x < {REQUIRED_WARM_SPEEDUP:.0f}x"
     )
 
 
