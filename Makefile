@@ -1,0 +1,13 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: verify docs-check bench
+
+verify:
+	$(PYTHON) -m pytest -x -q
+
+docs-check:
+	$(PYTHON) -m pytest -q tests/test_docs_examples.py
+
+bench:
+	$(PYTHON) -m pytest -q benchmarks/test_bench_scaling.py benchmarks/test_bench_churn.py

@@ -1,8 +1,9 @@
 """What-if defense rollouts over a live, incrementally-maintained ecosystem.
 
 Section VII evaluates each countermeasure as an all-at-once switch; real
-deployments stage.  This walkthrough drives the incremental engine
-(:mod:`repro.dynamic`) three ways:
+deployments stage.  This walkthrough issues
+:class:`~repro.api.RolloutQuery` what-ifs against an
+:class:`~repro.api.AnalysisService` facade three ways:
 
 1. replay the paper's email countermeasure one provider at a time over
    the 201-service catalog and watch the dependency-level trajectory,
@@ -17,8 +18,8 @@ from repro import build_default_ecosystem
 from repro.catalog.seeds import seed_profiles
 from repro.core.tdg import DependencyLevel
 from repro.defense.hardening import EmailHardening
+from repro.api import AnalysisService, RolloutQuery
 from repro.dynamic import (
-    RolloutPlanner,
     email_hardening_rollout,
     symmetry_repair_rollout,
 )
@@ -36,8 +37,8 @@ def main() -> None:
         "(each step is absorbed as a delta by the live indexes -- no "
         "rebuild)...\n"
     )
-    planner = RolloutPlanner(ecosystem)
-    trajectory = planner.replay(steps)
+    service = AnalysisService(ecosystem)
+    trajectory = service.execute(RolloutQuery(steps=tuple(steps)))
     print(
         format_table(
             ("step", "touched", "web direct", "web safe", "strong edges", "weak edges"),
@@ -61,7 +62,9 @@ def main() -> None:
     combined = email_hardening_rollout(ecosystem) + symmetry_repair_rollout(
         EmailHardening().apply(ecosystem)
     )
-    combined_trajectory = RolloutPlanner(ecosystem).replay(combined)
+    combined_trajectory = service.execute(
+        RolloutQuery(steps=tuple(combined))
+    )
     start = combined_trajectory.baseline
     end = combined_trajectory.final
     print(
@@ -73,9 +76,11 @@ def main() -> None:
 
     # --- 3. seeds-only rollout with streamed weak-edge counts -----------
     seeds_only = ecosystem.restricted_to(p.name for p in seed_profiles())
-    weak_planner = RolloutPlanner(seeds_only, include_weak=True)
-    weak_trajectory = weak_planner.replay(
-        email_hardening_rollout(seeds_only)
+    weak_trajectory = AnalysisService(seeds_only).execute(
+        RolloutQuery(
+            steps=tuple(email_hardening_rollout(seeds_only)),
+            include_weak=True,
+        )
     )
     print(
         format_table(

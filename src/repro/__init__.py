@@ -49,16 +49,20 @@ engine live under typed mutations (services launching/retiring, auth paths
 and masking rules changing, defenses rolling out provider by provider),
 updating the inverted indexes per delta instead of rebuilding::
 
-    from repro import DynamicAnalysisSession, Platform, build_default_ecosystem
-    from repro.dynamic import email_hardening_rollout, RolloutPlanner
+    from repro import AnalysisService, build_default_ecosystem
+    from repro.api import RolloutQuery
+    from repro.dynamic import email_hardening_rollout
 
-    session = DynamicAnalysisSession(build_default_ecosystem())
-    trajectory = RolloutPlanner(session.ecosystem).replay(
-        email_hardening_rollout(session.ecosystem)
+    ecosystem = build_default_ecosystem()
+    trajectory = AnalysisService(ecosystem).execute(
+        RolloutQuery(steps=tuple(email_hardening_rollout(ecosystem)))
     )
 
 ``tests/test_dynamic_equivalence.py`` locks every incremental state to a
-from-scratch rebuild, mirroring the indexed engine's discipline.
+from-scratch rebuild, mirroring the indexed engine's discipline -- the
+level fixpoints (:mod:`repro.levels`), the couple/weak-edge record
+segments (:mod:`repro.streams`), the signature parent-set views, and the
+measurement counters all splice under deltas instead of recomputing.
 
 All of it serves through one surface: :mod:`repro.api`'s
 :class:`~repro.api.AnalysisService` facade takes typed queries
@@ -76,6 +80,11 @@ version key, and routes mutations through the incremental engines::
 
 ``tests/test_api_service.py`` locks every legacy entry point's routed
 results against direct engine use, mutations interleaved.
+
+The top-level ``README.md`` is the front door: quickstart, the
+documentation suite (``docs/architecture.md``, ``docs/serving.md``,
+``docs/benchmarks.md``), the example walkthroughs in ``examples/``, and
+the verify/bench/docs-check command map.
 """
 
 from repro.model import (

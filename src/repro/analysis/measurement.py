@@ -23,7 +23,9 @@ from repro.core.actfort import ActFort
 from repro.core.authproc import aggregate_path_statistics
 from repro.core.collection import exposure_table
 from repro.core.tdg import DependencyLevel
+from repro.model.account import AuthPurpose, PathType
 from repro.model.attacker import AttackerProfile
+from repro.model.factors import CredentialFactor
 from repro.model.ecosystem import Ecosystem
 from repro.model.factors import PersonalInfoKind, Platform
 from repro.utils.serialization import (
@@ -141,13 +143,161 @@ def aggregate_reports(
     )
 
 
-def _deprecated(entry_point: str) -> None:
-    warnings.warn(
-        f"MeasurementStudy.{entry_point} is a delegating shim; query the "
-        "repro.api.AnalysisService facade (MeasurementQuery) directly",
-        DeprecationWarning,
-        stacklevel=3,
-    )
+class MeasurementAggregator:
+    """Section IV's aggregation as an incrementally-maintained view.
+
+    :func:`aggregate_reports` is a pure fold over per-service report
+    facts: every Fig. 3 fraction is a count of services satisfying a
+    per-service predicate, Table I is a count per (platform, kind), and
+    the path totals are sums.  This class keeps exactly those counters
+    and updates them per service when a mutation refreshes that
+    service's stage-1/2 reports -- fold the old report's facts out, fold
+    the new report's in -- so re-measuring after a mutation costs
+    O(touched services) instead of the full O(ecosystem) re-aggregation.
+    :meth:`results` then divides the counters (the same integer
+    divisions the scratch fold performs, so results are equal
+    *exactly*, float for float; ``tests/test_api_service.py`` locks this
+    against :func:`aggregate_reports` under mutation streams).
+
+    Owned lazily by
+    :class:`~repro.dynamic.session.DynamicAnalysisSession`; the
+    :class:`~repro.api.AnalysisService` facade serves
+    :class:`~repro.api.MeasurementQuery` through it.
+    """
+
+    _PLATFORMS = (Platform.WEB, Platform.MOBILE)
+
+    def __init__(self, auth_reports, collection_reports) -> None:
+        self._path_types = tuple(PathType)
+        self._service_count = 0
+        self._total_paths = 0
+        self._signatures = 0
+        #: platform -> [n, sms_signin, sms_reset, uses_sms, extra_info,
+        #: platform path total, then one count per path type].
+        self._auth: Dict[Platform, List[int]] = {
+            platform: [0] * (6 + len(self._path_types))
+            for platform in self._PLATFORMS
+        }
+        #: platform -> [n, then one exposure count per info kind].
+        self._exposure: Dict[Platform, List[int]] = {
+            platform: [0] * (1 + len(PersonalInfoKind))
+            for platform in self._PLATFORMS
+        }
+        self._kinds = tuple(PersonalInfoKind)
+        for name in auth_reports:
+            self.update(
+                name,
+                None,
+                auth_reports[name],
+                None,
+                collection_reports.get(name),
+            )
+
+    # -- per-service facts (the predicates of aggregate_reports) --------
+
+    def _fold_auth(self, report, platform: Platform, sign: int) -> None:
+        paths = [p for p in report.paths() if p.platform is platform]
+        if not paths:
+            return
+        counters = self._auth[platform]
+        counters[0] += sign
+        if report.has_sms_only_path(platform, AuthPurpose.SIGN_IN):
+            counters[1] += sign
+        if report.has_sms_only_path(platform, AuthPurpose.PASSWORD_RESET):
+            counters[2] += sign
+        if any(CredentialFactor.SMS_CODE in p.factors for p in paths):
+            counters[3] += sign
+        if all(p.path_type is not PathType.GENERAL for p in paths):
+            counters[4] += sign
+        counters[5] += sign * len(paths)
+        for path in paths:
+            counters[6 + self._path_types.index(path.path_type)] += sign
+
+    def _fold_exposure(self, report, platform: Platform, sign: int) -> None:
+        if report is None:
+            return
+        if not any(item.platform is platform for item in report.items):
+            return
+        counters = self._exposure[platform]
+        counters[0] += sign
+        kinds = report.kinds_on(platform)
+        for index, kind in enumerate(self._kinds):
+            if kind in kinds:
+                counters[1 + index] += sign
+
+    def update(
+        self, name: str, old_auth, new_auth, old_collection, new_collection
+    ) -> None:
+        """Fold one service's report change into the counters.
+
+        ``old_* is None`` means an addition, ``new_* is None`` a removal;
+        both present is a replacement.  The session calls this for
+        exactly the services a delta touched.
+        """
+        del name  # counters are anonymous; the argument documents intent
+        for report, sign in ((old_auth, -1), (new_auth, +1)):
+            if report is None:
+                continue
+            self._service_count += sign
+            self._total_paths += sign * len(report.paths())
+            self._signatures += sign * report.distinct_path_signatures
+            for platform in self._PLATFORMS:
+                self._fold_auth(report, platform, sign)
+        for report, sign in ((old_collection, -1), (new_collection, +1)):
+            for platform in self._PLATFORMS:
+                self._fold_exposure(report, platform, sign)
+
+    # -- read side -------------------------------------------------------
+
+    def _fig3(self, platform: Platform) -> Dict[str, float]:
+        counters = self._auth[platform]
+        n = counters[0]
+        if not n:
+            raise ValueError(f"no services on platform {platform}")
+        total_paths = counters[5]
+        by_type = {
+            path_type: counters[6 + index]
+            for index, path_type in enumerate(self._path_types)
+        }
+        return {
+            "services": float(n),
+            "sms_only_signin": counters[1] / n,
+            "sms_only_reset": counters[2] / n,
+            "uses_sms_anywhere": counters[3] / n,
+            "extra_info_required": counters[4] / n,
+            "general_share": by_type[PathType.GENERAL] / total_paths,
+            "info_share": by_type[PathType.INFO] / total_paths,
+            "unique_share": by_type[PathType.UNIQUE] / total_paths,
+            "total_paths": float(total_paths),
+        }
+
+    def _table1(self, platform: Platform) -> Dict[PersonalInfoKind, float]:
+        counters = self._exposure[platform]
+        n = counters[0]
+        if not n:
+            raise ValueError(f"no services observed on {platform}")
+        return {
+            kind: counters[1 + index] / n
+            for index, kind in enumerate(self._kinds)
+        }
+
+    def results(self, tdg) -> MeasurementResults:
+        """The full Section IV payload at the current counters, with the
+        dependency fractions served by ``tdg``'s (incrementally
+        maintained) level engine."""
+        fig3 = {platform: self._fig3(platform) for platform in self._PLATFORMS}
+        table1 = {
+            platform: self._table1(platform) for platform in self._PLATFORMS
+        }
+        dependency = tdg.levels_report(self._PLATFORMS)
+        return MeasurementResults(
+            service_count=self._service_count,
+            total_auth_paths=self._total_paths,
+            distinct_path_signatures=self._signatures,
+            fig3=fig3,
+            table1=table1,
+            dependency=dependency,
+        )
 
 
 class MeasurementStudy:
@@ -163,7 +313,12 @@ class MeasurementStudy:
         """
         from repro.api import AnalysisService, MeasurementQuery
 
-        _deprecated("run_on_ecosystem")
+        warnings.warn(
+            "MeasurementStudy.run_on_ecosystem is a delegating shim; query the "
+            "repro.api.AnalysisService facade (MeasurementQuery) directly",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         service = AnalysisService(ecosystem, attacker=self._attacker)
         return service.execute(MeasurementQuery())
 
@@ -174,7 +329,12 @@ class MeasurementStudy:
         """
         from repro.api import AnalysisService, MeasurementQuery
 
-        _deprecated("run_on_internet")
+        warnings.warn(
+            "MeasurementStudy.run_on_internet is a delegating shim; query the "
+            "repro.api.AnalysisService facade (MeasurementQuery) directly",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         service = AnalysisService.from_internet(
             internet, attacker=self._attacker
         )
@@ -187,7 +347,12 @@ class MeasurementStudy:
         """
         from repro.api import AnalysisService, MeasurementQuery
 
-        _deprecated("run_actfort")
+        warnings.warn(
+            "MeasurementStudy.run_actfort is a delegating shim; query the "
+            "repro.api.AnalysisService facade (MeasurementQuery) directly",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return AnalysisService.from_actfort(actfort).execute(
             MeasurementQuery()
         )
@@ -208,7 +373,12 @@ class MeasurementStudy:
         """
         from repro.api import AnalysisService, MeasurementQuery
 
-        _deprecated("run_batch")
+        warnings.warn(
+            "MeasurementStudy.run_batch is a delegating shim; query the "
+            "repro.api.AnalysisService facade (MeasurementQuery) directly",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         profiles = {
             f"attacker_{index}": profile
             for index, profile in enumerate(attackers)
@@ -239,6 +409,11 @@ class MeasurementStudy:
         """
         from repro.api import AnalysisService, MeasurementQuery
 
-        _deprecated("run_session")
+        warnings.warn(
+            "MeasurementStudy.run_session is a delegating shim; query the "
+            "repro.api.AnalysisService facade (MeasurementQuery) directly",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         service = AnalysisService.from_session(session)
         return service.execute(MeasurementQuery(attacker=attacker))

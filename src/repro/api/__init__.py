@@ -32,6 +32,11 @@ Quickstart::
     service.apply(some_mutation)      # routes through the delta engines
     report2 = service.execute(LevelReportQuery())   # recomputed once
     report3 = service.execute(LevelReportQuery())   # O(1) cache hit
+
+The serving story -- the query/command lifecycle, canonical cache keys,
+version-keyed invalidation, and the record streams' segment-watermark
+cursors -- is documented end to end in ``docs/serving.md`` (see the
+repo-root ``README.md`` for the full documentation map).
 """
 
 from repro.api.cache import CacheStats, ResultCache

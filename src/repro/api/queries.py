@@ -21,7 +21,7 @@ on the last page, otherwise it is the ``cursor`` of the next request.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, FrozenSet, Mapping, Optional, Tuple
+from typing import Any, Dict, FrozenSet, Mapping, Optional, Tuple, Union
 
 from repro.core.tdg import CoupleRecord, DependencyLevel
 from repro.dynamic.rollout import RolloutStep
@@ -87,7 +87,15 @@ class Query:
 
 @dataclasses.dataclass(frozen=True)
 class LevelReportQuery(Query):
-    """Section IV-B level fractions for a sweep of platforms."""
+    """Section IV-B level fractions for a sweep of platforms.
+
+    Cache-key contract: ``("level_report", platforms, attacker)`` --
+    the fractions are a pure function of the graph state at one session
+    version, so the key plus the version fully determines the result.
+    Invalidation is by construction (a mutation bumps the version); the
+    level engine underneath keeps its fixpoints warm across versions,
+    so a miss after a mutation re-derives only the delta's cone.
+    """
 
     platforms: Tuple[Platform, ...] = BOTH_PLATFORMS
     attacker: Optional[str] = None
@@ -129,7 +137,14 @@ class LevelReportResult:
 
 @dataclasses.dataclass(frozen=True)
 class DependencyLevelsQuery(Query):
-    """Per-service dependency levels on one platform."""
+    """Per-service dependency levels on one platform.
+
+    Cache-key contract: ``("dependency_levels", platform, attacker)``
+    at one session version.  Misses are served from the level engine's
+    per-(platform, service) classification cache, which survives
+    mutations outside a delta's reach -- only invalidated entries are
+    reclassified.
+    """
 
     platform: Platform = Platform.WEB
     attacker: Optional[str] = None
@@ -184,7 +199,15 @@ class DependencyLevelsResult:
 
 @dataclasses.dataclass(frozen=True)
 class ClosureQuery(Query):
-    """Scenario 1: the PAV from an initial attacked set."""
+    """Scenario 1: the PAV from an initial attacked set.
+
+    Cache-key contract: ``("closure", seeds, extra info, email
+    provider, attacker)`` at one session version.  Misses consult the
+    graph-level closure cache, which deltas *revalidate* rather than
+    drop: only a mutation reaching the closure's compromised support
+    set re-runs the global fixpoint (safe-only churn patches the safe
+    set in place).
+    """
 
     initially_compromised: Tuple[str, ...] = ()
     extra_info: Tuple[PersonalInfoKind, ...] = ()
@@ -253,7 +276,15 @@ class ClosureSummary:
 @dataclasses.dataclass(frozen=True)
 class MeasurementQuery(Query):
     """The full Section IV aggregation; returns
-    :class:`~repro.analysis.measurement.MeasurementResults`."""
+    :class:`~repro.analysis.measurement.MeasurementResults`.
+
+    Cache-key contract: ``("measurement", attacker)`` at one session
+    version.  Misses are served from the session's maintained
+    :class:`~repro.analysis.measurement.MeasurementAggregator`
+    counters (folded per touched service on every mutation), equal to
+    a scratch :func:`~repro.analysis.measurement.aggregate_reports`
+    exactly, float for float.
+    """
 
     attacker: Optional[str] = None
 
@@ -273,6 +304,12 @@ class EdgeSummaryQuery(Query):
     ``include_weak`` is opt-in because the weak-edge family is the
     output-bound frontier; its count still *streams* through
     ``iter_weak_edges`` rather than materializing the Couple File.
+
+    Cache-key contract: ``("edge_summary", include_weak, attacker)``
+    at one session version.  Strong edges are counted off the memoized
+    per-service parent sets (backed by the per-signature parent
+    postings view, so a miss after a mutation re-joins only affected
+    signatures); weak edges stream through the segment engine.
     """
 
     include_weak: bool = False
@@ -319,16 +356,37 @@ class EdgeSummary:
 @dataclasses.dataclass(frozen=True)
 class CoupleFileQuery(Query):
     """One page of the Couple File (Definition 3's weak-directivity
-    records), in the engine's canonical enumeration order."""
+    records), in the engine's canonical enumeration order.
 
-    cursor: int = 0
+    ``cursor`` is either a flat integer offset (``0`` = first page;
+    counted over the current session version's stream) or a **segment
+    watermark token** from a previous page's ``next_cursor``.  Tokens are
+    the stable form: they name the service segment being drained (by its
+    monotone insertion ordinal) plus the records consumed within it, so
+    a pagination interrupted by mutations resumes at the watermark --
+    drained segments are never re-emitted or re-enumerated, segments
+    still ahead are served in their post-mutation state (see
+    :class:`~repro.streams.StreamCursor`).
+
+    Cache-key contract: the key is ``("couples", cursor, page_size,
+    max_size, attacker)``; paired with the session version it fully
+    determines the page, because the backing stream is a pure function
+    of the graph state at that version and the watermark names an
+    absolute position.  A mutation bumps the version, so a re-requested
+    page recomputes against the spliced segments instead of serving a
+    stale cache entry.
+    """
+
+    cursor: Union[int, str] = 0
     page_size: int = 256
     max_size: int = 3
     attacker: Optional[str] = None
 
     def __post_init__(self) -> None:
-        if self.cursor < 0 or self.page_size <= 0:
-            raise ValueError("cursor must be >= 0 and page_size positive")
+        if isinstance(self.cursor, int) and self.cursor < 0:
+            raise ValueError("integer cursors must be >= 0")
+        if self.page_size <= 0:
+            raise ValueError("page_size must be positive")
 
     def canonical_key(self, default_attacker: str) -> Tuple:
         return (
@@ -342,14 +400,18 @@ class CoupleFileQuery(Query):
 
 @dataclasses.dataclass(frozen=True)
 class CouplePage:
-    """One page of Couple File records."""
+    """One page of Couple File records.
+
+    ``next_cursor`` is a segment-watermark token (pass it as the next
+    request's ``cursor``; it stays valid across mutations), or ``None``
+    when this page is the last."""
 
     attacker: str
     version: int
-    cursor: int
+    cursor: Union[int, str]
     records: Tuple[CoupleRecord, ...]
-    #: Cursor of the next page, or ``None`` when this page is the last.
-    next_cursor: Optional[int]
+    #: Watermark token of the next page, or ``None`` on the last page.
+    next_cursor: Optional[str]
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -387,16 +449,24 @@ class CouplePage:
 
 @dataclasses.dataclass(frozen=True)
 class WeakEdgeQuery(Query):
-    """One page of distinct weak-directivity edges, streamed."""
+    """One page of distinct weak-directivity edges, streamed.
 
-    cursor: int = 0
+    Cursor and cache-key semantics are those of
+    :class:`CoupleFileQuery`: integer cursors are flat offsets, string
+    cursors are segment-watermark tokens stable across mutations, and
+    the canonical key below plus the session version fully determines
+    the page."""
+
+    cursor: Union[int, str] = 0
     page_size: int = 1024
     max_size: int = 3
     attacker: Optional[str] = None
 
     def __post_init__(self) -> None:
-        if self.cursor < 0 or self.page_size <= 0:
-            raise ValueError("cursor must be >= 0 and page_size positive")
+        if isinstance(self.cursor, int) and self.cursor < 0:
+            raise ValueError("integer cursors must be >= 0")
+        if self.page_size <= 0:
+            raise ValueError("page_size must be positive")
 
     def canonical_key(self, default_attacker: str) -> Tuple:
         return (
@@ -410,13 +480,16 @@ class WeakEdgeQuery(Query):
 
 @dataclasses.dataclass(frozen=True)
 class EdgePage:
-    """One page of (provider, child) weak-directivity edges."""
+    """One page of (provider, child) weak-directivity edges.
+
+    ``next_cursor`` is a segment-watermark token valid across mutations
+    (see :class:`CouplePage`), or ``None`` on the last page."""
 
     attacker: str
     version: int
-    cursor: int
+    cursor: Union[int, str]
     edges: Tuple[Tuple[str, str], ...]
-    next_cursor: Optional[int]
+    next_cursor: Optional[str]
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -452,6 +525,12 @@ class DefenseEvalQuery(Query):
     ``defenses`` names transforms registered with the service
     (``None`` = its standard set, in registration order); ``attackers``
     selects the attacker labels to sweep (``None`` = primary only).
+
+    Cache-key contract: ``("defense_eval", defenses, include_combined,
+    attackers)`` at one session version, *plus* the service's
+    defense-registry epoch (appended by the service itself), so
+    re-registering a transform under an old name can never serve a
+    result computed under the previous registry.
     """
 
     defenses: Optional[Tuple[str, ...]] = None
@@ -519,6 +598,14 @@ class RolloutQuery(Query):
     provider by provider, then symmetry repair domain by domain, with
     symmetry targets computed on the email-hardened ecosystem).  Returns
     a :class:`~repro.dynamic.rollout.RolloutTrajectory`.
+
+    Cache-key contract: ``("rollout", plan key, platforms,
+    include_weak, attacker)`` at one session version, where the plan
+    key is ``("default",)`` or the steps' deterministic reprs
+    (mutations can carry unhashable profile payloads).  The what-if
+    replays over a *fresh* facade seeded from the current ecosystem
+    state, so the key pins the baseline version the trajectory started
+    from.
     """
 
     steps: Optional[Tuple[RolloutStep, ...]] = None

@@ -20,9 +20,14 @@ rollout what-ifs -- is served here through typed queries
   level-engine flush covering the union of requested platforms per
   attacker -- into a prefetch step; :meth:`run` then serves each query
   from the warm engines (and :meth:`execute_batch` is the two composed).
-- **Streams paginate.**  Couple File and weak-edge queries return cursor
-  pages backed by one lazily-advanced generator per (kind, attacker,
-  version), so serving page *n+1* never re-enumerates pages ``0..n``.
+- **Streams paginate, and survive mutations.**  Couple File and
+  weak-edge queries return cursor pages served from each graph's
+  :class:`~repro.streams.RecordStreamEngine`: one memoized record
+  segment per service, spliced (not discarded) when a mutation lands.
+  ``next_cursor`` is a segment watermark token, so page *n+1* starts at
+  the watermark -- never re-enumerating pages ``0..n`` -- and a
+  pagination interrupted by a mutation resumes without re-emitting
+  drained segments.
 
 This facade is the serving seam: anything that wants to shard, batch,
 or distribute the analysis talks to these queries, not to the engines.
@@ -39,7 +44,6 @@ from typing import (
     Callable,
     Dict,
     Iterable,
-    Iterator,
     List,
     Mapping,
     Optional,
@@ -119,26 +123,6 @@ class ExecutionPlan:
     steps: Tuple[PlannedQuery, ...]
     #: Attacker label -> platform sweep one engine flush should cover.
     level_prefetch: Mapping[str, Tuple[Platform, ...]]
-
-
-class _Stream:
-    """One lazily-consumed record stream pinned to a session version."""
-
-    __slots__ = ("version", "iterator", "items", "exhausted")
-
-    def __init__(self, version: int, iterator: Iterator) -> None:
-        self.version = version
-        self.iterator = iterator
-        self.items: List[Any] = []
-        self.exhausted = False
-
-    def extend_to(self, count: int) -> None:
-        """Pull records until ``count`` are buffered or the stream ends."""
-        while not self.exhausted and len(self.items) < count:
-            try:
-                self.items.append(next(self.iterator))
-            except StopIteration:
-                self.exhausted = True
 
 
 class AnalysisService:
@@ -232,7 +216,6 @@ class AnalysisService:
 
         self._session = session
         self._cache = ResultCache(max_entries=cache_entries)
-        self._streams: Dict[Tuple, _Stream] = {}
         self._defense_transforms: Dict[str, Callable[[Ecosystem], Ecosystem]] = (
             dict(standard_defenses())
         )
@@ -471,14 +454,10 @@ class AnalysisService:
         )
 
     def _execute_measurement(self, query: MeasurementQuery):
-        from repro.analysis.measurement import aggregate_reports
-
-        label = self._label(query)
-        return aggregate_reports(
-            self._session.auth_reports,
-            self._session.collection_reports,
-            self._session.graph(label),
-        )
+        # Served from the session's maintained counter view (folded per
+        # touched service on every mutation), equal to a scratch
+        # aggregate_reports() over the current reports exactly.
+        return self._session.measurement(attacker=self._label(query))
 
     def _execute_edge_summary(self, query: EdgeSummaryQuery) -> EdgeSummary:
         label = self._label(query)
@@ -491,44 +470,34 @@ class AnalysisService:
         return EdgeSummary(
             attacker=label,
             version=self.version,
-            strong_edges=len(graph.strong_edges()),
+            # Counted off the memoized parent sets (no edge-set build);
+            # after a mutation only the dirty parent sets re-derive.
+            strong_edges=graph.strong_edge_count(),
             fringe=len(graph.fringe_nodes()),
             weak_edges=weak,
         )
 
     # -- streaming pages ------------------------------------------------
 
-    def _stream(self, kind: str, label: str, max_size: int) -> _Stream:
-        key = (kind, label, max_size)
-        stream = self._streams.get(key)
-        if stream is None or stream.version != self.version:
-            graph = self._session.graph(label)
-            iterator = (
-                graph.iter_couples(max_size)
-                if kind == "couples"
-                else graph.iter_weak_edges(max_size)
-            )
-            stream = _Stream(version=self.version, iterator=iterator)
-            self._streams[key] = stream
-        return stream
-
     def _page(
-        self, stream: _Stream, cursor: int, page_size: int
-    ) -> Tuple[Tuple[Any, ...], Optional[int]]:
-        # Buffer one record past the page so the last full page still
-        # reports next_cursor=None instead of one trailing empty page.
-        stream.extend_to(cursor + page_size + 1)
-        items = tuple(stream.items[cursor : cursor + page_size])
-        has_more = len(stream.items) > cursor + len(items)
-        next_cursor = cursor + len(items) if has_more else None
-        return items, next_cursor
+        self, kind: str, label: str, query
+    ) -> Tuple[Tuple[Any, ...], Optional[str]]:
+        """One stream page through the graph's segment engine.
+
+        Integer cursors are flat offsets over the current version's
+        stream; string cursors are segment-watermark tokens from a
+        previous ``next_cursor`` and resume at the watermark even across
+        mutations.  Either way the page is served from memoized segments
+        -- after a mutation only the dirty ones re-derive.
+        """
+        engine = self._session.graph(label).streams_engine()
+        return engine.page(
+            kind, query.max_size, query.cursor, query.page_size
+        )
 
     def _execute_couples(self, query: CoupleFileQuery) -> CouplePage:
         label = self._label(query)
-        stream = self._stream("couples", label, query.max_size)
-        records, next_cursor = self._page(
-            stream, query.cursor, query.page_size
-        )
+        records, next_cursor = self._page("couples", label, query)
         return CouplePage(
             attacker=label,
             version=self.version,
@@ -539,8 +508,7 @@ class AnalysisService:
 
     def _execute_weak_edges(self, query: WeakEdgeQuery) -> EdgePage:
         label = self._label(query)
-        stream = self._stream("weak_edges", label, query.max_size)
-        edges, next_cursor = self._page(stream, query.cursor, query.page_size)
+        edges, next_cursor = self._page("weak_edges", label, query)
         return EdgePage(
             attacker=label,
             version=self.version,
@@ -630,8 +598,8 @@ class AnalysisService:
     def _execute_rollout(self, query: RolloutQuery):
         from repro.defense.hardening import EmailHardening
         from repro.dynamic.rollout import (
-            RolloutPlanner,
             email_hardening_rollout,
+            replay_plan,
             symmetry_repair_rollout,
         )
 
@@ -645,10 +613,10 @@ class AnalysisService:
             steps = email_hardening_rollout(
                 ecosystem
             ) + symmetry_repair_rollout(EmailHardening().apply(ecosystem))
-        planner = RolloutPlanner(
+        return replay_plan(
             ecosystem,
+            steps,
             attacker=self._session.attackers[label],
             platforms=query.platforms,
             include_weak=query.include_weak,
         )
-        return planner.replay(steps)

@@ -179,6 +179,21 @@ class EcosystemIndex:
         names = self.demanders_by_factor.get(factor)
         return frozenset(names) if names else frozenset()
 
+    def ordinal_of(self, name: str) -> int:
+        """The service's monotone insertion ordinal.
+
+        Ordinals only grow: an added service always receives a fresh
+        maximum (even one re-added under a name that was removed earlier),
+        and a removal retires its ordinal forever.  Sorting by ordinal
+        therefore reproduces graph insertion order at *any* version, which
+        is what lets the record-stream cursors of
+        :mod:`repro.streams` carry a segment watermark that stays
+        meaningful across mutations: every segment a consumer has already
+        drained keeps a strictly smaller ordinal than every segment still
+        ahead of it, no matter how the node set churns in between.
+        """
+        return self._ordinal[name]
+
     def linked_consumers_of(self, provider: str) -> FrozenSet[str]:
         """Services accepting ``provider`` on a ``LINKED_ACCOUNT`` path."""
         names = self.linked_consumers.get(provider)

@@ -29,7 +29,20 @@ per-service level classification -- lives in :mod:`repro.levels`; this
 module keeps the per-node analysis (coverage, parents, couples, edges)
 and delegates level questions to its lazily-built
 :class:`~repro.levels.DepthFixpointEngine`, which also maintains those
-fixpoints incrementally under mutation deltas.  The brute-force seed
+fixpoints incrementally under mutation deltas.
+
+Two more lazily-built engines complete the derivation layer: parent
+sets read through a per-residual-signature postings view
+(:class:`~repro.levels.parents.SignatureParentsView` -- one
+intersection/union join shared by every service on the signature,
+retracted per delta only for affected signatures), and the couple /
+weak-edge record streams are served segment by segment from a
+:class:`~repro.streams.RecordStreamEngine` whose per-service segments
+survive mutations outside their dirty cone.  The per-signature member
+sets and the combining enumeration behind them are memoized as
+*lazily-materialized* replayable views (:class:`_LazyMemberSets`), so
+the output-bound couple frontier is only ever derived as far as some
+consumer has actually pulled.  The brute-force seed
 semantics are preserved verbatim in :mod:`repro.core.reference`, and
 ``tests/test_tdg_equivalence.py`` differentially asserts the two engines
 produce identical edge sets, couple records and level fractions.
@@ -67,7 +80,9 @@ from repro.levels.engine import (
     MAX_DEPTH as _MAX_DEPTH,  # noqa: F401 - re-exported for reference.py
 )
 from repro.levels.engine import DependencyLevel, DepthFixpointEngine
+from repro.levels.parents import SignatureParentsView
 from repro.model.account import AuthPath, ServiceProfile
+from repro.streams.segments import RecordStreamEngine
 from repro.model.attacker import AttackerCapability, AttackerProfile
 from repro.model.ecosystem import Ecosystem
 from repro.model.factors import (
@@ -87,6 +102,42 @@ __all__ = [
     "TransformationDependencyGraph",
     "canonical_length",
 ]
+
+class _LazyMemberSets:
+    """A memoized, lazily-materialized member-set sequence.
+
+    The couple enumeration for one residual-factor signature can run to
+    hundreds of thousands of minimal covers at ecosystem scale, but a
+    cursor page needs only its first few -- so the per-signature cache
+    stores this replayable view over the enumeration generator instead
+    of a tuple.  Multiple consumers (every service sharing the
+    signature, the stream segments) iterate concurrently: each iterator
+    replays the shared buffer and advances the generator only past the
+    buffered frontier, so every combination is derived at most once and
+    only when some consumer actually reaches it.
+    """
+
+    __slots__ = ("_items", "_generator", "_done")
+
+    def __init__(self, generator: Iterator[FrozenSet[str]]) -> None:
+        self._items: List[FrozenSet[str]] = []
+        self._generator = generator
+        self._done = False
+
+    def __iter__(self) -> Iterator[FrozenSet[str]]:
+        position = 0
+        while True:
+            if position < len(self._items):
+                yield self._items[position]
+                position += 1
+                continue
+            if self._done:
+                return
+            try:
+                self._items.append(next(self._generator))
+            except StopIteration:
+                self._done = True
+
 
 def canonical_length(kind: PersonalInfoKind) -> int:
     """Canonical string length per maskable kind (18-digit citizen IDs,
@@ -192,13 +243,18 @@ class TransformationDependencyGraph:
             Tuple[CredentialFactor, int], Tuple[FrozenSet[str], ...]
         ] = {}
         self._pool_cover_cache: Dict[Tuple[AuthPath, FrozenSet[str]], bool] = {}
+        #: Per-signature member-set views: one lazily-materialized
+        #: :class:`_LazyMemberSets` per (signature, max_size) -- an
+        #: infeasible signature is simply a view that drains empty.
         self._signature_sets_cache: Dict[
-            Tuple[Tuple[CredentialFactor, ...], int], Tuple[FrozenSet[str], ...]
+            Tuple[Tuple[CredentialFactor, ...], int], _LazyMemberSets
         ] = {}
         self._signature_cover_cache: Dict[
             Tuple[Tuple[CredentialFactor, ...], FrozenSet[str]], bool
         ] = {}
         self._levels_engine: Optional[DepthFixpointEngine] = None
+        self._parents_view: Optional[SignatureParentsView] = None
+        self._streams_engine: Optional[RecordStreamEngine] = None
         #: Forward-closure results keyed by (seeds, extra info, pinned email
         #: provider); maintained under deltas by :meth:`revalidate_closures`.
         self._closure_cache: Dict[Tuple, object] = {}
@@ -379,6 +435,31 @@ class TransformationDependencyGraph:
         fixpoint from scratch (benchmark / test comparator hook)."""
         self._levels_engine = None
 
+    def parents_view(self) -> SignatureParentsView:
+        """The per-signature parent postings view (built lazily, retracted
+        per delta once built).  :meth:`full_capacity_parents` and
+        :meth:`half_capacity_parents` read their non-linked member sets
+        from it, so one signature join serves every service sharing the
+        residual signature."""
+        if self._parents_view is None:
+            self._parents_view = SignatureParentsView(self)
+        return self._parents_view
+
+    def streams_engine(self) -> RecordStreamEngine:
+        """The segmented couple/weak-edge stream engine (built lazily,
+        spliced per delta once built).  Owns one memoized record segment
+        per (service, stream kind); :meth:`iter_couples`,
+        :meth:`iter_weak_edges` and the API layer's cursor pages all
+        consume the streams through it."""
+        if self._streams_engine is None:
+            self._streams_engine = RecordStreamEngine(self)
+        return self._streams_engine
+
+    def reset_streams_engine(self) -> None:
+        """Drop the stream engine so the next stream consumption
+        re-derives every segment (benchmark / test comparator hook)."""
+        self._streams_engine = None
+
     # ------------------------------------------------------------------
     # Forward-closure cache (consulted by repro.core.strategy)
     # ------------------------------------------------------------------
@@ -509,7 +590,12 @@ class TransformationDependencyGraph:
         arguments are routed to the :meth:`levels_engine`, which
         delta-BFSes the affected cone of both depth maps and keeps every
         level-classification entry the delta cannot reach (lazily, on the
-        next level query).
+        next level query).  The record streams are *not* dropped either:
+        the :meth:`streams_engine` receives the same scope and splices
+        only the dirty segments on its next read, and the
+        :meth:`parents_view` retracts exactly the signature member sets
+        whose factors' provider postings moved (phase A; the next parent
+        read re-joins them, phase B).
 
         The reachable-service set itself comes from the index's
         reverse-dependency postings (factor -> demanders, provider ->
@@ -523,6 +609,15 @@ class TransformationDependencyGraph:
                 combining_factors,
                 changed_names,
             )
+        if self._streams_engine is not None:
+            self._streams_engine.note_delta(
+                touched_services,
+                affected_factors,
+                combining_factors,
+                changed_names,
+            )
+        if self._parents_view is not None:
+            self._parents_view.retract(affected_factors)
         if self._eco_index is None:
             # No index -> no memo was ever computed; nothing to drop.
             return
@@ -662,14 +757,24 @@ class TransformationDependencyGraph:
     ) -> bool:
         """The combining check over ``pool``'s masked views, optionally
         excluding one service (the shared core of the per-path and
-        signature-global modes)."""
+        signature-global modes).
+
+        Iterates the pool (couple pools have at most ``max_size``
+        members) against the per-service view postings instead of
+        filtering every holder -- same union, O(pool) not O(holders),
+        which is what keeps the full-cover prolog of a signature
+        re-enumeration off the post-mutation serve path."""
         maskable = MASKABLE_FACTORS.get(factor)
         if maskable is None:
             return False
         _kind, length = maskable
+        views = self.ecosystem_index().partial_by_service[factor]
         union: Set[int] = set()
-        for name, positions in self.ecosystem_index().partial_holders[factor]:
-            if name == excluded or name not in pool:
+        for name in pool:
+            if name == excluded:
+                continue
+            positions = views.get(name)
+            if not positions:
                 continue
             union |= positions
             if len(union) >= length:
@@ -696,21 +801,36 @@ class TransformationDependencyGraph:
     def full_capacity_parents(self, service: str) -> FrozenSet[str]:
         """Definition 1: nodes that alone unlock at least one path.
 
-        Indexed: the parents of one path are the intersection of the
-        per-factor provider sets over the path's residual factors."""
+        Served from the :meth:`parents_view` for every path whose
+        residual signature excludes ``LINKED_ACCOUNT``: the per-signature
+        intersection is materialized once and shared by every service on
+        the signature (self-exclusion distributes, so subtracting the
+        service afterwards is exact).  Only linked paths -- whose
+        provider options are a property of the path -- intersect their
+        own provider sets.  Per-service results stay memoized; a delta
+        pops them along the reachable cone and retracts only the
+        signature entries whose postings moved.
+        """
         cached = self._full_parents_cache.get(service)
         if cached is not None:
             return cached
         node = self._nodes[service]
-        view = self.attacker_index()
+        signature_view = self.parents_view()
         parents: Set[str] = set()
         for path in node.takeover_paths:
             cover = self.coverage(node, path)
             if cover.is_blocked or not cover.residual:
                 continue
-            parents |= frozenset.intersection(
-                *(view.provider_names(factor, path) for factor in cover.residual)
-            )
+            if CredentialFactor.LINKED_ACCOUNT in cover.residual:
+                view = self.attacker_index()
+                parents |= frozenset.intersection(
+                    *(
+                        view.provider_names(factor, path)
+                        for factor in cover.residual
+                    )
+                )
+            else:
+                parents |= signature_view.full_members(cover.residual)
         result = frozenset(parents - {service})
         self._full_parents_cache[service] = result
         return result
@@ -718,23 +838,31 @@ class TransformationDependencyGraph:
     def half_capacity_parents(self, service: str) -> FrozenSet[str]:
         """Definition 2: nodes providing part (not all) of some path.
 
-        Indexed: union minus intersection of the per-factor provider sets."""
+        The non-linked member sets (union minus intersection per residual
+        signature) come from the :meth:`parents_view`, shared across every
+        service on the signature; linked paths stay per-path.  Memoized
+        and invalidated exactly like :meth:`full_capacity_parents`."""
         cached = self._half_parents_cache.get(service)
         if cached is not None:
             return cached
         node = self._nodes[service]
-        view = self.attacker_index()
+        signature_view = self.parents_view()
         halves: Set[str] = set()
         for path in node.takeover_paths:
             cover = self.coverage(node, path)
             if cover.is_blocked or not cover.residual:
                 continue
-            provider_sets = [
-                view.provider_names(factor, path) for factor in cover.residual
-            ]
-            halves |= frozenset.union(*provider_sets) - frozenset.intersection(
-                *provider_sets
-            )
+            if CredentialFactor.LINKED_ACCOUNT in cover.residual:
+                view = self.attacker_index()
+                provider_sets = [
+                    view.provider_names(factor, path)
+                    for factor in cover.residual
+                ]
+                halves |= frozenset.union(
+                    *provider_sets
+                ) - frozenset.intersection(*provider_sets)
+            else:
+                halves |= signature_view.half_members(cover.residual)
         result = frozenset(halves - {service})
         self._half_parents_cache[service] = result
         return result
@@ -765,17 +893,39 @@ class TransformationDependencyGraph:
         cached = self._couples_cache.get(cache_key)
         if cached is not None:
             return cached
+        result = tuple(self._service_couple_records(service, max_size))
+        self._couples_cache[cache_key] = result
+        return result
+
+    def _service_couple_records(
+        self, service: str, max_size: int = 3
+    ) -> Iterator[CoupleRecord]:
+        """One service's Couple File records, streamed in canonical order.
+
+        The single enumeration point behind :meth:`couples`, the stream
+        engine's segments, and the weak-edge family: member sets come
+        from the memoized per-signature postings (shared by every service
+        on the same residual-factor signature), each path filters out
+        sets containing its own service, and an already-memoized
+        per-service Couple File is replayed instead of re-enumerated.
+        Nothing is cached here -- callers decide what to materialize.
+        """
+        cached = self._couples_cache.get((service, max_size))
+        if cached is not None:
+            yield from cached
+            return
         node = self._nodes[service]
-        records: List[CoupleRecord] = []
         seen: Set[Tuple[FrozenSet[str], AuthPath]] = set()
         for path in node.takeover_paths:
             cover = self.coverage(node, path)
             if cover.is_blocked or not cover.residual:
                 continue
-            factors = tuple(sorted(cover.residual, key=lambda f: f.value))
             if CredentialFactor.LINKED_ACCOUNT in cover.residual:
                 member_sets = self._path_couple_sets(path, cover, max_size)
             else:
+                factors = tuple(
+                    sorted(cover.residual, key=lambda f: f.value)
+                )
                 member_sets = self._signature_couple_sets(factors, max_size)
             for members in member_sets:
                 if service in members:
@@ -784,56 +934,24 @@ class TransformationDependencyGraph:
                 if key in seen:
                     continue
                 seen.add(key)
-                records.append(
-                    CoupleRecord(providers=members, target=service, path=path)
+                yield CoupleRecord(
+                    providers=members, target=service, path=path
                 )
-        result = tuple(records)
-        self._couples_cache[cache_key] = result
-        return result
 
     def iter_couples(self, max_size: int = 3) -> Iterator[CoupleRecord]:
-        """Stream every Couple File record without materializing it.
+        """Stream every Couple File record, segment by segment.
 
-        :meth:`couples` memoizes one record tuple per service -- at
-        ecosystem scale the full Couple File is the output bound (~200k
-        records at 201 services), so workloads that only *scan* the
-        records should not buy every service's tuple a permanent cache
-        slot.  This generator drives the enumeration from the memoized
-        per-signature member-set postings (a few hundred entries shared by
-        every service on the same residual-factor signature) and yields
-        records child by child, in exactly the order concatenating
-        ``couples(service)`` over the node set would produce -- but with
-        O(signatures) auxiliary state instead of O(records).  Services
-        whose Couple File is already memoized are replayed from the cache
-        rather than re-enumerated.
+        Consumes the :meth:`streams_engine`: one memoized record segment
+        per service, concatenated in graph insertion order -- exactly the
+        order concatenating :meth:`couples` over the node set would
+        produce.  Segments a consumer has drained survive mutations
+        (only the delta's dirty cone re-derives, from the per-signature
+        member-set postings), so a re-scan after a mutation costs the
+        dirty segments, not the whole enumeration.  The per-service
+        :meth:`couples` memo is replayed when warm but never populated
+        from here.
         """
-        for service, node in self._nodes.items():
-            cached = self._couples_cache.get((service, max_size))
-            if cached is not None:
-                yield from cached
-                continue
-            seen: Set[Tuple[FrozenSet[str], AuthPath]] = set()
-            for path in node.takeover_paths:
-                cover = self.coverage(node, path)
-                if cover.is_blocked or not cover.residual:
-                    continue
-                if CredentialFactor.LINKED_ACCOUNT in cover.residual:
-                    member_sets = self._path_couple_sets(path, cover, max_size)
-                else:
-                    factors = tuple(
-                        sorted(cover.residual, key=lambda f: f.value)
-                    )
-                    member_sets = self._signature_couple_sets(factors, max_size)
-                for members in member_sets:
-                    if service in members:
-                        continue
-                    key = (members, path)
-                    if key in seen:
-                        continue
-                    seen.add(key)
-                    yield CoupleRecord(
-                        providers=members, target=service, path=path
-                    )
+        return self.streams_engine().iter_records("couples", max_size)
 
     def couple_file(self, max_size: int = 3) -> Tuple[CoupleRecord, ...]:
         """The full Couple File as one tuple (delegates to
@@ -842,35 +960,55 @@ class TransformationDependencyGraph:
 
     def _signature_couple_sets(
         self, factors: Tuple[CredentialFactor, ...], max_size: int
-    ) -> Tuple[FrozenSet[str], ...]:
+    ):
         """Minimal joint covers for one residual-factor signature, over the
-        whole graph with no service excluded (memoized).  Callers drop the
-        sets containing their own service."""
+        whole graph with no service excluded.  Callers drop the sets
+        containing their own service.
+
+        Memoized as a :class:`_LazyMemberSets`: the enumeration -- the
+        output-bound frontier of the whole pipeline -- materializes only
+        as far as some consumer has pulled, and every service sharing the
+        signature replays the shared buffer.  A delta pops exactly the
+        signatures containing an affected factor; the next pull re-derives
+        only those.
+        """
         cache_key = (factors, max_size)
         cached = self._signature_sets_cache.get(cache_key)
         if cached is not None:
             return cached
         view = self.attacker_index()
-        option_lists: List[Tuple[FrozenSet[str], ...]] = []
-        feasible = True
+        eco = self.ecosystem_index()
+        option_lists: List[object] = []
+        candidates: Set[str] = set()
         for factor in factors:
-            options: List[FrozenSet[str]] = [
-                frozenset({name})
-                for name in view.static_providers_ordered(factor)
-            ]
-            options.extend(self._combining_sets_global(factor, max_size))
-            if not options:
-                feasible = False
-                break
-            option_lists.append(tuple(options))
-        if not feasible:
-            self._signature_sets_cache[cache_key] = ()
-            return ()
-        result = self._enumerate_couple_sets(
-            factors,
-            option_lists,
-            max_size,
-            lambda pool: self._signature_covers(factors, pool),
+            providers = view.static_providers_ordered(factor)
+            candidates.update(providers)
+            singletons = tuple(frozenset({name}) for name in providers)
+            combining = self._combining_sets_global(factor, max_size)
+            if isinstance(combining, tuple):
+                # Non-maskable factor: provider singletons only.
+                option_lists.append(singletons + combining)
+                continue
+            # Candidate full-cover names need no enumeration: combining
+            # members are always masked-view holders (a superset of the
+            # members actually enumerated, which prunes identically --
+            # names outside every option prune nothing).
+            candidates.update(
+                name for name, _positions in eco.partial_holders[factor]
+            )
+            option_lists.append(
+                _LazyMemberSets(
+                    itertools.chain(iter(singletons), iter(combining))
+                )
+            )
+        result = _LazyMemberSets(
+            self._iter_couple_sets(
+                factors,
+                option_lists,
+                max_size,
+                lambda pool: self._signature_covers(factors, pool),
+                frozenset(candidates),
+            )
         )
         self._signature_sets_cache[cache_key] = result
         return result
@@ -892,71 +1030,101 @@ class TransformationDependencyGraph:
             if not options:
                 return ()
             option_lists.append(tuple(options))
-        return self._enumerate_couple_sets(
-            factors,
-            option_lists,
-            max_size,
-            lambda pool: self._covers_residual(path, cover, pool),
+        return tuple(
+            self._iter_couple_sets(
+                factors,
+                option_lists,
+                max_size,
+                lambda pool: self._covers_residual(path, cover, pool),
+            )
         )
 
     @staticmethod
-    def _enumerate_couple_sets(
+    def _iter_couple_sets(
         factors: Tuple[CredentialFactor, ...],
-        option_lists: List[Tuple[FrozenSet[str], ...]],
+        option_lists: List[object],
         max_size: int,
         covers,
-    ) -> Tuple[FrozenSet[str], ...]:
+        candidates: Optional[FrozenSet[str]] = None,
+    ) -> Iterator[FrozenSet[str]]:
         """Shared product enumeration with full-cover pruning and the
         size-2 minimality shortcut; ``covers(pool)`` decides whether a pool
-        satisfies every signature factor."""
-        candidates: Set[str] = set()
-        for options in option_lists:
-            for members in options:
-                candidates |= members
+        satisfies every signature factor.  A generator so the memoized
+        per-signature view (:class:`_LazyMemberSets`) materializes combos
+        only as far as consumers pull.
+
+        ``option_lists`` entries are tuples or replayable lazy views;
+        ``candidates`` names every service that can appear in an option
+        (a superset is fine -- full covers outside every option prune
+        nothing).  When omitted it is derived by draining the options,
+        which is only acceptable for eager (tuple) lists.
+        """
+        if candidates is None:
+            pooled: Set[str] = set()
+            for options in option_lists:
+                for members in options:
+                    pooled |= members
+            candidates = frozenset(pooled)
         full_covers = frozenset(
             name for name in candidates if covers(frozenset({name}))
         )
-        pruned: List[Tuple[FrozenSet[str], ...]] = []
-        for options in option_lists:
-            kept = tuple(
-                option for option in options if not (option & full_covers)
-            )
-            if not kept:
-                return ()
-            pruned.append(kept)
-        results: List[FrozenSet[str]] = []
+
+        def keep(options) -> Iterator[FrozenSet[str]]:
+            for option in options:
+                if not (option & full_covers):
+                    yield option
+
+        pruned: List[object] = [
+            tuple(keep(options))
+            if isinstance(options, tuple)
+            else _LazyMemberSets(keep(options))
+            for options in option_lists
+        ]
         seen: Set[FrozenSet[str]] = set()
 
-        def consider(members: FrozenSet[str]) -> None:
+        def consider(members: FrozenSet[str]) -> bool:
             size = len(members)
             if size < 2 or size > max_size:
-                return
+                return False
             if members in seen:
-                return
+                return False
             # Two-member sets are minimal by construction here: a redundant
             # member would be a single-node full cover, and those options
             # were pruned above.  Only larger sets need the drop-one check.
             if size > 2 and any(
                 covers(members - {member}) for member in members
             ):
-                return
+                return False
             seen.add(members)
-            results.append(members)
+            return True
 
-        # Arity-specialized loops in itertools.product order; the generic
-        # varargs union dominates the runtime at ecosystem scale.
+        # Arity-specialized loops in itertools.product order (an empty
+        # pruned list yields no combos, the old infeasible early-out).
         if len(pruned) == 1:
             for option in pruned[0]:
-                consider(option)
+                if consider(option):
+                    yield option
         elif len(pruned) == 2:
             first, second = pruned
             for one in first:
                 for two in second:
-                    consider(one | two)
+                    members = one | two
+                    if consider(members):
+                        yield members
         else:
-            for combo in itertools.product(*pruned):
-                consider(frozenset().union(*combo))
-        return tuple(results)
+            last = len(pruned) - 1
+
+            def combos(level: int, acc: FrozenSet[str]):
+                if level == last:
+                    for option in pruned[level]:
+                        yield acc | option
+                else:
+                    for option in pruned[level]:
+                        yield from combos(level + 1, acc | option)
+
+            for members in combos(0, frozenset()):
+                if consider(members):
+                    yield members
 
     def _signature_covers(
         self, factors: Tuple[CredentialFactor, ...], pool: FrozenSet[str]
@@ -998,9 +1166,7 @@ class TransformationDependencyGraph:
             if path.service not in members
         ]
 
-    def _combining_sets_global(
-        self, factor: CredentialFactor, max_size: int
-    ) -> Tuple[FrozenSet[str], ...]:
+    def _combining_sets_global(self, factor: CredentialFactor, max_size: int):
         """Insight 4's combining enumeration over every masked-view holder.
 
         Enumeration order is the seed's (all pairs, then all triples, in
@@ -1011,6 +1177,16 @@ class TransformationDependencyGraph:
         result is a covering pair, so any triple containing one is already
         rejected by the minimality check, and equal-size duplicates cannot
         occur across distinct holder combinations.
+
+        Memoized as a :class:`_LazyMemberSets`: at ecosystem scale the
+        triples phase alone can run to hundreds of thousands of covers,
+        so the enumeration materializes only as far as consumers pull --
+        a post-mutation cursor page pulls a handful, while a full Couple
+        File scan drains it once into the shared buffer.  Coverage and
+        minimality conditions depend only on the revealed-position
+        bitmask, so they are precomputed per distinct *mask class*
+        (catalogs mask with a few patterns) and each combo costs three
+        table lookups.
         """
         cache_key = (factor, max_size)
         cached = self._combining_global_cache.get(cache_key)
@@ -1018,47 +1194,77 @@ class TransformationDependencyGraph:
             return cached
         maskable = MASKABLE_FACTORS.get(factor)
         if maskable is None or max_size < 2:
-            self._combining_global_cache[cache_key] = ()
-            return ()
+            empty: Tuple[FrozenSet[str], ...] = ()
+            self._combining_global_cache[cache_key] = empty
+            return empty
         _kind, length = maskable
+        view = _LazyMemberSets(
+            self._iter_combining_sets(length, factor, max_size)
+        )
+        self._combining_global_cache[cache_key] = view
+        return view
+
+    def _iter_combining_sets(
+        self, length: int, factor: CredentialFactor, max_size: int
+    ) -> Iterator[FrozenSet[str]]:
+        """The combining generator behind :meth:`_combining_sets_global`:
+        all covering, minimal pairs then triples of masked-view holders,
+        in holder insertion order, gated by per-mask-class tables."""
         holders = self.ecosystem_index().partial_holders[factor]
         count = len(holders)
-        covers_alone = [len(positions) >= length for _n, positions in holders]
-        pair_covers: Dict[Tuple[int, int], bool] = {}
-        results: List[FrozenSet[str]] = []
+        if not count:
+            return
+        names = [name for name, _positions in holders]
+        class_index: Dict[int, int] = {}
+        class_of: List[int] = []
+        for _name, positions in holders:
+            mask = 0
+            for position in positions:
+                mask |= 1 << position
+            cls = class_index.setdefault(mask, len(class_index))
+            class_of.append(cls)
+        class_masks = list(class_index)
+        alone = [bin(mask).count("1") >= length for mask in class_masks]
+        pair_rows = [
+            [
+                bin(mask_a | mask_b).count("1") >= length
+                for mask_b in class_masks
+            ]
+            for mask_a in class_masks
+        ]
         for i in range(count):
-            name_i, positions_i = holders[i]
+            ci = class_of[i]
+            alone_i = alone[ci]
+            row_i = pair_rows[ci]
             for j in range(i + 1, count):
-                name_j, positions_j = holders[j]
-                covered = len(positions_i | positions_j) >= length
-                pair_covers[(i, j)] = covered
-                if covered and not (covers_alone[i] or covers_alone[j]):
-                    results.append(frozenset({name_i, name_j}))
-        if max_size >= 3:
-            for i in range(count):
-                name_i, positions_i = holders[i]
-                if covers_alone[i]:
+                cj = class_of[j]
+                if row_i[cj] and not (alone_i or alone[cj]):
+                    yield frozenset({names[i], names[j]})
+        if max_size < 3:
+            return
+        for i in range(count):
+            ci = class_of[i]
+            if alone[ci]:
+                continue
+            row_i = pair_rows[ci]
+            mask_i = class_masks[ci]
+            for j in range(i + 1, count):
+                cj = class_of[j]
+                if row_i[cj] or alone[cj]:
                     continue
-                for j in range(i + 1, count):
-                    if pair_covers[(i, j)] or covers_alone[j]:
-                        continue
-                    name_j, positions_j = holders[j]
-                    union_ij = positions_i | positions_j
-                    for k in range(j + 1, count):
-                        if (
-                            pair_covers[(i, k)]
-                            or pair_covers[(j, k)]
-                            or covers_alone[k]
-                        ):
-                            continue
-                        name_k, positions_k = holders[k]
-                        if len(union_ij | positions_k) >= length:
-                            results.append(
-                                frozenset({name_i, name_j, name_k})
-                            )
-        result = tuple(results)
-        self._combining_global_cache[cache_key] = result
-        return result
+                # One validity table per (class_i, class_j): the k loop
+                # then costs a single lookup per holder.
+                union_ij = mask_i | class_masks[cj]
+                row_j = pair_rows[cj]
+                valid = [
+                    not (row_i[ck] or row_j[ck] or alone[ck])
+                    and bin(union_ij | class_masks[ck]).count("1") >= length
+                    for ck in range(len(class_masks))
+                ]
+                name_i, name_j = names[i], names[j]
+                for k in range(j + 1, count):
+                    if valid[class_of[k]]:
+                        yield frozenset({name_i, name_j, names[k]})
 
     def _covers_residual(
         self,
@@ -1090,50 +1296,35 @@ class TransformationDependencyGraph:
                 edges.add((parent, service))
         return frozenset(edges)
 
+    def strong_edge_count(self) -> int:
+        """``len(strong_edges())`` without building the edge set.
+
+        Each (parent, child) pair is distinct by construction -- one
+        membership per child's parent set -- so the count is the sum of
+        the memoized parent-set sizes: O(services) dictionary lookups
+        when warm, re-deriving only the parent sets a delta reached.
+        The serving layer's edge summaries count through this."""
+        return sum(
+            len(self.full_capacity_parents(service))
+            for service in self._nodes
+        )
+
     def iter_weak_edges(
         self, max_size: int = 3
     ) -> Iterator[Tuple[str, str]]:
         """Stream weak-directivity edges without materializing the Couple
         File.
 
-        :meth:`couples` memoizes the full per-service record tuples --
-        ~200k records at 201 services, the ecosystem-scale output bound --
-        but the edge set only needs each (provider, child) pair once.  This
-        generator enumerates the memoized *per-signature* member sets (a
-        few hundred entries shared by every service on the signature) and
-        yields each distinct edge as it is discovered, child by child, so
-        no per-service record tuple is ever built or cached.  Services
-        whose Couple File is already memoized reuse it instead of
-        re-enumerating.
+        Consumes the :meth:`streams_engine`'s weak-edge segments: one
+        tuple of distinct ``(provider, child)`` pairs per service, child
+        by child, derived from the per-signature member-set postings (or
+        replayed from a warm couple segment / :meth:`couples` memo) --
+        never storing per-service couple records for weak-only
+        consumers.  Segments survive mutations outside their dirty cone,
+        so repeat counts (e.g. a rollout trajectory's per-step weak-edge
+        count) re-derive only what each delta touched.
         """
-        for service, node in self._nodes.items():
-            yielded: Set[str] = set()
-            cached = self._couples_cache.get((service, max_size))
-            if cached is not None:
-                for record in cached:
-                    for provider in record.providers:
-                        if provider not in yielded:
-                            yielded.add(provider)
-                            yield (provider, service)
-                continue
-            for path in node.takeover_paths:
-                cover = self.coverage(node, path)
-                if cover.is_blocked or not cover.residual:
-                    continue
-                if CredentialFactor.LINKED_ACCOUNT in cover.residual:
-                    member_sets = self._path_couple_sets(path, cover, max_size)
-                else:
-                    factors = tuple(
-                        sorted(cover.residual, key=lambda f: f.value)
-                    )
-                    member_sets = self._signature_couple_sets(factors, max_size)
-                for members in member_sets:
-                    if service in members:
-                        continue
-                    for provider in members:
-                        if provider not in yielded:
-                            yielded.add(provider)
-                            yield (provider, service)
+        return self.streams_engine().iter_records("weak_edges", max_size)
 
     def weak_edges(self) -> FrozenSet[Tuple[str, str]]:
         """All weak-directivity edges (couple member -> child)."""

@@ -126,16 +126,6 @@ def measure_outcome(
     )
 
 
-def _deprecated(entry_point: str) -> None:
-    warnings.warn(
-        f"DefenseEvaluation.{entry_point} is a delegating shim; query the "
-        "repro.api.AnalysisService facade (DefenseEvalQuery / RolloutQuery) "
-        "directly",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
 class DefenseEvaluation:
     """Runs the countermeasure ablation over one baseline ecosystem."""
 
@@ -178,7 +168,13 @@ class DefenseEvaluation:
         """
         from repro.api import DefenseEvalQuery
 
-        _deprecated("evaluate")
+        warnings.warn(
+            "DefenseEvaluation.evaluate is a delegating shim; query "
+            "the repro.api.AnalysisService facade (DefenseEvalQuery) "
+            "directly",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         service = self._service()
         names = self._register(service, defenses)
         result = service.execute(
@@ -207,7 +203,13 @@ class DefenseEvaluation:
         """
         from repro.api import DefenseEvalQuery
 
-        _deprecated("evaluate_attackers")
+        warnings.warn(
+            "DefenseEvaluation.evaluate_attackers is a delegating shim; query "
+            "the repro.api.AnalysisService facade (DefenseEvalQuery) "
+            "directly",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         labels = tuple(attackers)
         service = self._service(attackers=attackers)
         names = self._register(service, defenses)
@@ -241,7 +243,13 @@ class DefenseEvaluation:
         """
         from repro.api import RolloutQuery
 
-        _deprecated("evaluate_rollout")
+        warnings.warn(
+            "DefenseEvaluation.evaluate_rollout is a delegating shim; query "
+            "the repro.api.AnalysisService facade (RolloutQuery) "
+            "directly",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         service = self._service()
         return service.execute(
             RolloutQuery(

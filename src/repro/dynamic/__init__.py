@@ -45,6 +45,7 @@ from repro.dynamic.events import (
 from repro.dynamic.incremental import apply_delta
 from repro.dynamic.rollout import (
     RolloutPlanner,
+    replay_plan,
     RolloutStep,
     RolloutTrajectory,
     TrajectoryPoint,
@@ -71,6 +72,7 @@ __all__ = [
     "RolloutTrajectory",
     "TrajectoryPoint",
     "apply_delta",
+    "replay_plan",
     "email_hardening_rollout",
     "per_domain_rollout",
     "per_service_rollout",

@@ -16,6 +16,7 @@ ten deltas plus re-aggregation, not ten pipeline rebuilds.
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core.tdg import DependencyLevel
@@ -149,8 +150,67 @@ class RolloutTrajectory:
         return rows
 
 
+def replay_plan(
+    ecosystem: Ecosystem,
+    steps: Iterable[RolloutStep],
+    attacker: Optional[AttackerProfile] = None,
+    platforms: Tuple[Platform, ...] = (Platform.WEB, Platform.MOBILE),
+    include_weak: bool = False,
+) -> RolloutTrajectory:
+    """The rollout *engine*: replay ``steps`` over a fresh facade.
+
+    Point 0 is the baseline.  Each wave's mutations route through
+    :meth:`~repro.api.AnalysisService.apply` (delta splices on the live
+    indexes), and each trajectory point is one planned query batch -- the
+    level report and the edge summary share the engine flush, every
+    point lands in the facade's version-keyed result cache under its own
+    version, and per-step weak-edge counts (``include_weak=True``)
+    re-derive only the stream segments each delta dirtied.  This is the
+    one place the replay loop lives; the
+    :class:`~repro.api.AnalysisService` facade calls it for
+    :class:`~repro.api.RolloutQuery`, and :meth:`RolloutPlanner.replay`
+    is a deprecated shim over that query.
+    """
+    from repro.api import AnalysisService, EdgeSummaryQuery, LevelReportQuery
+
+    profile = attacker if attacker is not None else AttackerProfile.baseline()
+    service = AnalysisService(ecosystem, attacker=profile)
+
+    def measure(label: str, mutated: Tuple[str, ...]) -> TrajectoryPoint:
+        report, edges = service.execute_batch(
+            [
+                LevelReportQuery(platforms=platforms),
+                EdgeSummaryQuery(include_weak=include_weak),
+            ]
+        )
+        return TrajectoryPoint(
+            step=label,
+            services=len(service),
+            mutated_services=mutated,
+            level_fractions=report.fractions,
+            strong_edges=edges.strong_edges,
+            fringe=edges.fringe,
+            weak_edges=edges.weak_edges,
+        )
+
+    points = [measure("baseline", ())]
+    for step in steps:
+        touched: List[str] = []
+        for mutation in step.mutations:
+            receipt = service.apply(mutation)
+            touched.extend(receipt.delta.touched_services)
+        points.append(measure(step.label, tuple(touched)))
+    return RolloutTrajectory(attacker=profile, points=tuple(points))
+
+
 class RolloutPlanner:
-    """Replays staged hardening plans and records their trajectories."""
+    """Replays staged hardening plans and records their trajectories.
+
+    .. deprecated:: :meth:`replay` delegates to the
+       :class:`~repro.api.AnalysisService` facade; new code should
+       execute a :class:`~repro.api.RolloutQuery` directly (the engine
+       itself is :func:`replay_plan`).
+    """
 
     def __init__(
         self,
@@ -172,50 +232,24 @@ class RolloutPlanner:
     def replay(self, steps: Iterable[RolloutStep]) -> RolloutTrajectory:
         """Replay ``steps`` over a fresh facade; point 0 is the baseline.
 
-        The planner is a thin client of the
-        :class:`~repro.api.AnalysisService` facade: each wave's mutations
-        route through :meth:`~repro.api.AnalysisService.apply` (delta
-        splices on the live indexes), and each trajectory point is one
-        planned query batch -- the level report and the edge summary share
-        the engine flush, and every point lands in the facade's
-        version-keyed result cache under its own version.
+        .. deprecated:: delegates to :class:`~repro.api.AnalysisService`
+           (a :class:`~repro.api.RolloutQuery` with explicit steps).
         """
-        from repro.api import AnalysisService
+        warnings.warn(
+            "RolloutPlanner.replay is a delegating shim; query the "
+            "repro.api.AnalysisService facade (RolloutQuery) directly",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.api import AnalysisService, RolloutQuery
 
         service = AnalysisService(self._ecosystem, attacker=self._attacker)
-        points = [self._measure(service, "baseline", ())]
-        for step in steps:
-            touched: List[str] = []
-            for mutation in step.mutations:
-                receipt = service.apply(mutation)
-                touched.extend(receipt.delta.touched_services)
-            points.append(self._measure(service, step.label, tuple(touched)))
-        return RolloutTrajectory(
-            attacker=self._attacker, points=tuple(points)
-        )
-
-    def _measure(
-        self,
-        service,
-        label: str,
-        mutated: Tuple[str, ...],
-    ) -> TrajectoryPoint:
-        from repro.api import EdgeSummaryQuery, LevelReportQuery
-
-        report, edges = service.execute_batch(
-            [
-                LevelReportQuery(platforms=self._platforms),
-                EdgeSummaryQuery(include_weak=self._include_weak),
-            ]
-        )
-        return TrajectoryPoint(
-            step=label,
-            services=len(service),
-            mutated_services=mutated,
-            level_fractions=report.fractions,
-            strong_edges=edges.strong_edges,
-            fringe=edges.fringe,
-            weak_edges=edges.weak_edges,
+        return service.execute(
+            RolloutQuery(
+                steps=tuple(steps),
+                platforms=tuple(self._platforms),
+                include_weak=self._include_weak,
+            )
         )
 
 

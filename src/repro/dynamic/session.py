@@ -124,6 +124,9 @@ class DynamicAnalysisSession:
         for graph in graphs:
             graph.attacker_index()
         self._deltas: List[EcosystemDelta] = []
+        # The Section IV counter view; built on the first measurement()
+        # call, then folded per touched service on every mutation.
+        self._measurement_view = None
 
     def _refresh_reports(self, profile) -> None:
         self._auth_reports[profile.name] = self._authproc.analyze_profile(
@@ -204,22 +207,41 @@ class DynamicAnalysisSession:
             node_overrides = {}
             for profile in delta.added:
                 self._refresh_reports(profile)
+                self._fold_measurement(profile.name, None, None)
                 node_overrides[profile.name] = self._node_from_reports(
                     profile.name
                 )
             for _old, new_profile in delta.replaced:
+                name = new_profile.name
+                old_auth = self._auth_reports.get(name)
+                old_collection = self._collection_reports.get(name)
                 self._refresh_reports(new_profile)
-                node_overrides[new_profile.name] = self._node_from_reports(
-                    new_profile.name
-                )
+                self._fold_measurement(name, old_auth, old_collection)
+                node_overrides[name] = self._node_from_reports(name)
             apply_delta(
                 self._graphs.values(), delta, node_overrides=node_overrides
             )
             for profile in delta.removed:
-                self._auth_reports.pop(profile.name, None)
-                self._collection_reports.pop(profile.name, None)
+                old_auth = self._auth_reports.pop(profile.name, None)
+                old_collection = self._collection_reports.pop(
+                    profile.name, None
+                )
+                self._fold_measurement(profile.name, old_auth, old_collection)
         self._deltas.append(delta)
         return delta
+
+    def _fold_measurement(self, name, old_auth, old_collection) -> None:
+        """Fold one touched service's report refresh into the maintained
+        measurement counters (no-op until the view is first built)."""
+        if self._measurement_view is None:
+            return
+        self._measurement_view.update(
+            name,
+            old_auth,
+            self._auth_reports.get(name),
+            old_collection,
+            self._collection_reports.get(name),
+        )
 
     def replay(
         self, mutations: Iterable[Mutation]
@@ -249,6 +271,26 @@ class DynamicAnalysisSession:
         if callable(what):
             return what(graph)
         return getattr(graph, what)(*args, **kwargs)
+
+    def measurement(self, attacker: Optional[str] = None):
+        """The full Section IV payload, served from the maintained
+        counter view.
+
+        The first call folds every current report into a
+        :class:`~repro.analysis.measurement.MeasurementAggregator`; every
+        mutation afterwards re-folds only the touched services, so
+        re-measuring after a delta costs O(touched) plus the level
+        engine's incremental fractions -- and equals
+        :func:`~repro.analysis.measurement.aggregate_reports` over the
+        current reports exactly, float for float.
+        """
+        if self._measurement_view is None:
+            from repro.analysis.measurement import MeasurementAggregator
+
+            self._measurement_view = MeasurementAggregator(
+                self._auth_reports, self._collection_reports
+            )
+        return self._measurement_view.results(self.graph(attacker))
 
     def level_fractions(
         self, platform: Platform, attacker: Optional[str] = None

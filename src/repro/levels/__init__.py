@@ -20,6 +20,15 @@ Module map
     O(1) "minimal provider depth excluding one service" answers and the
     summary comparison that gates delta propagation.
 
+:mod:`repro.levels.parents`
+    :class:`SignatureParentsView` -- Definitions 1-2's member sets as
+    materialized per-residual-signature postings joins (intersection /
+    union-minus-intersection of the provider postings), retracted per
+    delta only for signatures whose factors' postings moved and
+    re-joined on the next read.  The graph's ``full_capacity_parents``
+    / ``half_capacity_parents`` and this engine's maintained parents
+    map read through it.
+
 Fixpoint invariants
 ===================
 
@@ -57,6 +66,7 @@ served from cache.
 
 from repro.levels.aggregates import DepthSummary, FactorDepthBuckets
 from repro.levels.engine import MAX_DEPTH, DependencyLevel, DepthFixpointEngine
+from repro.levels.parents import SignatureParentsView
 
 __all__ = [
     "MAX_DEPTH",
@@ -64,4 +74,5 @@ __all__ = [
     "DepthFixpointEngine",
     "DepthSummary",
     "FactorDepthBuckets",
+    "SignatureParentsView",
 ]

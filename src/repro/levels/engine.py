@@ -951,25 +951,47 @@ class DepthFixpointEngine:
 
     def joint_depths(self) -> Dict[str, int]:
         """Minimal compromise depth per service, joint coverage allowed
-        (unreachable services are absent)."""
+        (unreachable services are absent).
+
+        Invalidation contract: the map is never dropped wholesale.  A
+        query first flushes pending deltas -- phase A retracts exactly
+        the entries whose derivation the accumulated scope can reach
+        (via the reverse-dependency postings), phase B re-derives the
+        retracted cone to the unique fixpoint -- so the answer always
+        equals a scratch rebuild, at O(affected cone) cost."""
         self._flush()
         self._ensure_depths()
         return dict(self._joint)
 
     def pure_full_depths(self) -> Dict[str, int]:
-        """Minimal chain depth using only full-capacity steps."""
+        """Minimal chain depth using only full-capacity steps.
+
+        Same flush-then-serve contract as :meth:`joint_depths`,
+        propagated along the memoized parent -> children postings."""
         self._flush()
         self._ensure_depths()
         return dict(self._pure)
 
     def full_capacity_parents_map(self) -> Dict[str, FrozenSet[str]]:
-        """The memoized full-capacity parents of every service."""
+        """The memoized full-capacity parents of every service.
+
+        Entries are maintained under deltas (refreshed only inside the
+        parenthood-dirty cone, including the residual-signature subset
+        tests that find provided-factor flips) and are backed by the
+        graph's :class:`~repro.levels.parents.SignatureParentsView`
+        joins, so a refresh costs per-signature set algebra, not
+        per-service intersection rebuilds."""
         self._flush()
         self._ensure_depths()
         return dict(self._parents)
 
     def direct_services(self) -> FrozenSet[str]:
-        """Services the attacker profile takes over with no chaining."""
+        """Services the attacker profile takes over with no chaining.
+
+        Served from the tier-1 signature cache; a delta re-splits
+        coverage only for services in its dirty cone (touched services,
+        availability transitions, combinability flips, linked-name
+        changes)."""
         self._flush()
         self._ensure_signatures()
         return frozenset(self._direct)
@@ -994,8 +1016,15 @@ class DepthFixpointEngine:
     def dependency_levels(
         self, platform: Platform
     ) -> Dict[str, FrozenSet[DependencyLevel]]:
-        """Per-service dependency levels on one platform, from the cache;
-        only entries a delta invalidated are reclassified."""
+        """Per-service dependency levels on one platform, from the cache.
+
+        Cache/invalidation contract: one entry per (platform, service).
+        An entry reads exactly the service's own coverage signature,
+        its paths' pf0/pf1 parenthood intersections, and per-factor
+        pool answers (depth summaries, combining thresholds, linked
+        depths); the flush drops entries only along *net* changes to
+        those inputs, so after a mutation only the reachable cone is
+        reclassified and everything else is served verbatim."""
         self._flush()
         self._ensure_depths()
         cache = self._levels.setdefault(platform, {})

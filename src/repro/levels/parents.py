@@ -1,0 +1,172 @@
+"""Per-signature parent postings: Definitions 1-2 as materialized views.
+
+The paper's parent relations are per-service questions -- *which nodes
+alone (Definition 1) or partially (Definition 2) unlock one of this
+service's paths?* -- but their answers are almost entirely shared: for a
+path whose residual factors do not include ``LINKED_ACCOUNT``, the
+provider options depend only on the *residual-factor signature*, not on
+the path or the service carrying it.  Hundreds of services collapse onto
+a handful of signatures, so per-service intersection rebuilds inside a
+mutation's dirty cone were doing the same set algebra over and over --
+the ``full_capacity_parents`` recomputation tail the churn benchmarks
+surfaced after the level engine went incremental.
+
+:class:`SignatureParentsView` materializes, per signature ``S``:
+
+- ``full_members(S)  = intersection over f in S of providers(f)`` --
+  the nodes providing *every* factor of the signature (Definition 1's
+  member set before self-exclusion);
+- ``half_members(S)  = union minus intersection`` -- the nodes providing
+  *some but not all* factors (Definition 2's member set).
+
+Self-exclusion distributes over both unions and intersections, so a
+service's parents are exact unions of these signature sets minus the
+service itself; ``tests/test_dynamic_equivalence.py`` locks the
+view-backed answers bit-for-bit against scratch rebuilds after every
+mutation.
+
+Maintenance is the two-phase discipline of the level engine, one tier
+down:
+
+- **phase A (retract)**: a delta names the factors whose provider
+  postings changed; :meth:`retract` drops exactly the signature entries
+  containing one of them.  Signatures disjoint from the delta keep their
+  member sets verbatim -- the common case, since most mutations move a
+  few factors' postings.
+- **phase B (re-derive)**: the next read of a retracted signature joins
+  the *current* per-factor provider postings of
+  :class:`~repro.core.index.AttackerIndex` (C-speed frozenset algebra
+  over the maintained posting lists), once per signature instead of once
+  per (service, path).
+
+The view is attacker-specific (provider postings are a profile
+property); each :class:`~repro.core.tdg.TransformationDependencyGraph`
+owns one lazily and routes its delta invalidation through it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, FrozenSet, Tuple
+
+from repro.model.factors import CredentialFactor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.tdg import TransformationDependencyGraph
+
+__all__ = ["SignatureParentsView"]
+
+
+class SignatureParentsView:
+    """Materialized full/half parent member sets per residual signature.
+
+    Keys are residual-factor signatures (frozensets of
+    :class:`~repro.model.factors.CredentialFactor`) that never contain
+    ``LINKED_ACCOUNT`` -- linked paths stay per-path in the graph, since
+    their provider options are a property of the path.  Entries are
+    derived on first read and survive every delta that does not touch
+    one of their factors' provider postings.
+    """
+
+    def __init__(self, graph: "TransformationDependencyGraph") -> None:
+        self._graph = graph
+        self._full: Dict[FrozenSet[CredentialFactor], FrozenSet[str]] = {}
+        self._half: Dict[FrozenSet[CredentialFactor], FrozenSet[str]] = {}
+        #: Observability counters: signatures deltas retracted, and
+        #: reads that had to re-join the postings (``stats()`` exposes
+        #: both; ``tests/test_levels_engine.py`` pins the retraction
+        #: accounting).
+        self._retractions = 0
+        self._derivations = 0
+
+    # ------------------------------------------------------------------
+    # Phase A: retraction
+    # ------------------------------------------------------------------
+
+    def retract(self, affected_factors: FrozenSet[CredentialFactor]) -> None:
+        """Drop every signature entry containing an affected factor.
+
+        Called by
+        :meth:`~repro.core.tdg.TransformationDependencyGraph.invalidate_after_delta`
+        after the indexes absorbed a delta.  Only signatures whose
+        postings actually changed lose their entries; the next read
+        re-derives exactly those (phase B), so a mutation's parent-set
+        bill is O(affected signatures), not O(services x paths).
+        """
+        if not affected_factors or not self._full:
+            return
+        stale = [
+            signature
+            for signature in self._full
+            if signature & affected_factors
+        ]
+        for signature in stale:
+            # Both member sets derive together, so both retract together.
+            del self._full[signature]
+            self._half.pop(signature, None)
+        self._retractions += len(stale)
+
+    # ------------------------------------------------------------------
+    # Phase B: derivation on read
+    # ------------------------------------------------------------------
+
+    def _derive(
+        self, signature: FrozenSet[CredentialFactor]
+    ) -> Tuple[FrozenSet[str], FrozenSet[str]]:
+        """Join the signature against the live provider postings."""
+        self._derivations += 1
+        view = self._graph.attacker_index()
+        provider_sets = [
+            view.static_provider_set(factor) for factor in signature
+        ]
+        full = frozenset.intersection(*provider_sets)
+        half = frozenset.union(*provider_sets) - full
+        self._full[signature] = full
+        self._half[signature] = half
+        return full, half
+
+    def full_members(
+        self, signature: FrozenSet[CredentialFactor]
+    ) -> FrozenSet[str]:
+        """Nodes providing every factor of ``signature`` (Definition 1's
+        member postings; callers subtract the consuming service)."""
+        cached = self._full.get(signature)
+        if cached is not None:
+            return cached
+        return self._derive(signature)[0]
+
+    def half_members(
+        self, signature: FrozenSet[CredentialFactor]
+    ) -> FrozenSet[str]:
+        """Nodes providing some but not all factors of ``signature``
+        (Definition 2's member postings, before self-exclusion)."""
+        cached = self._half.get(signature)
+        if cached is not None:
+            return cached
+        return self._derive(signature)[1]
+
+    # ------------------------------------------------------------------
+    # Introspection (differential suites and observability)
+    # ------------------------------------------------------------------
+
+    def snapshot(
+        self,
+    ) -> Dict[
+        FrozenSet[CredentialFactor], Tuple[FrozenSet[str], FrozenSet[str]]
+    ]:
+        """Every materialized signature's (full, half) member sets --
+        what the differential suite compares against scratch joins."""
+        return {
+            signature: (
+                self._full[signature],
+                self._half.get(signature, frozenset()),
+            )
+            for signature in self._full
+        }
+
+    def stats(self) -> Dict[str, int]:
+        """Entry/retraction/derivation counters."""
+        return {
+            "entries": len(self._full),
+            "retractions": self._retractions,
+            "derivations": self._derivations,
+        }

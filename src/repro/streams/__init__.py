@@ -1,0 +1,33 @@
+"""Versioned incremental record streams over the TDG's couple machinery.
+
+The Couple File and the weak-edge family are the pipeline's output-bound
+artifacts: at paper scale they dwarf every other result (~200k records at
+201 services), and at the 1000-service tier they are the reason a mixed
+query batch re-served after a mutation used to cost seconds -- the old
+stream cursors were plain iterators pinned to one session version, so
+every mutation threw the whole enumeration away and the next page
+re-derived every service's member sets from scratch.
+
+This package makes the streams themselves incremental:
+
+:mod:`repro.streams.segments`
+    :class:`RecordStreamEngine` -- one memoized record **segment** per
+    (service, stream kind); a mutation dirties only the segments inside
+    its cone (the same reverse-dependency cone the graph's memo
+    invalidation walks), and the next read splices the surviving
+    segments around re-derived dirty ones.  :class:`StreamCursor` -- the
+    segment watermark a cursor page hands back, built on the ecosystem
+    index's monotone service ordinals so pagination *resumes across
+    versions* without re-enumerating (or re-emitting) drained segments.
+
+The engine is owned per graph
+(:meth:`~repro.core.tdg.TransformationDependencyGraph.streams_engine`)
+and fed by the same delta notifications as the level engine;
+``tests/test_dynamic_equivalence.py`` locks the spliced streams
+bit-for-bit (order included) against scratch rebuilds after every
+mutation.
+"""
+
+from repro.streams.segments import RecordStreamEngine, StreamCursor
+
+__all__ = ["RecordStreamEngine", "StreamCursor"]

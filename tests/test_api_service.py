@@ -167,6 +167,78 @@ def test_stream_pagination_reassembles_exact_record_sequences(seed):
     assert tuple(edges) == tuple(oracle.iter_weak_edges())
 
 
+@pytest.mark.parametrize("seed", SEEDS[:4])
+def test_couple_pagination_interrupted_by_mutation_resumes_at_watermark(seed):
+    """Cursor stability across versions: a paginated Couple File read
+    interrupted by a mutation must resume without skipping or
+    duplicating records.
+
+    The contract: ``next_cursor`` is a segment watermark (service
+    ordinal + in-segment offset).  Services drained before the mutation
+    are never re-emitted; services still ahead are served in their
+    post-mutation state; the partially-drained service resumes at its
+    recorded offset.  The expected tail is reconstructed from a fresh
+    post-mutation oracle spliced at the watermark the service handed
+    out.
+    """
+    ecosystem = build_ecosystem(seed)
+    service = AnalysisService(ecosystem)
+    old_oracle = fresh_graph(service.ecosystem, AttackerProfile.baseline())
+    old_stream = old_oracle.couple_file()
+
+    # Drain a few pages at version 0.
+    consumed = []
+    cursor = 0
+    for _page in range(3):
+        page = service.execute(CoupleFileQuery(cursor=cursor, page_size=19))
+        consumed.extend(page.records)
+        cursor = page.next_cursor
+        if cursor is None:
+            break
+    assert tuple(consumed) == old_stream[: len(consumed)]
+    if cursor is None:
+        pytest.skip("stream shorter than the interruption point")
+    assert isinstance(cursor, str)  # the watermark token form
+
+    from repro.streams import StreamCursor
+
+    watermark = StreamCursor.parse(cursor)
+
+    # Interrupt: one mutation lands between pages.
+    stream = MutationStream(seed=seed + 29)
+    service.apply(stream.next_mutation(service.ecosystem))
+    new_oracle = fresh_graph(service.ecosystem, AttackerProfile.baseline())
+
+    # Resume with the pre-mutation token until exhaustion.
+    tail = []
+    while cursor is not None:
+        page = service.execute(CoupleFileQuery(cursor=cursor, page_size=19))
+        tail.extend(page.records)
+        cursor = page.next_cursor
+
+    # Expected tail: every service at or past the watermark, in graph
+    # order, in its *post-mutation* state, resuming mid-segment at the
+    # watermark offset.
+    eco = service.session.graph().ecosystem_index()
+    expected = []
+    for name in eco.names:
+        ordinal = eco.ordinal_of(name)
+        if ordinal < watermark.ordinal:
+            continue
+        records = new_oracle.couples(name)
+        if ordinal == watermark.ordinal:
+            records = records[watermark.offset :]
+        expected.extend(records)
+    assert tuple(tail) == tuple(expected)
+
+    # No drained segment is ever re-emitted: targets fully consumed
+    # before the mutation do not reappear in the tail.
+    drained = {record.target for record in consumed} - {
+        consumed[-1].target
+    }
+    assert drained.isdisjoint({record.target for record in tail})
+
+
 # ----------------------------------------------------------------------
 # Legacy entry points through the shims
 # ----------------------------------------------------------------------

@@ -1,0 +1,74 @@
+"""The delegating shims must warn *at the caller's line*.
+
+Every legacy entry point (``MeasurementStudy.run_*``,
+``DefenseEvaluation.evaluate*``, ``RolloutPlanner.replay``) emits a
+``DeprecationWarning`` with ``stacklevel=2``, so the reported origin is
+the caller's own source line -- not the shim module's.  These tests pin
+that contract: the recorded warning must name *this* file and the exact
+line of the shim call, which is what makes the warnings actionable for
+downstream code hunting its own legacy call sites.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro.analysis.measurement import MeasurementStudy
+from repro.catalog.builder import CatalogBuilder
+from repro.catalog.spec import CatalogSpec
+from repro.defense.evaluation import DefenseEvaluation
+from repro.dynamic.rollout import RolloutPlanner, email_hardening_rollout
+
+
+def build_ecosystem(size=12, seed=4021):
+    return CatalogBuilder(
+        CatalogSpec(total_services=size), seed=seed
+    ).build_ecosystem()
+
+
+def assert_warns_here(invoke):
+    """Run the ``invoke`` lambda and assert its DeprecationWarning is
+    attributed to the lambda's own line (the shim's caller), not to the
+    shim module."""
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        invoke()
+    deprecations = [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    assert deprecations, "shim emitted no DeprecationWarning"
+    origin = deprecations[0]
+    assert origin.filename == __file__, (
+        f"warning attributed to {origin.filename}, not the caller "
+        f"({__file__}); shims must warn with stacklevel=2"
+    )
+    call_line = invoke.__code__.co_firstlineno
+    assert origin.lineno == call_line, (
+        f"warning attributed to line {origin.lineno}, expected the "
+        f"caller's line {call_line}"
+    )
+
+
+def test_measurement_shim_warns_at_caller():
+    ecosystem = build_ecosystem()
+    study = MeasurementStudy()
+    assert_warns_here(lambda: study.run_on_ecosystem(ecosystem))
+
+
+def test_measurement_batch_shim_warns_at_caller():
+    ecosystem = build_ecosystem()
+    study = MeasurementStudy()
+    assert_warns_here(lambda: study.run_batch(ecosystem, ()))
+
+
+def test_defense_evaluation_shim_warns_at_caller():
+    ecosystem = build_ecosystem()
+    evaluation = DefenseEvaluation(ecosystem)
+    assert_warns_here(lambda: evaluation.evaluate(defenses={}))
+
+
+def test_rollout_planner_shim_warns_at_caller():
+    ecosystem = build_ecosystem()
+    steps = email_hardening_rollout(ecosystem)[:1]
+    planner = RolloutPlanner(ecosystem)
+    assert_warns_here(lambda: planner.replay(steps))

@@ -92,6 +92,46 @@ def _assert_matches_rebuild(session, label, context):
         assert maintained.half_capacity_parents(
             service
         ) == fresh.half_capacity_parents(service), (context, service)
+    # The spliced record streams must equal a scratch enumeration *in
+    # order* (the Couple File is an artifact, not just a set), and every
+    # segment the maintained engine kept or re-derived must match the
+    # fresh graph's per-service records.
+    assert tuple(maintained.iter_couples()) == tuple(fresh.iter_couples()), (
+        context
+    )
+    assert tuple(maintained.iter_weak_edges()) == tuple(
+        fresh.iter_weak_edges()
+    ), context
+    stream_engine = maintained._streams_engine
+    assert stream_engine is not None
+    for service, records in stream_engine.segment_snapshot("couples").items():
+        assert records == fresh.couples(service), (context, service)
+    for service, edges in stream_engine.segment_snapshot(
+        "weak_edges"
+    ).items():
+        yielded, expected = set(), []
+        for record in fresh.couples(service):
+            for provider in record.providers:
+                if provider not in yielded:
+                    yielded.add(provider)
+                    expected.append((provider, service))
+        assert edges == tuple(expected), (context, service)
+    # The signature-parents view's materialized member sets must equal a
+    # scratch join over the fresh graph's provider postings.
+    parents_view = maintained._parents_view
+    assert parents_view is not None
+    fresh_attacker_view = fresh.attacker_index()
+    for signature, (full, half) in parents_view.snapshot().items():
+        provider_sets = [
+            fresh_attacker_view.static_provider_set(factor)
+            for factor in signature
+        ]
+        scratch_full = frozenset.intersection(*provider_sets)
+        assert full == scratch_full, (context, signature)
+        assert half == frozenset.union(*provider_sets) - scratch_full, (
+            context,
+            signature,
+        )
     # The maintained indexes must equal a fresh build field-for-field,
     # including posting order (queries alone could mask order drift).
     spliced_eco = maintained.ecosystem_index()

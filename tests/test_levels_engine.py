@@ -206,6 +206,57 @@ class TestFactorDepthBuckets:
 # ----------------------------------------------------------------------
 
 
+class TestSignatureParentsView:
+    def test_retract_counts_each_affected_signature_exactly_once(self):
+        graph = TransformationDependencyGraph.from_ecosystem(
+            _catalog(size=20, seed=5), AttackerProfile.baseline()
+        )
+        for node in graph.nodes:
+            graph.full_capacity_parents(node.service)
+            graph.half_capacity_parents(node.service)
+        view = graph.parents_view()
+        snapshot = view.snapshot()
+        assert snapshot
+        factor = next(iter(next(iter(snapshot))))
+        expected = sum(1 for signature in snapshot if factor in signature)
+        view.retract(frozenset({factor}))
+        stats = view.stats()
+        # Full and half member sets retract together: one count per
+        # signature, not one per cache.
+        assert stats["retractions"] == expected
+        assert stats["entries"] == len(snapshot) - expected
+
+    def test_rejoins_after_mutations_equal_scratch_joins(self):
+        from repro.dynamic import MutationStream
+
+        session = DynamicAnalysisSession(_catalog(size=26, seed=31))
+        graph = session.graph()
+        for node in graph.nodes:
+            graph.full_capacity_parents(node.service)
+            graph.half_capacity_parents(node.service)
+        view = graph.parents_view()
+        before = view.stats()
+        assert before["entries"] > 0 and before["retractions"] == 0
+
+        stream = MutationStream(seed=8)
+        for _ in range(4):
+            session.mutate(stream.next_mutation(session.ecosystem))
+        for node in graph.nodes:
+            graph.full_capacity_parents(node.service)
+        after = view.stats()
+        assert after["derivations"] >= before["derivations"]
+        # The re-joined views must equal scratch joins.
+        attacker_view = graph.attacker_index()
+        for signature, (full, half) in view.snapshot().items():
+            provider_sets = [
+                attacker_view.static_provider_set(factor)
+                for factor in signature
+            ]
+            scratch = frozenset.intersection(*provider_sets)
+            assert full == scratch
+            assert half == frozenset.union(*provider_sets) - scratch
+
+
 class TestIterCouples:
     def test_streams_exactly_the_concatenated_couple_files(self):
         graph = TransformationDependencyGraph.from_ecosystem(
