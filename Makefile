@@ -1,10 +1,13 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify docs-check bench
+.PHONY: verify lint docs-check bench
 
-verify:
+verify: lint
 	$(PYTHON) -m pytest -x -q
+
+lint:
+	$(PYTHON) tools/lint.py
 
 docs-check:
 	$(PYTHON) -m pytest -q tests/test_docs_examples.py

@@ -277,3 +277,116 @@ def test_bench_api_serve(benchmark):
     # the mixed batch after a mutation is spliced-segment work (tens of
     # ms), never a from-scratch re-enumeration (seconds).
     assert requery_median < MAX_REQUERY_SECONDS, payload
+
+
+# ----------------------------------------------------------------------
+# closure_churn tier: ClosureQuery re-serves under support-reaching churn
+# ----------------------------------------------------------------------
+
+#: The closure-churn tier size (matches the api_serve tier).
+CLOSURE_CHURN_SIZE = 1000
+
+#: Support-reaching mutations measured (non-reaching churn is served by
+#: the survive/patch path and measured implicitly by ``api_serve``).
+REACHING_CYCLES = 6
+
+#: Ceiling on mutations streamed while hunting reaching ones.
+MAX_STREAMED_MUTATIONS = 80
+
+
+def test_bench_closure_churn(benchmark):
+    """Re-serving ``ClosureQuery`` after mutations that *reach* the cached
+    closure's compromised support set.
+
+    Each reaching mutation marks the graph-level support record dirty;
+    the re-serve resumes the PAV fixpoint from the recorded per-round
+    postings (reused rounds + re-tested touched services).  The
+    comparator drops the closure cache and re-runs the scratch fixpoint
+    over the same mutated graph, which is exactly what every reaching
+    delta cost before the incremental engine."""
+    ecosystem = CatalogBuilder(
+        CatalogSpec(total_services=CLOSURE_CHURN_SIZE), seed=2021
+    ).build_ecosystem()
+    service = AnalysisService(ecosystem)
+    query = ClosureQuery()
+    service.execute_batch([query])  # prime the support record
+    graph = service.session.graph(service.primary_attacker)
+
+    resume_seconds = []
+    scratch_seconds = []
+    streamed = 0
+    stream = MutationStream(seed=2021)
+    while (
+        len(resume_seconds) < REACHING_CYCLES
+        and streamed < MAX_STREAMED_MUTATIONS
+    ):
+        mutation = stream.next_mutation(service.ecosystem)
+        marked = graph.closure_cache_stats()["revalidations"]
+        service.apply(mutation)
+        streamed += 1
+        if graph.closure_cache_stats()["revalidations"] == marked:
+            service.execute_batch([query])  # keep the record warm
+            continue
+        start = time.perf_counter()
+        service.execute_batch([query])
+        resume_seconds.append(time.perf_counter() - start)
+        graph.reset_closure_cache()
+        start = time.perf_counter()
+        graph_closure = service.session.forward_closure()
+        scratch_seconds.append(time.perf_counter() - start)
+        assert graph_closure is not None
+
+    benchmark.pedantic(
+        lambda: service.execute_batch([query]), rounds=3, iterations=1
+    )
+
+    assert len(resume_seconds) >= 3, (
+        f"only {len(resume_seconds)} reaching mutations in "
+        f"{streamed} streamed"
+    )
+    resume = statistics.median(resume_seconds)
+    scratch = statistics.median(scratch_seconds)
+    speedup = scratch / resume if resume else float("inf")
+    stats = graph.closure_cache_stats()
+    rows = [
+        ("services", str(CLOSURE_CHURN_SIZE)),
+        ("reaching mutations", str(len(resume_seconds))),
+        ("mutations streamed", str(streamed)),
+        ("re-serve, resumed fixpoint (median)", f"{resume * 1e3:.2f}ms"),
+        ("scratch fixpoint (median)", f"{scratch * 1e3:.2f}ms"),
+        ("resume vs scratch", f"{speedup:.1f}x"),
+        ("closure resumes", str(stats["resumes"])),
+        ("closure computes", str(stats["computes"])),
+    ]
+    print(
+        "\n"
+        + format_table(
+            ("metric", "value"),
+            rows,
+            title=f"closure_churn tier at {CLOSURE_CHURN_SIZE} services",
+        )
+    )
+
+    payload = {
+        "size": CLOSURE_CHURN_SIZE,
+        "reaching_mutations": len(resume_seconds),
+        "mutations_streamed": streamed,
+        "reserve_resumed_median_seconds": resume,
+        "scratch_fixpoint_median_seconds": scratch,
+        "resume_speedup": speedup,
+        "closure_resumes": stats["resumes"],
+        "closure_computes": stats["computes"],
+    }
+    merged = {}
+    if JSON_PATH.exists():
+        try:
+            merged = json.loads(JSON_PATH.read_text())
+        except ValueError:
+            merged = {}
+    merged["closure_churn"] = payload
+    JSON_PATH.write_text(json.dumps(merged, indent=2) + "\n")
+    benchmark.extra_info["closure_churn"] = payload
+
+    # Acceptance at this tier mirrors the 402 smoke gate: resuming from
+    # the support postings must beat the scratch fixpoint decisively.
+    assert speedup >= 3.0, payload

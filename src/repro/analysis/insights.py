@@ -13,8 +13,6 @@ from typing import Dict, List, Tuple
 from repro.core.actfort import ActFort
 from repro.core.strategy import StrategyEngine
 from repro.core.tdg import TransformationDependencyGraph
-from repro.model.account import PathType
-from repro.model.attacker import AttackerProfile
 from repro.model.factors import (
     CredentialFactor,
     PersonalInfoKind,

@@ -8,7 +8,7 @@ verdicts, and the most exposed services.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.analysis.figures import (
     dependency_level_rows,
@@ -18,7 +18,6 @@ from repro.analysis.figures import (
 from repro.analysis.insights import compute_insights
 from repro.analysis.measurement import aggregate_reports
 from repro.core.actfort import ActFort
-from repro.model.factors import Platform
 
 
 def _md_table(headers: List[str], rows: List[tuple]) -> str:

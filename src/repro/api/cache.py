@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 from collections import OrderedDict
-from typing import Any, Hashable, Optional, Tuple
+from typing import Any, Hashable
 
 __all__ = ["CacheStats", "ResultCache"]
 

@@ -204,9 +204,12 @@ class ClosureQuery(Query):
     Cache-key contract: ``("closure", seeds, extra info, email
     provider, attacker)`` at one session version.  Misses consult the
     graph-level closure cache, which deltas *revalidate* rather than
-    drop: only a mutation reaching the closure's compromised support
-    set re-runs the global fixpoint (safe-only churn patches the safe
-    set in place).
+    drop: safe-only churn patches the safe set in place, and a mutation
+    reaching the closure's compromised support set marks the record
+    dirty so the serve-time fixpoint *resumes* from the recorded
+    per-round support postings -- only the rounds whose support moved
+    re-derive, not the whole closure
+    (:class:`~repro.core.strategy.ClosureSupportRecord`).
     """
 
     initially_compromised: Tuple[str, ...] = ()

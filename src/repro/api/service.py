@@ -258,6 +258,19 @@ class AnalysisService:
         """Result-cache counters (hits / misses / live entries)."""
         return self._cache.stats()
 
+    def closure_cache_stats(
+        self, attacker: Optional[str] = None
+    ) -> Mapping[str, int]:
+        """The graph-level closure-cache counters behind ``ClosureQuery``.
+
+        Shows the incremental serve split: ``hits`` (clean records served
+        verbatim), ``computes`` (scratch fixpoint runs), ``resumes``
+        (support-reaching mutations re-derived from the recorded per-round
+        postings), and ``revalidations`` (records marked dirty by deltas).
+        """
+        label = attacker if attacker is not None else self.primary_attacker
+        return self._session.graph(label).closure_cache_stats()
+
     def register_defense(
         self, name: str, transform: Callable[[Ecosystem], Ecosystem]
     ) -> None:

@@ -16,7 +16,7 @@ victim-specific beyond the phone number.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.attack.executor import ChainExecutionResult, ChainExecutor
 from repro.attack.interception import SnifferInterception

@@ -16,7 +16,7 @@ result downstream is emergent.  Three groups of targets:
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Mapping, Tuple
+from typing import Mapping, Tuple
 
 from repro.model.factors import PersonalInfoKind as PI
 

@@ -13,10 +13,10 @@ control of the email account) recurse one level further.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.model.account import AuthPath, AuthPurpose, PathType, ServiceProfile
-from repro.model.factors import CredentialFactor, Platform, is_interceptable_otp
+from repro.model.factors import CredentialFactor, Platform
 from repro.websim.crawler import ProbeObservation
 
 

@@ -46,10 +46,28 @@ class ClosureEntry:
 
     service: str
     round: int
-    path: AuthPath
+    #: ``None`` for round-0 seeds of services with no takeover path (the
+    #: account was handed to the attacker, not taken over).
+    path: Optional[AuthPath]
     #: Which already-compromised service supplied each chained factor
     #: (factors the attacker profile covers are absent from the mapping).
+    #: Insight-4 combining factors name every contributor joined with
+    #: ``"+"``; use :meth:`source_services` for the decoded set.
     factor_sources: Mapping[CredentialFactor, str]
+
+    def source_services(self) -> Tuple[str, ...]:
+        """Every compromised service this entry's provenance consumed.
+
+        Combining sources (``"a+b"``) are split into their contributors;
+        synthetic markers (``"<dossier>"``, ``"<attacker-profile>"``) are
+        dropped.  Sorted and de-duplicated.
+        """
+        names: Set[str] = set()
+        for source in self.factor_sources.values():
+            for part in source.split("+"):
+                if part and not part.startswith("<"):
+                    names.add(part)
+        return tuple(sorted(names))
 
 
 @dataclasses.dataclass(frozen=True)
@@ -79,13 +97,77 @@ class ForwardClosureResult:
             grouped.setdefault(entry.round, []).append(entry.service)
         return {r: tuple(names) for r, names in sorted(grouped.items())}
 
+    def support_index(self) -> Dict[str, FrozenSet[str]]:
+        """Reverse support postings: service -> entries it propped up.
+
+        For every compromised service, the set of closure entries whose
+        winning path consumed it (directly, as a factor source or as an
+        Insight-4 combining contributor).  This is the provenance half of
+        the closure's support set; the per-round IAD snapshots kept by
+        :class:`ClosureSupportRecord` are the information half.
+        """
+        dependents: Dict[str, Set[str]] = {}
+        for entry in self.entries:
+            for source in entry.source_services():
+                dependents.setdefault(source, set()).add(entry.service)
+        return {name: frozenset(deps) for name, deps in dependents.items()}
+
+
+@dataclasses.dataclass
+class ClosureSupportRecord:
+    """One cached closure plus the support postings its re-derivation needs.
+
+    Recorded while the fixpoint runs (scratch or resumed):
+
+    - ``round_entries[r]`` -- the entries that fell in round ``r`` (index 0
+      holds the seeds), i.e. the forward posting round -> dependents.
+    - ``pre_states[r - 1]`` -- the ``(IAD info, compromised names)``
+      snapshot going *into* round ``r``, for every scanned round including
+      the final empty one.  These are the aggregate support postings the
+      incremental pass diffs: a surviving round is exactly one whose
+      pre-state still matches bit-for-bit.
+    - ``dirty`` -- node snapshots taken when a delta first reached the
+      record's support set (name -> node at record time, ``None`` if the
+      service did not exist then).  Empty means the record is clean and
+      ``result`` is served as-is; non-empty means the next query resumes
+      the fixpoint through :meth:`StrategyEngine.forward_closure`,
+      retracting only the rounds whose support moved.
+    """
+
+    result: ForwardClosureResult
+    round_entries: Tuple[Tuple[ClosureEntry, ...], ...]
+    pre_states: Tuple[
+        Tuple[FrozenSet[PersonalInfoKind], FrozenSet[str]], ...
+    ]
+    dirty: Dict[str, Optional[TDGNode]] = dataclasses.field(
+        default_factory=dict
+    )
+
+    def pre_state(
+        self, round_number: int
+    ) -> Optional[Tuple[FrozenSet[PersonalInfoKind], FrozenSet[str]]]:
+        """The recorded ``(info, compromised)`` snapshot entering a round,
+        or ``None`` beyond the recorded horizon."""
+        index = round_number - 1
+        if 0 <= index < len(self.pre_states):
+            return self.pre_states[index]
+        return None
+
+    def reused_entries(self, round_number: int) -> Tuple[ClosureEntry, ...]:
+        """The recorded entries of one round (empty past the horizon)."""
+        if round_number < len(self.round_entries):
+            return self.round_entries[round_number]
+        return ()
+
 
 @dataclasses.dataclass(frozen=True)
 class ChainStep:
     """One takeover in an executable attack chain."""
 
     service: str
-    path: AuthPath
+    #: ``None`` only for a seeded target: the account was already in the
+    #: attacker's hands, no takeover path is replayed.
+    path: Optional[AuthPath]
     factor_sources: Mapping[CredentialFactor, str]
 
     def describe(self) -> str:
@@ -97,7 +179,12 @@ class ChainStep:
             )
         )
         suffix = f" ({sources})" if sources else ""
-        return f"{self.service} via {self.path.describe()}{suffix}"
+        via = (
+            self.path.describe()
+            if self.path is not None
+            else "(already compromised)"
+        )
+        return f"{self.service} via {via}{suffix}"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -159,19 +246,75 @@ class StrategyEngine:
 
         Results are memoized on the graph keyed by the argument triple and
         kept valid under mutation deltas by
-        :meth:`~repro.core.tdg.TransformationDependencyGraph.revalidate_closures`
-        (a delta that never reaches the closure's compromised support set
-        cannot change it), so repeated PAV queries -- ``ActFort.potential_victims``,
-        the insight checks, the defense ablation -- cost one fixpoint run
-        per graph state, not one per call.
+        :meth:`~repro.core.tdg.TransformationDependencyGraph.revalidate_closures`:
+        a delta that never reaches the closure's compromised support set
+        cannot change it and the cached record survives verbatim, while a
+        support-reaching delta only marks the record dirty with node
+        snapshots.  The next query then *resumes* the fixpoint here instead
+        of recomputing it: every round whose recorded pre-state (IAD info +
+        compromised set) still matches is reused verbatim with only the
+        touched services re-tested, and the scan falls back to the full
+        per-round derivation exactly from the first round whose support
+        moved.  Repeated PAV queries -- ``ActFort.potential_victims``, the
+        insight checks, the defense ablation -- therefore cost one fixpoint
+        run per graph state, and post-mutation re-serves cost only the
+        retracted cone.
         """
         self._email_provider = email_provider
         initially_compromised = tuple(initially_compromised)
         extra_info = frozenset(extra_info)
         cache_key = (initially_compromised, extra_info, email_provider)
-        cached = self._tdg.closure_cache_get(cache_key)
-        if cached is not None:
-            return cached
+        record = self._tdg.closure_cache_get(cache_key)
+        if record is not None and not record.dirty:
+            return record.result
+        fresh = self._run_closure(initially_compromised, extra_info, record)
+        self._tdg.closure_cache_put(
+            cache_key, fresh, resumed=record is not None
+        )
+        return fresh.result
+
+    def _run_closure(
+        self,
+        initially_compromised: Tuple[str, ...],
+        extra_info: FrozenSet[PersonalInfoKind],
+        base: Optional[ClosureSupportRecord],
+    ) -> ClosureSupportRecord:
+        """Run the PAV fixpoint, resuming from ``base`` when possible.
+
+        With ``base=None`` this is the scratch derivation.  With a dirty
+        ``base`` it is the two-phase incremental pass: phase A retracts
+        exactly the rounds whose support moved -- a round survives when its
+        recorded pre-state (IAD info + compromised set) matches the current
+        run bit-for-bit and no compromised service's PIA postings changed --
+        and phase B re-derives from that retracted frontier, re-testing
+        only the touched services inside surviving rounds.  Both phases
+        walk rounds in ascending order, so the retraction descends the
+        dependency rounds transitively: once one round's support moves,
+        every later round re-derives (their pre-states can no longer
+        match).  The output is bit-for-bit what the scratch run over the
+        current graph produces (entries order included), which the
+        differential suites lock.
+        """
+        graph_nodes = self._tdg._nodes
+        dirty = base.dirty if base is not None else {}
+        # Names whose *information postings* (complete or masked PIA)
+        # differ from the record's baseline.  A surviving round may reuse
+        # another service's entry only while no such name is compromised:
+        # provenance (`_provider_of_kind`, combining pools) reads the
+        # PIA postings of compromised accounts, so a changed posting can
+        # move provenance even when the round's info/compromised state is
+        # unchanged.
+        provenance_dirty: Set[str] = set()
+        for name, snapshot in dirty.items():
+            current = graph_nodes.get(name)
+            if (
+                snapshot is None
+                or current is None
+                or snapshot.pia != current.pia
+                or snapshot.pia_partial != current.pia_partial
+            ):
+                provenance_dirty.add(name)
+
         attacker = self._tdg.attacker
         info: Set[PersonalInfoKind] = set(attacker.known_info) | set(extra_info)
         compromised: Dict[str, ClosureEntry] = {}
@@ -186,46 +329,103 @@ class StrategyEngine:
             info |= node.pia
 
         entries: List[ClosureEntry] = list(compromised.values())
+        round_entries: List[Tuple[ClosureEntry, ...]] = [tuple(entries)]
+        pre_states: List[
+            Tuple[FrozenSet[PersonalInfoKind], FrozenSet[str]]
+        ] = []
+        ordinals: Optional[Dict[str, int]] = None
         round_number = 0
-        changed = True
-        while changed:
-            changed = False
+        while True:
             round_number += 1
-            fallen_this_round: List[ClosureEntry] = []
-            for node in self._tdg.nodes:
-                if node.service in compromised:
-                    continue
-                takeover = self._try_takeover(
-                    node, frozenset(info), frozenset(compromised)
-                )
-                if takeover is None:
-                    continue
-                path, sources = takeover
-                entry = ClosureEntry(
-                    service=node.service,
-                    round=round_number,
-                    path=path,
-                    factor_sources=sources,
-                )
-                fallen_this_round.append(entry)
-            for entry in fallen_this_round:
+            pre_info = frozenset(info)
+            pre_compromised = frozenset(compromised)
+            pre_states.append((pre_info, pre_compromised))
+            old_state = (
+                base.pre_state(round_number) if base is not None else None
+            )
+            fallen: List[ClosureEntry] = []
+            if (
+                old_state is not None
+                and old_state[0] == pre_info
+                and old_state[1] == pre_compromised
+                and not (provenance_dirty & pre_compromised)
+            ):
+                # Surviving round: same support, so every untouched
+                # service's decision (and provenance) is unchanged.  Reuse
+                # its entries verbatim; re-test only the touched services.
+                fallen = [
+                    entry
+                    for entry in base.reused_entries(round_number)
+                    if entry.service not in dirty
+                ]
+                retested: List[ClosureEntry] = []
+                for name in dirty:
+                    node = graph_nodes.get(name)
+                    if node is None or name in compromised:
+                        continue
+                    takeover = self._try_takeover(
+                        node, pre_info, pre_compromised
+                    )
+                    if takeover is not None:
+                        retested.append(
+                            ClosureEntry(
+                                service=name,
+                                round=round_number,
+                                path=takeover[0],
+                                factor_sources=takeover[1],
+                            )
+                        )
+                if retested:
+                    if ordinals is None:
+                        ordinals = {
+                            name: index
+                            for index, name in enumerate(graph_nodes)
+                        }
+                    fallen.extend(retested)
+                    fallen.sort(key=lambda entry: ordinals[entry.service])
+            else:
+                # Retracted frontier: the round's support moved (or the
+                # record never reached this far) -- full per-round scan.
+                for node in self._tdg.nodes:
+                    if node.service in compromised:
+                        continue
+                    takeover = self._try_takeover(
+                        node, pre_info, pre_compromised
+                    )
+                    if takeover is None:
+                        continue
+                    fallen.append(
+                        ClosureEntry(
+                            service=node.service,
+                            round=round_number,
+                            path=takeover[0],
+                            factor_sources=takeover[1],
+                        )
+                    )
+            if not fallen:
+                break
+            round_entries.append(tuple(fallen))
+            for entry in fallen:
                 compromised[entry.service] = entry
                 entries.append(entry)
-                info |= self._tdg.node(entry.service).pia
-                changed = True
+                info |= graph_nodes[entry.service].pia
 
-        safe = frozenset(
-            node.service
-            for node in self._tdg.nodes
-            if node.service not in compromised
-        )
+        safe = frozenset(graph_nodes) - compromised.keys()
         result = ForwardClosureResult(
             entries=tuple(entries),
             safe=safe,
             final_info=frozenset(info),
         )
-        self._tdg.closure_cache_put(cache_key, result)
-        return result
+        if base is not None and result == base.result:
+            # The delta reached the support set but cancelled out (or only
+            # re-derived identical entries): keep the old result object so
+            # downstream identity-based caching stays warm.
+            result = base.result
+        return ClosureSupportRecord(
+            result=result,
+            round_entries=tuple(round_entries),
+            pre_states=tuple(pre_states),
+        )
 
     def _try_takeover(
         self,
@@ -234,7 +434,6 @@ class StrategyEngine:
         compromised: FrozenSet[str],
     ) -> Optional[Tuple[AuthPath, Dict[CredentialFactor, str]]]:
         """Return (path, provenance) if the node falls to the current IAD."""
-        attacker = self._tdg.attacker
         innate = self._tdg.innate_factors()
         best: Optional[Tuple[AuthPath, Dict[CredentialFactor, str]]] = None
         for path in node.takeover_paths:
@@ -290,9 +489,11 @@ class StrategyEngine:
                 return None
             if len(info & DOSSIER_KINDS) < DOSSIER_THRESHOLD:
                 return None
-            return self._provider_of_kind(
-                next(iter(info & DOSSIER_KINDS)), compromised
-            ) or "<dossier>"
+            # Canonical dossier kind: ``info`` is a set, so ``next(iter(...))``
+            # would make the provenance depend on hash-iteration order and
+            # break bit-for-bit closure comparisons across runs.
+            canonical = min(info & DOSSIER_KINDS, key=lambda kind: kind.value)
+            return self._provider_of_kind(canonical, compromised) or "<dossier>"
         if factor_satisfied_by_info(factor, info):
             for kind in sorted(info, key=lambda k: k.value):
                 if factor_satisfied_by_info(factor, {kind}):
@@ -360,6 +561,8 @@ class StrategyEngine:
         target: str,
         platform: Optional[Platform] = None,
         email_provider: Optional[str] = None,
+        initially_compromised: Iterable[str] = (),
+        extra_info: Iterable[PersonalInfoKind] = (),
     ) -> Optional[AttackChain]:
         """Return an executable chain ending at ``target``, or ``None``.
 
@@ -370,15 +573,29 @@ class StrategyEngine:
         middle accounts use whichever client is easiest, as real attackers
         do.  ``email_provider`` pins email codes to the victim's actual
         provider so the chain is executable against a concrete victim.
+        ``initially_compromised`` / ``extra_info`` seed the underlying
+        closure (scenario 1's OAAS / breach data); a seeded target's own
+        step carries ``path=None`` -- nothing to replay, the account was
+        already in the attacker's hands.
         """
-        closure = self.forward_closure(email_provider=email_provider)
+        extra_info = frozenset(extra_info)
+        closure = self.forward_closure(
+            initially_compromised=initially_compromised,
+            extra_info=extra_info,
+            email_provider=email_provider,
+        )
         by_name = {entry.service: entry for entry in closure.entries}
         if target not in by_name:
             return None
         target_entry = by_name[target]
-        if platform is not None and target_entry.path.platform is not platform:
+        if platform is not None and (
+            target_entry.path is None
+            or target_entry.path.platform is not platform
+        ):
+            # Seeded entries (path None) have no recorded takeover path to
+            # restrict; both cases re-derive one on the requested platform.
             replacement = self._retarget_platform(
-                target, platform, closure, by_name
+                target, platform, closure, by_name, extra_info
             )
             if replacement is None:
                 return None
@@ -391,7 +608,11 @@ class StrategyEngine:
             if entry.service in visited:
                 return
             visited.add(entry.service)
-            for source in sorted(set(entry.factor_sources.values())):
+            # Combining sources name several contributors ("a+b"); every
+            # contributor's takeover is a prerequisite step, so each is
+            # visited -- an entry joined string would match nothing and
+            # silently drop the prerequisite takeovers from the chain.
+            for source in entry.source_services():
                 if source in by_name:
                     visit(by_name[source])
             ordered.append(
@@ -411,6 +632,7 @@ class StrategyEngine:
         platform: Platform,
         closure: ForwardClosureResult,
         by_name: Mapping[str, ClosureEntry],
+        extra_info: FrozenSet[PersonalInfoKind] = frozenset(),
     ) -> Optional[ClosureEntry]:
         """Re-derive the target's entry restricted to one platform."""
         node = self._tdg.node(target)
@@ -421,11 +643,21 @@ class StrategyEngine:
             pia=node.pia,
             pia_partial=node.pia_partial,
         )
+        # Cannot use the target's own info -- but only strip the kinds the
+        # target *exclusively* contributed.  Subtracting ``target.pia``
+        # wholesale would also discard kinds other compromised accounts
+        # legitimately hold, so rebuild the IAD from the attacker profile,
+        # the closure's breach data, and every other compromised account's
+        # postings instead.
         others = closure.compromised - {target}
+        available: Set[PersonalInfoKind] = (
+            set(self._tdg.attacker.known_info) | extra_info
+        )
+        for name in others:
+            available |= self._tdg.node(name).pia
         takeover = self._try_takeover(
             platform_node,
-            closure.final_info
-            - self._tdg.node(target).pia,  # cannot use the target's own info
+            frozenset(available),
             frozenset(others),
         )
         if takeover is None:

@@ -255,11 +255,15 @@ class TransformationDependencyGraph:
         self._levels_engine: Optional[DepthFixpointEngine] = None
         self._parents_view: Optional[SignatureParentsView] = None
         self._streams_engine: Optional[RecordStreamEngine] = None
-        #: Forward-closure results keyed by (seeds, extra info, pinned email
-        #: provider); maintained under deltas by :meth:`revalidate_closures`.
+        #: Forward-closure support records keyed by (seeds, extra info,
+        #: pinned email provider); maintained under deltas by
+        #: :meth:`revalidate_closures` (support-reaching deltas mark a
+        #: record dirty; the strategy engine resumes its fixpoint lazily).
         self._closure_cache: Dict[Tuple, object] = {}
         self._closure_hits = 0
         self._closure_computes = 0
+        self._closure_resumes = 0
+        self._closure_revalidations = 0
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -469,30 +473,60 @@ class TransformationDependencyGraph:
     _CLOSURE_CACHE_LIMIT = 64
 
     def closure_cache_get(self, key: Tuple):
-        """The cached :class:`~repro.core.strategy.ForwardClosureResult`
-        for one argument key, or ``None``."""
-        result = self._closure_cache.get(key)
-        if result is not None:
-            self._closure_hits += 1
-        return result
+        """The cached :class:`~repro.core.strategy.ClosureSupportRecord`
+        for one argument key, or ``None``.
 
-    def closure_cache_put(self, key: Tuple, result) -> None:
-        """Memoize one closure result (the strategy engine's store hook)."""
-        self._closure_computes += 1
-        if len(self._closure_cache) >= self._CLOSURE_CACHE_LIMIT:
+        Only clean records count as hits; a dirty record is returned so
+        the strategy engine can resume the fixpoint from it (counted under
+        ``resumes`` when the refreshed record is stored back).
+        """
+        record = self._closure_cache.get(key)
+        if record is not None and not record.dirty:
+            self._closure_hits += 1
+        return record
+
+    def closure_cache_put(self, key: Tuple, record, resumed: bool = False) -> None:
+        """Memoize one closure record (the strategy engine's store hook).
+
+        ``resumed`` distinguishes an incremental re-derivation from a
+        scratch fixpoint run in the stats.
+        """
+        if resumed:
+            self._closure_resumes += 1
+        else:
+            self._closure_computes += 1
+        if (
+            key not in self._closure_cache
+            and len(self._closure_cache) >= self._CLOSURE_CACHE_LIMIT
+        ):
             self._closure_cache.pop(next(iter(self._closure_cache)))
-        self._closure_cache[key] = result
+        self._closure_cache[key] = record
 
     def closure_cache_stats(self) -> Dict[str, int]:
-        """Hit/compute/entry counters (observability and test hooks)."""
+        """Closure-cache counters (observability and test hooks).
+
+        - ``hits`` -- clean-record serves (no fixpoint work at all).
+        - ``computes`` -- scratch fixpoint runs.
+        - ``resumes`` -- incremental re-derivations from a dirty record.
+        - ``revalidations`` -- records a delta marked dirty (support
+          reached); safe-set patches and untouched survivals are free.
+        - ``entries`` -- records currently cached (clean or dirty).
+        """
         return {
             "hits": self._closure_hits,
             "computes": self._closure_computes,
+            "resumes": self._closure_resumes,
+            "revalidations": self._closure_revalidations,
             "entries": len(self._closure_cache),
         }
 
+    def reset_closure_cache(self) -> None:
+        """Drop every cached closure record so the next PAV query runs the
+        scratch fixpoint (benchmark / test comparator hook)."""
+        self._closure_cache.clear()
+
     def revalidate_closures(self, changes) -> None:
-        """Keep every cached closure a node delta cannot reach.
+        """Route one node delta into every cached closure record.
 
         ``changes`` is the incremental maintainer's node-change list
         ``(service, old node or None, new node or None)``, applied *after*
@@ -500,7 +534,7 @@ class TransformationDependencyGraph:
         support set is its compromised services: non-compromised nodes
         contribute nothing to anyone else's fall decision (provenance,
         combining pools and info holders are all filtered to compromised
-        accounts), so a delta invalidates a closure only when it
+        accounts), so a delta *reaches* a closure only when it
 
         - touches a compromised service (its PIA/paths fed the fixpoint), or
         - adds/replaces a node that now falls to the closure's final IAD
@@ -508,9 +542,15 @@ class TransformationDependencyGraph:
           set can never fall during the iteration).
 
         Deltas that only add or remove *safe* services patch the result's
-        ``safe`` set in place; everything else survives verbatim -- which
-        is what lets long mutation streams keep serving PAV queries
-        without re-running the global fixpoint.
+        ``safe`` set in place and everything else survives verbatim.  A
+        reaching delta no longer discards the record: it marks the record
+        dirty, snapshotting the first-seen old node per touched service
+        (phase A's baseline).  The next PAV query resumes the fixpoint
+        from the record's per-round support postings
+        (:class:`~repro.core.strategy.ClosureSupportRecord`), retracting
+        only the rounds whose support actually moved and re-deriving from
+        that frontier -- so mutation bursts coalesce into one bounded
+        re-derivation instead of one scratch fixpoint per reaching delta.
         """
         if not self._closure_cache:
             return
@@ -519,19 +559,26 @@ class TransformationDependencyGraph:
         from repro.core.strategy import StrategyEngine
 
         engine = StrategyEngine(self)
-        stale: List[Tuple] = []
-        patched: Dict[Tuple, object] = {}
-        for key, result in self._closure_cache.items():
+        for key, record in self._closure_cache.items():
+            if record.dirty:
+                # Already awaiting re-derivation: fold this delta in.  The
+                # snapshots keep the *record-time* baseline (first touch
+                # wins), so a burst that cancels itself out still resumes
+                # into a fully-reused fixpoint.
+                for name, old, _new in changes:
+                    record.dirty.setdefault(name, old)
+                continue
             _seeds, _extra, email_provider = key
             engine._email_provider = email_provider
+            result = record.result
             # ``compromised`` is a derived property (one frozenset build
             # per access); hoist it off the per-change loop.
             compromised = result.compromised
             membership_changed = False
-            invalid = False
+            reaches = False
             for name, old, new in changes:
                 if name in compromised:
-                    invalid = True
+                    reaches = True
                     break
                 if new is None:
                     # A safe service shut down: inert to the fixpoint, but
@@ -542,22 +589,25 @@ class TransformationDependencyGraph:
                     engine._try_takeover(new, result.final_info, compromised)
                     is not None
                 ):
-                    invalid = True
+                    reaches = True
                     break
                 if old is None:
                     # A new service that stays safe: closure untouched,
                     # safe set gains a member.
                     membership_changed = True
-            if invalid:
-                stale.append(key)
+            if reaches:
+                # Every change of the reaching delta enters the baseline:
+                # even a non-reaching added service must be re-tested by
+                # the resume, because re-derived rounds can grow the IAD
+                # beyond the final set it was cleared against here.
+                self._closure_revalidations += 1
+                for name, old, _new in changes:
+                    record.dirty.setdefault(name, old)
             elif membership_changed:
-                patched[key] = _dataclasses.replace(
+                record.result = _dataclasses.replace(
                     result,
                     safe=frozenset(self._nodes) - compromised,
                 )
-        for key in stale:
-            del self._closure_cache[key]
-        self._closure_cache.update(patched)
 
     # ------------------------------------------------------------------
     # Incremental maintenance (used by repro.dynamic.incremental)

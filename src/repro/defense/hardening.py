@@ -19,7 +19,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Tuple
 
-from repro.model.account import AuthPath, AuthPurpose, MaskSpec, ServiceProfile
+from repro.model.account import AuthPath, MaskSpec, ServiceProfile
 from repro.model.ecosystem import Ecosystem
 from repro.model.factors import CredentialFactor, PersonalInfoKind, Platform
 

@@ -166,5 +166,9 @@ def _apply_to_graph(
     # Cached forward closures are *revalidated*, not dropped: a delta that
     # never reaches a closure's compromised support set leaves the PAV
     # untouched (safe services are inert to the fixpoint), so the cache
-    # survives most churn and only genuinely-reaching deltas recompute.
+    # survives most churn.  A genuinely-reaching delta only marks the
+    # record dirty with per-service node snapshots; the next PAV query
+    # resumes the fixpoint from the record's per-round support postings,
+    # reusing every round whose support did not move
+    # (:meth:`~repro.core.strategy.StrategyEngine.forward_closure`).
     graph.revalidate_closures(changes)

@@ -282,8 +282,6 @@ class DepthFixpointEngine:
             else:
                 self._direct.discard(service)
 
-        depth_changed: Set[str] = set()
-        pure_changed: Set[str] = set()
         # Parenthood is content-sensitive but combining-insensitive, so
         # its cone excludes the combining demanders: touched services,
         # services whose residual split moved, availability/linked-name

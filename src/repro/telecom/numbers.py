@@ -71,8 +71,7 @@ class SubscriberDirectory:
     def rotate_tmsi(self, msisdn: str) -> str:
         """Rotate and return the TMSI for ``msisdn``."""
         record = self.by_msisdn(msisdn)
-        old = record.tmsi
-        del old  # explicit: the old TMSI is simply forgotten
+        # The old TMSI is simply forgotten.
         record.reassign_tmsi(self._rng)
         self._by_imsi[record.imsi] = record
         return record.tmsi

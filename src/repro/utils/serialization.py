@@ -19,7 +19,7 @@ Conventions:
 
 from __future__ import annotations
 
-from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional
 
 from repro.levels.engine import DependencyLevel
 from repro.model.account import AuthPath, AuthPurpose

@@ -25,7 +25,7 @@ import dataclasses
 import re
 from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
 
-from repro.model.account import AuthPath, AuthPurpose, ServiceProfile
+from repro.model.account import AuthPath, AuthPurpose
 from repro.model.factors import CredentialFactor, PersonalInfoKind, Platform
 from repro.model.identity import Identity, IdentityGenerator
 from repro.websim.errors import WebSimError

@@ -227,7 +227,8 @@ class SimulatedService:
         and even when they don't, the caller now knows the password).
         """
         record = self._resolve_handle(handle)
-        session = self._authenticate(
+        # Raises on factor mismatch; its session is superseded below.
+        self._authenticate(
             platform, handle, supplied, AuthPurpose.PASSWORD_RESET
         )
         record.password = new_password

@@ -15,7 +15,12 @@ from repro.attack.scenarios import (
     run_case_ii_paypal_via_gmail,
     run_case_iii_alipay_via_ctrip,
 )
+from repro.catalog.builder import CatalogBuilder
+from repro.catalog.spec import CatalogSpec
 from repro.core import ActFort
+from repro.model.account import AuthPath, AuthPurpose, MaskSpec, ServiceProfile
+from repro.model.ecosystem import Ecosystem
+from repro.model.factors import CredentialFactor as CF
 from repro.model.factors import PersonalInfoKind as PI
 from repro.model.factors import Platform as PL
 from repro.telecom.cipher import CrackModel
@@ -89,6 +94,80 @@ class TestCaseStudies:
                     CF.PASSWORD: f"pw-{victim.person_id}",
                 },
             )
+
+
+class TestCombiningReplay:
+    """Insight 4 end-to-end: a chain whose middle factor is reconstructed
+    by combining masked views must emit every contributor takeover and the
+    emitted chain must actually replay against the deployment.  Regression
+    for the backward walk dropping ``"a+b"`` combining contributors."""
+
+    @staticmethod
+    def _shard(name, spec):
+        return ServiceProfile(
+            name=name,
+            domain="retail",
+            auth_paths=(
+                AuthPath(
+                    service=name,
+                    platform=PL.WEB,
+                    purpose=AuthPurpose.PASSWORD_RESET,
+                    factors=frozenset({CF.CELLPHONE_NUMBER, CF.SMS_CODE}),
+                ),
+            ),
+            exposed_info={PL.WEB: frozenset({PI.BANKCARD_NUMBER})},
+            mask_specs={(PL.WEB, PI.BANKCARD_NUMBER): spec},
+        )
+
+    @pytest.fixture()
+    def combining_deployed(self):
+        vault = ServiceProfile(
+            name="vault",
+            domain="fintech",
+            auth_paths=(
+                AuthPath(
+                    service="vault",
+                    platform=PL.WEB,
+                    purpose=AuthPurpose.PASSWORD_RESET,
+                    factors=frozenset(
+                        {
+                            CF.BANKCARD_NUMBER,
+                            CF.CELLPHONE_NUMBER,
+                            CF.SMS_CODE,
+                        }
+                    ),
+                ),
+            ),
+            exposed_info={PL.WEB: frozenset({PI.REAL_NAME})},
+        )
+        ecosystem = Ecosystem(
+            [
+                self._shard("shard_a", MaskSpec(reveal_prefix=8)),
+                self._shard("shard_b", MaskSpec(reveal_suffix=8)),
+                vault,
+            ]
+        )
+        spec = CatalogSpec(total_services=3, victims=2, cells=1)
+        return CatalogBuilder(spec, seed=77).deploy(ecosystem=ecosystem)
+
+    def test_combining_chain_replays_end_to_end(self, combining_deployed):
+        deployed = combining_deployed
+        victim = deployed.victim(0)
+        actfort = ActFort.from_ecosystem(deployed.ecosystem)
+        chain = actfort.attack_chain("vault")
+        assert chain is not None
+        assert chain.services == ("shard_a", "shard_b", "vault")
+        assert (
+            chain.steps[-1].factor_sources[CF.BANKCARD_NUMBER]
+            == "shard_a+shard_b"
+        )
+        executor = sniffer_executor(deployed, victim)
+        result = executor.execute(chain, victim.cellphone_number)
+        assert result.success, result.describe()
+        assert [s.service for s in result.steps] == list(chain.services)
+        # The bankcard value supplied to the vault's reset was genuinely
+        # reconstructed from the two shards' masked views.
+        assert result.harvested[PI.BANKCARD_NUMBER] == victim.bankcard_number
 
 
 class TestExecutorMechanics:

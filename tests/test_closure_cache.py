@@ -12,11 +12,13 @@ handcrafted cases pin the survive/invalidate split itself.
 from __future__ import annotations
 
 import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.catalog.builder import CatalogBuilder
 from repro.catalog.spec import CatalogSpec
 from repro.core.actfort import ActFort
 from repro.core.strategy import StrategyEngine
+from repro.core.tdg import TransformationDependencyGraph
 from repro.dynamic import DynamicAnalysisSession, MutationStream
 from repro.dynamic.events import AddAuthPath, AddService, ChangeMasking
 from repro.model.account import (
@@ -165,3 +167,129 @@ def test_delta_reaching_the_support_set_recomputes():
     ).forward_closure()
     assert after.entries == rebuilt.entries
     assert after.safe == rebuilt.safe
+
+
+def test_cache_evicts_oldest_key_first_beyond_the_limit():
+    ecosystem = Ecosystem([_direct_service("mail"), _safe_service("bank")])
+    tdg = ActFort.from_ecosystem(ecosystem).tdg()
+    engine = StrategyEngine(tdg)
+    limit = TransformationDependencyGraph._CLOSURE_CACHE_LIMIT
+    # Each pinned provider is a distinct cache key; overflow the bound.
+    for i in range(limit + 6):
+        engine.forward_closure(email_provider=f"mail{i}")
+    stats = tdg.closure_cache_stats()
+    assert stats["entries"] == limit
+    assert stats["computes"] == limit + 6
+    assert stats["hits"] == 0
+    # The newest key is still cached...
+    engine.forward_closure(email_provider=f"mail{limit + 5}")
+    stats = tdg.closure_cache_stats()
+    assert stats["hits"] == 1 and stats["computes"] == limit + 6
+    # ...while the oldest was evicted FIFO and recomputes.
+    engine.forward_closure(email_provider="mail0")
+    stats = tdg.closure_cache_stats()
+    assert stats["computes"] == limit + 7
+    assert stats["entries"] == limit
+    # Re-serving a key already present must not evict anything else.
+    engine.forward_closure(email_provider="mail0")
+    assert tdg.closure_cache_stats()["hits"] == 2
+    assert tdg.closure_cache_stats()["entries"] == limit
+
+
+def test_stats_count_hits_computes_resumes_and_revalidations():
+    ecosystem = Ecosystem(
+        [
+            _direct_service("mail", exposed=(PI.REAL_NAME, PI.CITIZEN_ID)),
+            _safe_service("bank"),
+        ]
+    )
+    session = DynamicAnalysisSession(ecosystem)
+    graph = session.graph()
+    closure = session.forward_closure()
+    assert graph.closure_cache_stats() == {
+        "hits": 0,
+        "computes": 1,
+        "resumes": 0,
+        "revalidations": 0,
+        "entries": 1,
+    }
+    assert session.forward_closure() is closure
+    assert graph.closure_cache_stats()["hits"] == 1
+
+    # Inert mutation: the record stays clean, the next serve is a hit.
+    session.mutate(
+        ChangeMasking(
+            service="bank",
+            platform=PL.WEB,
+            kind=PI.CITIZEN_ID,
+            spec=MaskSpec(reveal_prefix=4),
+        )
+    )
+    assert graph.closure_cache_stats()["revalidations"] == 0
+    assert session.forward_closure() is closure
+    assert graph.closure_cache_stats()["hits"] == 2
+
+    # Reaching mutation: the record is marked dirty (one revalidation),
+    # and the next serve resumes the fixpoint instead of recomputing.
+    session.mutate(
+        AddAuthPath(
+            service="bank",
+            path=_path(
+                "bank",
+                AuthPurpose.PASSWORD_RESET,
+                CF.CELLPHONE_NUMBER,
+                CF.SMS_CODE,
+                CF.CITIZEN_ID,
+            ),
+        )
+    )
+    assert graph.closure_cache_stats()["revalidations"] == 1
+    assert session.forward_closure().compromised == frozenset(
+        {"mail", "bank"}
+    )
+    assert graph.closure_cache_stats() == {
+        "hits": 2,
+        "computes": 1,
+        "resumes": 1,
+        "revalidations": 1,
+        "entries": 1,
+    }
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(data=st.data())
+def test_incremental_closure_matches_scratch_on_random_sequences(data):
+    """Property differential: after every mutation of a random sequence,
+    the resumed closure must be bit-for-bit the scratch fixpoint -- entry
+    order, rounds, provenance, safe set and final IAD -- for both the
+    unseeded key and a breach-data key kept warm across the stream."""
+    seed = data.draw(st.integers(min_value=0, max_value=2**16))
+    steps = data.draw(st.integers(min_value=1, max_value=6))
+    ecosystem = CatalogBuilder(
+        CatalogSpec(total_services=14), seed=seed
+    ).build_ecosystem()
+    session = DynamicAnalysisSession(ecosystem)
+    stream = MutationStream(seed=seed ^ 0x5A5A, min_services=6)
+    session.forward_closure()
+    session.forward_closure(extra_info=[PI.CITIZEN_ID])
+    for _ in range(steps):
+        session.mutate(stream.next_mutation(session.ecosystem))
+        scratch_engine = StrategyEngine(
+            ActFort.from_ecosystem(session.ecosystem).tdg()
+        )
+        for kwargs in ({}, {"extra_info": [PI.CITIZEN_ID]}):
+            served = session.forward_closure(**kwargs)
+            scratch = scratch_engine.forward_closure(**kwargs)
+            assert served.entries == scratch.entries, kwargs
+            assert [e.round for e in served.entries] == [
+                e.round for e in scratch.entries
+            ], kwargs
+            assert [e.factor_sources for e in served.entries] == [
+                e.factor_sources for e in scratch.entries
+            ], kwargs
+            assert served.safe == scratch.safe, kwargs
+            assert served.final_info == scratch.final_info, kwargs

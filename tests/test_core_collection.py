@@ -79,7 +79,6 @@ class TestCollection:
         assert table[PI.DEVICE_TYPE] == 0.0
 
     def test_exposure_table_empty_platform_rejected(self, collector):
-        reports = {"masked": collector.collect_from_profile(masked_profile())}
         import pytest
 
         with pytest.raises(ValueError):

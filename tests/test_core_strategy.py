@@ -5,10 +5,14 @@ import pytest
 from tests.conftest import make_path
 
 from repro.core.strategy import StrategyEngine
-from repro.core.tdg import TransformationDependencyGraph
+from repro.core.tdg import TDGNode, TransformationDependencyGraph
 from repro.model.account import AuthPurpose as AP
 from repro.model.account import MaskSpec, ServiceProfile
-from repro.model.attacker import AttackerProfile
+from repro.model.attacker import (
+    BASELINE_CAPABILITIES,
+    AttackerCapability,
+    AttackerProfile,
+)
 from repro.model.ecosystem import Ecosystem
 from repro.model.factors import CredentialFactor as CF
 from repro.model.factors import PersonalInfoKind as PI
@@ -27,6 +31,23 @@ def profile(name, domain, paths, exposed, masks=None, mobile_paths=()):
         exposed_info=exposed_info,
         mask_specs=masks or {},
     )
+
+
+def assert_topologically_ordered(chain):
+    """Every chained factor's source services fell strictly earlier.
+
+    Combining sources name several contributors joined with ``"+"``; each
+    split part must already have its own step.  Synthetic markers
+    (``"<dossier>"``, ``"<attacker-profile>"``) need no step.
+    """
+    seen = set()
+    for step in chain.steps:
+        for source in step.factor_sources.values():
+            for part in source.split("+"):
+                if part.startswith("<"):
+                    continue
+                assert part in seen, (step.service, source, part)
+        seen.add(step.service)
 
 
 @pytest.fixture()
@@ -174,13 +195,7 @@ class TestAttackChain:
     def test_chain_is_topologically_ordered(self, engine):
         chain = engine.attack_chain("paypal_like")
         assert chain is not None
-        seen = set()
-        for step in chain.steps:
-            for source in step.factor_sources.values():
-                if "+" in source or source.startswith("<"):
-                    continue
-                assert source in seen
-            seen.add(step.service)
+        assert_topologically_ordered(chain)
 
     def test_email_provider_pinning(self, engine):
         chain = engine.attack_chain("paypal_like", email_provider="mail_b")
@@ -202,3 +217,253 @@ class TestAttackChain:
         reachable = engine.reachable_targets()
         assert "fortress" not in reachable
         assert len(reachable) == 5
+
+
+@pytest.fixture()
+def combining_ecosystem():
+    """Two shards each leak half of a bankcard number; the vault's reset
+    demands the full value (Insight 4's combining takeover)."""
+    shard_a = profile(
+        "shard_a",
+        "retail",
+        [make_path("shard_a", PL.WEB, AP.PASSWORD_RESET, CF.CELLPHONE_NUMBER, CF.SMS_CODE)],
+        {PI.BANKCARD_NUMBER},
+        masks={(PL.WEB, PI.BANKCARD_NUMBER): MaskSpec(reveal_prefix=8)},
+    )
+    shard_b = profile(
+        "shard_b",
+        "retail",
+        [make_path("shard_b", PL.WEB, AP.PASSWORD_RESET, CF.CELLPHONE_NUMBER, CF.SMS_CODE)],
+        {PI.BANKCARD_NUMBER},
+        masks={(PL.WEB, PI.BANKCARD_NUMBER): MaskSpec(reveal_suffix=8)},
+    )
+    vault = profile(
+        "vault",
+        "fintech",
+        [
+            make_path(
+                "vault",
+                PL.WEB,
+                AP.PASSWORD_RESET,
+                CF.BANKCARD_NUMBER,
+                CF.CELLPHONE_NUMBER,
+                CF.SMS_CODE,
+            )
+        ],
+        {PI.REAL_NAME},
+    )
+    return Ecosystem([shard_a, shard_b, vault])
+
+
+@pytest.fixture()
+def combining_engine(combining_ecosystem):
+    tdg = TransformationDependencyGraph.from_ecosystem(
+        combining_ecosystem, AttackerProfile.baseline()
+    )
+    return StrategyEngine(tdg)
+
+
+class TestCombiningChain:
+    def test_closure_joins_contributors(self, combining_engine):
+        closure = combining_engine.forward_closure()
+        entry = closure.entry("vault")
+        assert entry.factor_sources[CF.BANKCARD_NUMBER] == "shard_a+shard_b"
+        assert entry.source_services() == ("shard_a", "shard_b")
+
+    def test_chain_includes_every_combining_contributor(self, combining_engine):
+        """Regression: the joined ``"a+b"`` source used to match nothing in
+        the backward walk, silently dropping both contributor takeovers."""
+        chain = combining_engine.attack_chain("vault")
+        assert chain is not None
+        assert chain.services == ("shard_a", "shard_b", "vault")
+        assert chain.depth == 2
+        assert_topologically_ordered(chain)
+
+    def test_support_index_posts_both_contributors(self, combining_engine):
+        closure = combining_engine.forward_closure()
+        index = closure.support_index()
+        assert index["shard_a"] == frozenset({"vault"})
+        assert index["shard_b"] == frozenset({"vault"})
+
+
+@pytest.fixture()
+def seeded_engine(chain_ecosystem):
+    """chain_ecosystem plus a pathless service only a seed can supply."""
+    nodes = [
+        TransformationDependencyGraph.node_from_profile(p)
+        for p in chain_ecosystem
+    ]
+    nodes.append(
+        TDGNode(
+            service="handed_over",
+            domain="fintech",
+            takeover_paths=(),
+            pia=frozenset({PI.CITIZEN_ID}),
+        )
+    )
+    tdg = TransformationDependencyGraph(nodes, AttackerProfile.baseline())
+    return StrategyEngine(tdg)
+
+
+class TestSeededTargetChain:
+    def test_pathless_service_is_safe_without_a_seed(self, seeded_engine):
+        assert seeded_engine.attack_chain("handed_over") is None
+
+    def test_seeded_target_chain_has_no_replay_path(self, seeded_engine):
+        chain = seeded_engine.attack_chain(
+            "handed_over", initially_compromised=["handed_over"]
+        )
+        assert chain is not None
+        assert chain.depth == 0
+        assert chain.steps[0].path is None
+        assert "(already compromised)" in chain.describe()
+
+    def test_seeded_target_platform_restriction_returns_none(self, seeded_engine):
+        """Regression: ``path.platform`` on a seeded entry's ``None`` path
+        raised AttributeError instead of reporting 'no chain'."""
+        chain = seeded_engine.attack_chain(
+            "handed_over",
+            platform=PL.WEB,
+            initially_compromised=["handed_over"],
+        )
+        assert chain is None
+
+    def test_seeded_info_feeds_downstream_chain(self, seeded_engine):
+        chain = seeded_engine.attack_chain(
+            "alipay_like", initially_compromised=["handed_over"]
+        )
+        assert chain is not None
+        assert "handed_over" in chain.services
+        step = next(
+            s for s in chain.steps if s.service == "handed_over"
+        )
+        assert step.path is None
+        assert chain.steps[-1].factor_sources[CF.CITIZEN_ID] == "handed_over"
+        assert_topologically_ordered(chain)
+
+
+class TestPlatformRetarget:
+    @staticmethod
+    def _wallet(with_donor=True):
+        wallet = ServiceProfile(
+            name="wallet",
+            domain="fintech",
+            auth_paths=(
+                make_path(
+                    "wallet",
+                    PL.MOBILE,
+                    AP.PASSWORD_RESET,
+                    CF.CELLPHONE_NUMBER,
+                    CF.SMS_CODE,
+                ),
+                make_path(
+                    "wallet",
+                    PL.WEB,
+                    AP.PASSWORD_RESET,
+                    CF.CITIZEN_ID,
+                    CF.CELLPHONE_NUMBER,
+                    CF.SMS_CODE,
+                ),
+            ),
+            exposed_info={
+                PL.MOBILE: frozenset({PI.CITIZEN_ID}),
+                PL.WEB: frozenset({PI.CITIZEN_ID}),
+            },
+        )
+        services = [wallet]
+        if with_donor:
+            services.insert(
+                0,
+                profile(
+                    "donor",
+                    "travel",
+                    [
+                        make_path(
+                            "donor",
+                            PL.WEB,
+                            AP.PASSWORD_RESET,
+                            CF.CELLPHONE_NUMBER,
+                            CF.SMS_CODE,
+                        )
+                    ],
+                    {PI.CITIZEN_ID},
+                ),
+            )
+        tdg = TransformationDependencyGraph.from_ecosystem(
+            Ecosystem(services), AttackerProfile.baseline()
+        )
+        return StrategyEngine(tdg)
+
+    def test_closure_prefers_the_short_mobile_path(self):
+        engine = self._wallet()
+        entry = engine.forward_closure().entry("wallet")
+        assert entry.round == 1
+        assert entry.path.platform is PL.MOBILE
+
+    def test_web_retarget_keeps_kinds_other_accounts_hold(self):
+        """Regression: subtracting ``target.pia`` wholesale also dropped
+        the citizen ID the donor legitimately holds, losing the chain."""
+        engine = self._wallet()
+        chain = engine.attack_chain("wallet", platform=PL.WEB)
+        assert chain is not None
+        assert chain.services == ("donor", "wallet")
+        step = chain.steps[-1]
+        assert step.path.platform is PL.WEB
+        assert step.factor_sources[CF.CITIZEN_ID] == "donor"
+
+    def test_web_retarget_sees_breach_extra_info(self):
+        engine = self._wallet(with_donor=False)
+        assert engine.attack_chain("wallet", platform=PL.WEB) is None
+        chain = engine.attack_chain(
+            "wallet", platform=PL.WEB, extra_info=[PI.CITIZEN_ID]
+        )
+        assert chain is not None
+        assert chain.depth == 0
+        step = chain.steps[0]
+        assert step.path.platform is PL.WEB
+        assert step.factor_sources[CF.CITIZEN_ID] == "<attacker-profile>"
+
+
+class TestDossierProvenance:
+    def test_customer_service_source_is_canonical(self):
+        """The dossier kind is the sorted minimum, not hash-iteration
+        order, so provenance is stable across runs and resumes."""
+        donors = [
+            profile(
+                name,
+                "media",
+                [
+                    make_path(
+                        name,
+                        PL.WEB,
+                        AP.PASSWORD_RESET,
+                        CF.CELLPHONE_NUMBER,
+                        CF.SMS_CODE,
+                    )
+                ],
+                {PI.ACQUAINTANCE_NAME, PI.REAL_NAME},
+            )
+            # zeta deliberately precedes alpha: a provenance pick that
+            # leaked insertion order would name zeta.
+            for name in ("zeta", "alpha")
+        ]
+        helpdesk = profile(
+            "helpdesk",
+            "fintech",
+            [make_path("helpdesk", PL.WEB, AP.PASSWORD_RESET, CF.CUSTOMER_SERVICE)],
+            {PI.ORDER_HISTORY},
+        )
+        attacker = AttackerProfile(
+            capabilities=BASELINE_CAPABILITIES
+            | frozenset({AttackerCapability.SOCIAL_ENGINEERING}),
+            known_info=frozenset({PI.CELLPHONE_NUMBER}),
+        )
+        tdg = TransformationDependencyGraph.from_ecosystem(
+            Ecosystem(donors + [helpdesk]), attacker
+        )
+        closure = StrategyEngine(tdg).forward_closure()
+        entry = closure.entry("helpdesk")
+        assert entry.round == 2
+        # min(info & DOSSIER_KINDS) is acquaintance_name; its
+        # alphabetically-first compromised holder is alpha.
+        assert entry.factor_sources[CF.CUSTOMER_SERVICE] == "alpha"

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import ActFort
-from repro.core.tdg import DependencyLevel, TransformationDependencyGraph
+from repro.core.tdg import TransformationDependencyGraph
 from repro.defense.builtin_auth import BuiltinAuthService, BuiltinAuthUpgrade
 from repro.defense.evaluation import DefenseEvaluation, outcome_rows
 from repro.defense.hardening import EmailHardening, SymmetryRepair

@@ -29,7 +29,7 @@ from repro.dynamic import (
     symmetry_repair_rollout,
 )
 from repro.dynamic.rollout import RolloutPlanner
-from repro.model.account import AuthPath, AuthPurpose, MaskSpec
+from repro.model.account import AuthPurpose, MaskSpec
 from repro.model.attacker import AttackerProfile
 from repro.model.factors import CredentialFactor as CF
 from repro.model.factors import PersonalInfoKind as PI

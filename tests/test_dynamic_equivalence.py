@@ -30,6 +30,7 @@ import pytest
 
 from repro.catalog.builder import CatalogBuilder
 from repro.catalog.spec import CatalogSpec
+from repro.core.strategy import StrategyEngine
 from repro.dynamic import DynamicAnalysisSession, MutationStream
 from repro.model.attacker import AttackerProfile
 from repro.model.factors import Platform
@@ -152,6 +153,15 @@ def _assert_matches_rebuild(session, label, context):
     fresh_view = fresh.attacker_index()
     assert spliced_view._static_ordered == fresh_view._static_ordered, context
     assert spliced_view._static == fresh_view._static, context
+    # The maintained closure cache -- kept warm by this call across every
+    # step, so deltas hit a primed record and the next serve *resumes* the
+    # fixpoint -- must be bit-for-bit the fresh graph's scratch run:
+    # entries in order (rounds and provenance included), safe set, IAD.
+    served = StrategyEngine(maintained).forward_closure()
+    scratch = StrategyEngine(fresh).forward_closure()
+    assert served.entries == scratch.entries, context
+    assert served.safe == scratch.safe, context
+    assert served.final_info == scratch.final_info, context
 
 
 @pytest.mark.parametrize("sequence", SEQUENCES)

@@ -1,0 +1,148 @@
+"""The in-repo AST linter (tools/lint.py) and the repo-wide clean gate.
+
+No third-party linter ships in the repro environment, so ``make verify``
+and this test both run ``tools/lint.py`` -- dead locals and unused
+imports fail tier-1.
+"""
+
+from __future__ import annotations
+
+import sys
+import textwrap
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import lint  # noqa: E402
+
+
+def _codes(source):
+    return [f.code for f in lint.check_source(textwrap.dedent(source))]
+
+
+class TestUnusedLocal:
+    def test_flags_dead_assignment(self):
+        findings = lint.check_source(
+            textwrap.dedent(
+                """
+                def f(tdg):
+                    attacker = tdg.attacker
+                    return tdg.nodes
+                """
+            )
+        )
+        assert [f.code for f in findings] == ["unused-local"]
+        assert "attacker" in findings[0].message
+        assert findings[0].line == 3
+
+    def test_used_assignment_is_clean(self):
+        assert _codes(
+            """
+            def f(tdg):
+                attacker = tdg.attacker
+                return attacker
+            """
+        ) == []
+
+    def test_use_in_nested_scope_counts(self):
+        assert _codes(
+            """
+            def f(tdg):
+                attacker = tdg.attacker
+                return lambda: attacker
+            """
+        ) == []
+
+    def test_underscore_loop_targets_and_unpacking_are_exempt(self):
+        assert _codes(
+            """
+            def f(pairs):
+                _scratch = object()
+                total = 0
+                for unused, value in pairs:
+                    total += value
+                return total
+            """
+        ) == []
+
+    def test_flags_dead_with_and_except_bindings(self):
+        assert _codes(
+            """
+            def f(cm):
+                with cm() as handle:
+                    pass
+                try:
+                    pass
+                except ValueError as exc:
+                    return None
+            """
+        ) == ["unused-local", "unused-local"]
+
+    def test_noqa_suppresses(self):
+        assert _codes(
+            """
+            def f(tdg):
+                attacker = tdg.attacker  # noqa
+                return tdg.nodes
+            """
+        ) == []
+
+    def test_dynamic_scope_disables_the_check(self):
+        assert _codes(
+            """
+            def f(tdg):
+                attacker = tdg.attacker
+                return locals()
+            """
+        ) == []
+
+
+class TestUnusedImport:
+    def test_flags_unused_import(self):
+        findings = lint.check_source(
+            "import os\nimport sys\n\nprint(sys.argv)\n"
+        )
+        assert [f.code for f in findings] == ["unused-import"]
+        assert "os" in findings[0].message
+
+    def test_from_import_and_alias(self):
+        assert _codes("from typing import List, Optional\nx: List = []\n") == [
+            "unused-import"
+        ]
+        assert _codes("import numpy as np\nprint(np)\n") == []
+
+    def test_reexport_all_and_type_checking_are_exempt(self):
+        assert _codes("from repro import thing as thing\n") == []
+        assert _codes(
+            """
+            from repro import thing
+
+            __all__ = ["thing"]
+            """
+        ) == []
+        assert _codes(
+            """
+            from typing import TYPE_CHECKING
+
+            if TYPE_CHECKING:
+                from repro import OnlyForAnnotations
+
+            def f(x: "OnlyForAnnotations"):
+                return x
+            """
+        ) == []
+
+    def test_future_import_is_exempt(self):
+        assert _codes("from __future__ import annotations\n") == []
+
+
+def test_repository_is_lint_clean():
+    """The gate ``make verify`` also runs: the whole tree stays clean."""
+    targets = [
+        REPO_ROOT / name
+        for name in lint.DEFAULT_TARGETS
+        if (REPO_ROOT / name).exists()
+    ]
+    findings = lint.check_paths(targets)
+    assert findings == [], "\n".join(f.render() for f in findings)

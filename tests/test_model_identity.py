@@ -5,7 +5,6 @@ from hypothesis import given, strategies as st
 
 from repro.model.factors import PersonalInfoKind
 from repro.model.identity import (
-    Identity,
     IdentityGenerator,
     MaskedValue,
     combine_views,

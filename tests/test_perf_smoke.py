@@ -42,6 +42,12 @@ REQUIRED_SERVE_SPEEDUP = 5.0
 #: not recomputed.
 REQUIRED_WARM_SPEEDUP = 10.0
 
+#: The incremental closure engine's contract at 402: re-serving the PAV
+#: after a mutation that *reaches* the closure's compromised support set
+#: must resume the fixpoint from the recorded per-round support postings,
+#: beating the scratch fixpoint by at least this factor.
+REQUIRED_CLOSURE_RESERVE_SPEEDUP = 5.0
+
 #: The incremental serve-path contract at 402: re-serving the mixed
 #: batch after a mutation (spliced stream segments, folded measurement
 #: counters, delta-maintained fixpoints and parent views) must beat
@@ -209,6 +215,61 @@ def test_reserve_after_mutation_is_20x_faster_than_cold_at_402():
         f"re-serve after mutation (best of 7) {reserve * 1e3:.2f}ms vs "
         f"fresh-service cold serve {cold * 1e3:.1f}ms: speedup "
         f"{speedup:.1f}x < {REQUIRED_RESERVE_SPEEDUP:.0f}x"
+    )
+
+
+def test_closure_reserve_after_reaching_mutation_beats_scratch_5x_at_402():
+    """The incremental closure engine's tripwire at the paper-doubling tier.
+
+    Mutations are streamed until several of them *reach* the cached
+    closure's compromised support set (detected through the
+    ``revalidations`` counter -- non-reaching churn is served by the
+    survive/patch path and proves nothing).  After each reaching
+    mutation the PAV re-serve resumes the fixpoint from the record's
+    per-round support postings; the comparator drops the closure cache
+    (:meth:`~repro.core.tdg.TransformationDependencyGraph.reset_closure_cache`)
+    and re-runs the scratch fixpoint over the *same* mutated graph.
+    Both sides take the best cycle: reaching mutations differ wildly in
+    retracted-cone size, and the gate's job is to catch a complexity
+    regression -- losing round reuse makes every resume as slow as the
+    scratch run, which fails the best cycle too.
+    """
+    ecosystem = CatalogBuilder(
+        CatalogSpec(total_services=402), seed=2021
+    ).build_ecosystem()
+    session = DynamicAnalysisSession(ecosystem)
+    session.forward_closure()  # prime the support record
+    graph = session.graph()
+    stream = MutationStream(seed=2021)
+    resume = float("inf")
+    scratch = float("inf")
+    reaching = 0
+    for _ in range(60):
+        if reaching >= 5:
+            break
+        mutation = stream.next_mutation(session.ecosystem)
+        marked = graph.closure_cache_stats()["revalidations"]
+        session.mutate(mutation)
+        if graph.closure_cache_stats()["revalidations"] == marked:
+            session.forward_closure()  # keep the record warm (hit/patch)
+            continue
+        reaching += 1
+        start = time.perf_counter()
+        session.forward_closure()
+        resume = min(resume, time.perf_counter() - start)
+        graph.reset_closure_cache()
+        start = time.perf_counter()
+        session.forward_closure()  # scratch fixpoint, re-primes the record
+        scratch = min(scratch, time.perf_counter() - start)
+    assert reaching >= 3, (
+        f"mutation stream produced only {reaching} support-reaching "
+        "deltas; the gate needs several to measure"
+    )
+    speedup = scratch / resume if resume else float("inf")
+    assert speedup >= REQUIRED_CLOSURE_RESERVE_SPEEDUP, (
+        f"closure re-serve after reaching mutation {resume * 1e3:.2f}ms vs "
+        f"scratch fixpoint {scratch * 1e3:.2f}ms: speedup {speedup:.1f}x < "
+        f"{REQUIRED_CLOSURE_RESERVE_SPEEDUP:.0f}x"
     )
 
 

@@ -6,7 +6,6 @@ from repro.analysis.report import full_report
 from repro.attack.random_attack import RandomAttackCampaign
 from repro.attack.recon import SocialEngineeringDatabase
 from repro.attack.scenarios import deploy_seed_ecosystem
-from repro.core import ActFort
 from repro.model.factors import Platform as PL
 
 

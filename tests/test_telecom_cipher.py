@@ -5,7 +5,7 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.telecom.cipher import A51Cipher, CipherSuite, CrackModel
+from repro.telecom.cipher import A51Cipher, CrackModel
 
 
 class TestA51Cipher:

@@ -1,7 +1,5 @@
 """Tests for the black-box ActFort probe."""
 
-import pytest
-
 from tests.conftest import make_path
 
 from repro.model.account import AuthPurpose as AP

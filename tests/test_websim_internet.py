@@ -166,7 +166,7 @@ class TestSessionStore:
     def test_revoke_all_for_person(self, net):
         store = SessionStore("svc", net.clock)
         a = store.issue("u1", PL.WEB)
-        b = store.issue("u1", PL.MOBILE)
+        store.issue("u1", PL.MOBILE)
         c = store.issue("u2", PL.WEB)
         assert store.revoke_all_for("u1") == 2
         with pytest.raises(InvalidSession):

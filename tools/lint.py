@@ -1,0 +1,285 @@
+"""A dependency-free AST linter for the two defect classes that have
+actually bitten this codebase: dead local variables (assigned, never
+read -- e.g. a leftover ``attacker = self._tdg.attacker``) and unused
+imports.
+
+No third-party linter is vendored into the repro environment, so this
+small checker is wired into ``make verify`` (and run by
+``tests/test_lint.py``) to keep those regressions out of tier-1.
+
+Deliberately conservative -- it only reports patterns that are
+unambiguously dead:
+
+- **unused-local**: a name bound by a plain assignment (``x = ...``),
+  annotated assignment, ``with ... as x`` or ``except ... as x`` inside a
+  function, never loaded anywhere in that function's subtree (nested
+  scopes included) and not declared ``global``/``nonlocal``.  Loop
+  targets, unpacking targets, walrus bindings and ``_``-prefixed names
+  are never reported; functions calling ``locals``/``eval``/``exec`` are
+  skipped wholesale.
+- **unused-import**: a module- or function-level import whose bound name
+  is never loaded anywhere in the file, not listed in ``__all__``, not an
+  explicit re-export (``import x as x``), and not under an
+  ``if TYPE_CHECKING:`` guard.
+
+A trailing ``# noqa`` comment on the binding line suppresses either
+finding.  Exit status is non-zero when anything is reported::
+
+    python tools/lint.py [paths...]     # defaults to src tests benchmarks tools
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import sys
+from pathlib import Path
+from typing import Iterable, List, Set, Tuple
+
+#: Calls that make local liveness undecidable for a whole function.
+_DYNAMIC_SCOPE_CALLS = {"locals", "vars", "eval", "exec"}
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One lint finding."""
+
+    path: str
+    line: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.code}: {self.message}"
+
+
+def _noqa_lines(source: str) -> Set[int]:
+    """1-indexed lines carrying a ``# noqa`` suppression comment."""
+    return {
+        number
+        for number, text in enumerate(source.splitlines(), start=1)
+        if "# noqa" in text
+    }
+
+
+def _loaded_names(tree: ast.AST) -> Set[str]:
+    """Every identifier the tree reads (``Load`` contexts only)."""
+    loaded: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            loaded.add(node.id)
+    return loaded
+
+
+def _dunder_all(tree: ast.Module) -> Set[str]:
+    names: Set[str] = set()
+    for node in tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and any(
+                isinstance(t, ast.Name) and t.id == "__all__"
+                for t in node.targets
+            )
+            and isinstance(node.value, (ast.List, ast.Tuple))
+        ):
+            for element in node.value.elts:
+                if isinstance(element, ast.Constant) and isinstance(
+                    element.value, str
+                ):
+                    names.add(element.value)
+    return names
+
+
+def _is_type_checking_guard(node: ast.AST) -> bool:
+    if not isinstance(node, ast.If):
+        return False
+    test = node.test
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+def _iter_imports(
+    tree: ast.Module,
+) -> Iterable[Tuple[str, int, bool]]:
+    """Yield (bound name, line, explicit re-export) per import binding,
+    skipping ``if TYPE_CHECKING:`` blocks (bindings that exist only for
+    string annotations the AST cannot see as loads)."""
+
+    def walk(nodes: Iterable[ast.stmt]) -> Iterable[Tuple[str, int, bool]]:
+        for node in nodes:
+            if _is_type_checking_guard(node):
+                continue
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    reexport = alias.asname == alias.name
+                    yield bound, node.lineno, reexport
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "__future__":
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    reexport = alias.asname == alias.name
+                    yield bound, node.lineno, reexport
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.stmt):
+                    yield from walk([child])
+                elif hasattr(child, "body"):
+                    # e.g. If/Try branch lists live on the parent already.
+                    pass
+
+    yield from walk(tree.body)
+
+
+def _function_bindings(
+    function: ast.AST,
+) -> Iterable[Tuple[str, int, str]]:
+    """(name, line, kind) for every plainly-dead-checkable binding in one
+    function body, without descending into nested functions/classes."""
+
+    def walk(nodes: Iterable[ast.stmt]) -> Iterable[Tuple[str, int, str]]:
+        for node in nodes:
+            if isinstance(
+                node,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            ):
+                continue
+            if isinstance(node, ast.Assign):
+                if len(node.targets) == 1 and isinstance(
+                    node.targets[0], ast.Name
+                ):
+                    yield node.targets[0].id, node.lineno, "assignment"
+            elif isinstance(node, ast.AnnAssign):
+                if node.value is not None and isinstance(
+                    node.target, ast.Name
+                ):
+                    yield node.target.id, node.lineno, "assignment"
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if isinstance(item.optional_vars, ast.Name):
+                        yield (
+                            item.optional_vars.id,
+                            node.lineno,
+                            "context manager",
+                        )
+            elif isinstance(node, ast.Try):
+                for handler in node.handlers:
+                    if handler.name is not None:
+                        yield handler.name, handler.lineno, "exception"
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.stmt):
+                    yield from walk([child])
+                elif isinstance(child, (ast.ExceptHandler,)):
+                    yield from walk(child.body)
+                elif hasattr(child, "body") and isinstance(
+                    getattr(child, "body"), list
+                ):
+                    yield from walk(child.body)
+
+    body = getattr(function, "body", [])
+    yield from walk(body)
+
+
+def _declared_escapes(function: ast.AST) -> Set[str]:
+    """Names declared ``global``/``nonlocal`` anywhere in the subtree."""
+    names: Set[str] = set()
+    for node in ast.walk(function):
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            names.update(node.names)
+    return names
+
+
+def _calls_dynamic_scope(function: ast.AST) -> bool:
+    for node in ast.walk(function):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _DYNAMIC_SCOPE_CALLS
+        ):
+            return True
+    return False
+
+
+def check_source(source: str, path: str = "<string>") -> List[Finding]:
+    """Lint one module's source; returns all findings, line-ordered."""
+    tree = ast.parse(source, filename=path)
+    noqa = _noqa_lines(source)
+    findings: List[Finding] = []
+
+    loaded_anywhere = _loaded_names(tree)
+    exported = _dunder_all(tree)
+    for name, line, reexport in _iter_imports(tree):
+        if reexport or line in noqa or name.startswith("_"):
+            continue
+        if name in loaded_anywhere or name in exported:
+            continue
+        findings.append(
+            Finding(path, line, "unused-import", f"{name!r} is never used")
+        )
+
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if _calls_dynamic_scope(node):
+            continue
+        loaded = _loaded_names(node)
+        escapes = _declared_escapes(node)
+        seen: Set[str] = set()
+        for name, line, kind in _function_bindings(node):
+            if (
+                name.startswith("_")
+                or name in loaded
+                or name in escapes
+                or name in seen
+                or line in noqa
+            ):
+                continue
+            seen.add(name)
+            findings.append(
+                Finding(
+                    path,
+                    line,
+                    "unused-local",
+                    f"{kind} binds {name!r} but it is never read",
+                )
+            )
+
+    findings.sort(key=lambda f: f.line)
+    return findings
+
+
+def check_paths(paths: Iterable[Path]) -> List[Finding]:
+    """Lint every ``.py`` file under the given files/directories."""
+    findings: List[Finding] = []
+    for root in paths:
+        files = [root] if root.is_file() else sorted(root.rglob("*.py"))
+        for file in files:
+            findings.extend(
+                check_source(file.read_text(encoding="utf-8"), str(file))
+            )
+    return findings
+
+
+DEFAULT_TARGETS = ("src", "tests", "benchmarks", "tools")
+
+
+def main(argv: List[str]) -> int:
+    targets = [Path(arg) for arg in argv] if argv else [
+        Path(name) for name in DEFAULT_TARGETS if Path(name).exists()
+    ]
+    findings = check_paths(targets)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"{len(findings)} lint finding(s)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
