@@ -1,13 +1,16 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify lint docs-check bench
+.PHONY: verify lint obs-check docs-check bench
 
-verify: lint
+verify: lint obs-check
 	$(PYTHON) -m pytest -x -q
 
 lint:
 	$(PYTHON) tools/lint.py
+
+obs-check:
+	$(PYTHON) -m repro.obs.selfcheck
 
 docs-check:
 	$(PYTHON) -m pytest -q tests/test_docs_examples.py

@@ -170,6 +170,63 @@ REQUIRED_WARM_SPEEDUP = 10.0
 MAX_REQUERY_SECONDS = 1.0
 
 
+def _instrumentation_summary(service):
+    """The serving tier's observability digest for ``BENCH_scaling.json``.
+
+    Everything reads off the service's one
+    :class:`~repro.obs.Instrumentation` registry: cache efficacy of
+    every engine cache, and bucket-resolution quantiles of the
+    invalidation-cone histogram (how many services each mutation's
+    delta actually reached)."""
+    registry = service.instrumentation.registry
+    label = service.primary_attacker
+    by = {"attacker": label}
+    stats = service.cache_stats()
+    cone_quantiles = {}
+    cone_family = registry.get("repro_invalidation_cone_services")
+    if cone_family is not None:
+        for labels, child in cone_family.samples():
+            if labels.get("attacker") == label and child.count:
+                cone_quantiles = {
+                    "count": child.count,
+                    "mean": child.sum / child.count,
+                    "p50_le": child.quantile(0.5),
+                    "p90_le": child.quantile(0.9),
+                    "p100_le": child.quantile(1.0),
+                }
+    return {
+        "result_cache": {
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "hit_rate": stats.hit_rate,
+        },
+        "closure_cache": dict(service.closure_cache_stats()),
+        "stream_segments": {
+            "computed": int(
+                registry.value("repro_stream_segments_computed_total", by)
+            ),
+            "reused": int(
+                registry.value("repro_stream_segments_reused_total", by)
+            ),
+            "invalidated": int(
+                registry.value("repro_stream_segments_invalidated_total", by)
+            ),
+        },
+        "parents": {
+            "derivations": int(
+                registry.value("repro_parents_derivations_total", by)
+            ),
+            "retractions": int(
+                registry.value("repro_parents_retractions_total", by)
+            ),
+        },
+        "levels_flushes": int(
+            registry.value("repro_levels_flushes_total", by)
+        ),
+        "invalidation_cone_services": cone_quantiles,
+    }
+
+
 def _api_workload():
     """A mixed serving workload: levels (both shapes), full measurement,
     forward closure, edge counts, and one page of each record stream.
@@ -261,6 +318,7 @@ def test_bench_api_serve(benchmark):
         "requery_after_mutation_median_seconds": requery_median,
         "cache_hits": stats.hits,
         "cache_misses": stats.misses,
+        "instrumentation": _instrumentation_summary(service),
     }
     merged = {}
     if JSON_PATH.exists():
@@ -376,6 +434,7 @@ def test_bench_closure_churn(benchmark):
         "resume_speedup": speedup,
         "closure_resumes": stats["resumes"],
         "closure_computes": stats["computes"],
+        "instrumentation": _instrumentation_summary(service),
     }
     merged = {}
     if JSON_PATH.exists():

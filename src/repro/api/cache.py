@@ -6,13 +6,19 @@ simply stop being addressable and age out of the LRU bound.  Repeated
 queries at an unchanged version are O(1) dictionary hits, which is the
 contract the ``api_serve`` benchmark tier and the perf-smoke gate
 measure.
+
+Counters live on the owning :class:`~repro.obs.Instrumentation` handle's
+registry (``repro_result_cache_*``); :meth:`ResultCache.stats` is the
+behavior-compatible thin view over them.
 """
 
 from __future__ import annotations
 
 import dataclasses
 from collections import OrderedDict
-from typing import Any, Hashable
+from typing import Any, Hashable, Optional
+
+from repro.obs import Instrumentation
 
 __all__ = ["CacheStats", "ResultCache"]
 
@@ -37,21 +43,40 @@ class CacheStats:
 class ResultCache:
     """A bounded LRU of query results keyed by (key, version)."""
 
-    def __init__(self, max_entries: int = 4096) -> None:
+    def __init__(
+        self,
+        max_entries: int = 4096,
+        instrumentation: Optional[Instrumentation] = None,
+    ) -> None:
         if max_entries <= 0:
             raise ValueError("max_entries must be positive")
         self._max_entries = max_entries
         self._entries: "OrderedDict[Tuple[Hashable, int], Any]" = OrderedDict()
-        self._hits = 0
-        self._misses = 0
+        obs = instrumentation if instrumentation is not None else Instrumentation()
+        self._hits = obs.counter(
+            "repro_result_cache_hits_total",
+            "Result-cache lookups served from a live (key, version) entry.",
+        )
+        self._misses = obs.counter(
+            "repro_result_cache_misses_total",
+            "Result-cache lookups that fell through to the engines.",
+        )
+        self._evictions = obs.counter(
+            "repro_result_cache_evictions_total",
+            "Entries dropped past the LRU bound (stale versions typical).",
+        )
+        self._entries_gauge = obs.gauge(
+            "repro_result_cache_entries",
+            "Live result-cache entries (any version).",
+        )
 
     def get(self, key: Hashable, version: int) -> Any:
         """The cached value, or the module-private miss sentinel."""
         entry = self._entries.get((key, version), _MISS)
         if entry is _MISS:
-            self._misses += 1
+            self._misses.inc()
         else:
-            self._hits += 1
+            self._hits.inc()
             self._entries.move_to_end((key, version))
         return entry
 
@@ -66,9 +91,12 @@ class ResultCache:
         self._entries.move_to_end((key, version))
         while len(self._entries) > self._max_entries:
             self._entries.popitem(last=False)
+            self._evictions.inc()
+        self._entries_gauge.set(len(self._entries))
 
     def clear(self) -> None:
         self._entries.clear()
+        self._entries_gauge.set(0)
 
     @property
     def miss(self) -> object:
@@ -76,6 +104,9 @@ class ResultCache:
         return _MISS
 
     def stats(self) -> CacheStats:
+        """The legacy stats view, now read off the metrics registry."""
         return CacheStats(
-            hits=self._hits, misses=self._misses, entries=len(self._entries)
+            hits=int(self._hits.value),
+            misses=int(self._misses.value),
+            entries=len(self._entries),
         )

@@ -79,6 +79,7 @@ from repro.dynamic.session import DynamicAnalysisSession
 from repro.model.attacker import AttackerProfile
 from repro.model.ecosystem import Ecosystem
 from repro.model.factors import Platform
+from repro.obs import Instrumentation, metrics_snapshot
 from repro.websim.internet import Internet
 
 __all__ = [
@@ -142,10 +143,14 @@ class AnalysisService:
         attacker: Optional[AttackerProfile] = None,
         attackers: Optional[Mapping[str, AttackerProfile]] = None,
         cache_entries: int = 4096,
+        instrumentation: Optional[Instrumentation] = None,
     ) -> None:
         self._adopt(
             DynamicAnalysisSession(
-                ecosystem, attacker=attacker, attackers=attackers
+                ecosystem,
+                attacker=attacker,
+                attackers=attackers,
+                instrumentation=instrumentation,
             ),
             cache_entries,
         )
@@ -172,6 +177,7 @@ class AnalysisService:
         attacker: Optional[AttackerProfile] = None,
         attackers: Optional[Mapping[str, AttackerProfile]] = None,
         cache_entries: int = 4096,
+        instrumentation: Optional[Instrumentation] = None,
     ) -> "AnalysisService":
         """A read-only service over pre-built stage-1/2 reports."""
         return cls.from_session(
@@ -180,6 +186,7 @@ class AnalysisService:
                 collection_reports,
                 attacker=attacker,
                 attackers=attackers,
+                instrumentation=instrumentation,
             ),
             cache_entries,
         )
@@ -215,7 +222,26 @@ class AnalysisService:
         from repro.defense.evaluation import standard_defenses
 
         self._session = session
-        self._cache = ResultCache(max_entries=cache_entries)
+        # One handle per session: graphs and engines already report into
+        # it (attached by the session), the service adds the serving-tier
+        # instruments on top.
+        self._obs = session.instrumentation
+        self._cache = ResultCache(
+            max_entries=cache_entries, instrumentation=self._obs
+        )
+        self._queries_counter = self._obs.counter(
+            "repro_api_queries_total",
+            "Queries served, by query kind and outcome (hit/computed).",
+            labels=("kind", "outcome"),
+        )
+        self._plans_counter = self._obs.counter(
+            "repro_api_plans_total", "Execution plans resolved."
+        )
+        self._plan_dedupe_counter = self._obs.counter(
+            "repro_api_plan_deduped_total",
+            "Planned steps whose canonical key duplicated an earlier "
+            "step of the same batch (served once, hit thereafter).",
+        )
         self._defense_transforms: Dict[str, Callable[[Ecosystem], Ecosystem]] = (
             dict(standard_defenses())
         )
@@ -254,6 +280,12 @@ class AnalysisService:
     def __len__(self) -> int:
         return len(self._session)
 
+    @property
+    def instrumentation(self) -> Instrumentation:
+        """The shared metrics/tracing handle (the session's; every engine
+        layer under this service reports into its one registry)."""
+        return self._obs
+
     def cache_stats(self) -> CacheStats:
         """Result-cache counters (hits / misses / live entries)."""
         return self._cache.stats()
@@ -270,6 +302,66 @@ class AnalysisService:
         """
         label = attacker if attacker is not None else self.primary_attacker
         return self._session.graph(label).closure_cache_stats()
+
+    def observability_snapshot(self) -> Dict[str, Any]:
+        """One JSON-serializable dict covering every engine layer.
+
+        ``layers`` holds the five thin per-engine views (result cache,
+        closure records, depth fixpoints, parent postings, stream
+        segments) keyed the way their legacy ``stats()`` surfaces report
+        them; ``metrics`` is the full registry snapshot those views read
+        from (plus histograms the views never summarized); and
+        ``recent_spans`` is the tracer's bounded ring of finished root
+        traces.
+        """
+        registry = self._obs.registry
+        stats = self._cache.stats()
+        closure: Dict[str, Any] = {}
+        levels: Dict[str, Any] = {}
+        parents: Dict[str, Any] = {}
+        streams: Dict[str, Any] = {}
+        for label in self._session.attackers:
+            graph = self._session.graph(label)
+            closure[label] = dict(graph.closure_cache_stats())
+            levels[label] = {
+                "flushes": int(
+                    registry.value(
+                        "repro_levels_flushes_total", {"attacker": label}
+                    )
+                ),
+                "scratch_builds": int(
+                    registry.value(
+                        "repro_levels_scratch_builds_total",
+                        {"attacker": label},
+                    )
+                ),
+            }
+            parents[label] = dict(graph.parents_view().stats())
+            streams[label] = dict(graph.streams_engine().stats())
+        return {
+            "version": self.version,
+            "attackers": list(self._session.attackers),
+            "layers": {
+                "result_cache": {
+                    "hits": stats.hits,
+                    "misses": stats.misses,
+                    "entries": stats.entries,
+                    "hit_rate": stats.hit_rate,
+                },
+                "closure": closure,
+                "levels": levels,
+                "parents": parents,
+                "streams": streams,
+            },
+            "metrics": metrics_snapshot(registry),
+            "recent_spans": [
+                span.to_dict() for span in self._obs.tracer.recent()
+            ],
+        }
+
+    def prometheus_metrics(self) -> str:
+        """The shared registry in Prometheus text exposition format."""
+        return self._obs.prometheus()
 
     def register_defense(
         self, name: str, transform: Callable[[Ecosystem], Ecosystem]
@@ -294,7 +386,8 @@ class AnalysisService:
         engine; version-keyed cache entries for the old state simply stop
         being addressable.
         """
-        delta = self._session.mutate(mutation)
+        with self._obs.span("api.apply", mutation=mutation.describe()):
+            delta = self._session.mutate(mutation)
         return MutationReceipt(delta=delta, version=self.version)
 
     def replay(
@@ -321,38 +414,55 @@ class AnalysisService:
         single level-engine flush should cover -- the shared work
         :meth:`run` hoists ahead of the per-query dispatch.
         """
-        primary = self.primary_attacker
-        steps: List[PlannedQuery] = []
-        prefetch: Dict[str, Set[Platform]] = {}
-        for query in queries:
-            key = self._cache_key(query, primary)
-            cached = self._cache.peek(key, self.version)
-            steps.append(PlannedQuery(query=query, key=key, cached=cached))
-            if cached:
-                continue
-            label = query.resolved_attacker(primary)
-            if isinstance(query, LevelReportQuery):
-                prefetch.setdefault(label, set()).update(query.platforms)
-            elif isinstance(query, DependencyLevelsQuery):
-                prefetch.setdefault(label, set()).add(query.platform)
-            elif isinstance(query, MeasurementQuery):
-                prefetch.setdefault(label, set()).update(BOTH_PLATFORMS)
-            elif isinstance(query, DefenseEvalQuery):
-                for row_label in query.attackers or (primary,):
-                    prefetch.setdefault(row_label, set()).update(
-                        BOTH_PLATFORMS
-                    )
-        ordered_prefetch = {
-            label: tuple(
-                sorted(platforms, key=lambda platform: platform.value)
+        queries = tuple(queries)
+        with self._obs.span("api.plan", queries=len(queries)) as span:
+            primary = self.primary_attacker
+            steps: List[PlannedQuery] = []
+            prefetch: Dict[str, Set[Platform]] = {}
+            seen_keys: Set[Tuple] = set()
+            deduped = 0
+            for query in queries:
+                key = self._cache_key(query, primary)
+                cached = self._cache.peek(key, self.version)
+                steps.append(
+                    PlannedQuery(query=query, key=key, cached=cached)
+                )
+                if key in seen_keys:
+                    deduped += 1
+                seen_keys.add(key)
+                if cached:
+                    continue
+                label = query.resolved_attacker(primary)
+                if isinstance(query, LevelReportQuery):
+                    prefetch.setdefault(label, set()).update(query.platforms)
+                elif isinstance(query, DependencyLevelsQuery):
+                    prefetch.setdefault(label, set()).add(query.platform)
+                elif isinstance(query, MeasurementQuery):
+                    prefetch.setdefault(label, set()).update(BOTH_PLATFORMS)
+                elif isinstance(query, DefenseEvalQuery):
+                    for row_label in query.attackers or (primary,):
+                        prefetch.setdefault(row_label, set()).update(
+                            BOTH_PLATFORMS
+                        )
+            ordered_prefetch = {
+                label: tuple(
+                    sorted(platforms, key=lambda platform: platform.value)
+                )
+                for label, platforms in prefetch.items()
+            }
+            self._plans_counter.inc()
+            if deduped:
+                self._plan_dedupe_counter.inc(deduped)
+            span.set_attribute(
+                "cached", sum(1 for step in steps if step.cached)
             )
-            for label, platforms in prefetch.items()
-        }
-        return ExecutionPlan(
-            version=self.version,
-            steps=tuple(steps),
-            level_prefetch=ordered_prefetch,
-        )
+            span.set_attribute("deduped", deduped)
+            span.set_attribute("prefetch_attackers", len(ordered_prefetch))
+            return ExecutionPlan(
+                version=self.version,
+                steps=tuple(steps),
+                level_prefetch=ordered_prefetch,
+            )
 
     def run(self, plan: ExecutionPlan) -> Tuple[Any, ...]:
         """Execute a plan, one result per planned query (in order)."""
@@ -361,21 +471,33 @@ class AnalysisService:
                 f"plan was made at version {plan.version} but the service "
                 f"is at {self.version}; re-plan after mutations"
             )
-        for label, platforms in plan.level_prefetch.items():
-            # One engine flush per attacker covers every platform the
-            # batch needs; the per-query dispatches below then serve from
-            # the warm fixpoints and classification caches.
-            self._session.graph(label).levels_report(platforms)
-        results: List[Any] = []
-        for step in plan.steps:
-            hit = self._cache.get(step.key, self.version)
-            if hit is not self._cache.miss:
-                results.append(hit)
-                continue
-            value = self._dispatch(step.query)
-            self._cache.put(step.key, self.version, value)
-            results.append(value)
-        return tuple(results)
+        with self._obs.span("api.run", steps=len(plan.steps)) as span:
+            for label, platforms in plan.level_prefetch.items():
+                # One engine flush per attacker covers every platform the
+                # batch needs; the per-query dispatches below then serve
+                # from the warm fixpoints and classification caches.
+                self._session.graph(label).levels_report(platforms)
+            results: List[Any] = []
+            hits = 0
+            for step in plan.steps:
+                kind = type(step.query).__name__
+                hit = self._cache.get(step.key, self.version)
+                if hit is not self._cache.miss:
+                    hits += 1
+                    self._queries_counter.labels(
+                        kind=kind, outcome="hit"
+                    ).inc()
+                    results.append(hit)
+                    continue
+                with self._obs.span("api.query", kind=kind):
+                    value = self._dispatch(step.query)
+                self._queries_counter.labels(
+                    kind=kind, outcome="computed"
+                ).inc()
+                self._cache.put(step.key, self.version, value)
+                results.append(value)
+            span.set_attribute("hits", hits)
+            return tuple(results)
 
     def execute(self, query: Query) -> Any:
         """Plan and run one query."""

@@ -267,7 +267,16 @@ class StrategyEngine:
         record = self._tdg.closure_cache_get(cache_key)
         if record is not None and not record.dirty:
             return record.result
-        fresh = self._run_closure(initially_compromised, extra_info, record)
+        obs = self._tdg.instrumentation()
+        with obs.span(
+            "closure.run",
+            attacker=self._tdg.instrumentation_label(),
+            seeds=len(initially_compromised),
+            resumed=record is not None,
+        ) as span:
+            fresh = self._run_closure(
+                initially_compromised, extra_info, record, span
+            )
         self._tdg.closure_cache_put(
             cache_key, fresh, resumed=record is not None
         )
@@ -278,6 +287,7 @@ class StrategyEngine:
         initially_compromised: Tuple[str, ...],
         extra_info: FrozenSet[PersonalInfoKind],
         base: Optional[ClosureSupportRecord],
+        span=None,
     ) -> ClosureSupportRecord:
         """Run the PAV fixpoint, resuming from ``base`` when possible.
 
@@ -335,6 +345,8 @@ class StrategyEngine:
         ] = []
         ordinals: Optional[Dict[str, int]] = None
         round_number = 0
+        rounds_reused = 0
+        rounds_scanned = 0
         while True:
             round_number += 1
             pre_info = frozenset(info)
@@ -353,6 +365,7 @@ class StrategyEngine:
                 # Surviving round: same support, so every untouched
                 # service's decision (and provenance) is unchanged.  Reuse
                 # its entries verbatim; re-test only the touched services.
+                rounds_reused += 1
                 fallen = [
                     entry
                     for entry in base.reused_entries(round_number)
@@ -386,6 +399,7 @@ class StrategyEngine:
             else:
                 # Retracted frontier: the round's support moved (or the
                 # record never reached this far) -- full per-round scan.
+                rounds_scanned += 1
                 for node in self._tdg.nodes:
                     if node.service in compromised:
                         continue
@@ -409,6 +423,24 @@ class StrategyEngine:
                 compromised[entry.service] = entry
                 entries.append(entry)
                 info |= graph_nodes[entry.service].pia
+
+        obs = self._tdg.instrumentation()
+        label = self._tdg.instrumentation_label()
+        obs.counter(
+            "repro_closure_rounds_reused_total",
+            "Fixpoint rounds reused verbatim by a resumed closure run.",
+            labels=("attacker",),
+        ).labels(attacker=label).inc(rounds_reused)
+        obs.counter(
+            "repro_closure_rounds_scanned_total",
+            "Fixpoint rounds derived by a full per-round service scan.",
+            labels=("attacker",),
+        ).labels(attacker=label).inc(rounds_scanned)
+        if span is not None:
+            span.set_attribute("rounds", round_number)
+            span.set_attribute("rounds_reused", rounds_reused)
+            span.set_attribute("rounds_scanned", rounds_scanned)
+            span.set_attribute("compromised", len(compromised))
 
         safe = frozenset(graph_nodes) - compromised.keys()
         result = ForwardClosureResult(

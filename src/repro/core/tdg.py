@@ -82,6 +82,7 @@ from repro.levels.engine import (
 from repro.levels.engine import DependencyLevel, DepthFixpointEngine
 from repro.levels.parents import SignatureParentsView
 from repro.model.account import AuthPath, ServiceProfile
+from repro.obs import DEFAULT_SIZE_BUCKETS, Instrumentation
 from repro.streams.segments import RecordStreamEngine
 from repro.model.attacker import AttackerCapability, AttackerProfile
 from repro.model.ecosystem import Ecosystem
@@ -260,10 +261,14 @@ class TransformationDependencyGraph:
         #: :meth:`revalidate_closures` (support-reaching deltas mark a
         #: record dirty; the strategy engine resumes its fixpoint lazily).
         self._closure_cache: Dict[Tuple, object] = {}
-        self._closure_hits = 0
-        self._closure_computes = 0
-        self._closure_resumes = 0
-        self._closure_revalidations = 0
+        #: Instrumentation handle + per-graph metric label; attached by
+        #: the owning session (:meth:`attach_instrumentation`), created
+        #: lazily for standalone graphs.  Closure counters are registry
+        #: children resolved once per graph in :meth:`_closure_counters`.
+        self._obs: Optional[Instrumentation] = None
+        self._obs_label = "default"
+        self._closure_counters_cache: Optional[Tuple] = None
+        self._cone_histogram = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -427,6 +432,60 @@ class TransformationDependencyGraph:
             self._attacker_index = self.ecosystem_index().view(self._attacker)
         return self._attacker_index
 
+    # ------------------------------------------------------------------
+    # Instrumentation
+    # ------------------------------------------------------------------
+
+    def attach_instrumentation(
+        self, instrumentation: Instrumentation, label: str = "default"
+    ) -> None:
+        """Adopt a shared :class:`~repro.obs.Instrumentation` handle.
+
+        The owning session calls this right after building its graphs and
+        before any lazy engine exists, so every engine layer resolves its
+        registry children from the shared handle; ``label`` becomes this
+        graph's ``attacker`` metric label (one registry distinguishes
+        co-resident attacker views).  Attaching resets any instrument
+        children already resolved against a previous handle.
+        """
+        self._obs = instrumentation
+        self._obs_label = label
+        self._closure_counters_cache = None
+        self._cone_histogram = None
+
+    def instrumentation(self) -> Instrumentation:
+        """This graph's handle (lazily created and enabled when no
+        session attached one, so standalone graphs still count)."""
+        if self._obs is None:
+            self._obs = Instrumentation()
+        return self._obs
+
+    def instrumentation_label(self) -> str:
+        """The ``attacker`` label value this graph's metrics carry."""
+        return self._obs_label
+
+    def _closure_counters(self) -> Tuple:
+        """(hits, computes, resumes, revalidations) registry children."""
+        cached = self._closure_counters_cache
+        if cached is None:
+            obs = self.instrumentation()
+            label = self._obs_label
+            cached = tuple(
+                obs.counter(
+                    f"repro_closure_cache_{name}_total",
+                    help_,
+                    labels=("attacker",),
+                ).labels(attacker=label)
+                for name, help_ in (
+                    ("hits", "Clean closure records served with no fixpoint work."),
+                    ("computes", "Scratch forward-closure fixpoint runs."),
+                    ("resumes", "Incremental re-derivations from a dirty record."),
+                    ("revalidations", "Closure records a delta marked dirty."),
+                )
+            )
+            self._closure_counters_cache = cached
+        return cached
+
     def levels_engine(self) -> DepthFixpointEngine:
         """The dependency-level engine (built lazily, maintained under
         deltas once built)."""
@@ -482,7 +541,7 @@ class TransformationDependencyGraph:
         """
         record = self._closure_cache.get(key)
         if record is not None and not record.dirty:
-            self._closure_hits += 1
+            self._closure_counters()[0].inc()
         return record
 
     def closure_cache_put(self, key: Tuple, record, resumed: bool = False) -> None:
@@ -492,9 +551,9 @@ class TransformationDependencyGraph:
         scratch fixpoint run in the stats.
         """
         if resumed:
-            self._closure_resumes += 1
+            self._closure_counters()[2].inc()
         else:
-            self._closure_computes += 1
+            self._closure_counters()[1].inc()
         if (
             key not in self._closure_cache
             and len(self._closure_cache) >= self._CLOSURE_CACHE_LIMIT
@@ -511,12 +570,17 @@ class TransformationDependencyGraph:
         - ``revalidations`` -- records a delta marked dirty (support
           reached); safe-set patches and untouched survivals are free.
         - ``entries`` -- records currently cached (clean or dirty).
+
+        A thin view over the ``repro_closure_cache_*_total`` registry
+        counters (this graph's ``attacker`` label) -- same names, same
+        numbers as the pre-registry ad-hoc dict.
         """
+        hits, computes, resumes, revalidations = self._closure_counters()
         return {
-            "hits": self._closure_hits,
-            "computes": self._closure_computes,
-            "resumes": self._closure_resumes,
-            "revalidations": self._closure_revalidations,
+            "hits": int(hits.value),
+            "computes": int(computes.value),
+            "resumes": int(resumes.value),
+            "revalidations": int(revalidations.value),
             "entries": len(self._closure_cache),
         }
 
@@ -600,7 +664,7 @@ class TransformationDependencyGraph:
                 # even a non-reaching added service must be re-tested by
                 # the resume, because re-derived rounds can grow the IAD
                 # beyond the final set it was cleared against here.
-                self._closure_revalidations += 1
+                self._closure_counters()[3].inc()
                 for name, old, _new in changes:
                     record.dirty.setdefault(name, old)
             elif membership_changed:
@@ -678,6 +742,17 @@ class TransformationDependencyGraph:
             affected_services |= eco.demanders(factor)
         for name in changed_names:
             affected_services |= eco.linked_consumers_of(name)
+
+        cone = self._cone_histogram
+        if cone is None:
+            cone = self.instrumentation().histogram(
+                "repro_invalidation_cone_services",
+                "Services a mutation delta's invalidation cone reached.",
+                labels=("attacker",),
+                buckets=DEFAULT_SIZE_BUCKETS,
+            ).labels(attacker=self._obs_label)
+            self._cone_histogram = cone
+        cone.observe(len(affected_services))
 
         for service in affected_services:
             for path in self._coverage_by_service.pop(service, ()):

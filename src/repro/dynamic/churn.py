@@ -233,9 +233,8 @@ def measure_serve_comparison(
     ``(incremental_seconds, recompute_seconds)`` per sample; callers pick
     their own aggregate and threshold.
     """
-    import time
-
     from repro.dynamic.session import DynamicAnalysisSession
+    from repro.obs import monotonic
 
     session = DynamicAnalysisSession(ecosystem)
     session.level_fractions(platform)
@@ -250,10 +249,10 @@ def measure_serve_comparison(
         baseline.mutate(mutation)
         baseline_graph = baseline.graph()
         baseline_graph.reset_levels_engine()
-        start = time.perf_counter()
+        start = monotonic()
         baseline_graph.level_fractions(platform)
-        recompute_seconds.append(time.perf_counter() - start)
-        start = time.perf_counter()
+        recompute_seconds.append(monotonic() - start)
+        start = monotonic()
         session.level_fractions(platform)
-        incremental_seconds.append(time.perf_counter() - start)
+        incremental_seconds.append(monotonic() - start)
     return incremental_seconds, recompute_seconds

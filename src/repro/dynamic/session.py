@@ -34,6 +34,7 @@ from repro.dynamic.incremental import apply_delta
 from repro.model.attacker import AttackerProfile
 from repro.model.ecosystem import Ecosystem
 from repro.model.factors import Platform
+from repro.obs import DEFAULT_SECONDS_BUCKETS, Instrumentation
 
 
 class DynamicAnalysisSession:
@@ -51,6 +52,7 @@ class DynamicAnalysisSession:
         ecosystem: Ecosystem,
         attacker: Optional[AttackerProfile] = None,
         attackers: Optional[Mapping[str, AttackerProfile]] = None,
+        instrumentation: Optional[Instrumentation] = None,
     ) -> None:
         profiles = self._resolve_attackers(attacker, attackers)
         self._ecosystem: Optional[Ecosystem] = ecosystem
@@ -60,7 +62,7 @@ class DynamicAnalysisSession:
         self._collection_reports: Dict[str, CollectionReport] = {}
         for profile in ecosystem:
             self._refresh_reports(profile)
-        self._finish_init(profiles)
+        self._finish_init(profiles, instrumentation)
 
     @classmethod
     def from_reports(
@@ -69,6 +71,7 @@ class DynamicAnalysisSession:
         collection_reports: Mapping[str, CollectionReport],
         attacker: Optional[AttackerProfile] = None,
         attackers: Optional[Mapping[str, AttackerProfile]] = None,
+        instrumentation: Optional[Instrumentation] = None,
     ) -> "DynamicAnalysisSession":
         """A session over pre-built stage-1/2 reports (the probe path).
 
@@ -84,7 +87,7 @@ class DynamicAnalysisSession:
         session._collection = PersonalInfoCollection()
         session._auth_reports = dict(auth_reports)
         session._collection_reports = dict(collection_reports)
-        session._finish_init(profiles)
+        session._finish_init(profiles, instrumentation)
         return session
 
     @staticmethod
@@ -103,7 +106,11 @@ class DynamicAnalysisSession:
             return {"baseline": attacker}
         return {"baseline": AttackerProfile.baseline()}
 
-    def _finish_init(self, profiles: Dict[str, AttackerProfile]) -> None:
+    def _finish_init(
+        self,
+        profiles: Dict[str, AttackerProfile],
+        instrumentation: Optional[Instrumentation] = None,
+    ) -> None:
         # Nodes derive from the maintained stage-1/2 reports -- the exact
         # ActFort derivation -- so the session agrees bit-for-bit with
         # ``ActFort.from_ecosystem`` / ``MeasurementStudy`` at every state
@@ -119,6 +126,25 @@ class DynamicAnalysisSession:
             zip(profiles, graphs)
         )
         self._attackers = profiles
+        # One shared handle across every attacker view, attached before
+        # any lazy engine exists so all engine layers resolve their
+        # registry children from it (label = the attacker label).
+        self._obs = (
+            instrumentation if instrumentation is not None
+            else Instrumentation()
+        )
+        for label, graph in self._graphs.items():
+            graph.attach_instrumentation(self._obs, label)
+        self._mutations_counter = self._obs.counter(
+            "repro_session_mutations_total",
+            "Mutations applied to the live session, by mutation kind.",
+            labels=("kind",),
+        )
+        self._apply_seconds = self._obs.histogram(
+            "repro_session_apply_seconds",
+            "Wall time one mutation took to absorb (delta + reports).",
+            buckets=DEFAULT_SECONDS_BUCKETS,
+        )
         # Indexes must exist eagerly: mutate() maintains them in place, and
         # a lazily-built index cannot be spliced before it exists.
         for graph in graphs:
@@ -158,6 +184,13 @@ class DynamicAnalysisSession:
     def attackers(self) -> Mapping[str, AttackerProfile]:
         """Label -> profile for every live attacker view."""
         return dict(self._attackers)
+
+    @property
+    def instrumentation(self) -> Instrumentation:
+        """The shared metrics/tracing handle every engine layer reports
+        through (one registry for all attacker views, distinguished by
+        the ``attacker`` label)."""
+        return self._obs
 
     @property
     def version(self) -> int:
@@ -201,32 +234,40 @@ class DynamicAnalysisSession:
                 "this session was built from probe reports; there is no "
                 "ecosystem to mutate"
             )
-        mutated, delta = self._ecosystem.apply(mutation)
-        self._ecosystem = mutated
-        if not delta.is_noop:
-            node_overrides = {}
-            for profile in delta.added:
-                self._refresh_reports(profile)
-                self._fold_measurement(profile.name, None, None)
-                node_overrides[profile.name] = self._node_from_reports(
-                    profile.name
+        with self._obs.span(
+            "session.apply", mutation=mutation.describe()
+        ) as span:
+            mutated, delta = self._ecosystem.apply(mutation)
+            self._ecosystem = mutated
+            if not delta.is_noop:
+                node_overrides = {}
+                for profile in delta.added:
+                    self._refresh_reports(profile)
+                    self._fold_measurement(profile.name, None, None)
+                    node_overrides[profile.name] = self._node_from_reports(
+                        profile.name
+                    )
+                for _old, new_profile in delta.replaced:
+                    name = new_profile.name
+                    old_auth = self._auth_reports.get(name)
+                    old_collection = self._collection_reports.get(name)
+                    self._refresh_reports(new_profile)
+                    self._fold_measurement(name, old_auth, old_collection)
+                    node_overrides[name] = self._node_from_reports(name)
+                apply_delta(
+                    self._graphs.values(), delta, node_overrides=node_overrides
                 )
-            for _old, new_profile in delta.replaced:
-                name = new_profile.name
-                old_auth = self._auth_reports.get(name)
-                old_collection = self._collection_reports.get(name)
-                self._refresh_reports(new_profile)
-                self._fold_measurement(name, old_auth, old_collection)
-                node_overrides[name] = self._node_from_reports(name)
-            apply_delta(
-                self._graphs.values(), delta, node_overrides=node_overrides
-            )
-            for profile in delta.removed:
-                old_auth = self._auth_reports.pop(profile.name, None)
-                old_collection = self._collection_reports.pop(
-                    profile.name, None
-                )
-                self._fold_measurement(profile.name, old_auth, old_collection)
+                for profile in delta.removed:
+                    old_auth = self._auth_reports.pop(profile.name, None)
+                    old_collection = self._collection_reports.pop(
+                        profile.name, None
+                    )
+                    self._fold_measurement(
+                        profile.name, old_auth, old_collection
+                    )
+            span.set_attribute("noop", delta.is_noop)
+        self._mutations_counter.labels(kind=type(mutation).__name__).inc()
+        self._apply_seconds.observe(span.duration_seconds)
         self._deltas.append(delta)
         return delta
 

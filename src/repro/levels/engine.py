@@ -66,6 +66,7 @@ from typing import (
 from repro.core.index import MASKABLE_FACTORS
 from repro.levels.aggregates import FactorDepthBuckets
 from repro.model.factors import CredentialFactor, Platform
+from repro.obs import DEFAULT_SIZE_BUCKETS
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.index import EcosystemIndex
@@ -176,6 +177,53 @@ class DepthFixpointEngine:
         self._pending_touched: Set[str] = set()
         self._pending_factors: Set[CredentialFactor] = set()
         self._pending_names: Set[str] = set()
+        # Instrumentation: registry children resolved once against the
+        # graph's shared handle (attached before lazy engines exist).
+        # Flush-path instruments record the two-phase delta-BFS bill --
+        # retractions (phase A) and re-derivations (phase B) per depth
+        # map, plus the per-flush touched-signature and dirty-cone sizes.
+        obs = graph.instrumentation()
+        label = graph.instrumentation_label()
+        self._obs = obs
+        self._obs_label = label
+        self._flushes = obs.counter(
+            "repro_levels_flushes_total",
+            "Delta flushes absorbed by the depth-fixpoint engine.",
+            labels=("attacker",),
+        ).labels(attacker=label)
+        self._scratch_builds = obs.counter(
+            "repro_levels_scratch_builds_total",
+            "From-scratch depth-tier builds (first query or engine reset).",
+            labels=("attacker",),
+        ).labels(attacker=label)
+        retractions = obs.counter(
+            "repro_levels_retractions_total",
+            "Depth entries retracted in phase A of a delta flush.",
+            labels=("attacker", "map"),
+        )
+        rederivations = obs.counter(
+            "repro_levels_rederivations_total",
+            "Depth entries re-derived in phase B of a delta flush.",
+            labels=("attacker", "map"),
+        )
+        self._retract_joint = retractions.labels(attacker=label, map="joint")
+        self._retract_pure = retractions.labels(attacker=label, map="pure")
+        self._rederive_joint = rederivations.labels(
+            attacker=label, map="joint"
+        )
+        self._rederive_pure = rederivations.labels(attacker=label, map="pure")
+        self._touched_signatures = obs.histogram(
+            "repro_levels_touched_signatures",
+            "Per-flush count of services whose coverage signature moved.",
+            labels=("attacker",),
+            buckets=DEFAULT_SIZE_BUCKETS,
+        ).labels(attacker=label)
+        self._dirty_cone = obs.histogram(
+            "repro_levels_dirty_cone_services",
+            "Per-flush size of the coverage-dirty service cone.",
+            labels=("attacker",),
+            buckets=DEFAULT_SIZE_BUCKETS,
+        ).labels(attacker=label)
 
     # ------------------------------------------------------------------
     # Delta intake (lazy: queries flush)
@@ -208,6 +256,24 @@ class DepthFixpointEngine:
         self._pending_names = set()
         if self._sig is None:
             return  # nothing built yet; the scratch build sees final state
+        self._flushes.inc()
+        with self._obs.span(
+            "levels.flush",
+            attacker=self._obs_label,
+            touched=len(touched),
+        ) as span:
+            self._absorb(touched, factors, names, span)
+
+    def _absorb(
+        self,
+        touched: Set[str],
+        factors: Set[CredentialFactor],
+        names: Set[str],
+        span,
+    ) -> None:
+        """The flush body: route one accumulated delta scope through all
+        three tiers (split from :meth:`_flush` so the whole absorption
+        sits under one ``levels.flush`` span)."""
         graph = self._graph
         nodes = graph._nodes
         eco = graph.ecosystem_index()
@@ -282,6 +348,11 @@ class DepthFixpointEngine:
             else:
                 self._direct.discard(service)
 
+        self._touched_signatures.observe(len(sig_changes))
+        self._dirty_cone.observe(len(dirty))
+        span.set_attribute("signatures_changed", len(sig_changes))
+        span.set_attribute("dirty_cone", len(dirty))
+
         # Parenthood is content-sensitive but combining-insensitive, so
         # its cone excludes the combining demanders: touched services,
         # services whose residual split moved, availability/linked-name
@@ -312,11 +383,21 @@ class DepthFixpointEngine:
             joint_seeds = set(dirty) | combining_demanders
             for factor in summary_moved:
                 joint_seeds |= eco.demanders(factor)
-            self._update_joint(
+            joint_retracted, joint_rederived = self._update_joint(
                 joint_seeds, nodes, eco, initial_summaries, initial_joint
             )
             self._refresh_parents(parents_dirty, removed)
-            self._update_pure(parents_dirty, nodes, initial_pure)
+            pure_retracted, pure_rederived = self._update_pure(
+                parents_dirty, nodes, initial_pure
+            )
+            self._retract_joint.inc(joint_retracted)
+            self._rederive_joint.inc(joint_rederived)
+            self._retract_pure.inc(pure_retracted)
+            self._rederive_pure.inc(pure_rederived)
+            span.set_attribute("joint_retracted", joint_retracted)
+            span.set_attribute("joint_rederived", joint_rederived)
+            span.set_attribute("pure_retracted", pure_retracted)
+            span.set_attribute("pure_rederived", pure_rederived)
 
         # A classification entry reads exactly: the service's own coverage
         # signature, its paths' parenthood (pf0/pf1 intersections), and
@@ -460,6 +541,11 @@ class DepthFixpointEngine:
     def _ensure_depths(self) -> None:
         if self._joint is not None:
             return
+        self._scratch_builds.inc()
+        with self._obs.span("levels.build", attacker=self._obs_label):
+            self._build_depths()
+
+    def _build_depths(self) -> None:
         self._ensure_signatures()
         graph = self._graph
         nodes = graph._nodes
@@ -807,10 +893,14 @@ class DepthFixpointEngine:
         eco: "EcosystemIndex",
         initial_summaries: Dict[CredentialFactor, object],
         initial_joint: Dict[str, Optional[int]],
-    ) -> None:
+    ) -> Tuple[int, int]:
         """Two-phase delta-BFS on the joint map.  Every entry and factor
         summary is snapshotted into the ``initial_*`` maps at first touch,
-        so the caller can compute net changes across both phases."""
+        so the caller can compute net changes across both phases.
+        Returns ``(phase A retractions, phase B re-derivations)`` -- the
+        flush's actual bill, which the registry counters accumulate."""
+        retracted = 0
+        rederived = 0
         todo: Set[str] = set()
         wl = deque(dirty)
         inwl = set(dirty)
@@ -823,6 +913,7 @@ class DepthFixpointEngine:
             old = self._joint.get(service)
             if service not in nodes:
                 if old is not None:
+                    retracted += 1
                     initial_joint.setdefault(service, old)
                     self._snap_summaries(
                         self._provided.get(service, ()), initial_summaries
@@ -837,6 +928,7 @@ class DepthFixpointEngine:
                 continue
             if self._derive_joint(service) == old:
                 continue
+            retracted += 1
             initial_joint.setdefault(service, old)
             self._snap_summaries(
                 self._provided.get(service, ()), initial_summaries
@@ -853,6 +945,7 @@ class DepthFixpointEngine:
             inwl.discard(service)
             if service not in nodes:
                 continue
+            rederived += 1
             cand = self._derive_joint(service)
             old = self._joint.get(service)
             if cand == old:
@@ -863,6 +956,7 @@ class DepthFixpointEngine:
             )
             changed = self._set_joint(service, cand)
             self._push_joint_consumers(service, changed, wl, inwl, nodes, eco)
+        return retracted, rederived
 
     def _refresh_parents(self, dirty: Set[str], removed: Set[str]) -> None:
         graph = self._graph
@@ -902,9 +996,12 @@ class DepthFixpointEngine:
         dirty: Set[str],
         nodes,
         initial_pure: Dict[str, Optional[int]],
-    ) -> None:
+    ) -> Tuple[int, int]:
         """The same two-phase scheme on the pure-full map, propagating
-        along the memoized parent -> children postings."""
+        along the memoized parent -> children postings.  Returns
+        ``(phase A retractions, phase B re-derivations)``."""
+        retracted = 0
+        rederived = 0
         todo: Set[str] = set()
         pure = self._pure
         wl = deque(dirty)
@@ -915,6 +1012,7 @@ class DepthFixpointEngine:
             old = pure.get(service)
             if service not in nodes:
                 if old is not None:
+                    retracted += 1
                     initial_pure.setdefault(service, old)
                     self._set_pure(service, None)
                     self._push_children(service, wl, inwl, nodes)
@@ -924,6 +1022,7 @@ class DepthFixpointEngine:
                 continue
             if self._derive_pure(service) == old:
                 continue
+            retracted += 1
             initial_pure.setdefault(service, old)
             self._set_pure(service, None)
             todo.add(service)
@@ -935,6 +1034,7 @@ class DepthFixpointEngine:
             inwl.discard(service)
             if service not in nodes:
                 continue
+            rederived += 1
             cand = self._derive_pure(service)
             old = pure.get(service)
             if cand == old:
@@ -942,6 +1042,7 @@ class DepthFixpointEngine:
             initial_pure.setdefault(service, old)
             self._set_pure(service, cand)
             self._push_children(service, wl, inwl, nodes)
+        return retracted, rederived
 
     # ------------------------------------------------------------------
     # Queries

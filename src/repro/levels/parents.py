@@ -71,12 +71,23 @@ class SignatureParentsView:
         self._graph = graph
         self._full: Dict[FrozenSet[CredentialFactor], FrozenSet[str]] = {}
         self._half: Dict[FrozenSet[CredentialFactor], FrozenSet[str]] = {}
-        #: Observability counters: signatures deltas retracted, and
-        #: reads that had to re-join the postings (``stats()`` exposes
-        #: both; ``tests/test_levels_engine.py`` pins the retraction
-        #: accounting).
-        self._retractions = 0
-        self._derivations = 0
+        # Observability counters: signatures deltas retracted, and reads
+        # that had to re-join the postings.  Registry children on the
+        # graph's shared handle; ``stats()`` is the thin view over them
+        # (``tests/test_levels_engine.py`` pins the retraction
+        # accounting).
+        obs = graph.instrumentation()
+        label = graph.instrumentation_label()
+        self._retractions = obs.counter(
+            "repro_parents_retractions_total",
+            "Signature member-set entries dropped by delta retraction.",
+            labels=("attacker",),
+        ).labels(attacker=label)
+        self._derivations = obs.counter(
+            "repro_parents_derivations_total",
+            "Signature member-set joins derived on read.",
+            labels=("attacker",),
+        ).labels(attacker=label)
 
     # ------------------------------------------------------------------
     # Phase A: retraction
@@ -103,7 +114,7 @@ class SignatureParentsView:
             # Both member sets derive together, so both retract together.
             del self._full[signature]
             self._half.pop(signature, None)
-        self._retractions += len(stale)
+        self._retractions.inc(len(stale))
 
     # ------------------------------------------------------------------
     # Phase B: derivation on read
@@ -113,7 +124,7 @@ class SignatureParentsView:
         self, signature: FrozenSet[CredentialFactor]
     ) -> Tuple[FrozenSet[str], FrozenSet[str]]:
         """Join the signature against the live provider postings."""
-        self._derivations += 1
+        self._derivations.inc()
         view = self._graph.attacker_index()
         provider_sets = [
             view.static_provider_set(factor) for factor in signature
@@ -164,9 +175,10 @@ class SignatureParentsView:
         }
 
     def stats(self) -> Dict[str, int]:
-        """Entry/retraction/derivation counters."""
+        """Entry/retraction/derivation counters (a thin view over the
+        ``repro_parents_*_total`` registry children)."""
         return {
             "entries": len(self._full),
-            "retractions": self._retractions,
-            "derivations": self._derivations,
+            "retractions": int(self._retractions.value),
+            "derivations": int(self._derivations.value),
         }

@@ -1,0 +1,72 @@
+"""Unified instrumentation: metrics registry, tracing spans, exporters.
+
+The runtime behavior of the five incremental engines (result cache,
+closure records, depth fixpoints, parent postings, stream segments)
+used to surface through four incompatible ad-hoc stats dicts and one-off
+timing calls.  This package is the one subsystem behind all of them:
+
+- :mod:`repro.obs.metrics` -- a thread-safe
+  :class:`MetricsRegistry` of labeled counters, gauges, and
+  fixed-bucket histograms;
+- :mod:`repro.obs.trace` -- a :class:`Tracer` producing nested
+  :class:`Span` trees (monotonic timings, attributes, exception
+  tagging) with a bounded ring buffer of recent roots;
+- :mod:`repro.obs.handle` -- the :class:`Instrumentation` handle the
+  engines thread (``Instrumentation.disabled()`` is the no-op
+  configuration whose hot-path cost the perf gates pin at ~zero);
+- :mod:`repro.obs.export` -- the three exporters: point-in-time JSON
+  :func:`metrics_snapshot`, Prometheus text :func:`render_prometheus`,
+  and the :class:`NDJSONSpanWriter` span log;
+- :mod:`repro.obs.report` -- the run-report renderer behind
+  ``tools/obsreport.py``.
+
+The legacy stats surfaces (``ResultCache.stats()``,
+``closure_cache_stats()``, ``SignatureParentsView.stats()``,
+``RecordStreamEngine.stats()``) are thin views over the registry now --
+same names, same numbers.  ``docs/observability.md`` documents the span
+taxonomy, the metric names and labels, and the exporter formats.
+"""
+
+from repro.obs.export import (
+    NDJSONSpanWriter,
+    metrics_snapshot,
+    render_prometheus,
+)
+from repro.obs.handle import Instrumentation
+from repro.obs.metrics import (
+    DEFAULT_SECONDS_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+)
+from repro.obs.noop import (
+    NULL_INSTRUMENT,
+    NULL_REGISTRY,
+    NULL_SPAN,
+    NULL_TRACER,
+)
+from repro.obs.trace import Span, Tracer, monotonic
+
+__all__ = [
+    "Counter",
+    "DEFAULT_SECONDS_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "Instrumentation",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NDJSONSpanWriter",
+    "NULL_INSTRUMENT",
+    "NULL_REGISTRY",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "Span",
+    "Tracer",
+    "metrics_snapshot",
+    "monotonic",
+    "render_prometheus",
+]

@@ -1,0 +1,193 @@
+"""Exporters: JSON snapshot, Prometheus text format, NDJSON span log.
+
+Three views over the same instruments:
+
+- :func:`metrics_snapshot` -- a point-in-time, JSON-serializable dict
+  (what :meth:`repro.api.AnalysisService.observability_snapshot`
+  embeds);
+- :func:`render_prometheus` -- the text exposition format a ``/metrics``
+  endpoint serves (``# HELP`` / ``# TYPE`` headers, cumulative
+  ``_bucket{le="..."}`` histogram series with ``_sum`` / ``_count``);
+- :class:`NDJSONSpanWriter` -- a tracer sink writing one finished root
+  span tree per line, plus on-demand metrics-snapshot records, which is
+  the input format of ``tools/obsreport.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, Optional, Union
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "metrics_snapshot",
+    "render_prometheus",
+    "NDJSONSpanWriter",
+]
+
+
+def _sample_value(child: Any) -> Dict[str, Any]:
+    if isinstance(child, Histogram):
+        buckets: Dict[str, int] = {}
+        cumulative = 0
+        counts = child.bucket_counts
+        for edge, count in zip(child.edges, counts):
+            cumulative += count
+            buckets[repr(edge)] = cumulative
+        buckets["+Inf"] = cumulative + counts[-1]
+        return {
+            "buckets": buckets,
+            "sum": child.sum,
+            "count": child.count,
+        }
+    return {"value": child.value}
+
+
+def metrics_snapshot(registry: MetricsRegistry) -> Dict[str, Any]:
+    """Every family's current state as plain JSON-serializable data.
+
+    Shape: ``{name: {"type", "help", "label_names", "samples": [
+    {"labels": {...}, "value": n} | {"labels": {...}, "buckets": {...},
+    "sum": s, "count": c}]}}``.  Bucket keys are cumulative (``le``)
+    counts keyed by the edge's ``repr``, with the ``+Inf`` total last.
+    """
+    snapshot: Dict[str, Any] = {}
+    for family in registry.collect():
+        samples = []
+        for labels, child in family.samples():
+            sample: Dict[str, Any] = {"labels": labels}
+            sample.update(_sample_value(child))
+            samples.append(sample)
+        snapshot[family.name] = {
+            "type": family.kind,
+            "help": family.help,
+            "label_names": list(family.label_names),
+            "samples": samples,
+        }
+    return snapshot
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _label_str(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in labels.items()
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_number(value: Union[int, float]) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format (v0.0.4)."""
+    lines = []
+    for family in registry.collect():
+        lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for labels, child in family.samples():
+            if isinstance(child, (Counter, Gauge)):
+                lines.append(
+                    f"{family.name}{_label_str(labels)} "
+                    f"{_format_number(child.value)}"
+                )
+            elif isinstance(child, Histogram):
+                cumulative = 0
+                counts = child.bucket_counts
+                for edge, count in zip(child.edges, counts):
+                    cumulative += count
+                    le = 'le="{}"'.format(_format_number(edge))
+                    lines.append(
+                        f"{family.name}_bucket{_label_str(labels, le)} "
+                        f"{cumulative}"
+                    )
+                inf = 'le="+Inf"'
+                lines.append(
+                    f"{family.name}_bucket{_label_str(labels, inf)} "
+                    f"{cumulative + counts[-1]}"
+                )
+                lines.append(
+                    f"{family.name}_sum{_label_str(labels)} "
+                    f"{_format_number(child.sum)}"
+                )
+                lines.append(
+                    f"{family.name}_count{_label_str(labels)} {child.count}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+class NDJSONSpanWriter:
+    """A tracer sink writing one JSON record per line.
+
+    Two record types:
+
+    - ``{"type": "span", "span": {...nested tree...}}`` -- appended for
+      every finished *root* span (the tracer fans these out);
+    - ``{"type": "snapshot", "metrics": {...}}`` -- appended by
+      :meth:`write_snapshot`, typically once at the end of a run so the
+      report can render cache-efficacy tables next to the spans.
+
+    Accepts a path (opened append, line-buffered-ish: one ``write`` +
+    ``flush`` per record) or any open text file object (not closed by
+    :meth:`close` unless owned).
+    """
+
+    def __init__(
+        self,
+        destination: Union[str, IO[str]],
+        instrumentation: Optional[object] = None,
+    ) -> None:
+        if isinstance(destination, str):
+            self._file: IO[str] = open(destination, "a", encoding="utf-8")
+            self._owns = True
+        else:
+            self._file = destination
+            self._owns = False
+        self._instrumentation = instrumentation
+        self._closed = False
+
+    def __call__(self, root_span) -> None:
+        """The sink protocol: serialize one finished root span tree."""
+        self._write({"type": "span", "span": root_span.to_dict()})
+
+    def write_snapshot(
+        self, registry: Optional[MetricsRegistry] = None
+    ) -> None:
+        """Append a metrics-snapshot record (defaults to the registry of
+        the instrumentation handle this writer was attached through)."""
+        if registry is None:
+            if self._instrumentation is None:
+                raise ValueError(
+                    "no registry: pass one or attach via "
+                    "Instrumentation.log_spans_to"
+                )
+            registry = self._instrumentation.registry
+        self._write(
+            {"type": "snapshot", "metrics": metrics_snapshot(registry)}
+        )
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        if self._closed:
+            return
+        self._file.write(json.dumps(record, sort_keys=True) + "\n")
+        self._file.flush()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns:
+            self._file.close()

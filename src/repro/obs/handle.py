@@ -1,0 +1,100 @@
+"""The :class:`Instrumentation` handle every engine layer threads.
+
+One handle bundles a metrics registry and a tracer behind a single
+object the engines pass down (service -> session -> graphs -> levels /
+parents / streams / closure engines).  Two configurations:
+
+- ``Instrumentation()`` -- **enabled**: a live
+  :class:`~repro.obs.metrics.MetricsRegistry` plus a live
+  :class:`~repro.obs.trace.Tracer`.  This is the default everywhere;
+  counters are integer adds under a lock, and the behavior-compatible
+  stats views read their numbers back out of the registry.
+- ``Instrumentation.disabled()`` -- **no-op**: the null registry and
+  tracer from :mod:`repro.obs.noop`.  Hot paths pay one attribute
+  access and an empty call; the perf-smoke gate pins enabled within
+  10% of this at the 402-service serve tier.
+
+The handle is deliberately tiny: engines hold instrument *children*
+(resolved once at attach time), not the handle itself, on their hot
+paths.
+"""
+
+from __future__ import annotations
+
+from typing import IO, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.noop import NULL_REGISTRY, NULL_TRACER
+from repro.obs.trace import Tracer
+
+__all__ = ["Instrumentation"]
+
+
+class Instrumentation:
+    """One registry + one tracer, enabled or no-op."""
+
+    __slots__ = ("_enabled", "registry", "tracer")
+
+    def __init__(
+        self, enabled: bool = True, max_recent_spans: int = 64
+    ) -> None:
+        self._enabled = enabled
+        if enabled:
+            self.registry = MetricsRegistry()
+            self.tracer = Tracer(max_recent=max_recent_spans)
+        else:
+            self.registry = NULL_REGISTRY
+            self.tracer = NULL_TRACER
+
+    @classmethod
+    def disabled(cls) -> "Instrumentation":
+        """A no-op handle (fresh instance; null internals are shared
+        singletons, so this is allocation-cheap)."""
+        return cls(enabled=False)
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    # -- instrument passthroughs (creation-time, not hot-path) ----------
+
+    def counter(self, name: str, help: str = "", labels=()):
+        return self.registry.counter(name, help, labels)
+
+    def gauge(self, name: str, help: str = "", labels=()):
+        return self.registry.gauge(name, help, labels)
+
+    def histogram(self, name: str, help: str = "", labels=(), **kwargs):
+        return self.registry.histogram(name, help, labels, **kwargs)
+
+    def span(self, name: str, **attributes):
+        return self.tracer.span(name, **attributes)
+
+    # -- exporter conveniences ------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Point-in-time JSON-serializable metrics + recent span trees."""
+        from repro.obs.export import metrics_snapshot
+
+        return {
+            "metrics": metrics_snapshot(self.registry),
+            "recent_spans": [
+                span.to_dict() for span in self.tracer.recent()
+            ],
+        }
+
+    def prometheus(self) -> str:
+        """The registry in Prometheus text exposition format."""
+        from repro.obs.export import render_prometheus
+
+        return render_prometheus(self.registry)
+
+    def log_spans_to(self, destination: Union[str, IO[str]]):
+        """Attach (and return) an NDJSON span-log writer as a tracer
+        sink; pass the returned writer to ``remove_sink``/``close`` when
+        done."""
+        from repro.obs.export import NDJSONSpanWriter
+
+        writer = NDJSONSpanWriter(destination, instrumentation=self)
+        self.tracer.add_sink(writer)
+        return writer

@@ -1,0 +1,341 @@
+"""The thread-safe metrics registry: counters, gauges, histograms.
+
+One :class:`MetricsRegistry` is the numeric half of an
+:class:`~repro.obs.Instrumentation` handle.  Three instrument kinds,
+all label-aware:
+
+- **Counter** -- a monotonically non-decreasing total (cache hits,
+  fixpoint rounds, retracted entries).
+- **Gauge** -- a point-in-time level that moves both ways (live cache
+  entries, materialized segments).
+- **Histogram** -- fixed upper-edge buckets with ``le`` (less-or-equal)
+  semantics: an observation lands in the *first* bucket whose edge is
+  ``>= value``; values above the last edge land in the implicit
+  ``+Inf`` bucket.  Edges are fixed at creation, so merging, exporting
+  and quantile estimation never resample.
+
+A **family** is one named metric plus its label names
+(``registry.counter("repro_api_queries_total", labels=("kind",))``);
+``family.labels(kind="closure")`` returns the per-label-set **child**
+that actually counts.  Children are interned, so hot paths resolve a
+child once and call ``inc()``/``observe()`` on it directly.  A family
+declared with no labels proxies its instrument methods straight to the
+single anonymous child.
+
+Thread safety: family/child creation takes the registry lock; every
+update takes the owning child's lock.  All values are plain Python
+numbers -- integer counters stay integers, which keeps the
+behavior-compatible stats views (``ResultCache.stats()``,
+``closure_cache_stats()``, ...) returning the exact ints they always
+returned.
+
+This module is dependency-free (stdlib only) by design: it must be
+importable from every engine layer without adding an import cycle or a
+third-party requirement.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "DEFAULT_SECONDS_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+]
+
+#: Default latency buckets (seconds): 100us .. 10s, roughly log-spaced.
+DEFAULT_SECONDS_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Default magnitude buckets (entry/cone/set sizes).
+DEFAULT_SIZE_BUCKETS: Tuple[float, ...] = (
+    0, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 5000,
+)
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonic total.  ``inc`` of a negative amount is an error."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> Number:
+        return self._value
+
+
+class Gauge:
+    """A level that moves both ways."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value: Number = 0
+
+    def set(self, value: Number) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: Number = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: Number = 1) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> Number:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with ``le`` (less-or-equal) edges.
+
+    ``bucket_counts`` are per-bucket (non-cumulative) counts aligned
+    with ``edges``; the trailing element counts the implicit ``+Inf``
+    bucket.  Exporters cumulate on the way out (Prometheus semantics).
+    """
+
+    __slots__ = ("_lock", "edges", "_counts", "_sum", "_count")
+
+    def __init__(self, edges: Sequence[Number]) -> None:
+        ordered = tuple(float(edge) for edge in edges)
+        if not ordered:
+            raise ValueError("histogram needs at least one bucket edge")
+        if any(b <= a for a, b in zip(ordered, ordered[1:])):
+            raise ValueError(f"bucket edges must strictly increase: {ordered}")
+        self._lock = threading.Lock()
+        self.edges = ordered
+        self._counts = [0] * (len(ordered) + 1)
+        self._sum: Number = 0
+        self._count = 0
+
+    def observe(self, value: Number) -> None:
+        # le semantics: first bucket whose edge >= value; bisect_left on
+        # the sorted edges finds exactly that (value == edge stays in
+        # that edge's bucket), one past the end is +Inf.
+        index = bisect.bisect_left(self.edges, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def bucket_counts(self) -> Tuple[int, ...]:
+        return tuple(self._counts)
+
+    @property
+    def sum(self) -> Number:
+        return self._sum
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Upper-edge estimate of the ``q`` quantile (0 <= q <= 1).
+
+        Returns the edge of the first bucket whose cumulative count
+        reaches ``q * count`` -- a conservative (never-underestimating)
+        bucket-resolution answer -- or ``None`` when empty.  Observations
+        beyond the last edge report the last edge (the histogram cannot
+        resolve further).
+        """
+        if not 0 <= q <= 1:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self._count == 0:
+            return None
+        threshold = q * self._count
+        cumulative = 0
+        for edge, bucket in zip(self.edges, self._counts):
+            cumulative += bucket
+            if cumulative >= threshold:
+                return edge
+        return self.edges[-1]
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """One named metric and its per-label-set children."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        label_names: Tuple[str, ...],
+        buckets: Optional[Tuple[float, ...]],
+        lock: threading.Lock,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.label_names = label_names
+        self.buckets = buckets
+        self._lock = lock
+        self._children: Dict[Tuple[str, ...], object] = {}
+
+    def labels(self, **labels: str) -> object:
+        """The child instrument for one label-value set (interned)."""
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"{self.name} takes labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[name]) for name in self.label_names)
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.get(key)
+                if child is None:
+                    if self.kind == "histogram":
+                        child = Histogram(self.buckets)
+                    else:
+                        child = _KINDS[self.kind]()
+                    self._children[key] = child
+        return child
+
+    def samples(self) -> Iterable[Tuple[Dict[str, str], object]]:
+        """(labels dict, child) per live child, insertion-ordered."""
+        for key, child in list(self._children.items()):
+            yield dict(zip(self.label_names, key)), child
+
+    # -- no-label convenience: the family proxies the single anonymous
+    # child, so unlabeled instruments read like plain counters.
+
+    def _default(self) -> object:
+        return self.labels()
+
+    def inc(self, amount: Number = 1) -> None:
+        self._default().inc(amount)
+
+    def dec(self, amount: Number = 1) -> None:
+        self._default().dec(amount)
+
+    def set(self, value: Number) -> None:
+        self._default().set(value)
+
+    def observe(self, value: Number) -> None:
+        self._default().observe(value)
+
+    @property
+    def value(self) -> Number:
+        return self._default().value
+
+
+class MetricsRegistry:
+    """A process-local, thread-safe collection of metric families.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: asking for an
+    existing name returns the existing family (so independently
+    constructed engines can share one registry), but re-declaring it
+    with a different kind, label set, or bucket edges raises -- silent
+    divergence is how ad-hoc stats dicts happen.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: Dict[str, MetricFamily] = {}
+
+    def _register(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labels: Sequence[str],
+        buckets: Optional[Sequence[Number]] = None,
+    ) -> MetricFamily:
+        label_names = tuple(labels)
+        bucket_edges = (
+            tuple(float(b) for b in buckets) if buckets is not None else None
+        )
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if (
+                    family.kind != kind
+                    or family.label_names != label_names
+                    or family.buckets != bucket_edges
+                ):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{family.kind}{family.label_names} "
+                        f"(buckets={family.buckets}); cannot re-register as "
+                        f"{kind}{label_names} (buckets={bucket_edges})"
+                    )
+                return family
+            family = MetricFamily(
+                name, kind, help, label_names, bucket_edges, self._lock
+            )
+            self._families[name] = family
+            return family
+
+    def counter(
+        self, name: str, help: str = "", labels: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._register(name, "counter", help, labels)
+
+    def gauge(
+        self, name: str, help: str = "", labels: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._register(name, "gauge", help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[Number] = DEFAULT_SECONDS_BUCKETS,
+    ) -> MetricFamily:
+        return self._register(name, "histogram", help, labels, buckets)
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        """The family registered under ``name``, or ``None``."""
+        return self._families.get(name)
+
+    def collect(self) -> Tuple[MetricFamily, ...]:
+        """Every family, sorted by name (the exporters' iteration order)."""
+        with self._lock:
+            return tuple(
+                self._families[name] for name in sorted(self._families)
+            )
+
+    def value(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> Number:
+        """Convenience point read: the child's value, or 0 if the child
+        (or family) was never touched -- what the thin stats views use."""
+        family = self._families.get(name)
+        if family is None:
+            return 0
+        key = tuple(
+            str((labels or {})[label]) for label in family.label_names
+        )
+        child = family._children.get(key)
+        if child is None:
+            return 0
+        return child.value

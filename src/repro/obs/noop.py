@@ -1,0 +1,134 @@
+"""No-op instrumentation: what a disabled handle hands to hot paths.
+
+Every object here is a stateless singleton whose methods do nothing and
+return immediately, so code can be written unconditionally instrumented
+(``self._hits.inc()``, ``with obs.span(...)``) and the disabled
+configuration costs one attribute access plus an empty call -- the
+overhead the no-op smoke test in ``tests/test_obs.py`` bounds per-op
+and the gate in ``tests/test_perf_smoke.py`` bounds at the serve tier.
+
+The null registry intentionally satisfies the same surface as
+:class:`~repro.obs.metrics.MetricsRegistry` (every instrument request
+returns the one null instrument; ``collect()`` is empty), so exporters
+against a disabled handle render empty output instead of raising.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+__all__ = [
+    "NULL_INSTRUMENT",
+    "NULL_REGISTRY",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullInstrument",
+    "NullRegistry",
+    "NullSpan",
+    "NullTracer",
+]
+
+
+class NullInstrument:
+    """Counter, gauge, histogram and family, all at once, all inert."""
+
+    __slots__ = ()
+
+    def inc(self, amount=1) -> None:
+        pass
+
+    def dec(self, amount=1) -> None:
+        pass
+
+    def set(self, value) -> None:
+        pass
+
+    def observe(self, value) -> None:
+        pass
+
+    def labels(self, **labels) -> "NullInstrument":
+        return self
+
+    def quantile(self, q) -> Optional[float]:
+        return None
+
+    @property
+    def value(self) -> int:
+        return 0
+
+
+class NullSpan:
+    """An inert span usable as a context manager."""
+
+    __slots__ = ()
+
+    name = ""
+    attributes: dict = {}
+    children: tuple = ()
+    error = None
+    duration_seconds = 0.0
+    self_seconds = 0.0
+    finished = True
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set_attribute(self, key, value) -> None:
+        pass
+
+    def to_dict(self) -> dict:
+        return {}
+
+
+class NullRegistry:
+    """Registry surface that mints nothing and remembers nothing."""
+
+    __slots__ = ()
+
+    def counter(self, name, help="", labels=()) -> NullInstrument:
+        return NULL_INSTRUMENT
+
+    def gauge(self, name, help="", labels=()) -> NullInstrument:
+        return NULL_INSTRUMENT
+
+    def histogram(self, name, help="", labels=(), buckets=()) -> NullInstrument:
+        return NULL_INSTRUMENT
+
+    def get(self, name) -> None:
+        return None
+
+    def collect(self) -> Tuple:
+        return ()
+
+    def value(self, name, labels=None) -> int:
+        return 0
+
+
+class NullTracer:
+    """Tracer surface that spans nothing and retains nothing."""
+
+    __slots__ = ()
+
+    def span(self, name, **attributes) -> NullSpan:
+        return NULL_SPAN
+
+    def current_span(self) -> None:
+        return None
+
+    def recent(self) -> Tuple:
+        return ()
+
+    def add_sink(self, sink) -> None:
+        pass
+
+    def remove_sink(self, sink) -> None:
+        pass
+
+
+NULL_INSTRUMENT = NullInstrument()
+NULL_SPAN = NullSpan()
+NULL_REGISTRY = NullRegistry()
+NULL_TRACER = NullTracer()

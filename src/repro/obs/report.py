@@ -1,0 +1,235 @@
+"""Run-report rendering over an NDJSON span log (``tools/obsreport.py``).
+
+Input is the file an :class:`~repro.obs.export.NDJSONSpanWriter`
+produced: ``span`` records (one nested root tree per line) and optional
+``snapshot`` records (point-in-time metrics).  The report aggregates:
+
+- **top spans by self-time** -- per span name: call count, total time,
+  total self-time (children subtracted), mean self-time;
+- **cache efficacy** -- hit/derive/reuse rates of every cache the
+  engines export counters for, read from the latest snapshot record;
+- **invalidation-cone distribution** -- bucket counts and quantile
+  estimates of the ``repro_invalidation_cone_services`` histogram.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.utils.tables import format_table
+
+__all__ = ["load_ndjson", "render_report"]
+
+
+def load_ndjson(
+    path: str,
+) -> Tuple[List[Dict[str, Any]], List[Dict[str, Any]]]:
+    """Parse one span log into (span trees, metric snapshots), in file
+    order; unknown record types are ignored (forward compatibility)."""
+    spans: List[Dict[str, Any]] = []
+    snapshots: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                raise ValueError(f"{path}:{number}: not JSON: {exc}") from None
+            if record.get("type") == "span":
+                spans.append(record["span"])
+            elif record.get("type") == "snapshot":
+                snapshots.append(record["metrics"])
+    return spans, snapshots
+
+
+def _walk(span: Dict[str, Any]) -> Iterable[Dict[str, Any]]:
+    yield span
+    for child in span.get("children", ()):
+        yield from _walk(child)
+
+
+def _span_table(spans: List[Dict[str, Any]], top: int) -> str:
+    totals: Dict[str, List[float]] = {}
+    for root in spans:
+        for span in _walk(root):
+            row = totals.setdefault(span["name"], [0, 0.0, 0.0, 0])
+            row[0] += 1
+            row[1] += span.get("duration_seconds", 0.0)
+            row[2] += span.get("self_seconds", 0.0)
+            row[3] += 1 if span.get("error") else 0
+    ranked = sorted(totals.items(), key=lambda kv: -kv[1][2])[:top]
+    rows = [
+        (
+            name,
+            str(count),
+            f"{total * 1e3:.2f}ms",
+            f"{self_total * 1e3:.2f}ms",
+            f"{self_total / count * 1e3:.3f}ms",
+            str(errors),
+        )
+        for name, (count, total, self_total, errors) in ranked
+    ]
+    return format_table(
+        ("span", "count", "total", "self", "self/call", "errors"),
+        rows,
+        title=f"top spans by self-time ({len(spans)} root traces)",
+    )
+
+
+def _counter_total(
+    snapshot: Dict[str, Any], name: str
+) -> Optional[float]:
+    family = snapshot.get(name)
+    if family is None:
+        return None
+    return sum(
+        sample.get("value", 0) for sample in family.get("samples", ())
+    )
+
+
+def _rate_row(
+    label: str, won: Optional[float], lost: Optional[float]
+) -> Optional[Tuple[str, str, str, str]]:
+    if won is None and lost is None:
+        return None
+    won = won or 0
+    lost = lost or 0
+    total = won + lost
+    rate = f"{100 * won / total:.1f}%" if total else "-"
+    return (label, f"{won:g}", f"{lost:g}", rate)
+
+
+#: (row label, cheap-outcome counter, expensive-outcome counter) per
+#: cache the engines export; the table renders won / lost / rate.
+_CACHE_ROWS = (
+    ("result cache (hit / miss)",
+     "repro_result_cache_hits_total", "repro_result_cache_misses_total"),
+    ("api queries (hit / computed)",
+     None, None),  # filled from the labeled api counter below
+    ("closure records (hit / computed)",
+     "repro_closure_cache_hits_total", "repro_closure_cache_computes_total"),
+    ("closure resumes (resumed / computed)",
+     "repro_closure_cache_resumes_total",
+     "repro_closure_cache_computes_total"),
+    ("stream segments (reused / computed)",
+     "repro_stream_segments_reused_total",
+     "repro_stream_segments_computed_total"),
+    ("parent signatures (served / derived)",
+     None, "repro_parents_derivations_total"),
+)
+
+
+def _api_outcome_totals(
+    snapshot: Dict[str, Any]
+) -> Tuple[Optional[float], Optional[float]]:
+    family = snapshot.get("repro_api_queries_total")
+    if family is None:
+        return None, None
+    hit = miss = 0.0
+    for sample in family.get("samples", ()):
+        if sample.get("labels", {}).get("outcome") == "hit":
+            hit += sample.get("value", 0)
+        else:
+            miss += sample.get("value", 0)
+    return hit, miss
+
+
+def _cache_table(snapshot: Dict[str, Any]) -> str:
+    rows = []
+    for label, won_name, lost_name in _CACHE_ROWS:
+        if label.startswith("api queries"):
+            won, lost = _api_outcome_totals(snapshot)
+        else:
+            won = (
+                _counter_total(snapshot, won_name)
+                if won_name is not None
+                else None
+            )
+            lost = (
+                _counter_total(snapshot, lost_name)
+                if lost_name is not None
+                else None
+            )
+        row = _rate_row(label, won, lost)
+        if row is not None:
+            rows.append(row)
+    if not rows:
+        return "cache efficacy: no known cache counters in the snapshot"
+    return format_table(
+        ("cache", "cheap", "expensive", "cheap rate"),
+        rows,
+        title="cache efficacy (latest snapshot)",
+    )
+
+
+def _cone_table(snapshot: Dict[str, Any]) -> str:
+    family = snapshot.get("repro_invalidation_cone_services")
+    if family is None or not family.get("samples"):
+        return (
+            "invalidation cones: no repro_invalidation_cone_services "
+            "histogram in the snapshot"
+        )
+    # Merge all label sets (per-attacker cones) into one distribution;
+    # fixed shared bucket edges make the cumulative merge exact.
+    merged: Dict[str, int] = {}
+    total = 0
+    total_sum = 0.0
+    for sample in family["samples"]:
+        for edge, cumulative in sample.get("buckets", {}).items():
+            merged[edge] = merged.get(edge, 0) + cumulative
+        total += sample.get("count", 0)
+        total_sum += sample.get("sum", 0.0)
+    # JSON round-trips may reorder the bucket keys (e.g. sort_keys);
+    # the cumulative-to-per-bucket diff below needs ascending edges.
+    def _edge_value(edge: str) -> float:
+        return float("inf") if edge == "+Inf" else float(edge)
+
+    rows = []
+    previous = 0
+    for edge, cumulative in sorted(
+        merged.items(), key=lambda item: _edge_value(item[0])
+    ):
+        rows.append(
+            (
+                f"<= {edge}",
+                str(cumulative - previous),
+                f"{100 * cumulative / total:.1f}%" if total else "-",
+            )
+        )
+        previous = cumulative
+    mean = f"{total_sum / total:.1f}" if total else "-"
+    return format_table(
+        ("cone size", "mutations", "cumulative"),
+        rows,
+        title=(
+            f"invalidation-cone distribution "
+            f"({total} cones, mean size {mean})"
+        ),
+    )
+
+
+def render_report(
+    spans: List[Dict[str, Any]],
+    snapshots: List[Dict[str, Any]],
+    top: int = 15,
+) -> str:
+    """The full human-readable run report."""
+    sections = []
+    if spans:
+        sections.append(_span_table(spans, top))
+    else:
+        sections.append("no span records in the log")
+    if snapshots:
+        latest = snapshots[-1]
+        sections.append(_cache_table(latest))
+        sections.append(_cone_table(latest))
+    else:
+        sections.append(
+            "no snapshot records in the log (call "
+            "NDJSONSpanWriter.write_snapshot at end of run for cache and "
+            "cone tables)"
+        )
+    return "\n\n".join(sections)

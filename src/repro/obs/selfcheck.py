@@ -1,0 +1,127 @@
+"""Headless exerciser behind ``make obs-check``.
+
+Builds a small catalog ecosystem, serves a query batch through
+:class:`~repro.api.AnalysisService` with an NDJSON span log attached,
+applies a mutation, re-serves, then drives every exporter end to end:
+
+- the JSON :meth:`~repro.api.AnalysisService.observability_snapshot`
+  must round-trip through :func:`json.dumps` and cover all five engine
+  layers;
+- the Prometheus text must parse line by line (``# HELP``/``# TYPE``
+  headers and ``name{labels} value`` samples only);
+- the NDJSON log must load back through :func:`repro.obs.report.load_ndjson`
+  and render a non-empty report.
+
+Exit status 0 means the whole observability surface is live; any break
+raises.  Run it as ``python -m repro.obs.selfcheck`` (the ``obs-check``
+Make target, wired into ``make verify``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import sys
+import tempfile
+
+__all__ = ["main", "parse_prometheus_lines"]
+
+#: ``name{labels} value`` -- the only non-comment line shape the text
+#: exposition format allows (labels optional).
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\")*\})?"
+    r" (?:[+-]?(?:\d+(?:\.\d+)?(?:e[+-]?\d+)?|Inf|NaN))$"
+)
+
+
+def parse_prometheus_lines(text: str):
+    """Validate exposition text line by line; returns (samples, metas).
+
+    Raises :class:`ValueError` on the first malformed line, so tests and
+    the selfcheck both get a precise failure location.
+    """
+    samples = []
+    metas = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            raise ValueError(f"line {number}: empty line inside exposition")
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            metas.append(line)
+            continue
+        if not _SAMPLE_RE.match(line):
+            raise ValueError(f"line {number}: malformed sample {line!r}")
+        samples.append(line)
+    return samples, metas
+
+
+def main() -> int:
+    from repro.api import (
+        AnalysisService,
+        ClosureQuery,
+        CoupleFileQuery,
+        LevelReportQuery,
+        MeasurementQuery,
+    )
+    from repro.catalog import CatalogBuilder, CatalogSpec
+    from repro.dynamic.events import RemoveService
+    from repro.obs.report import load_ndjson, render_report
+
+    ecosystem = CatalogBuilder(
+        CatalogSpec(total_services=60), seed=2021
+    ).build_ecosystem()
+    service = AnalysisService(ecosystem)
+    handle, path = tempfile.mkstemp(suffix=".ndjson", prefix="obs-check-")
+    os.close(handle)
+    writer = service.instrumentation.log_spans_to(path)
+    try:
+        batch = [
+            LevelReportQuery(),
+            MeasurementQuery(),
+            ClosureQuery(),
+            CoupleFileQuery(max_size=3, page_size=10),
+        ]
+        service.execute_batch(batch)
+        victim = sorted(service.ecosystem.service_names)[5]
+        service.apply(RemoveService(service=victim))
+        service.execute_batch(batch)
+        writer.write_snapshot()
+
+        snapshot = service.observability_snapshot()
+        encoded = json.dumps(snapshot)
+        layers = snapshot["layers"]
+        expected = {"result_cache", "closure", "levels", "parents", "streams"}
+        missing = expected - set(layers)
+        if missing:
+            raise AssertionError(f"snapshot missing layers: {sorted(missing)}")
+
+        text = service.prometheus_metrics()
+        samples, metas = parse_prometheus_lines(text.rstrip("\n"))
+        if not samples or not metas:
+            raise AssertionError("prometheus exposition came back empty")
+
+        spans, snapshots = load_ndjson(path)
+        if not spans or not snapshots:
+            raise AssertionError(
+                f"span log incomplete: {len(spans)} spans, "
+                f"{len(snapshots)} snapshots"
+            )
+        report = render_report(spans, snapshots)
+        if "top spans" not in report or "cache efficacy" not in report:
+            raise AssertionError("report missing expected sections")
+
+        print(
+            f"obs-check ok: {len(encoded)} snapshot bytes, "
+            f"{len(samples)} prometheus samples, {len(spans)} span trees, "
+            f"report {len(report.splitlines())} lines"
+        )
+        return 0
+    finally:
+        writer.close()
+        os.unlink(path)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,202 @@
+"""Nested tracing spans with monotonic timings and a bounded ring buffer.
+
+A **span** is one timed operation: a name, a start/end pair read off the
+monotonic clock (``time.perf_counter`` -- wall-clock adjustments can
+never produce negative durations), a wall-clock start timestamp for log
+correlation, free-form attributes, child spans, and an error tag when
+the spanned block raised.  Spans nest lexically through the tracer's
+per-thread stack::
+
+    with tracer.span("api.run", queries=3):
+        with tracer.span("api.query", kind="closure"):
+            ...
+
+The tracer keeps the last ``max_recent`` *root* span trees in a ring
+buffer (old trees fall off; a serving process can run forever without
+growing), and fans each finished root tree out to registered sinks --
+that is where the NDJSON span-log writer
+(:class:`~repro.obs.export.NDJSONSpanWriter`) attaches.
+
+``self_seconds`` is the span's own time minus its direct children's
+time -- the quantity ``tools/obsreport.py`` ranks by: a parent that
+merely waits on instrumented children has ~zero self-time no matter how
+long it spans.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = ["Span", "Tracer", "monotonic"]
+
+#: The one monotonic clock the instrumented tree reads.  Engine code
+#: outside ``repro/obs`` must time through this (or through spans) --
+#: ``tools/lint.py``'s ``raw-timing`` rule enforces it.
+monotonic = time.perf_counter
+
+
+class Span:
+    """One timed operation in a trace tree."""
+
+    __slots__ = (
+        "name",
+        "attributes",
+        "children",
+        "started_at",
+        "_start",
+        "_end",
+        "error",
+    )
+
+    def __init__(self, name: str, attributes: Dict[str, Any]) -> None:
+        self.name = name
+        self.attributes = attributes
+        self.children: List["Span"] = []
+        #: Wall-clock start (epoch seconds) for log correlation only;
+        #: durations come from the monotonic pair.
+        self.started_at = time.time()
+        self._start = monotonic()
+        self._end: Optional[float] = None
+        #: ``"ExcType: message"`` when the spanned block raised.
+        self.error: Optional[str] = None
+
+    # -- timing ---------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self._end is not None
+
+    @property
+    def duration_seconds(self) -> float:
+        """Monotonic elapsed time (0.0 while the span is still open)."""
+        if self._end is None:
+            return 0.0
+        return self._end - self._start
+
+    @property
+    def self_seconds(self) -> float:
+        """Own time: duration minus the direct children's durations."""
+        return max(
+            0.0,
+            self.duration_seconds
+            - sum(child.duration_seconds for child in self.children),
+        )
+
+    # -- mutation (while open) ------------------------------------------
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    # -- export ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable nested tree (attribute values are passed
+        through ``str`` only when not already JSON-primitive)."""
+        return {
+            "name": self.name,
+            "started_at": self.started_at,
+            "duration_seconds": self.duration_seconds,
+            "self_seconds": self.self_seconds,
+            "attributes": {
+                key: (
+                    value
+                    if isinstance(value, (str, int, float, bool))
+                    or value is None
+                    else str(value)
+                )
+                for key, value in self.attributes.items()
+            },
+            "error": self.error,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+class _SpanContext:
+    """The context manager ``Tracer.span`` hands out."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        if exc_type is not None:
+            self._span.error = f"{exc_type.__name__}: {exc}"
+        self._tracer._pop(self._span)
+        return False  # never swallow
+
+
+class Tracer:
+    """Produces spans, keeps recent root trees, feeds sinks."""
+
+    def __init__(self, max_recent: int = 64) -> None:
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._recent: "deque[Span]" = deque(maxlen=max_recent)
+        self._sinks: List[Callable[[Span], None]] = []
+
+    # -- span lifecycle -------------------------------------------------
+
+    def span(self, name: str, **attributes: Any) -> _SpanContext:
+        """Open one span under the current thread's innermost open span."""
+        return _SpanContext(self, Span(name, attributes))
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _push(self, span: Span) -> None:
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span)
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        span._end = monotonic()
+        stack = self._stack()
+        # Lexical nesting makes this the top of the stack; tolerate a
+        # corrupted stack (a span leaked across a generator boundary)
+        # by unwinding to the span rather than raising from __exit__.
+        while stack and stack[-1] is not span:
+            stack.pop()
+        if stack:
+            stack.pop()
+        if not stack:
+            with self._lock:
+                self._recent.append(span)
+                sinks = tuple(self._sinks)
+            for sink in sinks:
+                sink(span)
+
+    def current_span(self) -> Optional[Span]:
+        """The innermost open span on this thread, or ``None``."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # -- ring buffer and sinks ------------------------------------------
+
+    def recent(self) -> Tuple[Span, ...]:
+        """The retained root span trees, oldest first."""
+        with self._lock:
+            return tuple(self._recent)
+
+    def add_sink(self, sink: Callable[[Span], None]) -> None:
+        """Call ``sink(root_span)`` on every finished root tree."""
+        with self._lock:
+            self._sinks.append(sink)
+
+    def remove_sink(self, sink: Callable[[Span], None]) -> None:
+        with self._lock:
+            if sink in self._sinks:
+                self._sinks.remove(sink)

@@ -165,11 +165,29 @@ class RecordStreamEngine:
         self._pending_touched: Set[str] = set()
         self._pending_factors: Set[CredentialFactor] = set()
         self._pending_names: Set[str] = set()
-        #: Observability: segments started vs served from memo vs dropped
-        #: by deltas -- what the perf tests pin the splice contract on.
-        self._computed = 0
-        self._reused = 0
-        self._invalidated = 0
+        # Observability: segments started vs served from memo vs dropped
+        # by deltas -- what the perf tests pin the splice contract on.
+        # Registry children on the graph's shared handle; ``stats()`` is
+        # the thin view over them.
+        obs = graph.instrumentation()
+        label = graph.instrumentation_label()
+
+        def _counter(name: str, help_: str):
+            return obs.counter(
+                f"repro_stream_segments_{name}_total",
+                help_,
+                labels=("attacker",),
+            ).labels(attacker=label)
+
+        self._computed = _counter(
+            "computed", "Stream segments freshly started (generator built)."
+        )
+        self._reused = _counter(
+            "reused", "Stream segment reads served from the memo."
+        )
+        self._invalidated = _counter(
+            "invalidated", "Stream segments dropped by a delta's dirty cone."
+        )
 
     # ------------------------------------------------------------------
     # Delta intake (lazy: reads flush)
@@ -219,10 +237,13 @@ class RecordStreamEngine:
             dirty |= eco.demanders(factor)
         for name in names:
             dirty |= eco.linked_consumers_of(name)
+        dropped = 0
         for store in self._segments.values():
             for service in dirty:
                 if store.pop(service, None) is not None:
-                    self._invalidated += 1
+                    dropped += 1
+        if dropped:
+            self._invalidated.inc(dropped)
 
     # ------------------------------------------------------------------
     # Segment derivation
@@ -240,10 +261,10 @@ class RecordStreamEngine:
         store = self._segments.setdefault((kind, max_size), OrderedDict())
         segment = store.get(service)
         if segment is not None:
-            self._reused += 1
+            self._reused.inc()
             store.move_to_end(service)
             return segment
-        self._computed += 1
+        self._computed.inc()
         if kind == "couples":
             iterator = self._graph._service_couple_records(service, max_size)
         else:
@@ -413,10 +434,12 @@ class RecordStreamEngine:
         return snapshot
 
     def stats(self) -> Dict[str, int]:
-        """Started / memo-served / delta-dropped segment counters."""
+        """Started / memo-served / delta-dropped segment counters (a thin
+        view over the ``repro_stream_segments_*_total`` registry
+        children)."""
         return {
             "segments": sum(len(s) for s in self._segments.values()),
-            "computed": self._computed,
-            "reused": self._reused,
-            "invalidated": self._invalidated,
+            "computed": int(self._computed.value),
+            "reused": int(self._reused.value),
+            "invalidated": int(self._invalidated.value),
         }

@@ -137,6 +137,71 @@ class TestUnusedImport:
         assert _codes("from __future__ import annotations\n") == []
 
 
+class TestRawTiming:
+    SOURCE = """
+        import time
+
+        def f():
+            start = time.perf_counter()
+            return time.time() - start
+        """
+
+    def test_flags_raw_clock_calls_in_engine_code(self):
+        findings = lint.check_source(
+            textwrap.dedent(self.SOURCE), path="src/repro/levels/engine.py"
+        )
+        assert [f.code for f in findings] == ["raw-timing", "raw-timing"]
+        assert "time.perf_counter" in findings[0].message
+        assert "repro.obs" in findings[0].message
+
+    def test_flags_bare_perf_counter_import_form(self):
+        findings = lint.check_source(
+            textwrap.dedent(
+                """
+                from time import perf_counter
+
+                def f():
+                    return perf_counter()
+                """
+            ),
+            path="src/repro/dynamic/churn.py",
+        )
+        assert [f.code for f in findings] == ["raw-timing"]
+
+    def test_obs_package_and_non_src_paths_are_exempt(self):
+        source = textwrap.dedent(self.SOURCE)
+        assert lint.check_source(source, path="src/repro/obs/trace.py") == []
+        assert lint.check_source(source, path="tests/test_perf.py") == []
+        assert lint.check_source(source, path="benchmarks/bench.py") == []
+
+    def test_sanctioned_clock_is_clean(self):
+        assert lint.check_source(
+            textwrap.dedent(
+                """
+                from repro.obs import monotonic
+
+                def f():
+                    return monotonic()
+                """
+            ),
+            path="src/repro/dynamic/churn.py",
+        ) == []
+
+    def test_noqa_suppresses(self):
+        findings = lint.check_source(
+            textwrap.dedent(
+                """
+                import time
+
+                def f():
+                    return time.perf_counter()  # noqa: raw timing on purpose
+                """
+            ),
+            path="src/repro/core/tdg.py",
+        )
+        assert findings == []
+
+
 def test_repository_is_lint_clean():
     """The gate ``make verify`` also runs: the whole tree stays clean."""
     targets = [

@@ -54,6 +54,11 @@ REQUIRED_CLOSURE_RESERVE_SPEEDUP = 5.0
 #: standing a fresh service up and serving the same batch cold.
 REQUIRED_RESERVE_SPEEDUP = 20.0
 
+#: The instrumentation layer's contract at 402: serving with the
+#: default-enabled metrics/tracing handle must cost <10% over the
+#: disabled (no-op) handle on the same workload.
+MAX_INSTRUMENTATION_OVERHEAD = 0.10
+
 
 def test_201_service_full_analysis_stays_interactive(default_ecosystem):
     start = time.perf_counter()
@@ -270,6 +275,75 @@ def test_closure_reserve_after_reaching_mutation_beats_scratch_5x_at_402():
         f"closure re-serve after reaching mutation {resume * 1e3:.2f}ms vs "
         f"scratch fixpoint {scratch * 1e3:.2f}ms: speedup {speedup:.1f}x < "
         f"{REQUIRED_CLOSURE_RESERVE_SPEEDUP:.0f}x"
+    )
+
+
+def test_enabled_instrumentation_costs_under_10pct_at_402():
+    """The observability layer's tripwire at the paper-doubling tier.
+
+    Each round drives two fresh services over the same ecosystem -- one
+    with the default enabled :class:`~repro.obs.Instrumentation` handle,
+    one with the no-op handle -- through the identical mutate-and-serve
+    sweep (same mutation-stream seed, so both absorb the same deltas and
+    serve the same batches), seconds apart, and takes the whole-sweep
+    wall-time ratio.  Engines hold pre-resolved registry children on
+    their hot paths, so the honest enabled bill is integer adds under a
+    lock plus a handful of spans per batch (~1%); the gate fires when
+    instrumentation leaks onto a per-record path.  The verdict is the
+    *minimum* ratio over several interleaved rounds: a genuine
+    systematic overhead inflates every round's ratio (both sides of a
+    round run back to back, so machine drift cancels within it), while
+    load noise cannot depress all of them -- the estimator is
+    deliberately biased against false alarms, like the other gates'
+    best-of policies.
+    """
+    from repro.obs import Instrumentation
+
+    ecosystem = CatalogBuilder(
+        CatalogSpec(total_services=402), seed=2021
+    ).build_ecosystem()
+    workload = [
+        LevelReportQuery(),
+        MeasurementQuery(),
+        ClosureQuery(),
+        EdgeSummaryQuery(),
+    ]
+
+    import gc
+
+    def sweep(instrumentation):
+        """A full serve sweep: absorb a mutation, re-serve the mixed
+        batch through the engines, then a warm all-hits repeat.  GC is
+        parked for the timed region -- its pauses are the heavy tail
+        that would otherwise dominate a ratio of ~100ms sweeps."""
+        service = AnalysisService(
+            ecosystem, instrumentation=instrumentation
+        )
+        service.execute_batch(workload)  # warm the engine stack
+        stream = MutationStream(seed=2021)
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            for _ in range(10):
+                service.apply(stream.next_mutation(service.ecosystem))
+                service.execute_batch(workload)
+                service.execute_batch(workload)
+            return time.perf_counter() - start
+        finally:
+            gc.enable()
+
+    ratios = []
+    for _ in range(5):
+        enabled = sweep(None)  # None -> the default enabled handle
+        disabled = sweep(Instrumentation.disabled())
+        ratios.append(enabled / disabled if disabled else 1.0)
+
+    overhead = min(ratios) - 1.0
+    assert overhead < MAX_INSTRUMENTATION_OVERHEAD, (
+        f"enabled/disabled sweep ratios {[f'{r:.3f}' for r in ratios]}: "
+        f"even the best round shows {overhead * 100:.1f}% overhead >= "
+        f"{MAX_INSTRUMENTATION_OVERHEAD * 100:.0f}%"
     )
 
 

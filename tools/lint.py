@@ -21,8 +21,14 @@ unambiguously dead:
   is never loaded anywhere in the file, not listed in ``__all__``, not an
   explicit re-export (``import x as x``), and not under an
   ``if TYPE_CHECKING:`` guard.
+- **raw-timing**: a ``time.time()`` / ``time.perf_counter()`` (or bare
+  ``perf_counter()``) call in engine code under ``src/``.  Timings there
+  belong on the instrumentation layer's sanctioned clock
+  (``repro.obs.monotonic``) or inside a span, so histograms, spans and
+  ad-hoc measurements stay mutually comparable; the :mod:`repro.obs`
+  package itself (which *defines* that clock) is exempt.
 
-A trailing ``# noqa`` comment on the binding line suppresses either
+A trailing ``# noqa`` comment on the offending line suppresses any
 finding.  Exit status is non-zero when anything is reported::
 
     python tools/lint.py [paths...]     # defaults to src tests benchmarks tools
@@ -32,12 +38,27 @@ from __future__ import annotations
 
 import ast
 import dataclasses
+import re
 import sys
 from pathlib import Path
 from typing import Iterable, List, Set, Tuple
 
 #: Calls that make local liveness undecidable for a whole function.
 _DYNAMIC_SCOPE_CALLS = {"locals", "vars", "eval", "exec"}
+
+#: ``time.<attr>()`` calls the raw-timing rule reports in engine code.
+_RAW_TIMING_ATTRS = {
+    "time",
+    "perf_counter",
+    "perf_counter_ns",
+    "monotonic",
+    "monotonic_ns",
+}
+
+#: Bare-name call forms of the same (``from time import perf_counter``).
+#: ``monotonic`` is deliberately absent: ``repro.obs.monotonic`` is the
+#: sanctioned clock these call sites should migrate to.
+_RAW_TIMING_NAMES = {"perf_counter", "perf_counter_ns", "monotonic_ns"}
 
 
 @dataclasses.dataclass(frozen=True)
@@ -205,11 +226,48 @@ def _calls_dynamic_scope(function: ast.AST) -> bool:
     return False
 
 
+def _raw_timing_applies(path: str) -> bool:
+    """The raw-timing rule covers engine code under ``src/`` but exempts
+    the :mod:`repro.obs` package, which defines the sanctioned clock."""
+    parts = re.split(r"[\\/]", path)
+    return "src" in parts and "obs" not in parts
+
+
+def _raw_timing_findings(
+    tree: ast.Module, noqa: Set[int], path: str
+) -> Iterable[Finding]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or node.lineno in noqa:
+            continue
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _RAW_TIMING_ATTRS
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "time"
+        ):
+            called = f"time.{func.attr}"
+        elif isinstance(func, ast.Name) and func.id in _RAW_TIMING_NAMES:
+            called = func.id
+        else:
+            continue
+        yield Finding(
+            path,
+            node.lineno,
+            "raw-timing",
+            f"{called}() in engine code; time through repro.obs "
+            "(monotonic or a span) so measurements share one clock",
+        )
+
+
 def check_source(source: str, path: str = "<string>") -> List[Finding]:
     """Lint one module's source; returns all findings, line-ordered."""
     tree = ast.parse(source, filename=path)
     noqa = _noqa_lines(source)
     findings: List[Finding] = []
+
+    if _raw_timing_applies(path):
+        findings.extend(_raw_timing_findings(tree, noqa, path))
 
     loaded_anywhere = _loaded_names(tree)
     exported = _dunder_all(tree)

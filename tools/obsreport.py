@@ -1,0 +1,40 @@
+"""Render a human-readable run report from an NDJSON span log.
+
+The log is what :meth:`repro.obs.Instrumentation.log_spans_to` writes
+while a service runs (one finished root span tree per line, plus
+optional metrics-snapshot records from
+:meth:`~repro.obs.export.NDJSONSpanWriter.write_snapshot`).  The report
+shows the top spans by self-time, a cache-efficacy table for every
+engine cache, and the invalidation-cone size distribution::
+
+    PYTHONPATH=src python tools/obsreport.py run.ndjson [--top N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="obsreport", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("log", help="NDJSON span log to report on")
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=15,
+        help="rows in the top-spans-by-self-time table (default 15)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.obs.report import load_ndjson, render_report
+
+    spans, snapshots = load_ndjson(args.log)
+    print(render_report(spans, snapshots, top=args.top))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
