@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify lint obs-check docs-check bench
+.PHONY: verify lint obs-check docs-check bench bench-quick
 
 verify: lint obs-check
 	$(PYTHON) -m pytest -x -q
@@ -17,3 +17,8 @@ docs-check:
 
 bench:
 	$(PYTHON) -m pytest -q benchmarks/test_bench_scaling.py benchmarks/test_bench_churn.py
+
+# The 402-tier engine comparison only: skips the 1000-service serving
+# tiers and the 10k/30k big tiers (BENCH_FULL=1 on `make bench` adds 30k).
+bench-quick:
+	BENCH_QUICK=1 $(PYTHON) -m pytest -q benchmarks/test_bench_scaling.py

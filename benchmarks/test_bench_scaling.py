@@ -16,9 +16,13 @@ machine-readable JSON to ``BENCH_scaling.json`` at the repo root for the
 """
 
 import json
+import multiprocessing
+import os
 import pathlib
 import statistics
 import time
+
+import pytest
 
 from repro.api import (
     AnalysisService,
@@ -51,6 +55,15 @@ REQUIRED_SPEEDUP_402 = 3.0
 
 JSON_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_scaling.json"
 
+#: ``make bench-quick``: only the paper-tier (<=402) engine comparison
+#: runs; the 1000-service serving tiers and the big tiers are skipped.
+QUICK = bool(os.environ.get("BENCH_QUICK"))
+
+#: ``BENCH_FULL=1`` additionally runs the 30k big tier (minutes of
+#: single-core fixpoint work; the 10k tier always runs outside quick
+#: mode).
+FULL = bool(os.environ.get("BENCH_FULL"))
+
 
 def _build_nodes(size):
     spec = CatalogSpec(total_services=size)
@@ -73,7 +86,7 @@ def _time_engine(engine_cls, nodes):
 
 
 def test_bench_actfort_scaling(benchmark):
-    all_sizes = COMPARED_SIZES + NEW_ONLY_SIZES
+    all_sizes = COMPARED_SIZES + (() if QUICK else NEW_ONLY_SIZES)
     nodes_by_size = {size: _build_nodes(size) for size in all_sizes}
 
     benchmark.pedantic(
@@ -127,15 +140,18 @@ def test_bench_actfort_scaling(benchmark):
         "speedup": {str(k): v for k, v in speedup.items()},
     }
     # Read-modify-write: other benchmarks (the churn tier) contribute
-    # their own sections to the same trajectory file.
-    merged = {}
-    if JSON_PATH.exists():
-        try:
-            merged = json.loads(JSON_PATH.read_text())
-        except ValueError:
-            merged = {}
-    merged.update(payload)
-    JSON_PATH.write_text(json.dumps(merged, indent=2) + "\n")
+    # their own sections to the same trajectory file.  Quick mode is a
+    # smoke run, not the trajectory -- it must not overwrite the full
+    # sweep's sections with a truncated size list.
+    if not QUICK:
+        merged = {}
+        if JSON_PATH.exists():
+            try:
+                merged = json.loads(JSON_PATH.read_text())
+            except ValueError:
+                merged = {}
+        merged.update(payload)
+        JSON_PATH.write_text(json.dumps(merged, indent=2) + "\n")
     benchmark.extra_info["scaling"] = payload
 
     # Acceptance: the indexed engine is >= 3x the seed at the 402 tier, the
@@ -143,7 +159,8 @@ def test_bench_actfort_scaling(benchmark):
     # completes in interactive time at all.
     assert speedup[402] >= REQUIRED_SPEEDUP_402, speedup
     assert new_seconds[201] < 30.0
-    assert new_seconds[1000] < 30.0
+    if not QUICK:
+        assert new_seconds[1000] < 30.0
 
 
 # ----------------------------------------------------------------------
@@ -246,6 +263,7 @@ def _api_workload():
     )
 
 
+@pytest.mark.skipif(QUICK, reason="BENCH_QUICK runs the 402 tier only")
 def test_bench_api_serve(benchmark):
     ecosystem = CatalogBuilder(
         CatalogSpec(total_services=API_SERVE_SIZE), seed=2021
@@ -352,6 +370,7 @@ REACHING_CYCLES = 6
 MAX_STREAMED_MUTATIONS = 80
 
 
+@pytest.mark.skipif(QUICK, reason="BENCH_QUICK runs the 402 tier only")
 def test_bench_closure_churn(benchmark):
     """Re-serving ``ClosureQuery`` after mutations that *reach* the cached
     closure's compromised support set.
@@ -449,3 +468,142 @@ def test_bench_closure_churn(benchmark):
     # Acceptance at this tier mirrors the 402 smoke gate: resuming from
     # the support postings must beat the scratch fixpoint decisively.
     assert speedup >= 3.0, payload
+
+
+# ----------------------------------------------------------------------
+# big_tiers: 10k/30k cold build, churn, re-serve, and peak RSS
+# ----------------------------------------------------------------------
+
+#: Sizes the id-compacted core targets.  The 30k tier is minutes of
+#: single-core fixpoint work, so it only runs under ``BENCH_FULL=1``.
+BIG_TIERS = (10_000,) + ((30_000,) if FULL else ())
+
+#: Mutation/re-serve cycles measured per big tier.
+BIG_TIER_CYCLES = 5
+
+
+def _run_big_tier(size, conn):
+    """One big tier, measured inside a forked child so its peak RSS is
+    the tier's own high-water mark (``ru_maxrss`` is monotone per
+    process -- measuring tiers in one process would report the largest
+    tier's footprint for every tier)."""
+    import resource
+
+    from repro.dynamic import MutationStream
+    from repro.dynamic.parallel import resolve_workers
+
+    ecosystem = CatalogBuilder(
+        CatalogSpec(total_services=size), seed=2021
+    ).build_ecosystem()
+
+    start = time.perf_counter()
+    service = AnalysisService(ecosystem, build_workers=-1)
+    cold_build = time.perf_counter() - start
+
+    # Levels + measurement: the Section IV payload.  The edge streams
+    # stay out -- a 10k weak-edge enumeration is output-bound (millions
+    # of couples), which would swamp what this tier measures.
+    workload = (LevelReportQuery(), MeasurementQuery())
+    start = time.perf_counter()
+    service.execute_batch(workload)
+    first_serve = time.perf_counter() - start
+
+    stream = MutationStream(seed=2021)
+    mutate_seconds = []
+    requery_seconds = []
+    for _ in range(BIG_TIER_CYCLES):
+        mutation = stream.next_mutation(service.ecosystem)
+        start = time.perf_counter()
+        service.apply(mutation)
+        mutate_seconds.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        service.execute_batch(workload)
+        requery_seconds.append(time.perf_counter() - start)
+
+    interners = service.session.interner_stats()
+    conn.send(
+        {
+            "size": size,
+            "build_workers": resolve_workers(-1),
+            "cold_build_seconds": cold_build,
+            "first_serve_seconds": first_serve,
+            "mutation_median_seconds": statistics.median(mutate_seconds),
+            "reserve_median_seconds": statistics.median(requery_seconds),
+            "peak_rss_kb": resource.getrusage(
+                resource.RUSAGE_SELF
+            ).ru_maxrss,
+            "service_ids_high_water": interners["services"]["high_water"],
+        }
+    )
+    conn.close()
+
+
+@pytest.mark.skipif(QUICK, reason="BENCH_QUICK runs the 402 tier only")
+def test_bench_big_tiers(benchmark):
+    context = multiprocessing.get_context(
+        "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+    )
+    tiers = []
+    for size in BIG_TIERS:
+        parent_conn, child_conn = context.Pipe(duplex=False)
+        child = context.Process(
+            target=_run_big_tier, args=(size, child_conn)
+        )
+        child.start()
+        child_conn.close()
+        result = parent_conn.recv()
+        child.join()
+        assert child.exitcode == 0
+        tiers.append(result)
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    rows = [
+        (
+            tier["size"],
+            f"{tier['cold_build_seconds']:.2f}s",
+            f"{tier['first_serve_seconds']:.2f}s",
+            f"{tier['mutation_median_seconds'] * 1e3:.2f}ms",
+            f"{tier['reserve_median_seconds'] * 1e3:.1f}ms",
+            f"{tier['peak_rss_kb'] / 1024:.0f}MB",
+        )
+        for tier in tiers
+    ]
+    print(
+        "\n"
+        + format_table(
+            (
+                "services",
+                "cold build",
+                "first serve",
+                "mutation (median)",
+                "re-serve (median)",
+                "peak RSS",
+            ),
+            rows,
+            title="big tiers: id-compacted core",
+        )
+    )
+
+    merged = {}
+    if JSON_PATH.exists():
+        try:
+            merged = json.loads(JSON_PATH.read_text())
+        except ValueError:
+            merged = {}
+    existing = {
+        str(tier["size"]): tier
+        for tier in merged.get("big_tiers", {}).values()
+    } if isinstance(merged.get("big_tiers"), dict) else {}
+    existing.update({str(tier["size"]): tier for tier in tiers})
+    merged["big_tiers"] = existing
+    JSON_PATH.write_text(json.dumps(merged, indent=2) + "\n")
+    benchmark.extra_info["big_tiers"] = existing
+
+    # Acceptance: the 10k tier stays a live serving system -- cold build
+    # in interactive time, churn absorbed in sub-second splices, and the
+    # post-mutation re-serve never re-running the cold fixpoint.
+    ten_k = next(tier for tier in tiers if tier["size"] == 10_000)
+    assert ten_k["cold_build_seconds"] < 60.0, ten_k
+    assert ten_k["mutation_median_seconds"] < 1.0, ten_k
+    assert ten_k["reserve_median_seconds"] < ten_k["first_serve_seconds"], ten_k

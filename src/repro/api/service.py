@@ -144,6 +144,7 @@ class AnalysisService:
         attackers: Optional[Mapping[str, AttackerProfile]] = None,
         cache_entries: int = 4096,
         instrumentation: Optional[Instrumentation] = None,
+        build_workers: Optional[int] = None,
     ) -> None:
         self._adopt(
             DynamicAnalysisSession(
@@ -151,6 +152,7 @@ class AnalysisService:
                 attacker=attacker,
                 attackers=attackers,
                 instrumentation=instrumentation,
+                build_workers=build_workers,
             ),
             cache_entries,
         )

@@ -25,6 +25,18 @@ queries over and over:
   differential suite in ``tests/test_tdg_equivalence.py`` locks the
   equivalence against the brute-force reference.
 
+Since the id-compaction pass, every posting here is **bitmask-backed**:
+service names are interned onto dense monotone integer ids (the ids
+*are* the insertion ordinals -- see :class:`repro.core.ids.Interner`),
+and a posting is an ``int`` whose set bits are provider/demander/holder
+ids.  Union, intersection, and difference in the maintenance paths are
+single big-int ops; the frozenset/tuple query API every caller and
+differential test depends on is preserved as decoding views that are
+rebuilt only for the postings a mutation actually touched.  Because ids
+are monotone, decoding a mask lowest-bit-first reproduces graph
+insertion order, so the ordered tuples no longer need splice
+bookkeeping of their own.
+
 One :class:`EcosystemIndex` can back many :class:`AttackerIndex` views,
 which is what the batch APIs (``TransformationDependencyGraph.analyze_many``,
 ``ActFort.batch``) exploit: the measurement study and the defense
@@ -34,16 +46,17 @@ of rebuilding per profile.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import (
     TYPE_CHECKING,
     Dict,
     FrozenSet,
     List,
     Mapping,
-    Set,
     Tuple,
 )
 
+from repro.core.ids import Interner, iter_ids, mask_of
 from repro.model.attacker import AttackerCapability, AttackerProfile
 from repro.model.factors import (
     CredentialFactor,
@@ -86,41 +99,50 @@ class EcosystemIndex:
 
     Node order is preserved everywhere (tuples follow the graph's insertion
     order) so that indexed queries enumerate providers in exactly the order
-    the seed's linear scans did.
+    the seed's linear scans did.  Postings are id bitmasks internally; the
+    name-level attributes (``holders_of``, ``dossier_holders``, ...) are
+    the decoding views.
     """
 
     def __init__(self, nodes: Mapping[str, "TDGNode"]) -> None:
         self.names: Tuple[str, ...] = tuple(nodes)
         self.name_set: FrozenSet[str] = frozenset(nodes)
-        # Monotone per-service ordinals back the in-place postings updates:
-        # additions append (fresh max ordinal), removals keep the survivors'
-        # relative order, so sorting by ordinal always reproduces the tuple
-        # order a from-scratch rebuild would derive from insertion order.
-        self._ordinal: Dict[str, int] = {
-            name: position for position, name in enumerate(self.names)
-        }
-        self._next_ordinal: int = len(self.names)
+        # The interner's ids are the monotone per-service ordinals that back
+        # the in-place postings updates: additions intern fresh maxima,
+        # removals retire the id forever, so decoding any posting mask
+        # lowest-bit-first always reproduces the tuple order a from-scratch
+        # rebuild would derive from insertion order.
+        self.ids: Interner[str] = Interner(self.names)
 
-        holders: Dict[PersonalInfoKind, List[str]] = {}
-        dossier: List[str] = []
-        for name, node in nodes.items():
+        holder_masks: Dict[PersonalInfoKind, int] = {}
+        dossier_mask = 0
+        for position, node in enumerate(nodes.values()):
+            bit = 1 << position
             for kind in node.pia:
-                holders.setdefault(kind, []).append(name)
+                holder_masks[kind] = holder_masks.get(kind, 0) | bit
             if len(node.pia & DOSSIER_KINDS) >= DOSSIER_THRESHOLD:
-                dossier.append(name)
-        #: kind -> insertion-ordered holders exposing it in full.
-        self.holders_of: Dict[PersonalInfoKind, Tuple[str, ...]] = {
-            kind: tuple(names) for kind, names in holders.items()
-        }
-        self._holder_sets: Dict[PersonalInfoKind, FrozenSet[str]] = {
-            kind: frozenset(names) for kind, names in holders.items()
-        }
-        #: Services whose PIA clears the customer-service dossier bar.
-        self.dossier_holders: FrozenSet[str] = frozenset(dossier)
-        self._dossier_ordered: Tuple[str, ...] = tuple(dossier)
+                dossier_mask |= bit
+        #: kind -> bitmask of holders exposing it in full (source of truth).
+        self._holder_masks: Dict[PersonalInfoKind, int] = holder_masks
+        #: kind -> insertion-ordered holders exposing it in full (decoding
+        #: view of ``_holder_masks``).
+        self.holders_of: Dict[PersonalInfoKind, Tuple[str, ...]] = {}  # decoded view
+        self._holder_sets: Dict[PersonalInfoKind, FrozenSet[str]] = {}  # decoded view
+        for kind in holder_masks:
+            self._decode_holders(kind)
+        self._dossier_mask: int = dossier_mask
+        #: Services whose PIA clears the customer-service dossier bar
+        #: (decoding views of ``_dossier_mask``).
+        self._dossier_ordered: Tuple[str, ...] = self.ids.decode_mask_ordered(
+            dossier_mask
+        )
+        self.dossier_holders: FrozenSet[str] = frozenset(self._dossier_ordered)
 
         # Partial (masked) views per maskable factor, in insertion order.
-        partial: Dict[
+        # These carry a per-holder payload (the revealed positions), so they
+        # stay ordered tuples -- spliced via bisect over the parallel
+        # ordinal-key lists in ``_partial_keys``.
+        partial: Dict[  # noqa -- carries per-holder position payloads
             CredentialFactor, List[Tuple[str, FrozenSet[int]]]
         ] = {factor: [] for factor in MASKABLE_FACTORS}
         for name, node in nodes.items():
@@ -130,7 +152,7 @@ class EcosystemIndex:
                     partial[factor].append((name, positions))
         #: factor -> ((service, revealed positions), ...) for every service
         #: holding a non-empty masked view of the factor's value.
-        self.partial_holders: Dict[
+        self.partial_holders: Dict[  # noqa -- payload tuples (see above)
             CredentialFactor, Tuple[Tuple[str, FrozenSet[int]], ...]
         ] = {factor: tuple(views) for factor, views in partial.items()}
         self.partial_by_service: Dict[
@@ -138,25 +160,39 @@ class EcosystemIndex:
         ] = {
             factor: dict(views) for factor, views in partial.items()
         }
+        self._partial_keys: Dict[CredentialFactor, List[int]] = {
+            factor: [self.ids.id_of(name) for name, _positions in views]
+            for factor, views in partial.items()
+        }
         # Combinability-excluding-one-service in O(1): a position is lost by
         # excluding service ``s`` only if ``s`` is its sole holder.
         self._partial_union: Dict[CredentialFactor, FrozenSet[int]] = {}
         self._unique_coverage: Dict[CredentialFactor, Dict[str, int]] = {}
+        #: factor -> {service: revealed-position bitmask} -- the combining
+        #: checks union these ints instead of position frozensets.
+        self._partial_masks: Dict[CredentialFactor, Dict[str, int]] = {}
         for factor in MASKABLE_FACTORS:
             self._recount_partial(factor)
 
         # Reverse-dependency postings: who *consumes* a factor / provider.
-        demanders: Dict[CredentialFactor, Set[str]] = {}
-        linked: Dict[str, Set[str]] = {}
-        for name, node in nodes.items():
+        demander_masks: Dict[CredentialFactor, int] = {}
+        linked_masks: Dict[str, int] = {}
+        for position, node in enumerate(nodes.values()):
+            bit = 1 << position
             for factor in self._node_demands(node):
-                demanders.setdefault(factor, set()).add(name)
+                demander_masks[factor] = demander_masks.get(factor, 0) | bit
             for provider in self._node_links(node):
-                linked.setdefault(provider, set()).add(name)
-        #: factor -> services with a takeover path demanding it.
-        self.demanders_by_factor: Dict[CredentialFactor, Set[str]] = demanders
-        #: identity provider -> services accepting it on a linked path.
-        self.linked_consumers: Dict[str, Set[str]] = linked
+                linked_masks[provider] = linked_masks.get(provider, 0) | bit
+        #: factor -> bitmask of services with a takeover path demanding it.
+        self._demander_masks: Dict[CredentialFactor, int] = demander_masks
+        #: identity provider -> bitmask of services accepting it on a
+        #: linked-account path.
+        self._linked_masks: Dict[str, int] = linked_masks
+        # Lazily decoded frozen views of the two masks above, cached so the
+        # fixpoint inner loops (which read the same factor's demanders
+        # thousands of times per absorb) never re-wrap a frozenset per call.
+        self._demander_views: Dict[CredentialFactor, FrozenSet[str]] = {}  # decoded view
+        self._linked_views: Dict[str, FrozenSet[str]] = {}  # decoded view
 
     @staticmethod
     def _node_demands(node: "TDGNode") -> FrozenSet[CredentialFactor]:
@@ -174,13 +210,42 @@ class EcosystemIndex:
             for provider in path.linked_providers
         )
 
+    # ------------------------------------------------------------------
+    # Decoding views (mask -> names; rebuilt only for touched postings)
+    # ------------------------------------------------------------------
+
+    def _decode_holders(self, kind: PersonalInfoKind) -> None:
+        """Refresh the name-level views of one holder posting from its mask
+        (dropping them when the last holder is gone)."""
+        mask = self._holder_masks.get(kind, 0)
+        if mask:
+            ordered = self.ids.decode_mask_ordered(mask)
+            self.holders_of[kind] = ordered
+            self._holder_sets[kind] = frozenset(ordered)
+        else:
+            self._holder_masks.pop(kind, None)
+            self.holders_of.pop(kind, None)
+            self._holder_sets.pop(kind, None)
+
     def demanders(self, factor: CredentialFactor) -> FrozenSet[str]:
-        """Services with a takeover path demanding ``factor``."""
-        names = self.demanders_by_factor.get(factor)
-        return frozenset(names) if names else frozenset()
+        """Services with a takeover path demanding ``factor`` (a cached
+        frozen view; no per-call allocation)."""
+        view = self._demander_views.get(factor)
+        if view is None:
+            view = self.ids.decode_mask(self._demander_masks.get(factor, 0))
+            self._demander_views[factor] = view
+        return view
+
+    def demanders_mask(self, factor: CredentialFactor) -> int:
+        """Bitmask form of :meth:`demanders`."""
+        return self._demander_masks.get(factor, 0)
+
+    def demanded_factors(self) -> Tuple[CredentialFactor, ...]:
+        """Factors demanded by at least one takeover path."""
+        return tuple(self._demander_masks)
 
     def ordinal_of(self, name: str) -> int:
-        """The service's monotone insertion ordinal.
+        """The service's monotone insertion ordinal (== its interned id).
 
         Ordinals only grow: an added service always receives a fresh
         maximum (even one re-added under a name that was removed earlier),
@@ -192,51 +257,67 @@ class EcosystemIndex:
         drained keeps a strictly smaller ordinal than every segment still
         ahead of it, no matter how the node set churns in between.
         """
-        return self._ordinal[name]
+        return self.ids.id_of(name)
 
     def linked_consumers_of(self, provider: str) -> FrozenSet[str]:
-        """Services accepting ``provider`` on a ``LINKED_ACCOUNT`` path."""
-        names = self.linked_consumers.get(provider)
-        return frozenset(names) if names else frozenset()
+        """Services accepting ``provider`` on a ``LINKED_ACCOUNT`` path
+        (a cached frozen view; no per-call allocation)."""
+        view = self._linked_views.get(provider)
+        if view is None:
+            view = self.ids.decode_mask(self._linked_masks.get(provider, 0))
+            self._linked_views[provider] = view
+        return view
+
+    def linked_consumers_mask(self, provider: str) -> int:
+        """Bitmask form of :meth:`linked_consumers_of`."""
+        return self._linked_masks.get(provider, 0)
+
+    def linked_providers(self) -> Tuple[str, ...]:
+        """Identity providers accepted by at least one linked path."""
+        return tuple(self._linked_masks)
+
+    def decode_mask(self, mask: int) -> FrozenSet[str]:
+        """Decode a service-id bitmask to the frozenset of names."""
+        return self.ids.decode_mask(mask)
+
+    def decode_mask_ordered(self, mask: int) -> Tuple[str, ...]:
+        """Decode a service-id bitmask to names in insertion order."""
+        return self.ids.decode_mask_ordered(mask)
+
+    def encode_names(self, names) -> int:
+        """The bitmask of the given (live) service names."""
+        return self.ids.encode_live(names)
 
     def _recount_partial(self, factor: CredentialFactor) -> None:
         """Rebuild the combinability summaries for one maskable factor from
         its current masked-view postings (cheap: views are few)."""
         views = self.partial_holders[factor]
-        counts: Dict[int, int] = {}
-        for _name, positions in views:
-            for position in positions:
-                counts[position] = counts.get(position, 0) + 1
-        self._partial_union[factor] = frozenset(counts)
+        position_masks = [mask_of(positions) for _name, positions in views]
+        once = 0
+        twice = 0
+        for view_mask in position_masks:
+            twice |= once & view_mask
+            once |= view_mask
+        self._partial_union[factor] = frozenset(iter_ids(once))
+        solo = once & ~twice
         unique: Dict[str, int] = {}
-        for name, positions in views:
-            only_here = sum(1 for p in positions if counts[p] == 1)
+        masks: Dict[str, int] = {}
+        for (name, _positions), view_mask in zip(views, position_masks):
+            masks[name] = view_mask
+            only_here = (view_mask & solo).bit_count()
             if only_here:
                 unique[name] = only_here
         self._unique_coverage[factor] = unique
+        self._partial_masks[factor] = masks
 
     # ------------------------------------------------------------------
     # In-place maintenance (the incremental engine's hooks)
     # ------------------------------------------------------------------
 
-    def _insert_position(self, existing_names, name: str) -> int:
-        """Where ``name`` lands among ordinal-sorted ``existing_names``."""
-        key = self._ordinal[name]
-        index = 0
-        for existing in existing_names:
-            if self._ordinal[existing] < key:
-                index += 1
-            else:
-                break
-        return index
-
-    def splice_name(
-        self, ordered: Tuple[str, ...], name: str
-    ) -> Tuple[str, ...]:
-        """Insert ``name`` into an ordinal-sorted name tuple at the position
-        a from-scratch rebuild would give it."""
-        index = self._insert_position(ordered, name)
-        return ordered[:index] + (name,) + ordered[index:]
+    def _insert_position(self, keys: List[int], name: str) -> int:
+        """Where ``name`` lands among a posting's ordinal-sorted parallel
+        key list: one :func:`bisect.bisect_left`, O(log n)."""
+        return bisect_left(keys, self.ids.id_of(name))
 
     def apply_node_change(
         self,
@@ -244,43 +325,41 @@ class EcosystemIndex:
         old: "TDGNode | None",
         new: "TDGNode | None",
     ) -> None:
-        """Update every posting list in place for one node change.
+        """Update every posting in place for one node change.
 
         ``old is None`` means an addition (appended at the end of the graph
         order), ``new is None`` a removal, both non-None a replacement in
-        place.  After the call the index is field-for-field identical to a
-        fresh :class:`EcosystemIndex` over the mutated node set: entries
-        stay sorted by service ordinal, holder keys exist only while they
-        have at least one holder, and the combinability summaries are
+        place.  After the call the index is view-for-view identical to a
+        fresh :class:`EcosystemIndex` over the mutated node set: decoded
+        tuples stay sorted by service ordinal, holder keys exist only while
+        they have at least one holder, and the combinability summaries are
         recounted for exactly the maskable factors whose views changed.
+        (The masks themselves may differ from a fresh build's -- a fresh
+        interner never saw the retired ids -- which is why equivalence is
+        asserted on the decoded views.)
         """
         if old is None and new is None:
             raise ValueError("node change must have at least one side")
         if old is None:
-            if name in self._ordinal:
+            if name in self.ids:
                 raise ValueError(f"duplicate node {name!r}")
-            self._ordinal[name] = self._next_ordinal
-            self._next_ordinal += 1
+            bit = 1 << self.ids.intern(name)
             self.names = self.names + (name,)
             self.name_set = self.name_set | {name}
-        elif new is None:
-            self.names = tuple(n for n in self.names if n != name)
-            self.name_set = self.name_set - {name}
+        else:
+            bit = 1 << self.ids.id_of(name)
+            if new is None:
+                self.names = tuple(n for n in self.names if n != name)
+                self.name_set = self.name_set - {name}
 
         old_pia = old.pia if old is not None else frozenset()
         new_pia = new.pia if new is not None else frozenset()
         for kind in old_pia - new_pia:
-            remaining = tuple(n for n in self.holders_of[kind] if n != name)
-            if remaining:
-                self.holders_of[kind] = remaining
-                self._holder_sets[kind] = frozenset(remaining)
-            else:
-                del self.holders_of[kind]
-                del self._holder_sets[kind]
+            self._holder_masks[kind] &= ~bit
+            self._decode_holders(kind)
         for kind in new_pia - old_pia:
-            ordered = self.splice_name(self.holders_of.get(kind, ()), name)
-            self.holders_of[kind] = ordered
-            self._holder_sets[kind] = frozenset(ordered)
+            self._holder_masks[kind] = self._holder_masks.get(kind, 0) | bit
+            self._decode_holders(kind)
 
         was_dossier = len(old_pia & DOSSIER_KINDS) >= DOSSIER_THRESHOLD and (
             old is not None
@@ -288,14 +367,13 @@ class EcosystemIndex:
         is_dossier = len(new_pia & DOSSIER_KINDS) >= DOSSIER_THRESHOLD and (
             new is not None
         )
-        if was_dossier and not is_dossier:
-            self._dossier_ordered = tuple(
-                n for n in self._dossier_ordered if n != name
-            )
-            self.dossier_holders = frozenset(self._dossier_ordered)
-        elif is_dossier and not was_dossier:
-            self._dossier_ordered = self.splice_name(
-                self._dossier_ordered, name
+        if was_dossier != is_dossier:
+            if is_dossier:
+                self._dossier_mask |= bit
+            else:
+                self._dossier_mask &= ~bit
+            self._dossier_ordered = self.ids.decode_mask_ordered(
+                self._dossier_mask
             )
             self.dossier_holders = frozenset(self._dossier_ordered)
 
@@ -312,14 +390,16 @@ class EcosystemIndex:
             )
             if old_positions == new_positions:
                 continue
-            views = [
-                view for view in self.partial_holders[factor] if view[0] != name
-            ]
+            views = list(self.partial_holders[factor])
+            keys = self._partial_keys[factor]
+            if old_positions:
+                at = bisect_left(keys, self.ids.id_of(name))
+                del views[at]
+                del keys[at]
             if new_positions:
-                index = self._insert_position(
-                    (view_name for view_name, _positions in views), name
-                )
-                views.insert(index, (name, new_positions))
+                at = self._insert_position(keys, name)
+                views.insert(at, (name, new_positions))
+                keys.insert(at, self.ids.id_of(name))
                 self.partial_by_service[factor][name] = new_positions
             else:
                 self.partial_by_service[factor].pop(name, None)
@@ -333,29 +413,48 @@ class EcosystemIndex:
             self._node_demands(new) if new is not None else frozenset()
         )
         for factor in old_demands - new_demands:
-            names = self.demanders_by_factor[factor]
-            names.discard(name)
-            if not names:
-                del self.demanders_by_factor[factor]
+            remaining = self._demander_masks[factor] & ~bit
+            if remaining:
+                self._demander_masks[factor] = remaining
+            else:
+                del self._demander_masks[factor]
+            self._demander_views.pop(factor, None)
         for factor in new_demands - old_demands:
-            self.demanders_by_factor.setdefault(factor, set()).add(name)
+            self._demander_masks[factor] = (
+                self._demander_masks.get(factor, 0) | bit
+            )
+            self._demander_views.pop(factor, None)
 
         old_links = self._node_links(old) if old is not None else frozenset()
         new_links = self._node_links(new) if new is not None else frozenset()
         for provider in old_links - new_links:
-            names = self.linked_consumers[provider]
-            names.discard(name)
-            if not names:
-                del self.linked_consumers[provider]
+            remaining = self._linked_masks[provider] & ~bit
+            if remaining:
+                self._linked_masks[provider] = remaining
+            else:
+                del self._linked_masks[provider]
+            self._linked_views.pop(provider, None)
         for provider in new_links - old_links:
-            self.linked_consumers.setdefault(provider, set()).add(name)
+            self._linked_masks[provider] = (
+                self._linked_masks.get(provider, 0) | bit
+            )
+            self._linked_views.pop(provider, None)
 
         if new is None:
-            del self._ordinal[name]
+            self.ids.retire(name)
 
     def holder_set(self, kind: PersonalInfoKind) -> FrozenSet[str]:
         """Services exposing ``kind`` in full."""
         return self._holder_sets.get(kind, frozenset())
+
+    def holder_mask(self, kind: PersonalInfoKind) -> int:
+        """Bitmask form of :meth:`holder_set`."""
+        return self._holder_masks.get(kind, 0)
+
+    def partial_position_masks(self, factor: CredentialFactor) -> Dict[str, int]:
+        """Per-service revealed-position bitmasks for one maskable factor
+        (the int form of ``partial_by_service``)."""
+        return self._partial_masks[factor]
 
     def combinability_profile(
         self, factor: CredentialFactor
@@ -393,7 +492,9 @@ class AttackerIndex:
 
     ``LINKED_ACCOUNT`` is the one path-dependent factor (the accepted
     identity providers are a property of the path); it is resolved lazily in
-    :meth:`provider_names` / :meth:`providers_ordered`.
+    :meth:`provider_names` / :meth:`providers_ordered`.  Static postings
+    are id bitmasks assembled from the ecosystem's holder masks; the
+    frozenset/tuple forms are their decoding views.
     """
 
     def __init__(
@@ -410,47 +511,41 @@ class AttackerIndex:
             in attacker.capabilities
         )
         self._email_channel = email_channel
-        self._static: Dict[CredentialFactor, FrozenSet[str]] = {}
-        self._static_ordered: Dict[CredentialFactor, Tuple[str, ...]] = {}
+        self._static_masks: Dict[CredentialFactor, int] = {}
+        self._static: Dict[CredentialFactor, FrozenSet[str]] = {}  # decoded view
+        self._static_ordered: Dict[CredentialFactor, Tuple[str, ...]] = {}  # decoded view
         for factor in CredentialFactor:
             if factor is CredentialFactor.LINKED_ACCOUNT:
                 continue  # path-dependent; resolved per query
             if is_robust_factor(factor) or factor is CredentialFactor.PASSWORD:
-                ordered: Tuple[str, ...] = ()
+                mask = 0
             elif factor in (
                 CredentialFactor.EMAIL_CODE,
                 CredentialFactor.EMAIL_LINK,
             ):
-                ordered = (
-                    ecosystem.holders_of.get(
-                        PersonalInfoKind.MAILBOX_ACCESS, ()
-                    )
+                mask = (
+                    ecosystem.holder_mask(PersonalInfoKind.MAILBOX_ACCESS)
                     if email_channel
-                    else ()
+                    else 0
                 )
             elif factor is CredentialFactor.CUSTOMER_SERVICE:
-                ordered = (
-                    ecosystem._dossier_ordered
-                    if self.can_social_engineer
-                    else ()
+                mask = (
+                    ecosystem._dossier_mask if self.can_social_engineer else 0
                 )
             else:
-                kinds = info_satisfying_factor(factor)
-                if len(kinds) <= 1:
-                    ordered = (
-                        ecosystem.holders_of.get(next(iter(kinds)), ())
-                        if kinds
-                        else ()
-                    )
-                else:
-                    merged = frozenset().union(
-                        *(ecosystem.holder_set(kind) for kind in kinds)
-                    )
-                    ordered = tuple(
-                        name for name in ecosystem.names if name in merged
-                    )
-            self._static_ordered[factor] = ordered
-            self._static[factor] = frozenset(ordered)
+                mask = 0
+                for kind in info_satisfying_factor(factor):
+                    mask |= ecosystem.holder_mask(kind)
+            self._static_masks[factor] = mask
+            self._decode_static(factor)
+
+    def _decode_static(self, factor: CredentialFactor) -> None:
+        """Refresh one factor's name-level views from its provider mask."""
+        ordered = self.ecosystem.ids.decode_mask_ordered(
+            self._static_masks[factor]
+        )
+        self._static_ordered[factor] = ordered
+        self._static[factor] = frozenset(ordered)
 
     def provided_factors(self, node: "TDGNode") -> FrozenSet[CredentialFactor]:
         """Path-independent factors ``node`` provides under this profile.
@@ -494,9 +589,10 @@ class AttackerIndex:
         """Splice one node change into the per-factor provider postings.
 
         Must run *after* the backing :class:`EcosystemIndex` has absorbed
-        the same change (additions need the new service's ordinal).
-        Returns the factors whose provider sets changed -- the seed of the
-        graph-cache invalidation.
+        the same change (additions need the new service's id, and a removed
+        service's id must still decode -- it does; the decode table is
+        append-only).  Returns the factors whose provider sets changed --
+        the seed of the graph-cache invalidation.
         """
         old_factors = (
             self.provided_factors(old) if old is not None else frozenset()
@@ -504,19 +600,21 @@ class AttackerIndex:
         new_factors = (
             self.provided_factors(new) if new is not None else frozenset()
         )
+        if old_factors == new_factors:
+            return frozenset()
         for factor in old_factors - new_factors:
-            ordered = tuple(
-                n for n in self._static_ordered[factor] if n != name
-            )
-            self._static_ordered[factor] = ordered
-            self._static[factor] = frozenset(ordered)
+            self._static_masks[factor] &= ~self._bit_of(name)
+            self._decode_static(factor)
         for factor in new_factors - old_factors:
-            ordered = self.ecosystem.splice_name(
-                self._static_ordered[factor], name
-            )
-            self._static_ordered[factor] = ordered
-            self._static[factor] = frozenset(ordered)
+            self._static_masks[factor] |= self._bit_of(name)
+            self._decode_static(factor)
         return old_factors ^ new_factors
+
+    def _bit_of(self, name: str) -> int:
+        """The service's id bit.  Uses the latest-ever id so that removal
+        splices still work after the ecosystem retired the id (this hook
+        runs second)."""
+        return 1 << self.ecosystem.ids.latest_id(name)
 
     def static_provider_set(self, factor: CredentialFactor) -> FrozenSet[str]:
         """Providers of a path-independent factor, with no exclusion.
@@ -525,6 +623,10 @@ class AttackerIndex:
         property of the path); callers gate on that factor first.
         """
         return self._static[factor]
+
+    def static_provider_mask(self, factor: CredentialFactor) -> int:
+        """Bitmask form of :meth:`static_provider_set`."""
+        return self._static_masks[factor]
 
     def static_providers_ordered(
         self, factor: CredentialFactor
@@ -543,17 +645,26 @@ class AttackerIndex:
             return base - {path.service}
         return base
 
+    def provider_mask(self, factor: CredentialFactor, path) -> int:
+        """Bitmask form of :meth:`provider_names` (path's own service bit
+        cleared)."""
+        if factor is CredentialFactor.LINKED_ACCOUNT:
+            mask = self.ecosystem.ids.encode_live(path.linked_providers)
+        else:
+            mask = self._static_masks[factor]
+        own = self.ecosystem.ids.get(path.service)
+        if own is not None:
+            mask &= ~(1 << own)
+        return mask
+
     def providers_ordered(
         self, factor: CredentialFactor, path
     ) -> Tuple[str, ...]:
         """Like :meth:`provider_names` but in graph insertion order, matching
         the enumeration order of the seed's linear scans."""
         if factor is CredentialFactor.LINKED_ACCOUNT:
-            accepted = path.linked_providers
-            return tuple(
-                name
-                for name in self.ecosystem.names
-                if name in accepted and name != path.service
+            return self.ecosystem.ids.decode_mask_ordered(
+                self.provider_mask(factor, path)
             )
         ordered = self._static_ordered[factor]
         if path.service in self._static[factor]:

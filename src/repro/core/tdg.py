@@ -239,6 +239,10 @@ class TransformationDependencyGraph:
         self._coverage_by_service: Dict[str, List[AuthPath]] = {}
         self._full_parents_cache: Dict[str, FrozenSet[str]] = {}
         self._half_parents_cache: Dict[str, FrozenSet[str]] = {}
+        # Service-id bitmask twins of the two caches above (sources of
+        # truth; the frozensets are their decoded views).
+        self._full_parents_masks: Dict[str, int] = {}
+        self._half_parents_masks: Dict[str, int] = {}
         self._couples_cache: Dict[Tuple[str, int], Tuple[CoupleRecord, ...]] = {}
         self._combining_global_cache: Dict[
             Tuple[CredentialFactor, int], Tuple[FrozenSet[str], ...]
@@ -759,6 +763,8 @@ class TransformationDependencyGraph:
                 self._coverage_cache.pop(path, None)
             self._full_parents_cache.pop(service, None)
             self._half_parents_cache.pop(service, None)
+            self._full_parents_masks.pop(service, None)
+            self._half_parents_masks.pop(service, None)
         for key in [
             k
             for k in self._pool_cover_cache
@@ -893,18 +899,13 @@ class TransformationDependencyGraph:
         if maskable is None:
             return False
         _kind, length = maskable
-        views = self.ecosystem_index().partial_by_service[factor]
-        union: Set[int] = set()
+        views = self.ecosystem_index().partial_position_masks(factor)
+        union = 0
         for name in pool:
             if name == excluded:
                 continue
-            positions = views.get(name)
-            if not positions:
-                continue
-            union |= positions
-            if len(union) >= length:
-                return True
-        return False
+            union |= views.get(name, 0)
+        return union.bit_count() >= length
 
     def _pool_provides(
         self,
@@ -939,26 +940,41 @@ class TransformationDependencyGraph:
         cached = self._full_parents_cache.get(service)
         if cached is not None:
             return cached
+        result = self.ecosystem_index().decode_mask(
+            self.full_capacity_parents_mask(service)
+        )
+        self._full_parents_cache[service] = result
+        return result
+
+    def full_capacity_parents_mask(self, service: str) -> int:
+        """:meth:`full_capacity_parents` as a service-id bitmask -- the
+        form the depth fixpoint and edge counters consume (one big-int OR
+        per path instead of per-name set inserts)."""
+        cached = self._full_parents_masks.get(service)
+        if cached is not None:
+            return cached
         node = self._nodes[service]
         signature_view = self.parents_view()
-        parents: Set[str] = set()
+        mask = 0
         for path in node.takeover_paths:
             cover = self.coverage(node, path)
             if cover.is_blocked or not cover.residual:
                 continue
             if CredentialFactor.LINKED_ACCOUNT in cover.residual:
                 view = self.attacker_index()
-                parents |= frozenset.intersection(
-                    *(
-                        view.provider_names(factor, path)
-                        for factor in cover.residual
-                    )
-                )
+                joint = -1
+                for factor in cover.residual:
+                    joint &= view.provider_mask(factor, path)
+                    if not joint:
+                        break
+                mask |= joint
             else:
-                parents |= signature_view.full_members(cover.residual)
-        result = frozenset(parents - {service})
-        self._full_parents_cache[service] = result
-        return result
+                mask |= signature_view.full_members_mask(cover.residual)
+        own = self.ecosystem_index().ids.get(service)
+        if own is not None:
+            mask &= ~(1 << own)
+        self._full_parents_masks[service] = mask
+        return mask
 
     def half_capacity_parents(self, service: str) -> FrozenSet[str]:
         """Definition 2: nodes providing part (not all) of some path.
@@ -970,27 +986,40 @@ class TransformationDependencyGraph:
         cached = self._half_parents_cache.get(service)
         if cached is not None:
             return cached
+        result = self.ecosystem_index().decode_mask(
+            self.half_capacity_parents_mask(service)
+        )
+        self._half_parents_cache[service] = result
+        return result
+
+    def half_capacity_parents_mask(self, service: str) -> int:
+        """:meth:`half_capacity_parents` as a service-id bitmask."""
+        cached = self._half_parents_masks.get(service)
+        if cached is not None:
+            return cached
         node = self._nodes[service]
         signature_view = self.parents_view()
-        halves: Set[str] = set()
+        mask = 0
         for path in node.takeover_paths:
             cover = self.coverage(node, path)
             if cover.is_blocked or not cover.residual:
                 continue
             if CredentialFactor.LINKED_ACCOUNT in cover.residual:
                 view = self.attacker_index()
-                provider_sets = [
-                    view.provider_names(factor, path)
-                    for factor in cover.residual
-                ]
-                halves |= frozenset.union(
-                    *provider_sets
-                ) - frozenset.intersection(*provider_sets)
+                joint = -1
+                union = 0
+                for factor in cover.residual:
+                    provider_mask = view.provider_mask(factor, path)
+                    joint &= provider_mask
+                    union |= provider_mask
+                mask |= union & ~joint
             else:
-                halves |= signature_view.half_members(cover.residual)
-        result = frozenset(halves - {service})
-        self._half_parents_cache[service] = result
-        return result
+                mask |= signature_view.half_members_mask(cover.residual)
+        own = self.ecosystem_index().ids.get(service)
+        if own is not None:
+            mask &= ~(1 << own)
+        self._half_parents_masks[service] = mask
+        return mask
 
     def couples(self, service: str, max_size: int = 3) -> Tuple[CoupleRecord, ...]:
         """Definition 3: minimal joint covers of some path (the Couple File).
@@ -1430,7 +1459,7 @@ class TransformationDependencyGraph:
         when warm, re-deriving only the parent sets a delta reached.
         The serving layer's edge summaries count through this."""
         return sum(
-            len(self.full_capacity_parents(service))
+            self.full_capacity_parents_mask(service).bit_count()
             for service in self._nodes
         )
 

@@ -1,0 +1,142 @@
+"""Process-parallel stage-1/2 report construction for cold builds.
+
+The cold start of a :class:`~repro.dynamic.session.DynamicAnalysisSession`
+spends almost all of its time in the attacker-independent per-profile
+pipeline -- :meth:`~repro.core.authproc.AuthenticationProcess.analyze_profile`
+plus :meth:`~repro.core.collection.PersonalInfoCollection.collect_from_profile`
+for every service -- before any index or graph exists.  That work is
+embarrassingly parallel: both analyzers are stateless, each profile's
+reports depend on nothing but the profile, and the inputs/outputs pickle
+small (profiles and reports are flat frozen dataclasses, under ~2 KB
+each).  At the 10k-30k service tiers it dominates the cold build, so
+this module shards it across a :mod:`multiprocessing` pool.
+
+Correctness constraints the sharding must respect:
+
+- **Report order is load-bearing.**  Node order -- and therefore the
+  interned id-space of :class:`~repro.core.ids.Interner` and every
+  stream cursor watermark -- derives from the ``auth_reports`` dict's
+  insertion order.  Chunks are therefore *contiguous* slices of the
+  profile sequence and results are merged back in chunk order, so the
+  merged dicts iterate exactly as a serial build's would.
+- **Workers are processes, not threads** (the pipeline is pure-Python
+  CPU work), forked when the platform supports it so profile objects
+  are inherited rather than re-imported.
+
+``build_reports`` degrades to the serial loop whenever a pool cannot
+pay for itself (one worker, tiny ecosystems, single-CPU hosts) and
+always returns a :class:`ColdBuildStats` describing what actually ran,
+which the session surfaces through the ``repro_session_cold_build_*``
+instrumentation gauges.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.authproc import AuthenticationProcess, ServiceAuthReport
+from repro.core.collection import CollectionReport, PersonalInfoCollection
+from repro.model.account import ServiceProfile
+
+__all__ = ["ColdBuildStats", "build_reports"]
+
+#: Below this many profiles a pool's spawn/IPC overhead outweighs the
+#: pipeline work; the serial loop wins.
+MIN_PARALLEL_PROFILES = 256
+
+
+@dataclasses.dataclass(frozen=True)
+class ColdBuildStats:
+    """What one cold report build actually did (serial or pooled)."""
+
+    profiles: int
+    workers: int
+    chunks: int
+
+    @property
+    def pooled(self) -> bool:
+        return self.workers > 1
+
+
+ReportPair = Tuple[
+    Dict[str, ServiceAuthReport], Dict[str, CollectionReport]
+]
+
+
+def _analyze_chunk(profiles: Sequence[ServiceProfile]) -> ReportPair:
+    """One worker's share: stage-1/2 reports for a contiguous profile
+    slice.  Top-level so it pickles under the spawn start method too."""
+    authproc = AuthenticationProcess()
+    collection = PersonalInfoCollection()
+    auth: Dict[str, ServiceAuthReport] = {}
+    collected: Dict[str, CollectionReport] = {}
+    for profile in profiles:
+        auth[profile.name] = authproc.analyze_profile(profile)
+        collected[profile.name] = collection.collect_from_profile(profile)
+    return auth, collected
+
+
+def _chunk(
+    profiles: Sequence[ServiceProfile], workers: int
+) -> List[Sequence[ServiceProfile]]:
+    """Contiguous near-even slices, order-preserving (see module doc)."""
+    total = len(profiles)
+    size, extra = divmod(total, workers)
+    chunks: List[Sequence[ServiceProfile]] = []
+    start = 0
+    for position in range(workers):
+        stop = start + size + (1 if position < extra else 0)
+        if stop > start:
+            chunks.append(profiles[start:stop])
+        start = stop
+    return chunks
+
+
+def resolve_workers(requested: int | None) -> int:
+    """Normalize a worker request: ``None``/0/1 mean serial, negative
+    means one per CPU."""
+    if requested is None:
+        return 1
+    if requested < 0:
+        return os.cpu_count() or 1
+    return max(1, requested)
+
+
+def build_reports(
+    profiles: Sequence[ServiceProfile], workers: int | None = None
+) -> Tuple[
+    Dict[str, ServiceAuthReport], Dict[str, CollectionReport], ColdBuildStats
+]:
+    """Stage-1/2 reports for every profile, sharded across ``workers``
+    processes when that can pay for itself.
+
+    The merged dicts iterate in the order of ``profiles`` regardless of
+    worker count -- the invariant every downstream id and cursor
+    depends on.
+    """
+    profiles = list(profiles)
+    workers = resolve_workers(workers)
+    workers = min(workers, len(profiles))
+    if workers <= 1 or len(profiles) < MIN_PARALLEL_PROFILES:
+        auth, collected = _analyze_chunk(profiles)
+        return auth, collected, ColdBuildStats(len(profiles), 1, 1)
+    chunks = _chunk(profiles, workers)
+    method = (
+        "fork"
+        if "fork" in multiprocessing.get_all_start_methods()
+        else None
+    )
+    context = multiprocessing.get_context(method)
+    with context.Pool(processes=workers) as pool:
+        results = pool.map(_analyze_chunk, chunks)
+    auth = {}
+    collected = {}
+    for chunk_auth, chunk_collected in results:
+        auth.update(chunk_auth)
+        collected.update(chunk_collected)
+    return auth, collected, ColdBuildStats(
+        len(profiles), workers, len(chunks)
+    )

@@ -53,16 +53,24 @@ class DynamicAnalysisSession:
         attacker: Optional[AttackerProfile] = None,
         attackers: Optional[Mapping[str, AttackerProfile]] = None,
         instrumentation: Optional[Instrumentation] = None,
+        build_workers: Optional[int] = None,
     ) -> None:
         profiles = self._resolve_attackers(attacker, attackers)
         self._ecosystem: Optional[Ecosystem] = ecosystem
         self._authproc = AuthenticationProcess()
         self._collection = PersonalInfoCollection()
-        self._auth_reports: Dict[str, ServiceAuthReport] = {}
-        self._collection_reports: Dict[str, CollectionReport] = {}
-        for profile in ecosystem:
-            self._refresh_reports(profile)
-        self._finish_init(profiles, instrumentation)
+        # The attacker-independent stage-1/2 pipeline is the cold-build
+        # hot path; ``build_workers`` shards it across a process pool
+        # (contiguous chunks, so report -- and therefore id -- order is
+        # identical to the serial loop's).
+        from repro.dynamic.parallel import build_reports
+
+        auth, collected, build_stats = build_reports(
+            list(ecosystem), workers=build_workers
+        )
+        self._auth_reports: Dict[str, ServiceAuthReport] = auth
+        self._collection_reports: Dict[str, CollectionReport] = collected
+        self._finish_init(profiles, instrumentation, build_stats)
 
     @classmethod
     def from_reports(
@@ -110,6 +118,7 @@ class DynamicAnalysisSession:
         self,
         profiles: Dict[str, AttackerProfile],
         instrumentation: Optional[Instrumentation] = None,
+        build_stats=None,
     ) -> None:
         # Nodes derive from the maintained stage-1/2 reports -- the exact
         # ActFort derivation -- so the session agrees bit-for-bit with
@@ -145,6 +154,31 @@ class DynamicAnalysisSession:
             "Wall time one mutation took to absorb (delta + reports).",
             buckets=DEFAULT_SECONDS_BUCKETS,
         )
+        # Cold-build pool accounting and id-space sizing.  The interner
+        # gauges are refreshed on read through ``interner_stats`` --
+        # here they just get their cold values.
+        if build_stats is not None:
+            workers_gauge = self._obs.gauge(
+                "repro_session_cold_build_workers",
+                "Worker processes the cold report build sharded across.",
+            )
+            workers_gauge.set(build_stats.workers)
+            chunks_gauge = self._obs.gauge(
+                "repro_session_cold_build_chunks",
+                "Contiguous profile chunks the cold report build used.",
+            )
+            chunks_gauge.set(build_stats.chunks)
+        self._ids_live_gauge = self._obs.gauge(
+            "repro_ids_live",
+            "Live interned ids per id table.",
+            labels=("table",),
+        )
+        self._ids_high_water_gauge = self._obs.gauge(
+            "repro_ids_high_water",
+            "Ids ever assigned per id table (bitmask width).",
+            labels=("table",),
+        )
+        self.interner_stats()
         # Indexes must exist eagerly: mutate() maintains them in place, and
         # a lazily-built index cannot be spliced before it exists.
         for graph in graphs:
@@ -191,6 +225,30 @@ class DynamicAnalysisSession:
         through (one registry for all attacker views, distinguished by
         the ``attacker`` label)."""
         return self._obs
+
+    def interner_stats(self) -> Dict[str, Dict[str, int]]:
+        """Live/high-water sizes of every id table (service names on the
+        shared ecosystem index, one signature table per attacker view),
+        refreshing the ``repro_ids_*`` gauges as a side effect."""
+        eco = self.graph().ecosystem_index()
+        stats: Dict[str, Dict[str, int]] = {
+            "services": {
+                "live": len(eco.ids),
+                "high_water": eco.ids.high_water,
+            }
+        }
+        for label, graph in self._graphs.items():
+            view = graph.parents_view()
+            stats[f"signatures[{label}]"] = {
+                "live": view.interner_size(),
+                "high_water": view.interner_size(),
+            }
+        for table, sizes in stats.items():
+            self._ids_live_gauge.labels(table=table).set(sizes["live"])
+            self._ids_high_water_gauge.labels(table=table).set(
+                sizes["high_water"]
+            )
+        return stats
 
     @property
     def version(self) -> int:

@@ -63,6 +63,7 @@ from typing import (
     Tuple,
 )
 
+from repro.core.ids import Interner, iter_ids
 from repro.core.index import MASKABLE_FACTORS
 from repro.levels.aggregates import FactorDepthBuckets
 from repro.model.factors import CredentialFactor, Platform
@@ -141,24 +142,33 @@ class DepthFixpointEngine:
         self._buckets: Optional[FactorDepthBuckets] = None
         self._provided: Dict[str, FrozenSet[CredentialFactor]] = {}
         self._partials: Dict[str, FrozenSet[CredentialFactor]] = {}
-        self._parents: Optional[Dict[str, FrozenSet[str]]] = None
-        self._children: Dict[str, Set[str]] = {}
+        #: Engine-private service id-space for the engine-owned bitmask
+        #: postings below.  Unlike the ecosystem interner it NEVER retires
+        #: ids: the engine treats a re-added service as the same entity a
+        #: name set would (deltas are absorbed lazily, so a remove+re-add
+        #: burst can land in one flush -- an ecosystem id would have been
+        #: retired and reassigned between the placements, leaving stale
+        #: bits; a name-stable bit cannot drift).
+        self._bits: Interner[str] = Interner()
+        #: service -> full-capacity-parent bitmask over engine ids (the
+        #: graph's memoized parent masks re-encoded for the pure
+        #: recurrence).
+        self._parents: Optional[Dict[str, int]] = None
+        #: parent -> children bitmask over engine ids.
+        self._children: Dict[str, int] = {}
         #: Static provider-set sizes, to detect availability transitions
         #: (a factor's provider pool crossing the 0/1 boundary is the only
         #: postings change that can move a coverage split).
         self._provider_counts: Dict[CredentialFactor, int] = {}
-        #: residual-factor signature -> services with a path demanding
-        #: exactly that signature; the subset tests against a touched
-        #: node's provided-factor delta find every parenthood flip.
-        self._residual_index: Dict[
-            FrozenSet[CredentialFactor], Set[str]
-        ] = {}
-        #: Pure-full depth buckets (depth -> services), so one derivation
-        #: is a handful of C-speed disjointness tests against the parents
-        #: set instead of a Python scan over it.
-        self._pure_buckets: Tuple[Set[str], ...] = tuple(
-            set() for _ in range(MAX_DEPTH + 1)
-        )
+        #: residual-factor signature -> bitmask (engine ids) of services
+        #: with a path demanding exactly that signature; the subset tests
+        #: against a touched node's provided-factor delta find every
+        #: parenthood flip.
+        self._residual_index: Dict[FrozenSet[CredentialFactor], int] = {}
+        #: Pure-full depth buckets (depth -> engine-id bitmask), so one
+        #: derivation is a handful of big-int ANDs against the parents
+        #: mask instead of set algebra over names.
+        self._pure_buckets: list = [0] * (MAX_DEPTH + 1)
         #: Per-factor combining memo: the depth-sorted reachable holder
         #: views plus per-exclusion answers (``None`` key = any
         #: non-holder).  Dropped when a holder's depth or view changes.
@@ -300,7 +310,7 @@ class DepthFixpointEngine:
                 ):
                     continue
                 old_count = self._provider_counts.get(factor, 0)
-                new_count = len(view.static_provider_set(factor))
+                new_count = view.static_provider_mask(factor).bit_count()
                 self._provider_counts[factor] = new_count
                 if old_count <= 1 or new_count <= 1:
                     availability.add(factor)
@@ -320,10 +330,13 @@ class DepthFixpointEngine:
             # Without the depth tier there is no baseline to diff; fall
             # back to the conservative cone for the signature refresh.
             availability = {f for f in factors if f not in self._innate}
+        cone_mask = 0
         for factor in availability:
-            dirty |= eco.demanders(factor)
+            cone_mask |= eco.demanders_mask(factor)
         for name in names:
-            dirty |= eco.linked_consumers_of(name)
+            cone_mask |= eco.linked_consumers_mask(name)
+        if cone_mask:
+            dirty |= eco.decode_mask(cone_mask)
 
         # Tier 1 refresh: signatures, direct set, platform-path memos.
         for key in [k for k in self._platform_paths if k[0] in touched]:
@@ -358,10 +371,8 @@ class DepthFixpointEngine:
         # services whose residual split moved, availability/linked-name
         # consumers, plus the subset-test candidates.
         parents_dirty: Set[str] = set(touched) | set(sig_changes)
-        for factor in availability:
-            parents_dirty |= eco.demanders(factor)
-        for name in names:
-            parents_dirty |= eco.linked_consumers_of(name)
+        if cone_mask:
+            parents_dirty |= eco.decode_mask(cone_mask)
         # First-touch snapshots: phase A retracts conservatively and
         # phase B re-derives, so transient moves are common; only *net*
         # summary/depth changes can move a classification answer.
@@ -381,8 +392,11 @@ class DepthFixpointEngine:
                 provided_changes, eco
             )
             joint_seeds = set(dirty) | combining_demanders
+            seeds_mask = 0
             for factor in summary_moved:
-                joint_seeds |= eco.demanders(factor)
+                seeds_mask |= eco.demanders_mask(factor)
+            if seeds_mask:
+                joint_seeds |= eco.decode_mask(seeds_mask)
             joint_retracted, joint_rederived = self._update_joint(
                 joint_seeds, nodes, eco, initial_summaries, initial_joint
             )
@@ -407,19 +421,25 @@ class DepthFixpointEngine:
         # threshold, linked depth, or pf0/pf1 parenthood invalidates
         # nobody beyond the dirty cone itself.
         invalid: Set[str] = set(dirty) | parents_dirty | combining_demanders
+        invalid_mask = 0
         buckets = self._buckets
         for factor, before in initial_summaries.items():
             if buckets.summary(factor) != before:
-                invalid |= eco.demanders(factor)
+                invalid_mask |= eco.demanders_mask(factor)
         for service, before in initial_joint.items():
             if self._joint.get(service) == before:
                 continue
             for factor in self._partials.get(service, ()):
-                invalid |= eco.demanders(factor)
-            invalid |= eco.linked_consumers_of(service)
+                invalid_mask |= eco.demanders_mask(factor)
+            invalid_mask |= eco.linked_consumers_mask(service)
+        children_mask = 0
         for service, before in initial_pure.items():
             if self._pure.get(service) != before:
-                invalid |= self._children.get(service, set())
+                children_mask |= self._children.get(service, 0)
+        if invalid_mask:
+            invalid |= eco.decode_mask(invalid_mask)
+        if children_mask:
+            invalid |= self._bits.decode_mask(children_mask)
         for cache in self._levels.values():
             for service in invalid:
                 cache.pop(service, None)
@@ -431,17 +451,19 @@ class DepthFixpointEngine:
         index (blocked and residual-free paths never parent anything)."""
         if sig is None:
             return
+        bit = 1 << self._bits.intern(service)
+        index = self._residual_index
         for _path, residual, blocked in sig.entries:
             if blocked or not residual:
                 continue
             if add:
-                self._residual_index.setdefault(residual, set()).add(service)
+                index[residual] = index.get(residual, 0) | bit
             else:
-                services = self._residual_index.get(residual)
-                if services is not None:
-                    services.discard(service)
-                    if not services:
-                        del self._residual_index[residual]
+                remaining = index.get(residual, 0) & ~bit
+                if remaining:
+                    index[residual] = remaining
+                else:
+                    index.pop(residual, None)
 
     def _combining_flips(
         self, factor: CredentialFactor, eco: "EcosystemIndex"
@@ -475,12 +497,12 @@ class DepthFixpointEngine:
         provided-factor delta can flip: one subset test per distinct
         residual signature (a node parents a path exactly when it provides
         the path's whole residual, plus being named on linked paths)."""
-        candidates: Set[str] = set()
+        candidates_mask = 0
         linked = CredentialFactor.LINKED_ACCOUNT
         for name, (old_provided, new_provided) in provided_changes.items():
             if old_provided == new_provided:
                 continue
-            for signature, services in self._residual_index.items():
+            for signature, services_mask in self._residual_index.items():
                 base = (
                     signature - {linked} if linked in signature else signature
                 )
@@ -489,10 +511,12 @@ class DepthFixpointEngine:
                 if (base <= old_provided) == (base <= new_provided):
                     continue
                 if linked in signature:
-                    candidates |= services & eco.linked_consumers_of(name)
+                    candidates_mask |= services_mask & self._bits.encode_live(
+                        eco.linked_consumers_of(name)
+                    )
                 else:
-                    candidates |= services
-        return candidates
+                    candidates_mask |= services_mask
+        return set(self._bits.decode_mask(candidates_mask))
 
     # ------------------------------------------------------------------
     # Tier 1: signatures
@@ -586,12 +610,26 @@ class DepthFixpointEngine:
         self._parents = {}
         self._children = {}
         for service in nodes:
-            parents = graph.full_capacity_parents(service)
-            self._parents[service] = parents
-            for parent in parents:
-                self._children.setdefault(parent, set()).add(service)
+            parents_mask = self._to_engine_mask(
+                graph.full_capacity_parents_mask(service), eco
+            )
+            self._parents[service] = parents_mask
+            bit = 1 << self._bits.intern(service)
+            for parent_id in iter_ids(parents_mask):
+                parent = self._bits.decode(parent_id)
+                self._children[parent] = self._children.get(parent, 0) | bit
         self._pure = {}
         self._scratch_pure(nodes)
+
+    def _to_engine_mask(self, eco_mask: int, eco: "EcosystemIndex") -> int:
+        """Re-encode an ecosystem-id bitmask onto the engine's
+        name-stable id-space."""
+        decode = eco.ids.decode
+        intern = self._bits.intern
+        mask = 0
+        for service_id in iter_ids(eco_mask):
+            mask |= 1 << intern(decode(service_id))
+        return mask
 
     @staticmethod
     def _partial_factors(node: "TDGNode") -> FrozenSet[CredentialFactor]:
@@ -718,12 +756,13 @@ class DepthFixpointEngine:
         eco = self._graph.ecosystem_index()
         entry = self._combine_cache.get(factor)
         if entry is None:
+            position_masks = eco.partial_position_masks(factor)
             reachable = []
             joint = self._joint
-            for name, positions in eco.partial_holders[factor]:
+            for name, _positions in eco.partial_holders[factor]:
                 depth = joint.get(name)
                 if depth is not None:
-                    reachable.append((depth, name, positions))
+                    reachable.append((depth, name, position_masks[name]))
             reachable.sort(key=lambda item: item[0])
             entry = (reachable, {})
             self._combine_cache[factor] = entry
@@ -735,12 +774,12 @@ class DepthFixpointEngine:
             return answers[key]
         _kind, length = MASKABLE_FACTORS[factor]
         result: Optional[int] = None
-        union: Set[int] = set()
-        for depth, name, positions in reachable:
+        union = 0
+        for depth, name, view_mask in reachable:
             if name == excluded:
                 continue
-            union |= positions
-            if len(union) >= length:
+            union |= view_mask
+            if union.bit_count() >= length:
                 result = depth
                 break
         answers[key] = result
@@ -748,17 +787,16 @@ class DepthFixpointEngine:
 
     def _derive_pure(self, service: str) -> Optional[int]:
         """The pure-full recurrence: 1 + the minimal depth among the
-        service's memoized full-capacity parents (answered by depth-bucket
-        disjointness tests, not a scan over the parent set)."""
+        service's memoized full-capacity parents (one big-int AND per
+        depth bucket, not a scan over the parent set)."""
         if self._sig[service].direct:
             return 0
-        parents = self._parents.get(service)
-        if not parents:
+        parents_mask = self._parents.get(service, 0)
+        if not parents_mask:
             return None
         buckets = self._pure_buckets
         for depth in range(MAX_DEPTH):
-            bucket = buckets[depth]
-            if bucket and not bucket.isdisjoint(parents):
+            if buckets[depth] & parents_mask:
                 return depth + 1
         return None
 
@@ -766,13 +804,14 @@ class DepthFixpointEngine:
         old = self._pure.get(service)
         if old == new_depth:
             return
+        bit = 1 << self._bits.intern(service)
         if old is not None:
-            self._pure_buckets[old].discard(service)
+            self._pure_buckets[old] &= ~bit
         if new_depth is None:
             self._pure.pop(service, None)
         else:
             self._pure[service] = new_depth
-            self._pure_buckets[new_depth].add(service)
+            self._pure_buckets[new_depth] |= bit
 
     # -- incremental maintenance ----------------------------------------
 
@@ -874,14 +913,20 @@ class DepthFixpointEngine:
     ) -> None:
         """Forward-propagate one depth change along the reverse postings:
         demanders of factors whose summary moved, services linking this
-        one, and demanders of maskable factors it holds views of."""
-        targets: Set[str] = set()
+        one, and demanders of maskable factors it holds views of.  The
+        union is a handful of big-int ORs over the index's posting masks,
+        decoded once."""
+        targets_mask = 0
         for factor in changed_factors:
-            targets |= eco.demanders(factor)
+            targets_mask |= eco.demanders_mask(factor)
         for factor in self._partials.get(service, ()):
-            targets |= eco.demanders(factor)
-        targets |= eco.linked_consumers_of(service)
-        for target in targets:
+            targets_mask |= eco.demanders_mask(factor)
+        targets_mask |= eco.linked_consumers_mask(service)
+        if not targets_mask:
+            return
+        decode = eco.ids.decode
+        for target_id in iter_ids(targets_mask):
+            target = decode(target_id)
             if target in nodes and target not in inwl:
                 inwl.add(target)
                 wl.append(target)
@@ -960,22 +1005,29 @@ class DepthFixpointEngine:
 
     def _refresh_parents(self, dirty: Set[str], removed: Set[str]) -> None:
         graph = self._graph
+        eco = graph.ecosystem_index()
+        decode = self._bits.decode
         for service in dirty:
-            old = self._parents.get(service, frozenset())
+            old = self._parents.get(service, 0)
             new = (
-                frozenset()
+                0
                 if service in removed
-                else graph.full_capacity_parents(service)
+                else self._to_engine_mask(
+                    graph.full_capacity_parents_mask(service), eco
+                )
             )
             if new != old:
-                for parent in old - new:
-                    children = self._children.get(parent)
-                    if children is not None:
-                        children.discard(service)
-                        if not children:
-                            del self._children[parent]
-                for parent in new - old:
-                    self._children.setdefault(parent, set()).add(service)
+                bit = 1 << self._bits.intern(service)
+                for parent_id in iter_ids(old & ~new):
+                    parent = decode(parent_id)
+                    remaining = self._children.get(parent, 0) & ~bit
+                    if remaining:
+                        self._children[parent] = remaining
+                    else:
+                        self._children.pop(parent, None)
+                for parent_id in iter_ids(new & ~old):
+                    parent = decode(parent_id)
+                    self._children[parent] = self._children.get(parent, 0) | bit
             if service in removed:
                 self._parents.pop(service, None)
             else:
@@ -986,7 +1038,12 @@ class DepthFixpointEngine:
     def _push_children(
         self, service: str, wl: deque, inwl: Set[str], nodes
     ) -> None:
-        for child in self._children.get(service, ()):
+        children_mask = self._children.get(service, 0)
+        if not children_mask:
+            return
+        decode = self._bits.decode
+        for child_id in iter_ids(children_mask):
+            child = decode(child_id)
             if child in nodes and child not in inwl:
                 inwl.add(child)
                 wl.append(child)
@@ -1082,7 +1139,10 @@ class DepthFixpointEngine:
         per-service intersection rebuilds."""
         self._flush()
         self._ensure_depths()
-        return dict(self._parents)
+        decode = self._bits.decode_mask
+        return {
+            service: decode(mask) for service, mask in self._parents.items()
+        }
 
     def direct_services(self) -> FrozenSet[str]:
         """Services the attacker profile takes over with no chaining.
@@ -1137,8 +1197,8 @@ class DepthFixpointEngine:
             entry = cache.get(service)
             if entry is None:
                 if pf0 is None:
-                    pf0 = frozenset(self._pure_buckets[0])
-                    pf1 = frozenset(self._pure_buckets[1])
+                    pf0 = self._bits.decode_mask(self._pure_buckets[0])
+                    pf1 = self._bits.decode_mask(self._pure_buckets[1])
                 entry = self._classify(service, paths, pf0, pf1)
                 cache[service] = entry
             result[service] = entry

@@ -25,6 +25,14 @@ service itself; ``tests/test_dynamic_equivalence.py`` locks the
 view-backed answers bit-for-bit against scratch rebuilds after every
 mutation.
 
+Since the id-compaction pass the member sets live as **service-id
+bitmasks** keyed by **interned signature ids**
+(:class:`~repro.core.ids.SignatureInterner`): a derivation is a chain of
+big-int ANDs/ORs over the attacker index's provider masks, and a
+retraction intersects the interner's factor -> signatures postings with
+the live-entry mask instead of subset-testing every cached signature.
+The frozenset API is a decoding cache on top.
+
 Maintenance is the two-phase discipline of the level engine, one tier
 down:
 
@@ -34,10 +42,9 @@ down:
   member sets verbatim -- the common case, since most mutations move a
   few factors' postings.
 - **phase B (re-derive)**: the next read of a retracted signature joins
-  the *current* per-factor provider postings of
-  :class:`~repro.core.index.AttackerIndex` (C-speed frozenset algebra
-  over the maintained posting lists), once per signature instead of once
-  per (service, path).
+  the *current* per-factor provider masks of
+  :class:`~repro.core.index.AttackerIndex`, once per signature instead
+  of once per (service, path).
 
 The view is attacker-specific (provider postings are a profile
 property); each :class:`~repro.core.tdg.TransformationDependencyGraph`
@@ -48,6 +55,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, FrozenSet, Tuple
 
+from repro.core.ids import SignatureInterner, iter_ids
 from repro.model.factors import CredentialFactor
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -57,7 +65,7 @@ __all__ = ["SignatureParentsView"]
 
 
 class SignatureParentsView:
-    """Materialized full/half parent member sets per residual signature.
+    """Materialized full/half parent member masks per residual signature.
 
     Keys are residual-factor signatures (frozensets of
     :class:`~repro.model.factors.CredentialFactor`) that never contain
@@ -69,8 +77,18 @@ class SignatureParentsView:
 
     def __init__(self, graph: "TransformationDependencyGraph") -> None:
         self._graph = graph
-        self._full: Dict[FrozenSet[CredentialFactor], FrozenSet[str]] = {}
-        self._half: Dict[FrozenSet[CredentialFactor], FrozenSet[str]] = {}
+        #: Signature interner; ids key the mask tables below and its
+        #: factor -> signature-ids postings drive retraction.
+        self._sigs = SignatureInterner()
+        #: Bitmask over signature ids: which entries are live (derived and
+        #: not yet retracted).
+        self._entries_mask: int = 0
+        # sig id -> service-id bitmask (sources of truth) ...
+        self._full_masks: Dict[int, int] = {}
+        self._half_masks: Dict[int, int] = {}
+        # ... and their lazily decoded frozenset views.
+        self._full_views: Dict[int, FrozenSet[str]] = {}  # decoded view
+        self._half_views: Dict[int, FrozenSet[str]] = {}  # decoded view
         # Observability counters: signatures deltas retracted, and reads
         # that had to re-join the postings.  Registry children on the
         # graph's shared handle; ``stats()`` is the thin view over them
@@ -98,62 +116,103 @@ class SignatureParentsView:
 
         Called by
         :meth:`~repro.core.tdg.TransformationDependencyGraph.invalidate_after_delta`
-        after the indexes absorbed a delta.  Only signatures whose
-        postings actually changed lose their entries; the next read
-        re-derives exactly those (phase B), so a mutation's parent-set
-        bill is O(affected signatures), not O(services x paths).
+        after the indexes absorbed a delta.  The stale set is one bitmask
+        intersection: the union of the interner's factor -> signature-id
+        postings over the affected factors, AND the live-entry mask.
+        Only signatures whose postings actually changed lose their
+        entries; the next read re-derives exactly those (phase B), so a
+        mutation's parent-set bill is O(affected signatures), not
+        O(services x paths).
         """
-        if not affected_factors or not self._full:
+        if not affected_factors or not self._entries_mask:
             return
-        stale = [
-            signature
-            for signature in self._full
-            if signature & affected_factors
-        ]
-        for signature in stale:
+        stale = 0
+        for factor in affected_factors:
+            stale |= self._sigs.containing(factor)
+        stale &= self._entries_mask
+        for sig_id in iter_ids(stale):
             # Both member sets derive together, so both retract together.
-            del self._full[signature]
-            self._half.pop(signature, None)
-        self._retractions.inc(len(stale))
+            del self._full_masks[sig_id]
+            self._half_masks.pop(sig_id, None)
+            self._full_views.pop(sig_id, None)
+            self._half_views.pop(sig_id, None)
+        self._entries_mask &= ~stale
+        self._retractions.inc(stale.bit_count())
 
     # ------------------------------------------------------------------
     # Phase B: derivation on read
     # ------------------------------------------------------------------
 
-    def _derive(
-        self, signature: FrozenSet[CredentialFactor]
-    ) -> Tuple[FrozenSet[str], FrozenSet[str]]:
-        """Join the signature against the live provider postings."""
+    def _derive(self, signature: FrozenSet[CredentialFactor]) -> int:
+        """Join the signature against the live provider masks; returns the
+        signature's interned id."""
         self._derivations.inc()
         view = self._graph.attacker_index()
-        provider_sets = [
-            view.static_provider_set(factor) for factor in signature
-        ]
-        full = frozenset.intersection(*provider_sets)
-        half = frozenset.union(*provider_sets) - full
-        self._full[signature] = full
-        self._half[signature] = half
-        return full, half
+        sig_id = self._sigs.intern(signature)
+        factors = iter(signature)
+        first = view.static_provider_mask(next(factors))
+        full = first
+        union = first
+        for factor in factors:
+            mask = view.static_provider_mask(factor)
+            full &= mask
+            union |= mask
+        self._full_masks[sig_id] = full
+        self._half_masks[sig_id] = union & ~full
+        self._entries_mask |= 1 << sig_id
+        return sig_id
+
+    def full_members_mask(
+        self, signature: FrozenSet[CredentialFactor]
+    ) -> int:
+        """Service-id bitmask of nodes providing every factor of
+        ``signature``."""
+        sig_id = self._sigs.get(signature)
+        if sig_id is None or not (self._entries_mask >> sig_id) & 1:
+            sig_id = self._derive(signature)
+        return self._full_masks[sig_id]
+
+    def half_members_mask(
+        self, signature: FrozenSet[CredentialFactor]
+    ) -> int:
+        """Service-id bitmask of nodes providing some but not all factors
+        of ``signature``."""
+        sig_id = self._sigs.get(signature)
+        if sig_id is None or not (self._entries_mask >> sig_id) & 1:
+            sig_id = self._derive(signature)
+        return self._half_masks[sig_id]
 
     def full_members(
         self, signature: FrozenSet[CredentialFactor]
     ) -> FrozenSet[str]:
         """Nodes providing every factor of ``signature`` (Definition 1's
         member postings; callers subtract the consuming service)."""
-        cached = self._full.get(signature)
-        if cached is not None:
-            return cached
-        return self._derive(signature)[0]
+        sig_id = self._sigs.get(signature)
+        if sig_id is None or not (self._entries_mask >> sig_id) & 1:
+            sig_id = self._derive(signature)
+        view = self._full_views.get(sig_id)
+        if view is None:
+            view = self._graph.ecosystem_index().decode_mask(
+                self._full_masks[sig_id]
+            )
+            self._full_views[sig_id] = view
+        return view
 
     def half_members(
         self, signature: FrozenSet[CredentialFactor]
     ) -> FrozenSet[str]:
         """Nodes providing some but not all factors of ``signature``
         (Definition 2's member postings, before self-exclusion)."""
-        cached = self._half.get(signature)
-        if cached is not None:
-            return cached
-        return self._derive(signature)[1]
+        sig_id = self._sigs.get(signature)
+        if sig_id is None or not (self._entries_mask >> sig_id) & 1:
+            sig_id = self._derive(signature)
+        view = self._half_views.get(sig_id)
+        if view is None:
+            view = self._graph.ecosystem_index().decode_mask(
+                self._half_masks[sig_id]
+            )
+            self._half_views[sig_id] = view
+        return view
 
     # ------------------------------------------------------------------
     # Introspection (differential suites and observability)
@@ -167,18 +226,22 @@ class SignatureParentsView:
         """Every materialized signature's (full, half) member sets --
         what the differential suite compares against scratch joins."""
         return {
-            signature: (
-                self._full[signature],
-                self._half.get(signature, frozenset()),
+            self._sigs.decode(sig_id): (
+                self.full_members(self._sigs.decode(sig_id)),
+                self.half_members(self._sigs.decode(sig_id)),
             )
-            for signature in self._full
+            for sig_id in iter_ids(self._entries_mask)
         }
+
+    def interner_size(self) -> int:
+        """Signatures ever interned (the id-table width; never shrinks)."""
+        return self._sigs.high_water
 
     def stats(self) -> Dict[str, int]:
         """Entry/retraction/derivation counters (a thin view over the
         ``repro_parents_*_total`` registry children)."""
         return {
-            "entries": len(self._full),
+            "entries": self._entries_mask.bit_count(),
             "retractions": int(self._retractions.value),
             "derivations": int(self._derivations.value),
         }

@@ -147,12 +147,37 @@ def _assert_matches_rebuild(session, label, context):
     assert spliced_eco._partial_union == fresh_eco._partial_union
     assert spliced_eco._unique_coverage == fresh_eco._unique_coverage
     # Reverse-dependency postings (the level engine's delta-BFS inputs).
-    assert spliced_eco.demanders_by_factor == fresh_eco.demanders_by_factor
-    assert spliced_eco.linked_consumers == fresh_eco.linked_consumers
+    # Masks are compared through their decoded views: the spliced index
+    # carries retired ids a fresh interner never assigned, so raw masks
+    # legitimately differ while the name-level postings must not.
+    assert sorted(spliced_eco.demanded_factors(), key=lambda f: f.name) == (
+        sorted(fresh_eco.demanded_factors(), key=lambda f: f.name)
+    ), context
+    for factor in fresh_eco.demanded_factors():
+        assert spliced_eco.demanders(factor) == fresh_eco.demanders(factor), (
+            context,
+            factor,
+        )
+    assert sorted(spliced_eco.linked_providers()) == sorted(
+        fresh_eco.linked_providers()
+    ), context
+    for provider in fresh_eco.linked_providers():
+        assert spliced_eco.linked_consumers_of(
+            provider
+        ) == fresh_eco.linked_consumers_of(provider), (context, provider)
+    # Decoding views must agree with their own masks (spliced vs itself).
+    for kind, ordered in spliced_eco.holders_of.items():
+        assert spliced_eco.decode_mask_ordered(
+            spliced_eco.holder_mask(kind)
+        ) == ordered, (context, kind)
     spliced_view = maintained.attacker_index()
     fresh_view = fresh.attacker_index()
     assert spliced_view._static_ordered == fresh_view._static_ordered, context
     assert spliced_view._static == fresh_view._static, context
+    for factor, ordered in spliced_view._static_ordered.items():
+        assert spliced_eco.decode_mask_ordered(
+            spliced_view.static_provider_mask(factor)
+        ) == ordered, (context, factor)
     # The maintained closure cache -- kept warm by this call across every
     # step, so deltas hit a primed record and the next serve *resumes* the
     # fixpoint -- must be bit-for-bit the fresh graph's scratch run:

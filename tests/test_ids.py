@@ -1,0 +1,230 @@
+"""The id-space contract: interner lifecycle and mask-backed parity.
+
+Two halves:
+
+- Hypothesis properties over :class:`repro.core.ids.Interner` pin the
+  retirement semantics the whole id-compacted core leans on -- fresh
+  maximum ids on re-add, retired ids never resurrected, decode answering
+  for every id ever assigned -- across arbitrary 20-step
+  intern/retire/re-intern sequences.
+- A differential suite pins the interned engine's answers bit-for-bit
+  against :class:`repro.core.reference.ReferenceTDG` (the seed-semantics
+  oracle) on the golden default catalog, so the bitmask joins provably
+  compute the same Definitions 1-2 relations the frozenset scans did.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.catalog import CatalogBuilder
+from repro.catalog.spec import CatalogSpec
+from repro.core.ids import (
+    FACTOR_IDS,
+    Interner,
+    SignatureInterner,
+    factor_mask,
+    factors_from_mask,
+    iter_ids,
+    mask_of,
+)
+from repro.core.reference import ReferenceTDG
+from repro.core.tdg import TransformationDependencyGraph
+from repro.model.attacker import AttackerProfile
+from repro.model.factors import CredentialFactor, Platform
+
+# ----------------------------------------------------------------------
+# Factor-id table and mask primitives
+# ----------------------------------------------------------------------
+
+
+def test_factor_ids_are_dense_enum_order():
+    assert sorted(FACTOR_IDS.values()) == list(range(len(CredentialFactor)))
+    for factor, position in FACTOR_IDS.items():
+        assert list(CredentialFactor)[position] is factor
+
+
+def test_factor_mask_round_trip():
+    signature = frozenset(
+        {CredentialFactor.PASSWORD, CredentialFactor.SMS_CODE}
+    )
+    assert factors_from_mask(factor_mask(signature)) == signature
+    assert factor_mask(()) == 0
+    assert factors_from_mask(0) == frozenset()
+
+
+def test_iter_ids_lowest_first():
+    assert list(iter_ids(0)) == []
+    assert list(iter_ids(mask_of([5, 0, 63, 2]))) == [0, 2, 5, 63]
+
+
+# ----------------------------------------------------------------------
+# Interner lifecycle (Hypothesis)
+# ----------------------------------------------------------------------
+
+#: intern/retire steps over a small name alphabet -- small on purpose,
+#: so 20-step sequences revisit names and exercise re-interning.
+_steps = st.lists(
+    st.tuples(
+        st.sampled_from(["intern", "retire"]),
+        st.sampled_from(["a", "b", "c", "d", "e"]),
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+def _replay(steps):
+    """Run a step sequence; returns the interner and the live model."""
+    interner = Interner()
+    live = {}
+    for action, key in steps:
+        if action == "intern":
+            live[key] = interner.intern(key)
+        elif key in live:
+            interner.retire(key)
+            del live[key]
+    return interner, live
+
+
+@given(_steps)
+@settings(max_examples=200, deadline=None)
+def test_interner_ids_monotone_and_never_resurrected(steps):
+    interner = Interner()
+    live = {}
+    ever_assigned = []
+    for action, key in steps:
+        if action == "intern":
+            assigned = interner.intern(key)
+            if key in live:
+                # Idempotent while live.
+                assert assigned == live[key]
+            else:
+                # Fresh keys get a fresh maximum -- never a retired id.
+                assert assigned == len(ever_assigned)
+                ever_assigned.append(key)
+            live[key] = assigned
+            assert interner.latest_id(key) == assigned
+        elif key in live:
+            retired = interner.retire(key)
+            assert retired == live.pop(key)
+            assert key not in interner
+            with pytest.raises(KeyError):
+                interner.id_of(key)
+    assert len(interner) == len(live)
+    assert interner.high_water == len(ever_assigned)
+    # Decode answers for every id ever assigned, retired or not.
+    for assigned, key in enumerate(ever_assigned):
+        assert interner.decode(assigned) == key
+
+
+@given(_steps)
+@settings(max_examples=200, deadline=None)
+def test_decode_encode_identity_on_live_keys(steps):
+    interner, live = _replay(steps)
+    keys = frozenset(live)
+    mask = interner.encode(keys)
+    assert interner.decode_mask(mask) == keys
+    assert mask == interner.live_mask()
+    # Ordered decode is first-intern order.
+    ordered = interner.decode_mask_ordered(mask)
+    assert frozenset(ordered) == keys
+    assert [interner.id_of(key) for key in ordered] == sorted(
+        live[key] for key in keys
+    )
+    # encode_live skips what encode raises on.
+    assert interner.encode_live(list(keys) + ["never-interned"]) == mask
+
+
+@given(_steps)
+@settings(max_examples=100, deadline=None)
+def test_re_added_keys_sort_after_survivors(steps):
+    """A retired-then-re-added key takes a fresh maximum id, so it
+    enumerates after every surviving key -- the insertion-order contract
+    the stream cursors watermark against."""
+    interner, live = _replay(steps)
+    before = dict(live)
+    for key in list(before):
+        interner.retire(key)
+        fresh = interner.intern(key)
+        assert fresh > max(before.values())
+        before[key] = fresh
+
+
+def test_signature_interner_containing_postings():
+    sigs = SignatureInterner()
+    pw = frozenset({CredentialFactor.PASSWORD})
+    pw_sms = frozenset({CredentialFactor.PASSWORD, CredentialFactor.SMS_CODE})
+    email = frozenset({CredentialFactor.EMAIL_CODE})
+    ids = [sigs.intern(sig) for sig in (pw, pw_sms, email)]
+    assert sigs.containing(CredentialFactor.PASSWORD) == mask_of(ids[:2])
+    assert sigs.containing(CredentialFactor.SMS_CODE) == mask_of([ids[1]])
+    assert sigs.containing(CredentialFactor.U2F_KEY) == 0
+    # Idempotent re-intern does not double-set bits.
+    assert sigs.intern(pw) == ids[0]
+    assert sigs.containing(CredentialFactor.PASSWORD) == mask_of(ids[:2])
+
+
+# ----------------------------------------------------------------------
+# Differential: interned engine vs the seed-semantics oracle
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def golden_pair():
+    # The 101 doubling tier: big enough that every posting shape occurs,
+    # small enough that the oracle's quadratic weak-edge scan stays in
+    # test time (the full default catalog is exercised by
+    # ``tests/test_tdg_equivalence.py``).
+    ecosystem = CatalogBuilder(
+        CatalogSpec(total_services=101), seed=2021
+    ).build_ecosystem()
+    attacker = AttackerProfile.baseline()
+    nodes = tuple(
+        TransformationDependencyGraph.node_from_profile(p) for p in ecosystem
+    )
+    return (
+        TransformationDependencyGraph(nodes, attacker),
+        ReferenceTDG(nodes, attacker),
+    )
+
+
+def test_parents_match_reference_oracle(golden_pair):
+    indexed, reference = golden_pair
+    for node in reference.nodes:
+        service = node.service
+        assert indexed.full_capacity_parents(
+            service
+        ) == reference.full_capacity_parents(service), service
+        assert indexed.half_capacity_parents(
+            service
+        ) == reference.half_capacity_parents(service), service
+
+
+def test_edges_match_reference_oracle(golden_pair):
+    indexed, reference = golden_pair
+    assert frozenset(indexed.strong_edges()) == reference.strong_edges()
+    assert (
+        frozenset(indexed.iter_weak_edges()) == reference.weak_edges()
+    )
+
+
+def test_levels_match_reference_oracle(golden_pair):
+    indexed, reference = golden_pair
+    for platform in (Platform.WEB, Platform.MOBILE):
+        assert indexed.dependency_levels(
+            platform
+        ) == reference.dependency_levels(platform), platform
+
+
+def test_parent_masks_decode_to_parent_sets(golden_pair):
+    """The mask accessors are the frozenset accessors, bit for bit."""
+    indexed, reference = golden_pair
+    eco = indexed.ecosystem_index()
+    for node in reference.nodes:
+        service = node.service
+        assert eco.decode_mask(
+            indexed.full_capacity_parents_mask(service)
+        ) == indexed.full_capacity_parents(service)
+        assert eco.decode_mask(
+            indexed.half_capacity_parents_mask(service)
+        ) == indexed.half_capacity_parents(service)

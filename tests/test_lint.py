@@ -202,6 +202,67 @@ class TestRawTiming:
         assert findings == []
 
 
+class TestObjectPosting:
+    def test_flags_name_collection_dict_in_hot_module(self):
+        source = textwrap.dedent(
+            """
+            from typing import Dict, FrozenSet
+
+            class Index:
+                def __init__(self):
+                    self._demanders: Dict[str, FrozenSet[str]] = {}
+            """
+        )
+        findings = lint.check_source(
+            source, path="src/repro/core/index.py"
+        )
+        assert [f.code for f in findings] == ["object-posting"]
+
+    def test_decoded_view_marker_and_noqa_suppress(self):
+        source = textwrap.dedent(
+            """
+            from typing import Dict, FrozenSet
+
+            class Index:
+                def __init__(self):
+                    self._views: Dict[str, FrozenSet[str]] = {}  # decoded view
+                    self._odd: Dict[str, FrozenSet[str]] = {}  # noqa
+            """
+        )
+        assert lint.check_source(
+            source, path="src/repro/levels/parents.py"
+        ) == []
+
+    def test_mask_postings_and_key_position_names_are_clean(self):
+        source = textwrap.dedent(
+            """
+            from typing import Dict, Optional, Tuple
+
+            class Engine:
+                def __init__(self):
+                    self._children: Dict[str, int] = {}
+                    self._memo: Dict[Tuple[str, Optional[int]], Tuple[int, ...]] = {}
+            """
+        )
+        assert lint.check_source(
+            source, path="src/repro/levels/engine.py"
+        ) == []
+
+    def test_rule_only_covers_hot_modules(self):
+        source = textwrap.dedent(
+            """
+            from typing import Dict, FrozenSet
+
+            class Other:
+                def __init__(self):
+                    self._postings: Dict[str, FrozenSet[str]] = {}
+            """
+        )
+        assert lint.check_source(
+            source, path="src/repro/core/tdg.py"
+        ) == []
+
+
 def test_repository_is_lint_clean():
     """The gate ``make verify`` also runs: the whole tree stays clean."""
     targets = [

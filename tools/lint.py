@@ -27,6 +27,15 @@ unambiguously dead:
   (``repro.obs.monotonic``) or inside a span, so histograms, spans and
   ad-hoc measurements stay mutually comparable; the :mod:`repro.obs`
   package itself (which *defines* that clock) is exempt.
+- **object-posting**: an annotated binding whose type is a dict of
+  name collections (``Dict[..., Set[str]]``, ``FrozenSet[str]``,
+  ``List[str]`` or ``Tuple[str, ...]`` values) in one of the
+  id-compacted hot modules (``core/index.py``, ``levels/parents.py``,
+  ``levels/engine.py``).  Since the id-compaction pass, postings there
+  are int bitmasks keyed by interned ids; a names-keyed dict is either
+  a regression back to boxed-object postings or a decoding view -- a
+  view must say so with a ``# decoded view`` comment on the binding
+  line, which suppresses the finding.
 
 A trailing ``# noqa`` comment on the offending line suppresses any
 finding.  Exit status is non-zero when anything is reported::
@@ -59,6 +68,19 @@ _RAW_TIMING_ATTRS = {
 #: ``monotonic`` is deliberately absent: ``repro.obs.monotonic`` is the
 #: sanctioned clock these call sites should migrate to.
 _RAW_TIMING_NAMES = {"perf_counter", "perf_counter_ns", "monotonic_ns"}
+
+#: Modules the object-posting rule covers: the id-compacted hot paths,
+#: where postings must be int bitmasks (decoding views excepted).
+_HOT_POSTING_MODULES = (
+    ("core", "index.py"),
+    ("levels", "parents.py"),
+    ("levels", "engine.py"),
+)
+
+#: Name-collection value types that mark a dict as an object posting.
+_NAME_COLLECTION_VALUES = re.compile(
+    r"(?:FrozenSet|Set|List)\[str\]|Tuple\[str,"
+)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -260,6 +282,70 @@ def _raw_timing_findings(
         )
 
 
+def _object_posting_applies(path: str) -> bool:
+    parts = re.split(r"[\\/]", path)
+    return any(
+        len(parts) >= 2 and tuple(parts[-2:]) == module
+        for module in _HOT_POSTING_MODULES
+    )
+
+
+def _decoded_view_lines(source: str) -> Set[int]:
+    """1-indexed lines carrying the ``# decoded view`` marker."""
+    return {
+        number
+        for number, text in enumerate(source.splitlines(), start=1)
+        if "# decoded view" in text
+    }
+
+
+def _dict_value_annotation(annotation: ast.AST) -> "str | None":
+    """The unparsed value type of a ``Dict[key, value]`` annotation (or
+    ``None`` when the annotation is not a two-slot Dict/dict subscript).
+    Only the value slot is inspected, so name collections in *key*
+    position (e.g. a ``Tuple[str, Platform]`` memo key) never match."""
+    if not isinstance(annotation, ast.Subscript):
+        return None
+    base = annotation.value
+    name = base.attr if isinstance(base, ast.Attribute) else getattr(
+        base, "id", None
+    )
+    if name not in {"Dict", "dict", "Mapping", "MutableMapping"}:
+        return None
+    if not (
+        isinstance(annotation.slice, ast.Tuple)
+        and len(annotation.slice.elts) == 2
+    ):
+        return None
+    return ast.unparse(annotation.slice.elts[1])
+
+
+def _object_posting_findings(
+    tree: ast.Module, source: str, noqa: Set[int], path: str
+) -> Iterable[Finding]:
+    marked = _decoded_view_lines(source)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.AnnAssign):
+            continue
+        if node.lineno in noqa or node.lineno in marked:
+            continue
+        value_type = _dict_value_annotation(node.annotation)
+        if value_type is None:
+            continue
+        if not _NAME_COLLECTION_VALUES.search(value_type):
+            continue
+        annotation = ast.unparse(node.annotation)
+        target = ast.unparse(node.target)
+        yield Finding(
+            path,
+            node.lineno,
+            "object-posting",
+            f"{target} is a names-keyed dict posting ({annotation}) in an "
+            "id-compacted hot module; store an int bitmask keyed by "
+            "interned ids, or mark a decoding view with '# decoded view'",
+        )
+
+
 def check_source(source: str, path: str = "<string>") -> List[Finding]:
     """Lint one module's source; returns all findings, line-ordered."""
     tree = ast.parse(source, filename=path)
@@ -268,6 +354,11 @@ def check_source(source: str, path: str = "<string>") -> List[Finding]:
 
     if _raw_timing_applies(path):
         findings.extend(_raw_timing_findings(tree, noqa, path))
+
+    if _object_posting_applies(path):
+        findings.extend(
+            _object_posting_findings(tree, source, noqa, path)
+        )
 
     loaded_anywhere = _loaded_names(tree)
     exported = _dunder_all(tree)
