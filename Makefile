@@ -1,9 +1,9 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify lint obs-check docs-check bench bench-quick
+.PHONY: verify lint obs-check serve-check docs-check bench bench-quick
 
-verify: lint obs-check
+verify: lint obs-check serve-check
 	$(PYTHON) -m pytest -x -q
 
 lint:
@@ -11,6 +11,12 @@ lint:
 
 obs-check:
 	$(PYTHON) -m repro.obs.selfcheck
+
+# The HTTP tier's end-to-end smoke: boots a server on an ephemeral
+# port and drives query -> mutate -> re-query -> paginate, admission
+# overflow, migration, and the dead-letter/audit path.
+serve-check:
+	$(PYTHON) -m pytest -x -q tests/test_serve_http.py
 
 docs-check:
 	$(PYTHON) -m pytest -q tests/test_docs_examples.py

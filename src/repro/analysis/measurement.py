@@ -247,6 +247,40 @@ class MeasurementAggregator:
             for platform in self._PLATFORMS:
                 self._fold_exposure(report, platform, sign)
 
+    # -- snapshot wire form ---------------------------------------------
+
+    def counters_to_dict(self) -> Dict[str, object]:
+        """The fold state as a plain document (session snapshots carry
+        this so a restored worker re-measures without an O(ecosystem)
+        refold)."""
+        return {
+            "service_count": self._service_count,
+            "total_paths": self._total_paths,
+            "signatures": self._signatures,
+            "auth": {
+                platform.value: list(self._auth[platform])
+                for platform in self._PLATFORMS
+            },
+            "exposure": {
+                platform.value: list(self._exposure[platform])
+                for platform in self._PLATFORMS
+            },
+        }
+
+    @classmethod
+    def from_counters(cls, document) -> "MeasurementAggregator":
+        """Inverse of :meth:`counters_to_dict`: a view with the recorded
+        integer counters and no reports folded (the counters *are* the
+        fold)."""
+        view = cls({}, {})
+        view._service_count = document["service_count"]
+        view._total_paths = document["total_paths"]
+        view._signatures = document["signatures"]
+        for platform in cls._PLATFORMS:
+            view._auth[platform][:] = document["auth"][platform.value]
+            view._exposure[platform][:] = document["exposure"][platform.value]
+        return view
+
     # -- read side -------------------------------------------------------
 
     def _fig3(self, platform: Platform) -> Dict[str, float]:

@@ -66,6 +66,12 @@ from repro.api.service import (
     MutationReceipt,
     PlannedQuery,
 )
+from repro.api.wire import (
+    query_from_dict,
+    query_to_dict,
+    result_from_dict,
+    result_to_dict,
+)
 
 __all__ = [
     "AnalysisService",
@@ -92,4 +98,8 @@ __all__ = [
     "ResultCache",
     "RolloutQuery",
     "WeakEdgeQuery",
+    "query_from_dict",
+    "query_to_dict",
+    "result_from_dict",
+    "result_to_dict",
 ]

@@ -98,6 +98,16 @@ class ResultCache:
         self._entries.clear()
         self._entries_gauge.set(0)
 
+    def entries_at(self, version: int):
+        """``(key, value)`` pairs live at one version, in recency order
+        (the still-addressable entries a snapshot can carry as warm
+        results)."""
+        return [
+            (key, value)
+            for (key, entry_version), value in self._entries.items()
+            if entry_version == version
+        ]
+
     @property
     def miss(self) -> object:
         """The sentinel :meth:`get` returns on a miss."""

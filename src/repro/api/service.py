@@ -218,6 +218,77 @@ class AnalysisService:
             cache_entries=cache_entries,
         )
 
+    @classmethod
+    def restore(
+        cls,
+        document: Mapping[str, Any],
+        cache_entries: int = 4096,
+        instrumentation: Optional[Instrumentation] = None,
+    ) -> "AnalysisService":
+        """Warm-start a service from a :meth:`snapshot` document.
+
+        The session restores lazily (reports and graphs materialize on
+        first engine access) and the snapshot's ``warm_results`` seed the
+        result cache at the restored version -- so a migrated tenant's
+        standard query batch is served as O(1) hits before any engine
+        exists.  Entries that fail to decode are dropped (the cache is an
+        optimization; a dropped entry just recomputes on miss)."""
+        from repro.api.wire import query_from_dict, result_from_dict
+
+        service = cls.from_session(
+            DynamicAnalysisSession.restore(
+                document, instrumentation=instrumentation
+            ),
+            cache_entries,
+        )
+        primary = service.primary_attacker
+        for entry in document.get("warm_results", ()):
+            try:
+                query = query_from_dict(entry["query"])
+                value = result_from_dict(entry["result"])
+            except (KeyError, ValueError):
+                continue  # recomputes on first miss; never fatal
+            key = service._cache_key(query, primary)
+            service._query_by_key[key] = query
+            service._cache.put(key, service.version, value)
+        return service
+
+    def snapshot(self, include_warm_results: bool = True) -> Dict[str, Any]:
+        """The backing session's snapshot document, extended with this
+        service's live cache entries as ``warm_results``.
+
+        Only wire-codable entries at the *current* version are carried
+        (``RolloutQuery`` trajectories are in-process-only, and defense
+        rows are dropped once :meth:`register_defense` has customized the
+        registry, since the restored side starts from the standard set).
+        """
+        document = dict(self._session.snapshot())
+        if not include_warm_results:
+            return document
+        from repro.api.wire import query_to_dict, result_to_dict
+
+        warm: List[Dict[str, Any]] = []
+        for key, value in self._cache.entries_at(self.version):
+            query = self._query_by_key.get(key)
+            if query is None:
+                continue
+            if (
+                isinstance(query, DefenseEvalQuery)
+                and self._defense_epoch != 0
+            ):
+                continue
+            try:
+                warm.append(
+                    {
+                        "query": query_to_dict(query),
+                        "result": result_to_dict(value),
+                    }
+                )
+            except ValueError:
+                continue  # not wire-codable (e.g. rollout trajectories)
+        document["warm_results"] = warm
+        return document
+
     def _adopt(
         self, session: DynamicAnalysisSession, cache_entries: int
     ) -> None:
@@ -250,6 +321,10 @@ class AnalysisService:
         #: Bumped on re-registration so defense cache keys can never serve
         #: a result computed under a different transform set.
         self._defense_epoch = 0
+        #: Cache key -> the query that computed it, so :meth:`snapshot`
+        #: can re-encode live cache entries as warm results.  Bounded by
+        #: the number of distinct canonical keys (version-independent).
+        self._query_by_key: Dict[Tuple, Query] = {}
 
     # ------------------------------------------------------------------
     # State accessors
@@ -497,6 +572,7 @@ class AnalysisService:
                     kind=kind, outcome="computed"
                 ).inc()
                 self._cache.put(step.key, self.version, value)
+                self._query_by_key[step.key] = step.query
                 results.append(value)
             span.set_attribute("hits", hits)
             return tuple(results)

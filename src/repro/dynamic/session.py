@@ -120,21 +120,30 @@ class DynamicAnalysisSession:
         instrumentation: Optional[Instrumentation] = None,
         build_stats=None,
     ) -> None:
-        # Nodes derive from the maintained stage-1/2 reports -- the exact
-        # ActFort derivation -- so the session agrees bit-for-bit with
-        # ``ActFort.from_ecosystem`` / ``MeasurementStudy`` at every state
-        # (the profile-direct ``from_ecosystem`` path differs in node
-        # detail, e.g. full-union partial promotion and path order).
-        nodes = TransformationDependencyGraph.nodes_from_reports(
-            self._auth_reports, self._collection_reports
-        )
-        graphs = TransformationDependencyGraph.analyze_many(
-            nodes, profiles.values()
-        )
-        self._graphs: Dict[str, TransformationDependencyGraph] = dict(
-            zip(profiles, graphs)
-        )
         self._attackers = profiles
+        self._graphs: Optional[
+            Dict[str, TransformationDependencyGraph]
+        ] = None
+        self._pending_document = None
+        self._ecosystem_pending = False
+        self._restored_size: Optional[int] = None
+        self._init_obs(instrumentation, build_stats)
+        self._build_graphs()
+        self._deltas: List[EcosystemDelta] = []
+        # The Section IV counter view; built on the first measurement()
+        # call, then folded per touched service on every mutation.  A
+        # restored session instead hydrates the view from the snapshot's
+        # fold counters (see ``_ensure_measurement_view``).
+        self._measurement_view = None
+        self._measurement_counters = None
+        self._version_base = 0
+        self._history_base: List[str] = []
+
+    def _init_obs(
+        self,
+        instrumentation: Optional[Instrumentation],
+        build_stats,
+    ) -> None:
         # One shared handle across every attacker view, attached before
         # any lazy engine exists so all engine layers resolve their
         # registry children from it (label = the attacker label).
@@ -142,8 +151,6 @@ class DynamicAnalysisSession:
             instrumentation if instrumentation is not None
             else Instrumentation()
         )
-        for label, graph in self._graphs.items():
-            graph.attach_instrumentation(self._obs, label)
         self._mutations_counter = self._obs.counter(
             "repro_session_mutations_total",
             "Mutations applied to the live session, by mutation kind.",
@@ -178,15 +185,100 @@ class DynamicAnalysisSession:
             "Ids ever assigned per id table (bitmask width).",
             labels=("table",),
         )
+
+    def _build_graphs(self) -> None:
+        # Nodes derive from the maintained stage-1/2 reports -- the exact
+        # ActFort derivation -- so the session agrees bit-for-bit with
+        # ``ActFort.from_ecosystem`` / ``MeasurementStudy`` at every state
+        # (the profile-direct ``from_ecosystem`` path differs in node
+        # detail, e.g. full-union partial promotion and path order).
+        nodes = TransformationDependencyGraph.nodes_from_reports(
+            self._auth_reports, self._collection_reports
+        )
+        graphs = TransformationDependencyGraph.analyze_many(
+            nodes, self._attackers.values()
+        )
+        self._graphs = dict(zip(self._attackers, graphs))
+        for label, graph in self._graphs.items():
+            graph.attach_instrumentation(self._obs, label)
         self.interner_stats()
         # Indexes must exist eagerly: mutate() maintains them in place, and
         # a lazily-built index cannot be spliced before it exists.
         for graph in graphs:
             graph.attacker_index()
-        self._deltas: List[EcosystemDelta] = []
-        # The Section IV counter view; built on the first measurement()
-        # call, then folded per touched service on every mutation.
-        self._measurement_view = None
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+
+    def snapshot(self):
+        """This session's full analysis state as a JSON document
+        (``repro/session-snapshot@1``) -- see
+        :func:`repro.dynamic.snapshot.session_snapshot`."""
+        # A restored session that has absorbed no mutations IS its source
+        # snapshot; re-emit the document instead of re-encoding, so
+        # migrate chains (snapshot -> restore -> snapshot) stay O(1).
+        if self._pending_document is not None and not self._deltas:
+            return self._pending_document
+        from repro.dynamic.snapshot import session_snapshot
+
+        return session_snapshot(self)
+
+    @classmethod
+    def restore(
+        cls,
+        document,
+        instrumentation: Optional[Instrumentation] = None,
+    ) -> "DynamicAnalysisSession":
+        """Warm-start a session from a :meth:`snapshot` document -- see
+        :func:`repro.dynamic.snapshot.restore_session`."""
+        from repro.dynamic.snapshot import restore_session
+
+        return restore_session(document, instrumentation=instrumentation)
+
+    @classmethod
+    def _from_snapshot(
+        cls,
+        document,
+        attackers: Dict[str, AttackerProfile],
+        instrumentation: Optional[Instrumentation] = None,
+    ) -> "DynamicAnalysisSession":
+        """The lazy half of :func:`~repro.dynamic.snapshot.restore_session`:
+        profile decoding, report decoding, and graph construction are all
+        deferred to first access, so restore itself costs only the
+        attacker decode and the dict bookkeeping."""
+        session = cls.__new__(cls)
+        session._ecosystem = None
+        session._ecosystem_pending = document.get("ecosystem") is not None
+        session._authproc = AuthenticationProcess()
+        session._collection = PersonalInfoCollection()
+        session._auth_reports = {}
+        session._collection_reports = {}
+        session._attackers = dict(attackers)
+        session._graphs = None
+        session._pending_document = document
+        session._restored_size = len(document["auth_reports"])
+        session._init_obs(instrumentation, None)
+        session._deltas = []
+        session._measurement_view = None
+        session._measurement_counters = document.get("measurement")
+        session._version_base = document["version"]
+        session._history_base = list(document["history"])
+        return session
+
+    def _materialize(self) -> None:
+        """Decode the deferred snapshot reports and build the graphs
+        (idempotent; no-op for sessions that were built live)."""
+        if self._graphs is not None:
+            return
+        from repro.dynamic.snapshot import decode_reports
+
+        with self._obs.span("session.materialize") as span:
+            auth, collection = decode_reports(self._pending_document)
+            self._auth_reports = auth
+            self._collection_reports = collection
+            self._build_graphs()
+            span.set_attribute("services", len(auth))
 
     def _refresh_reports(self, profile) -> None:
         self._auth_reports[profile.name] = self._authproc.analyze_profile(
@@ -212,6 +304,11 @@ class DynamicAnalysisSession:
     def ecosystem(self) -> Optional[Ecosystem]:
         """The current (post-mutation) ecosystem (``None`` for sessions
         built from probe reports, which have no profile backing)."""
+        if self._ecosystem is None and self._ecosystem_pending:
+            from repro.dynamic.snapshot import decode_ecosystem
+
+            self._ecosystem = decode_ecosystem(self._pending_document)
+            self._ecosystem_pending = False
         return self._ecosystem
 
     @property
@@ -230,6 +327,7 @@ class DynamicAnalysisSession:
         """Live/high-water sizes of every id table (service names on the
         shared ecosystem index, one signature table per attacker view),
         refreshing the ``repro_ids_*`` gauges as a side effect."""
+        self._materialize()
         eco = self.graph().ecosystem_index()
         stats: Dict[str, Dict[str, int]] = {
             "services": {
@@ -252,33 +350,50 @@ class DynamicAnalysisSession:
 
     @property
     def version(self) -> int:
-        """Number of mutations applied so far."""
-        return len(self._deltas)
+        """The mutation watermark: mutations applied across the session's
+        whole lineage (a restored session resumes from its snapshot's
+        watermark, so version-keyed cache entries survive migration)."""
+        return self._version_base + len(self._deltas)
 
     @property
     def history(self) -> Tuple[EcosystemDelta, ...]:
-        """Every delta applied, in order."""
+        """Every delta applied *by this process*, in order (pre-restore
+        deltas survive only as :attr:`history_digest` strings)."""
         return tuple(self._deltas)
+
+    @property
+    def history_digest(self) -> Tuple[str, ...]:
+        """One ``describe()`` string per mutation across the session's
+        whole lineage, including mutations absorbed before a snapshot
+        this session was restored from."""
+        return tuple(self._history_base) + tuple(
+            delta.describe() for delta in self._deltas
+        )
 
     @property
     def auth_reports(self) -> Mapping[str, ServiceAuthReport]:
         """Maintained stage-1 reports (re-derived only for touched services)."""
+        self._materialize()
         return dict(self._auth_reports)
 
     @property
     def collection_reports(self) -> Mapping[str, CollectionReport]:
         """Maintained stage-2 reports (re-derived only for touched services)."""
+        self._materialize()
         return dict(self._collection_reports)
 
     def graph(
         self, attacker: Optional[str] = None
     ) -> TransformationDependencyGraph:
         """The maintained graph for one attacker label (default: first)."""
+        self._materialize()
         if attacker is None:
             return next(iter(self._graphs.values()))
         return self._graphs[attacker]
 
     def __len__(self) -> int:
+        if self._graphs is None:
+            return self._restored_size
         return len(self._auth_reports)
 
     # ------------------------------------------------------------------
@@ -287,11 +402,17 @@ class DynamicAnalysisSession:
 
     def mutate(self, mutation: Mutation) -> EcosystemDelta:
         """Apply one mutation and absorb its delta into every live graph."""
-        if self._ecosystem is None:
+        if self.ecosystem is None:
             raise RuntimeError(
                 "this session was built from probe reports; there is no "
                 "ecosystem to mutate"
             )
+        self._materialize()
+        # A restored session must hydrate the measurement view from its
+        # snapshot counters *before* the first fold, or the counters go
+        # stale the moment a touched service's reports refresh.
+        if self._measurement_counters is not None:
+            self._ensure_measurement_view()
         with self._obs.span(
             "session.apply", mutation=mutation.describe()
         ) as span:
@@ -383,13 +504,35 @@ class DynamicAnalysisSession:
         :func:`~repro.analysis.measurement.aggregate_reports` over the
         current reports exactly, float for float.
         """
-        if self._measurement_view is None:
-            from repro.analysis.measurement import MeasurementAggregator
-
-            self._measurement_view = MeasurementAggregator(
-                self._auth_reports, self._collection_reports
-            )
+        self._ensure_measurement_view()
         return self._measurement_view.results(self.graph(attacker))
+
+    def _ensure_measurement_view(self) -> None:
+        from repro.analysis.measurement import MeasurementAggregator
+
+        if self._measurement_view is not None:
+            return
+        if self._measurement_counters is not None:
+            # Restored sessions resume the fold from the snapshot's
+            # counters -- no report scan, and (decisively for warm-start)
+            # no materialization.
+            self._measurement_view = MeasurementAggregator.from_counters(
+                self._measurement_counters
+            )
+            self._measurement_counters = None
+            return
+        self._materialize()
+        self._measurement_view = MeasurementAggregator(
+            self._auth_reports, self._collection_reports
+        )
+
+    def measurement_counters(self):
+        """The maintained fold counters as a JSON document (``None`` when
+        the counter view was never built and no snapshot carried one);
+        the ``measurement`` field of :meth:`snapshot`."""
+        if self._measurement_view is not None:
+            return self._measurement_view.counters_to_dict()
+        return self._measurement_counters
 
     def level_fractions(
         self, platform: Platform, attacker: Optional[str] = None
@@ -448,7 +591,7 @@ class DynamicAnalysisSession:
         """
         from repro.core.actfort import ActFort
 
-        if self._ecosystem is None:
+        if self.ecosystem is None:
             raise RuntimeError(
                 "this session was built from probe reports; there is no "
                 "ecosystem to rebuild from"

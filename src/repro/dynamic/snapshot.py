@@ -1,0 +1,167 @@
+"""Session snapshot/restore: the serving tier's migration wire format.
+
+A snapshot captures everything a worker needs to warm-start a
+:class:`~repro.dynamic.session.DynamicAnalysisSession` **without a cold
+build** -- the maintained stage-1/2 reports (so ``authproc`` and the
+collection pipeline never re-run), the ecosystem profiles (so the
+restored session can keep absorbing mutations), the attacker profiles,
+the version/history watermark, and the measurement fold state.  Engine
+state (indexes, depth fixpoints, closure records, stream segments) is
+deliberately **not** captured: engines rebuild from the restored reports
+and the differential suite (``tests/test_snapshot.py``) pins the rebuilt
+state bit-for-bit against the live session's incrementally-maintained
+one.
+
+Format contract (``repro/session-snapshot@1``):
+
+- one interned ``paths`` table; profiles and stage-1 flows reference it
+  by index, so each distinct :class:`~repro.model.account.AuthPath`
+  decodes exactly once;
+- report and profile lists preserve the session's insertion order --
+  the graph layer's ordinal id-space derives from that order, so a
+  restored worker reproduces the live worker's enumeration order;
+- documents are pure JSON (codecs from
+  :mod:`repro.utils.serialization`), with **no timestamps or host
+  state**: equal sessions produce byte-equal canonical snapshots (the
+  golden-fixture test rides this);
+- ``version`` is the mutation watermark; a restored session resumes
+  counting from it, so version-keyed cache entries stay addressable
+  across a migration.
+
+Compatibility: a reader must reject unknown ``format`` strings (never
+guess), and a writer bumps the suffix on any change to field meaning or
+order.  See ``docs/serving.md`` for the full compatibility contract.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.utils.serialization import (
+    AuthPathTable,
+    attacker_profile_from_dict,
+    attacker_profile_to_dict,
+    auth_report_from_dict,
+    auth_report_to_dict,
+    collection_report_from_dict,
+    collection_report_to_dict,
+    service_profile_from_dict,
+    service_profile_to_dict,
+)
+
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "decode_ecosystem",
+    "decode_reports",
+    "restore_session",
+    "session_snapshot",
+]
+
+#: The one format this reader/writer pair speaks.
+SNAPSHOT_FORMAT = "repro/session-snapshot@1"
+
+
+def session_snapshot(session) -> Dict[str, Any]:
+    """One session as a JSON-serializable snapshot document.
+
+    Raises ``ValueError`` when the ecosystem carries deployed victim
+    accounts: the snapshot captures the *analysis* state (profiles and
+    reports), not a deployed simulation.
+    """
+    ecosystem = session.ecosystem
+    if ecosystem is not None and ecosystem.accounts:
+        raise ValueError(
+            "session snapshots capture profiles and reports, not deployed "
+            "victim accounts; snapshot the undeployed analysis session"
+        )
+    table = AuthPathTable()
+    profiles: Optional[List[Dict[str, Any]]] = None
+    if ecosystem is not None:
+        profiles = [
+            service_profile_to_dict(profile, table) for profile in ecosystem
+        ]
+    auth_reports = session.auth_reports
+    collection_reports = session.collection_reports
+    measurement = session.measurement_counters()
+    return {
+        "format": SNAPSHOT_FORMAT,
+        "version": session.version,
+        "attackers": {
+            label: attacker_profile_to_dict(profile)
+            for label, profile in session.attackers.items()
+        },
+        "ecosystem": profiles,
+        "auth_reports": [
+            auth_report_to_dict(report, table)
+            for report in auth_reports.values()
+        ],
+        "collection_reports": [
+            collection_report_to_dict(report)
+            for report in collection_reports.values()
+        ],
+        "paths": table.documents,
+        "history": list(session.history_digest),
+        "measurement": measurement,
+    }
+
+
+def decode_reports(
+    document: Dict[str, Any],
+) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+    """Materialize the stage-1/2 report maps from a snapshot document
+    (the deferred half of :func:`restore_session`)."""
+    paths = AuthPathTable.decode(document["paths"])
+    auth = {
+        entry["service"]: auth_report_from_dict(entry, paths)
+        for entry in document["auth_reports"]
+    }
+    collection = {
+        entry["service"]: collection_report_from_dict(entry)
+        for entry in document["collection_reports"]
+    }
+    return auth, collection
+
+
+def restore_session(document: Dict[str, Any], instrumentation=None):
+    """Warm-start a session from a snapshot document.
+
+    The restored session is ready to serve immediately: only the attacker
+    set and the version watermark decode eagerly (microseconds), while the
+    profiles, report maps, and analysis graphs materialize lazily on
+    first access -- decoded from the snapshot, **never** re-derived
+    through the cold stage-1/2 pipeline.  Equality with the live session
+    is the differential suite's contract, not an approximation.
+    """
+    from repro.dynamic.session import DynamicAnalysisSession
+
+    fmt = document.get("format")
+    if fmt != SNAPSHOT_FORMAT:
+        raise ValueError(
+            f"unsupported snapshot format {fmt!r} "
+            f"(this reader speaks {SNAPSHOT_FORMAT!r})"
+        )
+    attackers = {
+        label: attacker_profile_from_dict(entry)
+        for label, entry in document["attackers"].items()
+    }
+    if not attackers:
+        raise ValueError("snapshot names no attacker profiles")
+    return DynamicAnalysisSession._from_snapshot(
+        document,
+        attackers=attackers,
+        instrumentation=instrumentation,
+    )
+
+
+def decode_ecosystem(document: Dict[str, Any]):
+    """Materialize the profile-backed ecosystem from a snapshot document
+    (``None`` for probe-report snapshots, which have no profile backing)."""
+    from repro.model.ecosystem import Ecosystem
+
+    if document.get("ecosystem") is None:
+        return None
+    paths = AuthPathTable.decode(document["paths"])
+    return Ecosystem(
+        service_profile_from_dict(entry, paths)
+        for entry in document["ecosystem"]
+    )

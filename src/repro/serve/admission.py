@@ -1,0 +1,212 @@
+"""Per-tenant admission control for the HTTP tier.
+
+Each tenant gets a concurrency cap plus a bounded wait queue.  A request
+either runs immediately (a slot is free), waits its turn (queue has
+room), or is rejected -- and a rejection is *immediate*, never a timeout:
+the caller gets :class:`AdmissionRejected` carrying the ``Retry-After``
+hint, which the HTTP front-end turns into a 429.  Fairness within a
+tenant is FIFO (`threading.Condition` wakes waiters in wait order under
+CPython; each waiter re-checks its own ticket against the admitted
+watermark, so a late waiter can never overtake an earlier one).
+
+The controller is the *outermost* gate: a slot is held for the whole
+request lifetime (including time spent queued at a shard), so the cap
+bounds a tenant's total in-flight work, not just its CPU slice.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Tuple
+
+from repro.obs import Instrumentation
+
+__all__ = ["AdmissionRejected", "AdmissionController", "TenantGate"]
+
+
+class AdmissionRejected(Exception):
+    """Raised when a tenant's slots and wait queue are both full."""
+
+    def __init__(self, tenant: str, retry_after: float) -> None:
+        super().__init__(
+            f"tenant {tenant!r} is at its concurrency cap and its "
+            f"admission queue is full; retry after {retry_after:g}s"
+        )
+        self.tenant = tenant
+        self.retry_after = retry_after
+
+
+class TenantGate:
+    """One tenant's slot counter + FIFO wait queue."""
+
+    def __init__(
+        self,
+        tenant: str,
+        max_concurrent: int,
+        max_queue: int,
+        retry_after: float,
+    ) -> None:
+        if max_concurrent <= 0:
+            raise ValueError("max_concurrent must be positive")
+        if max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        self.tenant = tenant
+        self._max_concurrent = max_concurrent
+        self._max_queue = max_queue
+        self._retry_after = retry_after
+        self._lock = threading.Lock()
+        self._slots_free = threading.Condition(self._lock)
+        self._active = 0
+        self._waiting = 0
+        # FIFO tickets: a waiter runs only once every earlier ticket has.
+        self._next_ticket = 0
+        self._admitted_watermark = 0
+
+    @property
+    def active(self) -> int:
+        with self._lock:
+            return self._active
+
+    @property
+    def waiting(self) -> int:
+        with self._lock:
+            return self._waiting
+
+    def acquire(self) -> None:
+        """Take a slot, waiting in FIFO order; raise
+        :class:`AdmissionRejected` when cap and queue are both full."""
+        with self._lock:
+            if (
+                self._active >= self._max_concurrent
+                or self._next_ticket > self._admitted_watermark
+            ):
+                if self._waiting >= self._max_queue:
+                    raise AdmissionRejected(self.tenant, self._retry_after)
+                ticket = self._next_ticket
+                self._next_ticket += 1
+                self._waiting += 1
+                try:
+                    while (
+                        self._active >= self._max_concurrent
+                        or ticket > self._admitted_watermark
+                    ):
+                        self._slots_free.wait()
+                finally:
+                    self._waiting -= 1
+                self._admitted_watermark += 1
+            else:
+                self._next_ticket += 1
+                self._admitted_watermark += 1
+            self._active += 1
+
+    def release(self) -> None:
+        with self._lock:
+            self._active -= 1
+            self._slots_free.notify_all()
+
+
+class AdmissionController:
+    """Tenant label -> :class:`TenantGate`, with serve-tier metrics.
+
+    Gates are created on first sight of a tenant with the controller's
+    default bounds (per-tenant overrides via :meth:`configure_tenant`).
+    Use as a context manager factory::
+
+        with controller.admit(tenant):
+            ... handle the request ...
+    """
+
+    def __init__(
+        self,
+        max_concurrent: int = 8,
+        max_queue: int = 16,
+        retry_after: float = 1.0,
+        instrumentation: Optional[Instrumentation] = None,
+    ) -> None:
+        self._defaults = (max_concurrent, max_queue)
+        self._retry_after = retry_after
+        self._lock = threading.Lock()
+        self._gates: Dict[str, TenantGate] = {}
+        obs = (
+            instrumentation
+            if instrumentation is not None
+            else Instrumentation()
+        )
+        self._rejects = obs.counter(
+            "repro_serve_admission_rejects_total",
+            "Requests rejected (429) at the tenant admission gate.",
+            labels=("tenant",),
+        )
+        self._queue_depth = obs.gauge(
+            "repro_serve_admission_queue_depth",
+            "Requests waiting at the tenant admission gate.",
+            labels=("tenant",),
+        )
+        self._occupancy = obs.gauge(
+            "repro_serve_tenant_occupancy",
+            "Requests a tenant currently has in flight past admission.",
+            labels=("tenant",),
+        )
+
+    def configure_tenant(
+        self, tenant: str, max_concurrent: int, max_queue: int
+    ) -> None:
+        """Pin one tenant's bounds (replaces any auto-created gate; safe
+        only before that tenant has in-flight requests)."""
+        with self._lock:
+            self._gates[tenant] = TenantGate(
+                tenant, max_concurrent, max_queue, self._retry_after
+            )
+
+    def gate(self, tenant: str) -> TenantGate:
+        with self._lock:
+            gate = self._gates.get(tenant)
+            if gate is None:
+                max_concurrent, max_queue = self._defaults
+                gate = TenantGate(
+                    tenant, max_concurrent, max_queue, self._retry_after
+                )
+                self._gates[tenant] = gate
+            return gate
+
+    def admit(self, tenant: str) -> "_AdmissionTicket":
+        return _AdmissionTicket(self, self.gate(tenant))
+
+    def depths(self) -> Dict[str, Tuple[int, int]]:
+        """Tenant -> (active, waiting), for /observability."""
+        with self._lock:
+            gates = list(self._gates.values())
+        return {gate.tenant: (gate.active, gate.waiting) for gate in gates}
+
+    # -- metric updates (called by tickets) -----------------------------
+
+    def _note_state(self, gate: TenantGate) -> None:
+        self._queue_depth.labels(tenant=gate.tenant).set(gate.waiting)
+        self._occupancy.labels(tenant=gate.tenant).set(gate.active)
+
+    def _note_reject(self, gate: TenantGate) -> None:
+        self._rejects.labels(tenant=gate.tenant).inc()
+
+
+class _AdmissionTicket:
+    """Context manager holding one admitted slot."""
+
+    def __init__(
+        self, controller: AdmissionController, gate: TenantGate
+    ) -> None:
+        self._controller = controller
+        self._gate = gate
+
+    def __enter__(self) -> "_AdmissionTicket":
+        try:
+            self._gate.acquire()
+        except AdmissionRejected:
+            self._controller._note_reject(self._gate)
+            raise
+        finally:
+            self._controller._note_state(self._gate)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._gate.release()
+        self._controller._note_state(self._gate)

@@ -1,0 +1,133 @@
+"""The mutation dead-letter queue.
+
+A mutation that decodes cleanly but keeps failing at apply time (after
+the shard's capped-exponential-backoff retries) lands here instead of
+vanishing: the entry carries the original wire document, the final
+error, and the attempt count, so an operator can inspect, requeue, or
+cancel it through the ``/v1/{tenant}/dead-letters`` endpoints.
+Malformed documents never reach the queue -- they are a 400 at the HTTP
+edge, because a request that cannot name a mutation has nothing to
+retry.
+
+State machine: an entry is born ``dead``; ``requeue`` marks it
+``requeued`` and re-submits the mutation to its shard (a repeat failure
+dead-letters *again* as a fresh entry, pointing back via
+``retried_from``); ``cancel`` marks it ``cancelled``.  Entries are never
+deleted -- the queue doubles as the failure audit trail.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional
+
+__all__ = ["DeadLetter", "DeadLetterQueue"]
+
+
+class DeadLetter:
+    """One dead-lettered mutation (mutable state field, lock-guarded by
+    the owning queue)."""
+
+    __slots__ = (
+        "id",
+        "tenant",
+        "session",
+        "mutation",
+        "error",
+        "attempts",
+        "state",
+        "retried_from",
+    )
+
+    def __init__(
+        self,
+        id: str,
+        tenant: str,
+        session: str,
+        mutation: Dict[str, Any],
+        error: str,
+        attempts: int,
+        retried_from: Optional[str] = None,
+    ) -> None:
+        self.id = id
+        self.tenant = tenant
+        self.session = session
+        self.mutation = mutation
+        self.error = error
+        self.attempts = attempts
+        self.state = "dead"
+        self.retried_from = retried_from
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "id": self.id,
+            "tenant": self.tenant,
+            "session": self.session,
+            "mutation": self.mutation,
+            "error": self.error,
+            "attempts": self.attempts,
+            "state": self.state,
+            "retried_from": self.retried_from,
+        }
+
+
+class DeadLetterQueue:
+    """Thread-safe id -> :class:`DeadLetter` store with tenant views."""
+
+    def __init__(self, instrumentation=None) -> None:
+        self._lock = threading.Lock()
+        self._entries: Dict[str, DeadLetter] = {}
+        self._next_id = 0
+        self._counter = None
+        if instrumentation is not None:
+            self._counter = instrumentation.counter(
+                "repro_serve_dead_letters_total",
+                "Mutations dead-lettered after retry exhaustion.",
+                labels=("tenant",),
+            )
+
+    def add(
+        self,
+        tenant: str,
+        session: str,
+        mutation: Dict[str, Any],
+        error: str,
+        attempts: int,
+        retried_from: Optional[str] = None,
+    ) -> DeadLetter:
+        with self._lock:
+            self._next_id += 1
+            entry = DeadLetter(
+                id=f"dl-{self._next_id}",
+                tenant=tenant,
+                session=session,
+                mutation=mutation,
+                error=error,
+                attempts=attempts,
+                retried_from=retried_from,
+            )
+            self._entries[entry.id] = entry
+        if self._counter is not None:
+            self._counter.labels(tenant=tenant).inc()
+        return entry
+
+    def get(self, tenant: str, entry_id: str) -> Optional[DeadLetter]:
+        """The entry, or ``None`` when unknown or owned by another tenant
+        (tenants can never see each other's failures)."""
+        with self._lock:
+            entry = self._entries.get(entry_id)
+            if entry is None or entry.tenant != tenant:
+                return None
+            return entry
+
+    def list(self, tenant: str) -> List[Dict[str, Any]]:
+        with self._lock:
+            return [
+                entry.to_dict()
+                for entry in self._entries.values()
+                if entry.tenant == tenant
+            ]
+
+    def mark(self, entry: DeadLetter, state: str) -> None:
+        with self._lock:
+            entry.state = state

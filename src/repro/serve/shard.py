@@ -1,0 +1,649 @@
+"""Session shards: one single-writer worker loop per tenant session.
+
+The engines behind an :class:`~repro.api.AnalysisService` are fast but
+not thread-safe -- memoized postings, closure records, and stream
+segments are spliced in place.  The shard layer makes that safe to serve
+concurrently by giving every ``(tenant, session)`` pair its own worker
+thread that owns the service exclusively: all access rides the shard's
+inbox queue, so **mutations serialize per shard** while traffic to
+different shards runs fully in parallel across the pool.
+
+Read batching: consecutive queued queries are drained into one
+``execute_batch`` call, so the planner's level-prefetch hoisting (one
+engine flush per attacker covering the union of requested platforms)
+amortizes across concurrent readers -- the fan-out happens *inside* the
+plan, where shared work is deduped, instead of across threads fighting
+over one graph.
+
+Mutation failures retry with capped exponential backoff inside the
+worker (mutations are serialized anyway, so backoff never blocks another
+shard) and dead-letter into the manager's
+:class:`~repro.serve.dlq.DeadLetterQueue` when retries are exhausted.
+Every receipt -- applied, no-op, or dead-lettered -- is recorded in the
+NDJSON :class:`~repro.serve.audit.AuditLog`.
+
+Snapshot migration: :meth:`ShardManager.migrate` snapshots the session
+*inside* its worker loop (a consistent point between mutations), restores
+a fresh service from the document, and atomically swaps the routing
+entry to a brand-new worker -- the differential suite pins restored
+query results bit-for-bit against pre-migration ones.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import queue
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.api import AnalysisService, Query
+from repro.api.queries import RolloutQuery
+from repro.model.attacker import AttackerProfile
+from repro.obs import Instrumentation
+from repro.serve.audit import AuditLog
+from repro.serve.dlq import DeadLetterQueue
+from repro.utils.serialization import (
+    attacker_profile_from_dict,
+    mutation_from_dict,
+    mutation_to_dict,
+)
+
+__all__ = ["DeadLettered", "ServeConfig", "Shard", "ShardManager"]
+
+_STOP = object()
+
+
+@dataclasses.dataclass(frozen=True)
+class ServeConfig:
+    """Knobs for the serving tier (one instance per server)."""
+
+    #: Apply attempts per mutation (1 initial + ``mutation_retries``).
+    mutation_retries: int = 2
+    #: Exponential backoff base / cap between apply attempts, seconds.
+    retry_backoff_base: float = 0.05
+    retry_backoff_cap: float = 1.0
+    #: Per-tenant admission defaults.
+    max_concurrent_per_tenant: int = 8
+    max_queue_per_tenant: int = 16
+    retry_after_seconds: float = 1.0
+    #: NDJSON audit log destination (``None`` = in-memory ring only).
+    audit_path: Optional[str] = None
+    #: Catalog ceiling for cold session builds over the HTTP surface.
+    max_services_per_session: int = 30_000
+
+
+class DeadLettered(Exception):
+    """A mutation exhausted its retries; carries the DLQ entry."""
+
+    def __init__(self, entry) -> None:
+        super().__init__(f"mutation dead-lettered as {entry.id}")
+        self.entry = entry
+
+
+class _Reply:
+    """One-shot result slot a caller blocks on."""
+
+    __slots__ = ("_event", "_value", "_error")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._value: Any = None
+        self._error: Optional[BaseException] = None
+
+    def set(self, value: Any) -> None:
+        self._value = value
+        self._event.set()
+
+    def fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    def wait(self, timeout: Optional[float] = None) -> Any:
+        if not self._event.wait(timeout):
+            raise TimeoutError("shard did not reply in time")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+@dataclasses.dataclass
+class _QueryWork:
+    queries: Tuple[Query, ...]
+    reply: _Reply
+
+
+@dataclasses.dataclass
+class _MutationWork:
+    mutation: Any
+    document: Dict[str, Any]
+    reply: _Reply
+    retried_from: Optional[str] = None
+
+
+@dataclasses.dataclass
+class _CallWork:
+    fn: Callable[[AnalysisService], Any]
+    reply: _Reply
+
+
+class Shard:
+    """One session, one owning worker thread, one inbox."""
+
+    def __init__(
+        self,
+        shard_id: str,
+        tenant: str,
+        session_name: str,
+        service: AnalysisService,
+        config: ServeConfig,
+        audit: AuditLog,
+        dlq: DeadLetterQueue,
+        metrics: "_ShardMetrics",
+    ) -> None:
+        self.shard_id = shard_id
+        self.tenant = tenant
+        self.session_name = session_name
+        self._service = service
+        self._config = config
+        self._audit = audit
+        self._dlq = dlq
+        self._metrics = metrics
+        self._inbox: "queue.Queue[Any]" = queue.Queue()
+        self._thread = threading.Thread(
+            target=self._loop,
+            name=f"shard-{tenant}-{session_name}",
+            daemon=True,
+        )
+        self._closed = False
+        self._thread.start()
+
+    # -- public surface (any thread) ------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        return self._thread.is_alive()
+
+    def execute(
+        self, queries: Sequence[Query], timeout: Optional[float] = 60.0
+    ) -> Tuple[Any, ...]:
+        """Run a read-only query batch through the worker loop."""
+        for query in queries:
+            if isinstance(query, RolloutQuery):
+                raise ValueError(
+                    "RolloutQuery is not served over the shard surface"
+                )
+        reply = _Reply()
+        self._submit(_QueryWork(queries=tuple(queries), reply=reply))
+        return reply.wait(timeout)
+
+    def apply(
+        self,
+        mutation,
+        document: Dict[str, Any],
+        timeout: Optional[float] = 60.0,
+        retried_from: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Apply one mutation; returns the receipt document or raises
+        :class:`DeadLettered` after retry exhaustion."""
+        reply = _Reply()
+        self._submit(
+            _MutationWork(
+                mutation=mutation,
+                document=document,
+                reply=reply,
+                retried_from=retried_from,
+            )
+        )
+        return reply.wait(timeout)
+
+    def call(
+        self,
+        fn: Callable[[AnalysisService], Any],
+        timeout: Optional[float] = 60.0,
+    ) -> Any:
+        """Run an arbitrary read against the service inside the loop."""
+        reply = _Reply()
+        self._submit(_CallWork(fn=fn, reply=reply))
+        return reply.wait(timeout)
+
+    def info(self) -> Dict[str, Any]:
+        return self.call(
+            lambda service: {
+                "session": self.session_name,
+                "shard": self.shard_id,
+                "version": service.version,
+                "services": len(service),
+                "attackers": list(service.attackers),
+            }
+        )
+
+    def close(self, timeout: float = 5.0) -> None:
+        if not self._closed:
+            self._closed = True
+            self._inbox.put(_STOP)
+        self._thread.join(timeout)
+
+    # -- worker internals ------------------------------------------------
+
+    def _submit(self, work) -> None:
+        if self._closed:
+            raise RuntimeError(
+                f"shard {self.shard_id} for session "
+                f"{self.session_name!r} is closed"
+            )
+        self._inbox.put(work)
+        self._note_depth()
+
+    def _note_depth(self) -> None:
+        self._metrics.queue_depth.labels(
+            tenant=self.tenant, session=self.session_name
+        ).set(self._inbox.qsize())
+
+    def _loop(self) -> None:
+        while True:
+            work = self._inbox.get()
+            self._note_depth()
+            if work is _STOP:
+                return
+            if isinstance(work, _QueryWork):
+                batch = [work]
+                carry: Any = None
+                while True:
+                    try:
+                        nxt = self._inbox.get_nowait()
+                    except queue.Empty:
+                        break
+                    if isinstance(nxt, _QueryWork):
+                        batch.append(nxt)
+                    else:
+                        carry = nxt
+                        break
+                self._note_depth()
+                self._run_queries(batch)
+                if carry is _STOP:
+                    return
+                if carry is not None:
+                    self._run_sequential(carry)
+            else:
+                self._run_sequential(work)
+
+    def _run_queries(self, batch: List[_QueryWork]) -> None:
+        flat: List[Query] = []
+        for work in batch:
+            flat.extend(work.queries)
+        try:
+            results = self._service.execute_batch(flat)
+        except Exception as exc:
+            for work in batch:
+                work.reply.fail(exc)
+            return
+        self._metrics.queries.labels(tenant=self.tenant).inc(len(flat))
+        if len(batch) > 1:
+            self._metrics.coalesced.labels(tenant=self.tenant).inc(
+                len(batch) - 1
+            )
+        offset = 0
+        for work in batch:
+            count = len(work.queries)
+            work.reply.set(tuple(results[offset:offset + count]))
+            offset += count
+
+    def _run_sequential(self, work) -> None:
+        if isinstance(work, _CallWork):
+            try:
+                work.reply.set(work.fn(self._service))
+            except Exception as exc:
+                work.reply.fail(exc)
+            return
+        self._apply_with_retries(work)
+
+    def _apply_with_retries(self, work: _MutationWork) -> None:
+        config = self._config
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                receipt = self._service.apply(work.mutation)
+            except Exception as exc:
+                if attempts <= config.mutation_retries:
+                    backoff = min(
+                        config.retry_backoff_base * (2 ** (attempts - 1)),
+                        config.retry_backoff_cap,
+                    )
+                    time.sleep(backoff)
+                    continue
+                entry = self._dlq.add(
+                    tenant=self.tenant,
+                    session=self.session_name,
+                    mutation=work.document,
+                    error=f"{type(exc).__name__}: {exc}",
+                    attempts=attempts,
+                    retried_from=work.retried_from,
+                )
+                self._audit.record(
+                    tenant=self.tenant,
+                    session=self.session_name,
+                    outcome="dead_lettered",
+                    mutation=work.document,
+                    attempts=attempts,
+                    error=entry.error,
+                    dead_letter_id=entry.id,
+                )
+                self._metrics.mutations.labels(
+                    tenant=self.tenant, outcome="dead_lettered"
+                ).inc()
+                work.reply.fail(DeadLettered(entry))
+                return
+            outcome = "noop" if receipt.delta.is_noop else "applied"
+            self._audit.record(
+                tenant=self.tenant,
+                session=self.session_name,
+                outcome=outcome,
+                mutation=work.document,
+                version=receipt.version,
+                delta=receipt.delta.describe(),
+                attempts=attempts,
+            )
+            self._metrics.mutations.labels(
+                tenant=self.tenant, outcome=outcome
+            ).inc()
+            work.reply.set(
+                {
+                    "outcome": outcome,
+                    "version": receipt.version,
+                    "delta": receipt.delta.describe(),
+                    "attempts": attempts,
+                }
+            )
+            return
+
+
+class _ShardMetrics:
+    """The shard-layer instruments, created once per manager."""
+
+    def __init__(self, obs: Instrumentation) -> None:
+        self.queue_depth = obs.gauge(
+            "repro_serve_shard_queue_depth",
+            "Work items queued at one session shard.",
+            labels=("tenant", "session"),
+        )
+        self.queries = obs.counter(
+            "repro_serve_queries_total",
+            "Queries served through the shard pool.",
+            labels=("tenant",),
+        )
+        self.coalesced = obs.counter(
+            "repro_serve_query_batches_coalesced_total",
+            "Queued query works merged into an earlier batch's plan.",
+            labels=("tenant",),
+        )
+        self.mutations = obs.counter(
+            "repro_serve_mutations_total",
+            "Mutation receipts, by outcome.",
+            labels=("tenant", "outcome"),
+        )
+        self.shards_live = obs.gauge(
+            "repro_serve_shards_live", "Session shards currently routed."
+        )
+        self.migrations = obs.counter(
+            "repro_serve_migrations_total",
+            "Snapshot/restore shard migrations completed.",
+            labels=("tenant",),
+        )
+
+
+class ShardManager:
+    """Routes ``(tenant, session)`` to shards; owns DLQ, audit, config.
+
+    Creation, migration, and retirement swap routing entries under one
+    lock; the per-shard worker loops never block each other.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        instrumentation: Optional[Instrumentation] = None,
+    ) -> None:
+        self.config = config if config is not None else ServeConfig()
+        self.instrumentation = (
+            instrumentation
+            if instrumentation is not None
+            else Instrumentation()
+        )
+        self.audit = AuditLog(path=self.config.audit_path)
+        self.dlq = DeadLetterQueue(instrumentation=self.instrumentation)
+        self._metrics = _ShardMetrics(self.instrumentation)
+        self._lock = threading.Lock()
+        self._shards: Dict[Tuple[str, str], Shard] = {}
+        self._shard_counter = 0
+
+    # -- session lifecycle -----------------------------------------------
+
+    def create_session(
+        self,
+        tenant: str,
+        name: str,
+        services: Optional[int] = None,
+        seed: int = 2021,
+        attackers: Optional[Dict[str, Dict[str, Any]]] = None,
+        snapshot: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Build (cold) or restore (warm) a session and route it.
+
+        Exactly one of ``services`` (a catalog size to cold-build) or
+        ``snapshot`` (a snapshot document to warm-start from) must be
+        given.  Raises ``ValueError`` on bad arguments and ``KeyError``
+        on (tenant, name) collision.
+        """
+        if (services is None) == (snapshot is None):
+            raise ValueError(
+                "pass exactly one of 'services' (cold build) or "
+                "'snapshot' (warm start)"
+            )
+        with self._lock:
+            if (tenant, name) in self._shards:
+                raise KeyError(
+                    f"tenant {tenant!r} already has a session {name!r}"
+                )
+        if snapshot is not None:
+            service = AnalysisService.restore(snapshot)
+        else:
+            service = self._cold_build(services, seed, attackers)
+        shard = self._route(tenant, name, service)
+        return {
+            "tenant": tenant,
+            "session": name,
+            "shard": shard.shard_id,
+            "version": service.version,
+            "services": len(service),
+            "warm_start": snapshot is not None,
+        }
+
+    def _cold_build(
+        self,
+        services: int,
+        seed: int,
+        attackers: Optional[Dict[str, Dict[str, Any]]],
+    ) -> AnalysisService:
+        from repro.catalog import CatalogBuilder
+        from repro.catalog.spec import CatalogSpec
+
+        if not 1 <= services <= self.config.max_services_per_session:
+            raise ValueError(
+                f"services must be in "
+                f"[1, {self.config.max_services_per_session}]"
+            )
+        profiles: Optional[Dict[str, AttackerProfile]] = None
+        if attackers is not None:
+            profiles = {
+                label: attacker_profile_from_dict(entry)
+                for label, entry in attackers.items()
+            }
+        ecosystem = CatalogBuilder(
+            CatalogSpec(total_services=services), seed=seed
+        ).build_ecosystem()
+        return AnalysisService(ecosystem, attackers=profiles)
+
+    def _route(
+        self, tenant: str, name: str, service: AnalysisService
+    ) -> Shard:
+        with self._lock:
+            if (tenant, name) in self._shards:
+                raise KeyError(
+                    f"tenant {tenant!r} already has a session {name!r}"
+                )
+            self._shard_counter += 1
+            shard = Shard(
+                shard_id=f"shard-{self._shard_counter}",
+                tenant=tenant,
+                session_name=name,
+                service=service,
+                config=self.config,
+                audit=self.audit,
+                dlq=self.dlq,
+                metrics=self._metrics,
+            )
+            self._shards[(tenant, name)] = shard
+            self._metrics.shards_live.set(len(self._shards))
+            return shard
+
+    def shard(self, tenant: str, name: str) -> Optional[Shard]:
+        with self._lock:
+            return self._shards.get((tenant, name))
+
+    def sessions(self, tenant: str) -> List[str]:
+        with self._lock:
+            return sorted(
+                session
+                for (owner, session) in self._shards
+                if owner == tenant
+            )
+
+    def migrate(self, tenant: str, name: str) -> Dict[str, Any]:
+        """Snapshot the session on its current shard, restore it on a
+        fresh one, and swap routing -- the tenant's next request lands on
+        the new worker; other tenants are untouched throughout."""
+        shard = self.shard(tenant, name)
+        if shard is None:
+            raise KeyError(f"no session {name!r} for tenant {tenant!r}")
+        document = shard.call(lambda service: service.snapshot())
+        restored = AnalysisService.restore(document)
+        with self._lock:
+            self._shard_counter += 1
+            replacement = Shard(
+                shard_id=f"shard-{self._shard_counter}",
+                tenant=tenant,
+                session_name=name,
+                service=restored,
+                config=self.config,
+                audit=self.audit,
+                dlq=self.dlq,
+                metrics=self._metrics,
+            )
+            self._shards[(tenant, name)] = replacement
+        shard.close()
+        self._metrics.migrations.labels(tenant=tenant).inc()
+        return {
+            "tenant": tenant,
+            "session": name,
+            "from_shard": shard.shard_id,
+            "to_shard": replacement.shard_id,
+            "version": restored.version,
+            "warm_results": len(document.get("warm_results", ())),
+        }
+
+    # -- dead-letter operations -------------------------------------------
+
+    def requeue_dead_letter(
+        self, tenant: str, entry_id: str
+    ) -> Dict[str, Any]:
+        """Re-apply a dead-lettered mutation through its shard.
+
+        A repeat failure dead-letters again as a *new* entry chained via
+        ``retried_from``; either way the original entry is marked
+        ``requeued`` and audited.
+        """
+        entry = self.dlq.get(tenant, entry_id)
+        if entry is None:
+            raise KeyError(f"no dead letter {entry_id!r}")
+        shard = self.shard(tenant, entry.session)
+        if shard is None:
+            raise KeyError(
+                f"session {entry.session!r} for dead letter "
+                f"{entry_id!r} is gone"
+            )
+        mutation = mutation_from_dict(entry.mutation)
+        self.dlq.mark(entry, "requeued")
+        self.audit.record(
+            tenant=tenant,
+            session=entry.session,
+            outcome="requeued",
+            mutation=entry.mutation,
+            dead_letter_id=entry.id,
+        )
+        try:
+            receipt = shard.apply(
+                mutation, entry.mutation, retried_from=entry.id
+            )
+        except DeadLettered as exc:
+            return {
+                "outcome": "dead_lettered",
+                "dead_letter": exc.entry.to_dict(),
+            }
+        return receipt
+
+    def cancel_dead_letter(
+        self, tenant: str, entry_id: str
+    ) -> Dict[str, Any]:
+        entry = self.dlq.get(tenant, entry_id)
+        if entry is None:
+            raise KeyError(f"no dead letter {entry_id!r}")
+        self.dlq.mark(entry, "cancelled")
+        self.audit.record(
+            tenant=tenant,
+            session=entry.session,
+            outcome="cancelled",
+            mutation=entry.mutation,
+            dead_letter_id=entry.id,
+        )
+        return entry.to_dict()
+
+    # -- health -----------------------------------------------------------
+
+    def ready(self) -> bool:
+        """All routed shards have live worker threads."""
+        with self._lock:
+            shards = list(self._shards.values())
+        return all(shard.alive for shard in shards)
+
+    def describe(self) -> Dict[str, Any]:
+        with self._lock:
+            shards = list(self._shards.values())
+        return {
+            "shards": [
+                {
+                    "tenant": shard.tenant,
+                    "session": shard.session_name,
+                    "shard": shard.shard_id,
+                    "alive": shard.alive,
+                }
+                for shard in shards
+            ],
+        }
+
+    def close(self) -> None:
+        with self._lock:
+            shards = list(self._shards.values())
+            self._shards.clear()
+            self._metrics.shards_live.set(0)
+        for shard in shards:
+            shard.close()
+        self.audit.close()
+
+
+def encode_mutation(mutation) -> Dict[str, Any]:
+    """Re-export convenience for callers that already hold a typed
+    mutation (benchmarks, tests) -- the shard surface wants both the
+    object and its wire document for audit/DLQ records."""
+    return mutation_to_dict(mutation)

@@ -19,26 +19,47 @@ Conventions:
 
 from __future__ import annotations
 
-from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Union,
+)
 
 from repro.levels.engine import DependencyLevel
-from repro.model.account import AuthPath, AuthPurpose
+from repro.model.account import AuthPath, AuthPurpose, MaskSpec, ServiceProfile
 from repro.model.attacker import AttackerCapability, AttackerProfile
 from repro.model.factors import CredentialFactor, PersonalInfoKind, Platform
 
 __all__ = [
+    "AuthPathTable",
     "attacker_profile_from_dict",
     "attacker_profile_to_dict",
     "auth_path_from_dict",
     "auth_path_to_dict",
+    "auth_report_from_dict",
+    "auth_report_to_dict",
+    "collection_report_from_dict",
+    "collection_report_to_dict",
     "enum_keyed_dict",
     "enum_keyed_from_dict",
     "info_kinds_from_list",
     "info_kinds_to_list",
     "level_map_from_dict",
     "level_map_to_dict",
+    "mask_spec_from_dict",
+    "mask_spec_to_dict",
+    "mutation_from_dict",
+    "mutation_to_dict",
     "platform_map_from_dict",
     "platform_map_to_dict",
+    "service_profile_from_dict",
+    "service_profile_to_dict",
 ]
 
 
@@ -146,3 +167,368 @@ def attacker_profile_from_dict(
         ),
         known_info=info_kinds_from_list(document["known_info"]),
     )
+
+
+# ----------------------------------------------------------------------
+# Service profiles and mask specs
+# ----------------------------------------------------------------------
+
+
+class AuthPathTable:
+    """Interning encoder/decoder for :class:`AuthPath` references.
+
+    A snapshot mentions the same path objects many times (a profile's
+    ``auth_paths``, then every stage-1 flow that groups them).  The table
+    serializes each distinct path once and hands out integer references,
+    so documents stay small and decoding constructs each path exactly
+    once (flows then share the decoded objects, like the live pipeline
+    shares the profile's).
+    """
+
+    def __init__(self) -> None:
+        self._refs: Dict[AuthPath, int] = {}
+        #: Path documents in reference order (the wire-side table).
+        self.documents: List[Dict[str, Any]] = []
+
+    def ref(self, path: AuthPath) -> int:
+        """Intern one path; returns its table index."""
+        index = self._refs.get(path)
+        if index is None:
+            index = len(self.documents)
+            self._refs[path] = index
+            self.documents.append(auth_path_to_dict(path))
+        return index
+
+    @staticmethod
+    def decode(documents: Sequence[Mapping[str, Any]]) -> List[AuthPath]:
+        """Materialize the table: one :class:`AuthPath` per entry."""
+        return [auth_path_from_dict(document) for document in documents]
+
+
+def mask_spec_to_dict(spec: MaskSpec) -> Dict[str, Any]:
+    """One masking rule as a plain document."""
+    return {
+        "reveal_prefix": spec.reveal_prefix,
+        "reveal_suffix": spec.reveal_suffix,
+        "reveal_middle": (
+            list(spec.reveal_middle) if spec.reveal_middle is not None else None
+        ),
+    }
+
+
+def mask_spec_from_dict(document: Mapping[str, Any]) -> MaskSpec:
+    """Inverse of :func:`mask_spec_to_dict`."""
+    middle = document.get("reveal_middle")
+    return MaskSpec(
+        reveal_prefix=document.get("reveal_prefix", 0),
+        reveal_suffix=document.get("reveal_suffix", 0),
+        reveal_middle=tuple(middle) if middle is not None else None,
+    )
+
+
+def service_profile_to_dict(
+    profile: ServiceProfile, paths: Optional[AuthPathTable] = None
+) -> Dict[str, Any]:
+    """One service profile as a plain document.
+
+    With ``paths`` the auth paths serialize as integer references into
+    the shared table (the snapshot form); without it they inline as full
+    path documents (the wire-mutation form).
+    """
+    return {
+        "name": profile.name,
+        "domain": profile.domain,
+        "auth_paths": [
+            paths.ref(path) if paths is not None else auth_path_to_dict(path)
+            for path in profile.auth_paths
+        ],
+        "exposed_info": {
+            platform.value: info_kinds_to_list(kinds)
+            for platform, kinds in profile.exposed_info.items()
+        },
+        "mask_specs": [
+            [platform.value, kind.value, mask_spec_to_dict(spec)]
+            for (platform, kind), spec in profile.mask_specs.items()
+        ],
+    }
+
+
+def service_profile_from_dict(
+    document: Mapping[str, Any],
+    paths: Optional[Sequence[AuthPath]] = None,
+) -> ServiceProfile:
+    """Inverse of :func:`service_profile_to_dict` (``paths`` is the
+    decoded table when the document used integer references)."""
+
+    def decode_path(entry: Union[int, Mapping[str, Any]]) -> AuthPath:
+        if isinstance(entry, int):
+            if paths is None:
+                raise ValueError(
+                    "profile document references a path table but none "
+                    "was provided"
+                )
+            return paths[entry]
+        return auth_path_from_dict(entry)
+
+    return ServiceProfile(
+        name=document["name"],
+        domain=document["domain"],
+        auth_paths=tuple(
+            decode_path(entry) for entry in document["auth_paths"]
+        ),
+        exposed_info={
+            Platform(platform): info_kinds_from_list(kinds)
+            for platform, kinds in document["exposed_info"].items()
+        },
+        mask_specs={
+            (Platform(platform), PersonalInfoKind(kind)): mask_spec_from_dict(
+                spec
+            )
+            for platform, kind, spec in document.get("mask_specs", ())
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Stage-1/2 reports (the snapshot's warm-start payload)
+# ----------------------------------------------------------------------
+
+
+def _flow_node_to_list(node) -> List[Any]:
+    """Compact ``[requirement, factor, children]`` form of one flow node."""
+    return [
+        node.requirement,
+        node.factor.value if node.factor is not None else None,
+        [_flow_node_to_list(child) for child in node.children],
+    ]
+
+
+def _flow_node_from_list(entry: Sequence[Any]):
+    from repro.core.authproc import AuthFlowNode
+
+    requirement, factor, children = entry
+    return AuthFlowNode(
+        requirement=requirement,
+        factor=CredentialFactor(factor) if factor is not None else None,
+        children=tuple(_flow_node_from_list(child) for child in children),
+    )
+
+
+def auth_report_to_dict(report, paths: AuthPathTable) -> Dict[str, Any]:
+    """Stage-1 report as a document over the shared path table."""
+    return {
+        "service": report.service,
+        "domain": report.domain,
+        "distinct_path_signatures": report.distinct_path_signatures,
+        "flows": [
+            [
+                flow.platform.value,
+                flow.purpose.value,
+                [paths.ref(path) for path in flow.paths],
+                _flow_node_to_list(flow.root),
+            ]
+            for flow in report.flows
+        ],
+    }
+
+
+def auth_report_from_dict(
+    document: Mapping[str, Any], paths: Sequence[AuthPath]
+):
+    """Inverse of :func:`auth_report_to_dict`."""
+    from repro.core.authproc import AuthFlow, ServiceAuthReport
+
+    service = document["service"]
+    return ServiceAuthReport(
+        service=service,
+        domain=document["domain"],
+        distinct_path_signatures=document["distinct_path_signatures"],
+        flows=tuple(
+            AuthFlow(
+                service=service,
+                platform=Platform(platform),
+                purpose=AuthPurpose(purpose),
+                paths=tuple(paths[ref] for ref in refs),
+                root=_flow_node_from_list(root),
+            )
+            for platform, purpose, refs, root in document["flows"]
+        ),
+    )
+
+
+def collection_report_to_dict(report) -> Dict[str, Any]:
+    """Stage-2 report as a document (``revealed`` sorts positions so equal
+    reports produce equal documents)."""
+    return {
+        "service": report.service,
+        "domain": report.domain,
+        "items": [
+            [
+                item.kind.value,
+                item.platform.value,
+                (
+                    sorted(item.revealed_positions)
+                    if item.revealed_positions is not None
+                    else None
+                ),
+            ]
+            for item in report.items
+        ],
+    }
+
+
+def collection_report_from_dict(document: Mapping[str, Any]):
+    """Inverse of :func:`collection_report_to_dict`."""
+    from repro.core.collection import CollectionReport, ExposedItem
+
+    return CollectionReport(
+        service=document["service"],
+        domain=document["domain"],
+        items=tuple(
+            ExposedItem(
+                kind=PersonalInfoKind(kind),
+                platform=Platform(platform),
+                revealed_positions=(
+                    frozenset(revealed) if revealed is not None else None
+                ),
+            )
+            for kind, platform, revealed in document["items"]
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Mutations (the HTTP tier's command wire format)
+# ----------------------------------------------------------------------
+
+
+def _standard_hardening_transforms() -> Dict[str, Any]:
+    """Named no-argument defense transforms :func:`mutation_from_dict`
+    resolves ``apply_hardening`` documents against (the same four the
+    :class:`~repro.api.AnalysisService` defense registry preloads)."""
+    from repro.defense.builtin_auth import BuiltinAuthUpgrade
+    from repro.defense.hardening import EmailHardening, SymmetryRepair
+    from repro.defense.masking_policy import UnifiedMaskingPolicy
+
+    return {
+        "unified_masking": UnifiedMaskingPolicy(),
+        "email_hardening": EmailHardening(),
+        "symmetry_repair": SymmetryRepair(),
+        "builtin_auth": BuiltinAuthUpgrade(),
+    }
+
+
+def mutation_to_dict(mutation) -> Dict[str, Any]:
+    """One typed mutation as a plain document.
+
+    :class:`~repro.dynamic.events.ApplyHardening` serializes by *defense
+    name*: only the four standard transforms (matched by class) have a
+    wire form; a custom transform object raises ``ValueError`` -- ship
+    those as explicit per-profile mutations instead.
+    """
+    from repro.dynamic import events
+
+    if isinstance(mutation, events.AddService):
+        return {
+            "kind": "add_service",
+            "profile": service_profile_to_dict(mutation.profile),
+        }
+    if isinstance(mutation, events.RemoveService):
+        return {"kind": "remove_service", "service": mutation.service}
+    if isinstance(mutation, events.AddAuthPath):
+        return {
+            "kind": "add_auth_path",
+            "service": mutation.service,
+            "path": auth_path_to_dict(mutation.path),
+        }
+    if isinstance(mutation, events.RemoveAuthPath):
+        return {
+            "kind": "remove_auth_path",
+            "service": mutation.service,
+            "path": auth_path_to_dict(mutation.path),
+        }
+    if isinstance(mutation, events.ChangeMasking):
+        return {
+            "kind": "change_masking",
+            "service": mutation.service,
+            "platform": mutation.platform.value,
+            "info_kind": mutation.kind.value,
+            "spec": (
+                mask_spec_to_dict(mutation.spec)
+                if mutation.spec is not None
+                else None
+            ),
+        }
+    if isinstance(mutation, events.ApplyHardening):
+        for name, transform in _standard_hardening_transforms().items():
+            if type(transform) is type(mutation.transform):
+                return {
+                    "kind": "apply_hardening",
+                    "defense": name,
+                    "services": (
+                        list(mutation.services)
+                        if mutation.services is not None
+                        else None
+                    ),
+                }
+        raise ValueError(
+            f"no wire form for custom hardening transform "
+            f"{type(mutation.transform).__name__!r}"
+        )
+    raise ValueError(f"no wire form for mutation {mutation!r}")
+
+
+def mutation_from_dict(
+    document: Mapping[str, Any],
+    transforms: Optional[Mapping[str, Any]] = None,
+):
+    """Inverse of :func:`mutation_to_dict`.
+
+    ``transforms`` overrides the named-defense registry
+    ``apply_hardening`` documents resolve against (defaults to the four
+    standard transforms).  Unknown kinds and unknown defense names raise
+    ``ValueError`` -- the HTTP tier maps that to a 400, never a dead
+    letter.
+    """
+    from repro.dynamic import events
+
+    kind = document.get("kind")
+    if kind == "add_service":
+        return events.AddService(
+            profile=service_profile_from_dict(document["profile"])
+        )
+    if kind == "remove_service":
+        return events.RemoveService(service=document["service"])
+    if kind == "add_auth_path":
+        return events.AddAuthPath(
+            service=document["service"],
+            path=auth_path_from_dict(document["path"]),
+        )
+    if kind == "remove_auth_path":
+        return events.RemoveAuthPath(
+            service=document["service"],
+            path=auth_path_from_dict(document["path"]),
+        )
+    if kind == "change_masking":
+        spec = document.get("spec")
+        return events.ChangeMasking(
+            service=document["service"],
+            platform=Platform(document["platform"]),
+            kind=PersonalInfoKind(document["info_kind"]),
+            spec=mask_spec_from_dict(spec) if spec is not None else None,
+        )
+    if kind == "apply_hardening":
+        registry = (
+            dict(transforms)
+            if transforms is not None
+            else _standard_hardening_transforms()
+        )
+        name = document["defense"]
+        if name not in registry:
+            raise ValueError(f"unknown defense {name!r}")
+        services = document.get("services")
+        return events.ApplyHardening(
+            transform=registry[name],
+            services=tuple(services) if services is not None else None,
+        )
+    raise ValueError(f"unknown mutation kind {kind!r}")

@@ -263,6 +263,82 @@ class TestObjectPosting:
         ) == []
 
 
+class TestSwallowedException:
+    SERVE_PATH = "src/repro/serve/shard.py"
+
+    def test_flags_pass_only_handler_in_serve_layer(self):
+        source = textwrap.dedent(
+            """
+            def handle(request):
+                try:
+                    apply(request)
+                except Exception:
+                    pass
+            """
+        )
+        findings = lint.check_source(source, path=self.SERVE_PATH)
+        assert [f.code for f in findings] == ["swallowed-exception"]
+
+    def test_flags_ellipsis_and_docstring_only_bodies(self):
+        source = textwrap.dedent(
+            """
+            def handle(request):
+                try:
+                    apply(request)
+                except ValueError:
+                    ...
+                except KeyError:
+                    "deliberately ignored"
+            """
+        )
+        findings = lint.check_source(source, path=self.SERVE_PATH)
+        assert [f.code for f in findings] == [
+            "swallowed-exception",
+            "swallowed-exception",
+        ]
+
+    def test_handler_that_reports_is_clean(self):
+        source = textwrap.dedent(
+            """
+            def handle(request, audit, dlq):
+                try:
+                    apply(request)
+                except ValueError as exc:
+                    audit.record("rejected", error=str(exc))
+                except Exception as exc:
+                    dlq.add(request, exc)
+                    raise
+            """
+        )
+        assert lint.check_source(source, path=self.SERVE_PATH) == []
+
+    def test_rule_only_covers_serve_layer_and_noqa_suppresses(self):
+        swallow = textwrap.dedent(
+            """
+            def probe(value):
+                try:
+                    coerce(value)
+                except TypeError:
+                    pass
+            """
+        )
+        assert (
+            lint.check_source(swallow, path="src/repro/core/tdg.py") == []
+        )
+        suppressed = textwrap.dedent(
+            """
+            def probe(value):
+                try:
+                    coerce(value)
+                except TypeError:  # noqa: best-effort probe
+                    pass
+            """
+        )
+        assert (
+            lint.check_source(suppressed, path=self.SERVE_PATH) == []
+        )
+
+
 def test_repository_is_lint_clean():
     """The gate ``make verify`` also runs: the whole tree stays clean."""
     targets = [

@@ -52,6 +52,11 @@ REQUIRED_WARM_SPEEDUP = 10.0
 #: beating the scratch fixpoint by at least this factor.
 REQUIRED_CLOSURE_RESERVE_SPEEDUP = 5.0
 
+#: The serving tier's migration contract at 402: restoring a session
+#: from its snapshot (lazy materialization + carried warm results) and
+#: serving the standard batch must beat a cold build-and-serve.
+REQUIRED_SNAPSHOT_WARM_START_SPEEDUP = 5.0
+
 #: The incremental serve-path contract at 402: re-serving the mixed
 #: batch after a mutation (spliced stream segments, folded measurement
 #: counters, delta-maintained fixpoints and parent views) must beat
@@ -441,6 +446,51 @@ def test_parallel_cold_build_is_2x_faster_on_multicore():
         f"serial stage-1/2 build {serial * 1e3:.0f}ms vs pooled "
         f"({pooled_stats.workers} workers) {pooled * 1e3:.0f}ms: "
         f"speedup {speedup:.1f}x < {REQUIRED_POOL_SPEEDUP:.0f}x"
+    )
+
+
+def test_snapshot_warm_start_beats_cold_build_5x_at_402():
+    """The serving tier's migration contract at the paper-doubling tier.
+
+    Standing a session up from a snapshot (with its carried warm
+    results) and serving the standard batch must beat building the same
+    session cold from the ecosystem and serving that batch by at least
+    5x -- otherwise shard migration would cost as much as a cold start
+    and the snapshot path has regressed (lazy materialization lost, or
+    warm-result carry-over broken).  Cold is measured once (the honest
+    first-build cost); the warm side takes the best of a few repeats,
+    each from a fresh restore.
+    """
+    ecosystem = CatalogBuilder(
+        CatalogSpec(total_services=402), seed=2021
+    ).build_ecosystem()
+    workload = [
+        LevelReportQuery(),
+        MeasurementQuery(),
+        ClosureQuery(),
+        EdgeSummaryQuery(),
+    ]
+
+    start = time.perf_counter()
+    cold_service = AnalysisService(ecosystem)
+    cold_results = cold_service.execute_batch(workload)
+    cold = time.perf_counter() - start
+
+    document = cold_service.snapshot()
+
+    warm = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        restored = AnalysisService.restore(document)
+        warm_results = restored.execute_batch(workload)
+        warm = min(warm, time.perf_counter() - start)
+    assert warm_results == cold_results
+
+    speedup = cold / warm if warm else float("inf")
+    assert speedup >= REQUIRED_SNAPSHOT_WARM_START_SPEEDUP, (
+        f"cold build+batch {cold * 1e3:.1f}ms vs snapshot warm-start "
+        f"{warm * 1e3:.2f}ms: speedup {speedup:.1f}x < "
+        f"{REQUIRED_SNAPSHOT_WARM_START_SPEEDUP:.0f}x"
     )
 
 

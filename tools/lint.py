@@ -36,6 +36,12 @@ unambiguously dead:
   a regression back to boxed-object postings or a decoding view -- a
   view must say so with a ``# decoded view`` comment on the binding
   line, which suppresses the finding.
+- **swallowed-exception**: an ``except`` handler in the serving tier
+  (``src/repro/serve/``) whose body does nothing (only ``pass``,
+  ``...`` or a bare string).  Serve-layer failure paths must surface
+  somewhere an operator can see -- re-raise, reply with an error,
+  write an audit record, or dead-letter the mutation; silently eating
+  the exception drops a tenant's request on the floor.
 
 A trailing ``# noqa`` comment on the offending line suppresses any
 finding.  Exit status is non-zero when anything is reported::
@@ -346,6 +352,49 @@ def _object_posting_findings(
         )
 
 
+def _swallowed_exception_applies(path: str) -> bool:
+    """The swallowed-exception rule covers the serving tier only: that
+    is where an eaten exception silently drops a tenant's request."""
+    parts = re.split(r"[\\/]", path)
+    return "serve" in parts and "src" in parts
+
+
+def _handler_does_nothing(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body is pure filler: ``pass``, ``...`` or a
+    bare constant expression (a string used as a pseudo-comment)."""
+    return all(
+        isinstance(stmt, ast.Pass)
+        or (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+        )
+        for stmt in handler.body
+    )
+
+
+def _swallowed_exception_findings(
+    tree: ast.Module, noqa: Set[int], path: str
+) -> Iterable[Finding]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.lineno in noqa:
+            continue
+        if not _handler_does_nothing(node):
+            continue
+        caught = (
+            ast.unparse(node.type) if node.type is not None else "everything"
+        )
+        yield Finding(
+            path,
+            node.lineno,
+            "swallowed-exception",
+            f"handler catches {caught} and does nothing; serve-layer "
+            "failure paths must re-raise, reply with an error, audit, "
+            "or dead-letter",
+        )
+
+
 def check_source(source: str, path: str = "<string>") -> List[Finding]:
     """Lint one module's source; returns all findings, line-ordered."""
     tree = ast.parse(source, filename=path)
@@ -358,6 +407,11 @@ def check_source(source: str, path: str = "<string>") -> List[Finding]:
     if _object_posting_applies(path):
         findings.extend(
             _object_posting_findings(tree, source, noqa, path)
+        )
+
+    if _swallowed_exception_applies(path):
+        findings.extend(
+            _swallowed_exception_findings(tree, noqa, path)
         )
 
     loaded_anywhere = _loaded_names(tree)

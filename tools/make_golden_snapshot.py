@@ -1,0 +1,54 @@
+"""Regenerate ``tests/fixtures/golden_snapshot.json``.
+
+The golden fixture pins the session-snapshot wire format
+(:data:`repro.dynamic.snapshot.SNAPSHOT_FORMAT`): tier-1 asserts both
+that the committed document keeps restoring and that today's builder
+reproduces it byte-for-byte from the same seed.  Re-run this script
+(and bump the format tag) only when the snapshot schema intentionally
+changes::
+
+    PYTHONPATH=src python tools/make_golden_snapshot.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.catalog.builder import CatalogBuilder
+from repro.catalog.spec import CatalogSpec
+from repro.dynamic import DynamicAnalysisSession
+
+#: Keep in sync with ``tests/test_snapshot.py::GOLDEN_SERVICES``.
+GOLDEN_SERVICES = 60
+
+FIXTURE = (
+    Path(__file__).resolve().parent.parent
+    / "tests"
+    / "fixtures"
+    / "golden_snapshot.json"
+)
+
+
+def main() -> int:
+    ecosystem = CatalogBuilder(
+        CatalogSpec(total_services=GOLDEN_SERVICES), seed=2021
+    ).build_ecosystem()
+    document = DynamicAnalysisSession(ecosystem).snapshot()
+    FIXTURE.parent.mkdir(parents=True, exist_ok=True)
+    FIXTURE.write_text(
+        json.dumps(document, sort_keys=True, separators=(",", ":"))
+        + "\n",
+        encoding="utf-8",
+    )
+    print(
+        f"wrote {FIXTURE} "
+        f"({FIXTURE.stat().st_size} bytes, {GOLDEN_SERVICES} services, "
+        f"format {document['format']!r})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,33 +1,167 @@
-"""Render a human-readable run report from an NDJSON span log.
+"""Render a human-readable run report from an NDJSON span log, or pull
+observability state from a running serve tier.
 
-The log is what :meth:`repro.obs.Instrumentation.log_spans_to` writes
-while a service runs (one finished root span tree per line, plus
-optional metrics-snapshot records from
-:meth:`~repro.obs.export.NDJSONSpanWriter.write_snapshot`).  The report
-shows the top spans by self-time, a cache-efficacy table for every
-engine cache, and the invalidation-cone size distribution::
+File mode reports on what
+:meth:`repro.obs.Instrumentation.log_spans_to` writes while a service
+runs (one finished root span tree per line, plus optional
+metrics-snapshot records from
+:meth:`~repro.obs.export.NDJSONSpanWriter.write_snapshot`): top spans by
+self-time, a cache-efficacy table for every engine cache, and the
+invalidation-cone size distribution.  URL mode hits a live
+:class:`~repro.serve.server.AnalysisServer` instead -- ``/metrics`` for
+the Prometheus text, ``/observability`` (or a per-session endpoint) for
+the JSON snapshot::
 
     PYTHONPATH=src python tools/obsreport.py run.ndjson [--top N]
+    PYTHONPATH=src python tools/obsreport.py --url http://127.0.0.1:8321
+    PYTHONPATH=src python tools/obsreport.py --url http://127.0.0.1:8321 \\
+        --path /v1/acme/sessions/main/observability
+    PYTHONPATH=src python tools/obsreport.py --url http://127.0.0.1:8321 --prometheus
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import urllib.request
+
+
+def _fetch(url: str, timeout: float):
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        raw = response.read()
+        content_type = response.headers.get("Content-Type", "")
+    if "json" in content_type:
+        return json.loads(raw)
+    return raw.decode("utf-8")
+
+
+def _render_metric_samples(metrics: dict) -> list:
+    """Non-empty metric families as ``name{labels}: value`` rows.
+
+    ``metrics`` follows :func:`repro.obs.export.metrics_snapshot`:
+    ``{name: {"type", "help", "label_names", "samples": [...]}}``.
+    Histogram samples render as ``count/sum`` instead of the bucket map.
+    """
+    rows = []
+    for name in sorted(metrics):
+        family = metrics[name]
+        samples = family.get("samples") or ()
+        for sample in samples:
+            labels = sample.get("labels") or {}
+            label_str = (
+                "{" + ",".join(
+                    f"{key}={value}" for key, value in sorted(labels.items())
+                ) + "}"
+                if labels
+                else ""
+            )
+            if "buckets" in sample:
+                value = (
+                    f"count={sample.get('count')} sum={sample.get('sum')}"
+                )
+            else:
+                value = sample.get("value")
+            rows.append(f"  {name}{label_str}: {value}")
+    if rows:
+        rows.insert(0, "metrics (non-empty families):")
+    return rows
+
+
+def _render_url_report(base: str, path: str, timeout: float) -> str:
+    document = _fetch(base.rstrip("/") + path, timeout)
+    if isinstance(document, str):
+        return document
+    lines = [f"observability snapshot from {base}{path}", ""]
+    if "version" in document:
+        lines.append(f"session version: {document['version']}")
+    if "attackers" in document:
+        lines.append(f"attackers: {', '.join(document['attackers'])}")
+    shards = document.get("shards")
+    if shards is not None:
+        lines.append(f"shards routed: {len(shards)}")
+        for shard in shards:
+            state = "live" if shard.get("alive") else "DEAD"
+            lines.append(
+                f"  {shard['tenant']}/{shard['session']} "
+                f"on {shard['shard']} [{state}]"
+            )
+    admission = document.get("admission")
+    if admission:
+        lines.append("admission gates:")
+        for tenant, depths in sorted(admission.items()):
+            lines.append(
+                f"  {tenant}: active={depths['active']} "
+                f"waiting={depths['waiting']}"
+            )
+    layers = document.get("layers")
+    if layers is not None:
+        cache = layers.get("result_cache", {})
+        lines.append(
+            "result cache: "
+            f"hits={cache.get('hits')} misses={cache.get('misses')} "
+            f"entries={cache.get('entries')} "
+            f"hit_rate={cache.get('hit_rate', 0.0):.3f}"
+        )
+    metrics = document.get("metrics")
+    if isinstance(metrics, dict):
+        lines.extend(_render_metric_samples(metrics))
+    spans = document.get("recent_spans")
+    if spans is not None:
+        lines.append(f"recent root spans: {len(spans)}")
+    return "\n".join(lines)
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="obsreport", description=__doc__.splitlines()[0]
     )
-    parser.add_argument("log", help="NDJSON span log to report on")
+    parser.add_argument(
+        "log",
+        nargs="?",
+        help="NDJSON span log to report on (omit when using --url)",
+    )
     parser.add_argument(
         "--top",
         type=int,
         default=15,
         help="rows in the top-spans-by-self-time table (default 15)",
     )
+    parser.add_argument(
+        "--url",
+        help="base URL of a running serve tier to pull state from "
+        "instead of reading a span log",
+    )
+    parser.add_argument(
+        "--path",
+        default="/observability",
+        help="endpoint to fetch in --url mode "
+        "(default /observability; e.g. "
+        "/v1/{tenant}/sessions/{name}/observability)",
+    )
+    parser.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="in --url mode, fetch /metrics and print the raw "
+        "Prometheus text instead of the JSON snapshot",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        help="HTTP timeout in seconds for --url mode (default 10)",
+    )
     args = parser.parse_args(argv)
+
+    if args.url:
+        if args.log is not None:
+            parser.error("pass either a span log or --url, not both")
+        path = "/metrics" if args.prometheus else args.path
+        print(_render_url_report(args.url, path, args.timeout))
+        return 0
+
+    if args.log is None:
+        parser.error("a span log path is required without --url")
 
     from repro.obs.report import load_ndjson, render_report
 
