@@ -1,0 +1,134 @@
+"""Throughput of the pipe-composable CLI: records/sec through a real
+3-stage pipeline.
+
+Runs ``repro build | repro mutate | repro query --kind couples`` as
+actual subprocess pipes (the same transport users script) at the paper
+doubling tier (402 services) and the 1000-service tier, counts the
+NDJSON records the pipeline delivers, and writes a ``cli_pipeline``
+tier into ``BENCH_scaling.json``.
+
+The measured figure is end-to-end: catalog build, profile encoding,
+the downstream stages' event-sourced rebuild + mutation replay, the
+watermark-paged couple stream, and the pipe transport itself.
+``BENCH_QUICK=1`` (``make bench-quick``) keeps only the 402 tier.
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.api.service import AnalysisService
+from repro.catalog.builder import CatalogBuilder
+from repro.catalog.spec import CatalogSpec
+from repro.dynamic import MutationStream
+from repro.utils.serialization import mutation_to_dict
+from repro.utils.tables import format_table
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_scaling.json"
+
+QUICK = bool(os.environ.get("BENCH_QUICK"))
+
+#: (services, max couple records drawn through the pipe).
+TIERS = ((402, 20_000),) + (() if QUICK else ((1000, 20_000),))
+
+MUTATIONS_PER_TIER = 2
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return env
+
+
+def _mutation_script(tmp_path, services):
+    """A small feasible churn script for the tier's seed ecosystem."""
+    service = AnalysisService(
+        CatalogBuilder(
+            CatalogSpec(total_services=services), seed=2021
+        ).build_ecosystem()
+    )
+    stream = MutationStream(7)
+    documents = []
+    while len(documents) < MUTATIONS_PER_TIER:
+        mutation = stream.next_mutation(service.ecosystem)
+        service.apply(mutation)
+        documents.append(mutation_to_dict(mutation))
+    path = tmp_path / f"churn_{services}.ndjson"
+    path.write_text(
+        "".join(json.dumps(doc) + "\n" for doc in documents),
+        encoding="utf-8",
+    )
+    return path
+
+
+def _run_tier(tmp_path, services, max_records):
+    script = _mutation_script(tmp_path, services)
+    python = sys.executable
+    command = (
+        f"{python} -m repro build --services {services}"
+        f" | {python} -m repro mutate --script {script}"
+        f" | {python} -m repro query --kind couples"
+        f" --page-size 512 --max-records {max_records}"
+    )
+    start = time.perf_counter()
+    result = subprocess.run(
+        ["bash", "-o", "pipefail", "-c", command],
+        capture_output=True,
+        text=True,
+        env=_env(),
+        cwd=str(REPO_ROOT),
+        timeout=1200,
+    )
+    elapsed = time.perf_counter() - start
+    assert result.returncode == 0, result.stderr
+    records = result.stdout.count("\n")
+    return {
+        "services": services,
+        "records": records,
+        "seconds": round(elapsed, 3),
+        "records_per_sec": round(records / elapsed, 1),
+    }
+
+
+@pytest.mark.benchmark
+def test_cli_pipeline_throughput(tmp_path, capsys):
+    tiers = [
+        _run_tier(tmp_path, services, max_records)
+        for services, max_records in TIERS
+    ]
+    payload = {"stages": 3, "query": "couples", "tiers": tiers}
+
+    merged = {}
+    if JSON_PATH.exists():
+        try:
+            merged = json.loads(JSON_PATH.read_text())
+        except ValueError:
+            merged = {}
+    merged["cli_pipeline"] = payload
+    JSON_PATH.write_text(json.dumps(merged, indent=2) + "\n")
+
+    with capsys.disabled():
+        table = format_table(
+            ("services", "records", "seconds", "records/sec"),
+            [
+                (
+                    tier["services"],
+                    tier["records"],
+                    f"{tier['seconds']:.3f}",
+                    f"{tier['records_per_sec']:.1f}",
+                )
+                for tier in tiers
+            ],
+            title="\ncli_pipeline: build | mutate | query --kind couples",
+        )
+        sys.stderr.write(table + "\n")
+
+    for tier in tiers:
+        assert tier["records"] > 0
+        assert tier["records_per_sec"] > 0

@@ -1,0 +1,8 @@
+"""``python -m repro`` -- the pipe-composable CLI (see docs/cli.md)."""
+
+import sys
+
+from repro.cli.main import main
+
+if __name__ == "__main__":
+    sys.exit(main())

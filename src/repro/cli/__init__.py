@@ -1,0 +1,13 @@
+"""The pipe-composable ``repro`` command-line interface.
+
+``python -m repro`` dispatches into :func:`repro.cli.main.main`; the
+package layers are :mod:`~repro.cli.records` (NDJSON codec + exit-code
+contract), :mod:`~repro.cli.session_io` (event-sourced stream <->
+engine state), :mod:`~repro.cli.stream_query` (queries as record
+streams), and :mod:`~repro.cli.remote` (the ``--url`` proxy).  See
+``docs/cli.md`` for the user-facing reference.
+"""
+
+from repro.cli.main import main
+
+__all__ = ["main"]

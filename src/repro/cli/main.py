@@ -1,0 +1,608 @@
+"""``python -m repro``: the pipe-composable command-line surface.
+
+Subcommands are small filters composing over stdin/stdout NDJSON::
+
+    repro build | repro mutate --script churn.ndjson \\
+                | repro query --kind couples | repro table
+
+``build`` is a source (catalog -> profile records), ``mutate`` is a
+filter (forwards the stream, appends to the mutation log), ``query``
+turns the stream into result records, and ``table``/``summarize`` are
+human-facing sinks.  Every stage with ``--url`` proxies the same
+commands against a running ``repro.serve`` HTTP tier instead of
+rebuilding locally; the remote target rides the ``meta`` record, so
+only the first stage of a pipeline needs the flag.
+
+The module holds argument parsing and the process-level contracts
+(SIGPIPE, exit codes); stream semantics live in
+:mod:`repro.cli.session_io` and :mod:`repro.cli.stream_query`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.catalog import CatalogBuilder, CatalogSpec
+from repro.cli.records import (
+    EXIT_INTERNAL,
+    EXIT_OK,
+    RecordError,
+    RecordWriter,
+    iter_records,
+)
+from repro.cli.remote import RemoteSession
+from repro.cli.session_io import (
+    build_service,
+    load_stream,
+    meta_record,
+    mutation_record,
+    profile_records,
+    receipt_record,
+)
+from repro.cli.stream_query import QUERY_KINDS, QuerySpec, records_for
+from repro.utils.tables import format_table
+
+__all__ = ["main"]
+
+_PROG = "repro"
+
+
+# ----------------------------------------------------------------------
+# Argument parsing
+# ----------------------------------------------------------------------
+
+
+def _add_remote_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--url",
+        default=None,
+        help="proxy against a running repro.serve tier at this base URL "
+        "instead of computing locally",
+    )
+    parser.add_argument(
+        "--tenant",
+        default="cli",
+        help="tenant name on the serving tier (default: cli)",
+    )
+    parser.add_argument(
+        "--session",
+        default="pipeline",
+        help="session name on the serving tier (default: pipeline)",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=_PROG,
+        description="Pipe-composable analysis CLI over NDJSON record "
+        "streams (see docs/cli.md).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    build = commands.add_parser(
+        "build",
+        help="generate the seeded catalog ecosystem as profile records",
+    )
+    build.add_argument(
+        "--services",
+        type=int,
+        default=201,
+        help="catalog size incl. the seed services (default: 201)",
+    )
+    build.add_argument(
+        "--seed", type=int, default=2021, help="catalog seed (default: 2021)"
+    )
+    _add_remote_options(build)
+    build.set_defaults(handler=_cmd_build)
+
+    mutate = commands.add_parser(
+        "mutate",
+        help="forward the stream and append typed mutation events",
+    )
+    mutate.add_argument(
+        "--script",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="NDJSON file of mutation events (bare wire documents or "
+        "wrapped mutation records); repeatable, applied in order",
+    )
+    mutate.add_argument(
+        "--event",
+        action="append",
+        default=[],
+        metavar="JSON",
+        help="one inline mutation document; repeatable, applied after "
+        "--script files",
+    )
+    _add_remote_options(mutate)
+    mutate.set_defaults(handler=_cmd_mutate)
+
+    query = commands.add_parser(
+        "query", help="run analysis queries, streaming result records"
+    )
+    query.add_argument(
+        "--kind",
+        action="append",
+        default=[],
+        choices=list(QUERY_KINDS),
+        help="query kind; repeatable, answered in order "
+        "(default: levels)",
+    )
+    query.add_argument(
+        "--page-size",
+        type=int,
+        default=256,
+        help="records fetched per page for paged kinds (default: 256)",
+    )
+    query.add_argument(
+        "--max-records",
+        type=int,
+        default=None,
+        help="stop a paged stream after this many records and emit the "
+        "resume cursor",
+    )
+    query.add_argument(
+        "--cursor",
+        default="0",
+        help="resume a paged stream: a watermark token from a previous "
+        "cursor record, or an integer offset (default: 0)",
+    )
+    query.add_argument(
+        "--max-size",
+        type=int,
+        default=3,
+        help="maximum couple size enumerated (default: 3)",
+    )
+    query.add_argument(
+        "--compromised",
+        action="append",
+        default=[],
+        metavar="SERVICE",
+        help="closure: an initially compromised service; repeatable",
+    )
+    query.add_argument(
+        "--extra-info",
+        action="append",
+        default=[],
+        metavar="KIND",
+        help="closure: personal-info kind the attacker already holds; "
+        "repeatable",
+    )
+    query.add_argument(
+        "--email-provider",
+        default=None,
+        help="closure: email provider whose inbox the attacker controls",
+    )
+    _add_remote_options(query)
+    query.set_defaults(handler=_cmd_query)
+
+    table = commands.add_parser(
+        "table", help="render a record stream as aligned text tables"
+    )
+    table.set_defaults(handler=_cmd_table)
+
+    summarize = commands.add_parser(
+        "summarize", help="reduce a record stream to per-kind counts"
+    )
+    summarize.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit one summary record instead of text",
+    )
+    summarize.set_defaults(handler=_cmd_summarize)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Sources and filters
+# ----------------------------------------------------------------------
+
+
+def _remote_from_args(args: argparse.Namespace) -> Optional[RemoteSession]:
+    if args.url is None:
+        return None
+    return RemoteSession(args.url, args.tenant, args.session)
+
+
+def _cmd_build(args: argparse.Namespace, writer: RecordWriter) -> int:
+    if args.services < 1:
+        raise RecordError("bad-query", "--services must be >= 1")
+    remote = _remote_from_args(args)
+    if remote is not None:
+        # State lives server-side: create the session there and emit a
+        # meta record naming the target for downstream stages to proxy.
+        document = remote.create(args.services, args.seed)
+        writer.record(
+            meta_record(
+                services=args.services,
+                seed=args.seed,
+                version=int(document.get("version", 0)),
+                remote=remote.describe(),
+            )
+        )
+        return EXIT_OK
+    ecosystem = CatalogBuilder(
+        CatalogSpec(total_services=args.services), seed=args.seed
+    ).build_ecosystem()
+    writer.record(
+        meta_record(services=args.services, seed=args.seed, version=0)
+    )
+    for record in profile_records(ecosystem):
+        writer.record(record)
+    return EXIT_OK
+
+
+def _mutation_documents(args: argparse.Namespace) -> List[Dict[str, Any]]:
+    """The new mutation documents this stage appends, in apply order.
+
+    Script files are NDJSON of either bare wire mutation documents or
+    wrapped ``mutation`` records -- both spellings decode to the same
+    event, so a recorded pipeline segment replays as a script.
+    """
+    documents: List[Dict[str, Any]] = []
+    for path in args.script:
+        try:
+            text = open(path, "r", encoding="utf-8").read()
+        except OSError as exc:
+            raise RecordError("bad-script", f"cannot read {path}: {exc}")
+        for number, line in enumerate(text.splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                value = json.loads(line)
+            except ValueError as exc:
+                raise RecordError(
+                    "not-json",
+                    f"{path}:{number}: not valid JSON: {exc}",
+                    line=number,
+                )
+            if not isinstance(value, dict):
+                raise RecordError(
+                    "bad-mutation",
+                    f"{path}:{number}: mutation must be an object",
+                    line=number,
+                )
+            if value.get("kind") == "mutation" and isinstance(
+                value.get("data"), dict
+            ):
+                value = value["data"]
+            documents.append(value)
+    for text in args.event:
+        try:
+            value = json.loads(text)
+        except ValueError as exc:
+            raise RecordError(
+                "not-json", f"--event is not valid JSON: {exc}"
+            )
+        if not isinstance(value, dict):
+            raise RecordError("bad-mutation", "--event must be an object")
+        documents.append(value)
+    return documents
+
+
+def _cmd_mutate(args: argparse.Namespace, writer: RecordWriter) -> int:
+    documents = _mutation_documents(args)
+    remote = _remote_from_args(args)
+    if remote is None:
+        # No explicit --url: the stream decides.  Forward it as read so
+        # downstream stages see the base state before the appended log.
+        state = load_stream(sys.stdin, forward=writer)
+        if state.remote is not None:
+            remote = RemoteSession.from_meta(state.remote)
+    else:
+        writer.record(meta_record(remote=remote.describe()))
+    if remote is not None:
+        for document in documents:
+            receipt = remote.apply(document)
+            writer.record(mutation_record(document))
+            writer.record(
+                {
+                    "kind": "receipt",
+                    "data": {
+                        "version": receipt.get("version"),
+                        "outcome": receipt.get("outcome"),
+                        "mutation": document,
+                        "delta": receipt.get("delta"),
+                    },
+                }
+            )
+        return EXIT_OK
+    service = build_service(state)
+    for document in documents:
+        receipt = _apply_locally(service, document)
+        writer.record(mutation_record(document))
+        writer.record(receipt_record(document, receipt))
+    return EXIT_OK
+
+
+def _apply_locally(service, document):
+    from repro.cli.session_io import apply_mutation
+
+    return apply_mutation(service, document)
+
+
+# ----------------------------------------------------------------------
+# Query
+# ----------------------------------------------------------------------
+
+
+def _parse_cursor(text: str) -> Any:
+    """``--cursor`` accepts an integer offset or a watermark token."""
+    try:
+        return int(text)
+    except ValueError:
+        return text
+
+
+def _query_specs(args: argparse.Namespace) -> List[QuerySpec]:
+    kinds = args.kind if args.kind else ["levels"]
+    return [
+        QuerySpec(
+            kind=kind,
+            page_size=args.page_size,
+            max_records=args.max_records,
+            cursor=_parse_cursor(args.cursor),
+            max_size=args.max_size,
+            compromised=tuple(args.compromised),
+            extra_info=tuple(args.extra_info),
+            email_provider=args.email_provider,
+        )
+        for kind in kinds
+    ]
+
+
+def _cmd_query(args: argparse.Namespace, writer: RecordWriter) -> int:
+    specs = _query_specs(args)
+    remote = _remote_from_args(args)
+    if remote is None:
+        state = load_stream(sys.stdin)
+        if state.remote is not None:
+            remote = RemoteSession.from_meta(state.remote)
+    executor = remote if remote is not None else build_service(state)
+    for spec in specs:
+        try:
+            for record in records_for(executor, spec):
+                writer.record(record)
+        except RecordError:
+            raise
+        except (KeyError, ValueError) as exc:
+            raise RecordError(
+                "bad-query", f"query {spec.kind!r} failed: {exc}"
+            )
+    return EXIT_OK
+
+
+# ----------------------------------------------------------------------
+# Sinks
+# ----------------------------------------------------------------------
+
+
+def _auth_path_label(path: Dict[str, Any]) -> str:
+    # Wire auth paths carry factors as value strings (auth_path_to_dict).
+    names = [str(factor) for factor in path.get("factors", [])]
+    return f"{path.get('platform', '?')}:{'+'.join(names) or '-'}"
+
+
+def _render_levels(writer: RecordWriter, data: Dict[str, Any]) -> None:
+    rows = []
+    for platform, fractions in data.get("fractions", {}).items():
+        for level, fraction in fractions.items():
+            rows.append((platform, level, f"{100.0 * fraction:.2f}%"))
+    writer.text(
+        format_table(
+            ("platform", "level", "fraction"),
+            rows,
+            title=f"dependency levels (attacker={data.get('attacker')}, "
+            f"version={data.get('version')})",
+        )
+    )
+
+
+def _render_closure(writer: RecordWriter, data: Dict[str, Any]) -> None:
+    rows = [
+        (number, len(names), ", ".join(names[:6]) + (" ..." if len(names) > 6 else ""))
+        for number, names in sorted(
+            data.get("rounds", {}).items(), key=lambda item: int(item[0])
+        )
+    ]
+    writer.text(
+        format_table(
+            ("round", "fell", "services"),
+            rows,
+            title=f"forward closure: {len(data.get('compromised', []))} "
+            f"compromised, {len(data.get('safe', []))} safe "
+            f"(version={data.get('version')})",
+        )
+    )
+
+
+def _render_measurement(writer: RecordWriter, data: Dict[str, Any]) -> None:
+    from repro.analysis.measurement import MeasurementResults
+
+    results = MeasurementResults.from_dict(data)
+    for line in results.summary_lines():
+        writer.text(line)
+
+
+def _cmd_table(args: argparse.Namespace, writer: RecordWriter) -> int:
+    couples: List[tuple] = []
+    weak_edges: List[tuple] = []
+    extra_counts: Dict[str, int] = {}
+    cursors: List[Dict[str, Any]] = []
+    for _line, record in iter_records(sys.stdin):
+        kind = record["kind"]
+        data = record["data"]
+        if kind == "error":
+            payload = data if isinstance(data, dict) else {}
+            raise RecordError(
+                str(payload.get("code", "upstream-error")),
+                str(payload.get("message", "upstream stage failed")),
+                exit_code=int(payload.get("exit", 65)),
+            )
+        if kind == "couple":
+            couples.append(
+                (
+                    " + ".join(data.get("providers", [])),
+                    data.get("target", "?"),
+                    _auth_path_label(data.get("path", {})),
+                )
+            )
+        elif kind == "weak_edge":
+            weak_edges.append(
+                (data.get("provider", "?"), data.get("target", "?"))
+            )
+        elif kind == "cursor":
+            cursors.append(data)
+        elif kind == "level_report":
+            _render_levels(writer, data)
+        elif kind == "closure":
+            _render_closure(writer, data)
+        elif kind == "measurement":
+            _render_measurement(writer, data)
+        else:
+            extra_counts[kind] = extra_counts.get(kind, 0) + 1
+    if couples:
+        writer.text(
+            format_table(
+                ("providers", "target", "path"),
+                couples,
+                title=f"couple file ({len(couples)} records)",
+            )
+        )
+    if weak_edges:
+        writer.text(
+            format_table(
+                ("provider", "target"),
+                weak_edges,
+                title=f"weak edges ({len(weak_edges)} edges)",
+            )
+        )
+    for data in cursors:
+        token = data.get("next")
+        writer.text(
+            f"[{data.get('stream')}] "
+            + (
+                f"resume with --cursor '{token}'"
+                if token
+                else "stream exhausted"
+            )
+        )
+    if extra_counts:
+        writer.text(
+            "other records: "
+            + ", ".join(
+                f"{kind}={count}"
+                for kind, count in sorted(extra_counts.items())
+            )
+        )
+    return EXIT_OK
+
+
+def _cmd_summarize(args: argparse.Namespace, writer: RecordWriter) -> int:
+    counts: Dict[str, int] = {}
+    meta: Optional[Dict[str, Any]] = None
+    version: Optional[int] = None
+    error: Optional[RecordError] = None
+    for _line, record in iter_records(sys.stdin):
+        kind = record["kind"]
+        data = record["data"]
+        counts[kind] = counts.get(kind, 0) + 1
+        if kind == "meta" and isinstance(data, dict) and meta is None:
+            meta = data
+        if isinstance(data, dict) and isinstance(data.get("version"), int):
+            version = data["version"]
+        if kind == "error":
+            payload = data if isinstance(data, dict) else {}
+            error = RecordError(
+                str(payload.get("code", "upstream-error")),
+                str(payload.get("message", "upstream stage failed")),
+                exit_code=int(payload.get("exit", 65)),
+            )
+    summary = {
+        "records": sum(counts.values()),
+        "by_kind": dict(sorted(counts.items())),
+        "services": meta.get("services") if meta else None,
+        "seed": meta.get("seed") if meta else None,
+        "version": version,
+    }
+    if args.as_json:
+        writer.record({"kind": "summary", "data": summary})
+    else:
+        writer.text(
+            format_table(
+                ("kind", "count"),
+                sorted(counts.items()),
+                title=f"{summary['records']} records "
+                f"(services={summary['services']}, "
+                f"seed={summary['seed']}, version={summary['version']})",
+            )
+        )
+    if error is not None:
+        raise error
+    return EXIT_OK
+
+
+# ----------------------------------------------------------------------
+# Process contract
+# ----------------------------------------------------------------------
+
+
+def _silence_stdout() -> None:
+    """Point fd 1 at /dev/null so interpreter teardown cannot trip a
+    second BrokenPipeError flushing the dead pipe."""
+    try:
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+    except OSError:
+        pass
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run one ``repro`` subcommand; returns the process exit status.
+
+    This is the single place the exit-code and SIGPIPE contracts are
+    enforced: a downstream consumer closing the pipe (``... | head``)
+    exits 0, a :class:`RecordError` becomes an ``error`` record plus its
+    carried status, and anything unexpected is an ``error`` record with
+    :data:`EXIT_INTERNAL` (set ``REPRO_CLI_DEBUG=1`` to re-raise).
+    """
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    writer = RecordWriter()
+    try:
+        return args.handler(args, writer)
+    except BrokenPipeError:
+        _silence_stdout()
+        return EXIT_OK
+    except RecordError as failure:
+        try:
+            return writer.fail(failure)
+        except BrokenPipeError:
+            _silence_stdout()
+            return EXIT_OK
+    except KeyboardInterrupt:
+        return 130
+    except Exception as exc:  # noqa: BLE001 - the CLI's last-resort boundary
+        if os.environ.get("REPRO_CLI_DEBUG"):
+            raise
+        sys.stderr.write(f"{_PROG}: internal error: {exc}\n")
+        try:
+            writer.record(
+                RecordError(
+                    "internal", str(exc), exit_code=EXIT_INTERNAL
+                ).record()
+            )
+        except BrokenPipeError:
+            _silence_stdout()
+        return EXIT_INTERNAL
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,269 @@
+"""The NDJSON record layer every ``repro`` subcommand speaks.
+
+A pipeline stage reads records from stdin and writes records to stdout,
+one JSON object per line, so stages compose with ordinary Unix pipes and
+the OS provides the backpressure.  Every record is a two-field document::
+
+    {"kind": "<record kind>", "data": <payload>}
+
+encoded **canonically** -- sorted keys, no whitespace, one trailing
+newline -- so equal records are equal bytes and the differential suite
+(`tests/test_cli_pipeline.py`) can assert a piped pipeline against the
+in-process :class:`~repro.api.service.AnalysisService` bit-for-bit.
+
+Record kinds
+------------
+
+Stream-state records (the event-sourced ecosystem log):
+
+- ``meta`` -- stream header: format string, catalog seed, service count,
+  session version, and the optional ``remote`` target a downstream stage
+  should proxy to;
+- ``profile`` -- one base service profile
+  (:func:`repro.utils.serialization.service_profile_to_dict`);
+- ``mutation`` -- one typed mutation event
+  (:func:`repro.utils.serialization.mutation_to_dict`); consumers replay
+  the ordered mutation log through a
+  :class:`~repro.dynamic.session.DynamicAnalysisSession`, so version
+  counting and incremental engine state match a live session exactly;
+- ``receipt`` -- the outcome of one applied mutation.
+
+Query-result records reuse the :mod:`repro.api.wire` result kinds
+verbatim (``level_report``, ``closure``, ``measurement``, ...), plus the
+flattened per-item stream kinds ``couple`` and ``weak_edge`` and the
+``cursor`` record carrying the watermark token a truncated stream
+resumes from.
+
+Failure records:
+
+- ``error`` -- a typed error: ``{"code", "message", "line", "exit"}``.
+  A stage that *produces* one exits with the carried exit status; a
+  stage that *reads* one forwards it verbatim and exits with the same
+  status, so a failure propagates down a pipeline instead of vanishing.
+
+Exit-code contract
+------------------
+
+========  ====================================================
+``0``     success -- including a downstream consumer closing the
+          pipe early (``... | head`` must never trip an upstream
+          traceback; see :data:`EXIT_OK`)
+``1``     unexpected internal error (:data:`EXIT_INTERNAL`)
+``2``     command-line usage error (argparse's own convention)
+``65``    malformed input data -- bad NDJSON, unknown record or
+          mutation kind, undecodable payload (:data:`EXIT_DATA`,
+          BSD ``EX_DATAERR``)
+``69``    a ``--url`` target is unreachable or failed server-side
+          (:data:`EXIT_UNAVAILABLE`, BSD ``EX_UNAVAILABLE``)
+========  ====================================================
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, Iterator, Optional, TextIO, Tuple
+
+__all__ = [
+    "EXIT_DATA",
+    "EXIT_INTERNAL",
+    "EXIT_OK",
+    "EXIT_UNAVAILABLE",
+    "EXIT_USAGE",
+    "RECORD_KINDS",
+    "RecordError",
+    "RecordWriter",
+    "STREAM_FORMAT",
+    "dump_record",
+    "error_record",
+    "iter_records",
+    "parse_record",
+]
+
+#: The one stream format this reader/writer pair speaks; a ``meta``
+#: record naming any other format is rejected, never guessed at.
+STREAM_FORMAT = "repro/cli-stream@1"
+
+EXIT_OK = 0
+EXIT_INTERNAL = 1
+EXIT_USAGE = 2
+#: BSD ``EX_DATAERR``: the input stream carried malformed records.
+EXIT_DATA = 65
+#: BSD ``EX_UNAVAILABLE``: a ``--url`` server was unreachable/failed.
+EXIT_UNAVAILABLE = 69
+
+#: Result kinds shared verbatim with :mod:`repro.api.wire`.
+WIRE_RESULT_KINDS = frozenset(
+    {
+        "level_report",
+        "dependency_levels",
+        "closure",
+        "measurement",
+        "edge_summary",
+        "couple_page",
+        "edge_page",
+        "defense_eval",
+    }
+)
+
+#: Every record kind a conforming stream may carry.
+RECORD_KINDS = (
+    frozenset(
+        {
+            "meta",
+            "profile",
+            "mutation",
+            "receipt",
+            "couple",
+            "weak_edge",
+            "cursor",
+            "summary",
+            "error",
+        }
+    )
+    | WIRE_RESULT_KINDS
+)
+
+
+class RecordError(Exception):
+    """A typed stream failure: what went wrong, where, and the exit code.
+
+    Commands convert this into an ``error`` record on stdout plus a
+    nonzero exit per the module's exit-code contract.  ``line`` is the
+    1-indexed input line the failure was detected on (``None`` when the
+    failure is not tied to one line, e.g. a server error).
+    """
+
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        line: Optional[int] = None,
+        exit_code: int = EXIT_DATA,
+    ) -> None:
+        super().__init__(message)
+        self.code = code
+        self.line = line
+        self.exit_code = exit_code
+
+    def record(self) -> Dict[str, Any]:
+        """This failure as its ``error`` record."""
+        return error_record(
+            self.code, str(self), line=self.line, exit_code=self.exit_code
+        )
+
+
+def error_record(
+    code: str,
+    message: str,
+    line: Optional[int] = None,
+    exit_code: int = EXIT_DATA,
+) -> Dict[str, Any]:
+    """One typed ``error`` record."""
+    return {
+        "kind": "error",
+        "data": {
+            "code": code,
+            "message": message,
+            "line": line,
+            "exit": exit_code,
+        },
+    }
+
+
+def dump_record(record: Dict[str, Any]) -> str:
+    """One record as its canonical NDJSON line (trailing newline).
+
+    Sorted keys and compact separators make encoding a pure function of
+    the record's value: equal records are equal bytes, which is what the
+    golden fixtures and the differential pipeline suite pin.
+    """
+    return (
+        json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+    )
+
+
+def parse_record(line: str, line_number: Optional[int] = None) -> Dict[str, Any]:
+    """Parse and validate one NDJSON line into a record.
+
+    Raises :class:`RecordError` -- never a raw ``json`` exception -- with
+    one of the documented codes: ``not-json`` (including truncated or
+    interleaved fragments), ``not-object``, ``missing-kind``,
+    ``unknown-kind``, ``missing-data``.
+    """
+    try:
+        value = json.loads(line)
+    except ValueError as exc:
+        raise RecordError(
+            "not-json",
+            f"input line is not valid JSON: {exc}",
+            line=line_number,
+        )
+    if not isinstance(value, dict):
+        raise RecordError(
+            "not-object",
+            f"record must be a JSON object, got {type(value).__name__}",
+            line=line_number,
+        )
+    kind = value.get("kind")
+    if kind is None:
+        raise RecordError(
+            "missing-kind", "record carries no 'kind' tag", line=line_number
+        )
+    if not isinstance(kind, str) or kind not in RECORD_KINDS:
+        raise RecordError(
+            "unknown-kind",
+            f"unknown record kind {kind!r} "
+            f"(expected one of {sorted(RECORD_KINDS)})",
+            line=line_number,
+        )
+    if "data" not in value:
+        raise RecordError(
+            "missing-data",
+            f"{kind!r} record carries no 'data' payload",
+            line=line_number,
+        )
+    return value
+
+
+def iter_records(
+    stream: TextIO,
+) -> Iterator[Tuple[int, Dict[str, Any]]]:
+    """Yield ``(line_number, record)`` per non-empty input line.
+
+    Validation failures raise :class:`RecordError` at the offending
+    line; records already consumed were yielded, so a streaming consumer
+    has processed the valid prefix when the failure surfaces.
+    """
+    for number, line in enumerate(stream, start=1):
+        if not line.strip():
+            continue
+        yield number, parse_record(line, number)
+
+
+class RecordWriter:
+    """The one sanctioned stdout writer for ``repro`` commands.
+
+    Record-producing stages call :meth:`record`; human-readable sinks
+    (``repro table`` / ``repro summarize``) call :meth:`text`.  Every
+    write flushes, so a downstream consumer sees records as they are
+    produced and a closed pipe surfaces as ``BrokenPipeError`` at the
+    next record boundary -- which the command runner maps to a clean
+    exit 0 (the SIGPIPE contract).
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self._stream = stream if stream is not None else sys.stdout
+
+    def record(self, record: Dict[str, Any]) -> None:
+        self._stream.write(dump_record(record))
+        self._stream.flush()
+
+    def text(self, line: str = "") -> None:
+        self._stream.write(line + "\n")
+        self._stream.flush()
+
+    def fail(self, failure: RecordError) -> int:
+        """Emit the failure's error record; returns its exit code."""
+        self.record(failure.record())
+        return failure.exit_code

@@ -1,0 +1,181 @@
+"""The ``--url`` proxy: drive a running ``repro.serve`` HTTP tier.
+
+A :class:`RemoteSession` exposes the same ``execute(query)`` surface the
+local :class:`~repro.api.service.AnalysisService` does -- queries encode
+through :func:`repro.api.wire.query_to_dict`, travel as the serving
+tier's request bodies, and decode back through ``result_from_dict`` into
+the same typed result objects.  :mod:`repro.cli.stream_query` therefore
+emits **byte-identical records** for a local pipeline and a remote one
+over the same session state: one record schema, two transports.
+
+Failures map onto the CLI exit-code contract: an unreachable server or a
+5xx is ``unavailable`` (exit 69), a 4xx is the server telling us the
+request was bad (``server-rejected``, exit 65), and a 429 surfaces its
+``Retry-After`` in the error message.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional
+
+from repro.api.wire import query_from_dict, query_to_dict, result_from_dict
+from repro.cli.records import EXIT_DATA, EXIT_UNAVAILABLE, RecordError
+
+__all__ = ["RemoteSession"]
+
+#: Guard against a misbehaving server streaming forever into a CLI stage.
+_MAX_RESPONSE_BYTES = 256 * 1024 * 1024
+
+
+class RemoteSession:
+    """One (url, tenant, session) target on a ``repro.serve`` tier."""
+
+    def __init__(
+        self, url: str, tenant: str, session: str, timeout: float = 60.0
+    ) -> None:
+        self.url = url.rstrip("/")
+        self.tenant = tenant
+        self.session = session
+        self.timeout = timeout
+
+    @classmethod
+    def from_meta(cls, remote: Dict[str, Any]) -> "RemoteSession":
+        """Rebuild the target an upstream stage recorded in its meta."""
+        try:
+            return cls(
+                url=remote["url"],
+                tenant=remote["tenant"],
+                session=remote["session"],
+            )
+        except KeyError as exc:
+            raise RecordError(
+                "bad-record",
+                f"meta 'remote' entry is missing {exc}; expected "
+                "{'url', 'tenant', 'session'}",
+            )
+
+    def describe(self) -> Dict[str, Any]:
+        """The meta-record form downstream stages proxy from."""
+        return {
+            "url": self.url,
+            "tenant": self.tenant,
+            "session": self.session,
+        }
+
+    # -- transport --------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        payload = (
+            json.dumps(body).encode("utf-8") if body is not None else None
+        )
+        request = urllib.request.Request(
+            self.url + path,
+            data=payload,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                raw = response.read(_MAX_RESPONSE_BYTES)
+        except urllib.error.HTTPError as exc:
+            detail = ""
+            try:
+                detail = json.loads(exc.read()).get("error", "")
+            except (ValueError, AttributeError, OSError):
+                detail = ""
+            retry_after = exc.headers.get("Retry-After")
+            if retry_after:
+                detail = f"{detail} (Retry-After: {retry_after}s)".strip()
+            message = (
+                f"{method} {path} failed with HTTP {exc.code}"
+                + (f": {detail}" if detail else "")
+            )
+            if 400 <= exc.code < 500:
+                raise RecordError(
+                    "server-rejected", message, exit_code=EXIT_DATA
+                )
+            raise RecordError(
+                "server-error", message, exit_code=EXIT_UNAVAILABLE
+            )
+        except (urllib.error.URLError, OSError, TimeoutError) as exc:
+            raise RecordError(
+                "unreachable",
+                f"cannot reach {self.url}: {exc}",
+                exit_code=EXIT_UNAVAILABLE,
+            )
+        try:
+            document = json.loads(raw)
+        except ValueError as exc:
+            raise RecordError(
+                "server-error",
+                f"{method} {path} returned non-JSON: {exc}",
+                exit_code=EXIT_UNAVAILABLE,
+            )
+        if not isinstance(document, dict):
+            raise RecordError(
+                "server-error",
+                f"{method} {path} returned a non-object document",
+                exit_code=EXIT_UNAVAILABLE,
+            )
+        return document
+
+    def _session_path(self, suffix: str = "") -> str:
+        return f"/v1/{self.tenant}/sessions/{self.session}{suffix}"
+
+    # -- the serving surface ----------------------------------------------
+
+    def create(self, services: int, seed: int) -> Dict[str, Any]:
+        """Cold-build this session server-side; returns the creation doc."""
+        return self._request(
+            "POST",
+            f"/v1/{self.tenant}/sessions",
+            {"name": self.session, "services": services, "seed": seed},
+        )
+
+    def info(self) -> Dict[str, Any]:
+        return self._request("GET", self._session_path())
+
+    def execute(self, query) -> Any:
+        """Run one typed query remotely; returns the typed result.
+
+        The round-trip is the wire codec both ways -- the same documents
+        the HTTP tier serves its other clients -- so the decoded result
+        feeds :func:`repro.cli.stream_query.records_for` exactly like a
+        local execution does.
+        """
+        document = self._request(
+            "POST", self._session_path("/query"), query_to_dict(query)
+        )
+        try:
+            return result_from_dict(document)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RecordError(
+                "server-error",
+                f"undecodable result document: {exc}",
+                exit_code=EXIT_UNAVAILABLE,
+            )
+
+    def apply(self, mutation_document: Dict[str, Any]) -> Dict[str, Any]:
+        """Apply one wire mutation document; returns the server receipt."""
+        # Validate locally first so an undecodable document is a typed
+        # data error before any network traffic.
+        from repro.cli.session_io import decode_mutation
+
+        decode_mutation(mutation_document)
+        return self._request(
+            "POST", self._session_path("/mutations"), mutation_document
+        )
+
+
+# query_from_dict is re-exported for the proxy tests' convenience.
+_ = query_from_dict

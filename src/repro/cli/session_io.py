@@ -1,0 +1,268 @@
+"""Between the NDJSON stream and the analysis engines.
+
+A ``repro`` pipeline carries an **event-sourced** ecosystem: the base
+service profiles plus the ordered log of typed mutations applied so far.
+Every consuming stage reconstructs the live state the same way --
+:func:`build_service` builds the :class:`~repro.model.ecosystem.Ecosystem`
+from the profile records (insertion order preserved, so the graph
+layer's ordinal id-space and therefore every enumeration order matches
+the upstream stage exactly) and replays the mutation log through a
+:class:`~repro.dynamic.session.DynamicAnalysisSession`.  Replaying --
+rather than shipping post-mutation profiles -- keeps the session
+``version`` equal to a live in-process session that applied the same
+events, exercises the incremental engines on every consumer, and lets
+``repro mutate`` stages chain (each appends to the log).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Iterator, List, Optional, TextIO
+
+from repro.api.service import AnalysisService, MutationReceipt
+from repro.cli.records import (
+    STREAM_FORMAT,
+    RecordError,
+    RecordWriter,
+    iter_records,
+)
+from repro.dynamic.events import Mutation
+from repro.model.ecosystem import Ecosystem
+from repro.utils.serialization import (
+    mutation_from_dict,
+    service_profile_from_dict,
+    service_profile_to_dict,
+)
+
+__all__ = [
+    "MUTATION_KINDS",
+    "StreamState",
+    "build_service",
+    "decode_mutation",
+    "load_stream",
+    "meta_record",
+    "mutation_record",
+    "profile_records",
+    "receipt_record",
+]
+
+#: The wire mutation kinds of :func:`repro.utils.serialization.mutation_from_dict`.
+MUTATION_KINDS = frozenset(
+    {
+        "add_service",
+        "remove_service",
+        "add_auth_path",
+        "remove_auth_path",
+        "change_masking",
+        "apply_hardening",
+    }
+)
+
+
+@dataclasses.dataclass
+class StreamState:
+    """One fully-read input stream: header, base profiles, mutation log."""
+
+    meta: Optional[Dict[str, Any]] = None
+    profiles: List[Dict[str, Any]] = dataclasses.field(default_factory=list)
+    mutations: List[Dict[str, Any]] = dataclasses.field(default_factory=list)
+
+    @property
+    def remote(self) -> Optional[Dict[str, Any]]:
+        """The upstream stage's ``--url`` target, if it proxied one."""
+        if self.meta is None:
+            return None
+        remote = self.meta.get("remote")
+        return remote if isinstance(remote, dict) else None
+
+
+def meta_record(
+    services: Optional[int] = None,
+    seed: Optional[int] = None,
+    version: int = 0,
+    remote: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """The stream-header record every source stage emits first."""
+    return {
+        "kind": "meta",
+        "data": {
+            "format": STREAM_FORMAT,
+            "services": services,
+            "seed": seed,
+            "version": version,
+            "remote": remote,
+        },
+    }
+
+
+def profile_records(ecosystem: Ecosystem) -> Iterator[Dict[str, Any]]:
+    """One ``profile`` record per service, in catalog order."""
+    for profile in ecosystem:
+        yield {"kind": "profile", "data": service_profile_to_dict(profile)}
+
+
+def mutation_record(document: Dict[str, Any]) -> Dict[str, Any]:
+    return {"kind": "mutation", "data": document}
+
+
+def receipt_record(
+    document: Dict[str, Any], receipt: MutationReceipt
+) -> Dict[str, Any]:
+    """The outcome record of one locally-applied mutation."""
+    delta = receipt.delta
+    return {
+        "kind": "receipt",
+        "data": {
+            "version": receipt.version,
+            "outcome": "noop" if delta.is_noop else "applied",
+            "mutation": document,
+            "delta": delta.describe(),
+            "added": sorted(delta.added_names),
+            "removed": sorted(delta.removed_names),
+            "replaced": sorted(delta.replaced_names),
+        },
+    }
+
+
+def _check_meta(data: Any, line: int) -> Dict[str, Any]:
+    if not isinstance(data, dict):
+        raise RecordError(
+            "bad-record", "meta payload must be an object", line=line
+        )
+    fmt = data.get("format")
+    if fmt != STREAM_FORMAT:
+        raise RecordError(
+            "bad-record",
+            f"unsupported stream format {fmt!r} "
+            f"(this reader speaks {STREAM_FORMAT!r})",
+            line=line,
+        )
+    return data
+
+
+def load_stream(
+    stream: TextIO, forward: Optional[RecordWriter] = None
+) -> StreamState:
+    """Read one record stream into a :class:`StreamState`.
+
+    With ``forward`` given (the ``repro mutate`` path), stream-state
+    records -- meta, profiles, mutations, receipts -- are re-emitted
+    canonically in arrival order as they are read, so the stage streams
+    instead of buffering its whole output.
+
+    Ordering is enforced: profiles belong to the base state, so a
+    ``profile`` record arriving after the first ``mutation`` record is a
+    malformed stream.  An incoming ``error`` record is forwarded (when
+    forwarding) and re-raised so the failure propagates downstream with
+    its original exit code.
+    """
+    state = StreamState()
+    for line, record in iter_records(stream):
+        kind = record["kind"]
+        data = record["data"]
+        if kind == "error":
+            if forward is not None:
+                forward.record(record)
+            payload = data if isinstance(data, dict) else {}
+            raise RecordError(
+                str(payload.get("code", "upstream-error")),
+                str(payload.get("message", "upstream stage failed")),
+                line=line,
+                exit_code=int(payload.get("exit", 65)),
+            )
+        if kind == "meta":
+            state.meta = _check_meta(data, line)
+        elif kind == "profile":
+            if state.mutations:
+                raise RecordError(
+                    "bad-record",
+                    "profile record arrived after a mutation record; "
+                    "profiles are the base state and must precede the "
+                    "mutation log",
+                    line=line,
+                )
+            if not isinstance(data, dict):
+                raise RecordError(
+                    "bad-record",
+                    "profile payload must be an object",
+                    line=line,
+                )
+            state.profiles.append(data)
+        elif kind == "mutation":
+            if not isinstance(data, dict) or not isinstance(
+                data.get("kind"), str
+            ):
+                raise RecordError(
+                    "bad-mutation",
+                    "mutation payload must be an object with a 'kind'",
+                    line=line,
+                )
+            if data["kind"] not in MUTATION_KINDS:
+                raise RecordError(
+                    "bad-mutation",
+                    f"unknown mutation kind {data['kind']!r} "
+                    f"(expected one of {sorted(MUTATION_KINDS)})",
+                    line=line,
+                )
+            state.mutations.append(data)
+        elif kind == "receipt":
+            pass  # informational; replaying the log regenerates state
+        else:
+            raise RecordError(
+                "bad-record",
+                f"{kind!r} records do not belong in a profile stream",
+                line=line,
+            )
+        if forward is not None:
+            forward.record(record)
+    return state
+
+
+def decode_mutation(document: Dict[str, Any]) -> Mutation:
+    """One wire mutation document as a typed event; failures are
+    :class:`RecordError` (``bad-mutation``), never raw codec exceptions."""
+    try:
+        return mutation_from_dict(document)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise RecordError(
+            "bad-mutation", f"undecodable mutation document: {exc}"
+        )
+
+
+def build_service(state: StreamState) -> AnalysisService:
+    """Reconstruct the live analysis state one stream describes.
+
+    Base profiles -> :class:`~repro.model.ecosystem.Ecosystem` (insertion
+    order preserved) -> :class:`~repro.api.service.AnalysisService`, then
+    the mutation log replays through the incremental engines, so the
+    resulting session version and every enumeration order agree with a
+    live session that applied the same events.
+    """
+    profiles = []
+    for index, document in enumerate(state.profiles):
+        try:
+            profiles.append(service_profile_from_dict(document))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RecordError(
+                "bad-record",
+                f"undecodable profile record #{index + 1}: {exc}",
+            )
+    service = AnalysisService(Ecosystem(profiles))
+    for document in state.mutations:
+        apply_mutation(service, document)
+    return service
+
+
+def apply_mutation(
+    service: AnalysisService, document: Dict[str, Any]
+) -> MutationReceipt:
+    """Decode and apply one mutation document through the session."""
+    mutation = decode_mutation(document)
+    try:
+        return service.apply(mutation)
+    except (KeyError, ValueError) as exc:
+        raise RecordError(
+            "bad-mutation",
+            f"mutation {document.get('kind')!r} is infeasible against "
+            f"the current state: {exc}",
+        )

@@ -1,0 +1,164 @@
+"""Query execution as record streams: one CLI kind -> NDJSON records.
+
+:func:`records_for` is the single source of truth for what ``repro
+query`` emits -- the CLI command, the ``--url`` proxy path, the golden
+fixtures and the differential suite all flow through it, so "piped
+output equals the in-process service" reduces to both sides calling the
+same function over executors that agree.
+
+The executor only needs ``execute(query) -> result`` --
+:class:`~repro.api.service.AnalysisService` locally,
+:class:`~repro.cli.remote.RemoteSession` over HTTP -- which is exactly
+why local pipes and remote serving share one record schema.
+
+Paged kinds (``couples``, ``weak-edges``) stream through the session's
+segment engine with the existing watermark cursors: each fetch is capped
+so a ``--max-records`` bound always lands on a page boundary, the items
+flatten into one record each (bounded memory end to end), and the stream
+finishes with a ``cursor`` record whose ``next`` token resumes the
+enumeration -- in a later invocation, even across mutations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro.api.queries import (
+    ClosureQuery,
+    CoupleFileQuery,
+    LevelReportQuery,
+    MeasurementQuery,
+    WeakEdgeQuery,
+)
+from repro.api.wire import result_to_dict
+from repro.cli.records import RecordError
+from repro.model.factors import PersonalInfoKind
+from repro.utils.serialization import auth_path_to_dict
+
+__all__ = ["QUERY_KINDS", "QuerySpec", "records_for"]
+
+#: The ``--kind`` vocabulary, in documentation order.
+QUERY_KINDS = ("levels", "couples", "weak-edges", "closure", "measurement")
+
+
+@dataclasses.dataclass(frozen=True)
+class QuerySpec:
+    """One ``repro query --kind ...`` request, fully resolved.
+
+    ``cursor``/``max_records``/``page_size``/``max_size`` apply to the
+    paged kinds; ``compromised``/``extra_info``/``email_provider``
+    parameterize ``closure``.
+    """
+
+    kind: str
+    page_size: int = 256
+    max_records: Optional[int] = None
+    cursor: Any = 0
+    max_size: int = 3
+    compromised: Tuple[str, ...] = ()
+    extra_info: Tuple[str, ...] = ()
+    email_provider: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in QUERY_KINDS:
+            raise RecordError(
+                "bad-query",
+                f"unknown query kind {self.kind!r} "
+                f"(expected one of {list(QUERY_KINDS)})",
+            )
+        if self.page_size <= 0:
+            raise RecordError("bad-query", "page size must be positive")
+        if self.max_records is not None and self.max_records <= 0:
+            raise RecordError("bad-query", "max records must be positive")
+
+
+def _couple_record(record) -> Dict[str, Any]:
+    # Field-for-field the CouplePage.to_dict per-record encoding, so one
+    # couple serializes identically whether it rides a page or a stream.
+    return {
+        "kind": "couple",
+        "data": {
+            "providers": sorted(record.providers),
+            "target": record.target,
+            "path": auth_path_to_dict(record.path),
+        },
+    }
+
+
+def _weak_edge_record(edge: Tuple[str, str]) -> Dict[str, Any]:
+    provider, target = edge
+    return {
+        "kind": "weak_edge",
+        "data": {"provider": provider, "target": target},
+    }
+
+
+def _cursor_record(kind: str, token: Optional[str]) -> Dict[str, Any]:
+    """The trailing watermark record of a paged stream.
+
+    ``next`` is ``None`` when the enumeration is exhausted, otherwise a
+    segment-watermark token that a later ``repro query --cursor`` resumes
+    from -- tokens name absolute stream positions, so they stay valid
+    across mutations.
+    """
+    return {"kind": "cursor", "data": {"stream": kind, "next": token}}
+
+
+def _paged_records(executor, spec: QuerySpec) -> Iterator[Dict[str, Any]]:
+    if spec.kind == "couples":
+        make_query, items_of, encode = (
+            lambda cursor, size: CoupleFileQuery(
+                cursor=cursor, page_size=size, max_size=spec.max_size
+            ),
+            lambda page: page.records,
+            _couple_record,
+        )
+    else:
+        make_query, items_of, encode = (
+            lambda cursor, size: WeakEdgeQuery(
+                cursor=cursor, page_size=size, max_size=spec.max_size
+            ),
+            lambda page: page.edges,
+            _weak_edge_record,
+        )
+    cursor = spec.cursor
+    emitted = 0
+    while True:
+        size = spec.page_size
+        if spec.max_records is not None:
+            size = min(size, spec.max_records - emitted)
+        if size == 0:
+            break
+        page = executor.execute(make_query(cursor, size))
+        for item in items_of(page):
+            yield encode(item)
+            emitted += 1
+        cursor = page.next_cursor
+        if cursor is None:
+            break
+    yield _cursor_record(spec.kind, cursor)
+
+
+def records_for(executor, spec: QuerySpec) -> Iterator[Dict[str, Any]]:
+    """The records one query spec produces against one executor."""
+    if spec.kind in ("couples", "weak-edges"):
+        yield from _paged_records(executor, spec)
+        return
+    if spec.kind == "levels":
+        query = LevelReportQuery()
+    elif spec.kind == "measurement":
+        query = MeasurementQuery()
+    else:
+        try:
+            extra = tuple(
+                PersonalInfoKind(value) for value in spec.extra_info
+            )
+        except ValueError as exc:
+            raise RecordError("bad-query", f"unknown info kind: {exc}")
+        query = ClosureQuery(
+            initially_compromised=spec.compromised,
+            extra_info=extra,
+            email_provider=spec.email_provider,
+        )
+    yield result_to_dict(executor.execute(query))

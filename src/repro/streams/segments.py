@@ -299,7 +299,10 @@ class RecordStreamEngine:
         """
         yielded: Set[str] = set()
         for record in self._graph._service_couple_records(service, max_size):
-            for provider in record.providers:
+            # providers is a frozenset; sort so discovery order is a pure
+            # function of the record sequence, not the process hash seed
+            # (the CLI's differential suite pins these bytes cross-process).
+            for provider in sorted(record.providers):
                 if provider not in yielded:
                     yielded.add(provider)
                     yield (provider, service)

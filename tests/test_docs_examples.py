@@ -8,7 +8,12 @@ Two failure modes this file exists to catch:
 - a fenced ``python`` code block in ``docs/*.md`` or ``README.md``
   stops matching the current API (every block is executed in its own
   namespace; blocks are written to be self-contained and fast, and
-  illustrative non-code uses ``text`` fences).
+  illustrative non-code uses ``text`` fences);
+- a fenced ``sh`` block (the CLI cookbook in ``docs/cli.md``, the
+  README quickstart pipeline) stops running: every ``sh`` block is
+  executed under ``bash -e -u -o pipefail`` from the repo root with
+  ``PYTHONPATH`` pointing at ``src``, exactly as a reader would paste
+  it.  Shell shown for illustration only belongs in ``text`` fences.
 
 Keeping this in tier-1 means the documentation cannot silently rot
 against the code it describes.
@@ -33,6 +38,10 @@ DOCUMENTS = sorted((REPO_ROOT / "docs").glob("*.md")) + [
 #: Fenced python blocks: ```python ... ```
 _BLOCK = re.compile(r"```python\n(.*?)```", re.DOTALL)
 
+#: Fenced shell blocks: ```sh ... ``` (``bash``/``console`` fences are
+#: deliberately not matched: runnable shell must opt in via ``sh``).
+_SH_BLOCK = re.compile(r"```sh\n(.*?)```", re.DOTALL)
+
 
 def _doc_blocks():
     for document in DOCUMENTS:
@@ -40,6 +49,17 @@ def _doc_blocks():
             yield pytest.param(
                 match.group(1),
                 id=f"{document.name}:block{index}",
+            )
+
+
+def _doc_sh_blocks():
+    for document in DOCUMENTS:
+        for index, match in enumerate(
+            _SH_BLOCK.finditer(document.read_text())
+        ):
+            yield pytest.param(
+                match.group(1),
+                id=f"{document.name}:sh{index}",
             )
 
 
@@ -71,12 +91,38 @@ def test_doc_code_block_executes(block):
     exec(compile(block, "<doc block>", "exec"), namespace)
 
 
+@pytest.mark.parametrize("block", _doc_sh_blocks())
+def test_doc_shell_block_executes(block):
+    """``sh`` fences run exactly as a reader would paste them."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    result = subprocess.run(
+        ["bash", "-e", "-u", "-o", "pipefail", "-c", block],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"sh block exited {result.returncode}\n"
+        f"stderr tail:\n{result.stderr[-2000:]}"
+    )
+
+
 def test_every_document_has_at_least_one_checked_block():
-    """The extraction regex itself must not silently rot: the quickstart
-    docs are expected to carry runnable blocks."""
+    """The extraction regexes themselves must not silently rot: the
+    quickstart docs are expected to carry runnable blocks."""
     checked = {
         param.id.split(":")[0] for param in _doc_blocks()
     }
     assert "architecture.md" in checked
     assert "serving.md" in checked
     assert "README.md" in checked
+    shell_checked = {
+        param.id.split(":")[0] for param in _doc_sh_blocks()
+    }
+    assert "cli.md" in shell_checked
+    assert "README.md" in shell_checked

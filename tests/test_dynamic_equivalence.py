@@ -112,7 +112,9 @@ def _assert_matches_rebuild(session, label, context):
     ).items():
         yielded, expected = set(), []
         for record in fresh.couples(service):
-            for provider in record.providers:
+            # Discovery order within a record is sorted (providers is a
+            # frozenset; the engine pins a hash-seed-independent order).
+            for provider in sorted(record.providers):
                 if provider not in yielded:
                     yielded.add(provider)
                     expected.append((provider, service))

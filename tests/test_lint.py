@@ -339,6 +339,65 @@ class TestSwallowedException:
         )
 
 
+class TestBarePrint:
+    CLI_PATH = "src/repro/cli/main.py"
+
+    def test_flags_print_in_cli_package(self):
+        source = textwrap.dedent(
+            """
+            def emit(record):
+                print(record)
+            """
+        )
+        findings = lint.check_source(source, path=self.CLI_PATH)
+        assert [f.code for f in findings] == ["bare-print"]
+        assert "RecordWriter" in findings[0].message
+
+    def test_record_writer_and_stderr_are_clean(self):
+        source = textwrap.dedent(
+            """
+            import sys
+
+            def emit(writer, record):
+                writer.record(record)
+                sys.stderr.write("progress\\n")
+            """
+        )
+        assert lint.check_source(source, path=self.CLI_PATH) == []
+
+    def test_rule_only_covers_the_cli_package(self):
+        source = textwrap.dedent(
+            """
+            def report(rows):
+                print(rows)
+            """
+        )
+        assert (
+            lint.check_source(source, path="src/repro/core/tdg.py") == []
+        )
+        assert (
+            lint.check_source(source, path="tools/make_golden_cli.py") == []
+        )
+
+    def test_noqa_suppresses(self):
+        source = textwrap.dedent(
+            """
+            def debug(record):
+                print(record)  # noqa: debugging hook
+            """
+        )
+        assert lint.check_source(source, path=self.CLI_PATH) == []
+
+    def test_shadowed_print_attribute_is_clean(self):
+        source = textwrap.dedent(
+            """
+            def emit(printer, record):
+                printer.print(record)
+            """
+        )
+        assert lint.check_source(source, path=self.CLI_PATH) == []
+
+
 def test_repository_is_lint_clean():
     """The gate ``make verify`` also runs: the whole tree stays clean."""
     targets = [

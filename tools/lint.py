@@ -36,6 +36,12 @@ unambiguously dead:
   a regression back to boxed-object postings or a decoding view -- a
   view must say so with a ``# decoded view`` comment on the binding
   line, which suppresses the finding.
+- **bare-print**: a ``print(...)`` call in the CLI package
+  (``src/repro/cli/``).  CLI stdout is an NDJSON record stream consumed
+  by the next pipe stage; every write must go through the record writer
+  (``repro.cli.records.RecordWriter``) so one stray ``print`` cannot
+  corrupt the stream mid-pipeline.  Diagnostics belong on stderr
+  (``sys.stderr.write``).
 - **swallowed-exception**: an ``except`` handler in the serving tier
   (``src/repro/serve/``) whose body does nothing (only ``pass``,
   ``...`` or a bare string).  Serve-layer failure paths must surface
@@ -352,6 +358,33 @@ def _object_posting_findings(
         )
 
 
+def _bare_print_applies(path: str) -> bool:
+    """The bare-print rule covers the CLI package only: stdout there is
+    an NDJSON stream, and one stray ``print`` corrupts it mid-pipe."""
+    parts = re.split(r"[\\/]", path)
+    return "src" in parts and "cli" in parts
+
+
+def _bare_print_findings(
+    tree: ast.Module, noqa: Set[int], path: str
+) -> Iterable[Finding]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or node.lineno in noqa:
+            continue
+        if not (
+            isinstance(node.func, ast.Name) and node.func.id == "print"
+        ):
+            continue
+        yield Finding(
+            path,
+            node.lineno,
+            "bare-print",
+            "print() in the CLI package; stdout is an NDJSON record "
+            "stream -- write through repro.cli.records.RecordWriter "
+            "(or sys.stderr for diagnostics)",
+        )
+
+
 def _swallowed_exception_applies(path: str) -> bool:
     """The swallowed-exception rule covers the serving tier only: that
     is where an eaten exception silently drops a tenant's request."""
@@ -408,6 +441,9 @@ def check_source(source: str, path: str = "<string>") -> List[Finding]:
         findings.extend(
             _object_posting_findings(tree, source, noqa, path)
         )
+
+    if _bare_print_applies(path):
+        findings.extend(_bare_print_findings(tree, noqa, path))
 
     if _swallowed_exception_applies(path):
         findings.extend(

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Regenerate the golden CLI NDJSON fixtures in tests/fixtures/.
+
+The fixtures pin the record **bytes** the CLI emits for the seed
+ecosystem (201 services, seed 2021) -- a bounded couple-file prefix, a
+bounded weak-edge prefix, and the level report -- exactly as::
+
+    repro build | repro query --kind couples    --page-size 32 --max-records 64
+    repro build | repro query --kind weak-edges --page-size 32 --max-records 64
+    repro build | repro query --kind levels
+
+would print them.  Generation goes through the same
+:func:`repro.cli.stream_query.records_for` layer the CLI uses, and
+``tests/test_cli_pipeline.py`` re-checks one fixture through a real
+subprocess pipe, so drift in either the library or the CLI surface shows
+up as a byte diff.
+
+Run from the repo root after an intentional behavior change::
+
+    PYTHONPATH=src python tools/make_golden_cli.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.api.service import AnalysisService  # noqa: E402
+from repro.catalog import CatalogBuilder, CatalogSpec  # noqa: E402
+from repro.cli.records import dump_record  # noqa: E402
+from repro.cli.stream_query import QuerySpec, records_for  # noqa: E402
+
+FIXTURES = REPO_ROOT / "tests" / "fixtures"
+
+#: Fixture name -> the query it pins.  Keep in sync with
+#: ``GOLDEN_SPECS`` in tests/test_cli_pipeline.py.
+GOLDEN_SPECS = {
+    "golden_cli_couples.ndjson": QuerySpec(
+        kind="couples", page_size=32, max_records=64
+    ),
+    "golden_cli_weak_edges.ndjson": QuerySpec(
+        kind="weak-edges", page_size=32, max_records=64
+    ),
+    "golden_cli_levels.ndjson": QuerySpec(kind="levels"),
+}
+
+
+def main() -> int:
+    service = AnalysisService(
+        CatalogBuilder(
+            CatalogSpec(total_services=201), seed=2021
+        ).build_ecosystem()
+    )
+    FIXTURES.mkdir(parents=True, exist_ok=True)
+    for name, spec in GOLDEN_SPECS.items():
+        text = "".join(
+            dump_record(record) for record in records_for(service, spec)
+        )
+        path = FIXTURES / name
+        path.write_text(text, encoding="utf-8")
+        sys.stderr.write(
+            f"wrote {path.relative_to(REPO_ROOT)} "
+            f"({len(text.splitlines())} records)\n"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
